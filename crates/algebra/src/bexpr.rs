@@ -1,0 +1,306 @@
+//! Bound expressions: name-resolved, type-checked scalar expressions over a
+//! plan node's output schema.
+
+use gdk::aggregate::AggFunc;
+use gdk::{ScalarType, Value};
+use sciql_parser::ast::BinOp;
+
+use crate::{AlgebraError, Result};
+
+/// A bound scalar expression. Column references are positional into the
+/// owning plan node's input schema.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BExpr {
+    /// Constant.
+    Const(Value),
+    /// Input column by position.
+    Col(usize),
+    /// Relative cell reference: the value of input column `col` at the cell
+    /// displaced by `deltas` (requires full-array alignment — only the
+    /// binder creates these, directly above an array scan).
+    Shift {
+        /// Input column holding the attribute (in dense cell order).
+        col: usize,
+        /// Per-dimension displacement.
+        deltas: Vec<i64>,
+    },
+    /// Binary operation (arithmetic, comparison, AND/OR).
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        l: Box<BExpr>,
+        /// Right operand.
+        r: Box<BExpr>,
+    },
+    /// Numeric negation.
+    Neg(Box<BExpr>),
+    /// Boolean NOT.
+    Not(Box<BExpr>),
+    /// `IS [NOT] NULL`.
+    IsNull {
+        /// Operand.
+        e: Box<BExpr>,
+        /// Negated?
+        negated: bool,
+    },
+    /// Searched CASE (simple CASE and BETWEEN/IN are desugared by the
+    /// binder). WHENs evaluate in order; `else_` feeds non-matching rows.
+    Case {
+        /// `(condition, result)` pairs.
+        whens: Vec<(BExpr, BExpr)>,
+        /// ELSE result.
+        else_: Box<BExpr>,
+    },
+    /// Type cast.
+    Cast {
+        /// Operand.
+        e: Box<BExpr>,
+        /// Target type.
+        ty: ScalarType,
+    },
+    /// Scalar function (ABS for now).
+    Abs(Box<BExpr>),
+}
+
+impl BExpr {
+    /// Shorthand binary node.
+    pub fn bin(op: BinOp, l: BExpr, r: BExpr) -> BExpr {
+        BExpr::Bin {
+            op,
+            l: Box::new(l),
+            r: Box::new(r),
+        }
+    }
+
+    /// Infer the result type over the given input column types.
+    pub fn infer_type(&self, input: &[ScalarType]) -> Result<ScalarType> {
+        Ok(match self {
+            BExpr::Const(v) => v.scalar_type().unwrap_or(ScalarType::Int),
+            BExpr::Col(i) | BExpr::Shift { col: i, .. } => {
+                *input.get(*i).ok_or_else(|| {
+                    AlgebraError::internal(format!("column {i} out of schema range"))
+                })?
+            }
+            BExpr::Bin { op, l, r } => {
+                if op.is_comparison() || op.is_boolean() {
+                    ScalarType::Bit
+                } else {
+                    let lt = l.infer_type(input)?;
+                    let rt = r.infer_type(input)?;
+                    lt.promote(rt).ok_or_else(|| {
+                        AlgebraError::type_error(format!(
+                            "cannot apply arithmetic to {lt} and {rt}"
+                        ))
+                    })?
+                }
+            }
+            BExpr::Neg(e) => e.infer_type(input)?,
+            BExpr::Not(_) | BExpr::IsNull { .. } => ScalarType::Bit,
+            BExpr::Case { whens, else_ } => {
+                let mut ty: Option<ScalarType> = None;
+                let mut merge = |t: ScalarType| -> Result<()> {
+                    ty = Some(match ty {
+                        None => t,
+                        Some(prev) if prev == t => prev,
+                        Some(prev) => prev.promote(t).ok_or_else(|| {
+                            AlgebraError::type_error(format!(
+                                "CASE branches mix incompatible types {prev} and {t}"
+                            ))
+                        })?,
+                    });
+                    Ok(())
+                };
+                for (_, t) in whens {
+                    if !matches!(t, BExpr::Const(Value::Null)) {
+                        merge(t.infer_type(input)?)?;
+                    }
+                }
+                if !matches!(else_.as_ref(), BExpr::Const(Value::Null)) {
+                    merge(else_.infer_type(input)?)?;
+                }
+                ty.unwrap_or(ScalarType::Int)
+            }
+            BExpr::Cast { ty, .. } => *ty,
+            BExpr::Abs(e) => e.infer_type(input)?,
+        })
+    }
+
+    /// Is this expression free of column references (a constant)?
+    pub fn is_const(&self) -> bool {
+        match self {
+            BExpr::Const(_) => true,
+            BExpr::Col(_) | BExpr::Shift { .. } => false,
+            BExpr::Bin { l, r, .. } => l.is_const() && r.is_const(),
+            BExpr::Neg(e) | BExpr::Not(e) | BExpr::Abs(e) => e.is_const(),
+            BExpr::IsNull { e, .. } => e.is_const(),
+            BExpr::Case { whens, else_ } => {
+                whens.iter().all(|(w, t)| w.is_const() && t.is_const()) && else_.is_const()
+            }
+            BExpr::Cast { e, .. } => e.is_const(),
+        }
+    }
+
+    /// Collect the columns this expression reads.
+    pub fn collect_cols(&self, out: &mut Vec<usize>) {
+        match self {
+            BExpr::Const(_) => {}
+            BExpr::Col(i) | BExpr::Shift { col: i, .. } => out.push(*i),
+            BExpr::Bin { l, r, .. } => {
+                l.collect_cols(out);
+                r.collect_cols(out);
+            }
+            BExpr::Neg(e) | BExpr::Not(e) | BExpr::Abs(e) => e.collect_cols(out),
+            BExpr::IsNull { e, .. } => e.collect_cols(out),
+            BExpr::Case { whens, else_ } => {
+                for (w, t) in whens {
+                    w.collect_cols(out);
+                    t.collect_cols(out);
+                }
+                else_.collect_cols(out);
+            }
+            BExpr::Cast { e, .. } => e.collect_cols(out),
+        }
+    }
+
+    /// Does the expression contain a [`BExpr::Shift`]?
+    pub fn contains_shift(&self) -> bool {
+        match self {
+            BExpr::Shift { .. } => true,
+            BExpr::Const(_) | BExpr::Col(_) => false,
+            BExpr::Bin { l, r, .. } => l.contains_shift() || r.contains_shift(),
+            BExpr::Neg(e) | BExpr::Not(e) | BExpr::Abs(e) => e.contains_shift(),
+            BExpr::IsNull { e, .. } => e.contains_shift(),
+            BExpr::Case { whens, else_ } => {
+                whens.iter().any(|(w, t)| w.contains_shift() || t.contains_shift())
+                    || else_.contains_shift()
+            }
+            BExpr::Cast { e, .. } => e.contains_shift(),
+        }
+    }
+
+    /// Rewrite column indices through `map` (old index → new index).
+    pub fn remap_cols(&self, map: &dyn Fn(usize) -> usize) -> BExpr {
+        match self {
+            BExpr::Const(v) => BExpr::Const(v.clone()),
+            BExpr::Col(i) => BExpr::Col(map(*i)),
+            BExpr::Shift { col, deltas } => BExpr::Shift {
+                col: map(*col),
+                deltas: deltas.clone(),
+            },
+            BExpr::Bin { op, l, r } => BExpr::bin(*op, l.remap_cols(map), r.remap_cols(map)),
+            BExpr::Neg(e) => BExpr::Neg(Box::new(e.remap_cols(map))),
+            BExpr::Not(e) => BExpr::Not(Box::new(e.remap_cols(map))),
+            BExpr::Abs(e) => BExpr::Abs(Box::new(e.remap_cols(map))),
+            BExpr::IsNull { e, negated } => BExpr::IsNull {
+                e: Box::new(e.remap_cols(map)),
+                negated: *negated,
+            },
+            BExpr::Case { whens, else_ } => BExpr::Case {
+                whens: whens
+                    .iter()
+                    .map(|(w, t)| (w.remap_cols(map), t.remap_cols(map)))
+                    .collect(),
+                else_: Box::new(else_.remap_cols(map)),
+            },
+            BExpr::Cast { e, ty } => BExpr::Cast {
+                e: Box::new(e.remap_cols(map)),
+                ty: *ty,
+            },
+        }
+    }
+}
+
+/// One aggregate call in an Aggregate/Tile plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggCall {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Argument over the *input* schema; `None` for `COUNT(*)`.
+    pub arg: Option<BExpr>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_inference() {
+        let schema = [ScalarType::Int, ScalarType::Dbl];
+        assert_eq!(
+            BExpr::bin(BinOp::Add, BExpr::Col(0), BExpr::Col(0))
+                .infer_type(&schema)
+                .unwrap(),
+            ScalarType::Int
+        );
+        assert_eq!(
+            BExpr::bin(BinOp::Add, BExpr::Col(0), BExpr::Col(1))
+                .infer_type(&schema)
+                .unwrap(),
+            ScalarType::Dbl
+        );
+        assert_eq!(
+            BExpr::bin(BinOp::Lt, BExpr::Col(0), BExpr::Const(Value::Int(3)))
+                .infer_type(&schema)
+                .unwrap(),
+            ScalarType::Bit
+        );
+        assert!(BExpr::bin(
+            BinOp::Add,
+            BExpr::Const(Value::Str("a".into())),
+            BExpr::Col(0)
+        )
+        .infer_type(&schema)
+        .is_err());
+    }
+
+    #[test]
+    fn case_branch_promotion() {
+        let schema = [ScalarType::Int];
+        let c = BExpr::Case {
+            whens: vec![(
+                BExpr::bin(BinOp::Gt, BExpr::Col(0), BExpr::Const(Value::Int(0))),
+                BExpr::Const(Value::Int(1)),
+            )],
+            else_: Box::new(BExpr::Const(Value::Dbl(0.5))),
+        };
+        assert_eq!(c.infer_type(&schema).unwrap(), ScalarType::Dbl);
+        let all_null = BExpr::Case {
+            whens: vec![(BExpr::Const(Value::Bit(true)), BExpr::Const(Value::Null))],
+            else_: Box::new(BExpr::Const(Value::Null)),
+        };
+        assert_eq!(all_null.infer_type(&schema).unwrap(), ScalarType::Int);
+    }
+
+    #[test]
+    fn const_detection_and_cols() {
+        let e = BExpr::bin(
+            BinOp::Mul,
+            BExpr::Const(Value::Int(2)),
+            BExpr::Const(Value::Int(3)),
+        );
+        assert!(e.is_const());
+        let e2 = BExpr::bin(BinOp::Add, e, BExpr::Col(4));
+        assert!(!e2.is_const());
+        let mut cols = vec![];
+        e2.collect_cols(&mut cols);
+        assert_eq!(cols, vec![4]);
+    }
+
+    #[test]
+    fn remap_and_shift_detection() {
+        let e = BExpr::bin(
+            BinOp::Sub,
+            BExpr::Col(2),
+            BExpr::Shift {
+                col: 2,
+                deltas: vec![-1, 0],
+            },
+        );
+        assert!(e.contains_shift());
+        let r = e.remap_cols(&|i| i + 10);
+        let mut cols = vec![];
+        r.collect_cols(&mut cols);
+        assert_eq!(cols, vec![12, 12]);
+    }
+}

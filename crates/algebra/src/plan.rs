@@ -1,0 +1,403 @@
+//! The logical plan: relational algebra extended with array operations.
+//!
+//! Fig 2 of the paper: the SQL/SciQL compiler produces relational algebra,
+//! which the MAL generator lowers to MAL. Array-specific operations that
+//! have no relational counterpart get their own operators: [`Plan::Tile`]
+//! (structural grouping) and positional cell shifts inside expressions.
+
+use crate::bexpr::{AggCall, BExpr};
+use gdk::ScalarType;
+
+/// One output column of a plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColInfo {
+    /// Column label.
+    pub name: String,
+    /// Optional qualifier (source table/array alias) for name resolution.
+    pub qualifier: Option<String>,
+    /// Value type.
+    pub ty: ScalarType,
+    /// Is this a SciQL dimension column in the output (the `[x]`
+    /// coercion qualifier)?
+    pub dimensional: bool,
+}
+
+impl ColInfo {
+    /// Plain column.
+    pub fn new(name: impl Into<String>, ty: ScalarType) -> Self {
+        ColInfo {
+            name: name.into(),
+            qualifier: None,
+            ty,
+            dimensional: false,
+        }
+    }
+}
+
+/// Logical plan nodes. Every node's output is a set of aligned columns
+/// described by `schema()`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// One row, no columns (SELECT without FROM).
+    Unit,
+    /// Scan a stored table.
+    ScanTable {
+        /// Table name.
+        name: String,
+        /// Output columns.
+        schema: Vec<ColInfo>,
+    },
+    /// Scan a stored array in dense cell order: dimensions first, then
+    /// attributes.
+    ScanArray {
+        /// Array name.
+        name: String,
+        /// Output columns (dims then attrs).
+        schema: Vec<ColInfo>,
+        /// Dimension sizes (row-major shape).
+        shape: Vec<usize>,
+        /// Number of dimension columns (the first `ndims` of the schema).
+        ndims: usize,
+    },
+    /// Cross product (joins are cross + filter, as the SciQL compiler
+    /// executes arbitrary theta joins).
+    Cross {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+    },
+    /// Hash equi-join produced by the rewriter from `Filter(Cross)` when
+    /// the predicate contains cross-side equality conjuncts. `residual`
+    /// filters the joined rows (over the concatenated schema).
+    EquiJoin {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+        /// Join keys over the left schema.
+        lkeys: Vec<BExpr>,
+        /// Join keys over the right schema (aligned with `lkeys`).
+        rkeys: Vec<BExpr>,
+        /// Remaining non-equi predicate over the combined schema.
+        residual: Option<BExpr>,
+    },
+    /// Filter rows by a boolean expression over the input schema.
+    Filter {
+        /// Input.
+        input: Box<Plan>,
+        /// Predicate.
+        pred: BExpr,
+    },
+    /// Compute new columns from the input schema.
+    Project {
+        /// Input.
+        input: Box<Plan>,
+        /// `(label, expression, dimensional)` triples.
+        items: Vec<(String, BExpr, bool)>,
+    },
+    /// Value-based grouping and aggregation (SQL:2003 GROUP BY). Output
+    /// columns: the keys, then the aggregates.
+    Aggregate {
+        /// Input.
+        input: Box<Plan>,
+        /// Group keys over the input schema.
+        keys: Vec<BExpr>,
+        /// Aggregate calls over the input schema.
+        aggs: Vec<AggCall>,
+    },
+    /// Structural grouping (SciQL array tiling, §2). Input must be an
+    /// array scan. Output columns: the input columns unchanged (anchor
+    /// dims + anchor attrs), then one column per aggregate over the tile.
+    Tile {
+        /// Input (array scan).
+        input: Box<Plan>,
+        /// Tile cell offsets relative to the anchor, one vector per cell.
+        offsets: Vec<Vec<i64>>,
+        /// Aggregates computed over each tile.
+        aggs: Vec<AggCall>,
+    },
+    /// Duplicate elimination over all columns.
+    Distinct {
+        /// Input.
+        input: Box<Plan>,
+    },
+    /// Sort by keys (most significant first).
+    Sort {
+        /// Input.
+        input: Box<Plan>,
+        /// `(key, descending)` pairs over the input schema.
+        keys: Vec<(BExpr, bool)>,
+    },
+    /// LIMIT/OFFSET.
+    Limit {
+        /// Input.
+        input: Box<Plan>,
+        /// Maximum rows (`None` = unlimited).
+        limit: Option<u64>,
+        /// Rows to skip.
+        offset: u64,
+    },
+}
+
+impl Plan {
+    /// The output schema of this node.
+    pub fn schema(&self) -> Vec<ColInfo> {
+        match self {
+            Plan::Unit => vec![],
+            Plan::ScanTable { schema, .. } | Plan::ScanArray { schema, .. } => schema.clone(),
+            Plan::Cross { left, right }
+            | Plan::EquiJoin { left, right, .. } => {
+                let mut s = left.schema();
+                s.extend(right.schema());
+                s
+            }
+            Plan::Filter { input, .. }
+            | Plan::Distinct { input }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. } => input.schema(),
+            Plan::Project { input, items } => {
+                let in_schema = input.schema();
+                let in_tys: Vec<ScalarType> = in_schema.iter().map(|c| c.ty).collect();
+                items
+                    .iter()
+                    .map(|(name, e, dim)| ColInfo {
+                        name: name.clone(),
+                        qualifier: None,
+                        ty: e.infer_type(&in_tys).unwrap_or(ScalarType::Int),
+                        dimensional: *dim,
+                    })
+                    .collect()
+            }
+            Plan::Aggregate { input, keys, aggs } => {
+                let in_schema = input.schema();
+                let in_tys: Vec<ScalarType> = in_schema.iter().map(|c| c.ty).collect();
+                let mut out = Vec::with_capacity(keys.len() + aggs.len());
+                for (i, k) in keys.iter().enumerate() {
+                    let name = match k {
+                        BExpr::Col(c) => in_schema[*c].name.clone(),
+                        _ => format!("key_{i}"),
+                    };
+                    out.push(ColInfo {
+                        name,
+                        qualifier: None,
+                        ty: k.infer_type(&in_tys).unwrap_or(ScalarType::Int),
+                        dimensional: false,
+                    });
+                }
+                for (i, a) in aggs.iter().enumerate() {
+                    let input_ty = a
+                        .arg
+                        .as_ref()
+                        .map(|e| e.infer_type(&in_tys).unwrap_or(ScalarType::Int))
+                        .unwrap_or(ScalarType::Lng);
+                    out.push(ColInfo {
+                        name: format!("agg_{i}"),
+                        qualifier: None,
+                        ty: a.func.result_type(input_ty).unwrap_or(ScalarType::Lng),
+                        dimensional: false,
+                    });
+                }
+                out
+            }
+            Plan::Tile { input, aggs, .. } => {
+                let mut out = input.schema();
+                let in_tys: Vec<ScalarType> = out.iter().map(|c| c.ty).collect();
+                for (i, a) in aggs.iter().enumerate() {
+                    let input_ty = a
+                        .arg
+                        .as_ref()
+                        .map(|e| e.infer_type(&in_tys).unwrap_or(ScalarType::Int))
+                        .unwrap_or(ScalarType::Lng);
+                    out.push(ColInfo {
+                        name: format!("agg_{i}"),
+                        qualifier: None,
+                        ty: a.func.result_type(input_ty).unwrap_or(ScalarType::Lng),
+                        dimensional: false,
+                    });
+                }
+                out
+            }
+        }
+    }
+
+    /// Render an indented EXPLAIN tree.
+    pub fn explain(&self) -> String {
+        let mut s = String::new();
+        self.explain_into(&mut s, 0);
+        s
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match self {
+            Plan::Unit => out.push_str(&format!("{pad}Unit\n")),
+            Plan::ScanTable { name, .. } => {
+                out.push_str(&format!("{pad}ScanTable {name}\n"));
+            }
+            Plan::ScanArray { name, shape, .. } => {
+                out.push_str(&format!("{pad}ScanArray {name} shape={shape:?}\n"));
+            }
+            Plan::Cross { left, right } => {
+                out.push_str(&format!("{pad}Cross\n"));
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            Plan::EquiJoin {
+                left,
+                right,
+                lkeys,
+                residual,
+                ..
+            } => {
+                out.push_str(&format!(
+                    "{pad}EquiJoin keys={} residual={}\n",
+                    lkeys.len(),
+                    residual.is_some()
+                ));
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            Plan::Filter { input, pred } => {
+                out.push_str(&format!("{pad}Filter {pred:?}\n"));
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Project { input, items } => {
+                let labels: Vec<&str> = items.iter().map(|(n, _, _)| n.as_str()).collect();
+                out.push_str(&format!("{pad}Project {labels:?}\n"));
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Aggregate { input, keys, aggs } => {
+                out.push_str(&format!(
+                    "{pad}Aggregate keys={} aggs={}\n",
+                    keys.len(),
+                    aggs.len()
+                ));
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Tile {
+                input,
+                offsets,
+                aggs,
+            } => {
+                out.push_str(&format!(
+                    "{pad}Tile cells={} aggs={}\n",
+                    offsets.len(),
+                    aggs.len()
+                ));
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Distinct { input } => {
+                out.push_str(&format!("{pad}Distinct\n"));
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Sort { input, keys } => {
+                out.push_str(&format!("{pad}Sort keys={}\n", keys.len()));
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Limit {
+                input,
+                limit,
+                offset,
+            } => {
+                out.push_str(&format!("{pad}Limit limit={limit:?} offset={offset}\n"));
+                input.explain_into(out, depth + 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdk::aggregate::AggFunc;
+    use sciql_parser::ast::BinOp;
+
+    fn scan() -> Plan {
+        Plan::ScanArray {
+            name: "m".into(),
+            schema: vec![
+                ColInfo::new("x", ScalarType::Int),
+                ColInfo::new("y", ScalarType::Int),
+                ColInfo::new("v", ScalarType::Int),
+            ],
+            shape: vec![4, 4],
+            ndims: 2,
+        }
+    }
+
+    #[test]
+    fn project_schema_types() {
+        let p = Plan::Project {
+            input: Box::new(scan()),
+            items: vec![
+                ("x".into(), BExpr::Col(0), true),
+                (
+                    "half".into(),
+                    BExpr::bin(
+                        BinOp::Div,
+                        BExpr::Col(2),
+                        BExpr::Const(gdk::Value::Dbl(2.0)),
+                    ),
+                    false,
+                ),
+            ],
+        };
+        let s = p.schema();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].ty, ScalarType::Int);
+        assert!(s[0].dimensional);
+        assert_eq!(s[1].ty, ScalarType::Dbl);
+    }
+
+    #[test]
+    fn aggregate_schema() {
+        let p = Plan::Aggregate {
+            input: Box::new(scan()),
+            keys: vec![BExpr::Col(0)],
+            aggs: vec![
+                AggCall {
+                    func: AggFunc::Avg,
+                    arg: Some(BExpr::Col(2)),
+                },
+                AggCall {
+                    func: AggFunc::Count,
+                    arg: None,
+                },
+            ],
+        };
+        let s = p.schema();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0].name, "x");
+        assert_eq!(s[1].ty, ScalarType::Dbl);
+        assert_eq!(s[2].ty, ScalarType::Lng);
+    }
+
+    #[test]
+    fn tile_schema_appends_aggs() {
+        let p = Plan::Tile {
+            input: Box::new(scan()),
+            offsets: vec![vec![0, 0], vec![0, 1]],
+            aggs: vec![AggCall {
+                func: AggFunc::Sum,
+                arg: Some(BExpr::Col(2)),
+            }],
+        };
+        let s = p.schema();
+        assert_eq!(s.len(), 4, "x, y, v, agg_0");
+        assert_eq!(s[3].ty, ScalarType::Lng);
+    }
+
+    #[test]
+    fn cross_concatenates_schemas() {
+        let p = Plan::Cross {
+            left: Box::new(scan()),
+            right: Box::new(Plan::ScanTable {
+                name: "t".into(),
+                schema: vec![ColInfo::new("a", ScalarType::Str)],
+            }),
+        };
+        assert_eq!(p.schema().len(), 4);
+        assert!(p.explain().contains("Cross"));
+    }
+}

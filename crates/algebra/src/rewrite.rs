@@ -1,0 +1,303 @@
+//! Logical plan rewrites — the "relational algebra optimizer" slot of the
+//! paper's Fig 2 pipeline.
+//!
+//! The one rewrite that matters for the SciQL workload is **join
+//! recognition**: a `Filter` over a `Cross` whose predicate contains
+//! cross-side equality conjuncts becomes a hash [`Plan::EquiJoin`].
+//! Without it, the AreasOfInterest bit-mask query (image ⋈ mask on `x`
+//! and `y`) would materialise a |cells|² cross product.
+
+use crate::bexpr::BExpr;
+use crate::plan::Plan;
+use sciql_parser::ast::BinOp;
+
+/// Rewrite a plan bottom-up. Currently: join recognition.
+pub fn rewrite(plan: Plan) -> Plan {
+    let plan = rewrite_children(plan);
+    match plan {
+        Plan::Filter { input, pred } => match *input {
+            Plan::Cross { left, right } => make_join(left, right, pred),
+            other => Plan::Filter {
+                input: Box::new(other),
+                pred,
+            },
+        },
+        other => other,
+    }
+}
+
+fn rewrite_children(plan: Plan) -> Plan {
+    match plan {
+        Plan::Unit | Plan::ScanTable { .. } | Plan::ScanArray { .. } => plan,
+        Plan::Cross { left, right } => Plan::Cross {
+            left: Box::new(rewrite(*left)),
+            right: Box::new(rewrite(*right)),
+        },
+        Plan::EquiJoin {
+            left,
+            right,
+            lkeys,
+            rkeys,
+            residual,
+        } => Plan::EquiJoin {
+            left: Box::new(rewrite(*left)),
+            right: Box::new(rewrite(*right)),
+            lkeys,
+            rkeys,
+            residual,
+        },
+        Plan::Filter { input, pred } => Plan::Filter {
+            input: Box::new(rewrite(*input)),
+            pred,
+        },
+        Plan::Project { input, items } => Plan::Project {
+            input: Box::new(rewrite(*input)),
+            items,
+        },
+        Plan::Aggregate { input, keys, aggs } => Plan::Aggregate {
+            input: Box::new(rewrite(*input)),
+            keys,
+            aggs,
+        },
+        Plan::Tile {
+            input,
+            offsets,
+            aggs,
+        } => Plan::Tile {
+            input: Box::new(rewrite(*input)),
+            offsets,
+            aggs,
+        },
+        Plan::Distinct { input } => Plan::Distinct {
+            input: Box::new(rewrite(*input)),
+        },
+        Plan::Sort { input, keys } => Plan::Sort {
+            input: Box::new(rewrite(*input)),
+            keys,
+        },
+        Plan::Limit {
+            input,
+            limit,
+            offset,
+        } => Plan::Limit {
+            input: Box::new(rewrite(*input)),
+            limit,
+            offset,
+        },
+    }
+}
+
+/// Split a Filter-over-Cross predicate into equi-join keys and a residual.
+fn make_join(left: Box<Plan>, right: Box<Plan>, pred: BExpr) -> Plan {
+    let nl = left.schema().len();
+    let mut conjuncts = Vec::new();
+    split_and(pred, &mut conjuncts);
+    let mut lkeys = Vec::new();
+    let mut rkeys = Vec::new();
+    let mut residual: Option<BExpr> = None;
+    for c in conjuncts {
+        match as_cross_equi(&c, nl) {
+            Some((lk, rk)) => {
+                lkeys.push(lk);
+                rkeys.push(rk);
+            }
+            None => {
+                residual = Some(match residual {
+                    None => c,
+                    Some(prev) => BExpr::bin(BinOp::And, prev, c),
+                });
+            }
+        }
+    }
+    if lkeys.is_empty() {
+        // No equality across the two sides: keep Filter(Cross).
+        return Plan::Filter {
+            input: Box::new(Plan::Cross { left, right }),
+            pred: residual.expect("at least one conjunct existed"),
+        };
+    }
+    Plan::EquiJoin {
+        left,
+        right,
+        lkeys,
+        rkeys,
+        residual,
+    }
+}
+
+fn split_and(e: BExpr, out: &mut Vec<BExpr>) {
+    match e {
+        BExpr::Bin {
+            op: BinOp::And,
+            l,
+            r,
+        } => {
+            split_and(*l, out);
+            split_and(*r, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// Is this conjunct `left_expr = right_expr` with all columns of one side
+/// on the left input and all of the other on the right input? Returns the
+/// key expressions, rebased to their own input's schema.
+fn as_cross_equi(e: &BExpr, nl: usize) -> Option<(BExpr, BExpr)> {
+    let BExpr::Bin {
+        op: BinOp::Eq,
+        l,
+        r,
+    } = e
+    else {
+        return None;
+    };
+    // Shifts rely on global cell alignment; keep them out of join keys.
+    if l.contains_shift() || r.contains_shift() {
+        return None;
+    }
+    let side = |x: &BExpr| -> Option<bool> {
+        // true = all columns on the left input; false = all on the right.
+        let mut cols = Vec::new();
+        x.collect_cols(&mut cols);
+        if cols.is_empty() {
+            return None; // constant: let the residual handle it
+        }
+        if cols.iter().all(|&c| c < nl) {
+            Some(true)
+        } else if cols.iter().all(|&c| c >= nl) {
+            Some(false)
+        } else {
+            None
+        }
+    };
+    match (side(l), side(r)) {
+        (Some(true), Some(false)) => {
+            Some(((**l).clone(), r.remap_cols(&|c| c - nl)))
+        }
+        (Some(false), Some(true)) => {
+            Some(((**r).clone(), l.remap_cols(&|c| c - nl)))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ColInfo;
+    use gdk::ScalarType;
+
+    fn scan(name: &str, cols: &[&str]) -> Plan {
+        Plan::ScanTable {
+            name: name.into(),
+            schema: cols
+                .iter()
+                .map(|c| ColInfo::new(*c, ScalarType::Int))
+                .collect(),
+        }
+    }
+
+    fn cross() -> Plan {
+        Plan::Cross {
+            left: Box::new(scan("a", &["x", "y"])),
+            right: Box::new(scan("b", &["u", "v"])),
+        }
+    }
+
+    #[test]
+    fn equality_becomes_join() {
+        // a.x = b.u  (col 0 = col 2)
+        let pred = BExpr::bin(BinOp::Eq, BExpr::Col(0), BExpr::Col(2));
+        let p = rewrite(Plan::Filter {
+            input: Box::new(cross()),
+            pred,
+        });
+        let Plan::EquiJoin {
+            lkeys,
+            rkeys,
+            residual,
+            ..
+        } = p
+        else {
+            panic!("expected EquiJoin, got {}", p.explain());
+        };
+        assert_eq!(lkeys, vec![BExpr::Col(0)]);
+        assert_eq!(rkeys, vec![BExpr::Col(0)], "rebased to right schema");
+        assert!(residual.is_none());
+    }
+
+    #[test]
+    fn mixed_predicate_keeps_residual() {
+        // a.x = b.u AND a.y > b.v
+        let pred = BExpr::bin(
+            BinOp::And,
+            BExpr::bin(BinOp::Eq, BExpr::Col(0), BExpr::Col(2)),
+            BExpr::bin(BinOp::Gt, BExpr::Col(1), BExpr::Col(3)),
+        );
+        let p = rewrite(Plan::Filter {
+            input: Box::new(cross()),
+            pred,
+        });
+        let Plan::EquiJoin { residual, .. } = p else {
+            panic!()
+        };
+        assert!(residual.is_some());
+    }
+
+    #[test]
+    fn two_key_join() {
+        let pred = BExpr::bin(
+            BinOp::And,
+            BExpr::bin(BinOp::Eq, BExpr::Col(0), BExpr::Col(2)),
+            BExpr::bin(BinOp::Eq, BExpr::Col(3), BExpr::Col(1)),
+        );
+        let p = rewrite(Plan::Filter {
+            input: Box::new(cross()),
+            pred,
+        });
+        let Plan::EquiJoin { lkeys, rkeys, .. } = p else {
+            panic!()
+        };
+        assert_eq!(lkeys.len(), 2);
+        assert_eq!(rkeys.len(), 2);
+    }
+
+    #[test]
+    fn band_predicate_stays_cross() {
+        // a.x >= b.u is not an equi conjunct
+        let pred = BExpr::bin(BinOp::Ge, BExpr::Col(0), BExpr::Col(2));
+        let p = rewrite(Plan::Filter {
+            input: Box::new(cross()),
+            pred,
+        });
+        assert!(matches!(
+            p,
+            Plan::Filter { .. }
+        ), "{}", p.explain());
+    }
+
+    #[test]
+    fn same_side_equality_is_residual_only() {
+        // a.x = a.y compares two left columns: no join key.
+        let pred = BExpr::bin(BinOp::Eq, BExpr::Col(0), BExpr::Col(1));
+        let p = rewrite(Plan::Filter {
+            input: Box::new(cross()),
+            pred,
+        });
+        assert!(matches!(p, Plan::Filter { .. }));
+    }
+
+    #[test]
+    fn rewrite_recurses_under_project() {
+        let pred = BExpr::bin(BinOp::Eq, BExpr::Col(0), BExpr::Col(2));
+        let p = Plan::Project {
+            input: Box::new(Plan::Filter {
+                input: Box::new(cross()),
+                pred,
+            }),
+            items: vec![("x".into(), BExpr::Col(0), false)],
+        };
+        let r = rewrite(p);
+        assert!(r.explain().contains("EquiJoin"), "{}", r.explain());
+    }
+}

@@ -1,0 +1,117 @@
+//! A1–A3: ablations of the design choices DESIGN.md calls out.
+//!
+//! * A1 — MAL optimizer pipeline on/off (constant folding + CSE + alias
+//!   removal + DCE);
+//! * A2 — candidate-list pushdown vs bit-mask filtering in codegen;
+//! * A3 — void (virtual dense) dimension columns vs materialised oids at
+//!   the kernel level.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdk::arith::CmpOp;
+use gdk::{select, Bat, Value};
+use mal::OptConfig;
+use sciql_algebra::CodegenOptions;
+use sciql_bench::holey_matrix_session;
+use std::hint::black_box;
+
+/// A1: optimizer pipeline on/off, on two workloads:
+/// * `tiling` — the 3×3 AVG tile. The binder/codegen already emit lean
+///   MAL here (CSE finds one duplicate fill), so this measures the
+///   pipeline's overhead in the no-win case.
+/// * `redundant` — a projection repeating two O(n) shift subtrees; CSE
+///   eliminates the duplicated shifts, so this measures the win case.
+fn bench_optimizer_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/mal_optimizer");
+    g.sample_size(10);
+    let tiling = "SELECT [x], [y], AVG(v) FROM matrix \
+                  GROUP BY matrix[x-1:x+2][y-1:y+2]";
+    let redundant = "SELECT ABS(v - matrix[x-1][y]) + ABS(v - matrix[x][y-1]), \
+                     ABS(v - matrix[x-1][y]) * 2, \
+                     ABS(v - matrix[x][y-1]) * 2 FROM matrix";
+    for (workload, sql) in [("tiling", tiling), ("redundant", redundant)] {
+        for n in [64usize, 128] {
+            let mut on = holey_matrix_session(n);
+            on.set_optimizer(OptConfig::default());
+            g.bench_with_input(
+                BenchmarkId::new(format!("{workload}_optimizers_on"), n),
+                &n,
+                |b, _| b.iter(|| black_box(on.query(sql).unwrap())),
+            );
+            let mut off = holey_matrix_session(n);
+            off.set_optimizer(OptConfig::none());
+            g.bench_with_input(
+                BenchmarkId::new(format!("{workload}_optimizers_off"), n),
+                &n,
+                |b, _| b.iter(|| black_box(off.query(sql).unwrap())),
+            );
+        }
+    }
+    g.finish();
+}
+
+/// A2: a selective filter compiled as thetaselect candidates vs bit masks.
+fn bench_candidate_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/candidate_pushdown");
+    g.sample_size(10);
+    let sql = "SELECT v FROM matrix WHERE x > 3 AND y <= 10";
+    for n in [64usize, 256] {
+        let mut with = holey_matrix_session(n);
+        with.set_codegen(CodegenOptions {
+            candidate_pushdown: true,
+        });
+        g.bench_with_input(BenchmarkId::new("candidates", n), &n, |b, _| {
+            b.iter(|| black_box(with.query(sql).unwrap()))
+        });
+        let mut without = holey_matrix_session(n);
+        without.set_codegen(CodegenOptions {
+            candidate_pushdown: false,
+        });
+        g.bench_with_input(BenchmarkId::new("masks", n), &n, |b, _| {
+            b.iter(|| black_box(without.query(sql).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+/// A3: selecting on a void (virtual) column vs a materialised oid column.
+fn bench_void_vs_materialised(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/void_vs_materialised");
+    for n in [1usize << 16, 1 << 20] {
+        let void = Bat::dense(0, n);
+        let materialised = void.materialise();
+        let needle = Value::Lng((n / 2) as i64);
+        g.bench_with_input(BenchmarkId::new("void_select", n), &void, |b, col| {
+            b.iter(|| {
+                black_box(select::thetaselect(col, None, &needle, CmpOp::Ge).unwrap())
+            })
+        });
+        g.bench_with_input(
+            BenchmarkId::new("materialised_select", n),
+            &materialised,
+            |b, col| {
+                b.iter(|| {
+                    black_box(select::thetaselect(col, None, &needle, CmpOp::Ge).unwrap())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_millis(900))
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .sample_size(10)
+}
+
+criterion_group!{
+    name = benches;
+    config = fast();
+    targets =
+    bench_optimizer_ablation,
+    bench_candidate_ablation,
+    bench_void_vs_materialised
+
+}
+criterion_main!(benches);

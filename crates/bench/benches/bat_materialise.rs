@@ -1,0 +1,99 @@
+//! E6 (Fig 3): cost of materialising array storage with the paper's two
+//! MAL primitives, `array.series` and `array.filler`, across array sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gdk::{Bat, Value};
+use std::hint::black_box;
+
+fn bench_series(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bat_materialise/series");
+    for n in [64usize, 256, 1024] {
+        let cells = (n * n) as u64;
+        g.throughput(Throughput::Elements(cells));
+        // x dimension of an n×n array: each value repeated n times.
+        g.bench_with_input(BenchmarkId::new("x_dim", n), &n, |b, &n| {
+            b.iter(|| black_box(Bat::series(0, 1, n as i64, n, 1).unwrap()))
+        });
+        // y dimension: the sequence repeated n times.
+        g.bench_with_input(BenchmarkId::new("y_dim", n), &n, |b, &n| {
+            b.iter(|| black_box(Bat::series(0, 1, n as i64, 1, n).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_filler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bat_materialise/filler");
+    for n in [64usize, 256, 1024] {
+        let cells = n * n;
+        g.throughput(Throughput::Elements(cells as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &cells, |b, &cells| {
+            b.iter(|| black_box(Bat::filler(cells, &Value::Int(0)).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_array(c: &mut Criterion) {
+    // The complete three-BAT materialisation of Fig 3 via the MAL
+    // interpreter (series ×2 + filler), as CREATE ARRAY runs it.
+    use mal::{Arg, EmptyBinder, Interpreter, MalType, Program};
+    let registry = mal::prims::default_registry();
+    let mut g = c.benchmark_group("bat_materialise/fig3_via_mal");
+    for n in [64i64, 256, 1024] {
+        let mut p = Program::new("fig3");
+        let x = p.emit(
+            "array",
+            "series",
+            vec![
+                Arg::Const(Value::Int(0)),
+                Arg::Const(Value::Int(1)),
+                Arg::Const(Value::Lng(n)),
+                Arg::Const(Value::Lng(n)),
+                Arg::Const(Value::Lng(1)),
+            ],
+            MalType::Bat(gdk::ScalarType::Int),
+        );
+        let y = p.emit(
+            "array",
+            "series",
+            vec![
+                Arg::Const(Value::Int(0)),
+                Arg::Const(Value::Int(1)),
+                Arg::Const(Value::Lng(n)),
+                Arg::Const(Value::Lng(1)),
+                Arg::Const(Value::Lng(n)),
+            ],
+            MalType::Bat(gdk::ScalarType::Int),
+        );
+        let v = p.emit(
+            "array",
+            "filler",
+            vec![Arg::Const(Value::Lng(n * n)), Arg::Const(Value::Int(0))],
+            MalType::Bat(gdk::ScalarType::Int),
+        );
+        p.add_result("x", x);
+        p.add_result("y", y);
+        p.add_result("v", v);
+        g.throughput(Throughput::Elements((n * n) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            let interp = Interpreter::new(&registry, &EmptyBinder);
+            b.iter(|| black_box(interp.run(p).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_millis(900))
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .sample_size(10)
+}
+
+criterion_group!{
+    name = benches;
+    config = fast();
+    targets = bench_series, bench_filler, bench_full_array
+}
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! E11 (§2 "Array and Table Coercions"): cost of switching perspectives —
+//! array → table (plain SELECT), table → array (`[col]` qualifiers), and
+//! a full round trip through a stored table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sciql_bench::matrix_session;
+use std::hint::black_box;
+
+fn bench_array_to_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coercion/array_to_table");
+    g.sample_size(10);
+    for n in [64usize, 256] {
+        let mut conn = matrix_session(n);
+        g.throughput(Throughput::Elements((n * n) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(conn.query("SELECT x, y, v FROM matrix").unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_table_to_array(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coercion/table_to_array");
+    g.sample_size(10);
+    for n in [64usize, 256] {
+        let mut conn = matrix_session(n);
+        conn.execute("CREATE TABLE mtable (x INT, y INT, v INT)").unwrap();
+        conn.execute("INSERT INTO mtable SELECT x, y, v FROM matrix")
+            .unwrap();
+        g.throughput(Throughput::Elements((n * n) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    conn.query("SELECT [x], [y], v FROM mtable")
+                        .unwrap()
+                        .to_array_view()
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coercion/roundtrip_insert");
+    g.sample_size(10);
+    for n in [32usize, 64] {
+        g.throughput(Throughput::Elements((n * n) as u64));
+        let mut conn = matrix_session(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                conn.execute("CREATE TABLE mtable (x INT, y INT, v INT)").unwrap();
+                conn.execute("INSERT INTO mtable SELECT x, y, v FROM matrix")
+                    .unwrap();
+                conn.execute("INSERT INTO matrix SELECT [x], [y], v FROM mtable")
+                    .unwrap();
+                black_box(conn.execute("DROP TABLE mtable").unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_millis(900))
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .sample_size(10)
+}
+
+criterion_group!{
+    name = benches;
+    config = fast();
+    targets = bench_array_to_table, bench_table_to_array, bench_roundtrip
+}
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! E1–E5: the Fig 1 array operations as micro-benchmarks over a size
+//! sweep — array creation, guarded update, insert/delete, 2×2 tiling and
+//! dimension expansion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sciql::Connection;
+use sciql_bench::{holey_matrix_session, matrix_session};
+use std::hint::black_box;
+
+const SIZES: [usize; 3] = [16, 64, 256];
+
+fn bench_create(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_ops/create");
+    g.sample_size(10);
+    for n in SIZES {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut conn = Connection::new();
+                conn.execute(&format!(
+                    "CREATE ARRAY matrix (x INT DIMENSION[0:1:{n}], \
+                     y INT DIMENSION[0:1:{n}], v INT DEFAULT 0)"
+                ))
+                .unwrap();
+                black_box(conn)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_guarded_update(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_ops/guarded_update");
+    g.sample_size(10);
+    for n in SIZES {
+        let mut conn = matrix_session(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                conn.execute(
+                    "UPDATE matrix SET v = CASE WHEN x > y THEN x + y \
+                     WHEN x < y THEN x - y ELSE 0 END",
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_insert_delete(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_ops/insert_delete");
+    g.sample_size(10);
+    for n in SIZES {
+        let mut conn = matrix_session(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                conn.execute(
+                    "INSERT INTO matrix SELECT [x], [y], x * y FROM matrix WHERE x = y",
+                )
+                .unwrap();
+                conn.execute("DELETE FROM matrix WHERE x > y").unwrap();
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_tiling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_ops/tiling_2x2");
+    g.sample_size(10);
+    for n in SIZES {
+        let mut conn = holey_matrix_session(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    conn.query(
+                        "SELECT [x], [y], AVG(v) FROM matrix \
+                         GROUP BY matrix[x:x+2][y:y+2] \
+                         HAVING x MOD 2 = 1 AND y MOD 2 = 1",
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_alter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_ops/alter_dimension");
+    g.sample_size(10);
+    for n in SIZES {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_with_setup(
+                || matrix_session(n),
+                |mut conn| {
+                    conn.execute(&format!(
+                        "ALTER ARRAY matrix ALTER DIMENSION x SET RANGE [-1:1:{}]",
+                        n + 1
+                    ))
+                    .unwrap();
+                    black_box(conn)
+                },
+            )
+        });
+    }
+    g.finish();
+}
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_millis(900))
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .sample_size(10)
+}
+
+criterion_group!{
+    name = benches;
+    config = fast();
+    targets =
+    bench_create,
+    bench_guarded_update,
+    bench_insert_delete,
+    bench_tiling,
+    bench_alter
+
+}
+criterion_main!(benches);

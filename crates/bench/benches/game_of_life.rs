@@ -1,0 +1,71 @@
+//! E8 (Scenario I): one Game-of-Life generation — SciQL structural
+//! grouping vs the SQL self-join formulation it replaces vs the native
+//! baseline, over a board-size sweep.
+//!
+//! The paper's claim: "In SQL, such query would require a eight-way
+//! self-join" — i.e. the tiling formulation avoids a join that is
+//! quadratic under our cross+filter executor. Expect the gap to widen
+//! with board size; the self-join is only run on the small boards.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sciql_life::{Board, SciqlLife};
+use std::hint::black_box;
+
+fn seeded_board(n: usize) -> Board {
+    let mut b = Board::new(n, n);
+    let mut rng = StdRng::seed_from_u64(2013);
+    b.randomise(&mut rng, 0.35);
+    b
+}
+
+fn bench_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("game_of_life/step");
+    g.sample_size(10);
+    for n in [16usize, 32, 64, 128] {
+        let cells = (n * n) as u64;
+        g.throughput(Throughput::Elements(cells));
+        let seed = seeded_board(n);
+
+        // Native baseline.
+        g.bench_with_input(BenchmarkId::new("native", n), &n, |b, _| {
+            let mut board = seed.clone();
+            b.iter(|| {
+                board = board.step();
+                black_box(board.population())
+            })
+        });
+
+        // SciQL structural grouping (the paper's contribution).
+        g.bench_with_input(BenchmarkId::new("sciql_tiling", n), &n, |b, &n| {
+            let mut game = SciqlLife::new(n, n).unwrap();
+            game.load(&seed).unwrap();
+            b.iter(|| game.step().unwrap())
+        });
+
+        // SQL self-join baseline — quadratic; keep it to feasible sizes.
+        if n <= 32 {
+            g.bench_with_input(BenchmarkId::new("sql_selfjoin", n), &n, |b, &n| {
+                let mut game = SciqlLife::new(n, n).unwrap();
+                game.load(&seed).unwrap();
+                b.iter(|| game.step_sql_join().unwrap())
+            });
+        }
+    }
+    g.finish();
+}
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_millis(900))
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .sample_size(10)
+}
+
+criterion_group!{
+    name = benches;
+    config = fast();
+    targets = bench_step
+}
+criterion_main!(benches);

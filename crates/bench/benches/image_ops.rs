@@ -1,0 +1,159 @@
+//! E9/E10 (Scenario II): every demo image operation, SciQL vs the native
+//! baseline, over an image-size sweep. Also measures the demo's claim
+//! that slab selection ("AreasOfInterest" / zoom) is proportional to the
+//! selected area, not the image size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sciql_imaging::{ops, synth, GreyImage, SciqlImages};
+use std::hint::black_box;
+
+const SIZES: [usize; 2] = [64, 128];
+
+fn session(img: &GreyImage) -> SciqlImages {
+    let mut s = SciqlImages::new();
+    s.load("img", img).unwrap();
+    s
+}
+
+fn bench_pointwise(c: &mut Criterion) {
+    let mut g = c.benchmark_group("image/pointwise");
+    g.sample_size(10);
+    for n in SIZES {
+        let img = synth::building(n, n, 42);
+        g.throughput(Throughput::Elements((n * n) as u64));
+        g.bench_with_input(BenchmarkId::new("invert_native", n), &img, |b, img| {
+            b.iter(|| black_box(ops::invert(img)))
+        });
+        let mut s = session(&img);
+        g.bench_with_input(BenchmarkId::new("invert_sciql", n), &n, |b, _| {
+            b.iter(|| black_box(s.invert("img").unwrap()))
+        });
+        let mut s = session(&img);
+        g.bench_with_input(BenchmarkId::new("brighten_sciql", n), &n, |b, _| {
+            b.iter(|| black_box(s.brighten("img", 40).unwrap()))
+        });
+        let mut s = session(&img);
+        g.bench_with_input(BenchmarkId::new("water_sciql", n), &n, |b, _| {
+            b.iter(|| black_box(s.filter_water("img", 70).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_neighbourhood(c: &mut Criterion) {
+    let mut g = c.benchmark_group("image/neighbourhood");
+    g.sample_size(10);
+    for n in SIZES {
+        let img = synth::building(n, n, 42);
+        g.throughput(Throughput::Elements((n * n) as u64));
+        g.bench_with_input(BenchmarkId::new("edges_native", n), &img, |b, img| {
+            b.iter(|| black_box(ops::edges(img)))
+        });
+        let mut s = session(&img);
+        g.bench_with_input(BenchmarkId::new("edges_sciql", n), &n, |b, _| {
+            b.iter(|| black_box(s.edges("img").unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("smooth_native", n), &img, |b, img| {
+            b.iter(|| black_box(ops::smooth(img)))
+        });
+        let mut s = session(&img);
+        g.bench_with_input(BenchmarkId::new("smooth_sciql", n), &n, |b, _| {
+            b.iter(|| black_box(s.smooth("img").unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_restructure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("image/restructure");
+    g.sample_size(10);
+    for n in SIZES {
+        let img = synth::terrain(n, n, 7);
+        g.throughput(Throughput::Elements((n * n) as u64));
+        let mut s = session(&img);
+        g.bench_with_input(BenchmarkId::new("reduce_sciql", n), &n, |b, _| {
+            b.iter(|| black_box(s.reduce("img").unwrap()))
+        });
+        let mut s = session(&img);
+        g.bench_with_input(BenchmarkId::new("rotate_sciql", n), &n, |b, _| {
+            b.iter(|| black_box(s.rotate90("img").unwrap()))
+        });
+        let mut s = session(&img);
+        g.bench_with_input(BenchmarkId::new("histogram_sciql", n), &n, |b, _| {
+            b.iter(|| black_box(s.histogram("img", 32).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+/// Slab selection cost tracks the *selected area*: fixed 32×32 slab from
+/// growing images should stay roughly flat once per-query overhead
+/// dominates scanning.
+fn bench_slab_proportionality(c: &mut Criterion) {
+    let mut g = c.benchmark_group("image/slab_selection");
+    g.sample_size(10);
+    for n in [64usize, 128, 256] {
+        let img = synth::terrain(n, n, 7);
+        let mut s = session(&img);
+        g.bench_with_input(BenchmarkId::new("fixed_32x32_slab", n), &n, |b, _| {
+            b.iter(|| black_box(s.zoom("img", 8, 40, 8, 40).unwrap()))
+        });
+        let mut s = session(&img);
+        g.bench_with_input(BenchmarkId::new("full_image_read", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    s.connection()
+                        .query("SELECT [x], [y], v FROM img")
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_areas_of_interest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("image/areas_of_interest");
+    g.sample_size(10);
+    for n in SIZES {
+        let img = synth::terrain(n, n, 7);
+        let mask = synth::ellipse_mask(n, n);
+        let mut s = session(&img);
+        s.load("mask", &mask).unwrap();
+        g.throughput(Throughput::Elements((n * n) as u64));
+        g.bench_with_input(BenchmarkId::new("bitmask_join_sciql", n), &n, |b, _| {
+            b.iter(|| black_box(s.mask_select("img", "mask").unwrap()))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("bitmask_native", n),
+            &(&img, &mask),
+            |b, (img, mask)| b.iter(|| black_box(ops::mask_select(img, mask))),
+        );
+        let boxes = [(n / 8, n / 2, n / 8, n / 2)];
+        let mut s = session(&img);
+        g.bench_with_input(BenchmarkId::new("bbox_table_join_sciql", n), &n, |b, _| {
+            b.iter(|| black_box(s.bbox_select("img", &boxes).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_millis(900))
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .sample_size(10)
+}
+
+criterion_group!{
+    name = benches;
+    config = fast();
+    targets =
+    bench_pointwise,
+    bench_neighbourhood,
+    bench_restructure,
+    bench_slab_proportionality,
+    bench_areas_of_interest
+
+}
+criterion_main!(benches);

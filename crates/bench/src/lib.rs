@@ -1,0 +1,49 @@
+//! Shared helpers for the benchmark harness.
+
+#![warn(missing_docs)]
+
+use sciql::Connection;
+
+/// Build a session holding an `n × n` matrix array with the Fig 1(b)
+/// contents (deterministic, no holes).
+pub fn matrix_session(n: usize) -> Connection {
+    let mut conn = Connection::new();
+    conn.execute(&format!(
+        "CREATE ARRAY matrix (x INT DIMENSION[0:1:{n}], \
+         y INT DIMENSION[0:1:{n}], v INT DEFAULT 0)"
+    ))
+    .expect("create");
+    conn.execute(
+        "UPDATE matrix SET v = CASE WHEN x > y THEN x + y \
+         WHEN x < y THEN x - y ELSE 0 END",
+    )
+    .expect("fill");
+    conn
+}
+
+/// Build a session holding an `n × n` matrix with holes punched below the
+/// diagonal (the Fig 1(c) state, generalised).
+pub fn holey_matrix_session(n: usize) -> Connection {
+    let mut conn = matrix_session(n);
+    conn.execute("DELETE FROM matrix WHERE x > y").expect("holes");
+    conn
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_build_valid_sessions() {
+        let mut c = matrix_session(8);
+        let n = c.query("SELECT COUNT(*) FROM matrix").unwrap().scalar().unwrap();
+        assert_eq!(n.as_i64(), Some(64));
+        let mut h = holey_matrix_session(8);
+        let holes = h
+            .query("SELECT COUNT(*) FROM matrix WHERE v IS NULL")
+            .unwrap()
+            .scalar()
+            .unwrap();
+        assert_eq!(holes.as_i64(), Some(28), "8*7/2 cells below the diagonal");
+    }
+}

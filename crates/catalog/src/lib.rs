@@ -1,0 +1,15 @@
+//! # sciql-catalog — schema catalog for tables and arrays
+//!
+//! The SQL/SciQL catalog (Fig 2 of the paper): named schema objects, where
+//! an *array* differs from a *table* by carrying named, range-constrained
+//! dimensions. "All cells covered by an array's dimensions always exist
+//! conceptually, while in a table tuples only exist after an explicit
+//! insertion" (§1).
+
+#![warn(missing_docs)]
+
+pub mod schema;
+
+pub use schema::{
+    ArrayDef, Catalog, CatalogError, ColumnMeta, DimSpec, DimensionDef, SchemaObject, TableDef,
+};

@@ -1,0 +1,394 @@
+//! DML executors: INSERT / UPDATE / DELETE over tables *and* arrays.
+//!
+//! On arrays the semantics follow §2 of the paper: all cells always exist,
+//! so INSERT overwrites cells at the given positions, DELETE punches NULL
+//! holes, and UPDATE may use dimensions as bound variables in guarded
+//! (CASE) expressions.
+
+use crate::session::Connection;
+use crate::storage::ArrayStore;
+use crate::{EngineError, Result};
+use gdk::{Candidates, Oid, Value};
+use sciql_algebra::{eval_const, BExpr, Binder, Plan};
+use sciql_catalog::{DimSpec, SchemaObject};
+use sciql_parser::ast::{Expr, InsertSource};
+
+impl Connection {
+    // ------------------------------------------------------------------
+    // UPDATE
+    // ------------------------------------------------------------------
+
+    pub(crate) fn update(
+        &mut self,
+        table: &str,
+        sets: &[(String, Expr)],
+        filter: Option<&Expr>,
+    ) -> Result<usize> {
+        let is_array = matches!(
+            self.catalog.get(table).map_err(EngineError::Catalog)?,
+            SchemaObject::Array(_)
+        );
+        // Bind SET expressions and the WHERE predicate over a scan of the
+        // target; evaluate them in one pass (all against the old state).
+        let (plan, targets) = {
+            let binder = Binder::new(&self.catalog);
+            let (scan, scope) = binder.scope_for(table).map_err(EngineError::Algebra)?;
+            let mut items: Vec<(String, BExpr, bool)> = Vec::new();
+            let mut targets: Vec<usize> = Vec::new();
+            for (i, (col, e)) in sets.iter().enumerate() {
+                let target = self.resolve_update_target(table, is_array, col)?;
+                targets.push(target);
+                let bound = binder.bind_expr(&scope, e).map_err(EngineError::Algebra)?;
+                items.push((format!("set_{i}"), bound, false));
+            }
+            if let Some(f) = filter {
+                let bound = binder.bind_expr(&scope, f).map_err(EngineError::Algebra)?;
+                items.push(("pred".into(), bound, false));
+            }
+            (
+                Plan::Project {
+                    input: Box::new(scan),
+                    items,
+                },
+                targets,
+            )
+        };
+        let rs = self.run_plan(&plan)?;
+        let n = rs.row_count();
+        let positions: Vec<Oid> = match filter {
+            Some(_) => {
+                let mask = &rs.bats[sets.len()];
+                (0..n)
+                    .filter(|&i| mask.get(i) == Value::Bit(true))
+                    .map(|i| i as Oid)
+                    .collect()
+            }
+            None => (0..n as Oid).collect(),
+        };
+        if positions.is_empty() {
+            return Ok(0);
+        }
+        let cand = Candidates::from_sorted(positions.clone());
+        for (k, &target) in targets.iter().enumerate() {
+            let values =
+                gdk::project::project(&cand, &rs.bats[k]).map_err(EngineError::Gdk)?;
+            let key = table.to_ascii_lowercase();
+            if is_array {
+                let store = self
+                    .arrays
+                    .get_mut(&key)
+                    .ok_or_else(|| EngineError::msg(format!("array {table:?} not materialised")))?;
+                store.replace_attr(target, &positions, &values)?;
+            } else {
+                let store = self
+                    .tables
+                    .get_mut(&key)
+                    .ok_or_else(|| EngineError::msg(format!("no such table {table:?}")))?;
+                store.replace_col(target, &positions, &values)?;
+            }
+        }
+        Ok(positions.len())
+    }
+
+    fn resolve_update_target(&self, table: &str, is_array: bool, col: &str) -> Result<usize> {
+        match self.catalog.get(table).map_err(EngineError::Catalog)? {
+            SchemaObject::Array(a) => {
+                if a.dim_index(col).is_some() {
+                    return Err(EngineError::msg(format!(
+                        "cannot UPDATE dimension {col:?}; use ALTER ARRAY to change ranges"
+                    )));
+                }
+                a.attr_index(col).ok_or_else(|| {
+                    EngineError::msg(format!("array {table:?} has no attribute {col:?}"))
+                })
+            }
+            SchemaObject::Table(t) => {
+                debug_assert!(!is_array);
+                t.column_index(col).ok_or_else(|| {
+                    EngineError::msg(format!("table {table:?} has no column {col:?}"))
+                })
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // DELETE
+    // ------------------------------------------------------------------
+
+    pub(crate) fn delete(&mut self, table: &str, filter: Option<&Expr>) -> Result<usize> {
+        let is_array = matches!(
+            self.catalog.get(table).map_err(EngineError::Catalog)?,
+            SchemaObject::Array(_)
+        );
+        let mask = match filter {
+            Some(f) => {
+                let plan = {
+                    let binder = Binder::new(&self.catalog);
+                    let (scan, scope) =
+                        binder.scope_for(table).map_err(EngineError::Algebra)?;
+                    let bound = binder.bind_expr(&scope, f).map_err(EngineError::Algebra)?;
+                    Plan::Project {
+                        input: Box::new(scan),
+                        items: vec![("pred".into(), bound, false)],
+                    }
+                };
+                Some(self.run_plan(&plan)?.bats[0].clone())
+            }
+            None => None,
+        };
+        let key = table.to_ascii_lowercase();
+        if is_array {
+            let store = self
+                .arrays
+                .get_mut(&key)
+                .ok_or_else(|| EngineError::msg(format!("array {table:?} not materialised")))?;
+            let positions: Vec<Oid> = match &mask {
+                Some(m) => (0..m.len())
+                    .filter(|&i| m.get(i) == Value::Bit(true))
+                    .map(|i| i as Oid)
+                    .collect(),
+                None => (0..store.cell_count() as Oid).collect(),
+            };
+            store.punch_holes(&positions)?;
+            Ok(positions.len())
+        } else {
+            let store = self
+                .tables
+                .get_mut(&key)
+                .ok_or_else(|| EngineError::msg(format!("no such table {table:?}")))?;
+            let keep: Vec<Oid> = match &mask {
+                Some(m) => (0..m.len())
+                    .filter(|&i| m.get(i) != Value::Bit(true))
+                    .map(|i| i as Oid)
+                    .collect(),
+                None => vec![],
+            };
+            let removed = store.row_count() - keep.len();
+            store.retain_positions(&keep)?;
+            Ok(removed)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // INSERT
+    // ------------------------------------------------------------------
+
+    pub(crate) fn insert(
+        &mut self,
+        table: &str,
+        columns: Option<&[String]>,
+        source: &InsertSource,
+    ) -> Result<usize> {
+        // Materialise the source rows first (INSERT INTO t SELECT … FROM t
+        // must read the pre-insert state).
+        let rows: Vec<Vec<Value>> = match source {
+            InsertSource::Values(rows) => rows
+                .iter()
+                .map(|r| {
+                    r.iter()
+                        .map(|e| eval_const(e).map_err(EngineError::Algebra))
+                        .collect()
+                })
+                .collect::<Result<_>>()?,
+            InsertSource::Select(sel) => {
+                let rs = self.run_select(sel)?;
+                rs.rows().collect()
+            }
+        };
+        match self.catalog.get(table).map_err(EngineError::Catalog)?.clone() {
+            SchemaObject::Table(def) => {
+                let mapping: Vec<usize> = match columns {
+                    Some(cols) => cols
+                        .iter()
+                        .map(|c| {
+                            def.column_index(c).ok_or_else(|| {
+                                EngineError::msg(format!(
+                                    "table {table:?} has no column {c:?}"
+                                ))
+                            })
+                        })
+                        .collect::<Result<_>>()?,
+                    None => (0..def.columns.len()).collect(),
+                };
+                let key = table.to_ascii_lowercase();
+                let store = self
+                    .tables
+                    .get_mut(&key)
+                    .ok_or_else(|| EngineError::msg(format!("no such table {table:?}")))?;
+                for row in &rows {
+                    if row.len() != mapping.len() {
+                        return Err(EngineError::msg(format!(
+                            "row has {} values, expected {}",
+                            row.len(),
+                            mapping.len()
+                        )));
+                    }
+                    let mut full: Vec<Value> = def
+                        .columns
+                        .iter()
+                        .map(|c| c.default.clone().unwrap_or(Value::Null))
+                        .collect();
+                    for (v, &slot) in row.iter().zip(&mapping) {
+                        let ty = def.columns[slot].ty;
+                        full[slot] = v.cast(ty).ok_or_else(|| {
+                            EngineError::msg(format!(
+                                "value {v} does not fit column {:?} ({ty})",
+                                def.columns[slot].name
+                            ))
+                        })?;
+                    }
+                    store.append_row(&full)?;
+                }
+                Ok(rows.len())
+            }
+            SchemaObject::Array(def) => {
+                // Column mapping: explicit list must cover all dimensions;
+                // positional order is dims then attrs.
+                let ndims = def.dims.len();
+                let (dim_slots, attr_slots): (Vec<usize>, Vec<usize>) = match columns {
+                    Some(cols) => {
+                        let mut dim_slots = vec![usize::MAX; ndims];
+                        let mut attr_slots = Vec::new();
+                        let mut attr_targets = Vec::new();
+                        for (i, c) in cols.iter().enumerate() {
+                            if let Some(k) = def.dim_index(c) {
+                                dim_slots[k] = i;
+                            } else if let Some(k) = def.attr_index(c) {
+                                attr_slots.push(i);
+                                attr_targets.push(k);
+                            } else {
+                                return Err(EngineError::msg(format!(
+                                    "array {table:?} has no column {c:?}"
+                                )));
+                            }
+                        }
+                        if dim_slots.contains(&usize::MAX) {
+                            return Err(EngineError::msg(
+                                "INSERT into an array must supply every dimension",
+                            ));
+                        }
+                        self.insert_array_rows(
+                            table, &def.name, &rows, &dim_slots, &attr_slots, &attr_targets,
+                        )?;
+                        return Ok(rows.len());
+                    }
+                    None => {
+                        let arity = rows.first().map_or(ndims, Vec::len);
+                        if arity < ndims + 1 {
+                            return Err(EngineError::msg(format!(
+                                "INSERT into array needs at least {} columns (dims + one attribute)",
+                                ndims + 1
+                            )));
+                        }
+                        let nattrs = (arity - ndims).min(def.attrs.len());
+                        (
+                            (0..ndims).collect(),
+                            (ndims..ndims + nattrs).collect(),
+                        )
+                    }
+                };
+                let attr_targets: Vec<usize> = (0..attr_slots.len()).collect();
+                self.insert_array_rows(
+                    table,
+                    &def.name,
+                    &rows,
+                    &dim_slots,
+                    &attr_slots,
+                    &attr_targets,
+                )?;
+                Ok(rows.len())
+            }
+        }
+    }
+
+    fn insert_array_rows(
+        &mut self,
+        table: &str,
+        _def_name: &str,
+        rows: &[Vec<Value>],
+        dim_slots: &[usize],
+        attr_slots: &[usize],
+        attr_targets: &[usize],
+    ) -> Result<()> {
+        self.ensure_materialised(table, rows, dim_slots)?;
+        let key = table.to_ascii_lowercase();
+        let store = self
+            .arrays
+            .get_mut(&key)
+            .ok_or_else(|| EngineError::msg(format!("array {table:?} not materialised")))?;
+        for row in rows {
+            let coords: Vec<i64> = dim_slots
+                .iter()
+                .map(|&s| {
+                    row.get(s)
+                        .and_then(Value::as_i64)
+                        .ok_or_else(|| EngineError::msg("dimension value must be integral"))
+                })
+                .collect::<Result<_>>()?;
+            let pos = store.def.position_of(&coords).ok_or_else(|| {
+                EngineError::msg(format!(
+                    "cell {coords:?} is outside the dimension ranges of {table:?}"
+                ))
+            })?;
+            for (&slot, &attr) in attr_slots.iter().zip(attr_targets) {
+                let v = row
+                    .get(slot)
+                    .ok_or_else(|| EngineError::msg("row too short"))?;
+                store.set_attr(attr, pos, v)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// An unbounded array gets its ranges derived from the first INSERT:
+    /// "an unbounded array with actual size derived from the dimension
+    /// column expressions" (§2).
+    fn ensure_materialised(
+        &mut self,
+        table: &str,
+        rows: &[Vec<Value>],
+        dim_slots: &[usize],
+    ) -> Result<()> {
+        let key = table.to_ascii_lowercase();
+        if self.arrays.contains_key(&key) {
+            return Ok(());
+        }
+        let def = self
+            .catalog
+            .get_array(table)
+            .map_err(EngineError::Catalog)?
+            .clone();
+        if rows.is_empty() {
+            return Err(EngineError::msg(format!(
+                "cannot derive ranges for unbounded array {table:?} from zero rows"
+            )));
+        }
+        let mut def = def;
+        for (k, d) in def.dims.iter_mut().enumerate() {
+            if d.range.is_some() {
+                continue;
+            }
+            let mut lo = i64::MAX;
+            let mut hi = i64::MIN;
+            for row in rows {
+                let v = row
+                    .get(dim_slots[k])
+                    .and_then(Value::as_i64)
+                    .ok_or_else(|| EngineError::msg("dimension value must be integral"))?;
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            d.range = Some(DimSpec::new(lo, 1, hi + 1).map_err(EngineError::Catalog)?);
+        }
+        // Sync the derived ranges into the catalog, then materialise.
+        for (k, d) in def.dims.iter().enumerate() {
+            self.catalog
+                .alter_dimension(table, &def.dims[k].name.clone(), d.range.expect("set above"))
+                .map_err(EngineError::Catalog)?;
+        }
+        let store = ArrayStore::create(def)?;
+        self.arrays.insert(key, store);
+        Ok(())
+    }
+}
+

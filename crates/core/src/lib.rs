@@ -1,0 +1,119 @@
+//! # sciql — array data processing inside an RDBMS
+//!
+//! A from-scratch Rust reproduction of *SciQL: Array Data Processing
+//! Inside an RDBMS* (Zhang, Kersten, Manegold — SIGMOD 2013): an SQL
+//! engine in which **arrays are first-class citizens next to tables**.
+//!
+//! The stack mirrors the paper's Fig 2:
+//!
+//! ```text
+//! SciQL query ─▶ parser (sciql-parser) ─▶ binder + relational algebra
+//!   (sciql-algebra) ─▶ MAL generator ─▶ MAL optimizers ─▶ MAL
+//!   interpreter (mal) ─▶ GDK BAT kernel (gdk)
+//! ```
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sciql::Connection;
+//!
+//! let mut conn = Connection::new();
+//! // The 4×4 matrix from Fig 1(a) of the paper:
+//! conn.execute(
+//!     "CREATE ARRAY matrix (
+//!        x INT DIMENSION[0:1:4], y INT DIMENSION[0:1:4],
+//!        v INT DEFAULT 0)",
+//! ).unwrap();
+//! // The guarded update of Fig 1(b):
+//! conn.execute(
+//!     "UPDATE matrix SET v = CASE WHEN x > y THEN x + y \
+//!      WHEN x < y THEN x - y ELSE 0 END",
+//! ).unwrap();
+//! let rs = conn.query("SELECT x, y, v FROM matrix WHERE x = 3").unwrap();
+//! assert_eq!(rs.row_count(), 4);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ddl;
+pub mod dml;
+pub mod result;
+pub mod session;
+pub mod storage;
+
+#[cfg(test)]
+mod tests;
+
+pub use result::{ArrayView, ColumnMeta, ResultSet};
+pub use session::{Connection, LastExec, QueryResult};
+pub use storage::{ArrayStore, TableStore};
+
+use std::fmt;
+
+/// Engine errors, aggregating every layer of the stack.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Lexer/parser error.
+    Parse(sciql_parser::ParseError),
+    /// Binder/codegen error.
+    Algebra(sciql_algebra::AlgebraError),
+    /// Catalog error.
+    Catalog(sciql_catalog::CatalogError),
+    /// MAL execution error.
+    Mal(mal::MalError),
+    /// Kernel error.
+    Gdk(gdk::GdkError),
+    /// Engine-level error.
+    Msg(String),
+}
+
+impl EngineError {
+    /// Engine-level error from a message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        EngineError::Msg(m.into())
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse(e) => write!(f, "{e}"),
+            EngineError::Algebra(e) => write!(f, "{e}"),
+            EngineError::Catalog(e) => write!(f, "{e}"),
+            EngineError::Mal(e) => write!(f, "execution error: {e}"),
+            EngineError::Gdk(e) => write!(f, "kernel error: {e}"),
+            EngineError::Msg(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<sciql_parser::ParseError> for EngineError {
+    fn from(e: sciql_parser::ParseError) -> Self {
+        EngineError::Parse(e)
+    }
+}
+impl From<sciql_algebra::AlgebraError> for EngineError {
+    fn from(e: sciql_algebra::AlgebraError) -> Self {
+        EngineError::Algebra(e)
+    }
+}
+impl From<sciql_catalog::CatalogError> for EngineError {
+    fn from(e: sciql_catalog::CatalogError) -> Self {
+        EngineError::Catalog(e)
+    }
+}
+impl From<mal::MalError> for EngineError {
+    fn from(e: mal::MalError) -> Self {
+        EngineError::Mal(e)
+    }
+}
+impl From<gdk::GdkError> for EngineError {
+    fn from(e: gdk::GdkError) -> Self {
+        EngineError::Gdk(e)
+    }
+}
+
+/// Engine result type.
+pub type Result<T> = std::result::Result<T, EngineError>;

@@ -1,0 +1,334 @@
+//! Query results: tabular column sets with SciQL array metadata.
+
+use crate::{EngineError, Result};
+use gdk::{Bat, ScalarType, Value};
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// Metadata of one result column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnMeta {
+    /// Column label.
+    pub name: String,
+    /// Value type.
+    pub ty: ScalarType,
+    /// Was this column marked with the `[expr]` dimension qualifier?
+    pub dimensional: bool,
+}
+
+/// A columnar result set. When any column is `dimensional`, the result can
+/// additionally be viewed as an array ([`ResultSet::to_array_view`]) — the
+/// SciQL table→array coercion.
+#[derive(Debug, Clone)]
+pub struct ResultSet {
+    /// Column metadata.
+    pub columns: Vec<ColumnMeta>,
+    /// Column data, aligned.
+    pub bats: Vec<Rc<Bat>>,
+}
+
+impl ResultSet {
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.bats.first().map_or(0, |b| b.len())
+    }
+
+    /// Number of columns.
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Value at `(row, col)`.
+    pub fn get(&self, row: usize, col: usize) -> Value {
+        self.bats[col].get(row)
+    }
+
+    /// Find a column by label.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Collect one row as values.
+    pub fn row(&self, row: usize) -> Vec<Value> {
+        self.bats.iter().map(|b| b.get(row)).collect()
+    }
+
+    /// Iterate all rows.
+    pub fn rows(&self) -> impl Iterator<Item = Vec<Value>> + '_ {
+        (0..self.row_count()).map(|r| self.row(r))
+    }
+
+    /// Single scalar convenience (1×1 results).
+    pub fn scalar(&self) -> Result<Value> {
+        if self.row_count() != 1 || self.column_count() != 1 {
+            return Err(EngineError::msg(format!(
+                "expected a 1x1 result, got {}x{}",
+                self.row_count(),
+                self.column_count()
+            )));
+        }
+        Ok(self.get(0, 0))
+    }
+
+    /// The SciQL table→array coercion: interpret the dimensional columns
+    /// as coordinates and materialise a dense array view. The derived
+    /// range of each dimension is `[min, max]` of its values with step 1
+    /// ("an unbounded array with actual size derived from the dimension
+    /// column expressions", §2); absent cells are holes (NULL).
+    pub fn to_array_view(&self) -> Result<ArrayView> {
+        let dim_cols: Vec<usize> = (0..self.columns.len())
+            .filter(|&i| self.columns[i].dimensional)
+            .collect();
+        if dim_cols.is_empty() {
+            return Err(EngineError::msg(
+                "result has no dimensional columns; use [col] qualifiers to coerce",
+            ));
+        }
+        let val_cols: Vec<usize> = (0..self.columns.len())
+            .filter(|&i| !self.columns[i].dimensional)
+            .collect();
+        // Derive ranges.
+        let mut lo = vec![i64::MAX; dim_cols.len()];
+        let mut hi = vec![i64::MIN; dim_cols.len()];
+        for r in 0..self.row_count() {
+            for (k, &c) in dim_cols.iter().enumerate() {
+                let v = self.get(r, c);
+                let i = v.as_i64().ok_or_else(|| {
+                    EngineError::msg(format!(
+                        "dimension column {:?} holds non-integral value {v}",
+                        self.columns[c].name
+                    ))
+                })?;
+                lo[k] = lo[k].min(i);
+                hi[k] = hi[k].max(i);
+            }
+        }
+        if self.row_count() == 0 {
+            lo = vec![0; dim_cols.len()];
+            hi = vec![-1; dim_cols.len()];
+        }
+        let sizes: Vec<usize> = lo
+            .iter()
+            .zip(&hi)
+            .map(|(&l, &h)| usize::try_from(h - l + 1).unwrap_or(0))
+            .collect();
+        let total: usize = sizes.iter().product();
+        let mut cells: Vec<Vec<Value>> =
+            vec![vec![Value::Null; val_cols.len()]; total];
+        for r in 0..self.row_count() {
+            let mut pos = 0usize;
+            for (k, &c) in dim_cols.iter().enumerate() {
+                let i = self.get(r, c).as_i64().expect("checked above");
+                pos = pos * sizes[k] + usize::try_from(i - lo[k]).expect("within derived range");
+            }
+            for (j, &c) in val_cols.iter().enumerate() {
+                cells[pos][j] = self.get(r, c);
+            }
+        }
+        Ok(ArrayView {
+            dim_names: dim_cols
+                .iter()
+                .map(|&c| self.columns[c].name.clone())
+                .collect(),
+            val_names: val_cols
+                .iter()
+                .map(|&c| self.columns[c].name.clone())
+                .collect(),
+            origins: lo,
+            sizes,
+            cells,
+        })
+    }
+
+    /// Render as an ASCII table (demo/CLI output).
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.name.len()).collect();
+        let mut rows: Vec<Vec<String>> = Vec::with_capacity(self.row_count());
+        for r in 0..self.row_count() {
+            let row: Vec<String> = (0..self.column_count())
+                .map(|c| self.get(r, c).to_string())
+                .collect();
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+            rows.push(row);
+        }
+        let mut out = String::new();
+        let sep = |out: &mut String| {
+            out.push('+');
+            for w in &widths {
+                out.push_str(&"-".repeat(w + 2));
+                out.push('+');
+            }
+            out.push('\n');
+        };
+        sep(&mut out);
+        out.push('|');
+        for (c, col) in self.columns.iter().enumerate() {
+            let marker = if col.dimensional { "[]" } else { "" };
+            let label = format!("{}{marker}", col.name);
+            let _ = write!(out, " {label:<w$} |", w = widths[c]);
+        }
+        out.push('\n');
+        sep(&mut out);
+        for row in &rows {
+            out.push('|');
+            for (c, cell) in row.iter().enumerate() {
+                let _ = write!(out, " {cell:<w$} |", w = widths[c]);
+            }
+            out.push('\n');
+        }
+        sep(&mut out);
+        out
+    }
+}
+
+/// A dense array view of a coerced result (one entry per cell, row-major).
+#[derive(Debug, Clone)]
+pub struct ArrayView {
+    /// Dimension column names.
+    pub dim_names: Vec<String>,
+    /// Value column names.
+    pub val_names: Vec<String>,
+    /// First coordinate of each dimension.
+    pub origins: Vec<i64>,
+    /// Extent of each dimension.
+    pub sizes: Vec<usize>,
+    /// Cell values (one vector per cell; NULL = hole).
+    pub cells: Vec<Vec<Value>>,
+}
+
+impl ArrayView {
+    /// Value of the first value column at the given coordinates.
+    pub fn at(&self, coords: &[i64]) -> Option<&Value> {
+        let mut pos = 0usize;
+        for (k, &c) in coords.iter().enumerate() {
+            let i = c.checked_sub(self.origins[k])?;
+            if i < 0 || i as usize >= self.sizes[k] {
+                return None;
+            }
+            pos = pos * self.sizes[k] + i as usize;
+        }
+        self.cells.get(pos)?.first()
+    }
+
+    /// Render a 2-D view as a grid (first value column).
+    pub fn render_grid(&self) -> Result<String> {
+        if self.sizes.len() != 2 {
+            return Err(EngineError::msg("render_grid requires a 2-D array view"));
+        }
+        let mut out = String::new();
+        for i in 0..self.sizes[0] {
+            for j in 0..self.sizes[1] {
+                let v = &self.cells[i * self.sizes[1] + j][0];
+                let _ = write!(out, "{:>6}", v.to_string());
+            }
+            out.push('\n');
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs() -> ResultSet {
+        // rows: (x, y, v) for a sparse 2×2 region
+        ResultSet {
+            columns: vec![
+                ColumnMeta {
+                    name: "x".into(),
+                    ty: ScalarType::Int,
+                    dimensional: true,
+                },
+                ColumnMeta {
+                    name: "y".into(),
+                    ty: ScalarType::Int,
+                    dimensional: true,
+                },
+                ColumnMeta {
+                    name: "v".into(),
+                    ty: ScalarType::Int,
+                    dimensional: false,
+                },
+            ],
+            bats: vec![
+                Rc::new(Bat::from_ints(vec![1, 1, 2])),
+                Rc::new(Bat::from_ints(vec![1, 2, 2])),
+                Rc::new(Bat::from_ints(vec![10, 20, 40])),
+            ],
+        }
+    }
+
+    #[test]
+    fn basic_access() {
+        let r = rs();
+        assert_eq!(r.row_count(), 3);
+        assert_eq!(r.get(1, 2), Value::Int(20));
+        assert_eq!(r.column_index("V"), Some(2));
+        assert_eq!(r.row(0), vec![Value::Int(1), Value::Int(1), Value::Int(10)]);
+    }
+
+    #[test]
+    fn array_view_derives_ranges_and_holes() {
+        let v = rs().to_array_view().unwrap();
+        assert_eq!(v.origins, vec![1, 1]);
+        assert_eq!(v.sizes, vec![2, 2]);
+        assert_eq!(v.at(&[1, 1]), Some(&Value::Int(10)));
+        assert_eq!(v.at(&[1, 2]), Some(&Value::Int(20)));
+        assert_eq!(v.at(&[2, 1]), Some(&Value::Null), "hole");
+        assert_eq!(v.at(&[2, 2]), Some(&Value::Int(40)));
+        assert_eq!(v.at(&[0, 0]), None, "outside derived range");
+        let grid = v.render_grid().unwrap();
+        assert!(grid.contains("10"));
+        assert!(grid.contains("null"));
+    }
+
+    #[test]
+    fn scalar_helper() {
+        let one = ResultSet {
+            columns: vec![ColumnMeta {
+                name: "n".into(),
+                ty: ScalarType::Lng,
+                dimensional: false,
+            }],
+            bats: vec![Rc::new(Bat::from_lngs(vec![42]))],
+        };
+        assert_eq!(one.scalar().unwrap(), Value::Lng(42));
+        assert!(rs().scalar().is_err());
+    }
+
+    #[test]
+    fn coercion_requires_dimensions() {
+        let mut r = rs();
+        for c in &mut r.columns {
+            c.dimensional = false;
+        }
+        assert!(r.to_array_view().is_err());
+    }
+
+    #[test]
+    fn render_marks_dimensions() {
+        let text = rs().render();
+        assert!(text.contains("x[]"), "{text}");
+        assert!(text.contains("| 10"), "{text}");
+    }
+
+    #[test]
+    fn empty_result_view() {
+        let r = ResultSet {
+            columns: vec![ColumnMeta {
+                name: "x".into(),
+                ty: ScalarType::Int,
+                dimensional: true,
+            }],
+            bats: vec![Rc::new(Bat::from_ints(vec![]))],
+        };
+        let v = r.to_array_view().unwrap();
+        assert_eq!(v.sizes, vec![0]);
+        assert!(v.cells.is_empty());
+    }
+}

@@ -1,0 +1,356 @@
+//! The session: parse → bind → algebra → MAL → optimizers → interpreter,
+//! the full pipeline of the paper's Fig 2.
+
+use crate::result::{ColumnMeta, ResultSet};
+use crate::storage::{ArrayStore, TableStore};
+use crate::{EngineError, Result};
+use gdk::Bat;
+use mal::{
+    Binder as MalBinder, ExecStats, Interpreter, MalValue, OptConfig, OptReport, Program,
+    Registry,
+};
+use sciql_algebra::{compile, rewrite, Binder, CodegenOptions, Plan};
+use sciql_catalog::Catalog;
+use sciql_parser::ast::{SelectStmt, Stmt};
+use sciql_parser::{parse_statement, parse_statements};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Result of executing one statement.
+#[derive(Debug, Clone)]
+pub enum QueryResult {
+    /// DDL/DML: number of affected cells/rows.
+    Affected(usize),
+    /// SELECT: a result set.
+    Rows(ResultSet),
+}
+
+impl QueryResult {
+    /// Unwrap a row result.
+    pub fn rows(self) -> Result<ResultSet> {
+        match self {
+            QueryResult::Rows(r) => Ok(r),
+            QueryResult::Affected(_) => {
+                Err(EngineError::msg("statement did not produce rows"))
+            }
+        }
+    }
+    /// Unwrap an affected-count result.
+    pub fn affected(self) -> Result<usize> {
+        match self {
+            QueryResult::Affected(n) => Ok(n),
+            QueryResult::Rows(_) => Err(EngineError::msg("statement produced rows")),
+        }
+    }
+}
+
+/// Statistics of the most recent query execution (optimizer ablation and
+/// benchmarking hooks).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LastExec {
+    /// Interpreter counters.
+    pub exec: ExecStats,
+    /// Optimizer report.
+    pub opt: OptReport,
+    /// MAL instructions before optimization.
+    pub instrs_before_opt: usize,
+    /// MAL instructions after optimization.
+    pub instrs_after_opt: usize,
+}
+
+/// A SciQL session over an in-memory database: catalog + BAT storage +
+/// MAL machinery.
+pub struct Connection {
+    pub(crate) catalog: Catalog,
+    pub(crate) arrays: HashMap<String, ArrayStore>,
+    pub(crate) tables: HashMap<String, TableStore>,
+    registry: Registry,
+    opt_config: OptConfig,
+    codegen: CodegenOptions,
+    last: LastExec,
+}
+
+impl Default for Connection {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Connection {
+    /// Fresh empty session.
+    pub fn new() -> Self {
+        Connection {
+            catalog: Catalog::new(),
+            arrays: HashMap::new(),
+            tables: HashMap::new(),
+            registry: mal::prims::default_registry(),
+            opt_config: OptConfig::default(),
+            codegen: CodegenOptions::default(),
+            last: LastExec::default(),
+        }
+    }
+
+    /// Configure the MAL optimizer pipeline (ablation switch).
+    pub fn set_optimizer(&mut self, cfg: OptConfig) {
+        self.opt_config = cfg;
+    }
+
+    /// Configure code generation (candidate-pushdown ablation switch).
+    pub fn set_codegen(&mut self, cfg: CodegenOptions) {
+        self.codegen = cfg;
+    }
+
+    /// Statistics of the last executed SELECT.
+    pub fn last_exec(&self) -> LastExec {
+        self.last
+    }
+
+    /// The catalog (read-only view).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Execute one statement.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        let stmt = parse_statement(sql).map_err(EngineError::Parse)?;
+        self.execute_stmt(&stmt)
+    }
+
+    /// Execute a semicolon-separated script, returning one result per
+    /// statement.
+    pub fn execute_script(&mut self, sql: &str) -> Result<Vec<QueryResult>> {
+        let stmts = parse_statements(sql).map_err(EngineError::Parse)?;
+        stmts.iter().map(|s| self.execute_stmt(s)).collect()
+    }
+
+    /// Execute a SELECT and return its rows.
+    pub fn query(&mut self, sql: &str) -> Result<ResultSet> {
+        self.execute(sql)?.rows()
+    }
+
+    /// Execute a SELECT and coerce the result to an array view.
+    pub fn query_array(&mut self, sql: &str) -> Result<crate::result::ArrayView> {
+        self.query(sql)?.to_array_view()
+    }
+
+    /// Execute a parsed statement.
+    pub fn execute_stmt(&mut self, stmt: &Stmt) -> Result<QueryResult> {
+        match stmt {
+            Stmt::Select(sel) => Ok(QueryResult::Rows(self.run_select(sel)?)),
+            Stmt::CreateTable { name, columns } => {
+                self.create_table(name, columns)?;
+                Ok(QueryResult::Affected(0))
+            }
+            Stmt::CreateArray { name, columns } => {
+                let cells = self.create_array(name, columns)?;
+                Ok(QueryResult::Affected(cells))
+            }
+            Stmt::Drop { name, array } => {
+                self.drop_object(name, *array)?;
+                Ok(QueryResult::Affected(0))
+            }
+            Stmt::AlterDimension {
+                array,
+                dimension,
+                range,
+            } => {
+                let cells = self.alter_dimension(array, dimension, range)?;
+                Ok(QueryResult::Affected(cells))
+            }
+            Stmt::Insert {
+                table,
+                columns,
+                source,
+            } => Ok(QueryResult::Affected(self.insert(
+                table,
+                columns.as_deref(),
+                source,
+            )?)),
+            Stmt::Delete { table, filter } => {
+                Ok(QueryResult::Affected(self.delete(table, filter.as_ref())?))
+            }
+            Stmt::Update {
+                table,
+                sets,
+                filter,
+            } => Ok(QueryResult::Affected(self.update(
+                table,
+                sets,
+                filter.as_ref(),
+            )?)),
+        }
+    }
+
+    /// EXPLAIN: the logical plan and the (optimised) MAL program text.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let stmt = parse_statement(sql).map_err(EngineError::Parse)?;
+        let Stmt::Select(sel) = stmt else {
+            return Err(EngineError::msg("EXPLAIN supports SELECT statements"));
+        };
+        let binder = Binder::new(&self.catalog);
+        let plan = rewrite(binder.bind_select(&sel)?);
+        let mut prog = compile(&plan, &self.codegen)?;
+        let before = prog.to_text();
+        mal::optimise(&mut prog, &self.registry, self.opt_config);
+        let after = prog.to_text();
+        Ok(format!(
+            "-- logical plan\n{}\n-- MAL (generated)\n{before}\n-- MAL (optimised)\n{after}",
+            plan.explain()
+        ))
+    }
+
+    /// Run a SELECT through the full pipeline.
+    pub fn run_select(&mut self, sel: &SelectStmt) -> Result<ResultSet> {
+        let binder = Binder::new(&self.catalog);
+        let plan = rewrite(binder.bind_select(sel)?);
+        self.run_plan(&plan)
+    }
+
+    /// Compile and execute a logical plan (also used by the DML
+    /// executors).
+    pub(crate) fn run_plan(&mut self, plan: &Plan) -> Result<ResultSet> {
+        let mut prog: Program = compile(plan, &self.codegen)?;
+        let before = prog.instrs.len();
+        let report = mal::optimise(&mut prog, &self.registry, self.opt_config);
+        let after = prog.instrs.len();
+        let storage = StorageBinder {
+            arrays: &self.arrays,
+            tables: &self.tables,
+        };
+        let interp = Interpreter::new(&self.registry, &storage);
+        let (outs, exec) = interp.run_with_stats(&prog).map_err(EngineError::Mal)?;
+        self.last = LastExec {
+            exec,
+            opt: report,
+            instrs_before_opt: before,
+            instrs_after_opt: after,
+        };
+        let schema = plan.schema();
+        let mut columns = Vec::with_capacity(schema.len());
+        let mut bats: Vec<Rc<Bat>> = Vec::with_capacity(schema.len());
+        for ((label, val), info) in outs.into_iter().zip(schema) {
+            let b = match val {
+                MalValue::Bat(b) => b,
+                MalValue::Scalar(v) => {
+                    let ty = v.scalar_type().unwrap_or(info.ty);
+                    let mut nb = Bat::with_capacity(ty, 1);
+                    nb.push(&v).map_err(EngineError::Gdk)?;
+                    Rc::new(nb)
+                }
+                other => {
+                    return Err(EngineError::msg(format!(
+                        "result column {label:?} is not a BAT ({})",
+                        other.kind()
+                    )))
+                }
+            };
+            columns.push(ColumnMeta {
+                name: label,
+                ty: b.tail_type(),
+                dimensional: info.dimensional,
+            });
+            bats.push(b);
+        }
+        Ok(ResultSet { columns, bats })
+    }
+
+    /// Bulk-load an array directly from column data — the reproduction's
+    /// stand-in for MonetDB's (Geo)TIFF Data Vault [Ivanova et al., SSDBM
+    /// 2012], which the demo uses to ingest images without the SQL INSERT
+    /// path. Dimension BATs are generated; attribute BATs are adopted
+    /// as-is (their length must equal the cell count).
+    pub fn bulk_load_array(
+        &mut self,
+        name: &str,
+        dims: &[(&str, sciql_catalog::DimSpec)],
+        attrs: Vec<(&str, Bat)>,
+    ) -> Result<()> {
+        use sciql_catalog::{ArrayDef, ColumnMeta as CatColumn, DimensionDef, SchemaObject};
+        let def = ArrayDef {
+            name: name.to_owned(),
+            dims: dims
+                .iter()
+                .map(|(n, r)| DimensionDef {
+                    name: (*n).to_owned(),
+                    ty: gdk::ScalarType::Int,
+                    range: Some(*r),
+                })
+                .collect(),
+            attrs: attrs
+                .iter()
+                .map(|(n, b)| CatColumn {
+                    name: (*n).to_owned(),
+                    ty: b.tail_type(),
+                    default: None,
+                })
+                .collect(),
+        };
+        let cells = def
+            .cell_count()
+            .ok_or_else(|| EngineError::msg("bulk load requires fixed ranges"))?;
+        for (n, b) in &attrs {
+            if b.len() != cells {
+                return Err(EngineError::msg(format!(
+                    "attribute {n:?} has {} values, array has {cells} cells",
+                    b.len()
+                )));
+            }
+        }
+        self.catalog
+            .create(SchemaObject::Array(def.clone()))
+            .map_err(EngineError::Catalog)?;
+        let mut store = ArrayStore::create(def)?;
+        store.attrs = attrs.into_iter().map(|(_, b)| Rc::new(b)).collect();
+        self.arrays.insert(name.to_ascii_lowercase(), store);
+        Ok(())
+    }
+
+    /// Direct read access to a stored array (tests, demos and the image
+    /// pipeline use this to avoid the SQL round trip).
+    pub fn array_store(&self, name: &str) -> Result<&ArrayStore> {
+        self.arrays
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| EngineError::msg(format!("array {name:?} is not materialised")))
+    }
+
+    /// Direct read access to a stored table.
+    pub fn table_store(&self, name: &str) -> Result<&TableStore> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| EngineError::msg(format!("no such table {name:?}")))
+    }
+}
+
+/// Resolves `sql.bind` against the session storage.
+struct StorageBinder<'a> {
+    arrays: &'a HashMap<String, ArrayStore>,
+    tables: &'a HashMap<String, TableStore>,
+}
+
+impl MalBinder for StorageBinder<'_> {
+    fn bind(&self, object: &str, column: &str) -> mal::Result<MalValue> {
+        let key = object.to_ascii_lowercase();
+        if let Some(a) = self.arrays.get(&key) {
+            if let Some(k) = a.def.dim_index(column) {
+                return Ok(MalValue::Bat(a.dims[k].clone()));
+            }
+            if let Some(k) = a.def.attr_index(column) {
+                return Ok(MalValue::Bat(a.attrs[k].clone()));
+            }
+            return Err(mal::MalError::msg(format!(
+                "array {object:?} has no column {column:?}"
+            )));
+        }
+        if let Some(t) = self.tables.get(&key) {
+            if let Some(k) = t.def.column_index(column) {
+                return Ok(MalValue::Bat(t.cols[k].clone()));
+            }
+            return Err(mal::MalError::msg(format!(
+                "table {object:?} has no column {column:?}"
+            )));
+        }
+        Err(mal::MalError::msg(format!(
+            "no storage for object {object:?}"
+        )))
+    }
+}

@@ -1,0 +1,148 @@
+//! Session-level unit tests of the `sciql` engine crate.
+
+use crate::{Connection, QueryResult};
+use gdk::Value;
+use sciql_catalog::DimSpec;
+
+#[test]
+fn query_result_unwrappers() {
+    let mut c = Connection::new();
+    c.execute("CREATE TABLE t (a INT)").unwrap();
+    let r = c.execute("INSERT INTO t VALUES (1)").unwrap();
+    assert!(matches!(r, QueryResult::Affected(1)));
+    assert!(c.execute("SELECT a FROM t").unwrap().affected().is_err());
+    assert!(c.execute("INSERT INTO t VALUES (2)").unwrap().rows().is_err());
+}
+
+#[test]
+fn execute_script_runs_in_order() {
+    let mut c = Connection::new();
+    let results = c
+        .execute_script(
+            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1), (2); \
+             SELECT COUNT(*) FROM t;",
+        )
+        .unwrap();
+    assert_eq!(results.len(), 3);
+    let rs = results.into_iter().nth(2).unwrap().rows().unwrap();
+    assert_eq!(rs.scalar().unwrap(), Value::Lng(2));
+    // A script that fails midway reports the error.
+    assert!(c.execute_script("SELECT 1; SELECT nope FROM t;").is_err());
+}
+
+#[test]
+fn bulk_load_validation() {
+    let mut c = Connection::new();
+    let dims = [("x", DimSpec::new(0, 1, 2).unwrap())];
+    // Wrong length rejected.
+    let bad = gdk::Bat::from_ints(vec![1, 2, 3]);
+    assert!(c.bulk_load_array("a", &dims, vec![("v", bad)]).is_err());
+    let good = gdk::Bat::from_ints(vec![7, 8]);
+    c.bulk_load_array("a", &dims, vec![("v", good)]).unwrap();
+    assert_eq!(
+        c.query("SELECT v FROM a WHERE x = 1").unwrap().scalar().unwrap(),
+        Value::Int(8)
+    );
+    // Name collisions rejected.
+    let again = gdk::Bat::from_ints(vec![0, 0]);
+    assert!(c.bulk_load_array("a", &dims, vec![("v", again)]).is_err());
+}
+
+#[test]
+fn catalog_view_reflects_ddl() {
+    let mut c = Connection::new();
+    assert!(c.catalog().is_empty());
+    c.execute("CREATE ARRAY m (x INT DIMENSION[0:1:2], v INT DEFAULT 0)").unwrap();
+    c.execute("CREATE TABLE t (a INT)").unwrap();
+    assert_eq!(c.catalog().len(), 2);
+    assert!(c.catalog().get_array("m").is_ok());
+    assert!(c.catalog().get_table("t").is_ok());
+    c.execute("DROP ARRAY m").unwrap();
+    assert_eq!(c.catalog().len(), 1);
+}
+
+#[test]
+fn update_with_shift_expression() {
+    // UPDATE may read neighbouring cells through relative references
+    // (all reads see the pre-update state).
+    let mut c = Connection::new();
+    c.execute("CREATE ARRAY m (x INT DIMENSION[0:1:5], v INT DEFAULT 0)").unwrap();
+    c.execute("UPDATE m SET v = x * 10").unwrap();
+    c.execute("UPDATE m SET v = m[x+1] WHERE x < 4").unwrap();
+    let rs = c.query("SELECT v FROM m ORDER BY x").unwrap();
+    let vals: Vec<Option<i64>> = rs.rows().map(|r| r[0].as_i64()).collect();
+    assert_eq!(
+        vals,
+        vec![Some(10), Some(20), Some(30), Some(40), Some(40)],
+        "each updated cell received its OLD right neighbour"
+    );
+}
+
+#[test]
+fn multi_set_update_sees_old_values() {
+    // UPDATE t SET a = b, b = a must swap, not chain.
+    let mut c = Connection::new();
+    c.execute_script(
+        "CREATE TABLE t (a INT, b INT); INSERT INTO t VALUES (1, 2);",
+    )
+    .unwrap();
+    c.execute("UPDATE t SET a = b, b = a").unwrap();
+    let rs = c.query("SELECT a, b FROM t").unwrap();
+    assert_eq!(rs.row(0), vec![Value::Int(2), Value::Int(1)]);
+}
+
+#[test]
+fn last_exec_stats_populated() {
+    let mut c = Connection::new();
+    c.execute("CREATE ARRAY m (x INT DIMENSION[0:1:8], v INT DEFAULT 1)").unwrap();
+    c.query("SELECT SUM(v) FROM m WHERE x > 2").unwrap();
+    let stats = c.last_exec();
+    assert!(stats.exec.instructions > 0);
+    assert!(stats.instrs_after_opt <= stats.instrs_before_opt);
+}
+
+#[test]
+fn explain_rejects_non_select() {
+    let c = Connection::new();
+    assert!(c.explain("CREATE TABLE t (a INT)").is_err());
+}
+
+#[test]
+fn array_view_of_select_with_expression_dims() {
+    let mut c = Connection::new();
+    c.execute("CREATE ARRAY m (x INT DIMENSION[0:1:3], v INT DEFAULT 5)").unwrap();
+    // Shifted dimension expression: view origin follows the data.
+    let view = c.query_array("SELECT [x + 10], v FROM m").unwrap();
+    assert_eq!(view.origins, vec![10]);
+    assert_eq!(view.sizes, vec![3]);
+    assert_eq!(view.at(&[11]), Some(&Value::Int(5)));
+}
+
+#[test]
+fn drop_and_recreate_same_name() {
+    let mut c = Connection::new();
+    c.execute("CREATE TABLE t (a INT)").unwrap();
+    c.execute("INSERT INTO t VALUES (1)").unwrap();
+    c.execute("DROP TABLE t").unwrap();
+    c.execute("CREATE TABLE t (a INT, b INT)").unwrap();
+    let rs = c.query("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(rs.scalar().unwrap(), Value::Lng(0), "fresh storage after recreate");
+}
+
+#[test]
+fn affected_counts_are_meaningful() {
+    let mut c = Connection::new();
+    c.execute("CREATE ARRAY m (x INT DIMENSION[0:1:10], v INT DEFAULT 0)").unwrap();
+    assert_eq!(
+        c.execute("UPDATE m SET v = 1 WHERE x < 4").unwrap().affected().unwrap(),
+        4
+    );
+    assert_eq!(
+        c.execute("DELETE FROM m WHERE v = 1").unwrap().affected().unwrap(),
+        4
+    );
+    assert_eq!(
+        c.execute("INSERT INTO m VALUES (5, 9)").unwrap().affected().unwrap(),
+        1
+    );
+}

@@ -1,0 +1,304 @@
+//! Grouped and scalar aggregation.
+//!
+//! SQL semantics throughout: nils are skipped; an all-nil (or empty) group
+//! aggregates to NULL, except COUNT which yields 0. This is the behaviour
+//! the paper leans on for tiling: "holes and cells outside the array
+//! dimension ranges are ignored by the aggregation functions" (Fig 1(e)).
+
+use crate::bat::Bat;
+use crate::group::Groups;
+use crate::types::ScalarType;
+use crate::value::Value;
+use crate::{GdkError, Result};
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `COUNT(v)` — non-nil count (`COUNT(*)` is compiled as COUNT over a
+    /// nil-free column).
+    Count,
+    /// `SUM(v)`; int sums widen to lng, dbl stays dbl.
+    Sum,
+    /// `AVG(v)`; always dbl.
+    Avg,
+    /// `MIN(v)`; input type preserved.
+    Min,
+    /// `MAX(v)`; input type preserved.
+    Max,
+}
+
+impl AggFunc {
+    /// Parse an aggregate function name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        Some(match name.to_ascii_uppercase().as_str() {
+            "COUNT" => AggFunc::Count,
+            "SUM" => AggFunc::Sum,
+            "AVG" => AggFunc::Avg,
+            "MIN" => AggFunc::Min,
+            "MAX" => AggFunc::Max,
+            _ => return None,
+        })
+    }
+
+    /// Result type given the input type.
+    pub fn result_type(self, input: ScalarType) -> Result<ScalarType> {
+        Ok(match self {
+            AggFunc::Count => ScalarType::Lng,
+            AggFunc::Avg => {
+                if !input.is_numeric() {
+                    return Err(GdkError::type_mismatch("AVG requires a numeric input"));
+                }
+                ScalarType::Dbl
+            }
+            AggFunc::Sum => match input {
+                ScalarType::Int | ScalarType::Lng => ScalarType::Lng,
+                ScalarType::Dbl => ScalarType::Dbl,
+                _ => return Err(GdkError::type_mismatch("SUM requires a numeric input")),
+            },
+            AggFunc::Min | AggFunc::Max => input,
+        })
+    }
+}
+
+/// Grouped aggregation: `vals` must be aligned with `groups.ids` (i.e. the
+/// caller already projected values through the same candidate list). The
+/// result has one tuple per group, in group-id order.
+pub fn grouped(func: AggFunc, vals: &Bat, groups: &Groups) -> Result<Bat> {
+    if vals.len() != groups.ids.len() {
+        return Err(GdkError::invalid(format!(
+            "aggregate: {} values vs {} group ids",
+            vals.len(),
+            groups.ids.len()
+        )));
+    }
+    let ng = groups.ngroups as usize;
+    match func {
+        AggFunc::Count => {
+            let mut counts = vec![0i64; ng];
+            for (i, &g) in groups.ids.iter().enumerate() {
+                if !vals.is_nil_at(i) {
+                    counts[g as usize] += 1;
+                }
+            }
+            Ok(Bat::from_lngs(counts))
+        }
+        AggFunc::Sum => {
+            let rt = func.result_type(vals.tail_type())?;
+            match rt {
+                ScalarType::Lng => {
+                    let mut sums = vec![0i64; ng];
+                    let mut seen = vec![false; ng];
+                    for (i, &g) in groups.ids.iter().enumerate() {
+                        if let Some(x) = vals.get(i).as_i64() {
+                            sums[g as usize] = sums[g as usize].checked_add(x).ok_or_else(
+                                || GdkError::arithmetic("SUM overflow"),
+                            )?;
+                            seen[g as usize] = true;
+                        }
+                    }
+                    let mut out = Bat::with_capacity(ScalarType::Lng, ng);
+                    for g in 0..ng {
+                        out.push(&if seen[g] {
+                            Value::Lng(sums[g])
+                        } else {
+                            Value::Null
+                        })?;
+                    }
+                    Ok(out)
+                }
+                _ => {
+                    let mut sums = vec![0f64; ng];
+                    let mut seen = vec![false; ng];
+                    for (i, &g) in groups.ids.iter().enumerate() {
+                        if vals.is_nil_at(i) {
+                            continue;
+                        }
+                        if let Some(x) = vals.get(i).as_f64() {
+                            sums[g as usize] += x;
+                            seen[g as usize] = true;
+                        }
+                    }
+                    let mut out = Bat::with_capacity(ScalarType::Dbl, ng);
+                    for g in 0..ng {
+                        out.push(&if seen[g] {
+                            Value::Dbl(sums[g])
+                        } else {
+                            Value::Null
+                        })?;
+                    }
+                    Ok(out)
+                }
+            }
+        }
+        AggFunc::Avg => {
+            func.result_type(vals.tail_type())?;
+            let mut sums = vec![0f64; ng];
+            let mut counts = vec![0u64; ng];
+            for (i, &g) in groups.ids.iter().enumerate() {
+                if vals.is_nil_at(i) {
+                    continue;
+                }
+                if let Some(x) = vals.get(i).as_f64() {
+                    sums[g as usize] += x;
+                    counts[g as usize] += 1;
+                }
+            }
+            let mut out = Bat::with_capacity(ScalarType::Dbl, ng);
+            for g in 0..ng {
+                out.push(&if counts[g] > 0 {
+                    Value::Dbl(sums[g] / counts[g] as f64)
+                } else {
+                    Value::Null
+                })?;
+            }
+            Ok(out)
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let mut best: Vec<Value> = vec![Value::Null; ng];
+            for (i, &g) in groups.ids.iter().enumerate() {
+                let v = vals.get(i);
+                if v.is_null() {
+                    continue;
+                }
+                let slot = &mut best[g as usize];
+                let replace = match slot.sql_cmp(&v) {
+                    None => true, // slot is NULL
+                    Some(ord) => {
+                        if func == AggFunc::Min {
+                            ord == std::cmp::Ordering::Greater
+                        } else {
+                            ord == std::cmp::Ordering::Less
+                        }
+                    }
+                };
+                if replace {
+                    *slot = v;
+                }
+            }
+            let mut out = Bat::with_capacity(vals.tail_type(), ng);
+            for v in &best {
+                out.push(v)?;
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Ungrouped (scalar) aggregate over a whole BAT.
+pub fn scalar(func: AggFunc, vals: &Bat) -> Result<Value> {
+    let g = Groups {
+        ids: vec![0; vals.len()],
+        ngroups: 1,
+        extents: vec![0],
+    };
+    let b = grouped(func, vals, &g)?;
+    Ok(b.get(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::group_by;
+
+    fn setup() -> (Bat, Groups) {
+        // groups by key: [a a b b b] with values [1 nil 2 4 nil]
+        let keys = Bat::from_strs(vec![Some("a"), Some("a"), Some("b"), Some("b"), Some("b")]);
+        let vals = Bat::from_opt_ints(vec![Some(1), None, Some(2), Some(4), None]);
+        let g = group_by(&keys, None, None).unwrap();
+        (vals, g)
+    }
+
+    #[test]
+    fn count_skips_nils() {
+        let (vals, g) = setup();
+        let c = grouped(AggFunc::Count, &vals, &g).unwrap();
+        assert_eq!(c.as_lngs().unwrap(), &[1, 2]);
+    }
+
+    #[test]
+    fn sum_widens_to_lng() {
+        let (vals, g) = setup();
+        let s = grouped(AggFunc::Sum, &vals, &g).unwrap();
+        assert_eq!(s.tail_type(), ScalarType::Lng);
+        assert_eq!(s.as_lngs().unwrap(), &[1, 6]);
+    }
+
+    #[test]
+    fn avg_is_dbl_and_ignores_nils() {
+        let (vals, g) = setup();
+        let a = grouped(AggFunc::Avg, &vals, &g).unwrap();
+        assert_eq!(a.to_values(), vec![Value::Dbl(1.0), Value::Dbl(3.0)]);
+    }
+
+    #[test]
+    fn min_max_preserve_type() {
+        let (vals, g) = setup();
+        let mn = grouped(AggFunc::Min, &vals, &g).unwrap();
+        let mx = grouped(AggFunc::Max, &vals, &g).unwrap();
+        assert_eq!(mn.to_values(), vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(mx.to_values(), vec![Value::Int(1), Value::Int(4)]);
+    }
+
+    #[test]
+    fn all_nil_group_is_null_but_count_zero() {
+        let keys = Bat::from_ints(vec![1, 2]);
+        let vals = Bat::from_opt_ints(vec![Some(5), None]);
+        let g = group_by(&keys, None, None).unwrap();
+        assert_eq!(
+            grouped(AggFunc::Sum, &vals, &g).unwrap().to_values(),
+            vec![Value::Lng(5), Value::Null]
+        );
+        assert_eq!(
+            grouped(AggFunc::Count, &vals, &g).unwrap().to_values(),
+            vec![Value::Lng(1), Value::Lng(0)]
+        );
+        assert_eq!(
+            grouped(AggFunc::Avg, &vals, &g).unwrap().to_values(),
+            vec![Value::Dbl(5.0), Value::Null]
+        );
+    }
+
+    #[test]
+    fn scalar_aggregates() {
+        let vals = Bat::from_opt_ints(vec![Some(3), None, Some(7)]);
+        assert_eq!(scalar(AggFunc::Sum, &vals).unwrap(), Value::Lng(10));
+        assert_eq!(scalar(AggFunc::Count, &vals).unwrap(), Value::Lng(2));
+        assert_eq!(scalar(AggFunc::Avg, &vals).unwrap(), Value::Dbl(5.0));
+        assert_eq!(scalar(AggFunc::Min, &vals).unwrap(), Value::Int(3));
+        let empty = Bat::from_ints(vec![]);
+        assert_eq!(scalar(AggFunc::Max, &empty).unwrap(), Value::Null);
+        assert_eq!(scalar(AggFunc::Count, &empty).unwrap(), Value::Lng(0));
+    }
+
+    #[test]
+    fn dbl_sum() {
+        let vals = Bat::from_dbls(vec![1.5, 2.5]);
+        assert_eq!(scalar(AggFunc::Sum, &vals).unwrap(), Value::Dbl(4.0));
+    }
+
+    #[test]
+    fn misaligned_inputs_error() {
+        let (_, g) = setup();
+        let short = Bat::from_ints(vec![1]);
+        assert!(grouped(AggFunc::Sum, &short, &g).is_err());
+    }
+
+    #[test]
+    fn string_min_max() {
+        let keys = Bat::from_ints(vec![1, 1]);
+        let vals = Bat::from_strs(vec![Some("b"), Some("a")]);
+        let g = group_by(&keys, None, None).unwrap();
+        assert_eq!(
+            grouped(AggFunc::Min, &vals, &g).unwrap().get(0),
+            Value::Str("a".into())
+        );
+        assert!(grouped(AggFunc::Sum, &vals, &g).is_err());
+    }
+
+    #[test]
+    fn names_parse() {
+        assert_eq!(AggFunc::from_name("avg"), Some(AggFunc::Avg));
+        assert_eq!(AggFunc::from_name("COUNT"), Some(AggFunc::Count));
+        assert_eq!(AggFunc::from_name("median"), None);
+    }
+}

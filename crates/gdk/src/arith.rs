@@ -1,0 +1,694 @@
+//! Element-wise arithmetic, comparison and boolean logic (`batcalc`).
+//!
+//! All operators propagate nil: any nil operand yields a nil result
+//! (three-valued logic for the boolean operators). Numeric promotion
+//! follows [`crate::types::ScalarType::promote`]; integer overflow and
+//! division by zero raise [`crate::GdkError::Arithmetic`], as MonetDB does.
+
+use crate::bat::{Bat, ColumnData};
+use crate::types::{dbl_nil, is_dbl_nil, ScalarType, BIT_NIL, INT_NIL, LNG_NIL};
+use crate::value::Value;
+use crate::{GdkError, Result};
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (integer division for integral operands).
+    Div,
+    /// Modulo (integral operands only).
+    Mod,
+}
+
+impl BinOp {
+    /// SQL spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+        }
+    }
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// SQL spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+    /// Swap sides: `a op b` == `b op.flip() a`.
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+}
+
+/// One operand of an element-wise operation: a column or a scalar
+/// broadcast over the column length.
+#[derive(Debug, Clone, Copy)]
+pub enum Operand<'a> {
+    /// Column operand.
+    Col(&'a Bat),
+    /// Scalar operand, broadcast.
+    Scalar(&'a Value),
+}
+
+impl<'a> Operand<'a> {
+    fn len(&self) -> Option<usize> {
+        match self {
+            Operand::Col(b) => Some(b.len()),
+            Operand::Scalar(_) => None,
+        }
+    }
+    fn value_at(&self, i: usize) -> Value {
+        match self {
+            Operand::Col(b) => b.get(i),
+            Operand::Scalar(v) => (*v).clone(),
+        }
+    }
+    fn scalar_type(&self) -> Option<ScalarType> {
+        match self {
+            Operand::Col(b) => Some(b.tail_type()),
+            Operand::Scalar(v) => v.scalar_type(),
+        }
+    }
+}
+
+fn common_len(a: &Operand<'_>, b: &Operand<'_>) -> Result<usize> {
+    match (a.len(), b.len()) {
+        (Some(x), Some(y)) => {
+            if x != y {
+                Err(GdkError::invalid(format!(
+                    "element-wise op on misaligned columns ({x} vs {y})"
+                )))
+            } else {
+                Ok(x)
+            }
+        }
+        (Some(x), None) | (None, Some(x)) => Ok(x),
+        (None, None) => Err(GdkError::invalid(
+            "element-wise op needs at least one column operand",
+        )),
+    }
+}
+
+/// Scalar-level arithmetic with SQL nil semantics (used by the fallback
+/// path and by the expression interpreter for constants).
+pub fn scalar_binop(op: BinOp, a: &Value, b: &Value) -> Result<Value> {
+    if a.is_null() || b.is_null() {
+        return Ok(Value::Null);
+    }
+    let ta = a
+        .scalar_type()
+        .ok_or_else(|| GdkError::type_mismatch("untyped operand"))?;
+    let tb = b
+        .scalar_type()
+        .ok_or_else(|| GdkError::type_mismatch("untyped operand"))?;
+    let rt = ta.promote(tb).ok_or_else(|| {
+        GdkError::type_mismatch(format!("cannot apply {} to {ta} and {tb}", op.symbol()))
+    })?;
+    match rt {
+        ScalarType::Dbl => {
+            let (x, y) = (a.as_f64().unwrap(), b.as_f64().unwrap());
+            let r = match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => {
+                    if y == 0.0 {
+                        return Err(GdkError::arithmetic("division by zero"));
+                    }
+                    x / y
+                }
+                BinOp::Mod => {
+                    if y == 0.0 {
+                        return Err(GdkError::arithmetic("modulo by zero"));
+                    }
+                    x % y
+                }
+            };
+            Ok(Value::Dbl(r))
+        }
+        _ => {
+            let (x, y) = (a.as_i64().unwrap(), b.as_i64().unwrap());
+            let r = match op {
+                BinOp::Add => x.checked_add(y),
+                BinOp::Sub => x.checked_sub(y),
+                BinOp::Mul => x.checked_mul(y),
+                BinOp::Div => {
+                    if y == 0 {
+                        return Err(GdkError::arithmetic("division by zero"));
+                    }
+                    x.checked_div(y)
+                }
+                BinOp::Mod => {
+                    if y == 0 {
+                        return Err(GdkError::arithmetic("modulo by zero"));
+                    }
+                    x.checked_rem(y)
+                }
+            }
+            .ok_or_else(|| GdkError::arithmetic("integer overflow"))?;
+            if rt == ScalarType::Int {
+                i32::try_from(r)
+                    .map(Value::Int)
+                    .map_err(|_| GdkError::arithmetic("int overflow"))
+            } else {
+                Ok(Value::Lng(r))
+            }
+        }
+    }
+}
+
+/// Element-wise binary arithmetic with broadcasting.
+pub fn binop(op: BinOp, a: Operand<'_>, b: Operand<'_>) -> Result<Bat> {
+    let len = common_len(&a, &b)?;
+    let ta = a.scalar_type();
+    let tb = b.scalar_type();
+    let rt = match (ta, tb) {
+        (Some(x), Some(y)) => x.promote(y).ok_or_else(|| {
+            GdkError::type_mismatch(format!("cannot apply {} to {x} and {y}", op.symbol()))
+        })?,
+        // NULL scalar operand: result is all-nil of the other side's type.
+        (Some(x), None) | (None, Some(x)) => {
+            let rt = x.promote(x).unwrap_or(x);
+            let mut out = Bat::with_capacity(rt, len);
+            for _ in 0..len {
+                out.push(&Value::Null)?;
+            }
+            return Ok(out);
+        }
+        (None, None) => return Err(GdkError::type_mismatch("untyped operands")),
+    };
+
+    // Int ⊕ Int fast path (dimension arithmetic is the hot loop of tiling).
+    if let (Operand::Col(ab), true) = (&a, rt == ScalarType::Int) {
+        if let (ColumnData::Int(av), Operand::Scalar(Value::Int(sv))) = (ab.data(), &b) {
+            return int_scalar_fast(op, av, *sv, false);
+        }
+        if let (ColumnData::Int(av), Operand::Col(bb)) = (ab.data(), &b) {
+            if let ColumnData::Int(bv) = bb.data() {
+                return int_int_fast(op, av, bv);
+            }
+        }
+    }
+    if let (Operand::Scalar(s), Operand::Col(bb), true) = (&a, &b, rt == ScalarType::Int) {
+        if let (Value::Int(sv), ColumnData::Int(bv)) = (s, bb.data()) {
+            return int_scalar_fast(op, bv, *sv, true);
+        }
+    }
+
+    // Generic path.
+    let mut out = Bat::with_capacity(rt, len);
+    for i in 0..len {
+        let (x, y) = (a.value_at(i), b.value_at(i));
+        let r = if x.is_null() || y.is_null() {
+            Value::Null
+        } else {
+            scalar_binop(op, &x, &y)?
+        };
+        out.push(&r)?;
+    }
+    Ok(out)
+}
+
+fn int_int_fast(op: BinOp, a: &[i32], b: &[i32]) -> Result<Bat> {
+    let mut out = Vec::with_capacity(a.len());
+    for i in 0..a.len() {
+        let (x, y) = (a[i], b[i]);
+        if x == INT_NIL || y == INT_NIL {
+            out.push(INT_NIL);
+            continue;
+        }
+        out.push(int_op(op, x, y)?);
+    }
+    Ok(Bat::from_ints(out))
+}
+
+fn int_scalar_fast(op: BinOp, col: &[i32], s: i32, scalar_left: bool) -> Result<Bat> {
+    if s == INT_NIL {
+        return Ok(Bat::from_ints(vec![INT_NIL; col.len()]));
+    }
+    let mut out = Vec::with_capacity(col.len());
+    for &x in col {
+        if x == INT_NIL {
+            out.push(INT_NIL);
+            continue;
+        }
+        let r = if scalar_left {
+            int_op(op, s, x)?
+        } else {
+            int_op(op, x, s)?
+        };
+        out.push(r);
+    }
+    Ok(Bat::from_ints(out))
+}
+
+#[inline]
+fn int_op(op: BinOp, x: i32, y: i32) -> Result<i32> {
+    let r = match op {
+        BinOp::Add => x.checked_add(y),
+        BinOp::Sub => x.checked_sub(y),
+        BinOp::Mul => x.checked_mul(y),
+        BinOp::Div => {
+            if y == 0 {
+                return Err(GdkError::arithmetic("division by zero"));
+            }
+            x.checked_div(y)
+        }
+        BinOp::Mod => {
+            if y == 0 {
+                return Err(GdkError::arithmetic("modulo by zero"));
+            }
+            x.checked_rem(y)
+        }
+    }
+    .ok_or_else(|| GdkError::arithmetic("int overflow"))?;
+    if r == INT_NIL {
+        return Err(GdkError::arithmetic("int overflow"));
+    }
+    Ok(r)
+}
+
+/// Element-wise comparison, producing a `bit` BAT (nil where either side is
+/// nil — three-valued logic).
+pub fn cmpop(op: CmpOp, a: Operand<'_>, b: Operand<'_>) -> Result<Bat> {
+    let len = common_len(&a, &b)?;
+    // Int×Int scalar fast path.
+    if let (Operand::Col(ab), Operand::Scalar(Value::Int(s))) = (&a, &b) {
+        if let ColumnData::Int(av) = ab.data() {
+            let s = *s;
+            let mut out = Vec::with_capacity(len);
+            for &x in av {
+                if x == INT_NIL || s == INT_NIL {
+                    out.push(BIT_NIL);
+                } else {
+                    out.push(cmp_holds(op, x.cmp(&s)) as i8);
+                }
+            }
+            return Ok(Bat::from_data(ColumnData::Bit(out)));
+        }
+    }
+    let mut out = Vec::with_capacity(len);
+    for i in 0..len {
+        let (x, y) = (a.value_at(i), b.value_at(i));
+        match x.sql_cmp(&y) {
+            None => out.push(BIT_NIL),
+            Some(ord) => out.push(cmp_holds(op, ord) as i8),
+        }
+    }
+    Ok(Bat::from_data(ColumnData::Bit(out)))
+}
+
+#[inline]
+fn cmp_holds(op: CmpOp, ord: std::cmp::Ordering) -> bool {
+    use std::cmp::Ordering::*;
+    match op {
+        CmpOp::Eq => ord == Equal,
+        CmpOp::Ne => ord != Equal,
+        CmpOp::Lt => ord == Less,
+        CmpOp::Le => ord != Greater,
+        CmpOp::Gt => ord == Greater,
+        CmpOp::Ge => ord != Less,
+    }
+}
+
+/// Three-valued AND of two bit BATs.
+pub fn and(a: &Bat, b: &Bat) -> Result<Bat> {
+    bool_op(a, b, |x, y| match (x, y) {
+        (Some(false), _) | (_, Some(false)) => Some(false),
+        (Some(true), Some(true)) => Some(true),
+        _ => None,
+    })
+}
+
+/// Three-valued OR of two bit BATs.
+pub fn or(a: &Bat, b: &Bat) -> Result<Bat> {
+    bool_op(a, b, |x, y| match (x, y) {
+        (Some(true), _) | (_, Some(true)) => Some(true),
+        (Some(false), Some(false)) => Some(false),
+        _ => None,
+    })
+}
+
+fn bool_op(
+    a: &Bat,
+    b: &Bat,
+    f: impl Fn(Option<bool>, Option<bool>) -> Option<bool>,
+) -> Result<Bat> {
+    let (av, bv) = match (a.as_bits(), b.as_bits()) {
+        (Some(x), Some(y)) => (x, y),
+        _ => return Err(GdkError::type_mismatch("boolean op expects bit BATs")),
+    };
+    if av.len() != bv.len() {
+        return Err(GdkError::invalid("boolean op on misaligned columns"));
+    }
+    let to_opt = |x: i8| {
+        if x == BIT_NIL {
+            None
+        } else {
+            Some(x != 0)
+        }
+    };
+    let out: Vec<i8> = av
+        .iter()
+        .zip(bv)
+        .map(|(&x, &y)| match f(to_opt(x), to_opt(y)) {
+            None => BIT_NIL,
+            Some(b) => b as i8,
+        })
+        .collect();
+    Ok(Bat::from_data(ColumnData::Bit(out)))
+}
+
+/// Three-valued NOT.
+pub fn not(a: &Bat) -> Result<Bat> {
+    let av = a
+        .as_bits()
+        .ok_or_else(|| GdkError::type_mismatch("NOT expects a bit BAT"))?;
+    Ok(Bat::from_data(ColumnData::Bit(
+        av.iter()
+            .map(|&x| if x == BIT_NIL { BIT_NIL } else { 1 - x })
+            .collect(),
+    )))
+}
+
+/// `IS NULL` as a bit BAT (never nil itself).
+pub fn isnull(a: &Bat) -> Bat {
+    Bat::from_data(ColumnData::Bit(
+        (0..a.len()).map(|i| a.is_nil_at(i) as i8).collect(),
+    ))
+}
+
+/// Unary numeric negation.
+pub fn neg(a: &Bat) -> Result<Bat> {
+    match a.data() {
+        ColumnData::Int(v) => {
+            let mut out = Vec::with_capacity(v.len());
+            for &x in v {
+                if x == INT_NIL {
+                    out.push(INT_NIL);
+                } else {
+                    out.push(
+                        x.checked_neg()
+                            .filter(|&r| r != INT_NIL)
+                            .ok_or_else(|| GdkError::arithmetic("int overflow"))?,
+                    );
+                }
+            }
+            Ok(Bat::from_ints(out))
+        }
+        ColumnData::Lng(v) => {
+            let mut out = Vec::with_capacity(v.len());
+            for &x in v {
+                if x == LNG_NIL {
+                    out.push(LNG_NIL);
+                } else {
+                    out.push(
+                        x.checked_neg()
+                            .filter(|&r| r != LNG_NIL)
+                            .ok_or_else(|| GdkError::arithmetic("lng overflow"))?,
+                    );
+                }
+            }
+            Ok(Bat::from_lngs(out))
+        }
+        ColumnData::Dbl(v) => Ok(Bat::from_dbls(v.iter().map(|&x| -x).collect())),
+        _ => Err(GdkError::type_mismatch("negation on non-numeric column")),
+    }
+}
+
+/// Absolute value.
+pub fn abs(a: &Bat) -> Result<Bat> {
+    match a.data() {
+        ColumnData::Int(v) => {
+            let mut out = Vec::with_capacity(v.len());
+            for &x in v {
+                if x == INT_NIL {
+                    out.push(INT_NIL);
+                } else {
+                    out.push(
+                        x.checked_abs()
+                            .ok_or_else(|| GdkError::arithmetic("int overflow"))?,
+                    );
+                }
+            }
+            Ok(Bat::from_ints(out))
+        }
+        ColumnData::Lng(v) => {
+            let mut out = Vec::with_capacity(v.len());
+            for &x in v {
+                if x == LNG_NIL {
+                    out.push(LNG_NIL);
+                } else {
+                    out.push(
+                        x.checked_abs()
+                            .ok_or_else(|| GdkError::arithmetic("lng overflow"))?,
+                    );
+                }
+            }
+            Ok(Bat::from_lngs(out))
+        }
+        ColumnData::Dbl(v) => Ok(Bat::from_dbls(v.iter().map(|&x| x.abs()).collect())),
+        _ => Err(GdkError::type_mismatch("abs on non-numeric column")),
+    }
+}
+
+/// Cast a whole column to another type.
+pub fn cast_bat(a: &Bat, to: ScalarType) -> Result<Bat> {
+    if a.tail_type() == to && !a.is_dense() {
+        return Ok(a.clone());
+    }
+    // Int→Dbl fast path.
+    if let (ColumnData::Int(v), ScalarType::Dbl) = (a.data(), to) {
+        return Ok(Bat::from_dbls(
+            v.iter()
+                .map(|&x| if x == INT_NIL { dbl_nil() } else { x as f64 })
+                .collect(),
+        ));
+    }
+    // Dbl→Int fast path (rounding).
+    if let (ColumnData::Dbl(v), ScalarType::Int) = (a.data(), to) {
+        let mut out = Vec::with_capacity(v.len());
+        for &x in v {
+            if is_dbl_nil(x) {
+                out.push(INT_NIL);
+            } else {
+                let r = x.round();
+                if r < i32::MIN as f64 + 1.0 || r > i32::MAX as f64 {
+                    return Err(GdkError::arithmetic("cast out of int range"));
+                }
+                out.push(r as i32);
+            }
+        }
+        return Ok(Bat::from_ints(out));
+    }
+    let mut out = Bat::with_capacity(to, a.len());
+    for i in 0..a.len() {
+        let v = a.get(i);
+        let c = v.cast(to).ok_or_else(|| {
+            GdkError::type_mismatch(format!("cannot cast {v} to {to}"))
+        })?;
+        out.push(&c)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_col_scalar_ops() {
+        let a = Bat::from_ints(vec![1, 2, 3]);
+        let r = binop(BinOp::Add, Operand::Col(&a), Operand::Scalar(&Value::Int(10))).unwrap();
+        assert_eq!(r.as_ints().unwrap(), &[11, 12, 13]);
+        let r = binop(BinOp::Sub, Operand::Scalar(&Value::Int(10)), Operand::Col(&a)).unwrap();
+        assert_eq!(r.as_ints().unwrap(), &[9, 8, 7]);
+        let r = binop(BinOp::Mod, Operand::Col(&a), Operand::Scalar(&Value::Int(2))).unwrap();
+        assert_eq!(r.as_ints().unwrap(), &[1, 0, 1]);
+    }
+
+    #[test]
+    fn col_col_with_nils() {
+        let a = Bat::from_opt_ints(vec![Some(4), None, Some(6)]);
+        let b = Bat::from_ints(vec![2, 2, 2]);
+        let r = binop(BinOp::Div, Operand::Col(&a), Operand::Col(&b)).unwrap();
+        assert_eq!(r.to_values(), vec![Value::Int(2), Value::Null, Value::Int(3)]);
+    }
+
+    #[test]
+    fn promotion_to_dbl() {
+        let a = Bat::from_ints(vec![1, 3]);
+        let r = binop(BinOp::Div, Operand::Col(&a), Operand::Scalar(&Value::Dbl(2.0))).unwrap();
+        assert_eq!(r.as_dbls().unwrap(), &[0.5, 1.5]);
+    }
+
+    #[test]
+    fn int_division_truncates() {
+        let a = Bat::from_ints(vec![7]);
+        let r = binop(BinOp::Div, Operand::Col(&a), Operand::Scalar(&Value::Int(2))).unwrap();
+        assert_eq!(r.as_ints().unwrap(), &[3]);
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let a = Bat::from_ints(vec![1]);
+        assert!(binop(BinOp::Div, Operand::Col(&a), Operand::Scalar(&Value::Int(0))).is_err());
+        assert!(scalar_binop(BinOp::Mod, &Value::Dbl(1.0), &Value::Dbl(0.0)).is_err());
+    }
+
+    #[test]
+    fn overflow_detected() {
+        let a = Bat::from_ints(vec![i32::MAX]);
+        assert!(binop(BinOp::Add, Operand::Col(&a), Operand::Scalar(&Value::Int(1))).is_err());
+    }
+
+    #[test]
+    fn null_scalar_operand_gives_all_nil() {
+        let a = Bat::from_ints(vec![1, 2]);
+        let r = binop(BinOp::Add, Operand::Col(&a), Operand::Scalar(&Value::Null)).unwrap();
+        assert!(r.iter_values().all(|v| v.is_null()));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn comparisons_three_valued() {
+        let a = Bat::from_opt_ints(vec![Some(1), None, Some(3)]);
+        let r = cmpop(CmpOp::Lt, Operand::Col(&a), Operand::Scalar(&Value::Int(2))).unwrap();
+        assert_eq!(
+            r.to_values(),
+            vec![Value::Bit(true), Value::Null, Value::Bit(false)]
+        );
+    }
+
+    #[test]
+    fn cmp_flip() {
+        assert_eq!(CmpOp::Lt.flip(), CmpOp::Gt);
+        assert_eq!(CmpOp::Eq.flip(), CmpOp::Eq);
+        assert_eq!(CmpOp::Le.flip(), CmpOp::Ge);
+    }
+
+    #[test]
+    fn boolean_logic_tables() {
+        let t = Bat::from_bits(vec![Some(true), Some(true), Some(false), None]);
+        let u = Bat::from_bits(vec![Some(true), Some(false), Some(false), Some(false)]);
+        assert_eq!(
+            and(&t, &u).unwrap().to_values(),
+            vec![
+                Value::Bit(true),
+                Value::Bit(false),
+                Value::Bit(false),
+                Value::Bit(false) // nil AND false = false
+            ]
+        );
+        assert_eq!(
+            or(&t, &u).unwrap().to_values(),
+            vec![
+                Value::Bit(true),
+                Value::Bit(true),
+                Value::Bit(false),
+                Value::Null // nil OR false = nil
+            ]
+        );
+        assert_eq!(
+            not(&t).unwrap().to_values(),
+            vec![
+                Value::Bit(false),
+                Value::Bit(false),
+                Value::Bit(true),
+                Value::Null
+            ]
+        );
+    }
+
+    #[test]
+    fn isnull_mask() {
+        let a = Bat::from_opt_ints(vec![Some(1), None]);
+        assert_eq!(
+            isnull(&a).to_values(),
+            vec![Value::Bit(false), Value::Bit(true)]
+        );
+    }
+
+    #[test]
+    fn neg_abs() {
+        let a = Bat::from_opt_ints(vec![Some(-3), Some(4), None]);
+        assert_eq!(
+            neg(&a).unwrap().to_values(),
+            vec![Value::Int(3), Value::Int(-4), Value::Null]
+        );
+        assert_eq!(
+            abs(&a).unwrap().to_values(),
+            vec![Value::Int(3), Value::Int(4), Value::Null]
+        );
+        let d = Bat::from_dbls(vec![-1.5]);
+        assert_eq!(neg(&d).unwrap().as_dbls().unwrap(), &[1.5]);
+    }
+
+    #[test]
+    fn casts() {
+        let a = Bat::from_opt_ints(vec![Some(2), None]);
+        let d = cast_bat(&a, ScalarType::Dbl).unwrap();
+        assert_eq!(d.get(0), Value::Dbl(2.0));
+        assert_eq!(d.get(1), Value::Null);
+        let back = cast_bat(&d, ScalarType::Int).unwrap();
+        assert_eq!(back.to_values(), a.to_values());
+        let s = cast_bat(&a, ScalarType::Str).unwrap();
+        assert_eq!(s.get(0), Value::Str("2".into()));
+    }
+
+    #[test]
+    fn misaligned_columns_error() {
+        let a = Bat::from_ints(vec![1]);
+        let b = Bat::from_ints(vec![1, 2]);
+        assert!(binop(BinOp::Add, Operand::Col(&a), Operand::Col(&b)).is_err());
+        assert!(and(&Bat::from_bits(vec![Some(true)]), &Bat::from_bits(vec![])).is_err());
+    }
+
+    #[test]
+    fn dense_operand() {
+        let v = Bat::dense(0, 4); // oids 0..4 promote to lng
+        let r = binop(BinOp::Mul, Operand::Col(&v), Operand::Scalar(&Value::Int(3))).unwrap();
+        assert_eq!(r.tail_type(), ScalarType::Lng);
+        assert_eq!(r.as_lngs().unwrap(), &[0, 3, 6, 9]);
+    }
+}

@@ -1,0 +1,573 @@
+//! The Binary Association Table (BAT).
+//!
+//! Following MonetDB's design [Boncz 2002], a BAT is logically a two-column
+//! table `(head oid, tail value)`; physically the head is almost always a
+//! *void* (virtual oid) column — a dense sequence starting at `hseq` — so a
+//! BAT degenerates to a single typed, contiguous vector. This is exactly the
+//! property the SciQL paper exploits: "BATs ... are physically represented as
+//! consecutive C arrays, \[which\] suggested MonetDB as a good basis to
+//! implement SciQL".
+
+use crate::strheap::{StrHeap, STR_NIL_IDX};
+use crate::types::{dbl_nil, is_dbl_nil, Oid, ScalarType, BIT_NIL, INT_NIL, LNG_NIL, OID_NIL};
+use crate::value::Value;
+use crate::{GdkError, Result};
+
+/// Physical tail storage of a BAT.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// Virtual dense oid sequence `seq, seq+1, …, seq+len-1` — never
+    /// materialised. Used for BAT heads and for array dimensions that happen
+    /// to be dense.
+    Void {
+        /// First oid of the sequence.
+        seq: Oid,
+        /// Sequence length.
+        len: usize,
+    },
+    /// Booleans, stored GDK-style as `i8` with [`BIT_NIL`] for NULL.
+    Bit(Vec<i8>),
+    /// 32-bit integers with [`INT_NIL`] for NULL.
+    Int(Vec<i32>),
+    /// 64-bit integers with [`LNG_NIL`] for NULL.
+    Lng(Vec<i64>),
+    /// Doubles with NaN for NULL.
+    Dbl(Vec<f64>),
+    /// Materialised oids with [`OID_NIL`] for NULL.
+    Oid(Vec<Oid>),
+    /// Dictionary-encoded strings.
+    Str {
+        /// Heap indices, [`STR_NIL_IDX`] for NULL.
+        idx: Vec<u32>,
+        /// The dictionary.
+        heap: StrHeap,
+    },
+}
+
+/// A BAT: dense (virtual) head starting at `hseq` plus a typed tail column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bat {
+    /// First head oid. Tail position `i` is addressed by oid `hseq + i`.
+    pub hseq: Oid,
+    data: ColumnData,
+}
+
+impl Bat {
+    /// Empty BAT of tail type `ty` with head sequence base 0.
+    pub fn new(ty: ScalarType) -> Self {
+        Self::with_capacity(ty, 0)
+    }
+
+    /// Empty BAT with reserved capacity.
+    pub fn with_capacity(ty: ScalarType, cap: usize) -> Self {
+        let data = match ty {
+            ScalarType::Bit => ColumnData::Bit(Vec::with_capacity(cap)),
+            ScalarType::Int => ColumnData::Int(Vec::with_capacity(cap)),
+            ScalarType::Lng => ColumnData::Lng(Vec::with_capacity(cap)),
+            ScalarType::Dbl => ColumnData::Dbl(Vec::with_capacity(cap)),
+            ScalarType::OidT => ColumnData::Oid(Vec::with_capacity(cap)),
+            ScalarType::Str => ColumnData::Str {
+                idx: Vec::with_capacity(cap),
+                heap: StrHeap::new(),
+            },
+        };
+        Bat { hseq: 0, data }
+    }
+
+    /// A void BAT: the dense sequence `seq .. seq+len`.
+    pub fn dense(seq: Oid, len: usize) -> Self {
+        Bat {
+            hseq: 0,
+            data: ColumnData::Void { seq, len },
+        }
+    }
+
+    /// Wrap existing column data.
+    pub fn from_data(data: ColumnData) -> Self {
+        Bat { hseq: 0, data }
+    }
+
+    /// Build an `int` BAT from plain values.
+    pub fn from_ints(v: Vec<i32>) -> Self {
+        Bat::from_data(ColumnData::Int(v))
+    }
+
+    /// Build an `int` BAT from optional values (`None` → nil).
+    pub fn from_opt_ints(v: Vec<Option<i32>>) -> Self {
+        Bat::from_data(ColumnData::Int(
+            v.into_iter().map(|x| x.unwrap_or(INT_NIL)).collect(),
+        ))
+    }
+
+    /// Build a `lng` BAT.
+    pub fn from_lngs(v: Vec<i64>) -> Self {
+        Bat::from_data(ColumnData::Lng(v))
+    }
+
+    /// Build a `dbl` BAT.
+    pub fn from_dbls(v: Vec<f64>) -> Self {
+        Bat::from_data(ColumnData::Dbl(v))
+    }
+
+    /// Build a `dbl` BAT from optional values.
+    pub fn from_opt_dbls(v: Vec<Option<f64>>) -> Self {
+        Bat::from_data(ColumnData::Dbl(
+            v.into_iter().map(|x| x.unwrap_or(dbl_nil())).collect(),
+        ))
+    }
+
+    /// Build an `oid` BAT.
+    pub fn from_oids(v: Vec<Oid>) -> Self {
+        Bat::from_data(ColumnData::Oid(v))
+    }
+
+    /// Build a `bit` BAT from optional booleans.
+    pub fn from_bits(v: Vec<Option<bool>>) -> Self {
+        Bat::from_data(ColumnData::Bit(
+            v.into_iter()
+                .map(|x| x.map(|b| b as i8).unwrap_or(BIT_NIL))
+                .collect(),
+        ))
+    }
+
+    /// Build a `str` BAT from optional strings.
+    pub fn from_strs<S: AsRef<str>>(v: Vec<Option<S>>) -> Self {
+        let mut heap = StrHeap::new();
+        let idx = v
+            .into_iter()
+            .map(|s| s.map(|s| heap.intern(s.as_ref())).unwrap_or(STR_NIL_IDX))
+            .collect();
+        Bat::from_data(ColumnData::Str { idx, heap })
+    }
+
+    /// Build a BAT of type `ty` from boxed values; NULLs become nils.
+    pub fn from_values(ty: ScalarType, vals: &[Value]) -> Result<Self> {
+        let mut b = Bat::with_capacity(ty, vals.len());
+        for v in vals {
+            b.push(v)?;
+        }
+        Ok(b)
+    }
+
+    /// `array.series(start, step, stop, n, m)` — materialise a dimension BAT.
+    ///
+    /// Generates the values `start, start+step, …` in `[start, stop)`; each
+    /// value is repeated `n` times consecutively, and the whole sequence is
+    /// repeated `m` times (Fig 3 of the paper: a 4×4 array's `x` dimension is
+    /// `series(0,1,4,4,1)`, its `y` dimension `series(0,1,4,1,4)`).
+    pub fn series(start: i64, step: i64, stop: i64, n: usize, m: usize) -> Result<Self> {
+        if step == 0 {
+            return Err(GdkError::invalid("series step must be non-zero"));
+        }
+        let count = crate::bat::series_len(start, step, stop);
+        let total = count
+            .checked_mul(n)
+            .and_then(|v| v.checked_mul(m))
+            .ok_or_else(|| GdkError::invalid("series size overflow"))?;
+        let mut out: Vec<i64> = Vec::with_capacity(total);
+        for _ in 0..m {
+            let mut v = start;
+            for _ in 0..count {
+                for _ in 0..n {
+                    out.push(v);
+                }
+                v += step;
+            }
+        }
+        // Dimension values that fit in `int` are stored as int, matching the
+        // paper's `array.series(...) :bat[:oid,:int]` signature.
+        if out.iter().all(|&v| v > i32::MIN as i64 && v <= i32::MAX as i64) {
+            Ok(Bat::from_ints(out.into_iter().map(|v| v as i32).collect()))
+        } else {
+            Ok(Bat::from_lngs(out))
+        }
+    }
+
+    /// `array.filler(cnt, v)` — materialise an attribute BAT holding `cnt`
+    /// copies of the default value `v`.
+    pub fn filler(cnt: usize, v: &Value) -> Result<Self> {
+        let ty = v.scalar_type().unwrap_or(ScalarType::Int);
+        let mut b = Bat::with_capacity(ty, cnt);
+        for _ in 0..cnt {
+            b.push(v)?;
+        }
+        Ok(b)
+    }
+
+    /// Tail type.
+    pub fn tail_type(&self) -> ScalarType {
+        match &self.data {
+            ColumnData::Void { .. } => ScalarType::OidT,
+            ColumnData::Bit(_) => ScalarType::Bit,
+            ColumnData::Int(_) => ScalarType::Int,
+            ColumnData::Lng(_) => ScalarType::Lng,
+            ColumnData::Dbl(_) => ScalarType::Dbl,
+            ColumnData::Oid(_) => ScalarType::OidT,
+            ColumnData::Str { .. } => ScalarType::Str,
+        }
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        match &self.data {
+            ColumnData::Void { len, .. } => *len,
+            ColumnData::Bit(v) => v.len(),
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Lng(v) => v.len(),
+            ColumnData::Dbl(v) => v.len(),
+            ColumnData::Oid(v) => v.len(),
+            ColumnData::Str { idx, .. } => idx.len(),
+        }
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrow the raw column data.
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// Mutably borrow the raw column data.
+    pub fn data_mut(&mut self) -> &mut ColumnData {
+        &mut self.data
+    }
+
+    /// Is this a virtual (void) column?
+    pub fn is_dense(&self) -> bool {
+        matches!(self.data, ColumnData::Void { .. })
+    }
+
+    /// Value at position `i` (not oid — subtract `hseq` first if needed).
+    pub fn get(&self, i: usize) -> Value {
+        debug_assert!(i < self.len(), "position {i} out of range (len {})", self.len());
+        match &self.data {
+            ColumnData::Void { seq, .. } => Value::Oid(seq + i as Oid),
+            ColumnData::Bit(v) => {
+                let x = v[i];
+                if x == BIT_NIL {
+                    Value::Null
+                } else {
+                    Value::Bit(x != 0)
+                }
+            }
+            ColumnData::Int(v) => {
+                let x = v[i];
+                if x == INT_NIL {
+                    Value::Null
+                } else {
+                    Value::Int(x)
+                }
+            }
+            ColumnData::Lng(v) => {
+                let x = v[i];
+                if x == LNG_NIL {
+                    Value::Null
+                } else {
+                    Value::Lng(x)
+                }
+            }
+            ColumnData::Dbl(v) => {
+                let x = v[i];
+                if is_dbl_nil(x) {
+                    Value::Null
+                } else {
+                    Value::Dbl(x)
+                }
+            }
+            ColumnData::Oid(v) => {
+                let x = v[i];
+                if x == OID_NIL {
+                    Value::Null
+                } else {
+                    Value::Oid(x)
+                }
+            }
+            ColumnData::Str { idx, heap } => match heap.get(idx[i]) {
+                None => Value::Null,
+                Some(s) => Value::Str(s.to_owned()),
+            },
+        }
+    }
+
+    /// Is position `i` nil?
+    pub fn is_nil_at(&self, i: usize) -> bool {
+        match &self.data {
+            ColumnData::Void { .. } => false,
+            ColumnData::Bit(v) => v[i] == BIT_NIL,
+            ColumnData::Int(v) => v[i] == INT_NIL,
+            ColumnData::Lng(v) => v[i] == LNG_NIL,
+            ColumnData::Dbl(v) => is_dbl_nil(v[i]),
+            ColumnData::Oid(v) => v[i] == OID_NIL,
+            ColumnData::Str { idx, .. } => idx[i] == STR_NIL_IDX,
+        }
+    }
+
+    /// Count of non-nil tuples.
+    pub fn count_non_nil(&self) -> usize {
+        (0..self.len()).filter(|&i| !self.is_nil_at(i)).count()
+    }
+
+    /// Append a value, casting to the tail type. Appending to a void BAT is
+    /// an error (void columns are virtual).
+    pub fn push(&mut self, v: &Value) -> Result<()> {
+        let ty = self.tail_type();
+        let cast = v
+            .cast(ty)
+            .ok_or_else(|| GdkError::type_mismatch(format!("cannot store {v} into {ty} BAT")))?;
+        match (&mut self.data, cast) {
+            (ColumnData::Void { .. }, _) => {
+                return Err(GdkError::invalid("cannot append to a void BAT"))
+            }
+            (ColumnData::Bit(vec), Value::Null) => vec.push(BIT_NIL),
+            (ColumnData::Bit(vec), Value::Bit(b)) => vec.push(b as i8),
+            (ColumnData::Int(vec), Value::Null) => vec.push(INT_NIL),
+            (ColumnData::Int(vec), Value::Int(x)) => vec.push(x),
+            (ColumnData::Lng(vec), Value::Null) => vec.push(LNG_NIL),
+            (ColumnData::Lng(vec), Value::Lng(x)) => vec.push(x),
+            (ColumnData::Dbl(vec), Value::Null) => vec.push(dbl_nil()),
+            (ColumnData::Dbl(vec), Value::Dbl(x)) => vec.push(x),
+            (ColumnData::Oid(vec), Value::Null) => vec.push(OID_NIL),
+            (ColumnData::Oid(vec), Value::Oid(x)) => vec.push(x),
+            (ColumnData::Str { idx, .. }, Value::Null) => idx.push(STR_NIL_IDX),
+            (ColumnData::Str { idx, heap }, Value::Str(s)) => idx.push(heap.intern(&s)),
+            _ => unreachable!("cast guarantees matching variant"),
+        }
+        Ok(())
+    }
+
+    /// Overwrite position `i` with `v` (BATreplace). The BAT must not be void.
+    pub fn set(&mut self, i: usize, v: &Value) -> Result<()> {
+        if i >= self.len() {
+            return Err(GdkError::invalid(format!(
+                "replace position {i} out of range (len {})",
+                self.len()
+            )));
+        }
+        let ty = self.tail_type();
+        let cast = v
+            .cast(ty)
+            .ok_or_else(|| GdkError::type_mismatch(format!("cannot store {v} into {ty} BAT")))?;
+        match (&mut self.data, cast) {
+            (ColumnData::Void { .. }, _) => {
+                return Err(GdkError::invalid("cannot update a void BAT"))
+            }
+            (ColumnData::Bit(vec), Value::Null) => vec[i] = BIT_NIL,
+            (ColumnData::Bit(vec), Value::Bit(b)) => vec[i] = b as i8,
+            (ColumnData::Int(vec), Value::Null) => vec[i] = INT_NIL,
+            (ColumnData::Int(vec), Value::Int(x)) => vec[i] = x,
+            (ColumnData::Lng(vec), Value::Null) => vec[i] = LNG_NIL,
+            (ColumnData::Lng(vec), Value::Lng(x)) => vec[i] = x,
+            (ColumnData::Dbl(vec), Value::Null) => vec[i] = dbl_nil(),
+            (ColumnData::Dbl(vec), Value::Dbl(x)) => vec[i] = x,
+            (ColumnData::Oid(vec), Value::Null) => vec[i] = OID_NIL,
+            (ColumnData::Oid(vec), Value::Oid(x)) => vec[i] = x,
+            (ColumnData::Str { idx, .. }, Value::Null) => idx[i] = STR_NIL_IDX,
+            (ColumnData::Str { idx, heap }, Value::Str(s)) => idx[i] = heap.intern(&s),
+            _ => unreachable!("cast guarantees matching variant"),
+        }
+        Ok(())
+    }
+
+    /// Scatter-update: for each `(pos, val)` pair set `tail[pos] = val`.
+    pub fn replace_all(&mut self, positions: &[Oid], values: &Bat) -> Result<()> {
+        if positions.len() != values.len() {
+            return Err(GdkError::invalid(format!(
+                "replace: {} positions vs {} values",
+                positions.len(),
+                values.len()
+            )));
+        }
+        for (k, &p) in positions.iter().enumerate() {
+            self.set(p as usize, &values.get(k))?;
+        }
+        Ok(())
+    }
+
+    /// Append all tuples of `other` (types must be compatible).
+    pub fn append_bat(&mut self, other: &Bat) -> Result<()> {
+        for i in 0..other.len() {
+            self.push(&other.get(i))?;
+        }
+        Ok(())
+    }
+
+    /// Materialise a void column into a real oid vector; no-op otherwise.
+    pub fn materialise(&self) -> Bat {
+        match &self.data {
+            ColumnData::Void { seq, len } => {
+                Bat::from_oids((0..*len as Oid).map(|i| seq + i).collect())
+            }
+            _ => self.clone(),
+        }
+    }
+
+    /// Iterate boxed values (slow path; operators use typed fast paths).
+    pub fn iter_values(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Typed view helpers for fast paths.
+    pub fn as_ints(&self) -> Option<&[i32]> {
+        match &self.data {
+            ColumnData::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+    /// Typed `lng` slice, if this is a lng BAT.
+    pub fn as_lngs(&self) -> Option<&[i64]> {
+        match &self.data {
+            ColumnData::Lng(v) => Some(v),
+            _ => None,
+        }
+    }
+    /// Typed `dbl` slice, if this is a dbl BAT.
+    pub fn as_dbls(&self) -> Option<&[f64]> {
+        match &self.data {
+            ColumnData::Dbl(v) => Some(v),
+            _ => None,
+        }
+    }
+    /// Typed `oid` slice, if this is a materialised oid BAT.
+    pub fn as_oids(&self) -> Option<&[Oid]> {
+        match &self.data {
+            ColumnData::Oid(v) => Some(v),
+            _ => None,
+        }
+    }
+    /// Typed `bit` slice, if this is a bit BAT.
+    pub fn as_bits(&self) -> Option<&[i8]> {
+        match &self.data {
+            ColumnData::Bit(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Collect boxed values (test/display convenience).
+    pub fn to_values(&self) -> Vec<Value> {
+        self.iter_values().collect()
+    }
+}
+
+/// Number of values in the right-open interval `[start, stop)` with `step`.
+pub fn series_len(start: i64, step: i64, stop: i64) -> usize {
+    if step > 0 {
+        if stop <= start {
+            0
+        } else {
+            (((stop - start) + step - 1) / step) as usize
+        }
+    } else if stop >= start {
+        0
+    } else {
+        (((start - stop) + (-step) - 1) / (-step)) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_matches_fig3() {
+        // Fig 3: x: array.series(0,1,4,4,1); y: array.series(0,1,4,1,4)
+        let x = Bat::series(0, 1, 4, 4, 1).unwrap();
+        let y = Bat::series(0, 1, 4, 1, 4).unwrap();
+        let xi: Vec<i32> = x.as_ints().unwrap().to_vec();
+        let yi: Vec<i32> = y.as_ints().unwrap().to_vec();
+        assert_eq!(xi, vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3]);
+        assert_eq!(yi, vec![0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn filler_matches_fig3() {
+        let v = Bat::filler(16, &Value::Int(0)).unwrap();
+        assert_eq!(v.len(), 16);
+        assert!(v.iter_values().all(|x| x == Value::Int(0)));
+    }
+
+    #[test]
+    fn series_len_edges() {
+        assert_eq!(series_len(0, 1, 4), 4);
+        assert_eq!(series_len(0, 2, 5), 3);
+        assert_eq!(series_len(4, 1, 4), 0);
+        assert_eq!(series_len(5, -1, 0), 5);
+        assert_eq!(series_len(-1, 1, 5), 6);
+    }
+
+    #[test]
+    fn negative_range_series() {
+        // Fig 1(f): dimension range [-1:1:5]
+        let d = Bat::series(-1, 1, 5, 1, 1).unwrap();
+        assert_eq!(
+            d.as_ints().unwrap(),
+            &[-1, 0, 1, 2, 3, 4],
+            "right-open [-1,5) with step 1"
+        );
+    }
+
+    #[test]
+    fn push_get_roundtrip_all_types() {
+        let cases: Vec<(ScalarType, Value)> = vec![
+            (ScalarType::Bit, Value::Bit(true)),
+            (ScalarType::Int, Value::Int(-7)),
+            (ScalarType::Lng, Value::Lng(1 << 40)),
+            (ScalarType::Dbl, Value::Dbl(2.5)),
+            (ScalarType::OidT, Value::Oid(42)),
+            (ScalarType::Str, Value::Str("abc".into())),
+        ];
+        for (ty, v) in cases {
+            let mut b = Bat::new(ty);
+            b.push(&v).unwrap();
+            b.push(&Value::Null).unwrap();
+            assert_eq!(b.get(0), v, "type {ty}");
+            assert_eq!(b.get(1), Value::Null, "type {ty}");
+            assert!(b.is_nil_at(1));
+            assert!(!b.is_nil_at(0));
+            assert_eq!(b.count_non_nil(), 1);
+        }
+    }
+
+    #[test]
+    fn void_materialisation() {
+        let v = Bat::dense(10, 4);
+        assert!(v.is_dense());
+        assert_eq!(v.get(2), Value::Oid(12));
+        let m = v.materialise();
+        assert_eq!(m.as_oids().unwrap(), &[10, 11, 12, 13]);
+        assert!(!m.is_dense());
+    }
+
+    #[test]
+    fn set_and_replace_all() {
+        let mut b = Bat::from_ints(vec![1, 2, 3, 4]);
+        b.set(1, &Value::Null).unwrap();
+        assert_eq!(b.get(1), Value::Null);
+        b.replace_all(&[0, 3], &Bat::from_ints(vec![9, 8])).unwrap();
+        assert_eq!(b.to_values(), vec![
+            Value::Int(9),
+            Value::Null,
+            Value::Int(3),
+            Value::Int(8)
+        ]);
+        assert!(b.replace_all(&[0], &Bat::from_ints(vec![1, 2])).is_err());
+        assert!(b.set(99, &Value::Int(0)).is_err());
+    }
+
+    #[test]
+    fn push_type_errors() {
+        let mut b = Bat::new(ScalarType::Int);
+        assert!(b.push(&Value::Str("xyz".into())).is_err());
+        let mut v = Bat::dense(0, 3);
+        assert!(v.push(&Value::Oid(5)).is_err());
+    }
+
+    #[test]
+    fn append_bat_casts() {
+        let mut l = Bat::new(ScalarType::Lng);
+        l.append_bat(&Bat::from_ints(vec![1, 2])).unwrap();
+        assert_eq!(l.as_lngs().unwrap(), &[1i64, 2]);
+    }
+}

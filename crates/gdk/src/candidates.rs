@@ -1,0 +1,244 @@
+//! Candidate lists.
+//!
+//! GDK operators take an optional *candidate list*: a sorted set of head oids
+//! restricting which tuples participate. Selections produce candidate lists;
+//! downstream operators consume them, which is how MonetDB (and our kernel)
+//! pushes selections through plans without materialising intermediate BATs.
+
+use crate::types::Oid;
+
+/// A sorted set of candidate oids, either dense (a contiguous range) or an
+/// explicit sorted list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Candidates {
+    /// The dense range `first .. first+len`.
+    Dense {
+        /// First oid in the range.
+        first: Oid,
+        /// Number of oids.
+        len: usize,
+    },
+    /// Explicit strictly-increasing oid list.
+    List(Vec<Oid>),
+}
+
+impl Candidates {
+    /// All `len` tuples of a BAT whose head starts at oid 0.
+    pub fn all(len: usize) -> Self {
+        Candidates::Dense { first: 0, len }
+    }
+
+    /// Empty candidate list.
+    pub fn none() -> Self {
+        Candidates::Dense { first: 0, len: 0 }
+    }
+
+    /// From a vector of oids; sorts and deduplicates, then compresses to a
+    /// dense range when possible.
+    pub fn from_vec(mut v: Vec<Oid>) -> Self {
+        v.sort_unstable();
+        v.dedup();
+        Self::from_sorted(v)
+    }
+
+    /// From an already strictly-increasing vector.
+    pub fn from_sorted(v: Vec<Oid>) -> Self {
+        debug_assert!(v.windows(2).all(|w| w[0] < w[1]), "candidates must be strictly increasing");
+        if !v.is_empty() && v[v.len() - 1] - v[0] == (v.len() - 1) as Oid {
+            Candidates::Dense {
+                first: v[0],
+                len: v.len(),
+            }
+        } else {
+            Candidates::List(v)
+        }
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        match self {
+            Candidates::Dense { len, .. } => *len,
+            Candidates::List(v) => v.len(),
+        }
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th candidate oid.
+    #[inline]
+    pub fn get(&self, i: usize) -> Oid {
+        match self {
+            Candidates::Dense { first, .. } => first + i as Oid,
+            Candidates::List(v) => v[i],
+        }
+    }
+
+    /// Membership test (binary search on lists).
+    pub fn contains(&self, oid: Oid) -> bool {
+        match self {
+            Candidates::Dense { first, len } => oid >= *first && oid < first + *len as Oid,
+            Candidates::List(v) => v.binary_search(&oid).is_ok(),
+        }
+    }
+
+    /// Iterate the candidate oids in order.
+    pub fn iter(&self) -> CandIter<'_> {
+        CandIter { cands: self, pos: 0 }
+    }
+
+    /// Intersection of two candidate lists (both sorted).
+    pub fn intersect(&self, other: &Candidates) -> Candidates {
+        match (self, other) {
+            (
+                Candidates::Dense { first: f1, len: l1 },
+                Candidates::Dense { first: f2, len: l2 },
+            ) => {
+                let lo = (*f1).max(*f2);
+                let hi = (f1 + *l1 as Oid).min(f2 + *l2 as Oid);
+                if hi <= lo {
+                    Candidates::none()
+                } else {
+                    Candidates::Dense {
+                        first: lo,
+                        len: (hi - lo) as usize,
+                    }
+                }
+            }
+            _ => {
+                let (small, large) = if self.len() <= other.len() {
+                    (self, other)
+                } else {
+                    (other, self)
+                };
+                let out: Vec<Oid> = small.iter().filter(|&o| large.contains(o)).collect();
+                Candidates::from_sorted(out)
+            }
+        }
+    }
+
+    /// Union of two candidate lists.
+    pub fn union(&self, other: &Candidates) -> Candidates {
+        let mut out: Vec<Oid> = Vec::with_capacity(self.len() + other.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.len() && j < other.len() {
+            let (a, b) = (self.get(i), other.get(j));
+            match a.cmp(&b) {
+                std::cmp::Ordering::Less => {
+                    out.push(a);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(a);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        while i < self.len() {
+            out.push(self.get(i));
+            i += 1;
+        }
+        while j < other.len() {
+            out.push(other.get(j));
+            j += 1;
+        }
+        Candidates::from_sorted(out)
+    }
+
+    /// Difference `self \ other`.
+    pub fn difference(&self, other: &Candidates) -> Candidates {
+        let out: Vec<Oid> = self.iter().filter(|&o| !other.contains(o)).collect();
+        Candidates::from_sorted(out)
+    }
+
+    /// Collect into a plain oid vector.
+    pub fn to_vec(&self) -> Vec<Oid> {
+        self.iter().collect()
+    }
+}
+
+/// Iterator over candidate oids.
+pub struct CandIter<'a> {
+    cands: &'a Candidates,
+    pos: usize,
+}
+
+impl Iterator for CandIter<'_> {
+    type Item = Oid;
+    fn next(&mut self) -> Option<Oid> {
+        if self.pos < self.cands.len() {
+            let o = self.cands.get(self.pos);
+            self.pos += 1;
+            Some(o)
+        } else {
+            None
+        }
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.cands.len() - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for CandIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_compresses_dense() {
+        let c = Candidates::from_vec(vec![3, 1, 2, 2]);
+        assert_eq!(c, Candidates::Dense { first: 1, len: 3 });
+        let c = Candidates::from_vec(vec![1, 3, 5]);
+        assert!(matches!(c, Candidates::List(_)));
+        assert_eq!(c.to_vec(), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn intersect_dense_dense() {
+        let a = Candidates::Dense { first: 0, len: 10 };
+        let b = Candidates::Dense { first: 5, len: 10 };
+        assert_eq!(a.intersect(&b), Candidates::Dense { first: 5, len: 5 });
+        let c = Candidates::Dense { first: 20, len: 5 };
+        assert!(a.intersect(&c).is_empty());
+    }
+
+    #[test]
+    fn intersect_mixed() {
+        let a = Candidates::from_vec(vec![1, 4, 7, 9]);
+        let b = Candidates::Dense { first: 4, len: 4 };
+        assert_eq!(a.intersect(&b).to_vec(), vec![4, 7]);
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let a = Candidates::from_vec(vec![1, 3, 5]);
+        let b = Candidates::from_vec(vec![2, 3, 6]);
+        assert_eq!(a.union(&b).to_vec(), vec![1, 2, 3, 5, 6]);
+        assert_eq!(a.difference(&b).to_vec(), vec![1, 5]);
+    }
+
+    #[test]
+    fn membership() {
+        let d = Candidates::Dense { first: 2, len: 3 };
+        assert!(d.contains(2) && d.contains(4) && !d.contains(5));
+        let l = Candidates::from_vec(vec![1, 8]);
+        assert!(l.contains(8) && !l.contains(4));
+    }
+
+    #[test]
+    fn iter_exact_size() {
+        let c = Candidates::Dense { first: 7, len: 3 };
+        let v: Vec<Oid> = c.iter().collect();
+        assert_eq!(v, vec![7, 8, 9]);
+        assert_eq!(c.iter().len(), 3);
+    }
+}

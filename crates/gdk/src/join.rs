@@ -1,0 +1,377 @@
+//! Join operators.
+//!
+//! Equi-joins are hash joins producing a pair of aligned oid BATs (the
+//! classic MonetDB join result: `(l, r)` such that `left[l[i]] ==
+//! right[r[i]]`). Nil never matches nil. A cross product helper supports
+//! arbitrary theta predicates (cross + select), which is how the SciQL
+//! compiler executes band joins such as the AreasOfInterest bounding-box
+//! query.
+
+use crate::bat::{Bat, ColumnData};
+use crate::candidates::Candidates;
+use crate::types::Oid;
+use crate::value::Value;
+use crate::{GdkError, Result};
+use std::collections::HashMap;
+
+/// Hashable view of a non-nil scalar; numeric values are canonicalised so
+/// `Int 3`, `Lng 3` and `Dbl 3.0` hash and compare equal (SQL equality).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum HashKey {
+    /// Integral or exactly-integral double.
+    I(i64),
+    /// Non-integral double, by bit pattern.
+    F(u64),
+    /// Boolean.
+    B(bool),
+    /// String.
+    S(String),
+}
+
+/// Build the hash key for a non-nil value.
+pub fn hash_key(v: &Value) -> Option<HashKey> {
+    Some(match v {
+        Value::Null => return None,
+        Value::Bit(b) => HashKey::B(*b),
+        Value::Int(x) => HashKey::I(*x as i64),
+        Value::Lng(x) => HashKey::I(*x),
+        Value::Oid(x) => HashKey::I(*x as i64),
+        Value::Dbl(x) => {
+            if x.fract() == 0.0 && x.abs() < (1i64 << 53) as f64 {
+                HashKey::I(*x as i64)
+            } else {
+                HashKey::F(x.to_bits())
+            }
+        }
+        Value::Str(s) => HashKey::S(s.clone()),
+    })
+}
+
+/// Result of a join: aligned left/right oid vectors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinResult {
+    /// Matching oids from the left input.
+    pub left: Vec<Oid>,
+    /// Matching oids from the right input, aligned with `left`.
+    pub right: Vec<Oid>,
+}
+
+impl JoinResult {
+    /// Number of result tuples.
+    pub fn len(&self) -> usize {
+        self.left.len()
+    }
+    /// True when no tuples matched.
+    pub fn is_empty(&self) -> bool {
+        self.left.is_empty()
+    }
+}
+
+/// Inner equi-join of two BAT tails. `lcand`/`rcand` restrict the inputs.
+/// Output is ordered by left oid (then right probe order).
+pub fn hashjoin(
+    l: &Bat,
+    r: &Bat,
+    lcand: Option<&Candidates>,
+    rcand: Option<&Candidates>,
+) -> Result<JoinResult> {
+    // Int×Int fast path.
+    if let (ColumnData::Int(lv), ColumnData::Int(rv)) = (l.data(), r.data()) {
+        let mut table: HashMap<i32, Vec<Oid>> = HashMap::new();
+        each_pos(r.len(), rcand, |o| {
+            let x = rv[o as usize];
+            if x != crate::types::INT_NIL {
+                table.entry(x).or_default().push(o);
+            }
+        });
+        let mut out = JoinResult {
+            left: Vec::new(),
+            right: Vec::new(),
+        };
+        each_pos(l.len(), lcand, |o| {
+            let x = lv[o as usize];
+            if x != crate::types::INT_NIL {
+                if let Some(rs) = table.get(&x) {
+                    for &ro in rs {
+                        out.left.push(o);
+                        out.right.push(ro);
+                    }
+                }
+            }
+        });
+        return Ok(out);
+    }
+    // Generic path over boxed values.
+    let mut table: HashMap<HashKey, Vec<Oid>> = HashMap::new();
+    each_pos(r.len(), rcand, |o| {
+        if let Some(k) = hash_key(&r.get(o as usize)) {
+            table.entry(k).or_default().push(o);
+        }
+    });
+    let mut out = JoinResult {
+        left: Vec::new(),
+        right: Vec::new(),
+    };
+    each_pos(l.len(), lcand, |o| {
+        if let Some(k) = hash_key(&l.get(o as usize)) {
+            if let Some(rs) = table.get(&k) {
+                for &ro in rs {
+                    out.left.push(o);
+                    out.right.push(ro);
+                }
+            }
+        }
+    });
+    Ok(out)
+}
+
+/// Multi-key inner equi-join: rows match when *every* aligned key pair is
+/// equal (and non-nil). This is what a conjunction of equality predicates
+/// over a cross product collapses into.
+pub fn hashjoin_multi(lkeys: &[&Bat], rkeys: &[&Bat]) -> Result<JoinResult> {
+    if lkeys.len() != rkeys.len() || lkeys.is_empty() {
+        return Err(GdkError::invalid(
+            "multi-key join needs equally many non-empty key lists",
+        ));
+    }
+    let nl = lkeys[0].len();
+    let nr = rkeys[0].len();
+    if lkeys.iter().any(|b| b.len() != nl) || rkeys.iter().any(|b| b.len() != nr) {
+        return Err(GdkError::invalid("join keys misaligned"));
+    }
+    let composite = |cols: &[&Bat], row: usize| -> Option<Vec<HashKey>> {
+        cols.iter().map(|b| hash_key(&b.get(row))).collect()
+    };
+    let mut table: HashMap<Vec<HashKey>, Vec<Oid>> = HashMap::new();
+    for row in 0..nr {
+        if let Some(k) = composite(rkeys, row) {
+            table.entry(k).or_default().push(row as Oid);
+        }
+    }
+    let mut out = JoinResult {
+        left: Vec::new(),
+        right: Vec::new(),
+    };
+    for row in 0..nl {
+        if let Some(k) = composite(lkeys, row) {
+            if let Some(rs) = table.get(&k) {
+                for &ro in rs {
+                    out.left.push(row as Oid);
+                    out.right.push(ro);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Left-outer equi-join: every left candidate appears at least once; right
+/// oid is [`crate::types::OID_NIL`] for unmatched rows.
+pub fn leftjoin(
+    l: &Bat,
+    r: &Bat,
+    lcand: Option<&Candidates>,
+    rcand: Option<&Candidates>,
+) -> Result<JoinResult> {
+    let mut table: HashMap<HashKey, Vec<Oid>> = HashMap::new();
+    each_pos(r.len(), rcand, |o| {
+        if let Some(k) = hash_key(&r.get(o as usize)) {
+            table.entry(k).or_default().push(o);
+        }
+    });
+    let mut out = JoinResult {
+        left: Vec::new(),
+        right: Vec::new(),
+    };
+    each_pos(l.len(), lcand, |o| {
+        let matched = hash_key(&l.get(o as usize))
+            .and_then(|k| table.get(&k))
+            .filter(|rs| !rs.is_empty());
+        match matched {
+            Some(rs) => {
+                for &ro in rs {
+                    out.left.push(o);
+                    out.right.push(ro);
+                }
+            }
+            None => {
+                out.left.push(o);
+                out.right.push(crate::types::OID_NIL);
+            }
+        }
+    });
+    Ok(out)
+}
+
+/// Semi-join: left candidates with at least one right match (distinct, in
+/// left order).
+pub fn semijoin(
+    l: &Bat,
+    r: &Bat,
+    lcand: Option<&Candidates>,
+    rcand: Option<&Candidates>,
+) -> Result<Candidates> {
+    let mut keys: HashMap<HashKey, ()> = HashMap::new();
+    each_pos(r.len(), rcand, |o| {
+        if let Some(k) = hash_key(&r.get(o as usize)) {
+            keys.insert(k, ());
+        }
+    });
+    let mut out = Vec::new();
+    each_pos(l.len(), lcand, |o| {
+        if hash_key(&l.get(o as usize)).is_some_and(|k| keys.contains_key(&k)) {
+            out.push(o);
+        }
+    });
+    Ok(Candidates::from_sorted(out))
+}
+
+/// Cross product of the candidate sets (or full ranges) of two inputs of
+/// sizes `nl`, `nr`: every left oid paired with every right oid.
+pub fn cross(
+    nl: usize,
+    nr: usize,
+    lcand: Option<&Candidates>,
+    rcand: Option<&Candidates>,
+) -> Result<JoinResult> {
+    let lsize = lcand.map_or(nl, Candidates::len);
+    let rsize = rcand.map_or(nr, Candidates::len);
+    let total = lsize
+        .checked_mul(rsize)
+        .ok_or_else(|| GdkError::invalid("cross product size overflow"))?;
+    let mut out = JoinResult {
+        left: Vec::with_capacity(total),
+        right: Vec::with_capacity(total),
+    };
+    let lo: Vec<Oid> = match lcand {
+        Some(c) => c.to_vec(),
+        None => (0..nl as Oid).collect(),
+    };
+    let ro: Vec<Oid> = match rcand {
+        Some(c) => c.to_vec(),
+        None => (0..nr as Oid).collect(),
+    };
+    for &a in &lo {
+        for &b in &ro {
+            out.left.push(a);
+            out.right.push(b);
+        }
+    }
+    Ok(out)
+}
+
+fn each_pos<F: FnMut(Oid)>(len: usize, cand: Option<&Candidates>, mut f: F) {
+    match cand {
+        None => {
+            for o in 0..len as Oid {
+                f(o);
+            }
+        }
+        Some(c) => {
+            for o in c.iter() {
+                if (o as usize) < len {
+                    f(o);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::OID_NIL;
+
+    #[test]
+    fn int_hashjoin() {
+        let l = Bat::from_ints(vec![1, 2, 3, 2]);
+        let r = Bat::from_ints(vec![2, 4, 1]);
+        let j = hashjoin(&l, &r, None, None).unwrap();
+        assert_eq!(j.left, vec![0, 1, 3]);
+        assert_eq!(j.right, vec![2, 0, 0]);
+    }
+
+    #[test]
+    fn nil_never_matches() {
+        let l = Bat::from_opt_ints(vec![Some(1), None]);
+        let r = Bat::from_opt_ints(vec![None, Some(1)]);
+        let j = hashjoin(&l, &r, None, None).unwrap();
+        assert_eq!(j.left, vec![0]);
+        assert_eq!(j.right, vec![1]);
+    }
+
+    #[test]
+    fn cross_type_equality() {
+        // Int 3 must join Lng 3 and Dbl 3.0 (SQL equality across widths).
+        let l = Bat::from_ints(vec![3]);
+        let r = Bat::from_dbls(vec![3.0, 2.5]);
+        let j = hashjoin(&l, &r, None, None).unwrap();
+        assert_eq!((j.left, j.right), (vec![0], vec![0]));
+    }
+
+    #[test]
+    fn string_join() {
+        let l = Bat::from_strs(vec![Some("a"), Some("b")]);
+        let r = Bat::from_strs(vec![Some("b"), Some("b")]);
+        let j = hashjoin(&l, &r, None, None).unwrap();
+        assert_eq!(j.left, vec![1, 1]);
+        assert_eq!(j.right, vec![0, 1]);
+    }
+
+    #[test]
+    fn join_with_candidates() {
+        let l = Bat::from_ints(vec![1, 1, 1]);
+        let r = Bat::from_ints(vec![1, 1]);
+        let lc = Candidates::from_vec(vec![2]);
+        let rc = Candidates::from_vec(vec![0]);
+        let j = hashjoin(&l, &r, Some(&lc), Some(&rc)).unwrap();
+        assert_eq!((j.left, j.right), (vec![2], vec![0]));
+    }
+
+    #[test]
+    fn left_outer() {
+        let l = Bat::from_ints(vec![1, 9]);
+        let r = Bat::from_ints(vec![1]);
+        let j = leftjoin(&l, &r, None, None).unwrap();
+        assert_eq!(j.left, vec![0, 1]);
+        assert_eq!(j.right, vec![0, OID_NIL]);
+    }
+
+    #[test]
+    fn semi() {
+        let l = Bat::from_ints(vec![1, 2, 3]);
+        let r = Bat::from_ints(vec![3, 1, 3]);
+        let s = semijoin(&l, &r, None, None).unwrap();
+        assert_eq!(s.to_vec(), vec![0, 2]);
+    }
+
+    #[test]
+    fn multi_key_join() {
+        // (x, y) pairs; only exact coordinate matches join.
+        let lx = Bat::from_ints(vec![0, 0, 1, 1]);
+        let ly = Bat::from_ints(vec![0, 1, 0, 1]);
+        let rx = Bat::from_ints(vec![1, 0]);
+        let ry = Bat::from_ints(vec![1, 5]);
+        let j = hashjoin_multi(&[&lx, &ly], &[&rx, &ry]).unwrap();
+        assert_eq!(j.left, vec![3]);
+        assert_eq!(j.right, vec![0]);
+        // nil in any key kills the match
+        let lx2 = Bat::from_opt_ints(vec![Some(1), None]);
+        let ly2 = Bat::from_ints(vec![1, 1]);
+        let j = hashjoin_multi(&[&lx2, &ly2], &[&rx, &ry]).unwrap();
+        assert_eq!(j.left, vec![0]);
+        assert!(hashjoin_multi(&[&lx], &[&rx, &ry]).is_err());
+        assert!(hashjoin_multi(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn cross_product() {
+        let j = cross(2, 3, None, None).unwrap();
+        assert_eq!(j.len(), 6);
+        assert_eq!(j.left, vec![0, 0, 0, 1, 1, 1]);
+        assert_eq!(j.right, vec![0, 1, 2, 0, 1, 2]);
+        let lc = Candidates::from_vec(vec![1]);
+        let j = cross(2, 3, Some(&lc), None).unwrap();
+        assert_eq!(j.left, vec![1, 1, 1]);
+    }
+}

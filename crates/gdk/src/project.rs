@@ -1,0 +1,236 @@
+//! Projection (positional fetch-join).
+//!
+//! `BATproject(cand, b)` fetches `b`'s tail values at the positions named by
+//! a candidate list (or any oid BAT), producing a new BAT aligned with the
+//! input order. This is MonetDB's workhorse for late materialisation.
+
+use crate::bat::{Bat, ColumnData};
+use crate::candidates::Candidates;
+use crate::types::{Oid, OID_NIL};
+use crate::{GdkError, Result};
+
+/// Fetch `b[o]` for every candidate oid `o`, in candidate order.
+pub fn project(cand: &Candidates, b: &Bat) -> Result<Bat> {
+    let len = b.len();
+    let check = |o: Oid| -> Result<usize> {
+        let pos = o as usize;
+        if pos >= len {
+            Err(GdkError::invalid(format!(
+                "projection oid {o} out of range (len {len})"
+            )))
+        } else {
+            Ok(pos)
+        }
+    };
+    Ok(match b.data() {
+        ColumnData::Void { seq, .. } => {
+            let mut out = Vec::with_capacity(cand.len());
+            for o in cand.iter() {
+                check(o)?;
+                out.push(seq + o);
+            }
+            Bat::from_oids(out)
+        }
+        ColumnData::Bit(v) => {
+            let mut out = Vec::with_capacity(cand.len());
+            for o in cand.iter() {
+                out.push(v[check(o)?]);
+            }
+            Bat::from_data(ColumnData::Bit(out))
+        }
+        ColumnData::Int(v) => {
+            let mut out = Vec::with_capacity(cand.len());
+            for o in cand.iter() {
+                out.push(v[check(o)?]);
+            }
+            Bat::from_data(ColumnData::Int(out))
+        }
+        ColumnData::Lng(v) => {
+            let mut out = Vec::with_capacity(cand.len());
+            for o in cand.iter() {
+                out.push(v[check(o)?]);
+            }
+            Bat::from_data(ColumnData::Lng(out))
+        }
+        ColumnData::Dbl(v) => {
+            let mut out = Vec::with_capacity(cand.len());
+            for o in cand.iter() {
+                out.push(v[check(o)?]);
+            }
+            Bat::from_data(ColumnData::Dbl(out))
+        }
+        ColumnData::Oid(v) => {
+            let mut out = Vec::with_capacity(cand.len());
+            for o in cand.iter() {
+                out.push(v[check(o)?]);
+            }
+            Bat::from_data(ColumnData::Oid(out))
+        }
+        ColumnData::Str { idx, heap } => {
+            let mut out = Vec::with_capacity(cand.len());
+            for o in cand.iter() {
+                out.push(idx[check(o)?]);
+            }
+            // The dictionary is shared by cloning; indices stay valid.
+            Bat::from_data(ColumnData::Str {
+                idx: out,
+                heap: heap.clone(),
+            })
+        }
+    })
+}
+
+/// Fetch `b[o]` for every oid in an *oid BAT* (join result column). Oid nil
+/// produces a nil output value (left-join semantics).
+pub fn project_oids(oids: &Bat, b: &Bat) -> Result<Bat> {
+    match oids.data() {
+        ColumnData::Void { seq, len } => project(
+            &Candidates::Dense {
+                first: *seq,
+                len: *len,
+            },
+            b,
+        ),
+        ColumnData::Oid(v) => {
+            if v.iter().all(|&o| o != OID_NIL) {
+                // Not necessarily sorted: fetch positionally.
+                fetch_positions(v, b)
+            } else {
+                fetch_with_nils(v, b)
+            }
+        }
+        _ => Err(GdkError::type_mismatch("project_oids expects an oid BAT")),
+    }
+}
+
+fn fetch_positions(oids: &[Oid], b: &Bat) -> Result<Bat> {
+    let len = b.len();
+    for &o in oids {
+        if o as usize >= len {
+            return Err(GdkError::invalid(format!(
+                "projection oid {o} out of range (len {len})"
+            )));
+        }
+    }
+    Ok(match b.data() {
+        ColumnData::Void { seq, .. } => {
+            Bat::from_oids(oids.iter().map(|&o| seq + o).collect())
+        }
+        ColumnData::Bit(v) => {
+            Bat::from_data(ColumnData::Bit(oids.iter().map(|&o| v[o as usize]).collect()))
+        }
+        ColumnData::Int(v) => {
+            Bat::from_data(ColumnData::Int(oids.iter().map(|&o| v[o as usize]).collect()))
+        }
+        ColumnData::Lng(v) => {
+            Bat::from_data(ColumnData::Lng(oids.iter().map(|&o| v[o as usize]).collect()))
+        }
+        ColumnData::Dbl(v) => {
+            Bat::from_data(ColumnData::Dbl(oids.iter().map(|&o| v[o as usize]).collect()))
+        }
+        ColumnData::Oid(v) => {
+            Bat::from_data(ColumnData::Oid(oids.iter().map(|&o| v[o as usize]).collect()))
+        }
+        ColumnData::Str { idx, heap } => Bat::from_data(ColumnData::Str {
+            idx: oids.iter().map(|&o| idx[o as usize]).collect(),
+            heap: heap.clone(),
+        }),
+    })
+}
+
+fn fetch_with_nils(oids: &[Oid], b: &Bat) -> Result<Bat> {
+    let mut out = Bat::with_capacity(b.tail_type(), oids.len());
+    for &o in oids {
+        if o == OID_NIL {
+            out.push(&crate::Value::Null)?;
+        } else if (o as usize) < b.len() {
+            out.push(&b.get(o as usize))?;
+        } else {
+            return Err(GdkError::invalid(format!(
+                "projection oid {o} out of range (len {})",
+                b.len()
+            )));
+        }
+    }
+    // Str path loses dictionary sharing here; acceptable for the nil path.
+    if let ColumnData::Str { .. } = b.data() {
+        return Ok(out);
+    }
+    Ok(out)
+}
+
+/// Slice a BAT: positions `[from, to)` as a new BAT.
+pub fn slice(b: &Bat, from: usize, to: usize) -> Result<Bat> {
+    let to = to.min(b.len());
+    if from > to {
+        return Err(GdkError::invalid("slice: from > to"));
+    }
+    project(
+        &Candidates::Dense {
+            first: from as Oid,
+            len: to - from,
+        },
+        b,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn project_int_by_list() {
+        let b = Bat::from_ints(vec![10, 20, 30, 40]);
+        let c = Candidates::from_vec(vec![1, 3]);
+        assert_eq!(project(&c, &b).unwrap().as_ints().unwrap(), &[20, 40]);
+    }
+
+    #[test]
+    fn project_dense_candidates() {
+        let b = Bat::from_dbls(vec![1.0, 2.0, 3.0]);
+        let c = Candidates::Dense { first: 1, len: 2 };
+        assert_eq!(project(&c, &b).unwrap().as_dbls().unwrap(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn project_void_tail() {
+        let v = Bat::dense(100, 5);
+        let c = Candidates::from_vec(vec![0, 4]);
+        assert_eq!(project(&c, &v).unwrap().as_oids().unwrap(), &[100, 104]);
+    }
+
+    #[test]
+    fn project_strings_shares_dict() {
+        let b = Bat::from_strs(vec![Some("x"), Some("y"), Some("x")]);
+        let c = Candidates::from_vec(vec![0, 2]);
+        let p = project(&c, &b).unwrap();
+        assert_eq!(p.get(0), Value::Str("x".into()));
+        assert_eq!(p.get(1), Value::Str("x".into()));
+    }
+
+    #[test]
+    fn project_out_of_range_errors() {
+        let b = Bat::from_ints(vec![1]);
+        let c = Candidates::from_vec(vec![5]);
+        assert!(project(&c, &b).is_err());
+    }
+
+    #[test]
+    fn project_oids_unsorted_and_nil() {
+        let b = Bat::from_ints(vec![10, 20, 30]);
+        let o = Bat::from_oids(vec![2, 0, 2]);
+        assert_eq!(project_oids(&o, &b).unwrap().as_ints().unwrap(), &[30, 10, 30]);
+        let with_nil = Bat::from_oids(vec![1, OID_NIL]);
+        let r = project_oids(&with_nil, &b).unwrap();
+        assert_eq!(r.to_values(), vec![Value::Int(20), Value::Null]);
+    }
+
+    #[test]
+    fn slice_bounds() {
+        let b = Bat::from_ints(vec![1, 2, 3, 4, 5]);
+        assert_eq!(slice(&b, 1, 3).unwrap().as_ints().unwrap(), &[2, 3]);
+        assert_eq!(slice(&b, 3, 99).unwrap().as_ints().unwrap(), &[4, 5]);
+        assert!(slice(&b, 4, 2).is_err());
+    }
+}

@@ -1,0 +1,284 @@
+//! Sorting (ORDER BY support).
+//!
+//! Multi-key ordering is built from single-key stable sorts applied from the
+//! least-significant key to the most-significant one, mirroring MonetDB's
+//! refine-based `algebra.sort`.
+
+use crate::bat::{Bat, ColumnData};
+use crate::candidates::Candidates;
+use crate::Result;
+
+/// One sort key: the column, descending flag, and whether nils sort last.
+#[derive(Debug, Clone, Copy)]
+pub struct SortKey<'a> {
+    /// Key column (all keys must have equal length).
+    pub bat: &'a Bat,
+    /// Descending order?
+    pub desc: bool,
+    /// NULLs last? (SQL default: NULLs first ascending / last descending
+    /// varies by system; MonetDB puts nil smallest, so nil first ascending.)
+    pub nils_last: bool,
+}
+
+/// Compute the permutation (as positions) that orders rows by the given
+/// keys, most significant first. Stable.
+pub fn sort_perm(len: usize, keys: &[SortKey<'_>]) -> Result<Vec<usize>> {
+    let mut perm: Vec<usize> = (0..len).collect();
+    for key in keys.iter().rev() {
+        debug_assert_eq!(key.bat.len(), len, "sort key length mismatch");
+        sort_by_key(&mut perm, key);
+    }
+    Ok(perm)
+}
+
+fn sort_by_key(perm: &mut [usize], key: &SortKey<'_>) {
+    // Int fast path.
+    if let ColumnData::Int(vals) = key.bat.data() {
+        let nil = crate::types::INT_NIL;
+        perm.sort_by(|&a, &b| {
+            let (va, vb) = (vals[a], vals[b]);
+            
+            match (va == nil, vb == nil) {
+                (true, true) => std::cmp::Ordering::Equal,
+                (true, false) => {
+                    if key.nils_last {
+                        std::cmp::Ordering::Greater
+                    } else {
+                        std::cmp::Ordering::Less
+                    }
+                }
+                (false, true) => {
+                    if key.nils_last {
+                        std::cmp::Ordering::Less
+                    } else {
+                        std::cmp::Ordering::Greater
+                    }
+                }
+                (false, false) => {
+                    let o = va.cmp(&vb);
+                    if key.desc {
+                        o.reverse()
+                    } else {
+                        o
+                    }
+                }
+            }
+        });
+        return;
+    }
+    perm.sort_by(|&a, &b| {
+        let (va, vb) = (key.bat.get(a), key.bat.get(b));
+        
+        match (va.is_null(), vb.is_null()) {
+            (true, true) => std::cmp::Ordering::Equal,
+            (true, false) => {
+                if key.nils_last {
+                    std::cmp::Ordering::Greater
+                } else {
+                    std::cmp::Ordering::Less
+                }
+            }
+            (false, true) => {
+                if key.nils_last {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Greater
+                }
+            }
+            (false, false) => {
+                let o = va.total_cmp(&vb);
+                if key.desc {
+                    o.reverse()
+                } else {
+                    o
+                }
+            }
+        }
+    });
+}
+
+/// Apply an arbitrary permutation of positions to a BAT.
+pub fn apply_perm(b: &Bat, perm: &[usize]) -> Result<Bat> {
+    // A permutation is not sorted, so go through project_oids via an oid BAT.
+    let oids = Bat::from_oids(perm.iter().map(|&p| p as crate::types::Oid).collect());
+    crate::project::project_oids(&oids, b)
+}
+
+/// Sort a single BAT ascending, returning the sorted copy (utility).
+pub fn sorted(b: &Bat) -> Result<Bat> {
+    let perm = sort_perm(
+        b.len(),
+        &[SortKey {
+            bat: b,
+            desc: false,
+            nils_last: false,
+        }],
+    )?;
+    apply_perm(b, &perm)
+}
+
+/// Return the first `n` positions of a sorted view (top-n shortcut).
+pub fn topn(b: &Bat, n: usize, desc: bool) -> Result<Candidates> {
+    let perm = sort_perm(
+        b.len(),
+        &[SortKey {
+            bat: b,
+            desc,
+            nils_last: true,
+        }],
+    )?;
+    Ok(Candidates::from_vec(
+        perm.into_iter()
+            .take(n)
+            .map(|p| p as crate::types::Oid)
+            .collect(),
+    ))
+}
+
+/// Project every BAT in `bats` through the ordering defined by `keys`
+/// (convenience for ORDER BY over a result set).
+pub fn order_all(bats: &[&Bat], keys: &[SortKey<'_>]) -> Result<Vec<Bat>> {
+    let len = bats.first().map_or(0, |b| b.len());
+    let perm = sort_perm(len, keys)?;
+    bats.iter().map(|b| apply_perm(b, &perm)).collect()
+}
+
+/// Check whether a BAT is sorted ascending (nils first).
+pub fn is_sorted(b: &Bat) -> bool {
+    (1..b.len()).all(|i| b.get(i - 1).total_cmp(&b.get(i)) != std::cmp::Ordering::Greater)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn single_key_asc_desc() {
+        let b = Bat::from_ints(vec![3, 1, 2]);
+        let p = sort_perm(
+            3,
+            &[SortKey {
+                bat: &b,
+                desc: false,
+                nils_last: false,
+            }],
+        )
+        .unwrap();
+        assert_eq!(p, vec![1, 2, 0]);
+        let p = sort_perm(
+            3,
+            &[SortKey {
+                bat: &b,
+                desc: true,
+                nils_last: false,
+            }],
+        )
+        .unwrap();
+        assert_eq!(p, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn nils_placement() {
+        let b = Bat::from_opt_ints(vec![Some(2), None, Some(1)]);
+        let first = sort_perm(
+            3,
+            &[SortKey {
+                bat: &b,
+                desc: false,
+                nils_last: false,
+            }],
+        )
+        .unwrap();
+        assert_eq!(first, vec![1, 2, 0]);
+        let last = sort_perm(
+            3,
+            &[SortKey {
+                bat: &b,
+                desc: false,
+                nils_last: true,
+            }],
+        )
+        .unwrap();
+        assert_eq!(last, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn multi_key_orders_lexicographically() {
+        // (a, b): (1,2) (0,9) (1,1) (0,3)
+        let a = Bat::from_ints(vec![1, 0, 1, 0]);
+        let b = Bat::from_ints(vec![2, 9, 1, 3]);
+        let p = sort_perm(
+            4,
+            &[
+                SortKey {
+                    bat: &a,
+                    desc: false,
+                    nils_last: false,
+                },
+                SortKey {
+                    bat: &b,
+                    desc: false,
+                    nils_last: false,
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(p, vec![3, 1, 2, 0]);
+    }
+
+    #[test]
+    fn apply_perm_reorders() {
+        let b = Bat::from_strs(vec![Some("c"), Some("a"), Some("b")]);
+        let s = sorted(&b).unwrap();
+        assert_eq!(
+            s.to_values(),
+            vec![
+                Value::Str("a".into()),
+                Value::Str("b".into()),
+                Value::Str("c".into())
+            ]
+        );
+        assert!(is_sorted(&s));
+        assert!(!is_sorted(&b));
+    }
+
+    #[test]
+    fn topn_selects_extremes() {
+        let b = Bat::from_ints(vec![5, 9, 1, 7]);
+        let top2 = topn(&b, 2, true).unwrap();
+        assert_eq!(top2.to_vec(), vec![1, 3]);
+    }
+
+    #[test]
+    fn order_all_aligns_columns() {
+        let k = Bat::from_ints(vec![2, 1]);
+        let v = Bat::from_strs(vec![Some("two"), Some("one")]);
+        let sorted = order_all(
+            &[&k, &v],
+            &[SortKey {
+                bat: &k,
+                desc: false,
+                nils_last: false,
+            }],
+        )
+        .unwrap();
+        assert_eq!(sorted[0].as_ints().unwrap(), &[1, 2]);
+        assert_eq!(sorted[1].get(0), Value::Str("one".into()));
+    }
+
+    #[test]
+    fn stability() {
+        let key = Bat::from_ints(vec![1, 1, 1]);
+        let p = sort_perm(
+            3,
+            &[SortKey {
+                bat: &key,
+                desc: false,
+                nils_last: false,
+            }],
+        )
+        .unwrap();
+        assert_eq!(p, vec![0, 1, 2]);
+    }
+}

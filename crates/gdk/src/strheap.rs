@@ -1,0 +1,78 @@
+//! Dictionary heap for string columns.
+//!
+//! GDK stores string BATs as an offset column into a shared variable-sized
+//! heap with duplicate elimination. We reproduce that: a `StrHeap` owns the
+//! distinct strings, and a string column is a `Vec<u32>` of heap indices with
+//! `STR_NIL_IDX` marking NULL.
+
+use std::collections::HashMap;
+
+/// Index marking the NULL string in an offset column.
+pub const STR_NIL_IDX: u32 = u32::MAX;
+
+/// Deduplicating string dictionary shared by one string column.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StrHeap {
+    entries: Vec<Box<str>>,
+    lookup: HashMap<Box<str>, u32>,
+}
+
+impl StrHeap {
+    /// Create an empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `s`, returning its heap index. Duplicate strings share one
+    /// entry, like GDK's double-elimination string heaps.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&idx) = self.lookup.get(s) {
+            return idx;
+        }
+        let idx = u32::try_from(self.entries.len()).expect("string heap overflow");
+        let boxed: Box<str> = s.into();
+        self.entries.push(boxed.clone());
+        self.lookup.insert(boxed, idx);
+        idx
+    }
+
+    /// Resolve a heap index; `None` for [`STR_NIL_IDX`].
+    pub fn get(&self, idx: u32) -> Option<&str> {
+        if idx == STR_NIL_IDX {
+            None
+        } else {
+            Some(&self.entries[idx as usize])
+        }
+    }
+
+    /// Number of distinct strings.
+    pub fn distinct(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_deduplicates() {
+        let mut h = StrHeap::new();
+        let a = h.intern("hello");
+        let b = h.intern("world");
+        let c = h.intern("hello");
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        assert_eq!(h.distinct(), 2);
+        assert_eq!(h.get(a), Some("hello"));
+        assert_eq!(h.get(STR_NIL_IDX), None);
+    }
+
+    #[test]
+    fn empty_string_is_a_value() {
+        let mut h = StrHeap::new();
+        let e = h.intern("");
+        assert_eq!(h.get(e), Some(""));
+        assert_ne!(e, STR_NIL_IDX);
+    }
+}

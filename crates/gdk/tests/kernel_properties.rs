@@ -1,0 +1,178 @@
+//! Property-based tests of the column-kernel invariants.
+
+use gdk::arith::{self, BinOp, CmpOp, Operand};
+use gdk::{aggregate, group, join, project, select, sort, Bat, Candidates, Value};
+use proptest::prelude::*;
+
+fn opt_ints(max_len: usize) -> impl Strategy<Value = Vec<Option<i32>>> {
+    proptest::collection::vec(proptest::option::weighted(0.85, -1000i32..1000), 0..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// thetaselect(=) ∪ thetaselect(≠) = all non-nil positions, disjoint.
+    #[test]
+    fn select_eq_ne_partition(data in opt_ints(200), needle in -1000i32..1000) {
+        let b = Bat::from_opt_ints(data.clone());
+        let eq = select::thetaselect(&b, None, &Value::Int(needle), CmpOp::Eq).unwrap();
+        let ne = select::thetaselect(&b, None, &Value::Int(needle), CmpOp::Ne).unwrap();
+        prop_assert!(eq.intersect(&ne).is_empty());
+        let union = eq.union(&ne);
+        let non_nil = select::select_non_nil(&b, None);
+        prop_assert_eq!(union.to_vec(), non_nil.to_vec());
+    }
+
+    /// Range select equals the filter-based definition.
+    #[test]
+    fn rangeselect_matches_definition(
+        data in opt_ints(200),
+        lo in -1000i32..1000,
+        width in 0i32..500,
+    ) {
+        let hi = lo.saturating_add(width);
+        let b = Bat::from_opt_ints(data.clone());
+        let got = select::rangeselect(
+            &b, None, &Value::Int(lo), &Value::Int(hi), true, false, false,
+        )
+        .unwrap();
+        let want: Vec<u64> = data
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_some_and(|x| x >= lo && x < hi))
+            .map(|(i, _)| i as u64)
+            .collect();
+        prop_assert_eq!(got.to_vec(), want);
+    }
+
+    /// Projection through a candidate list preserves values.
+    #[test]
+    fn projection_preserves_values(data in opt_ints(200)) {
+        let b = Bat::from_opt_ints(data.clone());
+        let every_other: Vec<u64> =
+            (0..data.len() as u64).filter(|i| i % 2 == 0).collect();
+        let cand = Candidates::from_sorted(every_other.clone());
+        let p = project::project(&cand, &b).unwrap();
+        prop_assert_eq!(p.len(), every_other.len());
+        for (k, &o) in every_other.iter().enumerate() {
+            prop_assert_eq!(p.get(k), b.get(o as usize));
+        }
+    }
+
+    /// Hash join agrees with the nested-loop definition (nil never joins).
+    #[test]
+    fn hashjoin_matches_nested_loop(l in opt_ints(60), r in opt_ints(60)) {
+        let lb = Bat::from_opt_ints(l.clone());
+        let rb = Bat::from_opt_ints(r.clone());
+        let j = join::hashjoin(&lb, &rb, None, None).unwrap();
+        let mut got: Vec<(u64, u64)> =
+            j.left.iter().cloned().zip(j.right.iter().cloned()).collect();
+        got.sort_unstable();
+        let mut want = Vec::new();
+        for (i, lv) in l.iter().enumerate() {
+            for (k, rv) in r.iter().enumerate() {
+                if let (Some(a), Some(b)) = (lv, rv) {
+                    if a == b {
+                        want.push((i as u64, k as u64));
+                    }
+                }
+            }
+        }
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Sorting produces an ordered permutation (nils first).
+    #[test]
+    fn sort_is_ordered_permutation(data in opt_ints(200)) {
+        let b = Bat::from_opt_ints(data.clone());
+        let s = sort::sorted(&b).unwrap();
+        prop_assert_eq!(s.len(), b.len());
+        prop_assert!(sort::is_sorted(&s));
+        let mut want = data.clone();
+        want.sort_by(|a, b| match (a, b) {
+            (None, None) => std::cmp::Ordering::Equal,
+            (None, _) => std::cmp::Ordering::Less,
+            (_, None) => std::cmp::Ordering::Greater,
+            (Some(x), Some(y)) => x.cmp(y),
+        });
+        let got: Vec<Option<i32>> = s
+            .iter_values()
+            .map(|v| v.as_i64().map(|x| x as i32))
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Grouped sums partition the scalar sum; counts partition the rows.
+    #[test]
+    fn grouped_aggregates_partition(data in opt_ints(150), modulo in 1i32..7) {
+        let keys = Bat::from_ints(
+            (0..data.len() as i32).map(|i| i % modulo).collect(),
+        );
+        let vals = Bat::from_opt_ints(data.clone());
+        let g = group::group_by(&keys, None, None).unwrap();
+        let sums = aggregate::grouped(aggregate::AggFunc::Sum, &vals, &g).unwrap();
+        let counts = aggregate::grouped(aggregate::AggFunc::Count, &vals, &g).unwrap();
+        let total_sum: i64 = sums.iter_values().filter_map(|v| v.as_i64()).sum();
+        let want_sum: i64 = data.iter().flatten().map(|&v| i64::from(v)).sum();
+        let have_any = data.iter().any(Option::is_some);
+        if have_any {
+            prop_assert_eq!(total_sum, want_sum);
+        }
+        let total_count: i64 =
+            counts.iter_values().filter_map(|v| v.as_i64()).sum();
+        prop_assert_eq!(total_count, data.iter().flatten().count() as i64);
+    }
+
+    /// Element-wise add/sub round-trips and propagates nil.
+    #[test]
+    fn arith_roundtrip(data in opt_ints(200), delta in -500i32..500) {
+        let b = Bat::from_opt_ints(data.clone());
+        let plus = arith::binop(
+            BinOp::Add,
+            Operand::Col(&b),
+            Operand::Scalar(&Value::Int(delta)),
+        )
+        .unwrap();
+        let back = arith::binop(
+            BinOp::Sub,
+            Operand::Col(&plus),
+            Operand::Scalar(&Value::Int(delta)),
+        )
+        .unwrap();
+        prop_assert_eq!(back.to_values(), b.to_values());
+        for (i, v) in data.iter().enumerate() {
+            prop_assert_eq!(plus.is_nil_at(i), v.is_none());
+        }
+    }
+
+    /// Candidate set algebra: intersect/union/difference behave like sets.
+    #[test]
+    fn candidate_set_algebra(
+        a in proptest::collection::btree_set(0u64..100, 0..40),
+        b in proptest::collection::btree_set(0u64..100, 0..40),
+    ) {
+        let ca = Candidates::from_sorted(a.iter().cloned().collect());
+        let cb = Candidates::from_sorted(b.iter().cloned().collect());
+        let inter: Vec<u64> = a.intersection(&b).cloned().collect();
+        let uni: Vec<u64> = a.union(&b).cloned().collect();
+        let diff: Vec<u64> = a.difference(&b).cloned().collect();
+        prop_assert_eq!(ca.intersect(&cb).to_vec(), inter);
+        prop_assert_eq!(ca.union(&cb).to_vec(), uni);
+        prop_assert_eq!(ca.difference(&cb).to_vec(), diff);
+    }
+
+    /// series length × repetitions = total tuples; values stay on-grid.
+    #[test]
+    fn series_shape(start in -50i64..50, step in 1i64..5, count in 0i64..30,
+                    n in 1usize..4, m in 1usize..4) {
+        let stop = start + step * count;
+        let b = Bat::series(start, step, stop, n, m).unwrap();
+        prop_assert_eq!(b.len(), count as usize * n * m);
+        for v in b.iter_values() {
+            let x = v.as_i64().unwrap();
+            prop_assert!((x - start) % step == 0);
+            prop_assert!(x >= start && x < stop.max(start));
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Grey-scale image container.
+
+/// An 8-bit grey-scale image stored as `i32` intensities (matching the
+/// paper's "integer column v denoting the grey-scale intensities").
+/// Addressing is `(x, y)` with `x` the column and the first array
+/// dimension (slowest varying), exactly like the SciQL arrays it maps to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GreyImage {
+    /// Extent in x.
+    pub width: usize,
+    /// Extent in y.
+    pub height: usize,
+    /// Row-major (x-major) pixel data, length `width * height`.
+    pub pixels: Vec<i32>,
+}
+
+impl GreyImage {
+    /// A black image.
+    pub fn new(width: usize, height: usize) -> Self {
+        GreyImage {
+            width,
+            height,
+            pixels: vec![0; width * height],
+        }
+    }
+
+    /// Build from a function of the coordinates.
+    pub fn from_fn(width: usize, height: usize, f: impl Fn(usize, usize) -> i32) -> Self {
+        let mut img = GreyImage::new(width, height);
+        for x in 0..width {
+            for y in 0..height {
+                img.set(x, y, f(x, y));
+            }
+        }
+        img
+    }
+
+    #[inline]
+    fn idx(&self, x: usize, y: usize) -> usize {
+        x * self.height + y
+    }
+
+    /// Pixel intensity.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> i32 {
+        self.pixels[self.idx(x, y)]
+    }
+
+    /// Pixel intensity with out-of-bounds as `None`.
+    pub fn get_checked(&self, x: i64, y: i64) -> Option<i32> {
+        if x < 0 || y < 0 || x as usize >= self.width || y as usize >= self.height {
+            None
+        } else {
+            Some(self.get(x as usize, y as usize))
+        }
+    }
+
+    /// Set a pixel.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: i32) {
+        let i = self.idx(x, y);
+        self.pixels[i] = v;
+    }
+
+    /// Clamp all intensities into `[0, 255]`.
+    pub fn clamp_u8(&mut self) {
+        for p in &mut self.pixels {
+            *p = (*p).clamp(0, 255);
+        }
+    }
+
+    /// Mean intensity.
+    pub fn mean(&self) -> f64 {
+        if self.pixels.is_empty() {
+            return 0.0;
+        }
+        self.pixels.iter().map(|&p| p as f64).sum::<f64>() / self.pixels.len() as f64
+    }
+
+    /// Minimum and maximum intensity.
+    pub fn min_max(&self) -> (i32, i32) {
+        let mut lo = i32::MAX;
+        let mut hi = i32::MIN;
+        for &p in &self.pixels {
+            lo = lo.min(p);
+            hi = hi.max(p);
+        }
+        (lo, hi)
+    }
+
+    /// Iterate `(x, y, v)` triples in cell order.
+    pub fn iter_pixels(&self) -> impl Iterator<Item = (usize, usize, i32)> + '_ {
+        (0..self.width)
+            .flat_map(move |x| (0..self.height).map(move |y| (x, y, self.get(x, y))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_and_access() {
+        let img = GreyImage::from_fn(3, 2, |x, y| (x * 10 + y) as i32);
+        assert_eq!(img.get(2, 1), 21);
+        assert_eq!(img.get_checked(2, 1), Some(21));
+        assert_eq!(img.get_checked(-1, 0), None);
+        assert_eq!(img.get_checked(3, 0), None);
+        assert_eq!(img.pixels.len(), 6);
+    }
+
+    #[test]
+    fn stats() {
+        let img = GreyImage::from_fn(2, 2, |x, y| (x + y) as i32 * 100);
+        assert_eq!(img.min_max(), (0, 200));
+        assert_eq!(img.mean(), 100.0);
+    }
+
+    #[test]
+    fn clamping() {
+        let mut img = GreyImage::from_fn(2, 1, |x, _| if x == 0 { -5 } else { 300 });
+        img.clamp_u8();
+        assert_eq!(img.pixels, vec![0, 255]);
+    }
+}

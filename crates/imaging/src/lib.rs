@@ -1,0 +1,30 @@
+//! # sciql-imaging — in-database image processing (demo Scenario II)
+//!
+//! The paper's second scenario: GeoTIFF images stored as 2-D arrays in the
+//! DBMS (via the GeoTIFF Data Vault) and processed with SciQL queries —
+//! "loading, intensity inversion, building's edges detection, smoothing,
+//! resolution reduction and rotation" on a grey-scale image, plus
+//! "filtering out water areas, compute intensity histogram, zooming in,
+//! increasing intensity … and selecting areas of interest given either a
+//! bit mask image or rectangular bounding boxes" on a remote-sensing
+//! image.
+//!
+//! Since the TELEIOS GeoTIFF data is not available, [`synth`] generates
+//! deterministic synthetic images with the same relevant structure
+//! (strong edges for the building; smooth terrain with low-lying "water"
+//! for the remote-sensing scene), and [`pgm`] provides a portable
+//! grey-map container in place of GeoTIFF. Every operation exists twice:
+//! as a native-Rust baseline ([`ops`]) and as SciQL queries
+//! ([`sciql_ops`]); tests assert they agree pixel-for-pixel.
+
+#![warn(missing_docs)]
+
+pub mod image;
+pub mod ops;
+pub mod pgm;
+pub mod sciql_ops;
+pub mod synth;
+pub mod vault;
+
+pub use image::GreyImage;
+pub use sciql_ops::SciqlImages;

@@ -1,0 +1,286 @@
+//! Native-Rust image operations — the baselines the SciQL versions are
+//! checked against (and benchmarked against).
+
+use crate::image::GreyImage;
+
+/// Intensity inversion: `255 - v`.
+pub fn invert(img: &GreyImage) -> GreyImage {
+    GreyImage {
+        width: img.width,
+        height: img.height,
+        pixels: img.pixels.iter().map(|&p| 255 - p).collect(),
+    }
+}
+
+/// Edge detection as the demo defines it: "the differences in colour
+/// intensities of each pixel and its upper and left neighbouring pixels".
+/// Border pixels (no upper/left neighbour) are 0.
+pub fn edges(img: &GreyImage) -> GreyImage {
+    GreyImage::from_fn(img.width, img.height, |x, y| {
+        let v = img.get(x, y);
+        match (
+            img.get_checked(x as i64 - 1, y as i64),
+            img.get_checked(x as i64, y as i64 - 1),
+        ) {
+            (Some(left), Some(up)) => (v - left).abs() + (v - up).abs(),
+            _ => 0,
+        }
+    })
+}
+
+/// 3×3 mean smoothing; at the borders only in-range neighbours
+/// participate (matching SciQL tiling, where out-of-range cells are
+/// ignored by AVG). Result is rounded to the nearest integer.
+pub fn smooth(img: &GreyImage) -> GreyImage {
+    GreyImage::from_fn(img.width, img.height, |x, y| {
+        let mut sum = 0i64;
+        let mut cnt = 0i64;
+        for dx in -1i64..=1 {
+            for dy in -1i64..=1 {
+                if let Some(v) = img.get_checked(x as i64 + dx, y as i64 + dy) {
+                    sum += i64::from(v);
+                    cnt += 1;
+                }
+            }
+        }
+        (sum as f64 / cnt as f64).round() as i32
+    })
+}
+
+/// Resolution reduction by 2: each output pixel is the rounded average of
+/// its 2×2 source block (partial blocks at odd borders use what exists).
+pub fn reduce(img: &GreyImage) -> GreyImage {
+    let w = img.width.div_ceil(2);
+    let h = img.height.div_ceil(2);
+    GreyImage::from_fn(w, h, |x, y| {
+        let mut sum = 0i64;
+        let mut cnt = 0i64;
+        for dx in 0..2 {
+            for dy in 0..2 {
+                if let Some(v) = img.get_checked((2 * x + dx) as i64, (2 * y + dy) as i64) {
+                    sum += i64::from(v);
+                    cnt += 1;
+                }
+            }
+        }
+        (sum as f64 / cnt as f64).round() as i32
+    })
+}
+
+/// Rotate 90° clockwise: `out(x, y) = in(y, H_in − 1 − x)` with
+/// `out` sized `height × width`.
+pub fn rotate90(img: &GreyImage) -> GreyImage {
+    GreyImage::from_fn(img.height, img.width, |x, y| {
+        img.get(y, img.height - 1 - x)
+    })
+}
+
+/// Zoom-in = slab selection `[x0, x1) × [y0, y1)` (the demo's "selecting
+/// only the necessary part of the data").
+pub fn zoom(img: &GreyImage, x0: usize, x1: usize, y0: usize, y1: usize) -> GreyImage {
+    GreyImage::from_fn(x1 - x0, y1 - y0, |x, y| img.get(x0 + x, y0 + y))
+}
+
+/// Brighten by `delta`, clamped to 255.
+pub fn brighten(img: &GreyImage, delta: i32) -> GreyImage {
+    GreyImage {
+        width: img.width,
+        height: img.height,
+        pixels: img.pixels.iter().map(|&p| (p + delta).min(255)).collect(),
+    }
+}
+
+/// Water filter: intensities below `level` become 0.
+pub fn filter_water(img: &GreyImage, level: i32) -> GreyImage {
+    GreyImage {
+        width: img.width,
+        height: img.height,
+        pixels: img
+            .pixels
+            .iter()
+            .map(|&p| if p < level { 0 } else { p })
+            .collect(),
+    }
+}
+
+/// Morphological erosion: 3×3 neighbourhood minimum (in-range cells
+/// only). Shrinks bright regions; a classic extension the demo audience
+/// could request.
+pub fn erode(img: &GreyImage) -> GreyImage {
+    neighbourhood_extreme(img, true)
+}
+
+/// Morphological dilation: 3×3 neighbourhood maximum.
+pub fn dilate(img: &GreyImage) -> GreyImage {
+    neighbourhood_extreme(img, false)
+}
+
+fn neighbourhood_extreme(img: &GreyImage, min: bool) -> GreyImage {
+    GreyImage::from_fn(img.width, img.height, |x, y| {
+        let mut best: Option<i32> = None;
+        for dx in -1i64..=1 {
+            for dy in -1i64..=1 {
+                if let Some(v) = img.get_checked(x as i64 + dx, y as i64 + dy) {
+                    best = Some(match best {
+                        None => v,
+                        Some(b) => {
+                            if min {
+                                b.min(v)
+                            } else {
+                                b.max(v)
+                            }
+                        }
+                    });
+                }
+            }
+        }
+        best.unwrap_or(0)
+    })
+}
+
+/// Intensity histogram with the given bin width; returns
+/// `(bin_index, count)` sorted by bin.
+pub fn histogram(img: &GreyImage, bin_width: i32) -> Vec<(i32, usize)> {
+    let mut counts = std::collections::BTreeMap::new();
+    for &p in &img.pixels {
+        *counts.entry(p / bin_width).or_insert(0usize) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+/// Areas of interest via a 0/1 mask image: pixels where the mask is 1, as
+/// `(x, y, v)` triples in cell order.
+pub fn mask_select(img: &GreyImage, mask: &GreyImage) -> Vec<(usize, usize, i32)> {
+    assert_eq!((img.width, img.height), (mask.width, mask.height));
+    img.iter_pixels()
+        .filter(|&(x, y, _)| mask.get(x, y) == 1)
+        .collect()
+}
+
+/// Areas of interest via rectangular bounding boxes `[x0,x1)×[y0,y1)`.
+pub fn bbox_select(
+    img: &GreyImage,
+    boxes: &[(usize, usize, usize, usize)],
+) -> Vec<(usize, usize, i32)> {
+    img.iter_pixels()
+        .filter(|&(x, y, _)| {
+            boxes
+                .iter()
+                .any(|&(x0, x1, y0, y1)| x >= x0 && x < x1 && y >= y0 && y < y1)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> GreyImage {
+        GreyImage::from_fn(4, 4, |x, y| (x * 16 + y * 4) as i32)
+    }
+
+    #[test]
+    fn invert_is_involution() {
+        let img = ramp();
+        assert_eq!(invert(&invert(&img)), img);
+        assert_eq!(invert(&img).get(0, 0), 255);
+    }
+
+    #[test]
+    fn edges_flat_image_is_zero() {
+        let flat = GreyImage::from_fn(5, 5, |_, _| 100);
+        assert!(edges(&flat).pixels.iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn edges_detect_a_step() {
+        let step = GreyImage::from_fn(4, 4, |x, _| if x < 2 { 0 } else { 100 });
+        let e = edges(&step);
+        assert_eq!(e.get(2, 1), 100, "vertical boundary at x=2");
+        assert_eq!(e.get(1, 1), 0, "flat region");
+        assert_eq!(e.get(0, 0), 0, "border defined as 0");
+    }
+
+    #[test]
+    fn smooth_preserves_flat_and_rounds() {
+        let flat = GreyImage::from_fn(5, 5, |_, _| 77);
+        assert_eq!(smooth(&flat), flat);
+        // single bright pixel spreads
+        let mut img = GreyImage::new(3, 3);
+        img.set(1, 1, 90);
+        let s = smooth(&img);
+        assert_eq!(s.get(0, 0), 23, "90/4 = 22.5 → 23 (corner has 4 cells)");
+        assert_eq!(s.get(1, 1), 10, "90/9 = 10");
+    }
+
+    #[test]
+    fn reduce_halves_dimensions() {
+        let img = ramp();
+        let r = reduce(&img);
+        assert_eq!((r.width, r.height), (2, 2));
+        // block (0,0): pixels (0,0)=0,(0,1)=4,(1,0)=16,(1,1)=20 → 10
+        assert_eq!(r.get(0, 0), 10);
+        let odd = GreyImage::from_fn(3, 3, |_, _| 8);
+        let r = reduce(&odd);
+        assert_eq!((r.width, r.height), (2, 2));
+        assert_eq!(r.get(1, 1), 8, "partial block still averages to 8");
+    }
+
+    #[test]
+    fn rotate_four_times_is_identity() {
+        let img = ramp();
+        let r = rotate90(&rotate90(&rotate90(&rotate90(&img))));
+        assert_eq!(r, img);
+        let rect = GreyImage::from_fn(4, 2, |x, y| (x + 10 * y) as i32);
+        let rot = rotate90(&rect);
+        assert_eq!((rot.width, rot.height), (2, 4));
+        // out(0,0) = in(0, H-1-0) = in(0,1) = 10
+        assert_eq!(rot.get(0, 0), 10);
+    }
+
+    #[test]
+    fn zoom_crops() {
+        let img = ramp();
+        let z = zoom(&img, 1, 3, 2, 4);
+        assert_eq!((z.width, z.height), (2, 2));
+        assert_eq!(z.get(0, 0), img.get(1, 2));
+    }
+
+    #[test]
+    fn brighten_clamps() {
+        let img = GreyImage::from_fn(2, 1, |x, _| if x == 0 { 250 } else { 10 });
+        let b = brighten(&img, 40);
+        assert_eq!(b.pixels, vec![255, 50]);
+    }
+
+    #[test]
+    fn water_filter_zeroes_low() {
+        let img = GreyImage::from_fn(2, 1, |x, _| if x == 0 { 30 } else { 200 });
+        let f = filter_water(&img, 70);
+        assert_eq!(f.pixels, vec![0, 200]);
+    }
+
+    #[test]
+    fn histogram_totals_match() {
+        let img = ramp();
+        let h = histogram(&img, 16);
+        let total: usize = h.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 16);
+        assert_eq!(h[0], (0, 4), "intensities 0,4,8,12 in bin 0");
+    }
+
+    #[test]
+    fn mask_and_bbox_select() {
+        let img = ramp();
+        let mut mask = GreyImage::new(4, 4);
+        mask.set(1, 1, 1);
+        mask.set(2, 3, 1);
+        let sel = mask_select(&img, &mask);
+        assert_eq!(sel.len(), 2);
+        assert!(sel.contains(&(1, 1, img.get(1, 1))));
+
+        let sel = bbox_select(&img, &[(0, 2, 0, 2), (3, 4, 3, 4)]);
+        assert_eq!(sel.len(), 5);
+        assert!(sel.contains(&(3, 3, img.get(3, 3))));
+    }
+}

@@ -1,0 +1,94 @@
+//! Portable grey map (PGM) read/write — the open container standing in
+//! for GeoTIFF in this reproduction.
+
+use crate::image::GreyImage;
+use std::io::{self, BufRead, Write};
+
+/// Write an image as ASCII PGM (P2).
+pub fn write_pgm<W: Write>(img: &GreyImage, mut w: W) -> io::Result<()> {
+    writeln!(w, "P2")?;
+    writeln!(w, "{} {}", img.width, img.height)?;
+    writeln!(w, "255")?;
+    for y in 0..img.height {
+        let row: Vec<String> = (0..img.width)
+            .map(|x| img.get(x, y).clamp(0, 255).to_string())
+            .collect();
+        writeln!(w, "{}", row.join(" "))?;
+    }
+    Ok(())
+}
+
+/// Read an ASCII PGM (P2).
+pub fn read_pgm<R: BufRead>(r: R) -> io::Result<GreyImage> {
+    let mut tokens: Vec<String> = Vec::new();
+    for line in r.lines() {
+        let line = line?;
+        let data = line.split('#').next().unwrap_or("");
+        tokens.extend(data.split_whitespace().map(str::to_owned));
+    }
+    let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_owned());
+    if tokens.first().map(String::as_str) != Some("P2") {
+        return Err(bad("not an ASCII PGM (missing P2 magic)"));
+    }
+    let parse = |i: usize, what: &str| -> io::Result<usize> {
+        tokens
+            .get(i)
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| bad(&format!("bad {what}")))
+    };
+    let width = parse(1, "width")?;
+    let height = parse(2, "height")?;
+    let _maxval = parse(3, "maxval")?;
+    let expected = width * height;
+    if tokens.len() < 4 + expected {
+        return Err(bad("truncated pixel data"));
+    }
+    let mut img = GreyImage::new(width, height);
+    for (k, t) in tokens[4..4 + expected].iter().enumerate() {
+        let v: i32 = t.parse().map_err(|_| bad("bad pixel value"))?;
+        let (y, x) = (k / width, k % width);
+        img.set(x, y, v);
+    }
+    Ok(img)
+}
+
+/// Write to a file path.
+pub fn save_pgm(img: &GreyImage, path: &std::path::Path) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_pgm(img, io::BufWriter::new(f))
+}
+
+/// Read from a file path.
+pub fn load_pgm(path: &std::path::Path) -> io::Result<GreyImage> {
+    let f = std::fs::File::open(path)?;
+    read_pgm(io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let img = GreyImage::from_fn(5, 3, |x, y| (x * 20 + y * 7) as i32);
+        let mut buf = Vec::new();
+        write_pgm(&img, &mut buf).unwrap();
+        let back = read_pgm(io::Cursor::new(buf)).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let text = "P2\n# a comment\n2 2\n255\n1 2\n3 4\n";
+        let img = read_pgm(io::Cursor::new(text)).unwrap();
+        assert_eq!(img.get(0, 0), 1);
+        assert_eq!(img.get(1, 1), 4);
+    }
+
+    #[test]
+    fn bad_inputs_error() {
+        assert!(read_pgm(io::Cursor::new("P5\n2 2\n255\n")).is_err());
+        assert!(read_pgm(io::Cursor::new("P2\n2 2\n255\n1 2 3")).is_err());
+        assert!(read_pgm(io::Cursor::new("")).is_err());
+    }
+}

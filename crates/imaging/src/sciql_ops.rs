@@ -1,0 +1,345 @@
+//! Every demo image operation expressed as SciQL queries.
+//!
+//! The text of each query mirrors what the paper's demo GUI would issue;
+//! tests in this crate assert pixel-exact agreement with the native
+//! baselines in [`crate::ops`].
+
+use crate::image::GreyImage;
+use crate::vault::{load_image, view_to_image};
+use sciql::{Connection, Result};
+
+/// An image-processing session: a SciQL connection holding image arrays.
+pub struct SciqlImages {
+    conn: Connection,
+}
+
+impl Default for SciqlImages {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SciqlImages {
+    /// Fresh session.
+    pub fn new() -> Self {
+        SciqlImages {
+            conn: Connection::new(),
+        }
+    }
+
+    /// Borrow the connection.
+    pub fn connection(&mut self) -> &mut Connection {
+        &mut self.conn
+    }
+
+    /// Load an image as array `name` (the Data Vault step).
+    pub fn load(&mut self, name: &str, img: &GreyImage) -> Result<()> {
+        load_image(&mut self.conn, name, img)
+    }
+
+    fn image_dims(&self, name: &str) -> Result<(usize, usize)> {
+        let s = self.conn.array_store(name)?.shape();
+        Ok((s[0], s[1]))
+    }
+
+    fn query_image(&mut self, sql: &str) -> Result<GreyImage> {
+        let view = self.conn.query_array(sql)?;
+        view_to_image(&view)
+    }
+
+    /// Intensity inversion.
+    pub fn invert(&mut self, name: &str) -> Result<GreyImage> {
+        self.query_image(&format!("SELECT [x], [y], 255 - v FROM {name}"))
+    }
+
+    /// EdgeDetection — "computing the differences in colour intensities of
+    /// each pixel and its upper and left neighbouring pixels", using
+    /// SciQL's relative cell addressing.
+    pub fn edges(&mut self, name: &str) -> Result<GreyImage> {
+        // Border pixels have no upper/left neighbour: the cell reference
+        // is NULL there, the sum is NULL, and the hole reads back as 0.
+        self.query_image(&format!(
+            "SELECT [x], [y], \
+             ABS(v - {name}[x-1][y]) + ABS(v - {name}[x][y-1]) FROM {name}"
+        ))
+    }
+
+    /// 3×3 mean smoothing via structural grouping.
+    pub fn smooth(&mut self, name: &str) -> Result<GreyImage> {
+        self.query_image(&format!(
+            "SELECT [x], [y], CAST(AVG(v) AS INT) FROM {name} \
+             GROUP BY {name}[x-1:x+2][y-1:y+2]"
+        ))
+    }
+
+    /// Resolution reduction by 2 via value grouping on `x/2, y/2`.
+    pub fn reduce(&mut self, name: &str) -> Result<GreyImage> {
+        self.query_image(&format!(
+            "SELECT [x / 2], [y / 2], CAST(AVG(v) AS INT) FROM {name} \
+             GROUP BY x / 2, y / 2"
+        ))
+    }
+
+    /// Rotate 90° clockwise by permuting dimension expressions.
+    pub fn rotate90(&mut self, name: &str) -> Result<GreyImage> {
+        let (_, h) = self.image_dims(name)?;
+        self.query_image(&format!(
+            "SELECT [{h1} - y], [x], v FROM {name}",
+            h1 = h - 1
+        ))
+    }
+
+    /// Zoom-in: slab selection.
+    pub fn zoom(
+        &mut self,
+        name: &str,
+        x0: usize,
+        x1: usize,
+        y0: usize,
+        y1: usize,
+    ) -> Result<GreyImage> {
+        self.query_image(&format!(
+            "SELECT [x], [y], v FROM {name}[{x0}:{x1}][{y0}:{y1}]"
+        ))
+    }
+
+    /// Increase intensity (clamped at 255).
+    pub fn brighten(&mut self, name: &str, delta: i32) -> Result<GreyImage> {
+        self.query_image(&format!(
+            "SELECT [x], [y], CASE WHEN v + {delta} > 255 THEN 255 \
+             ELSE v + {delta} END FROM {name}"
+        ))
+    }
+
+    /// Filter out water areas (intensities below `level` become 0).
+    pub fn filter_water(&mut self, name: &str, level: i32) -> Result<GreyImage> {
+        self.query_image(&format!(
+            "SELECT [x], [y], CASE WHEN v < {level} THEN 0 ELSE v END FROM {name}"
+        ))
+    }
+
+    /// Morphological erosion via a MIN tile (extension operation).
+    pub fn erode(&mut self, name: &str) -> Result<GreyImage> {
+        self.query_image(&format!(
+            "SELECT [x], [y], MIN(v) FROM {name} GROUP BY {name}[x-1:x+2][y-1:y+2]"
+        ))
+    }
+
+    /// Morphological dilation via a MAX tile (extension operation).
+    pub fn dilate(&mut self, name: &str) -> Result<GreyImage> {
+        self.query_image(&format!(
+            "SELECT [x], [y], MAX(v) FROM {name} GROUP BY {name}[x-1:x+2][y-1:y+2]"
+        ))
+    }
+
+    /// Intensity histogram `(bin, count)`.
+    pub fn histogram(&mut self, name: &str, bin_width: i32) -> Result<Vec<(i32, usize)>> {
+        let rs = self.conn.query(&format!(
+            "SELECT v / {bin_width} AS bin, COUNT(*) AS n FROM {name} \
+             GROUP BY v / {bin_width} ORDER BY bin"
+        ))?;
+        Ok(rs
+            .rows()
+            .map(|r| {
+                (
+                    r[0].as_i64().unwrap_or(0) as i32,
+                    r[1].as_i64().unwrap_or(0) as usize,
+                )
+            })
+            .collect())
+    }
+
+    /// Areas of interest via a bit-mask array: the join between the image
+    /// array and the mask array (recognised as a hash join on `x, y`).
+    pub fn mask_select(
+        &mut self,
+        name: &str,
+        mask: &str,
+    ) -> Result<Vec<(usize, usize, i32)>> {
+        let rs = self.conn.query(&format!(
+            "SELECT a.x AS px, a.y AS py, a.v AS pv FROM {name} a, {mask} m \
+             WHERE a.x = m.x AND a.y = m.y AND m.v = 1 \
+             ORDER BY px, py"
+        ))?;
+        Ok(rows_to_triples(&rs))
+    }
+
+    /// Areas of interest via bounding boxes stored in a *table* — "the
+    /// combined use of arrays and tables. Here, the bounding boxes of the
+    /// interested-areas are stored in the table maskt. Then, a join
+    /// between the table and the image array is done."
+    pub fn bbox_select(
+        &mut self,
+        name: &str,
+        boxes: &[(usize, usize, usize, usize)],
+    ) -> Result<Vec<(usize, usize, i32)>> {
+        self.conn
+            .execute("CREATE TABLE maskt (x1 INT, x2 INT, y1 INT, y2 INT)")?;
+        for &(x0, x1, y0, y1) in boxes {
+            self.conn.execute(&format!(
+                "INSERT INTO maskt VALUES ({x0}, {x1}, {y0}, {y1})"
+            ))?;
+        }
+        let rs = self.conn.query(&format!(
+            "SELECT DISTINCT a.x AS px, a.y AS py, a.v AS pv FROM {name} a, maskt b \
+             WHERE a.x >= b.x1 AND a.x < b.x2 AND a.y >= b.y1 AND a.y < b.y2 \
+             ORDER BY px, py"
+        ))?;
+        self.conn.execute("DROP TABLE maskt")?;
+        Ok(rows_to_triples(&rs))
+    }
+}
+
+fn rows_to_triples(rs: &sciql::ResultSet) -> Vec<(usize, usize, i32)> {
+    rs.rows()
+        .map(|r| {
+            (
+                r[0].as_i64().unwrap_or(0) as usize,
+                r[1].as_i64().unwrap_or(0) as usize,
+                r[2].as_i64().unwrap_or(0) as i32,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+    use crate::synth;
+
+    fn session_with(img: &GreyImage) -> SciqlImages {
+        let mut s = SciqlImages::new();
+        s.load("img", img).unwrap();
+        s
+    }
+
+    fn test_image() -> GreyImage {
+        synth::building(24, 20, 11)
+    }
+
+    #[test]
+    fn invert_matches_native() {
+        let img = test_image();
+        let mut s = session_with(&img);
+        assert_eq!(s.invert("img").unwrap(), ops::invert(&img));
+    }
+
+    #[test]
+    fn edges_match_native() {
+        let img = test_image();
+        let mut s = session_with(&img);
+        assert_eq!(s.edges("img").unwrap(), ops::edges(&img));
+    }
+
+    #[test]
+    fn smooth_matches_native() {
+        let img = test_image();
+        let mut s = session_with(&img);
+        assert_eq!(s.smooth("img").unwrap(), ops::smooth(&img));
+    }
+
+    #[test]
+    fn reduce_matches_native() {
+        let img = test_image();
+        let mut s = session_with(&img);
+        assert_eq!(s.reduce("img").unwrap(), ops::reduce(&img));
+        // odd-sized image exercises partial blocks
+        let odd = synth::terrain(15, 13, 5);
+        let mut s = session_with(&odd);
+        assert_eq!(s.reduce("img").unwrap(), ops::reduce(&odd));
+    }
+
+    #[test]
+    fn rotate_matches_native() {
+        let img = test_image();
+        let mut s = session_with(&img);
+        assert_eq!(s.rotate90("img").unwrap(), ops::rotate90(&img));
+    }
+
+    #[test]
+    fn zoom_matches_native() {
+        let img = test_image();
+        let mut s = session_with(&img);
+        assert_eq!(
+            s.zoom("img", 4, 12, 2, 10).unwrap(),
+            ops::zoom(&img, 4, 12, 2, 10)
+        );
+    }
+
+    #[test]
+    fn brighten_matches_native() {
+        let img = test_image();
+        let mut s = session_with(&img);
+        assert_eq!(s.brighten("img", 40).unwrap(), ops::brighten(&img, 40));
+    }
+
+    #[test]
+    fn erode_dilate_match_native() {
+        let img = test_image();
+        let mut s = session_with(&img);
+        assert_eq!(s.erode("img").unwrap(), ops::erode(&img));
+        assert_eq!(s.dilate("img").unwrap(), ops::dilate(&img));
+        // Dilation dominates erosion pointwise.
+        let e = ops::erode(&img);
+        let d = ops::dilate(&img);
+        assert!(e
+            .pixels
+            .iter()
+            .zip(&d.pixels)
+            .all(|(a, b)| a <= b));
+    }
+
+    #[test]
+    fn water_filter_matches_native() {
+        let img = synth::terrain(24, 24, 9);
+        let mut s = session_with(&img);
+        assert_eq!(
+            s.filter_water("img", synth::WATER_LEVEL).unwrap(),
+            ops::filter_water(&img, synth::WATER_LEVEL)
+        );
+    }
+
+    #[test]
+    fn histogram_matches_native() {
+        let img = synth::terrain(24, 24, 10);
+        let mut s = session_with(&img);
+        assert_eq!(s.histogram("img", 32).unwrap(), ops::histogram(&img, 32));
+    }
+
+    #[test]
+    fn mask_select_matches_native() {
+        let img = synth::terrain(16, 16, 4);
+        let mask = synth::ellipse_mask(16, 16);
+        let mut s = session_with(&img);
+        s.load("mask", &mask).unwrap();
+        let got = s.mask_select("img", "mask").unwrap();
+        let mut want = ops::mask_select(&img, &mask);
+        want.sort();
+        assert_eq!(got, want);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn bbox_select_matches_native() {
+        let img = synth::building(16, 16, 2);
+        let boxes = [(1usize, 5usize, 2usize, 6usize), (8, 12, 8, 16)];
+        let mut s = session_with(&img);
+        let got = s.bbox_select("img", &boxes).unwrap();
+        let mut want = ops::bbox_select(&img, &boxes);
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn join_recognition_makes_mask_select_feasible() {
+        // 48×48 = 2304 cells; a cross product would be 5.3M rows — the
+        // hash join keeps it linear. Just assert it completes and agrees.
+        let img = synth::terrain(48, 48, 1);
+        let mask = synth::ellipse_mask(48, 48);
+        let mut s = session_with(&img);
+        s.load("mask", &mask).unwrap();
+        let got = s.mask_select("img", "mask").unwrap();
+        assert_eq!(got.len(), ops::mask_select(&img, &mask).len());
+    }
+}

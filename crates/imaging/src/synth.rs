@@ -1,0 +1,140 @@
+//! Deterministic synthetic images standing in for the demo's GeoTIFF data.
+//!
+//! The paper used "a normal grey-scale image of a classic building and a
+//! remote sensing image of the earth" from the TELEIOS project. Those
+//! files are proprietary; these generators produce images with the same
+//! *structure the operations exercise*: the building image has strong
+//! horizontal/vertical edges (windows, facade) for EdgeDetection, the
+//! terrain image has smooth elevation-like intensities with low-lying
+//! water basins for the water filter and histogram.
+
+use crate::image::GreyImage;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A facade-like image: sky gradient, building body, regular grid of
+/// windows — lots of sharp intensity steps.
+pub fn building(width: usize, height: usize, seed: u64) -> GreyImage {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut img = GreyImage::from_fn(width, height, |_, y| {
+        // sky gradient 200→150 over the top third
+        let sky_limit = height / 3;
+        if y < sky_limit {
+            200 - (50 * y / sky_limit.max(1)) as i32
+        } else {
+            90 // facade base tone
+        }
+    });
+    // Building body with window grid.
+    let sky_limit = height / 3;
+    let win_w = (width / 12).max(2);
+    let win_h = (height / 14).max(2);
+    for x in 0..width {
+        for y in sky_limit..height {
+            let in_window_col = (x / win_w) % 2 == 1;
+            let in_window_row = ((y - sky_limit) / win_h) % 2 == 1;
+            if in_window_col && in_window_row {
+                img.set(x, y, 30); // dark window
+            }
+        }
+    }
+    // Mild sensor noise.
+    for p in &mut img.pixels {
+        *p = (*p + rng.gen_range(-3..=3)).clamp(0, 255);
+    }
+    img
+}
+
+/// A terrain-like image: smooth multi-scale bumps; intensities below
+/// `WATER_LEVEL` read as water.
+pub fn terrain(width: usize, height: usize, seed: u64) -> GreyImage {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Sum of a few random Gaussian bumps → smooth, blobby elevation.
+    let n_bumps = 10;
+    let bumps: Vec<(f64, f64, f64, f64)> = (0..n_bumps)
+        .map(|_| {
+            (
+                rng.gen_range(0.0..width as f64),
+                rng.gen_range(0.0..height as f64),
+                rng.gen_range((width.min(height) as f64 / 8.0)..(width.min(height) as f64 / 2.0)),
+                rng.gen_range(20.0..70.0),
+            )
+        })
+        .collect();
+    let mut img = GreyImage::from_fn(width, height, |x, y| {
+        let mut v = 45.0;
+        for &(cx, cy, r, a) in &bumps {
+            let d2 = (x as f64 - cx).powi(2) + (y as f64 - cy).powi(2);
+            v += a * (-d2 / (r * r)).exp();
+        }
+        v as i32
+    });
+    img.clamp_u8();
+    img
+}
+
+/// The intensity below which terrain pixels count as water.
+pub const WATER_LEVEL: i32 = 70;
+
+/// A 0/1 bit-mask image: an ellipse of interest (used by the
+/// AreasOfInterest demo query).
+pub fn ellipse_mask(width: usize, height: usize) -> GreyImage {
+    let (cx, cy) = (width as f64 / 2.0, height as f64 / 2.0);
+    let (rx, ry) = (width as f64 / 3.0, height as f64 / 4.0);
+    GreyImage::from_fn(width, height, |x, y| {
+        let dx = (x as f64 - cx) / rx;
+        let dy = (y as f64 - cy) / ry;
+        (dx * dx + dy * dy <= 1.0) as i32
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn building_is_deterministic_with_edges() {
+        let a = building(64, 64, 7);
+        let b = building(64, 64, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, building(64, 64, 8));
+        // It must contain strong edges: count of large horizontal steps.
+        let mut steps = 0;
+        for x in 1..64 {
+            for y in 0..64 {
+                if (a.get(x, y) - a.get(x - 1, y)).abs() > 40 {
+                    steps += 1;
+                }
+            }
+        }
+        assert!(steps > 100, "facade should have many sharp edges, got {steps}");
+    }
+
+    #[test]
+    fn terrain_is_smooth_with_water() {
+        let t = terrain(64, 64, 3);
+        // Smoothness: mean absolute neighbour delta is small.
+        let mut total = 0i64;
+        let mut n = 0i64;
+        for x in 1..64 {
+            for y in 0..64 {
+                total += i64::from((t.get(x, y) - t.get(x - 1, y)).abs());
+                n += 1;
+            }
+        }
+        assert!((total / n) < 10, "terrain should be smooth");
+        let water = t.pixels.iter().filter(|&&p| p < WATER_LEVEL).count();
+        assert!(water > 0, "some water pixels must exist");
+        assert!(water < t.pixels.len(), "not all water");
+    }
+
+    #[test]
+    fn mask_is_binary_ellipse() {
+        let m = ellipse_mask(40, 40);
+        assert!(m.pixels.iter().all(|&p| p == 0 || p == 1));
+        assert_eq!(m.get(20, 20), 1, "centre inside");
+        assert_eq!(m.get(0, 0), 0, "corner outside");
+        let inside = m.pixels.iter().filter(|&&p| p == 1).count();
+        assert!(inside > 40, "ellipse has area");
+    }
+}

@@ -1,0 +1,190 @@
+//! Native Game of Life engine (ground truth and benchmark baseline).
+
+use rand::Rng;
+
+/// A dead/alive cell grid. `(x, y)` addressing matches the SciQL array:
+/// `x` is the first (slowest) dimension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Board {
+    /// Extent of the x dimension.
+    pub width: usize,
+    /// Extent of the y dimension.
+    pub height: usize,
+    cells: Vec<u8>,
+}
+
+impl Board {
+    /// All-dead board.
+    pub fn new(width: usize, height: usize) -> Self {
+        Board {
+            width,
+            height,
+            cells: vec![0; width * height],
+        }
+    }
+
+    #[inline]
+    fn idx(&self, x: usize, y: usize) -> usize {
+        x * self.height + y
+    }
+
+    /// Cell state.
+    pub fn get(&self, x: usize, y: usize) -> bool {
+        self.cells[self.idx(x, y)] == 1
+    }
+
+    /// Set a cell.
+    pub fn set(&mut self, x: usize, y: usize, alive: bool) {
+        let i = self.idx(x, y);
+        self.cells[i] = alive as u8;
+    }
+
+    /// Kill every cell.
+    pub fn clear(&mut self) {
+        self.cells.fill(0);
+    }
+
+    /// Random initialisation with the given live-cell density.
+    pub fn randomise<R: Rng>(&mut self, rng: &mut R, density: f64) {
+        for c in &mut self.cells {
+            *c = rng.gen_bool(density) as u8;
+        }
+    }
+
+    /// Number of live cells.
+    pub fn population(&self) -> usize {
+        self.cells.iter().map(|&c| c as usize).sum()
+    }
+
+    /// Live-neighbour count of a cell (8-neighbourhood, dead boundary).
+    pub fn neighbours(&self, x: usize, y: usize) -> u8 {
+        let mut n = 0u8;
+        for dx in -1i64..=1 {
+            for dy in -1i64..=1 {
+                if dx == 0 && dy == 0 {
+                    continue;
+                }
+                let (nx, ny) = (x as i64 + dx, y as i64 + dy);
+                if nx >= 0
+                    && ny >= 0
+                    && (nx as usize) < self.width
+                    && (ny as usize) < self.height
+                    && self.get(nx as usize, ny as usize)
+                {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Compute the next generation (B3/S23 rules).
+    pub fn step(&self) -> Board {
+        let mut next = Board::new(self.width, self.height);
+        for x in 0..self.width {
+            for y in 0..self.height {
+                let n = self.neighbours(x, y);
+                let alive = self.get(x, y);
+                let next_alive = matches!((alive, n), (true, 2) | (true, 3) | (false, 3));
+                next.set(x, y, next_alive);
+            }
+        }
+        next
+    }
+
+    /// Iterate `(x, y, alive)` triples.
+    pub fn iter_cells(&self) -> impl Iterator<Item = (usize, usize, bool)> + '_ {
+        (0..self.width).flat_map(move |x| (0..self.height).map(move |y| (x, y, self.get(x, y))))
+    }
+
+    /// Render as ASCII art (`#` alive, `.` dead); rows are y values.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity((self.width + 1) * self.height);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                out.push(if self.get(x, y) { '#' } else { '.' });
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn blinker_oscillates() {
+        let mut b = Board::new(5, 5);
+        for y in 1..4 {
+            b.set(2, y, true); // vertical blinker
+        }
+        let b1 = b.step();
+        // becomes horizontal
+        assert!(b1.get(1, 2) && b1.get(2, 2) && b1.get(3, 2));
+        assert!(!b1.get(2, 1) && !b1.get(2, 3));
+        let b2 = b1.step();
+        assert_eq!(b2, b, "period 2");
+    }
+
+    #[test]
+    fn block_is_still_life() {
+        let mut b = Board::new(4, 4);
+        for (x, y) in [(1, 1), (1, 2), (2, 1), (2, 2)] {
+            b.set(x, y, true);
+        }
+        assert_eq!(b.step(), b);
+    }
+
+    #[test]
+    fn lonely_cell_dies_and_empty_stays_empty() {
+        let mut b = Board::new(3, 3);
+        b.set(1, 1, true);
+        let next = b.step();
+        assert_eq!(next.population(), 0);
+        assert_eq!(next.step().population(), 0);
+    }
+
+    #[test]
+    fn neighbour_counts_at_corners() {
+        let mut b = Board::new(3, 3);
+        b.set(0, 0, true);
+        b.set(1, 1, true);
+        assert_eq!(b.neighbours(0, 0), 1);
+        assert_eq!(b.neighbours(2, 2), 1);
+        assert_eq!(b.neighbours(1, 1), 1);
+        assert_eq!(b.neighbours(0, 1), 2);
+    }
+
+    #[test]
+    fn birth_rule() {
+        let mut b = Board::new(3, 3);
+        b.set(0, 0, true);
+        b.set(1, 0, true);
+        b.set(2, 0, true);
+        let n = b.step();
+        assert!(n.get(1, 1), "cell with exactly 3 neighbours is born");
+        assert!(n.get(1, 0), "middle survives with 2 neighbours");
+        assert!(!n.get(0, 0), "corner dies with 1 neighbour");
+    }
+
+    #[test]
+    fn randomise_density() {
+        let mut b = Board::new(50, 50);
+        let mut rng = StdRng::seed_from_u64(42);
+        b.randomise(&mut rng, 0.3);
+        let pop = b.population() as f64 / 2500.0;
+        assert!((0.2..0.4).contains(&pop), "density ≈ 0.3, got {pop}");
+    }
+
+    #[test]
+    fn render_shape() {
+        let mut b = Board::new(3, 2);
+        b.set(0, 0, true);
+        let text = b.render();
+        assert_eq!(text, "#..\n...\n");
+    }
+}

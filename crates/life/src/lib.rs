@@ -1,0 +1,25 @@
+//! # sciql-life — Conway's Game of Life on SciQL (demo Scenario I)
+//!
+//! The paper's first demo scenario: "All rules of the game are implemented
+//! as SciQL queries, e.g., create a game board, initialise the game with
+//! living cells, compute the next generation, and clear/resize the board."
+//!
+//! Three implementations live here:
+//!
+//! * [`Board`] — a plain-Rust reference engine (ground truth + the native
+//!   baseline for benchmarks);
+//! * [`SciqlLife`] — the game driven entirely by SciQL statements using
+//!   structural grouping (a 3×3 tile per cell);
+//! * [`SciqlLife::step_sql_join`] — the formulation the paper says plain
+//!   SQL would need ("such query would require an eight-way self-join"),
+//!   expressed as a self-join + value GROUP BY, used as the SQL baseline.
+
+#![warn(missing_docs)]
+
+pub mod board;
+pub mod patterns;
+pub mod sciql_game;
+
+pub use board::Board;
+pub use patterns::Pattern;
+pub use sciql_game::SciqlLife;

@@ -1,0 +1,116 @@
+//! A small library of classic Life patterns for the demo.
+
+use crate::board::Board;
+
+/// Classic patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    /// 2×2 still life.
+    Block,
+    /// Period-2 oscillator (three in a row).
+    Blinker,
+    /// Period-2 oscillator.
+    Toad,
+    /// The classic diagonal traveller.
+    Glider,
+    /// Methuselah that evolves for >1000 generations.
+    RPentomino,
+    /// Lightweight spaceship.
+    Lwss,
+}
+
+impl Pattern {
+    /// Cell offsets of the pattern (x, y).
+    pub fn cells(self) -> &'static [(usize, usize)] {
+        match self {
+            Pattern::Block => &[(0, 0), (0, 1), (1, 0), (1, 1)],
+            Pattern::Blinker => &[(0, 0), (1, 0), (2, 0)],
+            Pattern::Toad => &[(1, 0), (2, 0), (3, 0), (0, 1), (1, 1), (2, 1)],
+            Pattern::Glider => &[(1, 0), (2, 1), (0, 2), (1, 2), (2, 2)],
+            Pattern::RPentomino => &[(1, 0), (2, 0), (0, 1), (1, 1), (1, 2)],
+            Pattern::Lwss => &[
+                (0, 0),
+                (3, 0),
+                (4, 1),
+                (0, 2),
+                (4, 2),
+                (1, 3),
+                (2, 3),
+                (3, 3),
+                (4, 3),
+            ],
+        }
+    }
+
+    /// Bounding box (w, h).
+    pub fn extent(self) -> (usize, usize) {
+        let cells = self.cells();
+        let w = cells.iter().map(|&(x, _)| x).max().unwrap_or(0) + 1;
+        let h = cells.iter().map(|&(_, y)| y).max().unwrap_or(0) + 1;
+        (w, h)
+    }
+
+    /// Stamp the pattern onto a board at the given origin; cells falling
+    /// outside the board are ignored.
+    pub fn stamp(self, board: &mut Board, ox: usize, oy: usize) {
+        for &(x, y) in self.cells() {
+            let (px, py) = (ox + x, oy + y);
+            if px < board.width && py < board.height {
+                board.set(px, py, true);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extents_are_tight() {
+        assert_eq!(Pattern::Block.extent(), (2, 2));
+        assert_eq!(Pattern::Blinker.extent(), (3, 1));
+        assert_eq!(Pattern::Glider.extent(), (3, 3));
+        assert_eq!(Pattern::Lwss.extent(), (5, 4));
+    }
+
+    #[test]
+    fn glider_translates_after_four_generations() {
+        let mut b = Board::new(12, 12);
+        Pattern::Glider.stamp(&mut b, 1, 1);
+        let mut cur = b.clone();
+        for _ in 0..4 {
+            cur = cur.step();
+        }
+        // After 4 generations a glider moves (+1, +1).
+        let mut expect = Board::new(12, 12);
+        Pattern::Glider.stamp(&mut expect, 2, 2);
+        assert_eq!(cur, expect);
+    }
+
+    #[test]
+    fn toad_period_two() {
+        let mut b = Board::new(8, 8);
+        Pattern::Toad.stamp(&mut b, 2, 3);
+        let two = b.step().step();
+        assert_eq!(two, b);
+    }
+
+    #[test]
+    fn stamp_clips_at_border() {
+        let mut b = Board::new(3, 3);
+        Pattern::Lwss.stamp(&mut b, 1, 1);
+        assert!(b.population() < Pattern::Lwss.cells().len());
+    }
+
+    #[test]
+    fn rpentomino_grows() {
+        let mut b = Board::new(32, 32);
+        Pattern::RPentomino.stamp(&mut b, 14, 14);
+        let mut cur = b.clone();
+        for _ in 0..20 {
+            cur = cur.step();
+        }
+        assert!(cur.population() > Pattern::RPentomino.cells().len());
+    }
+}

@@ -1,0 +1,225 @@
+//! The Game of Life driven entirely by SciQL statements (demo Scenario I).
+//!
+//! "A life game board is defined as a 2D array (with x,y dimensions) with
+//! one integer payload (column v) to denote the cell states. … To compute
+//! the next generation, a 3×3 tile is created for each cell with this cell
+//! as the tile centre. The sum of this tile (subtracting the value of the
+//! cell) is the number of living neighbours … In SQL, such query would
+//! require a(n) eight-way self-join."
+
+use crate::board::Board;
+use sciql::{Connection, Result};
+
+/// A Life game whose whole state lives inside a SciQL array and whose
+/// rules are SciQL queries.
+pub struct SciqlLife {
+    conn: Connection,
+    width: usize,
+    height: usize,
+}
+
+impl SciqlLife {
+    /// Create the game board array (rule: "create a game board").
+    pub fn new(width: usize, height: usize) -> Result<Self> {
+        let mut conn = Connection::new();
+        conn.execute(&format!(
+            "CREATE ARRAY life (x INT DIMENSION[0:1:{width}], \
+             y INT DIMENSION[0:1:{height}], v INT DEFAULT 0)"
+        ))?;
+        Ok(SciqlLife {
+            conn,
+            width,
+            height,
+        })
+    }
+
+    /// Board extent.
+    pub fn size(&self) -> (usize, usize) {
+        (self.width, self.height)
+    }
+
+    /// Borrow the underlying connection (for ad-hoc queries in the demo).
+    pub fn connection(&mut self) -> &mut Connection {
+        &mut self.conn
+    }
+
+    /// Rule "initialise the game with living cells".
+    pub fn set_alive(&mut self, cells: &[(usize, usize)]) -> Result<()> {
+        for &(x, y) in cells {
+            self.conn.execute(&format!(
+                "INSERT INTO life VALUES ({x}, {y}, 1)"
+            ))?;
+        }
+        Ok(())
+    }
+
+    /// Load a whole native board into the array.
+    pub fn load(&mut self, board: &Board) -> Result<()> {
+        self.clear()?;
+        // One INSERT … VALUES per live cell, exactly like the demo GUI.
+        let cells: Vec<(usize, usize)> = board
+            .iter_cells()
+            .filter(|&(_, _, alive)| alive)
+            .map(|(x, y, _)| (x, y))
+            .collect();
+        self.set_alive(&cells)
+    }
+
+    /// Rule "clear the board".
+    pub fn clear(&mut self) -> Result<()> {
+        self.conn.execute("UPDATE life SET v = 0")?;
+        Ok(())
+    }
+
+    /// Rule "resize the board" (ALTER ARRAY … SET RANGE).
+    pub fn resize(&mut self, width: usize, height: usize) -> Result<()> {
+        self.conn.execute(&format!(
+            "ALTER ARRAY life ALTER DIMENSION x SET RANGE [0:1:{width}]"
+        ))?;
+        self.conn.execute(&format!(
+            "ALTER ARRAY life ALTER DIMENSION y SET RANGE [0:1:{height}]"
+        ))?;
+        self.width = width;
+        self.height = height;
+        Ok(())
+    }
+
+    /// The next-generation rule as one SciQL structural-grouping query:
+    /// a 3×3 tile centred on every cell; `SUM(v) - v` is the live-neighbour
+    /// count.
+    pub fn step(&mut self) -> Result<()> {
+        self.conn.execute(
+            "INSERT INTO life \
+             SELECT [x], [y], \
+                    CASE WHEN v = 1 AND SUM(v) - v IN (2, 3) THEN 1 \
+                         WHEN v = 0 AND SUM(v) - v = 3 THEN 1 \
+                         ELSE 0 END \
+             FROM life GROUP BY life[x-1:x+2][y-1:y+2]",
+        )?;
+        Ok(())
+    }
+
+    /// The same rule in plain SQL: the board joined with itself to gather
+    /// neighbours, then value-based GROUP BY — the formulation the paper's
+    /// structural grouping replaces. Quadratic in the number of cells.
+    pub fn step_sql_join(&mut self) -> Result<()> {
+        self.conn.execute(
+            "INSERT INTO life \
+             SELECT [a.x], [a.y], \
+                    CASE WHEN a.v = 1 AND SUM(b.v) IN (2, 3) THEN 1 \
+                         WHEN a.v = 0 AND SUM(b.v) = 3 THEN 1 \
+                         ELSE 0 END \
+             FROM life a, life b \
+             WHERE b.x >= a.x - 1 AND b.x <= a.x + 1 \
+               AND b.y >= a.y - 1 AND b.y <= a.y + 1 \
+               AND NOT (b.x = a.x AND b.y = a.y) \
+             GROUP BY a.x, a.y, a.v",
+        )?;
+        Ok(())
+    }
+
+    /// Number of live cells (SciQL aggregate).
+    pub fn population(&mut self) -> Result<usize> {
+        let v = self.conn.query("SELECT SUM(v) FROM life")?.scalar()?;
+        Ok(v.as_i64().unwrap_or(0) as usize)
+    }
+
+    /// Read the whole board back out of the array.
+    pub fn board(&mut self) -> Result<Board> {
+        let rs = self
+            .conn
+            .query("SELECT x, y, v FROM life WHERE v = 1")?;
+        let mut b = Board::new(self.width, self.height);
+        for row in rs.rows() {
+            let x = row[0].as_i64().unwrap_or(0) as usize;
+            let y = row[1].as_i64().unwrap_or(0) as usize;
+            b.set(x, y, true);
+        }
+        Ok(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::Pattern;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sciql_blinker_matches_native() {
+        let mut game = SciqlLife::new(5, 5).unwrap();
+        game.set_alive(&[(2, 1), (2, 2), (2, 3)]).unwrap();
+        assert_eq!(game.population().unwrap(), 3);
+        game.step().unwrap();
+        let b = game.board().unwrap();
+        assert!(b.get(1, 2) && b.get(2, 2) && b.get(3, 2), "\n{}", b.render());
+        assert!(!b.get(2, 1) && !b.get(2, 3));
+    }
+
+    #[test]
+    fn sciql_step_equals_native_step_on_random_board() {
+        let mut native = Board::new(12, 12);
+        let mut rng = StdRng::seed_from_u64(7);
+        native.randomise(&mut rng, 0.35);
+        let mut game = SciqlLife::new(12, 12).unwrap();
+        game.load(&native).unwrap();
+        for generation in 0..3 {
+            native = native.step();
+            game.step().unwrap();
+            assert_eq!(
+                game.board().unwrap(),
+                native,
+                "generation {generation} diverged:\nnative:\n{}",
+                native.render()
+            );
+        }
+    }
+
+    #[test]
+    fn sql_join_step_equals_tiling_step() {
+        let mut native = Board::new(8, 8);
+        let mut rng = StdRng::seed_from_u64(99);
+        native.randomise(&mut rng, 0.4);
+
+        let mut tiled = SciqlLife::new(8, 8).unwrap();
+        tiled.load(&native).unwrap();
+        tiled.step().unwrap();
+
+        let mut joined = SciqlLife::new(8, 8).unwrap();
+        joined.load(&native).unwrap();
+        joined.step_sql_join().unwrap();
+
+        assert_eq!(tiled.board().unwrap(), joined.board().unwrap());
+        assert_eq!(tiled.board().unwrap(), native.step());
+    }
+
+    #[test]
+    fn glider_travels_through_sciql() {
+        let mut game = SciqlLife::new(10, 10).unwrap();
+        let mut b = Board::new(10, 10);
+        Pattern::Glider.stamp(&mut b, 0, 0);
+        game.load(&b).unwrap();
+        for _ in 0..4 {
+            game.step().unwrap();
+        }
+        let mut expect = Board::new(10, 10);
+        Pattern::Glider.stamp(&mut expect, 1, 1);
+        assert_eq!(game.board().unwrap(), expect);
+    }
+
+    #[test]
+    fn clear_and_resize() {
+        let mut game = SciqlLife::new(4, 4).unwrap();
+        game.set_alive(&[(0, 0), (1, 1)]).unwrap();
+        game.clear().unwrap();
+        assert_eq!(game.population().unwrap(), 0);
+        game.resize(6, 6).unwrap();
+        assert_eq!(game.size(), (6, 6));
+        let rs = game
+            .connection()
+            .query("SELECT COUNT(*) FROM life")
+            .unwrap();
+        assert_eq!(rs.scalar().unwrap().as_i64(), Some(36));
+    }
+}

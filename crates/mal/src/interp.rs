@@ -1,0 +1,370 @@
+//! The MAL interpreter.
+//!
+//! Executes a [`Program`] instruction by instruction against the primitive
+//! [`Registry`]. Stored BATs enter a program through `sql.bind` instructions
+//! resolved by a caller-provided [`Binder`] (the engine's catalog adapter).
+
+use crate::ir::{Arg, Instr, Program, VarId};
+use crate::registry::Registry;
+use crate::{MalError, Result};
+use gdk::group::Groups;
+use gdk::{Bat, Candidates, Value};
+use std::rc::Rc;
+
+/// A runtime MAL value.
+#[derive(Debug, Clone)]
+pub enum MalValue {
+    /// Scalar.
+    Scalar(Value),
+    /// BAT (shared; operators never mutate their inputs).
+    Bat(Rc<Bat>),
+    /// Candidate list.
+    Cand(Rc<Candidates>),
+    /// Grouping descriptor.
+    Grp(Rc<Groups>),
+}
+
+impl MalValue {
+    /// Wrap a BAT.
+    pub fn bat(b: Bat) -> Self {
+        MalValue::Bat(Rc::new(b))
+    }
+    /// Wrap a candidate list.
+    pub fn cand(c: Candidates) -> Self {
+        MalValue::Cand(Rc::new(c))
+    }
+    /// Wrap a grouping.
+    pub fn grp(g: Groups) -> Self {
+        MalValue::Grp(Rc::new(g))
+    }
+    /// Expect a scalar.
+    pub fn as_scalar(&self) -> Result<&Value> {
+        match self {
+            MalValue::Scalar(v) => Ok(v),
+            other => Err(MalError::msg(format!("expected scalar, got {}", other.kind()))),
+        }
+    }
+    /// Expect a BAT.
+    pub fn as_bat(&self) -> Result<&Rc<Bat>> {
+        match self {
+            MalValue::Bat(b) => Ok(b),
+            other => Err(MalError::msg(format!("expected BAT, got {}", other.kind()))),
+        }
+    }
+    /// Expect a candidate list.
+    pub fn as_cand(&self) -> Result<&Rc<Candidates>> {
+        match self {
+            MalValue::Cand(c) => Ok(c),
+            other => Err(MalError::msg(format!(
+                "expected candidate list, got {}",
+                other.kind()
+            ))),
+        }
+    }
+    /// Expect a grouping.
+    pub fn as_grp(&self) -> Result<&Rc<Groups>> {
+        match self {
+            MalValue::Grp(g) => Ok(g),
+            other => Err(MalError::msg(format!("expected groups, got {}", other.kind()))),
+        }
+    }
+    /// Human-readable kind tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MalValue::Scalar(_) => "scalar",
+            MalValue::Bat(_) => "bat",
+            MalValue::Cand(_) => "candidates",
+            MalValue::Grp(_) => "groups",
+        }
+    }
+}
+
+/// Resolves `sql.bind(object, column)` to stored columns.
+pub trait Binder {
+    /// Return the named stored column.
+    fn bind(&self, object: &str, column: &str) -> Result<MalValue>;
+}
+
+/// A binder with no stored objects (programs using `sql.bind` fail).
+pub struct EmptyBinder;
+
+impl Binder for EmptyBinder {
+    fn bind(&self, object: &str, column: &str) -> Result<MalValue> {
+        Err(MalError::msg(format!(
+            "no storage bound: cannot resolve {object}.{column}"
+        )))
+    }
+}
+
+/// Execution statistics (used by the optimizer-ablation experiment).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Instructions executed.
+    pub instructions: usize,
+    /// Total tuples produced into result BATs (rough work measure).
+    pub tuples_produced: usize,
+}
+
+/// The interpreter.
+pub struct Interpreter<'a> {
+    registry: &'a Registry,
+    binder: &'a dyn Binder,
+}
+
+impl<'a> Interpreter<'a> {
+    /// New interpreter over a primitive registry and a storage binder.
+    pub fn new(registry: &'a Registry, binder: &'a dyn Binder) -> Self {
+        Interpreter { registry, binder }
+    }
+
+    /// Run the program, returning its labelled result columns.
+    pub fn run(&self, prog: &Program) -> Result<Vec<(String, MalValue)>> {
+        self.run_with_stats(prog).map(|(r, _)| r)
+    }
+
+    /// Run the program and report execution statistics.
+    pub fn run_with_stats(
+        &self,
+        prog: &Program,
+    ) -> Result<(Vec<(String, MalValue)>, ExecStats)> {
+        let mut env: Vec<Option<MalValue>> = vec![None; prog.vars.len()];
+        let mut stats = ExecStats::default();
+        for ins in &prog.instrs {
+            let outs = self.exec_instr(prog, ins, &env)?;
+            stats.instructions += 1;
+            if outs.len() != ins.results.len() {
+                return Err(MalError::msg(format!(
+                    "{} returned {} results, expected {}",
+                    ins.qualified(),
+                    outs.len(),
+                    ins.results.len()
+                )));
+            }
+            for (rid, val) in ins.results.iter().zip(outs) {
+                if let MalValue::Bat(b) = &val {
+                    stats.tuples_produced += b.len();
+                }
+                env[*rid] = Some(val);
+            }
+        }
+        let mut results = Vec::with_capacity(prog.results.len());
+        for (label, vid) in &prog.results {
+            let v = env[*vid]
+                .clone()
+                .ok_or_else(|| MalError::msg(format!("result variable {vid} never assigned")))?;
+            results.push((label.clone(), v));
+        }
+        Ok((results, stats))
+    }
+
+    fn exec_instr(
+        &self,
+        prog: &Program,
+        ins: &Instr,
+        env: &[Option<MalValue>],
+    ) -> Result<Vec<MalValue>> {
+        let mut args: Vec<MalValue> = Vec::with_capacity(ins.args.len());
+        for a in &ins.args {
+            match a {
+                Arg::Const(v) => args.push(MalValue::Scalar(v.clone())),
+                Arg::Var(vid) => args.push(env[*vid].clone().ok_or_else(|| {
+                    MalError::msg(format!(
+                        "variable {} used before assignment in {}",
+                        prog.vars[*vid].name,
+                        ins.qualified()
+                    ))
+                })?),
+            }
+        }
+        // sql.bind is special: routed to the storage binder.
+        if ins.module == "sql" && ins.function == "bind" {
+            let obj = args
+                .first()
+                .ok_or_else(|| MalError::msg("sql.bind needs (object, column)"))?
+                .as_scalar()?
+                .clone();
+            let col = args
+                .get(1)
+                .ok_or_else(|| MalError::msg("sql.bind needs (object, column)"))?
+                .as_scalar()?
+                .clone();
+            let (Value::Str(obj), Value::Str(col)) = (obj, col) else {
+                return Err(MalError::msg("sql.bind arguments must be strings"));
+            };
+            return Ok(vec![self.binder.bind(&obj, &col)?]);
+        }
+        let prim = self.registry.lookup(&ins.module, &ins.function)?;
+        prim(&args).map_err(|e| {
+            MalError::msg(format!("{}: {e}", ins.qualified()))
+        })
+    }
+}
+
+/// Convenience: variable id type re-export for callers.
+pub type ResultVar = VarId;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Arg, MalType, Program};
+    use crate::registry::Registry;
+    use gdk::ScalarType;
+
+    fn reg() -> Registry {
+        crate::prims::default_registry()
+    }
+
+    #[test]
+    fn run_series_program() {
+        let mut p = Program::new("t");
+        let x = p.emit(
+            "array",
+            "series",
+            vec![
+                Arg::Const(Value::Int(0)),
+                Arg::Const(Value::Int(1)),
+                Arg::Const(Value::Int(4)),
+                Arg::Const(Value::Lng(4)),
+                Arg::Const(Value::Lng(1)),
+            ],
+            MalType::Bat(ScalarType::Int),
+        );
+        p.add_result("x", x);
+        let r = reg();
+        let interp = Interpreter::new(&r, &EmptyBinder);
+        let out = interp.run(&p).unwrap();
+        assert_eq!(out.len(), 1);
+        let b = out[0].1.as_bat().unwrap();
+        assert_eq!(b.len(), 16);
+    }
+
+    #[test]
+    fn unassigned_variable_is_error() {
+        let mut p = Program::new("bad");
+        let v = p.new_var(MalType::Bat(ScalarType::Int));
+        let r2 = p.emit(
+            "aggr",
+            "count",
+            vec![Arg::Var(v)],
+            MalType::Scalar(ScalarType::Lng),
+        );
+        p.add_result("n", r2);
+        let r = reg();
+        let interp = Interpreter::new(&r, &EmptyBinder);
+        assert!(interp.run(&p).is_err());
+    }
+
+    #[test]
+    fn bind_without_storage_fails() {
+        let mut p = Program::new("b");
+        let v = p.emit(
+            "sql",
+            "bind",
+            vec![
+                Arg::Const(Value::Str("m".into())),
+                Arg::Const(Value::Str("v".into())),
+            ],
+            MalType::Bat(ScalarType::Int),
+        );
+        p.add_result("v", v);
+        let r = reg();
+        let interp = Interpreter::new(&r, &EmptyBinder);
+        let err = interp.run(&p).unwrap_err();
+        assert!(err.to_string().contains("m.v"), "{err}");
+    }
+
+    #[test]
+    fn failing_primitive_mid_program_reports_instruction() {
+        // Division by zero inside a longer program: the error names the
+        // offending primitive and nothing is returned.
+        let mut p = Program::new("boom");
+        let a = p.emit(
+            "array",
+            "filler",
+            vec![Arg::Const(Value::Lng(4)), Arg::Const(Value::Int(8))],
+            MalType::Bat(ScalarType::Int),
+        );
+        let d = p.emit(
+            "batcalc",
+            "div",
+            vec![Arg::Var(a), Arg::Const(Value::Int(0))],
+            MalType::Bat(ScalarType::Int),
+        );
+        let s = p.emit("aggr", "sum", vec![Arg::Var(d)], MalType::Scalar(ScalarType::Lng));
+        p.add_result("total", s);
+        let r = reg();
+        let interp = Interpreter::new(&r, &EmptyBinder);
+        let err = interp.run(&p).unwrap_err();
+        assert!(err.to_string().contains("batcalc.div"), "{err}");
+        assert!(err.to_string().contains("division by zero"), "{err}");
+    }
+
+    #[test]
+    fn wrong_result_arity_detected() {
+        // algebra.join returns two results; declaring one must fail.
+        let mut p = Program::new("arity");
+        let a = p.emit(
+            "array",
+            "filler",
+            vec![Arg::Const(Value::Lng(2)), Arg::Const(Value::Int(1))],
+            MalType::Bat(ScalarType::Int),
+        );
+        let one = p.emit(
+            "algebra",
+            "join",
+            vec![Arg::Var(a), Arg::Var(a)],
+            MalType::Bat(ScalarType::OidT),
+        );
+        p.add_result("l", one);
+        let r = reg();
+        let interp = Interpreter::new(&r, &EmptyBinder);
+        let err = interp.run(&p).unwrap_err();
+        assert!(err.to_string().contains("2 results"), "{err}");
+    }
+
+    #[test]
+    fn unknown_primitive_is_a_clean_error() {
+        let mut p = Program::new("nope");
+        let v = p.emit("voodoo", "conjure", vec![], MalType::Any);
+        p.add_result("v", v);
+        let r = reg();
+        let interp = Interpreter::new(&r, &EmptyBinder);
+        let err = interp.run(&p).unwrap_err();
+        assert!(err.to_string().contains("voodoo.conjure"), "{err}");
+    }
+
+    #[test]
+    fn type_confusion_is_a_clean_error() {
+        // Passing a candidate list where a BAT is expected.
+        let mut p = Program::new("ty");
+        let c = p.emit(
+            "algebra",
+            "densecand",
+            vec![Arg::Const(Value::Lng(0)), Arg::Const(Value::Lng(3))],
+            MalType::Cand,
+        );
+        let s = p.emit("aggr", "sum", vec![Arg::Var(c)], MalType::Scalar(ScalarType::Lng));
+        p.add_result("s", s);
+        let r = reg();
+        let interp = Interpreter::new(&r, &EmptyBinder);
+        let err = interp.run(&p).unwrap_err();
+        assert!(err.to_string().contains("expected BAT"), "{err}");
+    }
+
+    #[test]
+    fn stats_count_instructions() {
+        let mut p = Program::new("s");
+        let x = p.emit(
+            "array",
+            "filler",
+            vec![Arg::Const(Value::Lng(10)), Arg::Const(Value::Int(7))],
+            MalType::Bat(ScalarType::Int),
+        );
+        p.add_result("x", x);
+        let r = reg();
+        let interp = Interpreter::new(&r, &EmptyBinder);
+        let (_, stats) = interp.run_with_stats(&p).unwrap();
+        assert_eq!(stats.instructions, 1);
+        assert_eq!(stats.tuples_produced, 10);
+    }
+}

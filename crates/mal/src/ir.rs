@@ -1,0 +1,283 @@
+//! MAL program representation.
+//!
+//! A MAL program is a straight-line sequence of instructions in (near) SSA
+//! form: each instruction calls a primitive `module.function(args…)` and
+//! assigns its results to fresh variables. This mirrors the textual MAL of
+//! MonetDB, which is "the target language for all MonetDB query compiler
+//! front-ends" (paper §3).
+
+use gdk::{ScalarType, Value};
+use std::fmt;
+
+/// Variable identifier within one program.
+pub type VarId = usize;
+
+/// Static type of a MAL variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MalType {
+    /// A scalar of the given type.
+    Scalar(ScalarType),
+    /// A BAT with the given tail type (head is always void).
+    Bat(ScalarType),
+    /// A candidate list.
+    Cand,
+    /// A grouping descriptor (ids + extents).
+    Groups,
+    /// Unknown/any (used by generic primitives).
+    Any,
+}
+
+impl fmt::Display for MalType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MalType::Scalar(t) => write!(f, ":{t}"),
+            MalType::Bat(t) => write!(f, ":bat[:oid,:{t}]"),
+            MalType::Cand => write!(f, ":bat[:oid,:oid]"),
+            MalType::Groups => write!(f, ":group"),
+            MalType::Any => write!(f, ":any"),
+        }
+    }
+}
+
+/// A declared variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarDecl {
+    /// Display name (`X_12` style when generated).
+    pub name: String,
+    /// Static type.
+    pub ty: MalType,
+}
+
+/// One instruction argument.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arg {
+    /// Reference to a program variable.
+    Var(VarId),
+    /// Literal constant.
+    Const(Value),
+}
+
+/// One MAL instruction: `(r1, r2, …) := module.function(arg, …)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instr {
+    /// Result variables.
+    pub results: Vec<VarId>,
+    /// Primitive module, e.g. `algebra`, `batcalc`, `array`.
+    pub module: String,
+    /// Primitive name, e.g. `thetaselect`, `projection`, `series`.
+    pub function: String,
+    /// Arguments.
+    pub args: Vec<Arg>,
+}
+
+impl Instr {
+    /// Fully-qualified primitive name.
+    pub fn qualified(&self) -> String {
+        format!("{}.{}", self.module, self.function)
+    }
+}
+
+/// A complete MAL program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// Program name (for EXPLAIN output).
+    pub name: String,
+    /// Variable declarations, indexed by [`VarId`].
+    pub vars: Vec<VarDecl>,
+    /// Instruction sequence.
+    pub instrs: Vec<Instr>,
+    /// Variables whose final values form the program result, with output
+    /// column labels.
+    pub results: Vec<(String, VarId)>,
+}
+
+impl Program {
+    /// Fresh empty program.
+    pub fn new(name: impl Into<String>) -> Self {
+        Program {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Declare a new variable of type `ty`; the name is generated.
+    pub fn new_var(&mut self, ty: MalType) -> VarId {
+        let id = self.vars.len();
+        self.vars.push(VarDecl {
+            name: format!("X_{id}"),
+            ty,
+        });
+        id
+    }
+
+    /// Declare a new named variable.
+    pub fn new_named_var(&mut self, name: impl Into<String>, ty: MalType) -> VarId {
+        let id = self.vars.len();
+        self.vars.push(VarDecl {
+            name: name.into(),
+            ty,
+        });
+        id
+    }
+
+    /// Append an instruction producing one result of type `ty`; returns the
+    /// result variable.
+    pub fn emit(
+        &mut self,
+        module: &str,
+        function: &str,
+        args: Vec<Arg>,
+        ty: MalType,
+    ) -> VarId {
+        let r = self.new_var(ty);
+        self.instrs.push(Instr {
+            results: vec![r],
+            module: module.to_owned(),
+            function: function.to_owned(),
+            args,
+        });
+        r
+    }
+
+    /// Append an instruction with multiple results.
+    pub fn emit_multi(
+        &mut self,
+        module: &str,
+        function: &str,
+        args: Vec<Arg>,
+        tys: &[MalType],
+    ) -> Vec<VarId> {
+        let results: Vec<VarId> = tys.iter().map(|&t| self.new_var(t)).collect();
+        self.instrs.push(Instr {
+            results: results.clone(),
+            module: module.to_owned(),
+            function: function.to_owned(),
+            args,
+        });
+        results
+    }
+
+    /// Mark `var` as a result column labelled `label`.
+    pub fn add_result(&mut self, label: impl Into<String>, var: VarId) {
+        self.results.push((label.into(), var));
+    }
+
+    /// Render the program as MAL-like text (EXPLAIN output).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("function user.{}();\n", self.name));
+        for ins in &self.instrs {
+            out.push_str("    ");
+            if !ins.results.is_empty() {
+                let rs: Vec<String> = ins
+                    .results
+                    .iter()
+                    .map(|&r| format!("{}{}", self.vars[r].name, self.vars[r].ty))
+                    .collect();
+                if rs.len() == 1 {
+                    out.push_str(&rs[0]);
+                } else {
+                    out.push_str(&format!("({})", rs.join(", ")));
+                }
+                out.push_str(" := ");
+            }
+            out.push_str(&format!("{}.{}(", ins.module, ins.function));
+            let args: Vec<String> = ins
+                .args
+                .iter()
+                .map(|a| match a {
+                    Arg::Var(v) => self.vars[*v].name.clone(),
+                    Arg::Const(Value::Str(s)) => format!("{s:?}"),
+                    Arg::Const(c) => format!("{c}"),
+                })
+                .collect();
+            out.push_str(&args.join(", "));
+            out.push_str(");\n");
+        }
+        let rs: Vec<String> = self
+            .results
+            .iter()
+            .map(|(label, v)| format!("{} as {:?}", self.vars[*v].name, label))
+            .collect();
+        out.push_str(&format!("    return ({});\nend user.{};\n", rs.join(", "), self.name));
+        out
+    }
+
+    /// Iterate every variable used (read) by an instruction.
+    pub fn uses(ins: &Instr) -> impl Iterator<Item = VarId> + '_ {
+        ins.args.iter().filter_map(|a| match a {
+            Arg::Var(v) => Some(*v),
+            Arg::Const(_) => None,
+        })
+    }
+}
+
+/// Is a primitive free of side effects (safe to CSE / dead-code-eliminate)?
+pub fn is_pure(module: &str, function: &str) -> bool {
+    !matches!(
+        (module, function),
+        ("bat", "append") | ("bat", "replace") | ("io", _) | ("sql", "bind")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_print() {
+        let mut p = Program::new("q1");
+        let b = p.emit(
+            "array",
+            "series",
+            vec![
+                Arg::Const(Value::Int(0)),
+                Arg::Const(Value::Int(1)),
+                Arg::Const(Value::Int(4)),
+                Arg::Const(Value::Lng(4)),
+                Arg::Const(Value::Lng(1)),
+            ],
+            MalType::Bat(ScalarType::Int),
+        );
+        p.add_result("x", b);
+        let text = p.to_text();
+        assert!(text.contains("array.series(0, 1, 4, 4, 1)"), "{text}");
+        assert!(text.contains("function user.q1()"), "{text}");
+        assert!(text.contains(":bat[:oid,:int]"), "{text}");
+    }
+
+    #[test]
+    fn multi_result_instruction() {
+        let mut p = Program::new("j");
+        let l = p.emit("bat", "new", vec![], MalType::Bat(ScalarType::Int));
+        let rs = p.emit_multi(
+            "algebra",
+            "join",
+            vec![Arg::Var(l), Arg::Var(l)],
+            &[MalType::Bat(ScalarType::OidT), MalType::Bat(ScalarType::OidT)],
+        );
+        assert_eq!(rs.len(), 2);
+        assert!(p.to_text().contains("algebra.join"));
+    }
+
+    #[test]
+    fn purity_classification() {
+        assert!(is_pure("algebra", "thetaselect"));
+        assert!(is_pure("batcalc", "add"));
+        assert!(!is_pure("bat", "append"));
+        assert!(!is_pure("io", "print"));
+        assert!(!is_pure("sql", "bind"));
+    }
+
+    #[test]
+    fn uses_iterates_vars_only() {
+        let ins = Instr {
+            results: vec![0],
+            module: "m".into(),
+            function: "f".into(),
+            args: vec![Arg::Var(3), Arg::Const(Value::Int(1)), Arg::Var(5)],
+        };
+        let u: Vec<VarId> = Program::uses(&ins).collect();
+        assert_eq!(u, vec![3, 5]);
+    }
+}

@@ -1,0 +1,66 @@
+//! # mal — a MonetDB Assembly Language work-alike
+//!
+//! MAL is "the primary textual interface to the MonetDB kernel … the target
+//! language for all MonetDB query compiler front-ends" (paper §3). This
+//! crate provides:
+//!
+//! * [`ir::Program`] — straight-line SSA-ish instruction sequences with a
+//!   MAL-text printer for `EXPLAIN`;
+//! * [`interp::Interpreter`] — executes programs against the primitive
+//!   [`registry::Registry`], resolving `sql.bind` through a caller-supplied
+//!   [`interp::Binder`];
+//! * [`prims`] — the standard library (`algebra`, `batcalc`, `group`,
+//!   `aggr`, `bat`, and the paper's new `array.series` / `array.filler`);
+//! * [`opt`] — the optimizer pipeline (constant folding, CSE, alias
+//!   removal, DCE) with per-pass ablation switches.
+
+#![warn(missing_docs)]
+
+pub mod interp;
+pub mod ir;
+pub mod opt;
+pub mod prims;
+pub mod registry;
+
+pub use interp::{Binder, EmptyBinder, ExecStats, Interpreter, MalValue};
+pub use ir::{Arg, Instr, MalType, Program, VarId};
+pub use opt::{optimise, OptConfig, OptReport};
+pub use registry::Registry;
+
+use std::fmt;
+
+/// Errors raised by MAL compilation or execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MalError {
+    /// Kernel-level error.
+    Gdk(gdk::GdkError),
+    /// Interpreter/registry error.
+    Msg(String),
+}
+
+impl MalError {
+    /// Construct a message error.
+    pub fn msg(m: impl Into<String>) -> Self {
+        MalError::Msg(m.into())
+    }
+}
+
+impl fmt::Display for MalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MalError::Gdk(e) => write!(f, "{e}"),
+            MalError::Msg(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for MalError {}
+
+impl From<gdk::GdkError> for MalError {
+    fn from(e: gdk::GdkError) -> Self {
+        MalError::Gdk(e)
+    }
+}
+
+/// MAL result type.
+pub type Result<T> = std::result::Result<T, MalError>;

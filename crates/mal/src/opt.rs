@@ -1,0 +1,417 @@
+//! MAL optimizer pipeline.
+//!
+//! MonetDB runs a battery of MAL optimizers between the code generator and
+//! the interpreter (Fig 2 of the paper). We implement the four that matter
+//! for the SciQL workload:
+//!
+//! * **constant folding** — pure scalar primitives with constant arguments
+//!   are evaluated at optimization time;
+//! * **common sub-expression elimination** — identical pure instructions
+//!   compute once;
+//! * **alias removal** — `language.pass` identities are short-circuited;
+//! * **dead code elimination** — pure instructions whose results are never
+//!   used are dropped.
+
+use crate::interp::MalValue;
+use crate::ir::{is_pure, Arg, Instr, Program, VarId};
+use crate::registry::Registry;
+
+use std::collections::HashMap;
+
+/// What each pass did (surfaced by the optimizer-ablation bench).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OptReport {
+    /// Instructions folded to constants.
+    pub folded: usize,
+    /// Instructions removed by CSE.
+    pub cse_hits: usize,
+    /// Alias instructions removed.
+    pub aliases_removed: usize,
+    /// Dead instructions removed.
+    pub dead_removed: usize,
+}
+
+impl OptReport {
+    /// Total instructions eliminated.
+    pub fn total_removed(&self) -> usize {
+        self.folded + self.cse_hits + self.aliases_removed + self.dead_removed
+    }
+}
+
+/// Which passes to run (the ablation switch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptConfig {
+    /// Enable constant folding.
+    pub constfold: bool,
+    /// Enable common sub-expression elimination.
+    pub cse: bool,
+    /// Enable alias removal.
+    pub alias: bool,
+    /// Enable dead code elimination.
+    pub dce: bool,
+}
+
+impl Default for OptConfig {
+    fn default() -> Self {
+        OptConfig {
+            constfold: true,
+            cse: true,
+            alias: true,
+            dce: true,
+        }
+    }
+}
+
+impl OptConfig {
+    /// All passes disabled (the ablation baseline).
+    pub fn none() -> Self {
+        OptConfig {
+            constfold: false,
+            cse: false,
+            alias: false,
+            dce: false,
+        }
+    }
+}
+
+/// Run the configured pipeline in place; returns a report.
+pub fn optimise(prog: &mut Program, registry: &Registry, cfg: OptConfig) -> OptReport {
+    let mut report = OptReport::default();
+    if cfg.constfold {
+        report.folded = constfold(prog, registry);
+    }
+    if cfg.cse {
+        report.cse_hits = cse(prog);
+    }
+    if cfg.alias {
+        report.aliases_removed = alias_removal(prog);
+    }
+    if cfg.dce {
+        report.dead_removed = dce(prog);
+    }
+    report
+}
+
+/// Replace every use of the vars in `subst` by the mapped argument.
+fn substitute(prog: &mut Program, subst: &HashMap<VarId, Arg>) {
+    if subst.is_empty() {
+        return;
+    }
+    let resolve = |a: &Arg| -> Arg {
+        let mut cur = a.clone();
+        // Chase chains (alias of alias).
+        let mut guard = 0;
+        while let Arg::Var(v) = cur {
+            match subst.get(&v) {
+                Some(next) => {
+                    cur = next.clone();
+                    guard += 1;
+                    if guard > prog_len_guard(subst.len()) {
+                        break;
+                    }
+                }
+                None => break,
+            }
+        }
+        cur
+    };
+    for ins in &mut prog.instrs {
+        for a in &mut ins.args {
+            *a = resolve(a);
+        }
+    }
+    for (_, v) in &mut prog.results {
+        if let Arg::Var(nv) = resolve(&Arg::Var(*v)) {
+            *v = nv;
+        }
+        // A result folded to a constant keeps its var: constfold never folds
+        // result variables (see below).
+    }
+}
+
+fn prog_len_guard(n: usize) -> usize {
+    n + 4
+}
+
+/// Constant folding. Only scalar-result primitives are folded, and never
+/// instructions producing a program result variable (results must stay
+/// materialised).
+fn constfold(prog: &mut Program, registry: &Registry) -> usize {
+    let result_vars: std::collections::HashSet<VarId> =
+        prog.results.iter().map(|(_, v)| *v).collect();
+    let mut subst: HashMap<VarId, Arg> = HashMap::new();
+    let mut kept: Vec<Instr> = Vec::with_capacity(prog.instrs.len());
+    let mut folded = 0usize;
+    for ins in std::mem::take(&mut prog.instrs) {
+        // Re-resolve args through what we already folded.
+        let mut ins = ins;
+        for a in &mut ins.args {
+            if let Arg::Var(v) = a {
+                if let Some(c) = subst.get(v) {
+                    *a = c.clone();
+                }
+            }
+        }
+        let foldable = is_pure(&ins.module, &ins.function)
+            && ins.results.len() == 1
+            && !result_vars.contains(&ins.results[0])
+            && ins.args.iter().all(|a| matches!(a, Arg::Const(_)))
+            && ins.module != "array" // may produce large BATs
+            && ins.module != "bat";
+        if foldable {
+            let args: Vec<MalValue> = ins
+                .args
+                .iter()
+                .map(|a| match a {
+                    Arg::Const(v) => MalValue::Scalar(v.clone()),
+                    Arg::Var(_) => unreachable!("checked all-const above"),
+                })
+                .collect();
+            if let Ok(prim) = registry.lookup(&ins.module, &ins.function) {
+                if let Ok(outs) = prim(&args) {
+                    if let [MalValue::Scalar(v)] = outs.as_slice() {
+                        subst.insert(ins.results[0], Arg::Const(v.clone()));
+                        folded += 1;
+                        continue;
+                    }
+                }
+            }
+        }
+        kept.push(ins);
+    }
+    prog.instrs = kept;
+    substitute(prog, &subst);
+    folded
+}
+
+/// Common sub-expression elimination over pure instructions.
+fn cse(prog: &mut Program) -> usize {
+    // Key: (module, function, rendered args). Values are result vars.
+    let mut seen: HashMap<String, Vec<VarId>> = HashMap::new();
+    let mut subst: HashMap<VarId, Arg> = HashMap::new();
+    let mut kept: Vec<Instr> = Vec::with_capacity(prog.instrs.len());
+    let mut hits = 0usize;
+    for ins in std::mem::take(&mut prog.instrs) {
+        let mut ins = ins;
+        for a in &mut ins.args {
+            if let Arg::Var(v) = a {
+                if let Some(c) = subst.get(v) {
+                    *a = c.clone();
+                }
+            }
+        }
+        if !is_pure(&ins.module, &ins.function) {
+            kept.push(ins);
+            continue;
+        }
+        let key = format!(
+            "{}.{}({:?})",
+            ins.module,
+            ins.function,
+            ins.args
+        );
+        match seen.get(&key) {
+            Some(prev) if prev.len() == ins.results.len() => {
+                for (old, new) in ins.results.iter().zip(prev) {
+                    subst.insert(*old, Arg::Var(*new));
+                }
+                hits += 1;
+            }
+            _ => {
+                seen.insert(key, ins.results.clone());
+                kept.push(ins);
+            }
+        }
+    }
+    prog.instrs = kept;
+    substitute(prog, &subst);
+    hits
+}
+
+/// Remove `language.pass` aliases.
+fn alias_removal(prog: &mut Program) -> usize {
+    let mut subst: HashMap<VarId, Arg> = HashMap::new();
+    let mut kept: Vec<Instr> = Vec::with_capacity(prog.instrs.len());
+    let mut removed = 0usize;
+    for ins in std::mem::take(&mut prog.instrs) {
+        if ins.module == "language"
+            && ins.function == "pass"
+            && ins.results.len() == 1
+            && ins.args.len() == 1
+        {
+            subst.insert(ins.results[0], ins.args[0].clone());
+            removed += 1;
+        } else {
+            kept.push(ins);
+        }
+    }
+    prog.instrs = kept;
+    substitute(prog, &subst);
+    removed
+}
+
+/// Dead code elimination: drop pure instructions none of whose results are
+/// ever used (transitively, scanning backwards).
+fn dce(prog: &mut Program) -> usize {
+    let mut live: Vec<bool> = vec![false; prog.vars.len()];
+    for (_, v) in &prog.results {
+        live[*v] = true;
+    }
+    let mut keep: Vec<bool> = vec![true; prog.instrs.len()];
+    for (i, ins) in prog.instrs.iter().enumerate().rev() {
+        let needed =
+            !is_pure(&ins.module, &ins.function) || ins.results.iter().any(|&r| live[r]);
+        keep[i] = needed;
+        if needed {
+            for u in Program::uses(ins) {
+                live[u] = true;
+            }
+        }
+    }
+    let before = prog.instrs.len();
+    let mut it = keep.iter();
+    prog.instrs.retain(|_| *it.next().expect("keep aligned"));
+    before - prog.instrs.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{EmptyBinder, Interpreter};
+    use crate::ir::MalType;
+    use crate::prims::default_registry;
+    use gdk::{ScalarType, Value};
+
+    /// x = 2+3; y = 2+3; z = series(0,1,x,1,1); dead = 9*9; result z
+    fn sample() -> Program {
+        let mut p = Program::new("opt");
+        let x = p.emit(
+            "batcalc",
+            "add",
+            vec![Arg::Const(Value::Int(2)), Arg::Const(Value::Int(3))],
+            MalType::Scalar(ScalarType::Int),
+        );
+        let y = p.emit(
+            "batcalc",
+            "add",
+            vec![Arg::Const(Value::Int(2)), Arg::Const(Value::Int(3))],
+            MalType::Scalar(ScalarType::Int),
+        );
+        let z = p.emit(
+            "array",
+            "series",
+            vec![
+                Arg::Const(Value::Int(0)),
+                Arg::Const(Value::Int(1)),
+                Arg::Var(x),
+                Arg::Const(Value::Lng(1)),
+                Arg::Const(Value::Lng(1)),
+            ],
+            MalType::Bat(ScalarType::Int),
+        );
+        let _dead = p.emit(
+            "batcalc",
+            "mul",
+            vec![Arg::Const(Value::Int(9)), Arg::Var(y)],
+            MalType::Scalar(ScalarType::Int),
+        );
+        p.add_result("z", z);
+        p
+    }
+
+    #[test]
+    fn full_pipeline_shrinks_program() {
+        let reg = default_registry();
+        let mut p = sample();
+        let before = p.instrs.len();
+        let report = optimise(&mut p, &reg, OptConfig::default());
+        assert!(report.total_removed() > 0);
+        assert!(p.instrs.len() < before);
+        // Only the series instruction should remain.
+        assert_eq!(p.instrs.len(), 1);
+        assert_eq!(p.instrs[0].qualified(), "array.series");
+        // Its stop argument should now be the constant 5.
+        assert_eq!(p.instrs[0].args[2], Arg::Const(Value::Int(5)));
+    }
+
+    #[test]
+    fn optimised_program_same_answer() {
+        let reg = default_registry();
+        let mut p = sample();
+        let interp = Interpreter::new(&reg, &EmptyBinder);
+        let plain = interp.run(&p).unwrap();
+        optimise(&mut p, &reg, OptConfig::default());
+        let opt = interp.run(&p).unwrap();
+        assert_eq!(
+            plain[0].1.as_bat().unwrap().to_values(),
+            opt[0].1.as_bat().unwrap().to_values()
+        );
+        assert_eq!(plain[0].1.as_bat().unwrap().len(), 5);
+    }
+
+    #[test]
+    fn cse_only() {
+        let reg = default_registry();
+        let mut p = sample();
+        let report = optimise(
+            &mut p,
+            &reg,
+            OptConfig {
+                constfold: false,
+                cse: true,
+                alias: false,
+                dce: false,
+            },
+        );
+        assert_eq!(report.cse_hits, 1, "y duplicates x");
+    }
+
+    #[test]
+    fn dce_keeps_side_effects() {
+        let reg = default_registry();
+        let mut p = Program::new("se");
+        // io.print is impure; it must survive DCE even though unused.
+        let v = p.new_var(MalType::Scalar(ScalarType::Int));
+        p.instrs.push(Instr {
+            results: vec![v],
+            module: "io".into(),
+            function: "print".into(),
+            args: vec![Arg::Const(Value::Int(1))],
+        });
+        optimise(&mut p, &reg, OptConfig::default());
+        assert_eq!(p.instrs.len(), 1);
+    }
+
+    #[test]
+    fn alias_chains_resolve() {
+        let reg = default_registry();
+        let mut p = Program::new("al");
+        let a = p.emit(
+            "batcalc",
+            "add",
+            vec![Arg::Const(Value::Int(1)), Arg::Const(Value::Int(1))],
+            MalType::Scalar(ScalarType::Int),
+        );
+        let b = p.emit("language", "pass", vec![Arg::Var(a)], MalType::Scalar(ScalarType::Int));
+        let c = p.emit("language", "pass", vec![Arg::Var(b)], MalType::Scalar(ScalarType::Int));
+        let d = p.emit(
+            "array",
+            "filler",
+            vec![Arg::Const(Value::Lng(2)), Arg::Var(c)],
+            MalType::Bat(ScalarType::Int),
+        );
+        p.add_result("d", d);
+        optimise(
+            &mut p,
+            &reg,
+            OptConfig {
+                constfold: false,
+                cse: false,
+                alias: true,
+                dce: true,
+            },
+        );
+        assert_eq!(p.instrs.len(), 2, "add + filler remain");
+        assert_eq!(p.instrs[1].args[1], Arg::Var(a));
+    }
+}

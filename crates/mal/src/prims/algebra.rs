@@ -1,0 +1,480 @@
+//! `algebra.*` — selections, projections, joins, slices, sorting.
+
+use crate::interp::MalValue;
+use crate::registry::Registry;
+use crate::{MalError, Result};
+use gdk::arith::CmpOp;
+use gdk::candidates::Candidates;
+use gdk::{join, project, select, sort, Bat, Value};
+
+fn cmp_from_str(s: &str) -> Result<CmpOp> {
+    Ok(match s {
+        "==" | "=" => CmpOp::Eq,
+        "!=" | "<>" => CmpOp::Ne,
+        "<" => CmpOp::Lt,
+        "<=" => CmpOp::Le,
+        ">" => CmpOp::Gt,
+        ">=" => CmpOp::Ge,
+        _ => return Err(MalError::msg(format!("unknown comparison operator {s:?}"))),
+    })
+}
+
+fn opt_cand(args: &[MalValue], i: usize) -> Result<Option<std::rc::Rc<Candidates>>> {
+    match args.get(i) {
+        Some(MalValue::Cand(c)) => Ok(Some(c.clone())),
+        Some(other) => Err(MalError::msg(format!(
+            "argument {i} must be a candidate list, got {}",
+            other.kind()
+        ))),
+        None => Ok(None),
+    }
+}
+
+fn as_bool(v: &Value, what: &str) -> Result<bool> {
+    v.as_bool()
+        .ok_or_else(|| MalError::msg(format!("{what} must be a boolean")))
+}
+
+/// Register the `algebra` module.
+pub fn register(r: &mut Registry) {
+    // algebra.thetaselect(b, [cand,] val, op:str) :cand
+    r.register("algebra", "thetaselect", |args| {
+        let b = args
+            .first()
+            .ok_or_else(|| MalError::msg("thetaselect: missing BAT"))?
+            .as_bat()?;
+        let (cand, val_i) = if args.len() == 4 {
+            (opt_cand(args, 1)?, 2)
+        } else if args.len() == 3 {
+            (None, 1)
+        } else {
+            return Err(MalError::msg("thetaselect takes 3 or 4 arguments"));
+        };
+        let val = args[val_i].as_scalar()?;
+        let Value::Str(op) = args[val_i + 1].as_scalar()? else {
+            return Err(MalError::msg("thetaselect operator must be a string"));
+        };
+        let op = cmp_from_str(op)?;
+        let c = select::thetaselect(b, cand.as_deref(), val, op)?;
+        Ok(vec![MalValue::cand(c)])
+    });
+
+    // algebra.select(b, [cand,] lo, hi, li:bit, hi_incl:bit, anti:bit) :cand
+    r.register("algebra", "select", |args| {
+        let b = args
+            .first()
+            .ok_or_else(|| MalError::msg("select: missing BAT"))?
+            .as_bat()?;
+        let (cand, base) = if args.len() == 7 {
+            (opt_cand(args, 1)?, 2)
+        } else if args.len() == 6 {
+            (None, 1)
+        } else {
+            return Err(MalError::msg("select takes 6 or 7 arguments"));
+        };
+        let lo = args[base].as_scalar()?;
+        let hi = args[base + 1].as_scalar()?;
+        let li = as_bool(args[base + 2].as_scalar()?, "li")?;
+        let hi_incl = as_bool(args[base + 3].as_scalar()?, "hi")?;
+        let anti = as_bool(args[base + 4].as_scalar()?, "anti")?;
+        let c = select::rangeselect(b, cand.as_deref(), lo, hi, li, hi_incl, anti)?;
+        Ok(vec![MalValue::cand(c)])
+    });
+
+    // algebra.selectnonnil(b [, cand]) :cand
+    r.register("algebra", "selectnonnil", |args| {
+        let b = args
+            .first()
+            .ok_or_else(|| MalError::msg("selectnonnil: missing BAT"))?
+            .as_bat()?;
+        let cand = opt_cand(args, 1)?;
+        Ok(vec![MalValue::cand(select::select_non_nil(
+            b,
+            cand.as_deref(),
+        ))])
+    });
+
+    // algebra.selectnil(b [, cand]) :cand
+    r.register("algebra", "selectnil", |args| {
+        let b = args
+            .first()
+            .ok_or_else(|| MalError::msg("selectnil: missing BAT"))?
+            .as_bat()?;
+        let cand = opt_cand(args, 1)?;
+        Ok(vec![MalValue::cand(select::select_nil(b, cand.as_deref()))])
+    });
+
+    // algebra.maskselect(mask:bat[bit] [, cand]) :cand — bit mask to candidates
+    r.register("algebra", "maskselect", |args| {
+        let m = args
+            .first()
+            .ok_or_else(|| MalError::msg("maskselect: missing mask"))?
+            .as_bat()?;
+        let cand = opt_cand(args, 1)?;
+        Ok(vec![MalValue::cand(select::mask_to_cands(
+            m,
+            cand.as_deref(),
+        )?)])
+    });
+
+    // algebra.projection(cand|oidbat, b) :bat
+    r.register("algebra", "projection", |args| {
+        if args.len() != 2 {
+            return Err(MalError::msg("projection takes 2 arguments"));
+        }
+        let b = args[1].as_bat()?;
+        match &args[0] {
+            MalValue::Cand(c) => Ok(vec![MalValue::bat(project::project(c, b)?)]),
+            MalValue::Bat(oids) => Ok(vec![MalValue::bat(project::project_oids(oids, b)?)]),
+            other => Err(MalError::msg(format!(
+                "projection head must be candidates or oid BAT, got {}",
+                other.kind()
+            ))),
+        }
+    });
+
+    // algebra.join(l, r [, lcand, rcand]) :(bat[oid], bat[oid])
+    r.register("algebra", "join", |args| {
+        let l = args
+            .first()
+            .ok_or_else(|| MalError::msg("join: missing left"))?
+            .as_bat()?;
+        let rr = args
+            .get(1)
+            .ok_or_else(|| MalError::msg("join: missing right"))?
+            .as_bat()?;
+        let lc = opt_cand(args, 2)?;
+        let rc = opt_cand(args, 3)?;
+        let j = join::hashjoin(l, rr, lc.as_deref(), rc.as_deref())?;
+        Ok(vec![
+            MalValue::bat(Bat::from_oids(j.left)),
+            MalValue::bat(Bat::from_oids(j.right)),
+        ])
+    });
+
+    // algebra.joinn(l1, r1, l2, r2, …) :(bat[oid], bat[oid]) — multi-key
+    // equi-join on aligned (left, right) key pairs.
+    r.register("algebra", "joinn", |args| {
+        if args.is_empty() || args.len() % 2 != 0 {
+            return Err(MalError::msg("joinn takes (lkey, rkey) pairs"));
+        }
+        let k = args.len() / 2;
+        let mut lkeys = Vec::with_capacity(k);
+        let mut rkeys = Vec::with_capacity(k);
+        for i in 0..k {
+            lkeys.push(args[2 * i].as_bat()?.as_ref());
+            rkeys.push(args[2 * i + 1].as_bat()?.as_ref());
+        }
+        let j = join::hashjoin_multi(&lkeys, &rkeys)?;
+        Ok(vec![
+            MalValue::bat(Bat::from_oids(j.left)),
+            MalValue::bat(Bat::from_oids(j.right)),
+        ])
+    });
+
+    // algebra.leftjoin(l, r [, lcand, rcand])
+    r.register("algebra", "leftjoin", |args| {
+        let l = args
+            .first()
+            .ok_or_else(|| MalError::msg("leftjoin: missing left"))?
+            .as_bat()?;
+        let rr = args
+            .get(1)
+            .ok_or_else(|| MalError::msg("leftjoin: missing right"))?
+            .as_bat()?;
+        let lc = opt_cand(args, 2)?;
+        let rc = opt_cand(args, 3)?;
+        let j = join::leftjoin(l, rr, lc.as_deref(), rc.as_deref())?;
+        Ok(vec![
+            MalValue::bat(Bat::from_oids(j.left)),
+            MalValue::bat(Bat::from_oids(j.right)),
+        ])
+    });
+
+    // algebra.semijoin(l, r [, lcand, rcand]) :cand
+    r.register("algebra", "semijoin", |args| {
+        let l = args
+            .first()
+            .ok_or_else(|| MalError::msg("semijoin: missing left"))?
+            .as_bat()?;
+        let rr = args
+            .get(1)
+            .ok_or_else(|| MalError::msg("semijoin: missing right"))?
+            .as_bat()?;
+        let lc = opt_cand(args, 2)?;
+        let rc = opt_cand(args, 3)?;
+        let c = join::semijoin(l, rr, lc.as_deref(), rc.as_deref())?;
+        Ok(vec![MalValue::cand(c)])
+    });
+
+    // algebra.crossproduct(l, r [, lcand, rcand]) :(bat[oid], bat[oid])
+    r.register("algebra", "crossproduct", |args| {
+        let l = args
+            .first()
+            .ok_or_else(|| MalError::msg("crossproduct: missing left"))?
+            .as_bat()?;
+        let rr = args
+            .get(1)
+            .ok_or_else(|| MalError::msg("crossproduct: missing right"))?
+            .as_bat()?;
+        let lc = opt_cand(args, 2)?;
+        let rc = opt_cand(args, 3)?;
+        let j = join::cross(l.len(), rr.len(), lc.as_deref(), rc.as_deref())?;
+        Ok(vec![
+            MalValue::bat(Bat::from_oids(j.left)),
+            MalValue::bat(Bat::from_oids(j.right)),
+        ])
+    });
+
+    // algebra.slice(b, lo:lng, hi:lng) :bat  (positions [lo, hi))
+    r.register("algebra", "slice", |args| {
+        let b = args
+            .first()
+            .ok_or_else(|| MalError::msg("slice: missing BAT"))?
+            .as_bat()?;
+        let lo = args
+            .get(1)
+            .ok_or_else(|| MalError::msg("slice: missing lo"))?
+            .as_scalar()?
+            .as_i64()
+            .ok_or_else(|| MalError::msg("slice lo must be integral"))?;
+        let hi = args
+            .get(2)
+            .ok_or_else(|| MalError::msg("slice: missing hi"))?
+            .as_scalar()?
+            .as_i64()
+            .ok_or_else(|| MalError::msg("slice hi must be integral"))?;
+        let lo = usize::try_from(lo).map_err(|_| MalError::msg("slice lo must be >= 0"))?;
+        let hi = usize::try_from(hi).map_err(|_| MalError::msg("slice hi must be >= 0"))?;
+        Ok(vec![MalValue::bat(project::slice(b, lo, hi)?)])
+    });
+
+    // algebra.sort(b, desc:bit, nils_last:bit) :(bat, bat[oid] permutation)
+    r.register("algebra", "sort", |args| {
+        let b = args
+            .first()
+            .ok_or_else(|| MalError::msg("sort: missing BAT"))?
+            .as_bat()?;
+        let desc = as_bool(
+            args.get(1)
+                .ok_or_else(|| MalError::msg("sort: missing desc flag"))?
+                .as_scalar()?,
+            "desc",
+        )?;
+        let nils_last = as_bool(
+            args.get(2)
+                .ok_or_else(|| MalError::msg("sort: missing nils_last flag"))?
+                .as_scalar()?,
+            "nils_last",
+        )?;
+        let perm = sort::sort_perm(
+            b.len(),
+            &[sort::SortKey {
+                bat: b,
+                desc,
+                nils_last,
+            }],
+        )?;
+        let sorted = sort::apply_perm(b, &perm)?;
+        let perm_bat = Bat::from_oids(perm.into_iter().map(|p| p as gdk::Oid).collect());
+        Ok(vec![MalValue::bat(sorted), MalValue::bat(perm_bat)])
+    });
+
+    // algebra.sortperm(key1, desc1:bit, key2, desc2, …) :bat[oid] — the
+    // permutation ordering rows by the keys, most significant first
+    // (ORDER BY kernel; nils sort first ascending, MonetDB-style).
+    r.register("algebra", "sortperm", |args| {
+        if args.is_empty() || args.len() % 2 != 0 {
+            return Err(MalError::msg(
+                "sortperm takes (key, desc) pairs",
+            ));
+        }
+        let nkeys = args.len() / 2;
+        let mut keys = Vec::with_capacity(nkeys);
+        for i in 0..nkeys {
+            let bat = args[2 * i].as_bat()?;
+            let desc = args[2 * i + 1]
+                .as_scalar()?
+                .as_bool()
+                .ok_or_else(|| MalError::msg("sortperm desc flag must be boolean"))?;
+            keys.push((bat, desc));
+        }
+        let len = keys[0].0.len();
+        for (b, _) in &keys {
+            if b.len() != len {
+                return Err(MalError::msg("sortperm keys misaligned"));
+            }
+        }
+        let sort_keys: Vec<sort::SortKey<'_>> = keys
+            .iter()
+            .map(|(b, desc)| sort::SortKey {
+                bat: b,
+                desc: *desc,
+                nils_last: false,
+            })
+            .collect();
+        let perm = sort::sort_perm(len, &sort_keys)?;
+        Ok(vec![MalValue::bat(Bat::from_oids(
+            perm.into_iter().map(|p| p as gdk::Oid).collect(),
+        ))])
+    });
+
+    // algebra.count(b) — tuple count (including nils)
+    r.register("algebra", "count", |args| {
+        let b = args
+            .first()
+            .ok_or_else(|| MalError::msg("count: missing BAT"))?
+            .as_bat()?;
+        Ok(vec![MalValue::Scalar(Value::Lng(b.len() as i64))])
+    });
+
+    // algebra.candlist(b:bat[oid]) — turn a sorted oid BAT into candidates
+    r.register("algebra", "candlist", |args| {
+        let b = args
+            .first()
+            .ok_or_else(|| MalError::msg("candlist: missing BAT"))?
+            .as_bat()?;
+        let oids = b
+            .as_oids()
+            .map(<[gdk::Oid]>::to_vec)
+            .unwrap_or_else(|| b.iter_values().filter_map(|v| v.as_i64().map(|x| x as gdk::Oid)).collect());
+        Ok(vec![MalValue::cand(Candidates::from_vec(oids))])
+    });
+
+    // algebra.densecand(first:lng, len:lng) — dense candidate range
+    r.register("algebra", "densecand", |args| {
+        let first = args
+            .first()
+            .ok_or_else(|| MalError::msg("densecand: missing first"))?
+            .as_scalar()?
+            .as_i64()
+            .ok_or_else(|| MalError::msg("densecand first must be integral"))?;
+        let len = args
+            .get(1)
+            .ok_or_else(|| MalError::msg("densecand: missing len"))?
+            .as_scalar()?
+            .as_i64()
+            .ok_or_else(|| MalError::msg("densecand len must be integral"))?;
+        Ok(vec![MalValue::cand(Candidates::Dense {
+            first: first as gdk::Oid,
+            len: len as usize,
+        })])
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prims::default_registry;
+
+    fn call(module: &str, f: &str, args: &[MalValue]) -> Result<Vec<MalValue>> {
+        let r = default_registry();
+        let p = r.lookup(module, f)?;
+        p(args)
+    }
+
+    #[test]
+    fn thetaselect_variants() {
+        let b = MalValue::bat(Bat::from_ints(vec![3, 1, 4, 1, 5]));
+        let out = call(
+            "algebra",
+            "thetaselect",
+            &[
+                b.clone(),
+                MalValue::Scalar(Value::Int(1)),
+                MalValue::Scalar(Value::Str("==".into())),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out[0].as_cand().unwrap().to_vec(), vec![1, 3]);
+
+        let cand = MalValue::cand(Candidates::from_vec(vec![0, 1, 2]));
+        let out = call(
+            "algebra",
+            "thetaselect",
+            &[
+                b,
+                cand,
+                MalValue::Scalar(Value::Int(1)),
+                MalValue::Scalar(Value::Str(">".into())),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out[0].as_cand().unwrap().to_vec(), vec![0, 2]);
+    }
+
+    #[test]
+    fn projection_and_join() {
+        let b = MalValue::bat(Bat::from_ints(vec![10, 20, 30]));
+        let c = MalValue::cand(Candidates::from_vec(vec![2, 0]));
+        // from_vec sorts: [0, 2]
+        let out = call("algebra", "projection", &[c, b.clone()]).unwrap();
+        assert_eq!(out[0].as_bat().unwrap().as_ints().unwrap(), &[10, 30]);
+
+        let l = MalValue::bat(Bat::from_ints(vec![20, 99]));
+        let out = call("algebra", "join", &[l, b]).unwrap();
+        assert_eq!(out[0].as_bat().unwrap().as_oids().unwrap(), &[0]);
+        assert_eq!(out[1].as_bat().unwrap().as_oids().unwrap(), &[1]);
+    }
+
+    #[test]
+    fn slice_sort_count() {
+        let b = MalValue::bat(Bat::from_ints(vec![3, 1, 2]));
+        let out = call(
+            "algebra",
+            "slice",
+            &[
+                b.clone(),
+                MalValue::Scalar(Value::Lng(1)),
+                MalValue::Scalar(Value::Lng(3)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out[0].as_bat().unwrap().as_ints().unwrap(), &[1, 2]);
+
+        let out = call(
+            "algebra",
+            "sort",
+            &[
+                b.clone(),
+                MalValue::Scalar(Value::Bit(false)),
+                MalValue::Scalar(Value::Bit(false)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out[0].as_bat().unwrap().as_ints().unwrap(), &[1, 2, 3]);
+        assert_eq!(out[1].as_bat().unwrap().as_oids().unwrap(), &[1, 2, 0]);
+
+        let out = call("algebra", "count", &[b]).unwrap();
+        assert!(matches!(out[0], MalValue::Scalar(Value::Lng(3))));
+    }
+
+    #[test]
+    fn maskselect_and_densecand() {
+        let m = MalValue::bat(Bat::from_bits(vec![Some(true), Some(false), Some(true)]));
+        let out = call("algebra", "maskselect", &[m]).unwrap();
+        assert_eq!(out[0].as_cand().unwrap().to_vec(), vec![0, 2]);
+
+        let out = call(
+            "algebra",
+            "densecand",
+            &[MalValue::Scalar(Value::Lng(5)), MalValue::Scalar(Value::Lng(3))],
+        )
+        .unwrap();
+        assert_eq!(out[0].as_cand().unwrap().to_vec(), vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn crossproduct_sizes() {
+        let l = MalValue::bat(Bat::from_ints(vec![1, 2]));
+        let r2 = MalValue::bat(Bat::from_ints(vec![7, 8, 9]));
+        let out = call("algebra", "crossproduct", &[l, r2]).unwrap();
+        assert_eq!(out[0].as_bat().unwrap().len(), 6);
+    }
+
+    #[test]
+    fn bad_arity_is_error() {
+        let b = MalValue::bat(Bat::from_ints(vec![1]));
+        assert!(call("algebra", "thetaselect", &[b]).is_err());
+    }
+}

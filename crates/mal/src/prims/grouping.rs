@@ -1,0 +1,153 @@
+//! `group.*` and `aggr.*` — grouping and grouped aggregation.
+
+use crate::interp::MalValue;
+use crate::registry::Registry;
+use crate::MalError;
+use gdk::aggregate::{self, AggFunc};
+use gdk::group;
+
+fn register_subagg(r: &mut Registry, name: &'static str, func: AggFunc) {
+    // aggr.subX(vals:bat, groups:grp) :bat — one tuple per group.
+    r.register("aggr", name, move |args| {
+        if args.len() != 2 {
+            return Err(MalError::msg("grouped aggregate takes (vals, groups)"));
+        }
+        let vals = args[0].as_bat()?;
+        let g = args[1].as_grp()?;
+        Ok(vec![MalValue::bat(aggregate::grouped(func, vals, g)?)])
+    });
+}
+
+fn register_scalaragg(r: &mut Registry, name: &'static str, func: AggFunc) {
+    // aggr.X(vals:bat) :scalar
+    r.register("aggr", name, move |args| {
+        if args.len() != 1 {
+            return Err(MalError::msg("scalar aggregate takes (vals)"));
+        }
+        let vals = args[0].as_bat()?;
+        Ok(vec![MalValue::Scalar(aggregate::scalar(func, vals)?)])
+    });
+}
+
+/// Register `group` and `aggr`.
+pub fn register(r: &mut Registry) {
+    // group.group(b [, cand]) :grp
+    r.register("group", "group", |args| {
+        let b = args
+            .first()
+            .ok_or_else(|| MalError::msg("group: missing BAT"))?
+            .as_bat()?;
+        let cand = match args.get(1) {
+            Some(MalValue::Cand(c)) => Some(c.clone()),
+            None => None,
+            Some(other) => {
+                return Err(MalError::msg(format!(
+                    "group candidate must be a candidate list, got {}",
+                    other.kind()
+                )))
+            }
+        };
+        Ok(vec![MalValue::grp(group::group_by(
+            b,
+            cand.as_deref(),
+            None,
+        )?)])
+    });
+
+    // group.subgroup(b, prev:grp [, cand]) :grp — refine a grouping
+    r.register("group", "subgroup", |args| {
+        let b = args
+            .first()
+            .ok_or_else(|| MalError::msg("subgroup: missing BAT"))?
+            .as_bat()?;
+        let prev = args
+            .get(1)
+            .ok_or_else(|| MalError::msg("subgroup: missing previous grouping"))?
+            .as_grp()?;
+        let cand = match args.get(2) {
+            Some(MalValue::Cand(c)) => Some(c.clone()),
+            None => None,
+            Some(other) => {
+                return Err(MalError::msg(format!(
+                    "subgroup candidate must be a candidate list, got {}",
+                    other.kind()
+                )))
+            }
+        };
+        Ok(vec![MalValue::grp(group::group_by(
+            b,
+            cand.as_deref(),
+            Some(prev),
+        )?)])
+    });
+
+    // group.extents(g:grp) :bat[oid] — representative oid per group
+    r.register("group", "extents", |args| {
+        let g = args
+            .first()
+            .ok_or_else(|| MalError::msg("extents: missing grouping"))?
+            .as_grp()?;
+        Ok(vec![MalValue::bat(gdk::Bat::from_oids(g.extents.clone()))])
+    });
+
+    // group.extentcand(g:grp) :cand — extents as candidate list
+    r.register("group", "extentcand", |args| {
+        let g = args
+            .first()
+            .ok_or_else(|| MalError::msg("extentcand: missing grouping"))?
+            .as_grp()?;
+        Ok(vec![MalValue::cand(gdk::Candidates::from_vec(
+            g.extents.clone(),
+        ))])
+    });
+
+    register_subagg(r, "subsum", AggFunc::Sum);
+    register_subagg(r, "subavg", AggFunc::Avg);
+    register_subagg(r, "subcount", AggFunc::Count);
+    register_subagg(r, "submin", AggFunc::Min);
+    register_subagg(r, "submax", AggFunc::Max);
+    register_scalaragg(r, "sum", AggFunc::Sum);
+    register_scalaragg(r, "avg", AggFunc::Avg);
+    register_scalaragg(r, "count", AggFunc::Count);
+    register_scalaragg(r, "min", AggFunc::Min);
+    register_scalaragg(r, "max", AggFunc::Max);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prims::default_registry;
+    use gdk::{Bat, Value};
+
+    #[test]
+    fn group_then_aggregate() {
+        let r = default_registry();
+        let keys = MalValue::bat(Bat::from_ints(vec![1, 2, 1]));
+        let g = r.lookup("group", "group").unwrap()(&[keys]).unwrap();
+        let vals = MalValue::bat(Bat::from_ints(vec![10, 20, 30]));
+        let s = r.lookup("aggr", "subsum").unwrap()(&[vals, g[0].clone()]).unwrap();
+        assert_eq!(s[0].as_bat().unwrap().as_lngs().unwrap(), &[40, 20]);
+        let ext = r.lookup("group", "extents").unwrap()(&[g[0].clone()]).unwrap();
+        assert_eq!(ext[0].as_bat().unwrap().as_oids().unwrap(), &[0, 1]);
+    }
+
+    #[test]
+    fn subgroup_refines() {
+        let r = default_registry();
+        let a = MalValue::bat(Bat::from_ints(vec![1, 1, 2]));
+        let b = MalValue::bat(Bat::from_ints(vec![9, 8, 9]));
+        let g1 = r.lookup("group", "group").unwrap()(&[a]).unwrap();
+        let g2 = r.lookup("group", "subgroup").unwrap()(&[b, g1[0].clone()]).unwrap();
+        assert_eq!(g2[0].as_grp().unwrap().ngroups, 3);
+    }
+
+    #[test]
+    fn scalar_aggregates() {
+        let r = default_registry();
+        let vals = MalValue::bat(Bat::from_opt_ints(vec![Some(2), None, Some(4)]));
+        let out = r.lookup("aggr", "avg").unwrap()(std::slice::from_ref(&vals)).unwrap();
+        assert!(matches!(out[0], MalValue::Scalar(Value::Dbl(v)) if v == 3.0));
+        let out = r.lookup("aggr", "count").unwrap()(&[vals]).unwrap();
+        assert!(matches!(out[0], MalValue::Scalar(Value::Lng(2))));
+    }
+}

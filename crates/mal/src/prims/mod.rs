@@ -1,0 +1,41 @@
+//! The standard primitive library.
+//!
+//! Modules mirror MonetDB's MAL module layout:
+//! * `array` — the two primitives the paper introduces (`series`, `filler`);
+//! * `algebra` — selections, projections, joins, slicing, sorting;
+//! * `group` / `aggr` — grouping and grouped aggregation;
+//! * `batcalc` / `calc` — element-wise and scalar arithmetic;
+//! * `bat` — BAT construction and (side-effecting) updates.
+
+mod algebra;
+mod array;
+mod batcalc;
+mod batmod;
+mod grouping;
+
+use crate::registry::Registry;
+
+/// Build a registry containing the full standard library.
+pub fn default_registry() -> Registry {
+    let mut r = Registry::new();
+    array::register(&mut r);
+    algebra::register(&mut r);
+    batcalc::register(&mut r);
+    batmod::register(&mut r);
+    grouping::register(&mut r);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn registry_is_populated() {
+        let r = super::default_registry();
+        assert!(r.len() > 30, "expected a rich standard library, got {}", r.len());
+        assert!(r.lookup("array", "series").is_ok());
+        assert!(r.lookup("array", "filler").is_ok());
+        assert!(r.lookup("algebra", "thetaselect").is_ok());
+        assert!(r.lookup("aggr", "subavg").is_ok());
+        assert!(r.lookup("batcalc", "ifthenelse").is_ok());
+    }
+}

@@ -1,0 +1,68 @@
+//! Primitive registry: maps `module.function` to Rust implementations.
+
+use crate::interp::MalValue;
+use crate::{MalError, Result};
+use std::collections::HashMap;
+
+/// A MAL primitive: takes evaluated arguments, returns result values.
+pub type PrimFn = Box<dyn Fn(&[MalValue]) -> Result<Vec<MalValue>> + Send + Sync>;
+
+/// Registry of primitives keyed by `(module, function)`.
+#[derive(Default)]
+pub struct Registry {
+    prims: HashMap<(String, String), PrimFn>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a primitive. Re-registration replaces (used by tests to
+    /// stub primitives).
+    pub fn register(
+        &mut self,
+        module: &str,
+        function: &str,
+        f: impl Fn(&[MalValue]) -> Result<Vec<MalValue>> + Send + Sync + 'static,
+    ) {
+        self.prims
+            .insert((module.to_owned(), function.to_owned()), Box::new(f));
+    }
+
+    /// Look up a primitive.
+    pub fn lookup(&self, module: &str, function: &str) -> Result<&PrimFn> {
+        self.prims
+            .get(&(module.to_owned(), function.to_owned()))
+            .ok_or_else(|| MalError::msg(format!("unknown MAL primitive {module}.{function}")))
+    }
+
+    /// Number of registered primitives.
+    pub fn len(&self) -> usize {
+        self.prims.len()
+    }
+
+    /// True when no primitives are registered.
+    pub fn is_empty(&self) -> bool {
+        self.prims.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdk::Value;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut r = Registry::new();
+        assert!(r.is_empty());
+        r.register("m", "f", |_args| Ok(vec![MalValue::Scalar(Value::Int(1))]));
+        assert_eq!(r.len(), 1);
+        let f = r.lookup("m", "f").unwrap();
+        let out = f(&[]).unwrap();
+        assert!(matches!(out[0], MalValue::Scalar(Value::Int(1))));
+        assert!(r.lookup("m", "missing").is_err());
+    }
+}

@@ -1,0 +1,465 @@
+//! Abstract syntax tree of the SciQL language.
+
+/// A literal constant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Integer.
+    Int(i64),
+    /// Floating point.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+    /// SQL NULL.
+    Null,
+}
+
+/// Binary operators (arithmetic, comparison, boolean).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%` / `MOD`
+    Mod,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+impl BinOp {
+    /// Is this a comparison operator?
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+    /// Is this a boolean connective?
+    pub fn is_boolean(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Numeric negation.
+    Neg,
+    /// Boolean NOT.
+    Not,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal constant.
+    Literal(Literal),
+    /// Column (or dimension) reference, optionally qualified
+    /// (`m.v` or `v`).
+    Column {
+        /// Table/array qualifier.
+        qualifier: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Relative cell reference `A[x-1][y]` — SciQL's positional access to
+    /// neighbouring cells (used by e.g. EdgeDetection).
+    Cell {
+        /// Array name.
+        array: String,
+        /// One index expression per dimension.
+        indices: Vec<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// `IS NOT NULL`?
+        negated: bool,
+    },
+    /// `expr [NOT] BETWEEN lo AND hi` (inclusive bounds).
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound.
+        lo: Box<Expr>,
+        /// Upper bound.
+        hi: Box<Expr>,
+        /// `NOT BETWEEN`?
+        negated: bool,
+    },
+    /// `expr [NOT] IN (v, …)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Candidate values.
+        list: Vec<Expr>,
+        /// `NOT IN`?
+        negated: bool,
+    },
+    /// `CASE [operand] WHEN … THEN … [ELSE …] END`.
+    Case {
+        /// Optional comparison operand (simple CASE).
+        operand: Option<Box<Expr>>,
+        /// `(when, then)` pairs, evaluated in order ("the first predicate
+        /// that holds dictates the cell values" — paper §2).
+        whens: Vec<(Expr, Expr)>,
+        /// ELSE branch.
+        else_: Option<Box<Expr>>,
+    },
+    /// Function call — aggregate or scalar.
+    Func {
+        /// Function name (uppercased at parse time).
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// `COUNT(*)`.
+        star: bool,
+    },
+    /// `CAST(expr AS type)`.
+    Cast {
+        /// Operand.
+        expr: Box<Expr>,
+        /// SQL type name.
+        ty: String,
+    },
+}
+
+impl Expr {
+    /// Convenience: integer literal.
+    pub fn int(v: i64) -> Expr {
+        Expr::Literal(Literal::Int(v))
+    }
+    /// Convenience: bare column.
+    pub fn col(name: &str) -> Expr {
+        Expr::Column {
+            qualifier: None,
+            name: name.to_owned(),
+        }
+    }
+    /// Convenience: binary node.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+    /// Does this expression contain an aggregate function call?
+    pub fn contains_aggregate(&self) -> bool {
+        const AGGS: [&str; 5] = ["SUM", "AVG", "COUNT", "MIN", "MAX"];
+        match self {
+            Expr::Func { name, args, .. } => {
+                AGGS.contains(&name.as_str()) || args.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.contains_aggregate() || rhs.contains_aggregate()
+            }
+            Expr::Unary { expr, .. }
+            | Expr::IsNull { expr, .. }
+            | Expr::Cast { expr, .. } => expr.contains_aggregate(),
+            Expr::Between { expr, lo, hi, .. } => {
+                expr.contains_aggregate() || lo.contains_aggregate() || hi.contains_aggregate()
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Case {
+                operand,
+                whens,
+                else_,
+            } => {
+                operand.as_deref().is_some_and(Expr::contains_aggregate)
+                    || whens
+                        .iter()
+                        .any(|(w, t)| w.contains_aggregate() || t.contains_aggregate())
+                    || else_.as_deref().is_some_and(Expr::contains_aggregate)
+            }
+            _ => false,
+        }
+    }
+}
+
+/// One projection in a SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Projection {
+    /// `*`.
+    Wildcard,
+    /// An expression, optionally aliased; `dimensional` marks the SciQL
+    /// `[expr]` coercion qualifier that turns the output into an array
+    /// dimension.
+    Item {
+        /// Projected expression.
+        expr: Expr,
+        /// `AS alias`.
+        alias: Option<String>,
+        /// Wrapped in `[ ]`?
+        dimensional: bool,
+    },
+}
+
+/// A slice bound pair `[lo:hi]` on a FROM-clause array reference
+/// (right-open, either side optional).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SliceRange {
+    /// Lower bound (inclusive), `None` = from the start.
+    pub lo: Option<Expr>,
+    /// Upper bound (exclusive), `None` = to the end.
+    pub hi: Option<Expr>,
+}
+
+/// A table or array reference in FROM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Object name.
+    pub name: String,
+    /// `AS alias`.
+    pub alias: Option<String>,
+    /// Array slab bounds, one per dimension (`img[0:100][0:100]`).
+    pub slices: Vec<SliceRange>,
+}
+
+/// One index of a structural-grouping tile.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TileIndex {
+    /// Single cell offset, e.g. `[x]` or `[x+1]`.
+    Point(Expr),
+    /// Right-open range, e.g. `[x:x+2]` or `[x-1:x+2]`.
+    Range(Expr, Expr),
+}
+
+/// A tile reference in a structural GROUP BY:
+/// `matrix[x:x+2][y:y+2]` or `matrix[x-1][y]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileRef {
+    /// Array being tiled.
+    pub array: String,
+    /// One index per dimension.
+    pub indices: Vec<TileIndex>,
+}
+
+/// GROUP BY clause: classic value-based, or SciQL structural tiling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GroupBy {
+    /// `GROUP BY expr, …` (SQL:2003 value grouping).
+    Value(Vec<Expr>),
+    /// `GROUP BY arr[…][…], …` (SciQL structural grouping; the first
+    /// point-index expressions name the anchor variables).
+    Structural(Vec<TileRef>),
+}
+
+/// ORDER BY item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    /// Sort key.
+    pub expr: Expr,
+    /// Descending?
+    pub desc: bool,
+}
+
+/// A SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// `SELECT DISTINCT`?
+    pub distinct: bool,
+    /// Projection list.
+    pub projections: Vec<Projection>,
+    /// FROM items (comma = cross join; explicit JOIN is desugared by the
+    /// parser into FROM items + WHERE conjuncts).
+    pub from: Vec<TableRef>,
+    /// WHERE predicate.
+    pub where_clause: Option<Expr>,
+    /// GROUP BY clause.
+    pub group_by: Option<GroupBy>,
+    /// HAVING predicate.
+    pub having: Option<Expr>,
+    /// ORDER BY keys.
+    pub order_by: Vec<OrderItem>,
+    /// LIMIT row count.
+    pub limit: Option<u64>,
+    /// OFFSET row count.
+    pub offset: Option<u64>,
+}
+
+/// Dimension range `[start:step:stop]` (right-open `[start, stop)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DimRange {
+    /// First value.
+    pub start: Expr,
+    /// Step.
+    pub step: Expr,
+    /// Exclusive stop.
+    pub stop: Expr,
+}
+
+/// Kind of a column in a CREATE statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnKind {
+    /// Plain table attribute / array cell value, with optional DEFAULT
+    /// (omitting the default implies NULL — paper §2).
+    Attribute {
+        /// DEFAULT expression.
+        default: Option<Expr>,
+    },
+    /// Array dimension; `None` range means unbounded.
+    Dimension {
+        /// `[start:step:stop]` constraint.
+        range: Option<DimRange>,
+    },
+}
+
+/// One column definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// SQL type name (`INT`, `DOUBLE`, …).
+    pub type_name: String,
+    /// Dimension vs attribute.
+    pub kind: ColumnKind,
+}
+
+/// INSERT data source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InsertSource {
+    /// `VALUES (…), (…)`.
+    Values(Vec<Vec<Expr>>),
+    /// `INSERT INTO … SELECT …`.
+    Select(Box<SelectStmt>),
+}
+
+/// Top-level statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `CREATE TABLE name (col type [DEFAULT v], …)`.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Columns.
+        columns: Vec<ColumnDef>,
+    },
+    /// `CREATE ARRAY name (dim type DIMENSION[…], …, attr type [DEFAULT v])`.
+    CreateArray {
+        /// Array name.
+        name: String,
+        /// Dimensions and attributes, in declaration order.
+        columns: Vec<ColumnDef>,
+    },
+    /// `DROP TABLE name` / `DROP ARRAY name`.
+    Drop {
+        /// Object name.
+        name: String,
+        /// Was it spelled `DROP ARRAY`?
+        array: bool,
+    },
+    /// `ALTER ARRAY name ALTER DIMENSION dim SET RANGE [a:s:b]`.
+    AlterDimension {
+        /// Array name.
+        array: String,
+        /// Dimension name.
+        dimension: String,
+        /// New range.
+        range: DimRange,
+    },
+    /// INSERT.
+    Insert {
+        /// Target object.
+        table: String,
+        /// Explicit column list.
+        columns: Option<Vec<String>>,
+        /// Data source.
+        source: InsertSource,
+    },
+    /// DELETE (on arrays: punches NULL holes).
+    Delete {
+        /// Target object.
+        table: String,
+        /// WHERE predicate.
+        filter: Option<Expr>,
+    },
+    /// UPDATE.
+    Update {
+        /// Target object.
+        table: String,
+        /// SET assignments.
+        sets: Vec<(String, Expr)>,
+        /// WHERE predicate.
+        filter: Option<Expr>,
+    },
+    /// SELECT query.
+    Select(SelectStmt),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_detection() {
+        let e = Expr::bin(
+            BinOp::Sub,
+            Expr::Func {
+                name: "SUM".into(),
+                args: vec![Expr::col("v")],
+                star: false,
+            },
+            Expr::col("v"),
+        );
+        assert!(e.contains_aggregate());
+        assert!(!Expr::col("v").contains_aggregate());
+        let nested = Expr::Case {
+            operand: None,
+            whens: vec![(Expr::col("a"), Expr::Func {
+                name: "MAX".into(),
+                args: vec![Expr::col("v")],
+                star: false,
+            })],
+            else_: None,
+        };
+        assert!(nested.contains_aggregate());
+    }
+
+    #[test]
+    fn op_classification() {
+        assert!(BinOp::Le.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(BinOp::And.is_boolean());
+        assert!(!BinOp::Lt.is_boolean());
+    }
+}

@@ -1,0 +1,316 @@
+//! Hand-written lexer for SciQL.
+
+use crate::token::{Keyword, Token, TokenKind};
+use crate::ParseError;
+
+/// Tokenise the entire input. Comments (`-- …` and `/* … */`) are skipped.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_ascii_whitespace() => {
+                i += 1;
+            }
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(ParseError::at(start, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(ParseError::at(start, "unterminated string literal"));
+                    }
+                    if bytes[i] == b'\'' {
+                        // '' escapes a quote
+                        if bytes.get(i + 1) == Some(&b'\'') {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(bytes[i] as char);
+                        i += 1;
+                    }
+                }
+                toks.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: start,
+                });
+            }
+            '"' => {
+                // Delimited identifier.
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(ParseError::at(start, "unterminated delimited identifier"));
+                    }
+                    if bytes[i] == b'"' {
+                        i += 1;
+                        break;
+                    }
+                    s.push(bytes[i] as char);
+                    i += 1;
+                }
+                toks.push(Token {
+                    kind: TokenKind::Ident(s),
+                    offset: start,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && i + 1 < bytes.len()
+                    && (bytes[i + 1] as char).is_ascii_digit()
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &input[start..i];
+                let kind = if is_float {
+                    TokenKind::Float(
+                        text.parse()
+                            .map_err(|_| ParseError::at(start, "invalid float literal"))?,
+                    )
+                } else {
+                    TokenKind::Int(
+                        text.parse()
+                            .map_err(|_| ParseError::at(start, "integer literal out of range"))?,
+                    )
+                };
+                toks.push(Token {
+                    kind,
+                    offset: start,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                let kind = match Keyword::from_word(word) {
+                    Some(kw) => TokenKind::Keyword(kw),
+                    None => TokenKind::Ident(word.to_owned()),
+                };
+                toks.push(Token {
+                    kind,
+                    offset: start,
+                });
+            }
+            _ => {
+                let start = i;
+                let two = if i + 1 < bytes.len() {
+                    &input[i..i + 2]
+                } else {
+                    ""
+                };
+                let (kind, advance) = match two {
+                    "<>" => (TokenKind::Ne, 2),
+                    "!=" => (TokenKind::Ne, 2),
+                    "<=" => (TokenKind::Le, 2),
+                    ">=" => (TokenKind::Ge, 2),
+                    _ => {
+                        let k = match c {
+                            '+' => TokenKind::Plus,
+                            '-' => TokenKind::Minus,
+                            '*' => TokenKind::Star,
+                            '/' => TokenKind::Slash,
+                            '%' => TokenKind::Percent,
+                            '=' => TokenKind::Eq,
+                            '<' => TokenKind::Lt,
+                            '>' => TokenKind::Gt,
+                            '(' => TokenKind::LParen,
+                            ')' => TokenKind::RParen,
+                            '[' => TokenKind::LBracket,
+                            ']' => TokenKind::RBracket,
+                            ',' => TokenKind::Comma,
+                            ';' => TokenKind::Semicolon,
+                            ':' => TokenKind::Colon,
+                            '.' => TokenKind::Dot,
+                            other => {
+                                return Err(ParseError::at(
+                                    start,
+                                    format!("unexpected character {other:?}"),
+                                ))
+                            }
+                        };
+                        (k, 1)
+                    }
+                };
+                i += advance;
+                toks.push(Token {
+                    kind,
+                    offset: start,
+                });
+            }
+        }
+    }
+    toks.push(Token {
+        kind: TokenKind::Eof,
+        offset: input.len(),
+    });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_select() {
+        let k = kinds("SELECT x, y FROM m;");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Keyword(Keyword::SELECT),
+                TokenKind::Ident("x".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("y".into()),
+                TokenKind::Keyword(Keyword::FROM),
+                TokenKind::Ident("m".into()),
+                TokenKind::Semicolon,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn dimension_range_tokens() {
+        let k = kinds("DIMENSION[0:1:4]");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Keyword(Keyword::DIMENSION),
+                TokenKind::LBracket,
+                TokenKind::Int(0),
+                TokenKind::Colon,
+                TokenKind::Int(1),
+                TokenKind::Colon,
+                TokenKind::Int(4),
+                TokenKind::RBracket,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42")[0], TokenKind::Int(42));
+        assert_eq!(kinds("4.25")[0], TokenKind::Float(4.25));
+        assert_eq!(kinds("1e3")[0], TokenKind::Float(1000.0));
+        assert_eq!(kinds("2.5e-1")[0], TokenKind::Float(0.25));
+        // A dot not followed by a digit is a separate token.
+        assert_eq!(
+            kinds("1.x"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Dot,
+                TokenKind::Ident("x".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(kinds("'ab'")[0], TokenKind::Str("ab".into()));
+        assert_eq!(kinds("'a''b'")[0], TokenKind::Str("a'b".into()));
+        assert!(tokenize("'open").is_err());
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let k = kinds("SELECT -- comment\n 1 /* block */ ;");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Keyword(Keyword::SELECT),
+                TokenKind::Int(1),
+                TokenKind::Semicolon,
+                TokenKind::Eof
+            ]
+        );
+        assert!(tokenize("/* open").is_err());
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(kinds("<>")[0], TokenKind::Ne);
+        assert_eq!(kinds("!=")[0], TokenKind::Ne);
+        assert_eq!(kinds("<=")[0], TokenKind::Le);
+        assert_eq!(kinds(">=")[0], TokenKind::Ge);
+        assert_eq!(
+            kinds("< ="),
+            vec![TokenKind::Lt, TokenKind::Eq, TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn delimited_identifiers() {
+        assert_eq!(kinds("\"Group\"")[0], TokenKind::Ident("Group".into()));
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        assert!(tokenize("SELECT @").is_err());
+    }
+
+    #[test]
+    fn offsets_track_positions() {
+        let toks = tokenize("SELECT x").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 7);
+    }
+}

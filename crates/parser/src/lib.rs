@@ -1,0 +1,52 @@
+//! # sciql-parser — the SciQL language front-end
+//!
+//! A hand-written lexer and recursive-descent parser for the query language
+//! of *SciQL: Array Data Processing Inside an RDBMS* (SIGMOD 2013): an
+//! SQL:2003 subset extended with arrays as first-class citizens —
+//!
+//! * `CREATE ARRAY … (x INT DIMENSION[0:1:4], …, v INT DEFAULT 0)`;
+//! * dimension qualifiers `[expr]` in projection lists (table→array
+//!   coercion);
+//! * structural grouping `GROUP BY arr[x:x+2][y:y+2]` (tiling);
+//! * relative cell references `arr[x-1][y]`;
+//! * `ALTER ARRAY … ALTER DIMENSION … SET RANGE […]`.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod print;
+pub mod token;
+
+pub use ast::*;
+pub use parser::{parse_expression, parse_statement, parse_statements};
+
+use std::fmt;
+
+/// A parse error with a byte offset into the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the offending token.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Construct an error at a byte offset.
+    pub fn at(offset: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}

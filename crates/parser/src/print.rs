@@ -1,0 +1,393 @@
+//! Pretty-printer: AST → SciQL text. `parse(print(ast)) == ast` for every
+//! statement the parser accepts (verified by round-trip tests).
+
+use crate::ast::*;
+use std::fmt::{self, Write as _};
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Int(v) => write!(f, "{v}"),
+            Literal::Float(v) => {
+                if v.fract() == 0.0 && v.is_finite() {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Literal::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Literal::Bool(true) => f.write_str("TRUE"),
+            Literal::Bool(false) => f.write_str("FALSE"),
+            Literal::Null => f.write_str("NULL"),
+        }
+    }
+}
+
+impl BinOp {
+    /// SQL spelling.
+    pub fn sql(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Literal(l) => write!(f, "{l}"),
+            Expr::Column { qualifier, name } => match qualifier {
+                Some(q) => write!(f, "{q}.{name}"),
+                None => f.write_str(name),
+            },
+            Expr::Cell { array, indices } => {
+                f.write_str(array)?;
+                for i in indices {
+                    write!(f, "[{i}]")?;
+                }
+                Ok(())
+            }
+            Expr::Unary { op, expr } => match op {
+                UnaryOp::Neg => write!(f, "-({expr})"),
+                UnaryOp::Not => write!(f, "(NOT ({expr}))"),
+            },
+            Expr::Binary { op, lhs, rhs } => {
+                write!(f, "({lhs} {} {rhs})", op.sql())
+            }
+            Expr::IsNull { expr, negated } => {
+                write!(f, "(({expr}) IS {}NULL)", if *negated { "NOT " } else { "" })
+            }
+            Expr::Between {
+                expr,
+                lo,
+                hi,
+                negated,
+            } => write!(
+                f,
+                "(({expr}) {}BETWEEN ({lo}) AND ({hi}))",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                write!(f, "(({expr}) {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                f.write_str("))")
+            }
+            Expr::Case {
+                operand,
+                whens,
+                else_,
+            } => {
+                f.write_str("CASE")?;
+                if let Some(op) = operand {
+                    write!(f, " {op}")?;
+                }
+                for (w, t) in whens {
+                    write!(f, " WHEN {w} THEN {t}")?;
+                }
+                if let Some(e) = else_ {
+                    write!(f, " ELSE {e}")?;
+                }
+                f.write_str(" END")
+            }
+            Expr::Func { name, args, star } => {
+                if *star {
+                    return write!(f, "{name}(*)");
+                }
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+            Expr::Cast { expr, ty } => write!(f, "CAST({expr} AS {ty})"),
+        }
+    }
+}
+
+impl fmt::Display for SelectStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SELECT ")?;
+        if self.distinct {
+            f.write_str("DISTINCT ")?;
+        }
+        for (i, p) in self.projections.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            match p {
+                Projection::Wildcard => f.write_str("*")?,
+                Projection::Item {
+                    expr,
+                    alias,
+                    dimensional,
+                } => {
+                    if *dimensional {
+                        write!(f, "[{expr}]")?;
+                    } else {
+                        write!(f, "{expr}")?;
+                    }
+                    if let Some(a) = alias {
+                        write!(f, " AS {a}")?;
+                    }
+                }
+            }
+        }
+        if !self.from.is_empty() {
+            f.write_str(" FROM ")?;
+            for (i, t) in self.from.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                f.write_str(&t.name)?;
+                for s in &t.slices {
+                    f.write_str("[")?;
+                    if let Some(lo) = &s.lo {
+                        write!(f, "{lo}")?;
+                    }
+                    f.write_str(":")?;
+                    if let Some(hi) = &s.hi {
+                        write!(f, "{hi}")?;
+                    }
+                    f.write_str("]")?;
+                }
+                if let Some(a) = &t.alias {
+                    write!(f, " AS {a}")?;
+                }
+            }
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        match &self.group_by {
+            None => {}
+            Some(GroupBy::Value(es)) => {
+                f.write_str(" GROUP BY ")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+            }
+            Some(GroupBy::Structural(tiles)) => {
+                f.write_str(" GROUP BY ")?;
+                for (i, t) in tiles.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    f.write_str(&t.array)?;
+                    for idx in &t.indices {
+                        match idx {
+                            TileIndex::Point(e) => write!(f, "[{e}]")?,
+                            TileIndex::Range(a, b) => write!(f, "[{a}:{b}]")?,
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        if !self.order_by.is_empty() {
+            f.write_str(" ORDER BY ")?;
+            for (i, o) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{}", o.expr)?;
+                if o.desc {
+                    f.write_str(" DESC")?;
+                }
+            }
+        }
+        if let Some(l) = self.limit {
+            write!(f, " LIMIT {l}")?;
+        }
+        if let Some(o) = self.offset {
+            write!(f, " OFFSET {o}")?;
+        }
+        Ok(())
+    }
+}
+
+fn fmt_column_def(c: &ColumnDef, out: &mut String) {
+    let _ = write!(out, "{} {}", c.name, c.type_name);
+    match &c.kind {
+        ColumnKind::Dimension { range } => {
+            out.push_str(" DIMENSION");
+            if let Some(r) = range {
+                let _ = write!(out, "[{}:{}:{}]", r.start, r.step, r.stop);
+            }
+        }
+        ColumnKind::Attribute { default } => {
+            if let Some(d) = default {
+                let _ = write!(out, " DEFAULT {d}");
+            }
+        }
+    }
+}
+
+impl fmt::Display for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stmt::Select(s) => write!(f, "{s}"),
+            Stmt::CreateTable { name, columns } | Stmt::CreateArray { name, columns } => {
+                let kind = if matches!(self, Stmt::CreateArray { .. }) {
+                    "ARRAY"
+                } else {
+                    "TABLE"
+                };
+                let mut cols = String::new();
+                for (i, c) in columns.iter().enumerate() {
+                    if i > 0 {
+                        cols.push_str(", ");
+                    }
+                    fmt_column_def(c, &mut cols);
+                }
+                write!(f, "CREATE {kind} {name} ({cols})")
+            }
+            Stmt::Drop { name, array } => {
+                write!(f, "DROP {} {name}", if *array { "ARRAY" } else { "TABLE" })
+            }
+            Stmt::AlterDimension {
+                array,
+                dimension,
+                range,
+            } => write!(
+                f,
+                "ALTER ARRAY {array} ALTER DIMENSION {dimension} SET RANGE [{}:{}:{}]",
+                range.start, range.step, range.stop
+            ),
+            Stmt::Insert {
+                table,
+                columns,
+                source,
+            } => {
+                write!(f, "INSERT INTO {table}")?;
+                if let Some(cols) = columns {
+                    write!(f, " ({})", cols.join(", "))?;
+                }
+                match source {
+                    InsertSource::Values(rows) => {
+                        f.write_str(" VALUES ")?;
+                        for (i, row) in rows.iter().enumerate() {
+                            if i > 0 {
+                                f.write_str(", ")?;
+                            }
+                            f.write_str("(")?;
+                            for (k, e) in row.iter().enumerate() {
+                                if k > 0 {
+                                    f.write_str(", ")?;
+                                }
+                                write!(f, "{e}")?;
+                            }
+                            f.write_str(")")?;
+                        }
+                        Ok(())
+                    }
+                    InsertSource::Select(s) => write!(f, " {s}"),
+                }
+            }
+            Stmt::Delete { table, filter } => {
+                write!(f, "DELETE FROM {table}")?;
+                if let Some(p) = filter {
+                    write!(f, " WHERE {p}")?;
+                }
+                Ok(())
+            }
+            Stmt::Update {
+                table,
+                sets,
+                filter,
+            } => {
+                write!(f, "UPDATE {table} SET ")?;
+                for (i, (col, e)) in sets.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{col} = {e}")?;
+                }
+                if let Some(p) = filter {
+                    write!(f, " WHERE {p}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse_statement;
+
+    /// Every statement from the paper (and a few engine-suite ones) must
+    /// survive parse → print → parse unchanged.
+    #[test]
+    fn roundtrip_paper_statements() {
+        let statements = [
+            "CREATE ARRAY matrix (x INT DIMENSION[0:1:4], y INT DIMENSION[0:1:4], \
+             v INT DEFAULT 0)",
+            "UPDATE matrix SET v = CASE WHEN x > y THEN x + y WHEN x < y THEN x - y \
+             ELSE 0 END",
+            "INSERT INTO matrix SELECT [x], [y], x * y FROM matrix WHERE x = y",
+            "DELETE FROM matrix WHERE x > y",
+            "ALTER ARRAY matrix ALTER DIMENSION x SET RANGE [-1:1:5]",
+            "SELECT [x], [y], AVG(v) FROM matrix GROUP BY matrix[x:x+2][y:y+2] \
+             HAVING x % 2 = 1 AND y % 2 = 1",
+            "SELECT x, y, v FROM matrix",
+            "SELECT [x], [y], v FROM mtable",
+            "SELECT DISTINCT a.x AS px FROM img a, maskt b \
+             WHERE a.x >= b.x1 AND a.x < b.x2 ORDER BY px DESC LIMIT 10 OFFSET 2",
+            "SELECT v FROM img[0:100][50:150]",
+            "SELECT [x], [y], ABS(v - img[x-1][y]) + ABS(v - img[x][y-1]) FROM img",
+            "SELECT v, COUNT(*) FROM t GROUP BY v",
+            "INSERT INTO t (a, b) VALUES (1, 'it''s'), (2, NULL)",
+            "SELECT CAST(AVG(v) AS INT) FROM t GROUP BY x / 2",
+            "SELECT CASE v WHEN 1 THEN 'a' ELSE 'b' END FROM t",
+            "SELECT a FROM t WHERE a BETWEEN 1 AND 3 OR a NOT IN (7, 9)",
+            "SELECT a FROM t WHERE a IS NOT NULL AND NOT (a = 2)",
+            "CREATE ARRAY u (x INT DIMENSION, v DOUBLE DEFAULT 1.5)",
+            "SELECT [x], SUM(v) FROM a GROUP BY a[x][y], a[x+1][y]",
+            "SELECT v FROM img[:100][50:]",
+        ];
+        for sql in statements {
+            let ast1 = parse_statement(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+            let printed = ast1.to_string();
+            let ast2 = parse_statement(&printed)
+                .unwrap_or_else(|e| panic!("reparse of {printed:?}: {e}"));
+            assert_eq!(ast1, ast2, "roundtrip changed the AST for {sql:?}\nprinted: {printed}");
+        }
+    }
+
+    #[test]
+    fn printing_is_deterministic() {
+        let sql = "SELECT [x], AVG(v) FROM m GROUP BY m[x-1:x+2] HAVING x > 0";
+        let a = parse_statement(sql).unwrap().to_string();
+        let b = parse_statement(&a).unwrap().to_string();
+        assert_eq!(a, b, "printer must be a fixed point after one pass");
+    }
+}

@@ -1,0 +1,154 @@
+//! Token vocabulary of the SciQL lexer.
+
+use std::fmt;
+
+/// A lexical token with its source offset (byte position, for errors).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset in the input.
+    pub offset: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword (uppercased).
+    Keyword(Keyword),
+    /// Identifier (case preserved; matching is case-insensitive).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating literal.
+    Float(f64),
+    /// String literal (quotes stripped, escapes resolved).
+    Str(String),
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "{k:?}"),
+            TokenKind::Ident(s) => write!(f, "identifier {s:?}"),
+            TokenKind::Int(v) => write!(f, "integer {v}"),
+            TokenKind::Float(v) => write!(f, "float {v}"),
+            TokenKind::Str(s) => write!(f, "string {s:?}"),
+            TokenKind::Plus => f.write_str("'+'"),
+            TokenKind::Minus => f.write_str("'-'"),
+            TokenKind::Star => f.write_str("'*'"),
+            TokenKind::Slash => f.write_str("'/'"),
+            TokenKind::Percent => f.write_str("'%'"),
+            TokenKind::Eq => f.write_str("'='"),
+            TokenKind::Ne => f.write_str("'<>'"),
+            TokenKind::Lt => f.write_str("'<'"),
+            TokenKind::Le => f.write_str("'<='"),
+            TokenKind::Gt => f.write_str("'>'"),
+            TokenKind::Ge => f.write_str("'>='"),
+            TokenKind::LParen => f.write_str("'('"),
+            TokenKind::RParen => f.write_str("')'"),
+            TokenKind::LBracket => f.write_str("'['"),
+            TokenKind::RBracket => f.write_str("']'"),
+            TokenKind::Comma => f.write_str("','"),
+            TokenKind::Semicolon => f.write_str("';'"),
+            TokenKind::Colon => f.write_str("':'"),
+            TokenKind::Dot => f.write_str("'.'"),
+            TokenKind::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+macro_rules! keywords {
+    ($($kw:ident),* $(,)?) => {
+        /// Reserved words of the SciQL grammar.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[allow(missing_docs)]
+        pub enum Keyword {
+            $($kw,)*
+        }
+
+        impl Keyword {
+            /// Parse a keyword from an identifier-shaped word
+            /// (case-insensitive).
+            pub fn from_word(word: &str) -> Option<Keyword> {
+                let up = word.to_ascii_uppercase();
+                $(
+                    if up == stringify!($kw) {
+                        return Some(Keyword::$kw);
+                    }
+                )*
+                None
+            }
+        }
+    };
+}
+
+keywords! {
+    SELECT, FROM, WHERE, GROUP, BY, HAVING, ORDER, LIMIT, OFFSET,
+    ASC, DESC, AS, DISTINCT,
+    CREATE, TABLE, ARRAY, DIMENSION, DEFAULT, DROP, ALTER, SET, RANGE,
+    INSERT, INTO, VALUES, DELETE, UPDATE,
+    CASE, WHEN, THEN, ELSE, END,
+    AND, OR, NOT, NULL, IS, BETWEEN, IN, EXISTS, CAST,
+    TRUE, FALSE,
+    JOIN, INNER, LEFT, OUTER, ON, CROSS,
+    PRIMARY, KEY, CHECK,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_parse_case_insensitively() {
+        assert_eq!(Keyword::from_word("select"), Some(Keyword::SELECT));
+        assert_eq!(Keyword::from_word("Dimension"), Some(Keyword::DIMENSION));
+        assert_eq!(Keyword::from_word("matrix"), None);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(TokenKind::Le.to_string(), "'<='");
+        assert_eq!(TokenKind::Ident("x".into()).to_string(), "identifier \"x\"");
+    }
+}

@@ -1,0 +1,183 @@
+//! Property: any expression tree the AST can represent survives
+//! print → parse unchanged (modulo the printer's explicit parentheses,
+//! which the parser normalises away — equality is on the AST).
+
+use proptest::prelude::*;
+use sciql_parser::ast::{BinOp, Expr, Literal, UnaryOp};
+use sciql_parser::{parse_expression, parse_statement};
+
+fn literal() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (-1_000_000i64..1_000_000).prop_map(|v| Expr::Literal(Literal::Int(v))),
+        (-1000.0f64..1000.0).prop_map(|v| {
+            // Keep floats that print/parse exactly.
+            Expr::Literal(Literal::Float((v * 16.0).round() / 16.0))
+        }),
+        "[a-z ]{0,8}".prop_map(|s| Expr::Literal(Literal::Str(s))),
+        any::<bool>().prop_map(|b| Expr::Literal(Literal::Bool(b))),
+        Just(Expr::Literal(Literal::Null)),
+    ]
+}
+
+fn column() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        "[a-z][a-z0-9_]{0,6}".prop_map(|name| Expr::Column {
+            qualifier: None,
+            name,
+        }),
+        ("[a-z]{1,4}", "[a-z]{1,4}").prop_map(|(q, name)| Expr::Column {
+            qualifier: Some(q),
+            name,
+        }),
+    ]
+}
+
+fn binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Mod),
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+    ]
+}
+
+fn expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![literal(), column()];
+    leaf.prop_recursive(4, 48, 4, |inner| {
+        prop_oneof![
+            (binop(), inner.clone(), inner.clone())
+                .prop_map(|(op, l, r)| Expr::bin(op, l, r)),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(e),
+            }),
+            (inner.clone(), any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
+                expr: Box::new(e),
+                negated,
+            }),
+            (inner.clone(), inner.clone(), inner.clone(), any::<bool>()).prop_map(
+                |(e, lo, hi, negated)| Expr::Between {
+                    expr: Box::new(e),
+                    lo: Box::new(lo),
+                    hi: Box::new(hi),
+                    negated,
+                }
+            ),
+            (
+                inner.clone(),
+                proptest::collection::vec(inner.clone(), 1..3),
+                any::<bool>()
+            )
+                .prop_map(|(e, list, negated)| Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated,
+                }),
+            (
+                proptest::collection::vec((inner.clone(), inner.clone()), 1..3),
+                inner.clone()
+            )
+                .prop_map(|(whens, else_)| Expr::Case {
+                    operand: None,
+                    whens,
+                    else_: Some(Box::new(else_)),
+                }),
+            ("[a-z]{1,5}", proptest::collection::vec(inner.clone(), 1..3)).prop_map(
+                |(array, indices)| Expr::Cell { array, indices }
+            ),
+            inner.clone().prop_map(|e| Expr::Cast {
+                expr: Box::new(e),
+                ty: "INT".into(),
+            }),
+            ("SUM|AVG|MIN|MAX", proptest::collection::vec(inner, 1..2)).prop_map(
+                |(name, args)| Expr::Func {
+                    name,
+                    args,
+                    star: false,
+                }
+            ),
+        ]
+    })
+}
+
+/// Keyword-shaped identifiers would not reparse as columns; skip trees
+/// containing them.
+fn mentions_keyword(e: &Expr) -> bool {
+    use sciql_parser::token::Keyword;
+    let is_kw = |s: &str| Keyword::from_word(s).is_some();
+    match e {
+        Expr::Column { qualifier, name } => {
+            qualifier.as_deref().is_some_and(is_kw) || is_kw(name)
+        }
+        Expr::Cell { array, indices } => {
+            is_kw(array) || indices.iter().any(mentions_keyword)
+        }
+        Expr::Literal(_) => false,
+        Expr::Unary { expr, .. } => mentions_keyword(expr),
+        Expr::Binary { lhs, rhs, .. } => mentions_keyword(lhs) || mentions_keyword(rhs),
+        Expr::IsNull { expr, .. } => mentions_keyword(expr),
+        Expr::Between { expr, lo, hi, .. } => {
+            mentions_keyword(expr) || mentions_keyword(lo) || mentions_keyword(hi)
+        }
+        Expr::InList { expr, list, .. } => {
+            mentions_keyword(expr) || list.iter().any(mentions_keyword)
+        }
+        Expr::Case {
+            operand,
+            whens,
+            else_,
+        } => {
+            operand.as_deref().is_some_and(mentions_keyword)
+                || whens
+                    .iter()
+                    .any(|(w, t)| mentions_keyword(w) || mentions_keyword(t))
+                || else_.as_deref().is_some_and(mentions_keyword)
+        }
+        Expr::Func { args, .. } => args.iter().any(mentions_keyword),
+        Expr::Cast { expr, .. } => mentions_keyword(expr),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn expression_print_parse_roundtrip(e in expr()) {
+        prop_assume!(!mentions_keyword(&e));
+        let printed = e.to_string();
+        let reparsed = parse_expression(&printed)
+            .map_err(|err| TestCaseError::fail(format!("{printed:?}: {err}")))?;
+        prop_assert_eq!(reparsed, e, "printed: {}", printed);
+    }
+
+    #[test]
+    fn select_statement_roundtrip(
+        w in expr(),
+        p in expr(),
+        desc in any::<bool>(),
+        limit in proptest::option::of(0u64..100),
+    ) {
+        prop_assume!(!mentions_keyword(&w) && !mentions_keyword(&p));
+        prop_assume!(!w.contains_aggregate() && !p.contains_aggregate());
+        let sql = format!(
+            "SELECT {p} AS c FROM t WHERE {w} ORDER BY c{}{}",
+            if desc { " DESC" } else { "" },
+            limit.map(|l| format!(" LIMIT {l}")).unwrap_or_default(),
+        );
+        let ast1 = parse_statement(&sql)
+            .map_err(|err| TestCaseError::fail(format!("{sql:?}: {err}")))?;
+        let printed = ast1.to_string();
+        let ast2 = parse_statement(&printed)
+            .map_err(|err| TestCaseError::fail(format!("{printed:?}: {err}")))?;
+        prop_assert_eq!(ast1, ast2);
+    }
+}

@@ -1,0 +1,107 @@
+//! The paper's motivating use case (§1): "a full-fledged scientific
+//! information system … should blend measurements with static and derived
+//! metadata about the instruments and observations. It therefore calls for
+//! a strong symbiosis of the relational paradigm and array paradigm."
+//!
+//! This example builds a tiny virtual observatory: an `instruments` TABLE
+//! (relational metadata), a 2-D measurement ARRAY per scene, and combined
+//! queries that join them — metadata-driven slab selection, per-instrument
+//! statistics, and a quality report computed with structural grouping.
+//!
+//! Run with: `cargo run --example observatory`
+
+use sciql::Connection;
+use sciql_imaging::synth;
+
+fn main() {
+    let mut conn = Connection::new();
+
+    // --- relational side: instrument & scene metadata ------------------
+    conn.execute_script(
+        "CREATE TABLE instruments (iid INT, name VARCHAR, band VARCHAR, noise INT); \
+         INSERT INTO instruments VALUES \
+           (1, 'VIS-A', 'visible', 2), \
+           (2, 'NIR-B', 'near-infrared', 5); \
+         CREATE TABLE scenes (sid INT, iid INT, day INT, cloud INT); \
+         INSERT INTO scenes VALUES \
+           (100, 1, 12, 8), \
+           (101, 2, 12, 35), \
+           (102, 1, 13, 2);",
+    )
+    .expect("metadata");
+
+    // --- array side: one measurement array per scene (Data Vault) ------
+    for (sid, seed) in [(100u64, 7u64), (101, 8), (102, 9)] {
+        let img = synth::terrain(48, 48, seed);
+        sciql_imaging::vault::load_image(&mut conn, &format!("scene_{sid}"), &img)
+            .expect("load scene");
+    }
+
+    // --- symbiosis 1: metadata query drives array processing -----------
+    // Find the clearest scene, then compute its intensity statistics
+    // straight from the array.
+    let best = conn
+        .query("SELECT sid FROM scenes ORDER BY cloud LIMIT 1")
+        .unwrap()
+        .scalar()
+        .unwrap();
+    println!("clearest scene: {best}");
+    let stats = conn
+        .query(&format!(
+            "SELECT MIN(v), MAX(v), CAST(AVG(v) AS INT), COUNT(*) FROM scene_{best}"
+        ))
+        .unwrap();
+    println!("  min/max/avg/cells: {:?}", stats.row(0));
+
+    // --- symbiosis 2: join table metadata against array cells ----------
+    // Per-instrument mean intensity across all of that instrument's
+    // scenes (a table↔table join selecting which arrays to aggregate).
+    println!("per-instrument mean intensity:");
+    let per_instrument = conn
+        .query(
+            "SELECT i.name AS name, s.sid AS sid FROM instruments i, scenes s \
+             WHERE i.iid = s.iid ORDER BY sid",
+        )
+        .unwrap();
+    for row in per_instrument.rows() {
+        let name = &row[0];
+        let sid = row[1].as_i64().unwrap();
+        let mean = conn
+            .query(&format!("SELECT AVG(v) FROM scene_{sid}"))
+            .unwrap()
+            .scalar()
+            .unwrap();
+        println!("  {name:<8} scene {sid}: mean {mean}");
+    }
+
+    // --- symbiosis 3: structural grouping for a quality report ---------
+    // Local 3×3 variance proxy (max - min per tile) on the best scene;
+    // count rough cells — a derived-metadata product written back into a
+    // relational table.
+    conn.execute("CREATE TABLE quality (sid INT, rough_cells INT)")
+        .unwrap();
+    for sid in [100, 101, 102] {
+        let rs = conn
+            .query(&format!(
+                "SELECT [x], [y], MAX(v) - MIN(v) AS spread FROM scene_{sid} \
+                 GROUP BY scene_{sid}[x-1:x+2][y-1:y+2]"
+            ))
+            .unwrap();
+        let rough_cells = rs
+            .rows()
+            .filter(|r| r[2].as_i64().unwrap_or(0) > 12)
+            .count();
+        conn.execute(&format!(
+            "INSERT INTO quality VALUES ({sid}, {rough_cells})"
+        ))
+        .unwrap();
+    }
+    let report = conn
+        .query(
+            "SELECT s.sid AS sid, s.cloud AS cloud, q.rough_cells AS rough \
+             FROM scenes s, quality q WHERE s.sid = q.sid ORDER BY sid",
+        )
+        .unwrap();
+    println!("scene quality report (metadata ⋈ derived array statistics):");
+    println!("{}", report.render());
+}

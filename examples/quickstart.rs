@@ -1,0 +1,72 @@
+//! Quickstart: walk through §2 of the paper — Figure 1(a)–(f) — statement
+//! by statement, printing the array after each operation.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use sciql::Connection;
+
+fn show(conn: &mut Connection, caption: &str) {
+    println!("== {caption}");
+    let view = conn
+        .query_array("SELECT [x], [y], v FROM matrix")
+        .expect("matrix readable");
+    println!("{}", view.render_grid().expect("2-D"));
+}
+
+fn main() {
+    let mut conn = Connection::new();
+
+    // Fig 1(a): CREATE ARRAY materialises a 4×4 zero matrix.
+    conn.execute(
+        "CREATE ARRAY matrix (
+           x INT DIMENSION[0:1:4], y INT DIMENSION[0:1:4],
+           v INT DEFAULT 0)",
+    )
+    .unwrap();
+    show(&mut conn, "Fig 1(a): CREATE ARRAY matrix — all cells default 0");
+
+    // Fig 1(b): guarded UPDATE with dimensions as bound variables.
+    conn.execute(
+        "UPDATE matrix SET v = CASE WHEN x > y THEN x + y \
+         WHEN x < y THEN x - y ELSE 0 END",
+    )
+    .unwrap();
+    show(&mut conn, "Fig 1(b): guarded UPDATE");
+
+    // Fig 1(c): INSERT overwrites cells; DELETE punches NULL holes.
+    conn.execute("INSERT INTO matrix SELECT [x], [y], x * y FROM matrix WHERE x = y")
+        .unwrap();
+    conn.execute("DELETE FROM matrix WHERE x > y").unwrap();
+    show(&mut conn, "Fig 1(c): INSERT diagonal x*y, DELETE x > y (holes)");
+
+    // Fig 1(d)/(e): structural grouping — 2×2 tiles, anchors filtered by
+    // HAVING, holes ignored by AVG.
+    let rs = conn
+        .query(
+            "SELECT [x], [y], AVG(v) FROM matrix \
+             GROUP BY matrix[x:x+2][y:y+2] \
+             HAVING x MOD 2 = 1 AND y MOD 2 = 1",
+        )
+        .unwrap();
+    println!("== Fig 1(d)/(e): 2x2 tiling, AVG per anchor");
+    println!("{}", rs.render());
+    println!("{}", rs.to_array_view().unwrap().render_grid().unwrap());
+
+    // Fig 1(f): expand both dimensions by one in each direction.
+    conn.execute("ALTER ARRAY matrix ALTER DIMENSION x SET RANGE [-1:1:5]")
+        .unwrap();
+    conn.execute("ALTER ARRAY matrix ALTER DIMENSION y SET RANGE [-1:1:5]")
+        .unwrap();
+    show(&mut conn, "Fig 1(f): ALTER ARRAY — expanded with default border");
+
+    // Bonus: what the engine actually runs (Fig 2 pipeline).
+    println!("== EXPLAIN of the tiling query");
+    let explain = conn
+        .explain(
+            "SELECT [x], [y], AVG(v) FROM matrix \
+             GROUP BY matrix[x:x+2][y:y+2] \
+             HAVING x MOD 2 = 1 AND y MOD 2 = 1",
+        )
+        .unwrap();
+    println!("{explain}");
+}

@@ -1,0 +1,114 @@
+//! An interactive SciQL shell — the reproduction's counterpart of the
+//! demo GUI ("the audience has full control of the demo through SciQL
+//! queries").
+//!
+//! Run with: `cargo run --example repl`
+//!
+//! Commands:
+//!   <SciQL statement>;          execute (multi-line until ';')
+//!   \explain <SELECT …>;        show plan + MAL (no trailing ';' needed)
+//!   \grid <SELECT …with [dims]>; render a coerced 2-D result as a grid
+//!   \demo                       load the Fig 1 matrix and a small board
+//!   \q                          quit
+//!
+//! Pipe a script: `echo 'SELECT 1+1;' | cargo run --example repl`
+
+use sciql::{Connection, QueryResult};
+use std::io::{self, BufRead, Write};
+
+fn main() {
+    let mut conn = Connection::new();
+    let stdin = io::stdin();
+    let mut buffer = String::new();
+    print!("SciQL> ");
+    io::stdout().flush().ok();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let trimmed = line.trim();
+        if buffer.is_empty() {
+            match trimmed {
+                "\\q" | "\\quit" | "exit" => break,
+                "\\demo" => {
+                    load_demo(&mut conn);
+                    prompt();
+                    continue;
+                }
+                _ if trimmed.starts_with("\\explain ") => {
+                    let sql = trimmed
+                        .trim_start_matches("\\explain ")
+                        .trim_end_matches(';');
+                    match conn.explain(sql) {
+                        Ok(text) => println!("{text}"),
+                        Err(e) => println!("error: {e}"),
+                    }
+                    prompt();
+                    continue;
+                }
+                _ if trimmed.starts_with("\\grid ") => {
+                    let sql = trimmed.trim_start_matches("\\grid ").trim_end_matches(';');
+                    match conn.query_array(sql).and_then(|v| v.render_grid()) {
+                        Ok(grid) => println!("{grid}"),
+                        Err(e) => println!("error: {e}"),
+                    }
+                    prompt();
+                    continue;
+                }
+                "" => {
+                    prompt();
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        buffer.push_str(&line);
+        buffer.push('\n');
+        if !line.contains(';') {
+            print!("  ...> ");
+            io::stdout().flush().ok();
+            continue;
+        }
+        let script = std::mem::take(&mut buffer);
+        match conn.execute_script(&script) {
+            Ok(results) => {
+                for r in results {
+                    match r {
+                        QueryResult::Rows(rs) => {
+                            println!("{}", rs.render());
+                            println!("{} row(s)", rs.row_count());
+                        }
+                        QueryResult::Affected(n) => println!("ok, {n} cell(s)/row(s)"),
+                    }
+                }
+            }
+            Err(e) => println!("error: {e}"),
+        }
+        prompt();
+    }
+    println!();
+}
+
+fn prompt() {
+    print!("SciQL> ");
+    io::stdout().flush().ok();
+}
+
+fn load_demo(conn: &mut Connection) {
+    let script = "CREATE ARRAY matrix (x INT DIMENSION[0:1:4], y INT DIMENSION[0:1:4], \
+                  v INT DEFAULT 0); \
+                  UPDATE matrix SET v = CASE WHEN x > y THEN x + y \
+                  WHEN x < y THEN x - y ELSE 0 END; \
+                  CREATE ARRAY life (x INT DIMENSION[0:1:8], y INT DIMENSION[0:1:8], \
+                  v INT DEFAULT 0); \
+                  INSERT INTO life VALUES (2,1,1), (2,2,1), (2,3,1);";
+    match conn.execute_script(script) {
+        Ok(_) => println!(
+            "loaded: matrix (Fig 1(b)) and life (8x8 board with a blinker).\n\
+             try:  SELECT [x], [y], AVG(v) FROM matrix GROUP BY matrix[x:x+2][y:y+2];\n\
+             or :  \\grid SELECT [x], [y], v FROM life"
+        ),
+        Err(e) => println!("demo load failed: {e}"),
+    }
+}

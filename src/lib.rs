@@ -1,0 +1,11 @@
+//! Umbrella crate for the SciQL reproduction workspace: re-exports the
+//! public API of every layer for examples and integration tests.
+
+pub use gdk;
+pub use mal;
+pub use sciql;
+pub use sciql_algebra as algebra;
+pub use sciql_catalog as catalog;
+pub use sciql_imaging as imaging;
+pub use sciql_life as life;
+pub use sciql_parser as parser;

@@ -1,0 +1,174 @@
+//! E1–E5: reproduce Figure 1 of the paper — the complete array-operation
+//! walkthrough (creation, guarded update, insert/delete, tiling, dimension
+//! expansion) with the exact values printed in the paper.
+
+use gdk::Value;
+use sciql::Connection;
+
+fn setup_fig1a() -> Connection {
+    let mut c = Connection::new();
+    c.execute(
+        "CREATE ARRAY matrix (
+           x INT DIMENSION[0:1:4], y INT DIMENSION[0:1:4],
+           v INT DEFAULT 0)",
+    )
+    .unwrap();
+    c
+}
+
+/// Fetch v at (x,y) via SQL.
+fn v_at(c: &mut Connection, x: i64, y: i64) -> Value {
+    let rs = c
+        .query(&format!("SELECT v FROM matrix WHERE x = {x} AND y = {y}"))
+        .unwrap();
+    assert_eq!(rs.row_count(), 1, "exactly one cell at ({x},{y})");
+    rs.get(0, 0)
+}
+
+/// The full 4×4 grid of Fig 1(b) (row = y from top 0, col = x), transposed
+/// to our (x,y) addressing: grid[y][x].
+fn expect_grid(c: &mut Connection, grid: [[Option<i32>; 4]; 4]) {
+    for (y, row) in grid.iter().enumerate() {
+        for (x, cell) in row.iter().enumerate() {
+            let want = cell.map(Value::Int).unwrap_or(Value::Null);
+            assert_eq!(
+                v_at(c, x as i64, y as i64),
+                want,
+                "cell (x={x}, y={y})"
+            );
+        }
+    }
+}
+
+#[test]
+fn fig1a_creation_yields_zero_matrix() {
+    let mut c = setup_fig1a();
+    let rs = c.query("SELECT x, y, v FROM matrix").unwrap();
+    assert_eq!(rs.row_count(), 16);
+    assert!(rs.rows().all(|r| r[2] == Value::Int(0)));
+}
+
+#[test]
+fn fig1b_guarded_update() {
+    let mut c = setup_fig1a();
+    c.execute(
+        "UPDATE matrix SET v = CASE WHEN x > y THEN x + y \
+         WHEN x < y THEN x - y ELSE 0 END",
+    )
+    .unwrap();
+    // Fig 1(b): reading each row top-to-bottom as y = 0..3:
+    //   y=0: -3 -2 -1 0  ← wait, Fig 1(b) shows row y=3 at top.
+    // The figure draws y increasing upward; cell (x,y) holds:
+    //   x > y → x+y ; x < y → x−y ; else 0.
+    expect_grid(
+        &mut c,
+        [
+            // y = 0: x=0..3 → 0, 1, 2, 3  (x>y for x≥1)
+            [Some(0), Some(1), Some(2), Some(3)],
+            // y = 1: x=0 → 0-1=-1; x=1 → 0; x=2 → 3; x=3 → 4
+            [Some(-1), Some(0), Some(3), Some(4)],
+            // y = 2: -2, -1, 0, 5
+            [Some(-2), Some(-1), Some(0), Some(5)],
+            // y = 3: -3, -2, -1, 0
+            [Some(-3), Some(-2), Some(-1), Some(0)],
+        ],
+    );
+}
+
+fn setup_fig1c() -> Connection {
+    let mut c = setup_fig1a();
+    c.execute(
+        "UPDATE matrix SET v = CASE WHEN x > y THEN x + y \
+         WHEN x < y THEN x - y ELSE 0 END",
+    )
+    .unwrap();
+    c.execute("INSERT INTO matrix SELECT [x], [y], x * y FROM matrix WHERE x = y")
+        .unwrap();
+    c.execute("DELETE FROM matrix WHERE x > y").unwrap();
+    c
+}
+
+#[test]
+fn fig1c_insert_overwrites_and_delete_punches_holes() {
+    let mut c = setup_fig1c();
+    // INSERT overwrote the diagonal with x*y: 0, 1, 4, 9.
+    // DELETE punched holes where x > y.
+    expect_grid(
+        &mut c,
+        [
+            [Some(0), None, None, None],
+            [Some(-1), Some(1), None, None],
+            [Some(-2), Some(-1), Some(4), None],
+            [Some(-3), Some(-2), Some(-1), Some(9)],
+        ],
+    );
+    // 6 holes were punched (cells with x > y).
+    let rs = c.query("SELECT COUNT(*) FROM matrix WHERE v IS NULL").unwrap();
+    assert_eq!(rs.scalar().unwrap(), Value::Lng(6));
+}
+
+#[test]
+fn fig1d_e_tiling_with_having() {
+    let mut c = setup_fig1c();
+    // The exact query from §2 of the paper.
+    let rs = c
+        .query(
+            "SELECT [x], [y], AVG(v) FROM matrix \
+             GROUP BY matrix[x:x+2][y:y+2] \
+             HAVING x MOD 2 = 1 AND y MOD 2 = 1",
+        )
+        .unwrap();
+    // Four anchors qualify: (1,1), (1,3), (3,1), (3,3).
+    assert_eq!(rs.row_count(), 4);
+    let view = rs.to_array_view().unwrap();
+    // Fig 1(e):
+    //   anchor (1,1): cells (1,1)=1,(2,1)=nil,(1,2)=-1,(2,2)=4 → AVG = 4/3
+    assert_eq!(view.at(&[1, 1]), Some(&Value::Dbl(4.0 / 3.0)));
+    //   anchor (1,3): cells (1,3)=-2,(2,3)=-1,(1,4)⊥,(2,4)⊥ → AVG = -1.5
+    assert_eq!(view.at(&[1, 3]), Some(&Value::Dbl(-1.5)));
+    //   anchor (3,1): cells (3,1)=nil,(3,2)=nil,(4,·)⊥ → all holes → NULL
+    assert_eq!(view.at(&[3, 1]), Some(&Value::Null));
+    //   anchor (3,3): cells (3,3)=9,(4,·)⊥,(3,4)⊥ → AVG = 9
+    assert_eq!(view.at(&[3, 3]), Some(&Value::Dbl(9.0)));
+}
+
+#[test]
+fn fig1f_dimension_expansion() {
+    let mut c = setup_fig1c();
+    c.execute("ALTER ARRAY matrix ALTER DIMENSION x SET RANGE [-1:1:5]")
+        .unwrap();
+    c.execute("ALTER ARRAY matrix ALTER DIMENSION y SET RANGE [-1:1:5]")
+        .unwrap();
+    let rs = c.query("SELECT x, y, v FROM matrix").unwrap();
+    assert_eq!(rs.row_count(), 36, "6×6 after expanding by 1 in all directions");
+    // Old values preserved (Fig 1(f) keeps the Fig 1(c) interior).
+    assert_eq!(v_at(&mut c, 3, 3), Value::Int(9));
+    assert_eq!(v_at(&mut c, 0, 1), Value::Int(-1));
+    assert_eq!(v_at(&mut c, 1, 0), Value::Null, "hole survives expansion");
+    // New border cells take the default 0 (the figure's zero ring).
+    for i in -1..5i64 {
+        assert_eq!(v_at(&mut c, i, -1), Value::Int(0), "bottom border");
+        assert_eq!(v_at(&mut c, -1, i), Value::Int(0), "left border");
+        assert_eq!(v_at(&mut c, i, 4), Value::Int(0), "top border");
+        assert_eq!(v_at(&mut c, 4, i), Value::Int(0), "right border");
+    }
+}
+
+#[test]
+fn array_table_coercions_roundtrip() {
+    // §2 "Array and Table Coercions": array → table → array.
+    let mut c = setup_fig1c();
+    c.execute("CREATE TABLE mtable (x INT, y INT, v INT)").unwrap();
+    c.execute("INSERT INTO mtable SELECT x, y, v FROM matrix").unwrap();
+    let rs = c.query("SELECT x, y, v FROM mtable").unwrap();
+    assert_eq!(rs.row_count(), 16);
+    // Table → array with the [x], [y] qualifiers.
+    let view = c
+        .query("SELECT [x], [y], v FROM mtable")
+        .unwrap()
+        .to_array_view()
+        .unwrap();
+    assert_eq!(view.sizes, vec![4, 4]);
+    assert_eq!(view.at(&[3, 3]), Some(&Value::Int(9)));
+    assert_eq!(view.at(&[1, 0]), Some(&Value::Null));
+}

@@ -1,0 +1,210 @@
+//! Property-based tests: SciQL query semantics checked against
+//! brute-force reference implementations on randomly generated arrays.
+
+use gdk::Value;
+use proptest::prelude::*;
+use sciql::Connection;
+
+/// Build a session holding a `w × h` int array with the given cell
+/// values (None = hole).
+fn array_session(w: usize, h: usize, cells: &[Option<i32>]) -> Connection {
+    let mut c = Connection::new();
+    c.execute(&format!(
+        "CREATE ARRAY a (x INT DIMENSION[0:1:{w}], y INT DIMENSION[0:1:{h}], v INT)"
+    ))
+    .unwrap();
+    for x in 0..w {
+        for y in 0..h {
+            if let Some(v) = cells[x * h + y] {
+                c.execute(&format!("INSERT INTO a VALUES ({x}, {y}, {v})"))
+                    .unwrap();
+            }
+        }
+    }
+    c
+}
+
+/// Brute-force tile aggregation reference: for each anchor, gather values
+/// at anchor+offsets that are in range and non-hole.
+fn reference_tile_sum(
+    w: usize,
+    h: usize,
+    cells: &[Option<i32>],
+    offsets: &[(i64, i64)],
+) -> Vec<Option<i64>> {
+    let mut out = Vec::with_capacity(w * h);
+    for x in 0..w as i64 {
+        for y in 0..h as i64 {
+            let mut sum = 0i64;
+            let mut any = false;
+            for &(dx, dy) in offsets {
+                let (nx, ny) = (x + dx, y + dy);
+                if nx >= 0 && ny >= 0 && (nx as usize) < w && (ny as usize) < h {
+                    if let Some(v) = cells[nx as usize * h + ny as usize] {
+                        sum += i64::from(v);
+                        any = true;
+                    }
+                }
+            }
+            out.push(any.then_some(sum));
+        }
+    }
+    out
+}
+
+fn small_grid() -> impl Strategy<Value = (usize, usize, Vec<Option<i32>>)> {
+    (2usize..6, 2usize..6).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(
+            proptest::option::weighted(0.8, -20i32..20),
+            w * h,
+        )
+        .prop_map(move |cells| (w, h, cells))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// SciQL 2×2 tiling SUM equals the brute-force reference, including
+    /// hole and boundary handling.
+    #[test]
+    fn tiling_sum_matches_reference((w, h, cells) in small_grid()) {
+        let mut c = array_session(w, h, &cells);
+        let rs = c
+            .query("SELECT [x], [y], SUM(v) FROM a GROUP BY a[x:x+2][y:y+2]")
+            .unwrap();
+        prop_assert_eq!(rs.row_count(), w * h);
+        let view = rs.to_array_view().unwrap();
+        let want = reference_tile_sum(w, h, &cells, &[(0, 0), (0, 1), (1, 0), (1, 1)]);
+        for x in 0..w {
+            for y in 0..h {
+                let got = view.at(&[x as i64, y as i64]).cloned().unwrap();
+                let expect = match want[x * h + y] {
+                    None => Value::Null,
+                    Some(s) => Value::Lng(s),
+                };
+                prop_assert_eq!(got, expect, "anchor ({}, {})", x, y);
+            }
+        }
+    }
+
+    /// Tiling COUNT counts exactly the in-range non-hole tile cells.
+    #[test]
+    fn tiling_count_matches_reference((w, h, cells) in small_grid()) {
+        let mut c = array_session(w, h, &cells);
+        let rs = c
+            .query("SELECT [x], [y], COUNT(v) FROM a GROUP BY a[x-1:x+2][y-1:y+2]")
+            .unwrap();
+        let view = rs.to_array_view().unwrap();
+        for x in 0..w as i64 {
+            for y in 0..h as i64 {
+                let mut expect = 0i64;
+                for dx in -1..=1 {
+                    for dy in -1..=1 {
+                        let (nx, ny) = (x + dx, y + dy);
+                        if nx >= 0
+                            && ny >= 0
+                            && (nx as usize) < w
+                            && (ny as usize) < h
+                            && cells[nx as usize * h + ny as usize].is_some()
+                        {
+                            expect += 1;
+                        }
+                    }
+                }
+                prop_assert_eq!(
+                    view.at(&[x, y]).cloned().unwrap(),
+                    Value::Lng(expect),
+                    "anchor ({}, {})", x, y
+                );
+            }
+        }
+    }
+
+    /// Grouped SUM partitions the total: Σ(group sums) = overall sum.
+    #[test]
+    fn group_sums_partition_total((w, h, cells) in small_grid()) {
+        let mut c = array_session(w, h, &cells);
+        let total = c
+            .query("SELECT SUM(v) FROM a")
+            .unwrap()
+            .scalar()
+            .unwrap();
+        let rs = c.query("SELECT v MOD 3, SUM(v) FROM a GROUP BY v MOD 3").unwrap();
+        let group_total: i64 = rs
+            .rows()
+            .filter_map(|r| r[1].as_i64())
+            .sum();
+        let want = total.as_i64().unwrap_or(0);
+        prop_assert_eq!(group_total, want);
+    }
+
+    /// ORDER BY yields a sorted permutation of the same multiset.
+    #[test]
+    fn order_by_is_sorted_permutation((w, h, cells) in small_grid()) {
+        let mut c = array_session(w, h, &cells);
+        let unsorted = c.query("SELECT v FROM a").unwrap();
+        let sorted = c.query("SELECT v FROM a ORDER BY v").unwrap();
+        prop_assert_eq!(unsorted.row_count(), sorted.row_count());
+        let mut want: Vec<Option<i64>> =
+            unsorted.rows().map(|r| r[0].as_i64()).collect();
+        want.sort();
+        let got: Vec<Option<i64>> = sorted.rows().map(|r| r[0].as_i64()).collect();
+        prop_assert_eq!(got, want, "NULLs sort first, then ascending");
+    }
+
+    /// DELETE + COUNT bookkeeping: holes plus survivors equals cells.
+    #[test]
+    fn delete_bookkeeping((w, h, cells) in small_grid(), threshold in -20i32..20) {
+        let mut c = array_session(w, h, &cells);
+        c.execute(&format!("DELETE FROM a WHERE v < {threshold}")).unwrap();
+        let holes = c
+            .query("SELECT COUNT(*) FROM a WHERE v IS NULL")
+            .unwrap()
+            .scalar()
+            .unwrap()
+            .as_i64()
+            .unwrap();
+        let survivors = c
+            .query("SELECT COUNT(v) FROM a")
+            .unwrap()
+            .scalar()
+            .unwrap()
+            .as_i64()
+            .unwrap();
+        prop_assert_eq!(holes + survivors, (w * h) as i64);
+        // Survivors all respect the predicate.
+        let bad = c
+            .query(&format!("SELECT COUNT(*) FROM a WHERE v < {threshold}"))
+            .unwrap()
+            .scalar()
+            .unwrap();
+        prop_assert_eq!(bad, Value::Lng(0));
+    }
+
+    /// Array→table→array round trip preserves every non-hole cell.
+    #[test]
+    fn coercion_roundtrip((w, h, cells) in small_grid()) {
+        let mut c = array_session(w, h, &cells);
+        c.execute("CREATE TABLE t (x INT, y INT, v INT)").unwrap();
+        c.execute("INSERT INTO t SELECT x, y, v FROM a").unwrap();
+        c.execute("CREATE ARRAY b (x INT DIMENSION[0:1:64], y INT DIMENSION[0:1:64], v INT)")
+            .unwrap();
+        c.execute("INSERT INTO b SELECT [x], [y], v FROM t").unwrap();
+        for x in 0..w {
+            for y in 0..h {
+                let orig = c
+                    .query(&format!("SELECT v FROM a WHERE x = {x} AND y = {y}"))
+                    .unwrap()
+                    .scalar()
+                    .unwrap();
+                let back = c
+                    .query(&format!("SELECT v FROM b WHERE x = {x} AND y = {y}"))
+                    .unwrap()
+                    .scalar()
+                    .unwrap();
+                prop_assert_eq!(orig, back, "cell ({}, {})", x, y);
+            }
+        }
+    }
+}
