@@ -77,11 +77,9 @@ impl BExpr {
     pub fn infer_type(&self, input: &[ScalarType]) -> Result<ScalarType> {
         Ok(match self {
             BExpr::Const(v) => v.scalar_type().unwrap_or(ScalarType::Int),
-            BExpr::Col(i) | BExpr::Shift { col: i, .. } => {
-                *input.get(*i).ok_or_else(|| {
-                    AlgebraError::internal(format!("column {i} out of schema range"))
-                })?
-            }
+            BExpr::Col(i) | BExpr::Shift { col: i, .. } => *input
+                .get(*i)
+                .ok_or_else(|| AlgebraError::internal(format!("column {i} out of schema range")))?,
             BExpr::Bin { op, l, r } => {
                 if op.is_comparison() || op.is_boolean() {
                     ScalarType::Bit
@@ -172,7 +170,9 @@ impl BExpr {
             BExpr::Neg(e) | BExpr::Not(e) | BExpr::Abs(e) => e.contains_shift(),
             BExpr::IsNull { e, .. } => e.contains_shift(),
             BExpr::Case { whens, else_ } => {
-                whens.iter().any(|(w, t)| w.contains_shift() || t.contains_shift())
+                whens
+                    .iter()
+                    .any(|(w, t)| w.contains_shift() || t.contains_shift())
                     || else_.contains_shift()
             }
             BExpr::Cast { e, .. } => e.contains_shift(),

@@ -72,7 +72,6 @@ impl Scope {
             .iter()
             .find(|a| a.alias.eq_ignore_ascii_case(alias) || a.name.eq_ignore_ascii_case(alias))
     }
-
 }
 
 /// Evaluate a constant expression (DDL literals, dimension ranges).
@@ -87,9 +86,7 @@ pub fn eval_with_env(e: &Expr, env: &dyn Fn(&str) -> Option<Value>) -> Result<Va
         Expr::Column {
             qualifier: None,
             name,
-        } => env(name).ok_or_else(|| {
-            AlgebraError::bind(format!("{name:?} is not a constant"))
-        }),
+        } => env(name).ok_or_else(|| AlgebraError::bind(format!("{name:?} is not a constant"))),
         Expr::Column { qualifier, name } => Err(AlgebraError::bind(format!(
             "{}.{name} is not a constant",
             qualifier.as_deref().unwrap_or("")
@@ -189,10 +186,7 @@ impl<'a> Binder<'a> {
             .projections
             .iter()
             .any(|p| matches!(p, Projection::Item { expr, .. } if expr.contains_aggregate()))
-            || sel
-                .having
-                .as_ref()
-                .is_some_and(Expr::contains_aggregate)
+            || sel.having.as_ref().is_some_and(Expr::contains_aggregate)
             || matches!(&sel.group_by, Some(GroupBy::Value(_)));
 
         if !has_aggs {
@@ -446,20 +440,15 @@ impl<'a> Binder<'a> {
         for (i, p) in sel.projections.iter().enumerate() {
             match p {
                 Projection::Wildcard => {
-                    return Err(AlgebraError::bind(
-                        "SELECT * is not allowed with GROUP BY",
-                    ))
+                    return Err(AlgebraError::bind("SELECT * is not allowed with GROUP BY"))
                 }
                 Projection::Item {
                     expr,
                     alias,
                     dimensional,
                 } => {
-                    let bound =
-                        self.bind_group_expr(&scope, &key_asts, &keys, &mut aggs, expr)?;
-                    let name = alias
-                        .clone()
-                        .unwrap_or_else(|| default_label(expr, i));
+                    let bound = self.bind_group_expr(&scope, &key_asts, &keys, &mut aggs, expr)?;
+                    let name = alias.clone().unwrap_or_else(|| default_label(expr, i));
                     items.push((name, bound, *dimensional));
                 }
             }
@@ -513,8 +502,7 @@ impl<'a> Binder<'a> {
         // Extract tile cell offsets.
         let mut offsets: Vec<Vec<i64>> = Vec::new();
         for t in tiles {
-            if !t.array.eq_ignore_ascii_case(&arr.alias)
-                && !t.array.eq_ignore_ascii_case(&arr.name)
+            if !t.array.eq_ignore_ascii_case(&arr.alias) && !t.array.eq_ignore_ascii_case(&arr.name)
             {
                 return Err(AlgebraError::bind(format!(
                     "tile references array {:?} which is not the FROM array {:?}",
@@ -600,12 +588,7 @@ impl<'a> Binder<'a> {
     /// Bind an expression in tile context: plain columns refer to the
     /// anchor cell (pass-through columns of the Tile output), aggregates
     /// become tile aggregates.
-    fn bind_tile_expr(
-        &self,
-        scope: &Scope,
-        aggs: &mut Vec<AggCall>,
-        e: &Expr,
-    ) -> Result<BExpr> {
+    fn bind_tile_expr(&self, scope: &Scope, aggs: &mut Vec<AggCall>, e: &Expr) -> Result<BExpr> {
         let arr = &scope.arrays[0];
         let base_cols = arr.ndims + arr.nattrs;
         match e {
@@ -631,13 +614,9 @@ impl<'a> Binder<'a> {
                     };
                     return Ok(BExpr::Col(base_cols + idx));
                 }
-                self.bind_scalar_parts(scope, e, &mut |sub| {
-                    self.bind_tile_expr(scope, aggs, sub)
-                })
+                self.bind_scalar_parts(scope, e, &mut |sub| self.bind_tile_expr(scope, aggs, sub))
             }
-            _ => self.bind_scalar_parts(scope, e, &mut |sub| {
-                self.bind_tile_expr(scope, aggs, sub)
-            }),
+            _ => self.bind_scalar_parts(scope, e, &mut |sub| self.bind_tile_expr(scope, aggs, sub)),
         }
     }
 
@@ -708,9 +687,9 @@ impl<'a> Binder<'a> {
     ) -> Result<BExpr> {
         match e {
             Expr::Literal(l) => Ok(BExpr::Const(literal_value(l))),
-            Expr::Column { qualifier, name } => scope
-                .resolve(qualifier.as_deref(), name)
-                .map(BExpr::Col),
+            Expr::Column { qualifier, name } => {
+                scope.resolve(qualifier.as_deref(), name).map(BExpr::Col)
+            }
             Expr::Cell { array, indices } => self.bind_cell(scope, array, indices),
             Expr::Unary {
                 op: UnaryOp::Neg,
@@ -813,9 +792,8 @@ impl<'a> Binder<'a> {
                 }
             }
             Expr::Cast { expr, ty } => {
-                let target = ScalarType::from_sql_name(ty).ok_or_else(|| {
-                    AlgebraError::bind(format!("unknown type {ty:?} in CAST"))
-                })?;
+                let target = ScalarType::from_sql_name(ty)
+                    .ok_or_else(|| AlgebraError::bind(format!("unknown type {ty:?} in CAST")))?;
                 Ok(BExpr::Cast {
                     e: Box::new(rec(expr)?),
                     ty: target,
@@ -1035,8 +1013,8 @@ fn cartesian(per_dim: &[Vec<i64>], out: &mut Vec<Vec<i64>>) {
 mod tests {
     use super::*;
     use sciql_catalog::{ColumnMeta, DimSpec, DimensionDef, TableDef};
-    use sciql_parser::parse_statement;
     use sciql_parser::ast::Stmt;
+    use sciql_parser::parse_statement;
 
     fn test_catalog() -> Catalog {
         let mut c = Catalog::new();
@@ -1128,7 +1106,11 @@ mod tests {
              FROM matrix GROUP BY matrix[x-1:x+2][y-1:y+2]",
         )
         .unwrap();
-        assert!(p.explain().contains("Tile cells=9 aggs=1"), "{}", p.explain());
+        assert!(
+            p.explain().contains("Tile cells=9 aggs=1"),
+            "{}",
+            p.explain()
+        );
     }
 
     #[test]
@@ -1147,7 +1129,9 @@ mod tests {
         assert!(p.explain().contains("Project"));
         // Zero-delta cell ref folds to a plain column.
         let p2 = bind("SELECT v - matrix[x][y] FROM matrix").unwrap();
-        let Plan::Project { items, .. } = &p2 else { panic!() };
+        let Plan::Project { items, .. } = &p2 else {
+            panic!()
+        };
         assert!(!items[0].1.contains_shift());
     }
 
@@ -1155,7 +1139,9 @@ mod tests {
     fn shift_below_filter_restructuring() {
         let p = bind("SELECT v - matrix[x-1][y] FROM matrix WHERE x > 0").unwrap();
         // Expect Project(pick) → Filter → Project(pre) → Scan.
-        let Plan::Project { input, .. } = &p else { panic!() };
+        let Plan::Project { input, .. } = &p else {
+            panic!()
+        };
         let Plan::Filter { input: f_in, .. } = input.as_ref() else {
             panic!("expected Filter under final Project: {}", p.explain())
         };
@@ -1179,15 +1165,16 @@ mod tests {
     #[test]
     fn scalar_aggregate_without_group() {
         let p = bind("SELECT COUNT(*), AVG(v) FROM matrix").unwrap();
-        assert!(p.explain().contains("Aggregate keys=0 aggs=2"), "{}", p.explain());
+        assert!(
+            p.explain().contains("Aggregate keys=0 aggs=2"),
+            "{}",
+            p.explain()
+        );
     }
 
     #[test]
     fn cross_join_table_array() {
-        let p = bind(
-            "SELECT v FROM matrix, boxes WHERE x BETWEEN x1 AND x2",
-        )
-        .unwrap();
+        let p = bind("SELECT v FROM matrix, boxes WHERE x BETWEEN x1 AND x2").unwrap();
         assert!(p.explain().contains("Cross"), "{}", p.explain());
     }
 
@@ -1228,7 +1215,10 @@ mod tests {
     #[test]
     fn linear_offsets() {
         use sciql_parser::parse_expression;
-        assert_eq!(linear_offset(&parse_expression("x").unwrap(), "x").unwrap(), 0);
+        assert_eq!(
+            linear_offset(&parse_expression("x").unwrap(), "x").unwrap(),
+            0
+        );
         assert_eq!(
             linear_offset(&parse_expression("x+2").unwrap(), "x").unwrap(),
             2

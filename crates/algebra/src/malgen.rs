@@ -14,18 +14,38 @@ use gdk::{ScalarType, Value};
 use mal::{Arg, MalType, Program, VarId};
 use sciql_parser::ast::BinOp;
 
-/// Code-generation options (the candidate-pushdown ablation switch).
+/// Code-generation options: the candidate-pushdown ablation switch plus
+/// the session's parallel-execution settings, which ride through codegen
+/// to the interpreter (generated instructions carry the parallel-safe
+/// mark; these two fields size the slice driver that honours it).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CodegenOptions {
     /// Compile simple `col <op> const` conjunctions into `thetaselect`
     /// candidate chains instead of bit masks (MonetDB's native style).
     pub candidate_pushdown: bool,
+    /// Worker threads for parallel-safe instructions (`1` = serial).
+    pub threads: usize,
+    /// Minimum BAT length before a kernel goes parallel.
+    pub parallel_threshold: usize,
 }
 
 impl Default for CodegenOptions {
     fn default() -> Self {
+        let par = gdk::ParConfig::default();
         CodegenOptions {
             candidate_pushdown: true,
+            threads: par.threads,
+            parallel_threshold: par.parallel_threshold,
+        }
+    }
+}
+
+impl CodegenOptions {
+    /// The slice-driver configuration these options describe.
+    pub fn par_config(&self) -> gdk::ParConfig {
+        gdk::ParConfig {
+            threads: self.threads.max(1),
+            parallel_threshold: self.parallel_threshold,
         }
     }
 }
@@ -203,12 +223,8 @@ fn gen(prog: &mut Program, plan: &Plan, opts: &CodegenOptions) -> Result<NodeOut
                 Some(pred) => {
                     let mask = emit_expr(prog, &joined, pred)?;
                     let mask = force_bat(prog, &joined, mask)?;
-                    let cand = prog.emit(
-                        "algebra",
-                        "maskselect",
-                        vec![Arg::Var(mask)],
-                        MalType::Cand,
-                    );
+                    let cand =
+                        prog.emit("algebra", "maskselect", vec![Arg::Var(mask)], MalType::Cand);
                     let cols = joined
                         .cols
                         .iter()
@@ -244,12 +260,7 @@ fn gen(prog: &mut Program, plan: &Plan, opts: &CodegenOptions) -> Result<NodeOut
                 None => {
                     let mask = emit_expr(prog, &inp, pred)?;
                     let mask = force_bat(prog, &inp, mask)?;
-                    prog.emit(
-                        "algebra",
-                        "maskselect",
-                        vec![Arg::Var(mask)],
-                        MalType::Cand,
-                    )
+                    prog.emit("algebra", "maskselect", vec![Arg::Var(mask)], MalType::Cand)
                 }
             };
             let cols = inp
@@ -347,12 +358,7 @@ fn gen(prog: &mut Program, plan: &Plan, opts: &CodegenOptions) -> Result<NodeOut
                 args.push(Arg::Var(v));
                 args.push(Arg::Const(Value::Bit(*desc)));
             }
-            let perm = prog.emit(
-                "algebra",
-                "sortperm",
-                args,
-                MalType::Bat(ScalarType::OidT),
-            );
+            let perm = prog.emit("algebra", "sortperm", args, MalType::Bat(ScalarType::OidT));
             let cols = inp
                 .cols
                 .iter()
@@ -493,12 +499,7 @@ fn gen_aggregate(
     for a in aggs {
         let arg = agg_arg(prog, &inp, a)?;
         let f = grouped_agg_name(a.func);
-        cols.push(prog.emit(
-            "aggr",
-            f,
-            vec![Arg::Var(arg), Arg::Var(g)],
-            MalType::Any,
-        ));
+        cols.push(prog.emit("aggr", f, vec![Arg::Var(arg), Arg::Var(g)], MalType::Any));
     }
     Ok(NodeOut {
         cols,
@@ -696,11 +697,7 @@ fn gen_tile_agg(
                     let safe = prog.emit(
                         "batcalc",
                         "ifthenelse",
-                        vec![
-                            Arg::Var(empty),
-                            Arg::Const(Value::Dbl(1.0)),
-                            Arg::Var(cntd),
-                        ],
+                        vec![Arg::Var(empty), Arg::Const(Value::Dbl(1.0)), Arg::Var(cntd)],
                         MalType::Bat(ScalarType::Dbl),
                     );
                     let avg = prog.emit(
@@ -782,11 +779,7 @@ fn gen_tile_agg(
 
 /// Try the candidate-chain fast path: a conjunction of `col <op> const`
 /// predicates compiles to chained `thetaselect` calls.
-fn gen_filter_candidates(
-    prog: &mut Program,
-    inp: &NodeOut,
-    pred: &BExpr,
-) -> Result<Option<VarId>> {
+fn gen_filter_candidates(prog: &mut Program, inp: &NodeOut, pred: &BExpr) -> Result<Option<VarId>> {
     let mut conjuncts = Vec::new();
     collect_conjuncts(pred, &mut conjuncts);
     let mut simple = Vec::with_capacity(conjuncts.len());
@@ -882,14 +875,14 @@ fn batcalc_name(op: BinOp) -> &'static str {
 fn emit_expr(prog: &mut Program, inp: &NodeOut, e: &BExpr) -> Result<Arg> {
     Ok(match e {
         BExpr::Const(v) => Arg::Const(v.clone()),
-        BExpr::Col(i) => Arg::Var(*inp.cols.get(*i).ok_or_else(|| {
-            AlgebraError::internal(format!("column {i} out of codegen range"))
-        })?),
+        BExpr::Col(i) => {
+            Arg::Var(*inp.cols.get(*i).ok_or_else(|| {
+                AlgebraError::internal(format!("column {i} out of codegen range"))
+            })?)
+        }
         BExpr::Shift { col, deltas } => {
             let shape = inp.shape.as_ref().ok_or_else(|| {
-                AlgebraError::bind(
-                    "relative cell reference used where cell alignment is lost",
-                )
+                AlgebraError::bind("relative cell reference used where cell alignment is lost")
             })?;
             let v = inp.cols[*col];
             Arg::Var(prog.emit("array", "shift", shift_args(v, shape, deltas), MalType::Any))
@@ -915,12 +908,7 @@ fn emit_expr(prog: &mut Program, inp: &NodeOut, e: &BExpr) -> Result<Arg> {
                     MalType::Bat(ScalarType::Bit),
                 ))
             } else {
-                Arg::Var(prog.emit(
-                    "batcalc",
-                    batcalc_name(*op),
-                    vec![la, ra],
-                    MalType::Any,
-                ))
+                Arg::Var(prog.emit("batcalc", batcalc_name(*op), vec![la, ra], MalType::Any))
             }
         }
         BExpr::Neg(x) => {
@@ -930,7 +918,12 @@ fn emit_expr(prog: &mut Program, inp: &NodeOut, e: &BExpr) -> Result<Arg> {
         BExpr::Not(x) => {
             let a = emit_expr(prog, inp, x)?;
             let v = force_bit_bat(prog, inp, a)?;
-            Arg::Var(prog.emit("batcalc", "not", vec![Arg::Var(v)], MalType::Bat(ScalarType::Bit)))
+            Arg::Var(prog.emit(
+                "batcalc",
+                "not",
+                vec![Arg::Var(v)],
+                MalType::Bat(ScalarType::Bit),
+            ))
         }
         BExpr::Abs(x) => {
             let a = emit_expr(prog, inp, x)?;
@@ -1084,9 +1077,7 @@ fn arg_to_var_scalar(prog: &mut Program, a: Arg) -> VarId {
 mod tests {
     use super::*;
     use crate::bind::Binder;
-    use sciql_catalog::{
-        ArrayDef, Catalog, ColumnMeta, DimSpec, DimensionDef, SchemaObject,
-    };
+    use sciql_catalog::{ArrayDef, Catalog, ColumnMeta, DimSpec, DimensionDef, SchemaObject};
     use sciql_parser::ast::Stmt;
     use sciql_parser::parse_statement;
 
@@ -1140,6 +1131,7 @@ mod tests {
             "SELECT v FROM m WHERE x > 1",
             &CodegenOptions {
                 candidate_pushdown: false,
+                ..CodegenOptions::default()
             },
         );
         let text = p.to_text();

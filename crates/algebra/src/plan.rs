@@ -146,8 +146,7 @@ impl Plan {
         match self {
             Plan::Unit => vec![],
             Plan::ScanTable { schema, .. } | Plan::ScanArray { schema, .. } => schema.clone(),
-            Plan::Cross { left, right }
-            | Plan::EquiJoin { left, right, .. } => {
+            Plan::Cross { left, right } | Plan::EquiJoin { left, right, .. } => {
                 let mut s = left.schema();
                 s.extend(right.schema());
                 s

@@ -171,12 +171,8 @@ fn as_cross_equi(e: &BExpr, nl: usize) -> Option<(BExpr, BExpr)> {
         }
     };
     match (side(l), side(r)) {
-        (Some(true), Some(false)) => {
-            Some(((**l).clone(), r.remap_cols(&|c| c - nl)))
-        }
-        (Some(false), Some(true)) => {
-            Some(((**r).clone(), l.remap_cols(&|c| c - nl)))
-        }
+        (Some(true), Some(false)) => Some(((**l).clone(), r.remap_cols(&|c| c - nl))),
+        (Some(false), Some(true)) => Some(((**r).clone(), l.remap_cols(&|c| c - nl))),
         _ => None,
     }
 }
@@ -270,10 +266,7 @@ mod tests {
             input: Box::new(cross()),
             pred,
         });
-        assert!(matches!(
-            p,
-            Plan::Filter { .. }
-        ), "{}", p.explain());
+        assert!(matches!(p, Plan::Filter { .. }), "{}", p.explain());
     }
 
     #[test]

@@ -58,6 +58,7 @@ fn bench_candidate_ablation(c: &mut Criterion) {
         let mut with = holey_matrix_session(n);
         with.set_codegen(CodegenOptions {
             candidate_pushdown: true,
+            ..CodegenOptions::default()
         });
         g.bench_with_input(BenchmarkId::new("candidates", n), &n, |b, _| {
             b.iter(|| black_box(with.query(sql).unwrap()))
@@ -65,6 +66,7 @@ fn bench_candidate_ablation(c: &mut Criterion) {
         let mut without = holey_matrix_session(n);
         without.set_codegen(CodegenOptions {
             candidate_pushdown: false,
+            ..CodegenOptions::default()
         });
         g.bench_with_input(BenchmarkId::new("masks", n), &n, |b, _| {
             b.iter(|| black_box(without.query(sql).unwrap()))
@@ -81,17 +83,13 @@ fn bench_void_vs_materialised(c: &mut Criterion) {
         let materialised = void.materialise();
         let needle = Value::Lng((n / 2) as i64);
         g.bench_with_input(BenchmarkId::new("void_select", n), &void, |b, col| {
-            b.iter(|| {
-                black_box(select::thetaselect(col, None, &needle, CmpOp::Ge).unwrap())
-            })
+            b.iter(|| black_box(select::thetaselect(col, None, &needle, CmpOp::Ge).unwrap()))
         });
         g.bench_with_input(
             BenchmarkId::new("materialised_select", n),
             &materialised,
             |b, col| {
-                b.iter(|| {
-                    black_box(select::thetaselect(col, None, &needle, CmpOp::Ge).unwrap())
-                })
+                b.iter(|| black_box(select::thetaselect(col, None, &needle, CmpOp::Ge).unwrap()))
             },
         );
     }
@@ -105,7 +103,7 @@ fn fast() -> Criterion {
         .sample_size(10)
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = fast();
     targets =

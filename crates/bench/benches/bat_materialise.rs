@@ -91,7 +91,7 @@ fn fast() -> Criterion {
         .sample_size(10)
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = fast();
     targets = bench_series, bench_filler, bench_full_array

@@ -24,7 +24,8 @@ fn bench_table_to_array(c: &mut Criterion) {
     g.sample_size(10);
     for n in [64usize, 256] {
         let mut conn = matrix_session(n);
-        conn.execute("CREATE TABLE mtable (x INT, y INT, v INT)").unwrap();
+        conn.execute("CREATE TABLE mtable (x INT, y INT, v INT)")
+            .unwrap();
         conn.execute("INSERT INTO mtable SELECT x, y, v FROM matrix")
             .unwrap();
         g.throughput(Throughput::Elements((n * n) as u64));
@@ -50,7 +51,8 @@ fn bench_roundtrip(c: &mut Criterion) {
         let mut conn = matrix_session(n);
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                conn.execute("CREATE TABLE mtable (x INT, y INT, v INT)").unwrap();
+                conn.execute("CREATE TABLE mtable (x INT, y INT, v INT)")
+                    .unwrap();
                 conn.execute("INSERT INTO mtable SELECT x, y, v FROM matrix")
                     .unwrap();
                 conn.execute("INSERT INTO matrix SELECT [x], [y], v FROM mtable")
@@ -69,7 +71,7 @@ fn fast() -> Criterion {
         .sample_size(10)
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = fast();
     targets = bench_array_to_table, bench_table_to_array, bench_roundtrip

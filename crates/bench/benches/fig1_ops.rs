@@ -53,10 +53,8 @@ fn bench_insert_delete(c: &mut Criterion) {
         let mut conn = matrix_session(n);
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                conn.execute(
-                    "INSERT INTO matrix SELECT [x], [y], x * y FROM matrix WHERE x = y",
-                )
-                .unwrap();
+                conn.execute("INSERT INTO matrix SELECT [x], [y], x * y FROM matrix WHERE x = y")
+                    .unwrap();
                 conn.execute("DELETE FROM matrix WHERE x > y").unwrap();
             })
         });
@@ -113,7 +111,7 @@ fn fast() -> Criterion {
         .sample_size(10)
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = fast();
     targets =

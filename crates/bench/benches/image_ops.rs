@@ -100,13 +100,7 @@ fn bench_slab_proportionality(c: &mut Criterion) {
         });
         let mut s = session(&img);
         g.bench_with_input(BenchmarkId::new("full_image_read", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(
-                    s.connection()
-                        .query("SELECT [x], [y], v FROM img")
-                        .unwrap(),
-                )
-            })
+            b.iter(|| black_box(s.connection().query("SELECT [x], [y], v FROM img").unwrap()))
         });
     }
     g.finish();
@@ -145,7 +139,7 @@ fn fast() -> Criterion {
         .sample_size(10)
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = fast();
     targets =

@@ -1,0 +1,165 @@
+//! Slice-parallelism benchmark: serial vs 2/4/8 worker threads on the
+//! Fig 1 operations and the image workload at 1M cells, at both the
+//! kernel level (`gdk::par` drivers directly) and the SQL level (a
+//! `Connection` configured via `SessionConfig`).
+//!
+//! Run with `CRITERION_JSON_OUT=BENCH_parallel.json cargo bench -p
+//! sciql-bench --bench threads` to record a baseline. Note: on a
+//! single-vCPU host the sweep records the thread-dispatch overhead
+//! rather than a speedup — the kernels cannot beat the hardware.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gdk::arith::{BinOp, CmpOp, Operand};
+use gdk::par::ParConfig;
+use gdk::{Bat, Value};
+use sciql::{Connection, SessionConfig};
+use std::hint::black_box;
+
+const CELLS: usize = 1 << 20; // 1M
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn forced(threads: usize) -> ParConfig {
+    ParConfig {
+        threads,
+        parallel_threshold: 1024,
+    }
+}
+
+/// Kernel-level sweep over the hot Fig-1 primitives on a 1M-cell column:
+/// the guarded-update arithmetic (`batcalc`), the WHERE-clause select,
+/// grouping by a dimension and the grouped SUM.
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("threads/kernels_1m");
+    g.sample_size(10);
+    let v = Bat::from_ints((0..CELLS as i32).map(|i| i % 1000).collect());
+    let dim = Bat::from_ints((0..CELLS as i32).map(|i| i % 1024).collect());
+    let groups = gdk::group::group_by(&dim, None, None).unwrap();
+    for t in THREADS {
+        let cfg = forced(t);
+        g.throughput(Throughput::Elements(CELLS as u64));
+        g.bench_with_input(BenchmarkId::new("arith_add", t), &t, |b, _| {
+            b.iter(|| {
+                black_box(
+                    gdk::par::binop(
+                        BinOp::Add,
+                        Operand::Col(&v),
+                        Operand::Scalar(&Value::Int(3)),
+                        &cfg,
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("select_ge", t), &t, |b, _| {
+            b.iter(|| {
+                black_box(
+                    gdk::par::thetaselect(&v, None, &Value::Int(500), CmpOp::Ge, &cfg).unwrap(),
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("group_by_dim", t), &t, |b, _| {
+            b.iter(|| black_box(gdk::par::group_by(&dim, None, None, &cfg).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("grouped_sum", t), &t, |b, _| {
+            b.iter(|| {
+                black_box(
+                    gdk::par::grouped(gdk::aggregate::AggFunc::Sum, &v, &groups, &cfg).unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn session(threads: usize, n: usize) -> Connection {
+    let mut conn = Connection::with_config(SessionConfig {
+        threads,
+        parallel_threshold: 1024,
+    });
+    conn.execute(&format!(
+        "CREATE ARRAY matrix (x INT DIMENSION[0:1:{n}], \
+         y INT DIMENSION[0:1:{n}], v INT DEFAULT 0)"
+    ))
+    .unwrap();
+    conn.execute(
+        "UPDATE matrix SET v = CASE WHEN x > y THEN x + y \
+         WHEN x < y THEN x - y ELSE 0 END",
+    )
+    .unwrap();
+    conn
+}
+
+/// SQL-level sweep: the Fig-1 guarded update and aggregation queries on
+/// a 1024×1024 (1M cell) array, with parallelism configured through
+/// `SessionConfig` exactly as a user would.
+fn bench_fig1_sql(c: &mut Criterion) {
+    let mut g = c.benchmark_group("threads/fig1_sql_1m");
+    g.sample_size(10);
+    let n = 1024usize; // n*n = 1M cells
+    for t in THREADS {
+        let mut conn = session(t, n);
+        g.throughput(Throughput::Elements((n * n) as u64));
+        g.bench_with_input(BenchmarkId::new("guarded_update", t), &t, |b, _| {
+            b.iter(|| {
+                conn.execute(
+                    "UPDATE matrix SET v = CASE WHEN x > y THEN x + y \
+                     WHEN x < y THEN x - y ELSE 0 END",
+                )
+                .unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("filtered_count", t), &t, |b, _| {
+            b.iter(|| {
+                black_box(
+                    conn.query("SELECT COUNT(v) FROM matrix WHERE v > 100")
+                        .unwrap(),
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("group_sum", t), &t, |b, _| {
+            b.iter(|| {
+                black_box(
+                    conn.query("SELECT x, SUM(v) FROM matrix GROUP BY x")
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Image workload at 1M pixels: pointwise invert through SciQL with the
+/// thread sweep.
+fn bench_image_ops(c: &mut Criterion) {
+    use sciql_imaging::{synth, SciqlImages};
+    let mut g = c.benchmark_group("threads/image_1m");
+    g.sample_size(10);
+    let n = 1024usize;
+    let img = synth::terrain(n, n, 7);
+    for t in THREADS {
+        let mut s = SciqlImages::with_config(SessionConfig {
+            threads: t,
+            parallel_threshold: 1024,
+        });
+        s.load("img", &img).unwrap();
+        g.throughput(Throughput::Elements((n * n) as u64));
+        g.bench_with_input(BenchmarkId::new("invert_sciql", t), &t, |b, _| {
+            b.iter(|| black_box(s.invert("img").unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_millis(900))
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_kernels, bench_fig1_sql, bench_image_ops
+}
+criterion_main!(benches);

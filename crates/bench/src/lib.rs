@@ -25,7 +25,8 @@ pub fn matrix_session(n: usize) -> Connection {
 /// diagonal (the Fig 1(c) state, generalised).
 pub fn holey_matrix_session(n: usize) -> Connection {
     let mut conn = matrix_session(n);
-    conn.execute("DELETE FROM matrix WHERE x > y").expect("holes");
+    conn.execute("DELETE FROM matrix WHERE x > y")
+        .expect("holes");
     conn
 }
 
@@ -36,7 +37,11 @@ mod tests {
     #[test]
     fn helpers_build_valid_sessions() {
         let mut c = matrix_session(8);
-        let n = c.query("SELECT COUNT(*) FROM matrix").unwrap().scalar().unwrap();
+        let n = c
+            .query("SELECT COUNT(*) FROM matrix")
+            .unwrap()
+            .scalar()
+            .unwrap();
         assert_eq!(n.as_i64(), Some(64));
         let mut h = holey_matrix_session(8);
         let holes = h

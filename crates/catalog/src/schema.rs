@@ -46,7 +46,9 @@ impl DimSpec {
     /// Create a spec, validating the step.
     pub fn new(start: i64, step: i64, stop: i64) -> Result<Self, CatalogError> {
         if step == 0 {
-            return Err(CatalogError::Invalid("dimension step must be non-zero".into()));
+            return Err(CatalogError::Invalid(
+                "dimension step must be non-zero".into(),
+            ));
         }
         Ok(DimSpec { start, step, stop })
     }

@@ -5,9 +5,7 @@ use crate::storage::{ArrayStore, TableStore};
 use crate::{EngineError, Result};
 use gdk::{ScalarType, Value};
 use sciql_algebra::eval_const;
-use sciql_catalog::{
-    ArrayDef, ColumnMeta, DimSpec, DimensionDef, SchemaObject, TableDef,
-};
+use sciql_catalog::{ArrayDef, ColumnMeta, DimSpec, DimensionDef, SchemaObject, TableDef};
 use sciql_parser::ast::{ColumnDef, ColumnKind, DimRange};
 
 fn parse_type(name: &str) -> Result<ScalarType> {
@@ -92,8 +90,7 @@ impl Connection {
                     });
                 }
                 ColumnKind::Attribute { default } => {
-                    let default =
-                        default.as_ref().map(|e| const_default(e, ty)).transpose()?;
+                    let default = default.as_ref().map(|e| const_default(e, ty)).transpose()?;
                     attrs.push(ColumnMeta {
                         name: c.name.clone(),
                         ty,

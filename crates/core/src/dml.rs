@@ -70,8 +70,7 @@ impl Connection {
         }
         let cand = Candidates::from_sorted(positions.clone());
         for (k, &target) in targets.iter().enumerate() {
-            let values =
-                gdk::project::project(&cand, &rs.bats[k]).map_err(EngineError::Gdk)?;
+            let values = gdk::project::project(&cand, &rs.bats[k]).map_err(EngineError::Gdk)?;
             let key = table.to_ascii_lowercase();
             if is_array {
                 let store = self
@@ -124,8 +123,7 @@ impl Connection {
             Some(f) => {
                 let plan = {
                     let binder = Binder::new(&self.catalog);
-                    let (scan, scope) =
-                        binder.scope_for(table).map_err(EngineError::Algebra)?;
+                    let (scan, scope) = binder.scope_for(table).map_err(EngineError::Algebra)?;
                     let bound = binder.bind_expr(&scope, f).map_err(EngineError::Algebra)?;
                     Plan::Project {
                         input: Box::new(scan),
@@ -195,16 +193,19 @@ impl Connection {
                 rs.rows().collect()
             }
         };
-        match self.catalog.get(table).map_err(EngineError::Catalog)?.clone() {
+        match self
+            .catalog
+            .get(table)
+            .map_err(EngineError::Catalog)?
+            .clone()
+        {
             SchemaObject::Table(def) => {
                 let mapping: Vec<usize> = match columns {
                     Some(cols) => cols
                         .iter()
                         .map(|c| {
                             def.column_index(c).ok_or_else(|| {
-                                EngineError::msg(format!(
-                                    "table {table:?} has no column {c:?}"
-                                ))
+                                EngineError::msg(format!("table {table:?} has no column {c:?}"))
                             })
                         })
                         .collect::<Result<_>>()?,
@@ -268,7 +269,12 @@ impl Connection {
                             ));
                         }
                         self.insert_array_rows(
-                            table, &def.name, &rows, &dim_slots, &attr_slots, &attr_targets,
+                            table,
+                            &def.name,
+                            &rows,
+                            &dim_slots,
+                            &attr_slots,
+                            &attr_targets,
                         )?;
                         return Ok(rows.len());
                     }
@@ -281,10 +287,7 @@ impl Connection {
                             )));
                         }
                         let nattrs = (arity - ndims).min(def.attrs.len());
-                        (
-                            (0..ndims).collect(),
-                            (ndims..ndims + nattrs).collect(),
-                        )
+                        ((0..ndims).collect(), (ndims..ndims + nattrs).collect())
                     }
                 };
                 let attr_targets: Vec<usize> = (0..attr_slots.len()).collect();
@@ -383,7 +386,11 @@ impl Connection {
         // Sync the derived ranges into the catalog, then materialise.
         for (k, d) in def.dims.iter().enumerate() {
             self.catalog
-                .alter_dimension(table, &def.dims[k].name.clone(), d.range.expect("set above"))
+                .alter_dimension(
+                    table,
+                    &def.dims[k].name.clone(),
+                    d.range.expect("set above"),
+                )
                 .map_err(EngineError::Catalog)?;
         }
         let store = ArrayStore::create(def)?;
@@ -391,4 +398,3 @@ impl Connection {
         Ok(())
     }
 }
-

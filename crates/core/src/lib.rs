@@ -45,7 +45,7 @@ pub mod storage;
 mod tests;
 
 pub use result::{ArrayView, ColumnMeta, ResultSet};
-pub use session::{Connection, LastExec, QueryResult};
+pub use session::{Connection, LastExec, QueryResult, SessionConfig};
 pub use storage::{ArrayStore, TableStore};
 
 use std::fmt;

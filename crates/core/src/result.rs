@@ -3,7 +3,7 @@
 use crate::{EngineError, Result};
 use gdk::{Bat, ScalarType, Value};
 use std::fmt::Write as _;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Metadata of one result column.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,7 +24,7 @@ pub struct ResultSet {
     /// Column metadata.
     pub columns: Vec<ColumnMeta>,
     /// Column data, aligned.
-    pub bats: Vec<Rc<Bat>>,
+    pub bats: Vec<Arc<Bat>>,
 }
 
 impl ResultSet {
@@ -115,8 +115,7 @@ impl ResultSet {
             .map(|(&l, &h)| usize::try_from(h - l + 1).unwrap_or(0))
             .collect();
         let total: usize = sizes.iter().product();
-        let mut cells: Vec<Vec<Value>> =
-            vec![vec![Value::Null; val_cols.len()]; total];
+        let mut cells: Vec<Vec<Value>> = vec![vec![Value::Null; val_cols.len()]; total];
         for r in 0..self.row_count() {
             let mut pos = 0usize;
             for (k, &c) in dim_cols.iter().enumerate() {
@@ -256,9 +255,9 @@ mod tests {
                 },
             ],
             bats: vec![
-                Rc::new(Bat::from_ints(vec![1, 1, 2])),
-                Rc::new(Bat::from_ints(vec![1, 2, 2])),
-                Rc::new(Bat::from_ints(vec![10, 20, 40])),
+                Arc::new(Bat::from_ints(vec![1, 1, 2])),
+                Arc::new(Bat::from_ints(vec![1, 2, 2])),
+                Arc::new(Bat::from_ints(vec![10, 20, 40])),
             ],
         }
     }
@@ -295,7 +294,7 @@ mod tests {
                 ty: ScalarType::Lng,
                 dimensional: false,
             }],
-            bats: vec![Rc::new(Bat::from_lngs(vec![42]))],
+            bats: vec![Arc::new(Bat::from_lngs(vec![42]))],
         };
         assert_eq!(one.scalar().unwrap(), Value::Lng(42));
         assert!(rs().scalar().is_err());
@@ -325,7 +324,7 @@ mod tests {
                 ty: ScalarType::Int,
                 dimensional: true,
             }],
-            bats: vec![Rc::new(Bat::from_ints(vec![]))],
+            bats: vec![Arc::new(Bat::from_ints(vec![]))],
         };
         let v = r.to_array_view().unwrap();
         assert_eq!(v.sizes, vec![0]);

@@ -6,15 +6,14 @@ use crate::storage::{ArrayStore, TableStore};
 use crate::{EngineError, Result};
 use gdk::Bat;
 use mal::{
-    Binder as MalBinder, ExecStats, Interpreter, MalValue, OptConfig, OptReport, Program,
-    Registry,
+    Binder as MalBinder, ExecStats, Interpreter, MalValue, OptConfig, OptReport, Program, Registry,
 };
 use sciql_algebra::{compile, rewrite, Binder, CodegenOptions, Plan};
 use sciql_catalog::Catalog;
 use sciql_parser::ast::{SelectStmt, Stmt};
 use sciql_parser::{parse_statement, parse_statements};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Result of executing one statement.
 #[derive(Debug, Clone)]
@@ -30,9 +29,7 @@ impl QueryResult {
     pub fn rows(self) -> Result<ResultSet> {
         match self {
             QueryResult::Rows(r) => Ok(r),
-            QueryResult::Affected(_) => {
-                Err(EngineError::msg("statement did not produce rows"))
-            }
+            QueryResult::Affected(_) => Err(EngineError::msg("statement did not produce rows")),
         }
     }
     /// Unwrap an affected-count result.
@@ -46,9 +43,9 @@ impl QueryResult {
 
 /// Statistics of the most recent query execution (optimizer ablation and
 /// benchmarking hooks).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct LastExec {
-    /// Interpreter counters.
+    /// Interpreter counters (including per-instruction thread counts).
     pub exec: ExecStats,
     /// Optimizer report.
     pub opt: OptReport,
@@ -56,6 +53,44 @@ pub struct LastExec {
     pub instrs_before_opt: usize,
     /// MAL instructions after optimization.
     pub instrs_after_opt: usize,
+}
+
+/// Session-level execution settings, threaded from the connection
+/// through [`CodegenOptions`] into the MAL interpreter's slice driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionConfig {
+    /// Worker threads for parallel-safe BAT instructions (`1` = serial).
+    pub threads: usize,
+    /// Minimum BAT length before a kernel goes parallel.
+    pub parallel_threshold: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        let par = gdk::ParConfig::default();
+        SessionConfig {
+            threads: par.threads,
+            parallel_threshold: par.parallel_threshold,
+        }
+    }
+}
+
+impl SessionConfig {
+    /// A config that executes every instruction serially.
+    pub fn serial() -> Self {
+        SessionConfig {
+            threads: 1,
+            parallel_threshold: usize::MAX,
+        }
+    }
+
+    /// `threads` workers with the default threshold.
+    pub fn with_threads(threads: usize) -> Self {
+        SessionConfig {
+            threads: threads.max(1),
+            ..SessionConfig::default()
+        }
+    }
 }
 
 /// A SciQL session over an in-memory database: catalog + BAT storage +
@@ -77,9 +112,15 @@ impl Default for Connection {
 }
 
 impl Connection {
-    /// Fresh empty session.
+    /// Fresh empty session with the default (hardware-sized) parallel
+    /// configuration.
     pub fn new() -> Self {
-        Connection {
+        Self::with_config(SessionConfig::default())
+    }
+
+    /// Fresh empty session with an explicit execution configuration.
+    pub fn with_config(cfg: SessionConfig) -> Self {
+        let mut conn = Connection {
             catalog: Catalog::new(),
             arrays: HashMap::new(),
             tables: HashMap::new(),
@@ -87,7 +128,9 @@ impl Connection {
             opt_config: OptConfig::default(),
             codegen: CodegenOptions::default(),
             last: LastExec::default(),
-        }
+        };
+        conn.set_session_config(cfg);
+        conn
     }
 
     /// Configure the MAL optimizer pipeline (ablation switch).
@@ -96,13 +139,32 @@ impl Connection {
     }
 
     /// Configure code generation (candidate-pushdown ablation switch).
+    /// The session's parallel settings are preserved — change those via
+    /// [`Connection::set_session_config`].
     pub fn set_codegen(&mut self, cfg: CodegenOptions) {
+        let keep = self.session_config();
         self.codegen = cfg;
+        self.set_session_config(keep);
+    }
+
+    /// Reconfigure parallel execution: the settings flow through
+    /// [`CodegenOptions`] into the interpreter's slice driver.
+    pub fn set_session_config(&mut self, cfg: SessionConfig) {
+        self.codegen.threads = cfg.threads.max(1);
+        self.codegen.parallel_threshold = cfg.parallel_threshold;
+    }
+
+    /// The session's current execution configuration.
+    pub fn session_config(&self) -> SessionConfig {
+        SessionConfig {
+            threads: self.codegen.threads,
+            parallel_threshold: self.codegen.parallel_threshold,
+        }
     }
 
     /// Statistics of the last executed SELECT.
     pub fn last_exec(&self) -> LastExec {
-        self.last
+        self.last.clone()
     }
 
     /// The catalog (read-only view).
@@ -217,7 +279,7 @@ impl Connection {
             arrays: &self.arrays,
             tables: &self.tables,
         };
-        let interp = Interpreter::new(&self.registry, &storage);
+        let interp = Interpreter::with_config(&self.registry, &storage, self.codegen.par_config());
         let (outs, exec) = interp.run_with_stats(&prog).map_err(EngineError::Mal)?;
         self.last = LastExec {
             exec,
@@ -227,7 +289,7 @@ impl Connection {
         };
         let schema = plan.schema();
         let mut columns = Vec::with_capacity(schema.len());
-        let mut bats: Vec<Rc<Bat>> = Vec::with_capacity(schema.len());
+        let mut bats: Vec<Arc<Bat>> = Vec::with_capacity(schema.len());
         for ((label, val), info) in outs.into_iter().zip(schema) {
             let b = match val {
                 MalValue::Bat(b) => b,
@@ -235,7 +297,7 @@ impl Connection {
                     let ty = v.scalar_type().unwrap_or(info.ty);
                     let mut nb = Bat::with_capacity(ty, 1);
                     nb.push(&v).map_err(EngineError::Gdk)?;
-                    Rc::new(nb)
+                    Arc::new(nb)
                 }
                 other => {
                     return Err(EngineError::msg(format!(
@@ -300,7 +362,7 @@ impl Connection {
             .create(SchemaObject::Array(def.clone()))
             .map_err(EngineError::Catalog)?;
         let mut store = ArrayStore::create(def)?;
-        store.attrs = attrs.into_iter().map(|(_, b)| Rc::new(b)).collect();
+        store.attrs = attrs.into_iter().map(|(_, b)| Arc::new(b)).collect();
         self.arrays.insert(name.to_ascii_lowercase(), store);
         Ok(())
     }

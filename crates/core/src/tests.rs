@@ -11,7 +11,11 @@ fn query_result_unwrappers() {
     let r = c.execute("INSERT INTO t VALUES (1)").unwrap();
     assert!(matches!(r, QueryResult::Affected(1)));
     assert!(c.execute("SELECT a FROM t").unwrap().affected().is_err());
-    assert!(c.execute("INSERT INTO t VALUES (2)").unwrap().rows().is_err());
+    assert!(c
+        .execute("INSERT INTO t VALUES (2)")
+        .unwrap()
+        .rows()
+        .is_err());
 }
 
 #[test]
@@ -40,7 +44,10 @@ fn bulk_load_validation() {
     let good = gdk::Bat::from_ints(vec![7, 8]);
     c.bulk_load_array("a", &dims, vec![("v", good)]).unwrap();
     assert_eq!(
-        c.query("SELECT v FROM a WHERE x = 1").unwrap().scalar().unwrap(),
+        c.query("SELECT v FROM a WHERE x = 1")
+            .unwrap()
+            .scalar()
+            .unwrap(),
         Value::Int(8)
     );
     // Name collisions rejected.
@@ -52,7 +59,8 @@ fn bulk_load_validation() {
 fn catalog_view_reflects_ddl() {
     let mut c = Connection::new();
     assert!(c.catalog().is_empty());
-    c.execute("CREATE ARRAY m (x INT DIMENSION[0:1:2], v INT DEFAULT 0)").unwrap();
+    c.execute("CREATE ARRAY m (x INT DIMENSION[0:1:2], v INT DEFAULT 0)")
+        .unwrap();
     c.execute("CREATE TABLE t (a INT)").unwrap();
     assert_eq!(c.catalog().len(), 2);
     assert!(c.catalog().get_array("m").is_ok());
@@ -66,7 +74,8 @@ fn update_with_shift_expression() {
     // UPDATE may read neighbouring cells through relative references
     // (all reads see the pre-update state).
     let mut c = Connection::new();
-    c.execute("CREATE ARRAY m (x INT DIMENSION[0:1:5], v INT DEFAULT 0)").unwrap();
+    c.execute("CREATE ARRAY m (x INT DIMENSION[0:1:5], v INT DEFAULT 0)")
+        .unwrap();
     c.execute("UPDATE m SET v = x * 10").unwrap();
     c.execute("UPDATE m SET v = m[x+1] WHERE x < 4").unwrap();
     let rs = c.query("SELECT v FROM m ORDER BY x").unwrap();
@@ -82,10 +91,8 @@ fn update_with_shift_expression() {
 fn multi_set_update_sees_old_values() {
     // UPDATE t SET a = b, b = a must swap, not chain.
     let mut c = Connection::new();
-    c.execute_script(
-        "CREATE TABLE t (a INT, b INT); INSERT INTO t VALUES (1, 2);",
-    )
-    .unwrap();
+    c.execute_script("CREATE TABLE t (a INT, b INT); INSERT INTO t VALUES (1, 2);")
+        .unwrap();
     c.execute("UPDATE t SET a = b, b = a").unwrap();
     let rs = c.query("SELECT a, b FROM t").unwrap();
     assert_eq!(rs.row(0), vec![Value::Int(2), Value::Int(1)]);
@@ -94,7 +101,8 @@ fn multi_set_update_sees_old_values() {
 #[test]
 fn last_exec_stats_populated() {
     let mut c = Connection::new();
-    c.execute("CREATE ARRAY m (x INT DIMENSION[0:1:8], v INT DEFAULT 1)").unwrap();
+    c.execute("CREATE ARRAY m (x INT DIMENSION[0:1:8], v INT DEFAULT 1)")
+        .unwrap();
     c.query("SELECT SUM(v) FROM m WHERE x > 2").unwrap();
     let stats = c.last_exec();
     assert!(stats.exec.instructions > 0);
@@ -110,7 +118,8 @@ fn explain_rejects_non_select() {
 #[test]
 fn array_view_of_select_with_expression_dims() {
     let mut c = Connection::new();
-    c.execute("CREATE ARRAY m (x INT DIMENSION[0:1:3], v INT DEFAULT 5)").unwrap();
+    c.execute("CREATE ARRAY m (x INT DIMENSION[0:1:3], v INT DEFAULT 5)")
+        .unwrap();
     // Shifted dimension expression: view origin follows the data.
     let view = c.query_array("SELECT [x + 10], v FROM m").unwrap();
     assert_eq!(view.origins, vec![10]);
@@ -126,23 +135,130 @@ fn drop_and_recreate_same_name() {
     c.execute("DROP TABLE t").unwrap();
     c.execute("CREATE TABLE t (a INT, b INT)").unwrap();
     let rs = c.query("SELECT COUNT(*) FROM t").unwrap();
-    assert_eq!(rs.scalar().unwrap(), Value::Lng(0), "fresh storage after recreate");
+    assert_eq!(
+        rs.scalar().unwrap(),
+        Value::Lng(0),
+        "fresh storage after recreate"
+    );
 }
 
 #[test]
 fn affected_counts_are_meaningful() {
     let mut c = Connection::new();
-    c.execute("CREATE ARRAY m (x INT DIMENSION[0:1:10], v INT DEFAULT 0)").unwrap();
+    c.execute("CREATE ARRAY m (x INT DIMENSION[0:1:10], v INT DEFAULT 0)")
+        .unwrap();
     assert_eq!(
-        c.execute("UPDATE m SET v = 1 WHERE x < 4").unwrap().affected().unwrap(),
+        c.execute("UPDATE m SET v = 1 WHERE x < 4")
+            .unwrap()
+            .affected()
+            .unwrap(),
         4
     );
     assert_eq!(
-        c.execute("DELETE FROM m WHERE v = 1").unwrap().affected().unwrap(),
+        c.execute("DELETE FROM m WHERE v = 1")
+            .unwrap()
+            .affected()
+            .unwrap(),
         4
     );
     assert_eq!(
-        c.execute("INSERT INTO m VALUES (5, 9)").unwrap().affected().unwrap(),
+        c.execute("INSERT INTO m VALUES (5, 9)")
+            .unwrap()
+            .affected()
+            .unwrap(),
         1
+    );
+}
+
+#[test]
+fn parallel_session_matches_serial_and_reports_threads() {
+    use crate::SessionConfig;
+    // Force the parallel driver on by dropping the threshold to 1.
+    let par_cfg = SessionConfig {
+        threads: 4,
+        parallel_threshold: 1,
+    };
+    let sql_fill = "UPDATE matrix SET v = CASE WHEN x > y THEN x + y \
+                    WHEN x < y THEN x - y ELSE 0 END";
+    let queries = [
+        "SELECT COUNT(v) FROM matrix WHERE v > 2",
+        "SELECT x, SUM(v) FROM matrix GROUP BY x",
+        "SELECT MIN(v), MAX(v) FROM matrix",
+        "SELECT v + 1 FROM matrix WHERE x >= 3",
+    ];
+    let mut serial = Connection::with_config(SessionConfig::serial());
+    let mut par = Connection::with_config(par_cfg);
+    for c in [&mut serial, &mut par] {
+        c.execute(
+            "CREATE ARRAY matrix (x INT DIMENSION[0:1:32], \
+             y INT DIMENSION[0:1:32], v INT DEFAULT 0)",
+        )
+        .unwrap();
+        c.execute(sql_fill).unwrap();
+    }
+    let mut saw_parallel_instr = false;
+    for q in queries {
+        let a = serial.query(q).unwrap();
+        let b = par.query(q).unwrap();
+        let rows_a: Vec<_> = a.rows().collect();
+        let rows_b: Vec<_> = b.rows().collect();
+        assert_eq!(rows_a, rows_b, "parallel result differs for {q:?}");
+
+        let stats = par.last_exec().exec;
+        assert_eq!(
+            stats.per_instr_threads.len(),
+            stats.instructions,
+            "every instruction records its thread count"
+        );
+        if stats.par_instructions > 0 {
+            saw_parallel_instr = true;
+            assert!(stats.max_threads > 1);
+            assert!(stats
+                .per_instr_threads
+                .iter()
+                .any(|(_, threads)| *threads > 1));
+        }
+        // Serial session must never fan out.
+        let serial_stats = serial.last_exec().exec;
+        assert_eq!(serial_stats.par_instructions, 0);
+        assert_eq!(serial_stats.max_threads.max(1), 1);
+    }
+    assert!(
+        saw_parallel_instr,
+        "at least one query must dispatch through the parallel driver"
+    );
+}
+
+#[test]
+fn session_config_roundtrip() {
+    use crate::SessionConfig;
+    let mut c = Connection::new();
+    c.set_session_config(SessionConfig {
+        threads: 3,
+        parallel_threshold: 123,
+    });
+    assert_eq!(c.session_config().threads, 3);
+    assert_eq!(c.session_config().parallel_threshold, 123);
+    // threads are clamped to at least 1
+    c.set_session_config(SessionConfig {
+        threads: 0,
+        parallel_threshold: 1,
+    });
+    assert_eq!(c.session_config().threads, 1);
+}
+
+#[test]
+fn set_codegen_preserves_parallel_settings() {
+    use crate::SessionConfig;
+    use sciql_algebra::CodegenOptions;
+    let mut c = Connection::with_config(SessionConfig::serial());
+    c.set_codegen(CodegenOptions {
+        candidate_pushdown: false,
+        ..CodegenOptions::default()
+    });
+    assert_eq!(
+        c.session_config(),
+        SessionConfig::serial(),
+        "ablation switches must not silently re-enable parallelism"
     );
 }

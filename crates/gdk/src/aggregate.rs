@@ -90,9 +90,9 @@ pub fn grouped(func: AggFunc, vals: &Bat, groups: &Groups) -> Result<Bat> {
                     let mut seen = vec![false; ng];
                     for (i, &g) in groups.ids.iter().enumerate() {
                         if let Some(x) = vals.get(i).as_i64() {
-                            sums[g as usize] = sums[g as usize].checked_add(x).ok_or_else(
-                                || GdkError::arithmetic("SUM overflow"),
-                            )?;
+                            sums[g as usize] = sums[g as usize]
+                                .checked_add(x)
+                                .ok_or_else(|| GdkError::arithmetic("SUM overflow"))?;
                             seen[g as usize] = true;
                         }
                     }

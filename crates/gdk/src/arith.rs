@@ -145,47 +145,13 @@ pub fn scalar_binop(op: BinOp, a: &Value, b: &Value) -> Result<Value> {
         GdkError::type_mismatch(format!("cannot apply {} to {ta} and {tb}", op.symbol()))
     })?;
     match rt {
-        ScalarType::Dbl => {
-            let (x, y) = (a.as_f64().unwrap(), b.as_f64().unwrap());
-            let r = match op {
-                BinOp::Add => x + y,
-                BinOp::Sub => x - y,
-                BinOp::Mul => x * y,
-                BinOp::Div => {
-                    if y == 0.0 {
-                        return Err(GdkError::arithmetic("division by zero"));
-                    }
-                    x / y
-                }
-                BinOp::Mod => {
-                    if y == 0.0 {
-                        return Err(GdkError::arithmetic("modulo by zero"));
-                    }
-                    x % y
-                }
-            };
-            Ok(Value::Dbl(r))
-        }
+        ScalarType::Dbl => Ok(Value::Dbl(dbl_op(
+            op,
+            a.as_f64().unwrap(),
+            b.as_f64().unwrap(),
+        )?)),
         _ => {
-            let (x, y) = (a.as_i64().unwrap(), b.as_i64().unwrap());
-            let r = match op {
-                BinOp::Add => x.checked_add(y),
-                BinOp::Sub => x.checked_sub(y),
-                BinOp::Mul => x.checked_mul(y),
-                BinOp::Div => {
-                    if y == 0 {
-                        return Err(GdkError::arithmetic("division by zero"));
-                    }
-                    x.checked_div(y)
-                }
-                BinOp::Mod => {
-                    if y == 0 {
-                        return Err(GdkError::arithmetic("modulo by zero"));
-                    }
-                    x.checked_rem(y)
-                }
-            }
-            .ok_or_else(|| GdkError::arithmetic("integer overflow"))?;
+            let r = lng_op(op, a.as_i64().unwrap(), b.as_i64().unwrap())?;
             if rt == ScalarType::Int {
                 i32::try_from(r)
                     .map(Value::Int)
@@ -195,6 +161,52 @@ pub fn scalar_binop(op: BinOp, a: &Value, b: &Value) -> Result<Value> {
             }
         }
     }
+}
+
+/// The integral branch of [`scalar_binop`], shared with the parallel
+/// driver so serial and parallel lng arithmetic can never drift.
+#[inline]
+pub(crate) fn lng_op(op: BinOp, x: i64, y: i64) -> Result<i64> {
+    match op {
+        BinOp::Add => x.checked_add(y),
+        BinOp::Sub => x.checked_sub(y),
+        BinOp::Mul => x.checked_mul(y),
+        BinOp::Div => {
+            if y == 0 {
+                return Err(GdkError::arithmetic("division by zero"));
+            }
+            x.checked_div(y)
+        }
+        BinOp::Mod => {
+            if y == 0 {
+                return Err(GdkError::arithmetic("modulo by zero"));
+            }
+            x.checked_rem(y)
+        }
+    }
+    .ok_or_else(|| GdkError::arithmetic("integer overflow"))
+}
+
+/// The dbl branch of [`scalar_binop`], shared with the parallel driver.
+#[inline]
+pub(crate) fn dbl_op(op: BinOp, x: f64, y: f64) -> Result<f64> {
+    Ok(match op {
+        BinOp::Add => x + y,
+        BinOp::Sub => x - y,
+        BinOp::Mul => x * y,
+        BinOp::Div => {
+            if y == 0.0 {
+                return Err(GdkError::arithmetic("division by zero"));
+            }
+            x / y
+        }
+        BinOp::Mod => {
+            if y == 0.0 {
+                return Err(GdkError::arithmetic("modulo by zero"));
+            }
+            x % y
+        }
+    })
 }
 
 /// Element-wise binary arithmetic with broadcasting.
@@ -283,7 +295,7 @@ fn int_scalar_fast(op: BinOp, col: &[i32], s: i32, scalar_left: bool) -> Result<
 }
 
 #[inline]
-fn int_op(op: BinOp, x: i32, y: i32) -> Result<i32> {
+pub(crate) fn int_op(op: BinOp, x: i32, y: i32) -> Result<i32> {
     let r = match op {
         BinOp::Add => x.checked_add(y),
         BinOp::Sub => x.checked_sub(y),
@@ -339,7 +351,7 @@ pub fn cmpop(op: CmpOp, a: Operand<'_>, b: Operand<'_>) -> Result<Bat> {
 }
 
 #[inline]
-fn cmp_holds(op: CmpOp, ord: std::cmp::Ordering) -> bool {
+pub(crate) fn cmp_holds(op: CmpOp, ord: std::cmp::Ordering) -> bool {
     use std::cmp::Ordering::*;
     match op {
         CmpOp::Eq => ord == Equal,
@@ -524,9 +536,9 @@ pub fn cast_bat(a: &Bat, to: ScalarType) -> Result<Bat> {
     let mut out = Bat::with_capacity(to, a.len());
     for i in 0..a.len() {
         let v = a.get(i);
-        let c = v.cast(to).ok_or_else(|| {
-            GdkError::type_mismatch(format!("cannot cast {v} to {to}"))
-        })?;
+        let c = v
+            .cast(to)
+            .ok_or_else(|| GdkError::type_mismatch(format!("cannot cast {v} to {to}")))?;
         out.push(&c)?;
     }
     Ok(out)
@@ -539,11 +551,26 @@ mod tests {
     #[test]
     fn int_col_scalar_ops() {
         let a = Bat::from_ints(vec![1, 2, 3]);
-        let r = binop(BinOp::Add, Operand::Col(&a), Operand::Scalar(&Value::Int(10))).unwrap();
+        let r = binop(
+            BinOp::Add,
+            Operand::Col(&a),
+            Operand::Scalar(&Value::Int(10)),
+        )
+        .unwrap();
         assert_eq!(r.as_ints().unwrap(), &[11, 12, 13]);
-        let r = binop(BinOp::Sub, Operand::Scalar(&Value::Int(10)), Operand::Col(&a)).unwrap();
+        let r = binop(
+            BinOp::Sub,
+            Operand::Scalar(&Value::Int(10)),
+            Operand::Col(&a),
+        )
+        .unwrap();
         assert_eq!(r.as_ints().unwrap(), &[9, 8, 7]);
-        let r = binop(BinOp::Mod, Operand::Col(&a), Operand::Scalar(&Value::Int(2))).unwrap();
+        let r = binop(
+            BinOp::Mod,
+            Operand::Col(&a),
+            Operand::Scalar(&Value::Int(2)),
+        )
+        .unwrap();
         assert_eq!(r.as_ints().unwrap(), &[1, 0, 1]);
     }
 
@@ -552,34 +579,57 @@ mod tests {
         let a = Bat::from_opt_ints(vec![Some(4), None, Some(6)]);
         let b = Bat::from_ints(vec![2, 2, 2]);
         let r = binop(BinOp::Div, Operand::Col(&a), Operand::Col(&b)).unwrap();
-        assert_eq!(r.to_values(), vec![Value::Int(2), Value::Null, Value::Int(3)]);
+        assert_eq!(
+            r.to_values(),
+            vec![Value::Int(2), Value::Null, Value::Int(3)]
+        );
     }
 
     #[test]
     fn promotion_to_dbl() {
         let a = Bat::from_ints(vec![1, 3]);
-        let r = binop(BinOp::Div, Operand::Col(&a), Operand::Scalar(&Value::Dbl(2.0))).unwrap();
+        let r = binop(
+            BinOp::Div,
+            Operand::Col(&a),
+            Operand::Scalar(&Value::Dbl(2.0)),
+        )
+        .unwrap();
         assert_eq!(r.as_dbls().unwrap(), &[0.5, 1.5]);
     }
 
     #[test]
     fn int_division_truncates() {
         let a = Bat::from_ints(vec![7]);
-        let r = binop(BinOp::Div, Operand::Col(&a), Operand::Scalar(&Value::Int(2))).unwrap();
+        let r = binop(
+            BinOp::Div,
+            Operand::Col(&a),
+            Operand::Scalar(&Value::Int(2)),
+        )
+        .unwrap();
         assert_eq!(r.as_ints().unwrap(), &[3]);
     }
 
     #[test]
     fn division_by_zero_errors() {
         let a = Bat::from_ints(vec![1]);
-        assert!(binop(BinOp::Div, Operand::Col(&a), Operand::Scalar(&Value::Int(0))).is_err());
+        assert!(binop(
+            BinOp::Div,
+            Operand::Col(&a),
+            Operand::Scalar(&Value::Int(0))
+        )
+        .is_err());
         assert!(scalar_binop(BinOp::Mod, &Value::Dbl(1.0), &Value::Dbl(0.0)).is_err());
     }
 
     #[test]
     fn overflow_detected() {
         let a = Bat::from_ints(vec![i32::MAX]);
-        assert!(binop(BinOp::Add, Operand::Col(&a), Operand::Scalar(&Value::Int(1))).is_err());
+        assert!(binop(
+            BinOp::Add,
+            Operand::Col(&a),
+            Operand::Scalar(&Value::Int(1))
+        )
+        .is_err());
     }
 
     #[test]
@@ -687,7 +737,12 @@ mod tests {
     #[test]
     fn dense_operand() {
         let v = Bat::dense(0, 4); // oids 0..4 promote to lng
-        let r = binop(BinOp::Mul, Operand::Col(&v), Operand::Scalar(&Value::Int(3))).unwrap();
+        let r = binop(
+            BinOp::Mul,
+            Operand::Col(&v),
+            Operand::Scalar(&Value::Int(3)),
+        )
+        .unwrap();
         assert_eq!(r.tail_type(), ScalarType::Lng);
         assert_eq!(r.as_lngs().unwrap(), &[0, 3, 6, 9]);
     }

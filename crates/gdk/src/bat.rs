@@ -176,7 +176,10 @@ impl Bat {
         }
         // Dimension values that fit in `int` are stored as int, matching the
         // paper's `array.series(...) :bat[:oid,:int]` signature.
-        if out.iter().all(|&v| v > i32::MIN as i64 && v <= i32::MAX as i64) {
+        if out
+            .iter()
+            .all(|&v| v > i32::MIN as i64 && v <= i32::MAX as i64)
+        {
             Ok(Bat::from_ints(out.into_iter().map(|v| v as i32).collect()))
         } else {
             Ok(Bat::from_lngs(out))
@@ -235,6 +238,11 @@ impl Bat {
         &mut self.data
     }
 
+    /// Take ownership of the raw column data.
+    pub fn into_data(self) -> ColumnData {
+        self.data
+    }
+
     /// Is this a virtual (void) column?
     pub fn is_dense(&self) -> bool {
         matches!(self.data, ColumnData::Void { .. })
@@ -242,7 +250,11 @@ impl Bat {
 
     /// Value at position `i` (not oid — subtract `hseq` first if needed).
     pub fn get(&self, i: usize) -> Value {
-        debug_assert!(i < self.len(), "position {i} out of range (len {})", self.len());
+        debug_assert!(
+            i < self.len(),
+            "position {i} out of range (len {})",
+            self.len()
+        );
         match &self.data {
             ColumnData::Void { seq, .. } => Value::Oid(seq + i as Oid),
             ColumnData::Bit(v) => {
@@ -546,12 +558,10 @@ mod tests {
         b.set(1, &Value::Null).unwrap();
         assert_eq!(b.get(1), Value::Null);
         b.replace_all(&[0, 3], &Bat::from_ints(vec![9, 8])).unwrap();
-        assert_eq!(b.to_values(), vec![
-            Value::Int(9),
-            Value::Null,
-            Value::Int(3),
-            Value::Int(8)
-        ]);
+        assert_eq!(
+            b.to_values(),
+            vec![Value::Int(9), Value::Null, Value::Int(3), Value::Int(8)]
+        );
         assert!(b.replace_all(&[0], &Bat::from_ints(vec![1, 2])).is_err());
         assert!(b.set(99, &Value::Int(0)).is_err());
     }

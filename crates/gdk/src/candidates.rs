@@ -43,7 +43,10 @@ impl Candidates {
 
     /// From an already strictly-increasing vector.
     pub fn from_sorted(v: Vec<Oid>) -> Self {
-        debug_assert!(v.windows(2).all(|w| w[0] < w[1]), "candidates must be strictly increasing");
+        debug_assert!(
+            v.windows(2).all(|w| w[0] < w[1]),
+            "candidates must be strictly increasing"
+        );
         if !v.is_empty() && v[v.len() - 1] - v[0] == (v.len() - 1) as Oid {
             Candidates::Dense {
                 first: v[0],
@@ -86,7 +89,10 @@ impl Candidates {
 
     /// Iterate the candidate oids in order.
     pub fn iter(&self) -> CandIter<'_> {
-        CandIter { cands: self, pos: 0 }
+        CandIter {
+            cands: self,
+            pos: 0,
+        }
     }
 
     /// Intersection of two candidate lists (both sorted).
@@ -161,6 +167,20 @@ impl Candidates {
     /// Collect into a plain oid vector.
     pub fn to_vec(&self) -> Vec<Oid> {
         self.iter().collect()
+    }
+
+    /// The sub-list covering candidate *positions* `[range.start,
+    /// range.end)` (not oid values). Used by the parallel driver to hand
+    /// disjoint windows of one candidate list to worker threads.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Candidates {
+        debug_assert!(range.end <= self.len(), "candidate slice out of range");
+        match self {
+            Candidates::Dense { first, .. } => Candidates::Dense {
+                first: first + range.start as Oid,
+                len: range.len(),
+            },
+            Candidates::List(v) => Candidates::from_sorted(v[range].to_vec()),
+        }
     }
 }
 

@@ -25,8 +25,10 @@ pub mod bat;
 pub mod candidates;
 pub mod group;
 pub mod join;
+pub mod par;
 pub mod project;
 pub mod select;
+pub mod slice;
 pub mod sort;
 pub mod strheap;
 pub mod types;
@@ -34,6 +36,8 @@ pub mod value;
 
 pub use bat::{Bat, ColumnData};
 pub use candidates::Candidates;
+pub use par::ParConfig;
+pub use slice::BatSlice;
 pub use types::{Oid, ScalarType};
 pub use value::Value;
 

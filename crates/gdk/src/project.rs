@@ -113,24 +113,22 @@ fn fetch_positions(oids: &[Oid], b: &Bat) -> Result<Bat> {
         }
     }
     Ok(match b.data() {
-        ColumnData::Void { seq, .. } => {
-            Bat::from_oids(oids.iter().map(|&o| seq + o).collect())
-        }
-        ColumnData::Bit(v) => {
-            Bat::from_data(ColumnData::Bit(oids.iter().map(|&o| v[o as usize]).collect()))
-        }
-        ColumnData::Int(v) => {
-            Bat::from_data(ColumnData::Int(oids.iter().map(|&o| v[o as usize]).collect()))
-        }
-        ColumnData::Lng(v) => {
-            Bat::from_data(ColumnData::Lng(oids.iter().map(|&o| v[o as usize]).collect()))
-        }
-        ColumnData::Dbl(v) => {
-            Bat::from_data(ColumnData::Dbl(oids.iter().map(|&o| v[o as usize]).collect()))
-        }
-        ColumnData::Oid(v) => {
-            Bat::from_data(ColumnData::Oid(oids.iter().map(|&o| v[o as usize]).collect()))
-        }
+        ColumnData::Void { seq, .. } => Bat::from_oids(oids.iter().map(|&o| seq + o).collect()),
+        ColumnData::Bit(v) => Bat::from_data(ColumnData::Bit(
+            oids.iter().map(|&o| v[o as usize]).collect(),
+        )),
+        ColumnData::Int(v) => Bat::from_data(ColumnData::Int(
+            oids.iter().map(|&o| v[o as usize]).collect(),
+        )),
+        ColumnData::Lng(v) => Bat::from_data(ColumnData::Lng(
+            oids.iter().map(|&o| v[o as usize]).collect(),
+        )),
+        ColumnData::Dbl(v) => Bat::from_data(ColumnData::Dbl(
+            oids.iter().map(|&o| v[o as usize]).collect(),
+        )),
+        ColumnData::Oid(v) => Bat::from_data(ColumnData::Oid(
+            oids.iter().map(|&o| v[o as usize]).collect(),
+        )),
         ColumnData::Str { idx, heap } => Bat::from_data(ColumnData::Str {
             idx: oids.iter().map(|&o| idx[o as usize]).collect(),
             heap: heap.clone(),
@@ -220,7 +218,10 @@ mod tests {
     fn project_oids_unsorted_and_nil() {
         let b = Bat::from_ints(vec![10, 20, 30]);
         let o = Bat::from_oids(vec![2, 0, 2]);
-        assert_eq!(project_oids(&o, &b).unwrap().as_ints().unwrap(), &[30, 10, 30]);
+        assert_eq!(
+            project_oids(&o, &b).unwrap().as_ints().unwrap(),
+            &[30, 10, 30]
+        );
         let with_nil = Bat::from_oids(vec![1, OID_NIL]);
         let r = project_oids(&with_nil, &b).unwrap();
         assert_eq!(r.to_values(), vec![Value::Int(20), Value::Null]);

@@ -23,15 +23,22 @@ pub fn thetaselect(
         // Comparison with NULL is never true.
         return Ok(Candidates::none());
     }
-    let (lo, hi, li, hi_incl, anti) = match op {
+    let (lo, hi, li, hi_incl, anti) = theta_bounds(val, op);
+    rangeselect(b, cand, &lo, &hi, li, hi_incl, anti)
+}
+
+/// Lower a theta comparison to range-select bounds `(lo, hi, li,
+/// hi_incl, anti)`; shared with the parallel driver so the two paths
+/// cannot drift. The caller handles NULL comparison values.
+pub(crate) fn theta_bounds(val: &Value, op: CmpOp) -> (Value, Value, bool, bool, bool) {
+    match op {
         CmpOp::Eq => (val.clone(), val.clone(), true, true, false),
         CmpOp::Ne => (val.clone(), val.clone(), true, true, true),
         CmpOp::Lt => (Value::Null, val.clone(), true, false, false),
         CmpOp::Le => (Value::Null, val.clone(), true, true, false),
         CmpOp::Gt => (val.clone(), Value::Null, false, true, false),
         CmpOp::Ge => (val.clone(), Value::Null, true, true, false),
-    };
-    rangeselect(b, cand, &lo, &hi, li, hi_incl, anti)
+    }
 }
 
 /// Range-select: tuples whose tail lies in the interval between `lo` and
@@ -213,12 +220,16 @@ mod tests {
     fn theta_eq_ne() {
         let b = ints();
         assert_eq!(
-            thetaselect(&b, None, &Value::Int(5), CmpOp::Eq).unwrap().to_vec(),
+            thetaselect(&b, None, &Value::Int(5), CmpOp::Eq)
+                .unwrap()
+                .to_vec(),
             vec![0, 5]
         );
         // NE excludes nils too
         assert_eq!(
-            thetaselect(&b, None, &Value::Int(5), CmpOp::Ne).unwrap().to_vec(),
+            thetaselect(&b, None, &Value::Int(5), CmpOp::Ne)
+                .unwrap()
+                .to_vec(),
             vec![2, 3, 4]
         );
     }
@@ -227,11 +238,15 @@ mod tests {
     fn theta_ranges() {
         let b = ints();
         assert_eq!(
-            thetaselect(&b, None, &Value::Int(0), CmpOp::Gt).unwrap().to_vec(),
+            thetaselect(&b, None, &Value::Int(0), CmpOp::Gt)
+                .unwrap()
+                .to_vec(),
             vec![0, 3, 5]
         );
         assert_eq!(
-            thetaselect(&b, None, &Value::Int(0), CmpOp::Le).unwrap().to_vec(),
+            thetaselect(&b, None, &Value::Int(0), CmpOp::Le)
+                .unwrap()
+                .to_vec(),
             vec![2, 4]
         );
     }
@@ -241,8 +256,7 @@ mod tests {
         let b = ints();
         let c = rangeselect(&b, None, &Value::Int(0), &Value::Int(5), true, true, false).unwrap();
         assert_eq!(c.to_vec(), vec![0, 4, 5]);
-        let anti =
-            rangeselect(&b, None, &Value::Int(0), &Value::Int(5), true, true, true).unwrap();
+        let anti = rangeselect(&b, None, &Value::Int(0), &Value::Int(5), true, true, true).unwrap();
         assert_eq!(anti.to_vec(), vec![2, 3], "anti-select still drops nil");
     }
 
@@ -261,7 +275,9 @@ mod tests {
     #[test]
     fn null_comparison_empty() {
         let b = ints();
-        assert!(thetaselect(&b, None, &Value::Null, CmpOp::Eq).unwrap().is_empty());
+        assert!(thetaselect(&b, None, &Value::Null, CmpOp::Eq)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -37,7 +37,7 @@ fn sort_by_key(perm: &mut [usize], key: &SortKey<'_>) {
         let nil = crate::types::INT_NIL;
         perm.sort_by(|&a, &b| {
             let (va, vb) = (vals[a], vals[b]);
-            
+
             match (va == nil, vb == nil) {
                 (true, true) => std::cmp::Ordering::Equal,
                 (true, false) => {
@@ -68,7 +68,7 @@ fn sort_by_key(perm: &mut [usize], key: &SortKey<'_>) {
     }
     perm.sort_by(|&a, &b| {
         let (va, vb) = (key.bat.get(a), key.bat.get(b));
-        
+
         match (va.is_null(), vb.is_null()) {
             (true, true) => std::cmp::Ordering::Equal,
             (true, false) => {

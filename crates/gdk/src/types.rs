@@ -84,7 +84,11 @@ impl ScalarType {
             Dbl => 2,
             _ => unreachable!("non-numeric filtered above"),
         };
-        let w = if rank(self) >= rank(other) { self } else { other };
+        let w = if rank(self) >= rank(other) {
+            self
+        } else {
+            other
+        };
         Some(if w == OidT { Lng } else { w })
     }
 

@@ -1,6 +1,6 @@
 //! Boxed scalar values exchanged between the engine and the column kernel.
 
-use crate::types::{ScalarType, Oid};
+use crate::types::{Oid, ScalarType};
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -236,10 +236,7 @@ mod tests {
 
     #[test]
     fn cross_width_comparison() {
-        assert_eq!(
-            Value::Int(3).sql_cmp(&Value::Lng(3)),
-            Some(Ordering::Equal)
-        );
+        assert_eq!(Value::Int(3).sql_cmp(&Value::Lng(3)), Some(Ordering::Equal));
         assert_eq!(
             Value::Dbl(2.5).sql_cmp(&Value::Int(3)),
             Some(Ordering::Less)

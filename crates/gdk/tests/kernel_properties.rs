@@ -176,3 +176,348 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Differential tests: every parallelized kernel family must produce
+// bit-identical results to the serial path, across thread counts and on
+// nil-heavy, empty and void-headed inputs.
+// ---------------------------------------------------------------------
+
+use gdk::aggregate::AggFunc;
+use gdk::par::{self, ParConfig};
+
+/// Thread counts the differential suite sweeps (1 = the parallel driver's
+/// own serial path).
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn forced(threads: usize) -> ParConfig {
+    ParConfig {
+        threads,
+        parallel_threshold: 1,
+    }
+}
+
+/// Nil-heavy columns: ~60% nils.
+fn nil_heavy_ints(max_len: usize) -> impl Strategy<Value = Vec<Option<i32>>> {
+    proptest::collection::vec(proptest::option::weighted(0.4, -1000i32..1000), 0..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// select: parallel thetaselect ≡ serial on int data for every
+    /// comparison operator and thread count.
+    #[test]
+    fn par_select_matches_serial(data in nil_heavy_ints(300), needle in -1000i32..1000) {
+        let b = Bat::from_opt_ints(data);
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            let serial = select::thetaselect(&b, None, &Value::Int(needle), op).unwrap();
+            for t in THREAD_COUNTS {
+                let (got, _) =
+                    par::thetaselect(&b, None, &Value::Int(needle), op, &forced(t)).unwrap();
+                prop_assert_eq!(&got, &serial, "op {:?} threads {}", op, t);
+            }
+        }
+    }
+
+    /// select with an incoming candidate list chunked across threads.
+    #[test]
+    fn par_select_with_candidates(data in opt_ints(300), lo in -1000i32..0, width in 0i32..900) {
+        let b = Bat::from_opt_ints(data.clone());
+        let cand = Candidates::from_sorted(
+            (0..data.len() as u64).filter(|i| i % 3 != 1).collect(),
+        );
+        let hi = lo.saturating_add(width);
+        let serial = select::rangeselect(
+            &b, Some(&cand), &Value::Int(lo), &Value::Int(hi), true, false, false,
+        )
+        .unwrap();
+        for t in THREAD_COUNTS {
+            let (got, _) = par::rangeselect(
+                &b, Some(&cand), &Value::Int(lo), &Value::Int(hi), true, false, false,
+                &forced(t),
+            )
+            .unwrap();
+            prop_assert_eq!(&got, &serial, "threads {}", t);
+        }
+    }
+
+    /// project: parallel candidate projection ≡ serial, including string
+    /// dictionaries and void-headed inputs.
+    #[test]
+    fn par_project_matches_serial(data in opt_ints(300)) {
+        let ints = Bat::from_opt_ints(data.clone());
+        let strs = Bat::from_strs(
+            data.iter()
+                .map(|v| v.map(|x| format!("k{}", x % 13)))
+                .collect(),
+        );
+        let void = Bat::dense(7, data.len());
+        let cand = Candidates::from_sorted(
+            (0..data.len() as u64).filter(|i| i % 2 == 0).collect(),
+        );
+        for b in [&ints, &strs, &void] {
+            let serial = project::project(&cand, b).unwrap();
+            for t in THREAD_COUNTS {
+                let (got, _) = par::project(&cand, b, &forced(t)).unwrap();
+                prop_assert_eq!(got.to_values(), serial.to_values(), "threads {}", t);
+            }
+        }
+    }
+
+    /// arith: parallel binop/cmpop ≡ serial for col×scalar and col×col
+    /// int shapes with nils.
+    #[test]
+    fn par_arith_matches_serial(
+        data in nil_heavy_ints(300),
+        other in -500i32..500,
+    ) {
+        let a = Bat::from_opt_ints(data.clone());
+        let b = Bat::from_opt_ints(data.iter().rev().cloned().collect());
+        for op in [BinOp::Add, BinOp::Sub, BinOp::Mul] {
+            let serial = arith::binop(op, Operand::Col(&a), Operand::Scalar(&Value::Int(other)))
+                .unwrap();
+            for t in THREAD_COUNTS {
+                let (got, _) = par::binop(
+                    op,
+                    Operand::Col(&a),
+                    Operand::Scalar(&Value::Int(other)),
+                    &forced(t),
+                )
+                .unwrap();
+                prop_assert_eq!(got.to_values(), serial.to_values(), "{:?} threads {}", op, t);
+            }
+            let serial = arith::binop(op, Operand::Col(&a), Operand::Col(&b)).unwrap();
+            for t in THREAD_COUNTS {
+                let (got, _) =
+                    par::binop(op, Operand::Col(&a), Operand::Col(&b), &forced(t)).unwrap();
+                prop_assert_eq!(got.to_values(), serial.to_values(), "{:?} threads {}", op, t);
+            }
+        }
+        for op in [CmpOp::Lt, CmpOp::Ge, CmpOp::Eq] {
+            let serial = arith::cmpop(op, Operand::Col(&a), Operand::Scalar(&Value::Int(other)))
+                .unwrap();
+            for t in THREAD_COUNTS {
+                let (got, _) = par::cmpop(
+                    op,
+                    Operand::Col(&a),
+                    Operand::Scalar(&Value::Int(other)),
+                    &forced(t),
+                )
+                .unwrap();
+                prop_assert_eq!(got.to_values(), serial.to_values(), "{:?} threads {}", op, t);
+            }
+        }
+    }
+
+    /// dbl arithmetic: nil (NaN) propagation must match serial bit-for-bit.
+    #[test]
+    fn par_dbl_arith_matches_serial(data in proptest::collection::vec(
+        proptest::option::weighted(0.7, -100i32..100), 0..200,
+    )) {
+        let a = Bat::from_opt_dbls(
+            data.iter().map(|v| v.map(|x| x as f64 / 4.0)).collect(),
+        );
+        let serial = arith::binop(
+            BinOp::Mul, Operand::Col(&a), Operand::Scalar(&Value::Dbl(1.5)),
+        )
+        .unwrap();
+        for t in THREAD_COUNTS {
+            let (got, _) = par::binop(
+                BinOp::Mul, Operand::Col(&a), Operand::Scalar(&Value::Dbl(1.5)), &forced(t),
+            )
+            .unwrap();
+            prop_assert_eq!(got.to_values(), serial.to_values(), "threads {}", t);
+        }
+    }
+
+    /// group: parallel two-phase grouping produces the exact serial ids,
+    /// extents and group count — including refinement of a previous
+    /// grouping (multi-column GROUP BY).
+    #[test]
+    fn par_group_matches_serial(data in nil_heavy_ints(300), modulo in 1i32..8) {
+        let b = Bat::from_opt_ints(data.clone());
+        let serial = group::group_by(&b, None, None).unwrap();
+        for t in THREAD_COUNTS {
+            let (got, _) = par::group_by(&b, None, None, &forced(t)).unwrap();
+            prop_assert_eq!(&got, &serial, "threads {}", t);
+        }
+        // Refinement: group a second column under the first grouping.
+        let second = Bat::from_ints((0..data.len() as i32).map(|i| i % modulo).collect());
+        let refined_serial = group::group_by(&second, None, Some(&serial)).unwrap();
+        for t in THREAD_COUNTS {
+            let (got, _) = par::group_by(&second, None, Some(&serial), &forced(t)).unwrap();
+            prop_assert_eq!(&got, &refined_serial, "refined threads {}", t);
+        }
+    }
+
+    /// aggregate: COUNT / SUM / MIN / MAX grouped and scalar parallel
+    /// paths ≡ serial (AVG is serial by design and must still agree).
+    #[test]
+    fn par_aggregate_matches_serial(data in nil_heavy_ints(300), modulo in 1i32..8) {
+        let vals = Bat::from_opt_ints(data.clone());
+        let keys = Bat::from_ints((0..data.len() as i32).map(|i| i % modulo).collect());
+        let g = group::group_by(&keys, None, None).unwrap();
+        for func in [AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Avg] {
+            let serial = aggregate::grouped(func, &vals, &g).unwrap();
+            for t in THREAD_COUNTS {
+                let (got, _) = par::grouped(func, &vals, &g, &forced(t)).unwrap();
+                prop_assert_eq!(
+                    got.to_values(), serial.to_values(), "{:?} threads {}", func, t
+                );
+            }
+            let serial_scalar = aggregate::scalar(func, &vals).unwrap();
+            for t in THREAD_COUNTS {
+                let (got, _) = par::scalar(func, &vals, &forced(t)).unwrap();
+                prop_assert_eq!(&got, &serial_scalar, "{:?} threads {}", func, t);
+            }
+        }
+    }
+}
+
+/// Fixed edge cases the random sweeps may miss: empty inputs, all-nil
+/// columns, and void-headed (virtual oid) BATs through every family.
+#[test]
+fn par_edge_cases_match_serial() {
+    let empty = Bat::from_ints(vec![]);
+    let all_nil = Bat::from_opt_ints(vec![None; 64]);
+    let void = Bat::dense(5, 64);
+    for t in THREAD_COUNTS {
+        let cfg = forced(t);
+        for b in [&empty, &all_nil, &void] {
+            // select
+            let serial = select::thetaselect(b, None, &Value::Lng(10), CmpOp::Ge).unwrap();
+            let (got, _) = par::thetaselect(b, None, &Value::Lng(10), CmpOp::Ge, &cfg).unwrap();
+            assert_eq!(got, serial, "select threads {t}");
+            // project
+            let cand = Candidates::from_sorted((0..b.len() as u64).collect());
+            let serial = project::project(&cand, b).unwrap();
+            let (got, _) = par::project(&cand, b, &cfg).unwrap();
+            assert_eq!(got.to_values(), serial.to_values(), "project threads {t}");
+            // group
+            let serial = group::group_by(b, None, None).unwrap();
+            let (got, _) = par::group_by(b, None, None, &cfg).unwrap();
+            assert_eq!(got, serial, "group threads {t}");
+            // aggregate (scalar over the whole column)
+            for func in [AggFunc::Count, AggFunc::Min, AggFunc::Max] {
+                let serial = aggregate::scalar(func, b).unwrap();
+                let (got, _) = par::scalar(func, b, &cfg).unwrap();
+                assert_eq!(got, serial, "{func:?} threads {t}");
+            }
+        }
+        // arith on the all-nil column (empty handled by zero-length fill)
+        for b in [&empty, &all_nil] {
+            let serial =
+                arith::binop(BinOp::Add, Operand::Col(b), Operand::Scalar(&Value::Int(1))).unwrap();
+            let (got, _) = par::binop(
+                BinOp::Add,
+                Operand::Col(b),
+                Operand::Scalar(&Value::Int(1)),
+                &cfg,
+            )
+            .unwrap();
+            assert_eq!(got.to_values(), serial.to_values(), "arith threads {t}");
+        }
+    }
+}
+
+/// Scalar nil-sentinel asymmetry: the serial int-column × int-scalar
+/// fast path treats `INT_NIL` as nil on both sides, while the generic
+/// path compares scalar sentinels (`Value::Int(INT_NIL)`,
+/// `Value::Lng(i64::MIN)`) numerically. The parallel driver must
+/// reproduce both behaviours exactly.
+#[test]
+fn par_cmp_scalar_sentinels_match_serial() {
+    use gdk::types::{INT_NIL, LNG_NIL};
+    let int_col = Bat::from_opt_ints((0..200).map(|i| (i % 5 != 0).then_some(i - 100)).collect());
+    let lng_col = Bat::from_lngs((0..200).map(|i| i as i64 - 100).collect());
+    let cases: [(&Bat, Value); 4] = [
+        (&int_col, Value::Int(INT_NIL)), // fast path: all-nil mask
+        (&lng_col, Value::Int(INT_NIL)), // generic: numeric -2^31
+        (&lng_col, Value::Lng(LNG_NIL)), // generic: numeric -2^63
+        (&int_col, Value::Lng(LNG_NIL)),
+    ];
+    for (col, scalar) in &cases {
+        for op in [CmpOp::Gt, CmpOp::Eq, CmpOp::Le] {
+            let serial = arith::cmpop(op, Operand::Col(col), Operand::Scalar(scalar)).unwrap();
+            for t in THREAD_COUNTS {
+                let (got, _) =
+                    par::cmpop(op, Operand::Col(col), Operand::Scalar(scalar), &forced(t)).unwrap();
+                assert_eq!(
+                    got.to_values(),
+                    serial.to_values(),
+                    "{scalar:?} {op:?} threads {t}"
+                );
+            }
+            // Scalar on the left exercises the generic path either way.
+            let serial = arith::cmpop(op, Operand::Scalar(scalar), Operand::Col(col)).unwrap();
+            for t in THREAD_COUNTS {
+                let (got, _) =
+                    par::cmpop(op, Operand::Scalar(scalar), Operand::Col(col), &forced(t)).unwrap();
+                assert_eq!(
+                    got.to_values(),
+                    serial.to_values(),
+                    "left {scalar:?} {op:?} threads {t}"
+                );
+            }
+        }
+    }
+}
+
+/// Serial SUM detects overflow on the *running prefix*, not the final
+/// total; the parallel merge must reproduce that via per-window prefix
+/// extrema. And a NaN scalar divisor flows into the kernel (it is not
+/// SQL NULL), so division-by-zero errors must not be masked.
+#[test]
+fn par_sum_prefix_overflow_and_nan_scalar_match_serial() {
+    // [MAX, 1, -2]: prefix overflows at the second element even though
+    // the total fits in i64.
+    let vals = Bat::from_lngs(vec![i64::MAX, 1, -2]);
+    let serial = aggregate::scalar(AggFunc::Sum, &vals).unwrap_err();
+    for t in THREAD_COUNTS {
+        let par_err = par::scalar(AggFunc::Sum, &vals, &forced(t)).unwrap_err();
+        assert_eq!(par_err, serial, "threads {t}");
+    }
+    let keys = Bat::from_ints(vec![0, 0, 0]);
+    let g = group::group_by(&keys, None, None).unwrap();
+    let serial = aggregate::grouped(AggFunc::Sum, &vals, &g).unwrap_err();
+    for t in THREAD_COUNTS {
+        let par_err = par::grouped(AggFunc::Sum, &vals, &g, &forced(t)).unwrap_err();
+        assert_eq!(par_err, serial, "grouped threads {t}");
+    }
+    // A total that fits and whose prefixes all fit must still succeed.
+    let ok_vals = Bat::from_lngs(vec![i64::MAX - 10, 5, -7]);
+    let serial = aggregate::scalar(AggFunc::Sum, &ok_vals).unwrap();
+    for t in THREAD_COUNTS {
+        let (got, _) = par::scalar(AggFunc::Sum, &ok_vals, &forced(t)).unwrap();
+        assert_eq!(got, serial, "ok threads {t}");
+    }
+
+    // NaN scalar ÷ column containing 0.0: serial raises division by
+    // zero (scalar NaN is a number, and the divisor is the column).
+    let col = Bat::from_dbls(vec![1.0, 0.0, 2.0]);
+    let nan = Value::Dbl(f64::NAN);
+    let serial = arith::binop(BinOp::Div, Operand::Scalar(&nan), Operand::Col(&col)).unwrap_err();
+    for t in THREAD_COUNTS {
+        let par_err = par::binop(
+            BinOp::Div,
+            Operand::Scalar(&nan),
+            Operand::Col(&col),
+            &forced(t),
+        )
+        .unwrap_err();
+        assert_eq!(par_err, serial, "nan-div threads {t}");
+    }
+    // NaN scalar through a non-erroring op: NaN result, same as serial.
+    let serial = arith::binop(BinOp::Add, Operand::Col(&col), Operand::Scalar(&nan)).unwrap();
+    for t in THREAD_COUNTS {
+        let (got, _) = par::binop(
+            BinOp::Add,
+            Operand::Col(&col),
+            Operand::Scalar(&nan),
+            &forced(t),
+        )
+        .unwrap();
+        assert_eq!(got.to_values(), serial.to_values(), "nan-add threads {t}");
+    }
+}

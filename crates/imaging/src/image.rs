@@ -90,8 +90,7 @@ impl GreyImage {
 
     /// Iterate `(x, y, v)` triples in cell order.
     pub fn iter_pixels(&self) -> impl Iterator<Item = (usize, usize, i32)> + '_ {
-        (0..self.width)
-            .flat_map(move |x| (0..self.height).map(move |y| (x, y, self.get(x, y))))
+        (0..self.width).flat_map(move |x| (0..self.height).map(move |y| (x, y, self.get(x, y))))
     }
 }
 

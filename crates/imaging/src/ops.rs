@@ -70,9 +70,7 @@ pub fn reduce(img: &GreyImage) -> GreyImage {
 /// Rotate 90° clockwise: `out(x, y) = in(y, H_in − 1 − x)` with
 /// `out` sized `height × width`.
 pub fn rotate90(img: &GreyImage) -> GreyImage {
-    GreyImage::from_fn(img.height, img.width, |x, y| {
-        img.get(y, img.height - 1 - x)
-    })
+    GreyImage::from_fn(img.height, img.width, |x, y| img.get(y, img.height - 1 - x))
 }
 
 /// Zoom-in = slab selection `[x0, x1) × [y0, y1)` (the demo's "selecting

@@ -27,6 +27,14 @@ impl SciqlImages {
         }
     }
 
+    /// Fresh session with an explicit execution configuration (thread
+    /// count and parallel threshold).
+    pub fn with_config(cfg: sciql::SessionConfig) -> Self {
+        SciqlImages {
+            conn: Connection::with_config(cfg),
+        }
+    }
+
     /// Borrow the connection.
     pub fn connection(&mut self) -> &mut Connection {
         &mut self.conn
@@ -151,11 +159,7 @@ impl SciqlImages {
 
     /// Areas of interest via a bit-mask array: the join between the image
     /// array and the mask array (recognised as a hash join on `x, y`).
-    pub fn mask_select(
-        &mut self,
-        name: &str,
-        mask: &str,
-    ) -> Result<Vec<(usize, usize, i32)>> {
+    pub fn mask_select(&mut self, name: &str, mask: &str) -> Result<Vec<(usize, usize, i32)>> {
         let rs = self.conn.query(&format!(
             "SELECT a.x AS px, a.y AS py, a.v AS pv FROM {name} a, {mask} m \
              WHERE a.x = m.x AND a.y = m.y AND m.v = 1 \
@@ -283,11 +287,7 @@ mod tests {
         // Dilation dominates erosion pointwise.
         let e = ops::erode(&img);
         let d = ops::dilate(&img);
-        assert!(e
-            .pixels
-            .iter()
-            .zip(&d.pixels)
-            .all(|(a, b)| a <= b));
+        assert!(e.pixels.iter().zip(&d.pixels).all(|(a, b)| a <= b));
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub fn building(width: usize, height: usize, seed: u64) -> GreyImage {
     }
     // Mild sensor noise.
     for p in &mut img.pixels {
-        *p = (*p + rng.gen_range(-3..=3)).clamp(0, 255);
+        *p = (*p + rng.gen_range(-3i32..=3)).clamp(0, 255);
     }
     img
 }
@@ -107,7 +107,10 @@ mod tests {
                 }
             }
         }
-        assert!(steps > 100, "facade should have many sharp edges, got {steps}");
+        assert!(
+            steps > 100,
+            "facade should have many sharp edges, got {steps}"
+        );
     }
 
     #[test]

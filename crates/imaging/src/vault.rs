@@ -15,8 +15,14 @@ use sciql_catalog::DimSpec;
 /// Load an image into the session as array `name`.
 pub fn load_image(conn: &mut Connection, name: &str, img: &GreyImage) -> Result<()> {
     let dims = [
-        ("x", DimSpec::new(0, 1, img.width as i64).map_err(EngineError::Catalog)?),
-        ("y", DimSpec::new(0, 1, img.height as i64).map_err(EngineError::Catalog)?),
+        (
+            "x",
+            DimSpec::new(0, 1, img.width as i64).map_err(EngineError::Catalog)?,
+        ),
+        (
+            "y",
+            DimSpec::new(0, 1, img.height as i64).map_err(EngineError::Catalog)?,
+        ),
     ];
     // Pixel order is x-major, identical to the array's row-major cell
     // order, so the pixel vector *is* the attribute BAT.
@@ -95,9 +101,7 @@ mod tests {
         let img = GreyImage::from_fn(3, 3, |x, y| (x + y) as i32);
         let mut conn = Connection::new();
         load_image(&mut conn, "img", &img).unwrap();
-        let view = conn
-            .query_array("SELECT [x], [y], v FROM img")
-            .unwrap();
+        let view = conn.query_array("SELECT [x], [y], v FROM img").unwrap();
         assert_eq!(view_to_image(&view).unwrap(), img);
     }
 }

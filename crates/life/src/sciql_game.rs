@@ -46,9 +46,8 @@ impl SciqlLife {
     /// Rule "initialise the game with living cells".
     pub fn set_alive(&mut self, cells: &[(usize, usize)]) -> Result<()> {
         for &(x, y) in cells {
-            self.conn.execute(&format!(
-                "INSERT INTO life VALUES ({x}, {y}, 1)"
-            ))?;
+            self.conn
+                .execute(&format!("INSERT INTO life VALUES ({x}, {y}, 1)"))?;
         }
         Ok(())
     }
@@ -126,9 +125,7 @@ impl SciqlLife {
 
     /// Read the whole board back out of the array.
     pub fn board(&mut self) -> Result<Board> {
-        let rs = self
-            .conn
-            .query("SELECT x, y, v FROM life WHERE v = 1")?;
+        let rs = self.conn.query("SELECT x, y, v FROM life WHERE v = 1")?;
         let mut b = Board::new(self.width, self.height);
         for row in rs.rows() {
             let x = row[0].as_i64().unwrap_or(0) as usize;
@@ -153,7 +150,11 @@ mod tests {
         assert_eq!(game.population().unwrap(), 3);
         game.step().unwrap();
         let b = game.board().unwrap();
-        assert!(b.get(1, 2) && b.get(2, 2) && b.get(3, 2), "\n{}", b.render());
+        assert!(
+            b.get(1, 2) && b.get(2, 2) && b.get(3, 2),
+            "\n{}",
+            b.render()
+        );
         assert!(!b.get(2, 1) && !b.get(2, 3));
     }
 

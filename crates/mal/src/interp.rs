@@ -3,13 +3,18 @@
 //! Executes a [`Program`] instruction by instruction against the primitive
 //! [`Registry`]. Stored BATs enter a program through `sql.bind` instructions
 //! resolved by a caller-provided [`Binder`] (the engine's catalog adapter).
+//!
+//! Shared values are `Arc`-counted so BAT-level instructions marked
+//! parallel-safe by the code generator can fan out across the slice
+//! drivers in [`gdk::par`] without copying columns; [`ExecStats`] records
+//! the worker-thread count of every executed instruction.
 
 use crate::ir::{Arg, Instr, Program, VarId};
-use crate::registry::Registry;
+use crate::registry::{ExecCtx, Registry};
 use crate::{MalError, Result};
 use gdk::group::Groups;
-use gdk::{Bat, Candidates, Value};
-use std::rc::Rc;
+use gdk::{Bat, Candidates, ParConfig, Value};
+use std::sync::Arc;
 
 /// A runtime MAL value.
 #[derive(Debug, Clone)]
@@ -17,42 +22,45 @@ pub enum MalValue {
     /// Scalar.
     Scalar(Value),
     /// BAT (shared; operators never mutate their inputs).
-    Bat(Rc<Bat>),
+    Bat(Arc<Bat>),
     /// Candidate list.
-    Cand(Rc<Candidates>),
+    Cand(Arc<Candidates>),
     /// Grouping descriptor.
-    Grp(Rc<Groups>),
+    Grp(Arc<Groups>),
 }
 
 impl MalValue {
     /// Wrap a BAT.
     pub fn bat(b: Bat) -> Self {
-        MalValue::Bat(Rc::new(b))
+        MalValue::Bat(Arc::new(b))
     }
     /// Wrap a candidate list.
     pub fn cand(c: Candidates) -> Self {
-        MalValue::Cand(Rc::new(c))
+        MalValue::Cand(Arc::new(c))
     }
     /// Wrap a grouping.
     pub fn grp(g: Groups) -> Self {
-        MalValue::Grp(Rc::new(g))
+        MalValue::Grp(Arc::new(g))
     }
     /// Expect a scalar.
     pub fn as_scalar(&self) -> Result<&Value> {
         match self {
             MalValue::Scalar(v) => Ok(v),
-            other => Err(MalError::msg(format!("expected scalar, got {}", other.kind()))),
+            other => Err(MalError::msg(format!(
+                "expected scalar, got {}",
+                other.kind()
+            ))),
         }
     }
     /// Expect a BAT.
-    pub fn as_bat(&self) -> Result<&Rc<Bat>> {
+    pub fn as_bat(&self) -> Result<&Arc<Bat>> {
         match self {
             MalValue::Bat(b) => Ok(b),
             other => Err(MalError::msg(format!("expected BAT, got {}", other.kind()))),
         }
     }
     /// Expect a candidate list.
-    pub fn as_cand(&self) -> Result<&Rc<Candidates>> {
+    pub fn as_cand(&self) -> Result<&Arc<Candidates>> {
         match self {
             MalValue::Cand(c) => Ok(c),
             other => Err(MalError::msg(format!(
@@ -62,10 +70,13 @@ impl MalValue {
         }
     }
     /// Expect a grouping.
-    pub fn as_grp(&self) -> Result<&Rc<Groups>> {
+    pub fn as_grp(&self) -> Result<&Arc<Groups>> {
         match self {
             MalValue::Grp(g) => Ok(g),
-            other => Err(MalError::msg(format!("expected groups, got {}", other.kind()))),
+            other => Err(MalError::msg(format!(
+                "expected groups, got {}",
+                other.kind()
+            ))),
         }
     }
     /// Human-readable kind tag.
@@ -96,25 +107,45 @@ impl Binder for EmptyBinder {
     }
 }
 
-/// Execution statistics (used by the optimizer-ablation experiment).
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+/// Execution statistics (used by the optimizer-ablation experiment and
+/// the parallelism benchmarks).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct ExecStats {
     /// Instructions executed.
     pub instructions: usize,
     /// Total tuples produced into result BATs (rough work measure).
     pub tuples_produced: usize,
+    /// Instructions that actually ran with more than one worker thread.
+    pub par_instructions: usize,
+    /// Largest worker-thread count any instruction used.
+    pub max_threads: usize,
+    /// Per executed instruction: qualified primitive name and the number
+    /// of worker threads its kernel used (1 = serial).
+    pub per_instr_threads: Vec<(String, usize)>,
 }
 
 /// The interpreter.
 pub struct Interpreter<'a> {
     registry: &'a Registry,
     binder: &'a dyn Binder,
+    par: ParConfig,
 }
 
 impl<'a> Interpreter<'a> {
-    /// New interpreter over a primitive registry and a storage binder.
+    /// New serial interpreter over a primitive registry and a storage
+    /// binder.
     pub fn new(registry: &'a Registry, binder: &'a dyn Binder) -> Self {
-        Interpreter { registry, binder }
+        Self::with_config(registry, binder, ParConfig::serial())
+    }
+
+    /// Interpreter that dispatches parallel-safe BAT instructions through
+    /// the [`gdk::par`] slice driver with the given configuration.
+    pub fn with_config(registry: &'a Registry, binder: &'a dyn Binder, par: ParConfig) -> Self {
+        Interpreter {
+            registry,
+            binder,
+            par,
+        }
     }
 
     /// Run the program, returning its labelled result columns.
@@ -123,15 +154,17 @@ impl<'a> Interpreter<'a> {
     }
 
     /// Run the program and report execution statistics.
-    pub fn run_with_stats(
-        &self,
-        prog: &Program,
-    ) -> Result<(Vec<(String, MalValue)>, ExecStats)> {
+    pub fn run_with_stats(&self, prog: &Program) -> Result<(Vec<(String, MalValue)>, ExecStats)> {
         let mut env: Vec<Option<MalValue>> = vec![None; prog.vars.len()];
         let mut stats = ExecStats::default();
         for ins in &prog.instrs {
-            let outs = self.exec_instr(prog, ins, &env)?;
+            let (outs, threads) = self.exec_instr(prog, ins, &env)?;
             stats.instructions += 1;
+            stats.max_threads = stats.max_threads.max(threads);
+            if threads > 1 {
+                stats.par_instructions += 1;
+            }
+            stats.per_instr_threads.push((ins.qualified(), threads));
             if outs.len() != ins.results.len() {
                 return Err(MalError::msg(format!(
                     "{} returned {} results, expected {}",
@@ -162,7 +195,7 @@ impl<'a> Interpreter<'a> {
         prog: &Program,
         ins: &Instr,
         env: &[Option<MalValue>],
-    ) -> Result<Vec<MalValue>> {
+    ) -> Result<(Vec<MalValue>, usize)> {
         let mut args: Vec<MalValue> = Vec::with_capacity(ins.args.len());
         for a in &ins.args {
             match a {
@@ -191,12 +224,19 @@ impl<'a> Interpreter<'a> {
             let (Value::Str(obj), Value::Str(col)) = (obj, col) else {
                 return Err(MalError::msg("sql.bind arguments must be strings"));
             };
-            return Ok(vec![self.binder.bind(&obj, &col)?]);
+            return Ok((vec![self.binder.bind(&obj, &col)?], 1));
         }
         let prim = self.registry.lookup(&ins.module, &ins.function)?;
-        prim(&args).map_err(|e| {
-            MalError::msg(format!("{}: {e}", ins.qualified()))
-        })
+        // Only instructions the code generator marked parallel-safe see
+        // the parallel configuration; everything else runs serially.
+        let ctx = if ins.parallel_ok {
+            ExecCtx::new(self.par)
+        } else {
+            ExecCtx::serial()
+        };
+        let outs =
+            prim(&args, &ctx).map_err(|e| MalError::msg(format!("{}: {e}", ins.qualified())))?;
+        Ok((outs, ctx.threads_used()))
     }
 }
 
@@ -290,7 +330,12 @@ mod tests {
             vec![Arg::Var(a), Arg::Const(Value::Int(0))],
             MalType::Bat(ScalarType::Int),
         );
-        let s = p.emit("aggr", "sum", vec![Arg::Var(d)], MalType::Scalar(ScalarType::Lng));
+        let s = p.emit(
+            "aggr",
+            "sum",
+            vec![Arg::Var(d)],
+            MalType::Scalar(ScalarType::Lng),
+        );
         p.add_result("total", s);
         let r = reg();
         let interp = Interpreter::new(&r, &EmptyBinder);
@@ -343,7 +388,12 @@ mod tests {
             vec![Arg::Const(Value::Lng(0)), Arg::Const(Value::Lng(3))],
             MalType::Cand,
         );
-        let s = p.emit("aggr", "sum", vec![Arg::Var(c)], MalType::Scalar(ScalarType::Lng));
+        let s = p.emit(
+            "aggr",
+            "sum",
+            vec![Arg::Var(c)],
+            MalType::Scalar(ScalarType::Lng),
+        );
         p.add_result("s", s);
         let r = reg();
         let interp = Interpreter::new(&r, &EmptyBinder);

@@ -68,6 +68,11 @@ pub struct Instr {
     pub function: String,
     /// Arguments.
     pub args: Vec<Arg>,
+    /// May the interpreter run this instruction through the parallel
+    /// slice driver? Set at emission time (i.e. by the code generator)
+    /// from [`parallel_safe`]; the interpreter hands instructions without
+    /// the mark a serial execution context.
+    pub parallel_ok: bool,
 }
 
 impl Instr {
@@ -75,6 +80,25 @@ impl Instr {
     pub fn qualified(&self) -> String {
         format!("{}.{}", self.module, self.function)
     }
+}
+
+/// Is this primitive a pure BAT-level kernel with a slice-parallel
+/// implementation behind it? (Eligibility only — the kernel still falls
+/// back to serial for unsupported shapes or short inputs.)
+pub fn parallel_safe(module: &str, function: &str) -> bool {
+    matches!(
+        (module, function),
+        ("algebra", "thetaselect" | "select" | "projection")
+            | (
+                "batcalc",
+                "add" | "sub" | "mul" | "div" | "mod" | "eq" | "ne" | "lt" | "le" | "gt" | "ge"
+            )
+            | ("group", "group" | "subgroup")
+            | (
+                "aggr",
+                "subsum" | "subcount" | "submin" | "submax" | "sum" | "count" | "min" | "max"
+            )
+    )
 }
 
 /// A complete MAL program.
@@ -122,19 +146,14 @@ impl Program {
 
     /// Append an instruction producing one result of type `ty`; returns the
     /// result variable.
-    pub fn emit(
-        &mut self,
-        module: &str,
-        function: &str,
-        args: Vec<Arg>,
-        ty: MalType,
-    ) -> VarId {
+    pub fn emit(&mut self, module: &str, function: &str, args: Vec<Arg>, ty: MalType) -> VarId {
         let r = self.new_var(ty);
         self.instrs.push(Instr {
             results: vec![r],
             module: module.to_owned(),
             function: function.to_owned(),
             args,
+            parallel_ok: parallel_safe(module, function),
         });
         r
     }
@@ -153,6 +172,7 @@ impl Program {
             module: module.to_owned(),
             function: function.to_owned(),
             args,
+            parallel_ok: parallel_safe(module, function),
         });
         results
     }
@@ -199,7 +219,11 @@ impl Program {
             .iter()
             .map(|(label, v)| format!("{} as {:?}", self.vars[*v].name, label))
             .collect();
-        out.push_str(&format!("    return ({});\nend user.{};\n", rs.join(", "), self.name));
+        out.push_str(&format!(
+            "    return ({});\nend user.{};\n",
+            rs.join(", "),
+            self.name
+        ));
         out
     }
 
@@ -254,7 +278,10 @@ mod tests {
             "algebra",
             "join",
             vec![Arg::Var(l), Arg::Var(l)],
-            &[MalType::Bat(ScalarType::OidT), MalType::Bat(ScalarType::OidT)],
+            &[
+                MalType::Bat(ScalarType::OidT),
+                MalType::Bat(ScalarType::OidT),
+            ],
         );
         assert_eq!(rs.len(), 2);
         assert!(p.to_text().contains("algebra.join"));
@@ -276,6 +303,7 @@ mod tests {
             module: "m".into(),
             function: "f".into(),
             args: vec![Arg::Var(3), Arg::Const(Value::Int(1)), Arg::Var(5)],
+            parallel_ok: false,
         };
         let u: Vec<VarId> = Program::uses(&ins).collect();
         assert_eq!(u, vec![3, 5]);

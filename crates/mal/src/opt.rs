@@ -168,7 +168,7 @@ fn constfold(prog: &mut Program, registry: &Registry) -> usize {
                 })
                 .collect();
             if let Ok(prim) = registry.lookup(&ins.module, &ins.function) {
-                if let Ok(outs) = prim(&args) {
+                if let Ok(outs) = prim(&args, &crate::registry::ExecCtx::serial()) {
                     if let [MalValue::Scalar(v)] = outs.as_slice() {
                         subst.insert(ins.results[0], Arg::Const(v.clone()));
                         folded += 1;
@@ -204,12 +204,7 @@ fn cse(prog: &mut Program) -> usize {
             kept.push(ins);
             continue;
         }
-        let key = format!(
-            "{}.{}({:?})",
-            ins.module,
-            ins.function,
-            ins.args
-        );
+        let key = format!("{}.{}({:?})", ins.module, ins.function, ins.args);
         match seen.get(&key) {
             Some(prev) if prev.len() == ins.results.len() => {
                 for (old, new) in ins.results.iter().zip(prev) {
@@ -259,8 +254,7 @@ fn dce(prog: &mut Program) -> usize {
     }
     let mut keep: Vec<bool> = vec![true; prog.instrs.len()];
     for (i, ins) in prog.instrs.iter().enumerate().rev() {
-        let needed =
-            !is_pure(&ins.module, &ins.function) || ins.results.iter().any(|&r| live[r]);
+        let needed = !is_pure(&ins.module, &ins.function) || ins.results.iter().any(|&r| live[r]);
         keep[i] = needed;
         if needed {
             for u in Program::uses(ins) {
@@ -377,6 +371,7 @@ mod tests {
             module: "io".into(),
             function: "print".into(),
             args: vec![Arg::Const(Value::Int(1))],
+            parallel_ok: false,
         });
         optimise(&mut p, &reg, OptConfig::default());
         assert_eq!(p.instrs.len(), 1);
@@ -392,8 +387,18 @@ mod tests {
             vec![Arg::Const(Value::Int(1)), Arg::Const(Value::Int(1))],
             MalType::Scalar(ScalarType::Int),
         );
-        let b = p.emit("language", "pass", vec![Arg::Var(a)], MalType::Scalar(ScalarType::Int));
-        let c = p.emit("language", "pass", vec![Arg::Var(b)], MalType::Scalar(ScalarType::Int));
+        let b = p.emit(
+            "language",
+            "pass",
+            vec![Arg::Var(a)],
+            MalType::Scalar(ScalarType::Int),
+        );
+        let c = p.emit(
+            "language",
+            "pass",
+            vec![Arg::Var(b)],
+            MalType::Scalar(ScalarType::Int),
+        );
         let d = p.emit(
             "array",
             "filler",

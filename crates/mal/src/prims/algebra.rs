@@ -19,7 +19,7 @@ fn cmp_from_str(s: &str) -> Result<CmpOp> {
     })
 }
 
-fn opt_cand(args: &[MalValue], i: usize) -> Result<Option<std::rc::Rc<Candidates>>> {
+fn opt_cand(args: &[MalValue], i: usize) -> Result<Option<std::sync::Arc<Candidates>>> {
     match args.get(i) {
         Some(MalValue::Cand(c)) => Ok(Some(c.clone())),
         Some(other) => Err(MalError::msg(format!(
@@ -38,7 +38,7 @@ fn as_bool(v: &Value, what: &str) -> Result<bool> {
 /// Register the `algebra` module.
 pub fn register(r: &mut Registry) {
     // algebra.thetaselect(b, [cand,] val, op:str) :cand
-    r.register("algebra", "thetaselect", |args| {
+    r.register("algebra", "thetaselect", |args, ctx| {
         let b = args
             .first()
             .ok_or_else(|| MalError::msg("thetaselect: missing BAT"))?
@@ -55,12 +55,13 @@ pub fn register(r: &mut Registry) {
             return Err(MalError::msg("thetaselect operator must be a string"));
         };
         let op = cmp_from_str(op)?;
-        let c = select::thetaselect(b, cand.as_deref(), val, op)?;
+        let (c, threads) = gdk::par::thetaselect(b, cand.as_deref(), val, op, &ctx.par)?;
+        ctx.note_threads(threads);
         Ok(vec![MalValue::cand(c)])
     });
 
     // algebra.select(b, [cand,] lo, hi, li:bit, hi_incl:bit, anti:bit) :cand
-    r.register("algebra", "select", |args| {
+    r.register("algebra", "select", |args, ctx| {
         let b = args
             .first()
             .ok_or_else(|| MalError::msg("select: missing BAT"))?
@@ -77,12 +78,14 @@ pub fn register(r: &mut Registry) {
         let li = as_bool(args[base + 2].as_scalar()?, "li")?;
         let hi_incl = as_bool(args[base + 3].as_scalar()?, "hi")?;
         let anti = as_bool(args[base + 4].as_scalar()?, "anti")?;
-        let c = select::rangeselect(b, cand.as_deref(), lo, hi, li, hi_incl, anti)?;
+        let (c, threads) =
+            gdk::par::rangeselect(b, cand.as_deref(), lo, hi, li, hi_incl, anti, &ctx.par)?;
+        ctx.note_threads(threads);
         Ok(vec![MalValue::cand(c)])
     });
 
     // algebra.selectnonnil(b [, cand]) :cand
-    r.register("algebra", "selectnonnil", |args| {
+    r.register("algebra", "selectnonnil", |args, _ctx| {
         let b = args
             .first()
             .ok_or_else(|| MalError::msg("selectnonnil: missing BAT"))?
@@ -95,7 +98,7 @@ pub fn register(r: &mut Registry) {
     });
 
     // algebra.selectnil(b [, cand]) :cand
-    r.register("algebra", "selectnil", |args| {
+    r.register("algebra", "selectnil", |args, _ctx| {
         let b = args
             .first()
             .ok_or_else(|| MalError::msg("selectnil: missing BAT"))?
@@ -105,7 +108,7 @@ pub fn register(r: &mut Registry) {
     });
 
     // algebra.maskselect(mask:bat[bit] [, cand]) :cand — bit mask to candidates
-    r.register("algebra", "maskselect", |args| {
+    r.register("algebra", "maskselect", |args, _ctx| {
         let m = args
             .first()
             .ok_or_else(|| MalError::msg("maskselect: missing mask"))?
@@ -118,13 +121,17 @@ pub fn register(r: &mut Registry) {
     });
 
     // algebra.projection(cand|oidbat, b) :bat
-    r.register("algebra", "projection", |args| {
+    r.register("algebra", "projection", |args, ctx| {
         if args.len() != 2 {
             return Err(MalError::msg("projection takes 2 arguments"));
         }
         let b = args[1].as_bat()?;
         match &args[0] {
-            MalValue::Cand(c) => Ok(vec![MalValue::bat(project::project(c, b)?)]),
+            MalValue::Cand(c) => {
+                let (p, threads) = gdk::par::project(c, b, &ctx.par)?;
+                ctx.note_threads(threads);
+                Ok(vec![MalValue::bat(p)])
+            }
             MalValue::Bat(oids) => Ok(vec![MalValue::bat(project::project_oids(oids, b)?)]),
             other => Err(MalError::msg(format!(
                 "projection head must be candidates or oid BAT, got {}",
@@ -134,7 +141,7 @@ pub fn register(r: &mut Registry) {
     });
 
     // algebra.join(l, r [, lcand, rcand]) :(bat[oid], bat[oid])
-    r.register("algebra", "join", |args| {
+    r.register("algebra", "join", |args, _ctx| {
         let l = args
             .first()
             .ok_or_else(|| MalError::msg("join: missing left"))?
@@ -154,7 +161,7 @@ pub fn register(r: &mut Registry) {
 
     // algebra.joinn(l1, r1, l2, r2, …) :(bat[oid], bat[oid]) — multi-key
     // equi-join on aligned (left, right) key pairs.
-    r.register("algebra", "joinn", |args| {
+    r.register("algebra", "joinn", |args, _ctx| {
         if args.is_empty() || args.len() % 2 != 0 {
             return Err(MalError::msg("joinn takes (lkey, rkey) pairs"));
         }
@@ -173,7 +180,7 @@ pub fn register(r: &mut Registry) {
     });
 
     // algebra.leftjoin(l, r [, lcand, rcand])
-    r.register("algebra", "leftjoin", |args| {
+    r.register("algebra", "leftjoin", |args, _ctx| {
         let l = args
             .first()
             .ok_or_else(|| MalError::msg("leftjoin: missing left"))?
@@ -192,7 +199,7 @@ pub fn register(r: &mut Registry) {
     });
 
     // algebra.semijoin(l, r [, lcand, rcand]) :cand
-    r.register("algebra", "semijoin", |args| {
+    r.register("algebra", "semijoin", |args, _ctx| {
         let l = args
             .first()
             .ok_or_else(|| MalError::msg("semijoin: missing left"))?
@@ -208,7 +215,7 @@ pub fn register(r: &mut Registry) {
     });
 
     // algebra.crossproduct(l, r [, lcand, rcand]) :(bat[oid], bat[oid])
-    r.register("algebra", "crossproduct", |args| {
+    r.register("algebra", "crossproduct", |args, _ctx| {
         let l = args
             .first()
             .ok_or_else(|| MalError::msg("crossproduct: missing left"))?
@@ -227,7 +234,7 @@ pub fn register(r: &mut Registry) {
     });
 
     // algebra.slice(b, lo:lng, hi:lng) :bat  (positions [lo, hi))
-    r.register("algebra", "slice", |args| {
+    r.register("algebra", "slice", |args, _ctx| {
         let b = args
             .first()
             .ok_or_else(|| MalError::msg("slice: missing BAT"))?
@@ -250,7 +257,7 @@ pub fn register(r: &mut Registry) {
     });
 
     // algebra.sort(b, desc:bit, nils_last:bit) :(bat, bat[oid] permutation)
-    r.register("algebra", "sort", |args| {
+    r.register("algebra", "sort", |args, _ctx| {
         let b = args
             .first()
             .ok_or_else(|| MalError::msg("sort: missing BAT"))?
@@ -283,11 +290,9 @@ pub fn register(r: &mut Registry) {
     // algebra.sortperm(key1, desc1:bit, key2, desc2, …) :bat[oid] — the
     // permutation ordering rows by the keys, most significant first
     // (ORDER BY kernel; nils sort first ascending, MonetDB-style).
-    r.register("algebra", "sortperm", |args| {
+    r.register("algebra", "sortperm", |args, _ctx| {
         if args.is_empty() || args.len() % 2 != 0 {
-            return Err(MalError::msg(
-                "sortperm takes (key, desc) pairs",
-            ));
+            return Err(MalError::msg("sortperm takes (key, desc) pairs"));
         }
         let nkeys = args.len() / 2;
         let mut keys = Vec::with_capacity(nkeys);
@@ -320,7 +325,7 @@ pub fn register(r: &mut Registry) {
     });
 
     // algebra.count(b) — tuple count (including nils)
-    r.register("algebra", "count", |args| {
+    r.register("algebra", "count", |args, _ctx| {
         let b = args
             .first()
             .ok_or_else(|| MalError::msg("count: missing BAT"))?
@@ -329,20 +334,21 @@ pub fn register(r: &mut Registry) {
     });
 
     // algebra.candlist(b:bat[oid]) — turn a sorted oid BAT into candidates
-    r.register("algebra", "candlist", |args| {
+    r.register("algebra", "candlist", |args, _ctx| {
         let b = args
             .first()
             .ok_or_else(|| MalError::msg("candlist: missing BAT"))?
             .as_bat()?;
-        let oids = b
-            .as_oids()
-            .map(<[gdk::Oid]>::to_vec)
-            .unwrap_or_else(|| b.iter_values().filter_map(|v| v.as_i64().map(|x| x as gdk::Oid)).collect());
+        let oids = b.as_oids().map(<[gdk::Oid]>::to_vec).unwrap_or_else(|| {
+            b.iter_values()
+                .filter_map(|v| v.as_i64().map(|x| x as gdk::Oid))
+                .collect()
+        });
         Ok(vec![MalValue::cand(Candidates::from_vec(oids))])
     });
 
     // algebra.densecand(first:lng, len:lng) — dense candidate range
-    r.register("algebra", "densecand", |args| {
+    r.register("algebra", "densecand", |args, _ctx| {
         let first = args
             .first()
             .ok_or_else(|| MalError::msg("densecand: missing first"))?
@@ -370,7 +376,7 @@ mod tests {
     fn call(module: &str, f: &str, args: &[MalValue]) -> Result<Vec<MalValue>> {
         let r = default_registry();
         let p = r.lookup(module, f)?;
-        p(args)
+        p(args, &crate::registry::ExecCtx::serial())
     }
 
     #[test]
@@ -458,7 +464,10 @@ mod tests {
         let out = call(
             "algebra",
             "densecand",
-            &[MalValue::Scalar(Value::Lng(5)), MalValue::Scalar(Value::Lng(3))],
+            &[
+                MalValue::Scalar(Value::Lng(5)),
+                MalValue::Scalar(Value::Lng(3)),
+            ],
         )
         .unwrap();
         assert_eq!(out[0].as_cand().unwrap().to_vec(), vec![5, 6, 7]);

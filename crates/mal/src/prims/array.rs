@@ -20,7 +20,7 @@ fn arg_i64(args: &[MalValue], i: usize, what: &str) -> Result<i64> {
 
 /// Register the `array` module.
 pub fn register(r: &mut Registry) {
-    r.register("array", "series", |args| {
+    r.register("array", "series", |args, _ctx| {
         if args.len() != 5 {
             return Err(MalError::msg(
                 "array.series(start, step, stop, N, M) takes 5 arguments",
@@ -36,7 +36,7 @@ pub fn register(r: &mut Registry) {
         Ok(vec![MalValue::bat(Bat::series(start, step, stop, n, m)?)])
     });
 
-    r.register("array", "filler", |args| {
+    r.register("array", "filler", |args, _ctx| {
         if args.len() != 2 {
             return Err(MalError::msg("array.filler(cnt, v) takes 2 arguments"));
         }
@@ -52,7 +52,7 @@ pub fn register(r: &mut Registry) {
     // the cell displaced by (d_0, …, d_{k-1}); cells outside the array
     // dimension ranges come out nil, which is exactly the paper's rule that
     // out-of-range cells "are ignored by the aggregation functions".
-    r.register("array", "shift", |args| {
+    r.register("array", "shift", |args, _ctx| {
         if args.len() < 3 || (args.len() - 1) % 2 != 0 {
             return Err(MalError::msg(
                 "array.shift(v, sizes…, deltas…) needs 1+2k arguments",
@@ -207,7 +207,7 @@ mod tests {
             .iter()
             .map(|&v| MalValue::Scalar(Value::Int(v)))
             .collect();
-        let out = f(&args).unwrap();
+        let out = f(&args, &crate::registry::ExecCtx::serial()).unwrap();
         let b = out[0].as_bat().unwrap();
         assert_eq!(
             b.as_ints().unwrap(),
@@ -219,12 +219,18 @@ mod tests {
     fn filler_primitive() {
         let r = default_registry();
         let f = r.lookup("array", "filler").unwrap();
-        let out = f(&[
-            MalValue::Scalar(Value::Lng(3)),
-            MalValue::Scalar(Value::Dbl(0.5)),
-        ])
+        let out = f(
+            &[
+                MalValue::Scalar(Value::Lng(3)),
+                MalValue::Scalar(Value::Dbl(0.5)),
+            ],
+            &crate::registry::ExecCtx::serial(),
+        )
         .unwrap();
-        assert_eq!(out[0].as_bat().unwrap().as_dbls().unwrap(), &[0.5, 0.5, 0.5]);
+        assert_eq!(
+            out[0].as_bat().unwrap().as_dbls().unwrap(),
+            &[0.5, 0.5, 0.5]
+        );
     }
 
     #[test]
@@ -271,10 +277,7 @@ mod tests {
         let s = shift_bat(&v, &[3], &[0]).unwrap();
         assert_eq!(s.to_values(), v.to_values());
         let s = shift_bat(&v, &[3], &[2]).unwrap();
-        assert_eq!(
-            s.to_values(),
-            vec![Value::Int(7), Value::Null, Value::Null]
-        );
+        assert_eq!(s.to_values(), vec![Value::Int(7), Value::Null, Value::Null]);
     }
 
     proptest::proptest! {
@@ -324,15 +327,26 @@ mod tests {
             MalValue::Scalar(Value::Int(0)),
             MalValue::Scalar(Value::Int(0)),
         ];
-        assert!(f(&args).is_err());
+        assert!(f(&args, &crate::registry::ExecCtx::serial()).is_err());
     }
 
     #[test]
     fn arity_errors() {
         let r = default_registry();
         let f = r.lookup("array", "series").unwrap();
-        assert!(f(&[MalValue::Scalar(Value::Int(0))]).is_err());
+        assert!(f(
+            &[MalValue::Scalar(Value::Int(0))],
+            &crate::registry::ExecCtx::serial()
+        )
+        .is_err());
         let f = r.lookup("array", "filler").unwrap();
-        assert!(f(&[MalValue::Scalar(Value::Lng(-1)), MalValue::Scalar(Value::Int(0))]).is_err());
+        assert!(f(
+            &[
+                MalValue::Scalar(Value::Lng(-1)),
+                MalValue::Scalar(Value::Int(0))
+            ],
+            &crate::registry::ExecCtx::serial()
+        )
+        .is_err());
     }
 }

@@ -36,17 +36,19 @@ fn both_scalar(args: &[MalValue]) -> Option<(&Value, &Value)> {
 }
 
 fn register_binop(r: &mut Registry, name: &'static str, op: BinOp) {
-    r.register("batcalc", name, move |args| {
+    r.register("batcalc", name, move |args, ctx| {
         if let Some((a, b)) = both_scalar(args) {
             return Ok(vec![MalValue::Scalar(arith::scalar_binop(op, a, b)?)]);
         }
         let (a, b) = bin_args(args)?;
-        Ok(vec![MalValue::bat(arith::binop(op, a, b)?)])
+        let (out, threads) = gdk::par::binop(op, a, b, &ctx.par)?;
+        ctx.note_threads(threads);
+        Ok(vec![MalValue::bat(out)])
     });
 }
 
 fn register_cmp(r: &mut Registry, name: &'static str, op: CmpOp) {
-    r.register("batcalc", name, move |args| {
+    r.register("batcalc", name, move |args, ctx| {
         if let Some((a, b)) = both_scalar(args) {
             let v = match a.sql_cmp(b) {
                 None => Value::Null,
@@ -62,22 +64,22 @@ fn register_cmp(r: &mut Registry, name: &'static str, op: CmpOp) {
             return Ok(vec![MalValue::Scalar(v)]);
         }
         let (a, b) = bin_args(args)?;
-        Ok(vec![MalValue::bat(arith::cmpop(op, a, b)?)])
+        let (out, threads) = gdk::par::cmpop(op, a, b, &ctx.par)?;
+        ctx.note_threads(threads);
+        Ok(vec![MalValue::bat(out)])
     });
 }
 
 fn register_cast(r: &mut Registry, name: &'static str, to: ScalarType) {
-    r.register("batcalc", name, move |args| {
-        match args.first() {
-            Some(MalValue::Bat(b)) => Ok(vec![MalValue::bat(arith::cast_bat(b, to)?)]),
-            Some(MalValue::Scalar(s)) => {
-                let v = s.cast(to).ok_or_else(|| {
-                    MalError::msg(format!("cannot cast {s} to {to}"))
-                })?;
-                Ok(vec![MalValue::Scalar(v)])
-            }
-            _ => Err(MalError::msg("cast takes one BAT or scalar argument")),
+    r.register("batcalc", name, move |args, _ctx| match args.first() {
+        Some(MalValue::Bat(b)) => Ok(vec![MalValue::bat(arith::cast_bat(b, to)?)]),
+        Some(MalValue::Scalar(s)) => {
+            let v = s
+                .cast(to)
+                .ok_or_else(|| MalError::msg(format!("cannot cast {s} to {to}")))?;
+            Ok(vec![MalValue::Scalar(v)])
         }
+        _ => Err(MalError::msg("cast takes one BAT or scalar argument")),
     });
 }
 
@@ -101,7 +103,7 @@ pub fn register(r: &mut Registry) {
     register_cast(r, "bit", ScalarType::Bit);
     register_cast(r, "oid", ScalarType::OidT);
 
-    r.register("batcalc", "and", |args| {
+    r.register("batcalc", "and", |args, _ctx| {
         if args.len() != 2 {
             return Err(MalError::msg("and takes 2 arguments"));
         }
@@ -110,7 +112,7 @@ pub fn register(r: &mut Registry) {
             args[1].as_bat()?,
         )?)])
     });
-    r.register("batcalc", "or", |args| {
+    r.register("batcalc", "or", |args, _ctx| {
         if args.len() != 2 {
             return Err(MalError::msg("or takes 2 arguments"));
         }
@@ -119,21 +121,21 @@ pub fn register(r: &mut Registry) {
             args[1].as_bat()?,
         )?)])
     });
-    r.register("batcalc", "not", |args| {
+    r.register("batcalc", "not", |args, _ctx| {
         Ok(vec![MalValue::bat(arith::not(
             args.first()
                 .ok_or_else(|| MalError::msg("not: missing argument"))?
                 .as_bat()?,
         )?)])
     });
-    r.register("batcalc", "isnil", |args| {
+    r.register("batcalc", "isnil", |args, _ctx| {
         Ok(vec![MalValue::bat(arith::isnull(
             args.first()
                 .ok_or_else(|| MalError::msg("isnil: missing argument"))?
                 .as_bat()?,
         ))])
     });
-    r.register("batcalc", "neg", |args| match args.first() {
+    r.register("batcalc", "neg", |args, _ctx| match args.first() {
         Some(MalValue::Bat(b)) => Ok(vec![MalValue::bat(arith::neg(b)?)]),
         Some(MalValue::Scalar(s)) => {
             let v = arith::scalar_binop(BinOp::Sub, &Value::Int(0), s)?;
@@ -141,7 +143,7 @@ pub fn register(r: &mut Registry) {
         }
         _ => Err(MalError::msg("neg takes one argument")),
     });
-    r.register("batcalc", "abs", |args| match args.first() {
+    r.register("batcalc", "abs", |args, _ctx| match args.first() {
         Some(MalValue::Bat(b)) => Ok(vec![MalValue::bat(arith::abs(b)?)]),
         Some(MalValue::Scalar(s)) => {
             let v = if s.is_null() {
@@ -151,9 +153,7 @@ pub fn register(r: &mut Registry) {
                     Value::Int(x) => Value::Int(x.abs()),
                     Value::Lng(x) => Value::Lng(x.abs()),
                     Value::Dbl(x) => Value::Dbl(x.abs()),
-                    other => {
-                        return Err(MalError::msg(format!("abs of non-numeric {other}")))
-                    }
+                    other => return Err(MalError::msg(format!("abs of non-numeric {other}"))),
                 }
             };
             Ok(vec![MalValue::Scalar(v)])
@@ -162,7 +162,7 @@ pub fn register(r: &mut Registry) {
     });
 
     // batcalc.fill(template:bat, v) — constant column aligned with template.
-    r.register("batcalc", "fill", |args| {
+    r.register("batcalc", "fill", |args, _ctx| {
         if args.len() != 2 {
             return Err(MalError::msg("fill takes (template, value)"));
         }
@@ -174,7 +174,7 @@ pub fn register(r: &mut Registry) {
     // batcalc.ifthenelse(mask:bat[bit], then, else) — SQL CASE kernel.
     // `then`/`else` may be BATs (aligned) or scalars (broadcast); a nil
     // mask entry selects the else branch (CASE's unknown-is-false rule).
-    r.register("batcalc", "ifthenelse", |args| {
+    r.register("batcalc", "ifthenelse", |args, _ctx| {
         if args.len() != 3 {
             return Err(MalError::msg("ifthenelse takes 3 arguments"));
         }
@@ -233,7 +233,7 @@ mod tests {
     fn call(f: &str, args: &[MalValue]) -> Result<Vec<MalValue>> {
         let r = default_registry();
         let p = r.lookup("batcalc", f)?;
-        p(args)
+        p(args, &crate::registry::ExecCtx::serial())
     }
 
     #[test]
@@ -244,7 +244,10 @@ mod tests {
 
         let out = call(
             "add",
-            &[MalValue::Scalar(Value::Int(2)), MalValue::Scalar(Value::Int(3))],
+            &[
+                MalValue::Scalar(Value::Int(2)),
+                MalValue::Scalar(Value::Int(3)),
+            ],
         )
         .unwrap();
         assert!(matches!(out[0], MalValue::Scalar(Value::Int(5))));
@@ -260,7 +263,10 @@ mod tests {
         );
         let out = call(
             "le",
-            &[MalValue::Scalar(Value::Int(1)), MalValue::Scalar(Value::Int(1))],
+            &[
+                MalValue::Scalar(Value::Int(1)),
+                MalValue::Scalar(Value::Int(1)),
+            ],
         )
         .unwrap();
         assert!(matches!(out[0], MalValue::Scalar(Value::Bit(true))));
@@ -315,10 +321,7 @@ mod tests {
             ],
         )
         .unwrap();
-        assert_eq!(
-            out[0].as_bat().unwrap().as_dbls().unwrap(),
-            &[1.0, 0.5]
-        );
+        assert_eq!(out[0].as_bat().unwrap().as_dbls().unwrap(), &[1.0, 0.5]);
     }
 
     #[test]

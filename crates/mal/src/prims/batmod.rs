@@ -9,7 +9,7 @@ use gdk::{Bat, ScalarType, Value};
 /// Register `bat` and `language`.
 pub fn register(r: &mut Registry) {
     // bat.new(type:str) — empty BAT of the named type
-    r.register("bat", "new", |args| {
+    r.register("bat", "new", |args, _ctx| {
         let ty = match args.first() {
             Some(v) => match v.as_scalar()? {
                 Value::Str(s) => ScalarType::from_sql_name(s)
@@ -24,7 +24,9 @@ pub fn register(r: &mut Registry) {
                     })
                     .ok_or_else(|| MalError::msg(format!("unknown type name {s:?}")))?,
                 other => {
-                    return Err(MalError::msg(format!("bat.new type must be a string, got {other}")))
+                    return Err(MalError::msg(format!(
+                        "bat.new type must be a string, got {other}"
+                    )))
                 }
             },
             None => return Err(MalError::msg("bat.new takes a type name")),
@@ -33,7 +35,7 @@ pub fn register(r: &mut Registry) {
     });
 
     // bat.dense(seq:lng, len:lng) — void BAT
-    r.register("bat", "dense", |args| {
+    r.register("bat", "dense", |args, _ctx| {
         let seq = args
             .first()
             .ok_or_else(|| MalError::msg("dense: missing seq"))?
@@ -52,7 +54,7 @@ pub fn register(r: &mut Registry) {
     });
 
     // bat.materialise(b) — void → explicit oids
-    r.register("bat", "materialise", |args| {
+    r.register("bat", "materialise", |args, _ctx| {
         let b = args
             .first()
             .ok_or_else(|| MalError::msg("materialise: missing BAT"))?
@@ -61,7 +63,7 @@ pub fn register(r: &mut Registry) {
     });
 
     // bat.single(v) — one-tuple BAT holding a scalar
-    r.register("bat", "single", |args| {
+    r.register("bat", "single", |args, _ctx| {
         let v = args
             .first()
             .ok_or_else(|| MalError::msg("single: missing value"))?
@@ -73,7 +75,7 @@ pub fn register(r: &mut Registry) {
     });
 
     // language.pass(v) — identity (alias), used by optimizer rewrites
-    r.register("language", "pass", |args| {
+    r.register("language", "pass", |args, _ctx| {
         args.first()
             .cloned()
             .map(|v| vec![v])
@@ -89,42 +91,56 @@ mod tests {
     #[test]
     fn new_and_single() {
         let r = default_registry();
-        let out = r.lookup("bat", "new").unwrap()(&[MalValue::Scalar(Value::Str("int".into()))])
-            .unwrap();
+        let out = r.lookup("bat", "new").unwrap()(
+            &[MalValue::Scalar(Value::Str("int".into()))],
+            &crate::registry::ExecCtx::serial(),
+        )
+        .unwrap();
         assert_eq!(out[0].as_bat().unwrap().len(), 0);
         assert_eq!(out[0].as_bat().unwrap().tail_type(), ScalarType::Int);
 
-        let out =
-            r.lookup("bat", "single").unwrap()(&[MalValue::Scalar(Value::Dbl(1.5))]).unwrap();
+        let out = r.lookup("bat", "single").unwrap()(
+            &[MalValue::Scalar(Value::Dbl(1.5))],
+            &crate::registry::ExecCtx::serial(),
+        )
+        .unwrap();
         assert_eq!(out[0].as_bat().unwrap().as_dbls().unwrap(), &[1.5]);
     }
 
     #[test]
     fn dense_and_materialise() {
         let r = default_registry();
-        let out = r.lookup("bat", "dense").unwrap()(&[
-            MalValue::Scalar(Value::Lng(4)),
-            MalValue::Scalar(Value::Lng(3)),
-        ])
+        let out = r.lookup("bat", "dense").unwrap()(
+            &[
+                MalValue::Scalar(Value::Lng(4)),
+                MalValue::Scalar(Value::Lng(3)),
+            ],
+            &crate::registry::ExecCtx::serial(),
+        )
         .unwrap();
-        let m = r.lookup("bat", "materialise").unwrap()(&out).unwrap();
+        let m = r.lookup("bat", "materialise").unwrap()(&out, &crate::registry::ExecCtx::serial())
+            .unwrap();
         assert_eq!(m[0].as_bat().unwrap().as_oids().unwrap(), &[4, 5, 6]);
     }
 
     #[test]
     fn pass_is_identity() {
         let r = default_registry();
-        let out =
-            r.lookup("language", "pass").unwrap()(&[MalValue::Scalar(Value::Int(9))]).unwrap();
+        let out = r.lookup("language", "pass").unwrap()(
+            &[MalValue::Scalar(Value::Int(9))],
+            &crate::registry::ExecCtx::serial(),
+        )
+        .unwrap();
         assert!(matches!(out[0], MalValue::Scalar(Value::Int(9))));
     }
 
     #[test]
     fn unknown_type_name_errors() {
         let r = default_registry();
-        assert!(
-            r.lookup("bat", "new").unwrap()(&[MalValue::Scalar(Value::Str("quux".into()))])
-                .is_err()
-        );
+        assert!(r.lookup("bat", "new").unwrap()(
+            &[MalValue::Scalar(Value::Str("quux".into()))],
+            &crate::registry::ExecCtx::serial()
+        )
+        .is_err());
     }
 }

@@ -3,36 +3,39 @@
 use crate::interp::MalValue;
 use crate::registry::Registry;
 use crate::MalError;
-use gdk::aggregate::{self, AggFunc};
-use gdk::group;
+use gdk::aggregate::AggFunc;
 
 fn register_subagg(r: &mut Registry, name: &'static str, func: AggFunc) {
     // aggr.subX(vals:bat, groups:grp) :bat — one tuple per group.
-    r.register("aggr", name, move |args| {
+    r.register("aggr", name, move |args, ctx| {
         if args.len() != 2 {
             return Err(MalError::msg("grouped aggregate takes (vals, groups)"));
         }
         let vals = args[0].as_bat()?;
         let g = args[1].as_grp()?;
-        Ok(vec![MalValue::bat(aggregate::grouped(func, vals, g)?)])
+        let (out, threads) = gdk::par::grouped(func, vals, g, &ctx.par)?;
+        ctx.note_threads(threads);
+        Ok(vec![MalValue::bat(out)])
     });
 }
 
 fn register_scalaragg(r: &mut Registry, name: &'static str, func: AggFunc) {
     // aggr.X(vals:bat) :scalar
-    r.register("aggr", name, move |args| {
+    r.register("aggr", name, move |args, ctx| {
         if args.len() != 1 {
             return Err(MalError::msg("scalar aggregate takes (vals)"));
         }
         let vals = args[0].as_bat()?;
-        Ok(vec![MalValue::Scalar(aggregate::scalar(func, vals)?)])
+        let (out, threads) = gdk::par::scalar(func, vals, &ctx.par)?;
+        ctx.note_threads(threads);
+        Ok(vec![MalValue::Scalar(out)])
     });
 }
 
 /// Register `group` and `aggr`.
 pub fn register(r: &mut Registry) {
     // group.group(b [, cand]) :grp
-    r.register("group", "group", |args| {
+    r.register("group", "group", |args, ctx| {
         let b = args
             .first()
             .ok_or_else(|| MalError::msg("group: missing BAT"))?
@@ -47,15 +50,13 @@ pub fn register(r: &mut Registry) {
                 )))
             }
         };
-        Ok(vec![MalValue::grp(group::group_by(
-            b,
-            cand.as_deref(),
-            None,
-        )?)])
+        let (g, threads) = gdk::par::group_by(b, cand.as_deref(), None, &ctx.par)?;
+        ctx.note_threads(threads);
+        Ok(vec![MalValue::grp(g)])
     });
 
     // group.subgroup(b, prev:grp [, cand]) :grp — refine a grouping
-    r.register("group", "subgroup", |args| {
+    r.register("group", "subgroup", |args, ctx| {
         let b = args
             .first()
             .ok_or_else(|| MalError::msg("subgroup: missing BAT"))?
@@ -74,15 +75,13 @@ pub fn register(r: &mut Registry) {
                 )))
             }
         };
-        Ok(vec![MalValue::grp(group::group_by(
-            b,
-            cand.as_deref(),
-            Some(prev),
-        )?)])
+        let (g, threads) = gdk::par::group_by(b, cand.as_deref(), Some(prev), &ctx.par)?;
+        ctx.note_threads(threads);
+        Ok(vec![MalValue::grp(g)])
     });
 
     // group.extents(g:grp) :bat[oid] — representative oid per group
-    r.register("group", "extents", |args| {
+    r.register("group", "extents", |args, _ctx| {
         let g = args
             .first()
             .ok_or_else(|| MalError::msg("extents: missing grouping"))?
@@ -91,7 +90,7 @@ pub fn register(r: &mut Registry) {
     });
 
     // group.extentcand(g:grp) :cand — extents as candidate list
-    r.register("group", "extentcand", |args| {
+    r.register("group", "extentcand", |args, _ctx| {
         let g = args
             .first()
             .ok_or_else(|| MalError::msg("extentcand: missing grouping"))?
@@ -123,11 +122,20 @@ mod tests {
     fn group_then_aggregate() {
         let r = default_registry();
         let keys = MalValue::bat(Bat::from_ints(vec![1, 2, 1]));
-        let g = r.lookup("group", "group").unwrap()(&[keys]).unwrap();
+        let g = r.lookup("group", "group").unwrap()(&[keys], &crate::registry::ExecCtx::serial())
+            .unwrap();
         let vals = MalValue::bat(Bat::from_ints(vec![10, 20, 30]));
-        let s = r.lookup("aggr", "subsum").unwrap()(&[vals, g[0].clone()]).unwrap();
+        let s = r.lookup("aggr", "subsum").unwrap()(
+            &[vals, g[0].clone()],
+            &crate::registry::ExecCtx::serial(),
+        )
+        .unwrap();
         assert_eq!(s[0].as_bat().unwrap().as_lngs().unwrap(), &[40, 20]);
-        let ext = r.lookup("group", "extents").unwrap()(&[g[0].clone()]).unwrap();
+        let ext = r.lookup("group", "extents").unwrap()(
+            &[g[0].clone()],
+            &crate::registry::ExecCtx::serial(),
+        )
+        .unwrap();
         assert_eq!(ext[0].as_bat().unwrap().as_oids().unwrap(), &[0, 1]);
     }
 
@@ -136,8 +144,13 @@ mod tests {
         let r = default_registry();
         let a = MalValue::bat(Bat::from_ints(vec![1, 1, 2]));
         let b = MalValue::bat(Bat::from_ints(vec![9, 8, 9]));
-        let g1 = r.lookup("group", "group").unwrap()(&[a]).unwrap();
-        let g2 = r.lookup("group", "subgroup").unwrap()(&[b, g1[0].clone()]).unwrap();
+        let g1 =
+            r.lookup("group", "group").unwrap()(&[a], &crate::registry::ExecCtx::serial()).unwrap();
+        let g2 = r.lookup("group", "subgroup").unwrap()(
+            &[b, g1[0].clone()],
+            &crate::registry::ExecCtx::serial(),
+        )
+        .unwrap();
         assert_eq!(g2[0].as_grp().unwrap().ngroups, 3);
     }
 
@@ -145,9 +158,14 @@ mod tests {
     fn scalar_aggregates() {
         let r = default_registry();
         let vals = MalValue::bat(Bat::from_opt_ints(vec![Some(2), None, Some(4)]));
-        let out = r.lookup("aggr", "avg").unwrap()(std::slice::from_ref(&vals)).unwrap();
+        let out = r.lookup("aggr", "avg").unwrap()(
+            std::slice::from_ref(&vals),
+            &crate::registry::ExecCtx::serial(),
+        )
+        .unwrap();
         assert!(matches!(out[0], MalValue::Scalar(Value::Dbl(v)) if v == 3.0));
-        let out = r.lookup("aggr", "count").unwrap()(&[vals]).unwrap();
+        let out = r.lookup("aggr", "count").unwrap()(&[vals], &crate::registry::ExecCtx::serial())
+            .unwrap();
         assert!(matches!(out[0], MalValue::Scalar(Value::Lng(2))));
     }
 }

@@ -31,7 +31,11 @@ mod tests {
     #[test]
     fn registry_is_populated() {
         let r = super::default_registry();
-        assert!(r.len() > 30, "expected a rich standard library, got {}", r.len());
+        assert!(
+            r.len() > 30,
+            "expected a rich standard library, got {}",
+            r.len()
+        );
         assert!(r.lookup("array", "series").is_ok());
         assert!(r.lookup("array", "filler").is_ok());
         assert!(r.lookup("algebra", "thetaselect").is_ok());

@@ -2,10 +2,58 @@
 
 use crate::interp::MalValue;
 use crate::{MalError, Result};
+use gdk::ParConfig;
+use std::cell::Cell;
 use std::collections::HashMap;
 
-/// A MAL primitive: takes evaluated arguments, returns result values.
-pub type PrimFn = Box<dyn Fn(&[MalValue]) -> Result<Vec<MalValue>> + Send + Sync>;
+/// Per-instruction execution context handed to every primitive: the
+/// parallel-driver configuration plus a channel for reporting how many
+/// worker threads the kernel actually used (collected into
+/// [`crate::interp::ExecStats`]).
+#[derive(Debug)]
+pub struct ExecCtx {
+    /// Parallel kernel configuration for this instruction. Instructions
+    /// the code generator did not mark parallel-safe receive
+    /// [`ParConfig::serial`].
+    pub par: ParConfig,
+    threads_used: Cell<usize>,
+}
+
+impl ExecCtx {
+    /// Context with the given parallel configuration.
+    pub fn new(par: ParConfig) -> Self {
+        ExecCtx {
+            par,
+            threads_used: Cell::new(1),
+        }
+    }
+
+    /// Context that forces serial execution.
+    pub fn serial() -> Self {
+        ExecCtx::new(ParConfig::serial())
+    }
+
+    /// Record that a kernel ran with `k` worker threads.
+    pub fn note_threads(&self, k: usize) {
+        self.threads_used.set(self.threads_used.get().max(k));
+    }
+
+    /// Worker threads used by the instruction executed under this
+    /// context (1 when everything ran serially).
+    pub fn threads_used(&self) -> usize {
+        self.threads_used.get()
+    }
+}
+
+impl Default for ExecCtx {
+    fn default() -> Self {
+        ExecCtx::serial()
+    }
+}
+
+/// A MAL primitive: takes evaluated arguments and the execution context,
+/// returns result values.
+pub type PrimFn = Box<dyn Fn(&[MalValue], &ExecCtx) -> Result<Vec<MalValue>> + Send + Sync>;
 
 /// Registry of primitives keyed by `(module, function)`.
 #[derive(Default)]
@@ -25,7 +73,7 @@ impl Registry {
         &mut self,
         module: &str,
         function: &str,
-        f: impl Fn(&[MalValue]) -> Result<Vec<MalValue>> + Send + Sync + 'static,
+        f: impl Fn(&[MalValue], &ExecCtx) -> Result<Vec<MalValue>> + Send + Sync + 'static,
     ) {
         self.prims
             .insert((module.to_owned(), function.to_owned()), Box::new(f));
@@ -58,11 +106,23 @@ mod tests {
     fn register_and_lookup() {
         let mut r = Registry::new();
         assert!(r.is_empty());
-        r.register("m", "f", |_args| Ok(vec![MalValue::Scalar(Value::Int(1))]));
+        r.register("m", "f", |_args, _ctx| {
+            Ok(vec![MalValue::Scalar(Value::Int(1))])
+        });
         assert_eq!(r.len(), 1);
         let f = r.lookup("m", "f").unwrap();
-        let out = f(&[]).unwrap();
+        let out = f(&[], &ExecCtx::serial()).unwrap();
         assert!(matches!(out[0], MalValue::Scalar(Value::Int(1))));
         assert!(r.lookup("m", "missing").is_err());
+    }
+
+    #[test]
+    fn ctx_reports_threads() {
+        let ctx = ExecCtx::new(ParConfig::with_threads(4));
+        assert_eq!(ctx.threads_used(), 1);
+        ctx.note_threads(3);
+        ctx.note_threads(2);
+        assert_eq!(ctx.threads_used(), 3);
+        assert_eq!(ExecCtx::serial().par.threads, 1);
     }
 }

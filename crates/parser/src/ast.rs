@@ -188,12 +188,10 @@ impl Expr {
             Expr::Func { name, args, .. } => {
                 AGGS.contains(&name.as_str()) || args.iter().any(Expr::contains_aggregate)
             }
-            Expr::Binary { lhs, rhs, .. } => {
-                lhs.contains_aggregate() || rhs.contains_aggregate()
+            Expr::Binary { lhs, rhs, .. } => lhs.contains_aggregate() || rhs.contains_aggregate(),
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Cast { expr, .. } => {
+                expr.contains_aggregate()
             }
-            Expr::Unary { expr, .. }
-            | Expr::IsNull { expr, .. }
-            | Expr::Cast { expr, .. } => expr.contains_aggregate(),
             Expr::Between { expr, lo, hi, .. } => {
                 expr.contains_aggregate() || lo.contains_aggregate() || hi.contains_aggregate()
             }
@@ -445,11 +443,14 @@ mod tests {
         assert!(!Expr::col("v").contains_aggregate());
         let nested = Expr::Case {
             operand: None,
-            whens: vec![(Expr::col("a"), Expr::Func {
-                name: "MAX".into(),
-                args: vec![Expr::col("v")],
-                star: false,
-            })],
+            whens: vec![(
+                Expr::col("a"),
+                Expr::Func {
+                    name: "MAX".into(),
+                    args: vec![Expr::col("v")],
+                    star: false,
+                },
+            )],
             else_: None,
         };
         assert!(nested.contains_aggregate());

@@ -29,7 +29,10 @@ pub fn parse_statement(input: &str) -> Result<Stmt, ParseError> {
     match stmts.len() {
         1 => Ok(stmts.into_iter().next().expect("len checked")),
         0 => Err(ParseError::at(0, "empty input")),
-        n => Err(ParseError::at(0, format!("expected one statement, found {n}"))),
+        n => Err(ParseError::at(
+            0,
+            format!("expected one statement, found {n}"),
+        )),
     }
 }
 
@@ -528,8 +531,7 @@ impl Parser {
 
     fn group_by(&mut self) -> Result<GroupBy, ParseError> {
         // Structural grouping: identifier immediately followed by '['.
-        if matches!(self.peek(), TokenKind::Ident(_))
-            && *self.peek_ahead(1) == TokenKind::LBracket
+        if matches!(self.peek(), TokenKind::Ident(_)) && *self.peek_ahead(1) == TokenKind::LBracket
         {
             let mut tiles = Vec::new();
             loop {
@@ -884,7 +886,9 @@ mod tests {
         ));
         assert!(matches!(
             &columns[2].kind,
-            ColumnKind::Attribute { default: Some(Expr::Literal(Literal::Int(0))) }
+            ColumnKind::Attribute {
+                default: Some(Expr::Literal(Literal::Int(0)))
+            }
         ));
     }
 
@@ -907,21 +911,30 @@ mod tests {
 
     #[test]
     fn paper_insert_select_with_dimension_qualifiers() {
-        let s = parse_statement(
-            "INSERT INTO matrix SELECT [x], [y], x * y FROM matrix WHERE x = y;",
-        )
-        .unwrap();
-        let Stmt::Insert { source: InsertSource::Select(sel), .. } = s else {
+        let s =
+            parse_statement("INSERT INTO matrix SELECT [x], [y], x * y FROM matrix WHERE x = y;")
+                .unwrap();
+        let Stmt::Insert {
+            source: InsertSource::Select(sel),
+            ..
+        } = s
+        else {
             panic!("expected Insert..Select")
         };
         assert_eq!(sel.projections.len(), 3);
         assert!(matches!(
             sel.projections[0],
-            Projection::Item { dimensional: true, .. }
+            Projection::Item {
+                dimensional: true,
+                ..
+            }
         ));
         assert!(matches!(
             sel.projections[2],
-            Projection::Item { dimensional: false, .. }
+            Projection::Item {
+                dimensional: false,
+                ..
+            }
         ));
     }
 
@@ -960,11 +973,14 @@ mod tests {
 
     #[test]
     fn paper_alter_dimension() {
-        let s = parse_statement(
-            "ALTER ARRAY matrix ALTER DIMENSION x SET RANGE [-1:1:5];",
-        )
-        .unwrap();
-        let Stmt::AlterDimension { array, dimension, range } = s else {
+        let s =
+            parse_statement("ALTER ARRAY matrix ALTER DIMENSION x SET RANGE [-1:1:5];").unwrap();
+        let Stmt::AlterDimension {
+            array,
+            dimension,
+            range,
+        } = s
+        else {
             panic!()
         };
         assert_eq!(array, "matrix");
@@ -976,7 +992,9 @@ mod tests {
     #[test]
     fn cell_references() {
         let e = parse_expression("v - img[x-1][y]").unwrap();
-        let Expr::Binary { rhs, .. } = e else { panic!() };
+        let Expr::Binary { rhs, .. } = e else {
+            panic!()
+        };
         let Expr::Cell { array, indices } = *rhs else {
             panic!("expected cell ref")
         };
@@ -1036,10 +1054,8 @@ mod tests {
 
     #[test]
     fn joins_desugar_to_where() {
-        let s = parse_statement(
-            "SELECT a.v FROM a INNER JOIN b ON a.x = b.x WHERE a.v > 0",
-        )
-        .unwrap();
+        let s =
+            parse_statement("SELECT a.v FROM a INNER JOIN b ON a.x = b.x WHERE a.v > 0").unwrap();
         let Stmt::Select(sel) = s else { panic!() };
         assert_eq!(sel.from.len(), 2);
         let w = sel.where_clause.unwrap();
@@ -1061,10 +1077,7 @@ mod tests {
 
     #[test]
     fn order_limit_offset() {
-        let s = parse_statement(
-            "SELECT v FROM t ORDER BY v DESC, x LIMIT 10 OFFSET 5",
-        )
-        .unwrap();
+        let s = parse_statement("SELECT v FROM t ORDER BY v DESC, x LIMIT 10 OFFSET 5").unwrap();
         let Stmt::Select(sel) = s else { panic!() };
         assert_eq!(sel.order_by.len(), 2);
         assert!(sel.order_by[0].desc);
@@ -1076,7 +1089,12 @@ mod tests {
     #[test]
     fn insert_values_multi_row() {
         let s = parse_statement("INSERT INTO t (x, v) VALUES (1, 2), (3, 4)").unwrap();
-        let Stmt::Insert { columns, source: InsertSource::Values(rows), .. } = s else {
+        let Stmt::Insert {
+            columns,
+            source: InsertSource::Values(rows),
+            ..
+        } = s
+        else {
             panic!()
         };
         assert_eq!(columns.unwrap(), vec!["x", "v"]);
@@ -1085,10 +1103,9 @@ mod tests {
 
     #[test]
     fn multiple_statements() {
-        let stmts = parse_statements(
-            "CREATE TABLE t (x INT); INSERT INTO t VALUES (1); SELECT x FROM t;",
-        )
-        .unwrap();
+        let stmts =
+            parse_statements("CREATE TABLE t (x INT); INSERT INTO t VALUES (1); SELECT x FROM t;")
+                .unwrap();
         assert_eq!(stmts.len(), 3);
     }
 
@@ -1097,7 +1114,10 @@ mod tests {
         let err = parse_statement("SELECT FROM t").unwrap_err();
         assert!(err.to_string().contains("offset"), "{err}");
         assert!(parse_statement("CREATE TABLE t (x INT DIMENSION[0:1:2])").is_err());
-        assert!(parse_statement("CREATE ARRAY a (v INT)").is_err(), "array needs a dimension");
+        assert!(
+            parse_statement("CREATE ARRAY a (v INT)").is_err(),
+            "array needs a dimension"
+        );
         assert!(parse_statement("SELECT a FROM t LEFT JOIN u ON a = b").is_err());
     }
 
@@ -1117,7 +1137,9 @@ mod tests {
     #[test]
     fn simple_case_with_operand() {
         let e = parse_expression("CASE v WHEN 1 THEN 'a' ELSE 'b' END").unwrap();
-        let Expr::Case { operand, .. } = e else { panic!() };
+        let Expr::Case { operand, .. } = e else {
+            panic!()
+        };
         assert!(operand.is_some());
     }
 }

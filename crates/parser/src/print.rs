@@ -67,7 +67,11 @@ impl fmt::Display for Expr {
                 write!(f, "({lhs} {} {rhs})", op.sql())
             }
             Expr::IsNull { expr, negated } => {
-                write!(f, "(({expr}) IS {}NULL)", if *negated { "NOT " } else { "" })
+                write!(
+                    f,
+                    "(({expr}) IS {}NULL)",
+                    if *negated { "NOT " } else { "" }
+                )
             }
             Expr::Between {
                 expr,
@@ -377,9 +381,12 @@ mod tests {
         for sql in statements {
             let ast1 = parse_statement(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
             let printed = ast1.to_string();
-            let ast2 = parse_statement(&printed)
-                .unwrap_or_else(|e| panic!("reparse of {printed:?}: {e}"));
-            assert_eq!(ast1, ast2, "roundtrip changed the AST for {sql:?}\nprinted: {printed}");
+            let ast2 =
+                parse_statement(&printed).unwrap_or_else(|e| panic!("reparse of {printed:?}: {e}"));
+            assert_eq!(
+                ast1, ast2,
+                "roundtrip changed the AST for {sql:?}\nprinted: {printed}"
+            );
         }
     }
 

@@ -54,8 +54,7 @@ fn expr() -> impl Strategy<Value = Expr> {
     let leaf = prop_oneof![literal(), column()];
     leaf.prop_recursive(4, 48, 4, |inner| {
         prop_oneof![
-            (binop(), inner.clone(), inner.clone())
-                .prop_map(|(op, l, r)| Expr::bin(op, l, r)),
+            (binop(), inner.clone(), inner.clone()).prop_map(|(op, l, r)| Expr::bin(op, l, r)),
             inner.clone().prop_map(|e| Expr::Unary {
                 op: UnaryOp::Not,
                 expr: Box::new(e),
@@ -91,20 +90,19 @@ fn expr() -> impl Strategy<Value = Expr> {
                     whens,
                     else_: Some(Box::new(else_)),
                 }),
-            ("[a-z]{1,5}", proptest::collection::vec(inner.clone(), 1..3)).prop_map(
-                |(array, indices)| Expr::Cell { array, indices }
-            ),
+            ("[a-z]{1,5}", proptest::collection::vec(inner.clone(), 1..3))
+                .prop_map(|(array, indices)| Expr::Cell { array, indices }),
             inner.clone().prop_map(|e| Expr::Cast {
                 expr: Box::new(e),
                 ty: "INT".into(),
             }),
-            ("SUM|AVG|MIN|MAX", proptest::collection::vec(inner, 1..2)).prop_map(
-                |(name, args)| Expr::Func {
+            ("SUM|AVG|MIN|MAX", proptest::collection::vec(inner, 1..2)).prop_map(|(name, args)| {
+                Expr::Func {
                     name,
                     args,
                     star: false,
                 }
-            ),
+            }),
         ]
     })
 }
@@ -115,12 +113,8 @@ fn mentions_keyword(e: &Expr) -> bool {
     use sciql_parser::token::Keyword;
     let is_kw = |s: &str| Keyword::from_word(s).is_some();
     match e {
-        Expr::Column { qualifier, name } => {
-            qualifier.as_deref().is_some_and(is_kw) || is_kw(name)
-        }
-        Expr::Cell { array, indices } => {
-            is_kw(array) || indices.iter().any(mentions_keyword)
-        }
+        Expr::Column { qualifier, name } => qualifier.as_deref().is_some_and(is_kw) || is_kw(name),
+        Expr::Cell { array, indices } => is_kw(array) || indices.iter().any(mentions_keyword),
         Expr::Literal(_) => false,
         Expr::Unary { expr, .. } => mentions_keyword(expr),
         Expr::Binary { lhs, rhs, .. } => mentions_keyword(lhs) || mentions_keyword(rhs),

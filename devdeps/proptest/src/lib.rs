@@ -1,0 +1,747 @@
+//! Minimal in-tree stand-in for the `proptest` crate.
+//!
+//! The build container has no crates.io access, so this vendored shim
+//! implements the subset of proptest used by the workspace: the
+//! [`strategy::Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! `prop_recursive` / `boxed`, range and tuple strategies, a tiny
+//! regex-subset string strategy, `Just`, `any::<bool>()`, the
+//! [`collection`], [`option`] and [`bool`](crate::bool) modules, and the
+//! `proptest!`, `prop_oneof!`, `prop_assert!`, `prop_assert_eq!`,
+//! `prop_assume!` macros.
+//!
+//! Differences from real proptest: generation is purely random (seeded
+//! deterministically per test name) and failures are **not shrunk** —
+//! the failing input is reported as generated.
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Why a single generated test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The case was vetoed by `prop_assume!` — generate another.
+        Reject(String),
+        /// The property failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Construct a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+        /// Construct a rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+                TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+            }
+        }
+    }
+
+    /// Result of one generated case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Per-`proptest!` block configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted cases to run.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Deterministic splitmix64 generator driving all strategies.
+    #[derive(Debug, Clone)]
+    pub struct Rng {
+        state: u64,
+    }
+
+    impl Rng {
+        /// Seed deterministically from a test name.
+        pub fn from_name(name: &str) -> Self {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            name.hash(&mut h);
+            Rng {
+                state: h.finish() ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// Next raw 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: usize) -> usize {
+            (self.next_u64() % n as u64) as usize
+        }
+
+        /// Uniform draw in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::Rng;
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generate one value.
+        fn gen(&self, rng: &mut Rng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { s: self, f }
+        }
+
+        /// Generate a value, then generate from the strategy `f` builds
+        /// from it.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { s: self, f }
+        }
+
+        /// Build recursive structures: `self` is the leaf strategy and
+        /// `recurse` wraps an inner strategy into one more level.
+        /// `depth` bounds recursion; the size hints are accepted for
+        /// API compatibility and ignored.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let leaf = self.boxed();
+            let mut cur = leaf.clone();
+            for _ in 0..depth {
+                let next = recurse(cur).boxed();
+                // Mix in leaves so trees terminate at every level.
+                cur = Union::new(vec![leaf.clone(), next]).boxed();
+            }
+            cur
+        }
+
+        /// Type-erase the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng: &mut Rng| self.gen(rng)))
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut Rng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn gen(&self, rng: &mut Rng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        s: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn gen(&self, rng: &mut Rng) -> O {
+            (self.f)(self.s.gen(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        s: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn gen(&self, rng: &mut Rng) -> S2::Value {
+            (self.f)(self.s.gen(rng)).gen(rng)
+        }
+    }
+
+    /// Uniform choice between alternative strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        alts: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                alts: self.alts.clone(),
+            }
+        }
+    }
+
+    impl<T> Union<T> {
+        /// Build from boxed alternatives; must be non-empty.
+        pub fn new(alts: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!alts.is_empty(), "prop_oneof! needs at least one arm");
+            Union { alts }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn gen(&self, rng: &mut Rng) -> T {
+            let i = rng.below(self.alts.len());
+            self.alts[i].gen(rng)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen(&self, _rng: &mut Rng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn gen(&self, rng: &mut Rng) -> $t {
+                    assert!(self.start < self.end, "strategy on empty range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = ((rng.next_u64() as u128) % span) as i128;
+                    (self.start as i128 + v) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn gen(&self, rng: &mut Rng) -> f64 {
+            assert!(self.start < self.end, "strategy on empty range");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    /// String strategy from a regex subset: alternation of sequences of
+    /// literal characters and `[...]` classes, each optionally followed
+    /// by `{n}` or `{m,n}` repetition. Covers the patterns used in this
+    /// workspace (e.g. `"[a-z][a-z0-9_]{0,6}"`, `"SUM|AVG|MIN|MAX"`).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn gen(&self, rng: &mut Rng) -> String {
+            gen_from_pattern(self, rng)
+        }
+    }
+
+    fn gen_from_pattern(pat: &str, rng: &mut Rng) -> String {
+        let alts: Vec<&str> = pat.split('|').collect();
+        let alt = alts[rng.below(alts.len())];
+        let chars: Vec<char> = alt.chars().collect();
+        let mut out = String::new();
+        let mut i = 0usize;
+        while i < chars.len() {
+            // Parse one atom.
+            let atom: Vec<char> = if chars[i] == '[' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .expect("unclosed [ in pattern")
+                    + i;
+                let class = expand_class(&chars[i + 1..close]);
+                i = close + 1;
+                class
+            } else {
+                let c = chars[i];
+                i += 1;
+                vec![c]
+            };
+            // Optional repetition.
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unclosed { in pattern")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((a, b)) => (
+                        a.trim().parse::<usize>().expect("bad repeat bound"),
+                        b.trim().parse::<usize>().expect("bad repeat bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse::<usize>().expect("bad repeat count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            let n = if hi > lo {
+                lo + rng.below(hi - lo + 1)
+            } else {
+                lo
+            };
+            for _ in 0..n {
+                out.push(atom[rng.below(atom.len().max(1))]);
+            }
+        }
+        out
+    }
+
+    fn expand_class(body: &[char]) -> Vec<char> {
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        while i < body.len() {
+            if i + 2 < body.len() && body[i + 1] == '-' {
+                let (a, b) = (body[i], body[i + 2]);
+                for c in a..=b {
+                    out.push(c);
+                }
+                i += 3;
+            } else {
+                out.push(body[i]);
+                i += 1;
+            }
+        }
+        assert!(!out.is_empty(), "empty character class");
+        out
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn gen(&self, rng: &mut Rng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.gen(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    /// Types with a canonical default strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        /// Generate one arbitrary value.
+        fn arbitrary(rng: &mut Rng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut Rng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut Rng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize);
+
+    /// Strategy wrapper for [`Arbitrary`] types.
+    pub struct ArbitraryStrategy<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for ArbitraryStrategy<T> {
+        type Value = T;
+        fn gen(&self, rng: &mut Rng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+        ArbitraryStrategy(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::Rng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Size specification for collection strategies: a fixed size or a
+    /// half-open range.
+    pub trait SizeRange {
+        /// Draw a concrete size.
+        fn pick(&self, rng: &mut Rng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut Rng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut Rng) -> usize {
+            assert!(self.start < self.end, "empty collection size range");
+            self.start + rng.below(self.end - self.start)
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from `element`.
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn gen(&self, rng: &mut Rng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.gen(rng)).collect()
+        }
+    }
+
+    /// `Vec` of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy producing `BTreeSet`s. May generate fewer elements than
+    /// requested when duplicates collide (matching real proptest).
+    pub struct BTreeSetStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for BTreeSetStrategy<S, R>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn gen(&self, rng: &mut Rng) -> BTreeSet<S::Value> {
+            let n = self.size.pick(rng);
+            let mut out = BTreeSet::new();
+            for _ in 0..n.saturating_mul(4) {
+                if out.len() >= n {
+                    break;
+                }
+                out.insert(self.element.gen(rng));
+            }
+            out
+        }
+    }
+
+    /// `BTreeSet` of up to `size` elements drawn from `element`.
+    pub fn btree_set<S: Strategy, R: SizeRange>(element: S, size: R) -> BTreeSetStrategy<S, R>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+}
+
+pub mod option {
+    use super::strategy::Strategy;
+    use super::test_runner::Rng;
+
+    /// Strategy producing `Option`s with a given `Some` probability.
+    pub struct OptionStrategy<S> {
+        some_probability: f64,
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn gen(&self, rng: &mut Rng) -> Option<S::Value> {
+            if rng.unit_f64() < self.some_probability {
+                Some(self.inner.gen(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// `Some` with probability `some_probability`, else `None`.
+    pub fn weighted<S: Strategy>(some_probability: f64, inner: S) -> OptionStrategy<S> {
+        OptionStrategy {
+            some_probability,
+            inner,
+        }
+    }
+
+    /// `Some`/`None` with equal probability.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        weighted(0.5, inner)
+    }
+}
+
+pub mod bool {
+    use super::strategy::Strategy;
+    use super::test_runner::Rng;
+
+    /// Strategy producing `true` with a fixed probability.
+    pub struct WeightedBool(f64);
+
+    impl Strategy for WeightedBool {
+        type Value = bool;
+        fn gen(&self, rng: &mut Rng) -> bool {
+            rng.unit_f64() < self.0
+        }
+    }
+
+    /// `true` with probability `probability`.
+    pub fn weighted(probability: f64) -> WeightedBool {
+        WeightedBool(probability)
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Run property tests: each `#[test] fn name(pat in strategy, …) { body }`
+/// becomes a normal test generating and checking `cases` inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::Rng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            let mut __accepted: u32 = 0;
+            let mut __rejected: u32 = 0;
+            while __accepted < __config.cases {
+                $(let $pat = $crate::strategy::Strategy::gen(&($strat), &mut __rng);)+
+                let __outcome: $crate::test_runner::TestCaseResult =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => __accepted += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        __rejected += 1;
+                        if __rejected > __config.cases.saturating_mul(64).saturating_add(1024) {
+                            panic!(
+                                "proptest {}: too many prop_assume! rejections ({} accepted, {} rejected)",
+                                stringify!($name), __accepted, __rejected
+                            );
+                        }
+                    }
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                        panic!("proptest {} failed after {} cases: {}", stringify!($name), __accepted, __msg);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Assert within a proptest body; failure reports the condition.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+))
+            );
+        }
+    };
+}
+
+/// Assert equality within a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}: {}", l, r, format!($($fmt)+));
+    }};
+}
+
+/// Assert inequality within a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Skip this generated case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -50i32..50, y in 0usize..10) {
+            prop_assert!((-50..50).contains(&x));
+            prop_assert!(y < 10);
+        }
+
+        #[test]
+        fn tuples_and_vecs((a, b) in (0i64..5, 0i64..5), v in crate::collection::vec(0u8..4, 0..6)) {
+            prop_assert!(a < 5 && b < 5);
+            prop_assert!(v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 4));
+        }
+
+        #[test]
+        fn assume_rejects_cleanly(x in 0i32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn string_patterns(s in "[a-z]{1,4}", kw in "SUM|AVG|MIN|MAX") {
+            prop_assert!(!s.is_empty() && s.len() <= 4);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!(["SUM", "AVG", "MIN", "MAX"].contains(&kw.as_str()));
+        }
+    }
+
+    #[test]
+    fn oneof_and_recursive_terminate() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(i32),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(l, r) => 1 + depth(l).max(depth(r)),
+            }
+        }
+        let leaf = prop_oneof![(0i32..10).prop_map(Tree::Leaf), Just(Tree::Leaf(-1))];
+        let strat = leaf.prop_recursive(4, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(l, r)| Tree::Node(Box::new(l), Box::new(r)))
+        });
+        let mut rng = crate::test_runner::Rng::from_name("recursive");
+        for _ in 0..200 {
+            let t = strat.gen(&mut rng);
+            assert!(depth(&t) <= 5, "depth bound respected: {t:?}");
+        }
+    }
+
+    #[test]
+    fn option_and_btree_set() {
+        let mut rng = crate::test_runner::Rng::from_name("opts");
+        let s = crate::option::weighted(0.85, 0i32..10);
+        let somes = (0..1000).filter(|_| s.gen(&mut rng).is_some()).count();
+        assert!((700..1000).contains(&somes), "≈85% Some: {somes}");
+        let set = crate::collection::btree_set(0u64..100, 0..40);
+        let v = set.gen(&mut rng);
+        assert!(v.len() < 40);
+    }
+}

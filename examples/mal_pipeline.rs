@@ -56,7 +56,12 @@ fn main() {
         vec![Arg::Var(cand), Arg::Var(vv)],
         MalType::Bat(ScalarType::Int),
     );
-    let sum = p.emit("aggr", "sum", vec![Arg::Var(vals)], MalType::Scalar(ScalarType::Lng));
+    let sum = p.emit(
+        "aggr",
+        "sum",
+        vec![Arg::Var(vals)],
+        MalType::Scalar(ScalarType::Lng),
+    );
     // dead code for the optimizer to find:
     let _unused = p.emit(
         "batcalc",

@@ -23,7 +23,10 @@ fn main() {
            v INT DEFAULT 0)",
     )
     .unwrap();
-    show(&mut conn, "Fig 1(a): CREATE ARRAY matrix — all cells default 0");
+    show(
+        &mut conn,
+        "Fig 1(a): CREATE ARRAY matrix — all cells default 0",
+    );
 
     // Fig 1(b): guarded UPDATE with dimensions as bound variables.
     conn.execute(
@@ -37,7 +40,10 @@ fn main() {
     conn.execute("INSERT INTO matrix SELECT [x], [y], x * y FROM matrix WHERE x = y")
         .unwrap();
     conn.execute("DELETE FROM matrix WHERE x > y").unwrap();
-    show(&mut conn, "Fig 1(c): INSERT diagonal x*y, DELETE x > y (holes)");
+    show(
+        &mut conn,
+        "Fig 1(c): INSERT diagonal x*y, DELETE x > y (holes)",
+    );
 
     // Fig 1(d)/(e): structural grouping — 2×2 tiles, anchors filtered by
     // HAVING, holes ignored by AVG.
@@ -57,7 +63,10 @@ fn main() {
         .unwrap();
     conn.execute("ALTER ARRAY matrix ALTER DIMENSION y SET RANGE [-1:1:5]")
         .unwrap();
-    show(&mut conn, "Fig 1(f): ALTER ARRAY — expanded with default border");
+    show(
+        &mut conn,
+        "Fig 1(f): ALTER ARRAY — expanded with default border",
+    );
 
     // Bonus: what the engine actually runs (Fig 2 pipeline).
     println!("== EXPLAIN of the tiling query");

@@ -116,23 +116,47 @@ fn three_valued_logic_in_where() {
     )
     .unwrap();
     // NULL comparisons never qualify.
-    assert_eq!(c.query("SELECT COUNT(*) FROM t WHERE a > 0").unwrap().scalar().unwrap(), Value::Lng(2));
-    assert_eq!(c.query("SELECT COUNT(*) FROM t WHERE NOT a > 0").unwrap().scalar().unwrap(), Value::Lng(0));
     assert_eq!(
-        c.query("SELECT COUNT(*) FROM t WHERE a IS NULL").unwrap().scalar().unwrap(),
+        c.query("SELECT COUNT(*) FROM t WHERE a > 0")
+            .unwrap()
+            .scalar()
+            .unwrap(),
+        Value::Lng(2)
+    );
+    assert_eq!(
+        c.query("SELECT COUNT(*) FROM t WHERE NOT a > 0")
+            .unwrap()
+            .scalar()
+            .unwrap(),
+        Value::Lng(0)
+    );
+    assert_eq!(
+        c.query("SELECT COUNT(*) FROM t WHERE a IS NULL")
+            .unwrap()
+            .scalar()
+            .unwrap(),
         Value::Lng(1)
     );
     assert_eq!(
-        c.query("SELECT COUNT(*) FROM t WHERE a IS NOT NULL").unwrap().scalar().unwrap(),
+        c.query("SELECT COUNT(*) FROM t WHERE a IS NOT NULL")
+            .unwrap()
+            .scalar()
+            .unwrap(),
         Value::Lng(2)
     );
     // IN and BETWEEN with NULLs.
     assert_eq!(
-        c.query("SELECT COUNT(*) FROM t WHERE a IN (1, 2)").unwrap().scalar().unwrap(),
+        c.query("SELECT COUNT(*) FROM t WHERE a IN (1, 2)")
+            .unwrap()
+            .scalar()
+            .unwrap(),
         Value::Lng(1)
     );
     assert_eq!(
-        c.query("SELECT COUNT(*) FROM t WHERE a BETWEEN 1 AND 3").unwrap().scalar().unwrap(),
+        c.query("SELECT COUNT(*) FROM t WHERE a BETWEEN 1 AND 3")
+            .unwrap()
+            .scalar()
+            .unwrap(),
         Value::Lng(2)
     );
 }
@@ -140,20 +164,35 @@ fn three_valued_logic_in_where() {
 #[test]
 fn expressions_and_functions() {
     let mut c = conn();
-    assert_eq!(c.query("SELECT 1 + 2 * 3").unwrap().scalar().unwrap(), Value::Int(7));
     assert_eq!(
-        c.query("SELECT ABS(-4) + 10 MOD 3").unwrap().scalar().unwrap(),
+        c.query("SELECT 1 + 2 * 3").unwrap().scalar().unwrap(),
+        Value::Int(7)
+    );
+    assert_eq!(
+        c.query("SELECT ABS(-4) + 10 MOD 3")
+            .unwrap()
+            .scalar()
+            .unwrap(),
         Value::Int(5)
     );
     assert_eq!(
-        c.query("SELECT CAST(2.6 AS INT)").unwrap().scalar().unwrap(),
+        c.query("SELECT CAST(2.6 AS INT)")
+            .unwrap()
+            .scalar()
+            .unwrap(),
         Value::Int(3)
     );
     assert_eq!(
-        c.query("SELECT CASE WHEN 1 > 2 THEN 'a' ELSE 'b' END").unwrap().scalar().unwrap(),
+        c.query("SELECT CASE WHEN 1 > 2 THEN 'a' ELSE 'b' END")
+            .unwrap()
+            .scalar()
+            .unwrap(),
         Value::Str("b".into())
     );
-    assert!(c.query("SELECT 1 / 0").is_err(), "division by zero is an error");
+    assert!(
+        c.query("SELECT 1 / 0").is_err(),
+        "division by zero is an error"
+    );
 }
 
 // ----------------------------------------------------------------------
@@ -187,7 +226,10 @@ fn three_dimensional_array() {
     )
     .unwrap();
     assert_eq!(
-        c.query("SELECT COUNT(*) FROM cube").unwrap().scalar().unwrap(),
+        c.query("SELECT COUNT(*) FROM cube")
+            .unwrap()
+            .scalar()
+            .unwrap(),
         Value::Lng(27)
     );
     c.execute("UPDATE cube SET v = x * 9 + y * 3 + z").unwrap();
@@ -219,7 +261,10 @@ fn non_unit_step_dimension() {
     assert!(c.execute("INSERT INTO s VALUES (15, 1)").is_err());
     c.execute("INSERT INTO s VALUES (20, 1)").unwrap();
     assert_eq!(
-        c.query("SELECT v FROM s WHERE x = 20").unwrap().scalar().unwrap(),
+        c.query("SELECT v FROM s WHERE x = 20")
+            .unwrap()
+            .scalar()
+            .unwrap(),
         Value::Int(1)
     );
 }
@@ -227,21 +272,29 @@ fn non_unit_step_dimension() {
 #[test]
 fn unbounded_array_derives_range_on_insert() {
     let mut c = conn();
-    c.execute("CREATE ARRAY u (x INT DIMENSION, v INT DEFAULT 0)").unwrap();
+    c.execute("CREATE ARRAY u (x INT DIMENSION, v INT DEFAULT 0)")
+        .unwrap();
     // Not materialised yet: scanning fails cleanly.
     assert!(c.query("SELECT v FROM u").is_err());
     c.execute("CREATE TABLE src (x INT, v INT)").unwrap();
-    c.execute("INSERT INTO src VALUES (3, 30), (7, 70), (5, 50)").unwrap();
+    c.execute("INSERT INTO src VALUES (3, 30), (7, 70), (5, 50)")
+        .unwrap();
     c.execute("INSERT INTO u SELECT x, v FROM src").unwrap();
     // Derived range [3, 8) with step 1 — all cells exist, holes default 0.
     let rs = c.query("SELECT COUNT(*) FROM u").unwrap();
     assert_eq!(rs.scalar().unwrap(), Value::Lng(5));
     assert_eq!(
-        c.query("SELECT v FROM u WHERE x = 5").unwrap().scalar().unwrap(),
+        c.query("SELECT v FROM u WHERE x = 5")
+            .unwrap()
+            .scalar()
+            .unwrap(),
         Value::Int(50)
     );
     assert_eq!(
-        c.query("SELECT v FROM u WHERE x = 4").unwrap().scalar().unwrap(),
+        c.query("SELECT v FROM u WHERE x = 4")
+            .unwrap()
+            .scalar()
+            .unwrap(),
         Value::Int(0),
         "gap cell exists with the default"
     );
@@ -250,13 +303,15 @@ fn unbounded_array_derives_range_on_insert() {
 #[test]
 fn negative_and_shrinking_ranges() {
     let mut c = conn();
-    c.execute("CREATE ARRAY m (x INT DIMENSION[-2:1:3], v INT DEFAULT 5)").unwrap();
+    c.execute("CREATE ARRAY m (x INT DIMENSION[-2:1:3], v INT DEFAULT 5)")
+        .unwrap();
     assert_eq!(
         c.query("SELECT COUNT(*) FROM m").unwrap().scalar().unwrap(),
         Value::Lng(5)
     );
     c.execute("UPDATE m SET v = x WHERE x < 0").unwrap();
-    c.execute("ALTER ARRAY m ALTER DIMENSION x SET RANGE [-1:1:2]").unwrap();
+    c.execute("ALTER ARRAY m ALTER DIMENSION x SET RANGE [-1:1:2]")
+        .unwrap();
     let rs = c.query("SELECT x, v FROM m ORDER BY x").unwrap();
     assert_eq!(rs.row_count(), 3);
     assert_eq!(rs.row(0), vec![Value::Int(-1), Value::Int(-1)]);
@@ -271,10 +326,17 @@ fn multi_attribute_array() {
          flag INT DEFAULT 1)",
     )
     .unwrap();
-    c.execute("UPDATE obs SET temp = t * 0.5, flag = 0 WHERE t >= 2").unwrap();
+    c.execute("UPDATE obs SET temp = t * 0.5, flag = 0 WHERE t >= 2")
+        .unwrap();
     let rs = c.query("SELECT t, temp, flag FROM obs ORDER BY t").unwrap();
-    assert_eq!(rs.row(3), vec![Value::Int(3), Value::Dbl(1.5), Value::Int(0)]);
-    assert_eq!(rs.row(1), vec![Value::Int(1), Value::Dbl(0.0), Value::Int(1)]);
+    assert_eq!(
+        rs.row(3),
+        vec![Value::Int(3), Value::Dbl(1.5), Value::Int(0)]
+    );
+    assert_eq!(
+        rs.row(1),
+        vec![Value::Int(1), Value::Dbl(0.0), Value::Int(1)]
+    );
     // DELETE punches holes in all attributes.
     c.execute("DELETE FROM obs WHERE t = 0").unwrap();
     let rs = c.query("SELECT temp, flag FROM obs WHERE t = 0").unwrap();
@@ -288,7 +350,8 @@ fn multi_attribute_array() {
 #[test]
 fn error_paths_are_clean() {
     let mut c = conn();
-    c.execute("CREATE ARRAY m (x INT DIMENSION[0:1:4], v INT DEFAULT 0)").unwrap();
+    c.execute("CREATE ARRAY m (x INT DIMENSION[0:1:4], v INT DEFAULT 0)")
+        .unwrap();
     // Duplicate object.
     assert!(c.execute("CREATE TABLE m (a INT)").is_err());
     // Kind mismatch on DROP.
@@ -328,9 +391,7 @@ fn string_columns_work_through_the_stack() {
         .query("SELECT name, COUNT(*) FROM s GROUP BY name ORDER BY name")
         .unwrap();
     assert_eq!(rs.row(0), vec![Value::Str("alpha".into()), Value::Lng(2)]);
-    let rs = c
-        .query("SELECT k FROM s WHERE name = 'beta'")
-        .unwrap();
+    let rs = c.query("SELECT k FROM s WHERE name = 'beta'").unwrap();
     assert_eq!(rs.scalar().unwrap(), Value::Int(2));
 }
 
@@ -338,10 +399,12 @@ fn string_columns_work_through_the_stack() {
 fn insert_select_reads_pre_insert_state() {
     // INSERT INTO m SELECT … FROM m must not observe its own writes.
     let mut c = conn();
-    c.execute("CREATE ARRAY m (x INT DIMENSION[0:1:4], v INT DEFAULT 1)").unwrap();
+    c.execute("CREATE ARRAY m (x INT DIMENSION[0:1:4], v INT DEFAULT 1)")
+        .unwrap();
     c.execute("UPDATE m SET v = x").unwrap();
     // Shift everything one to the right using a self-read.
-    c.execute("INSERT INTO m SELECT [x], m[x-1] FROM m WHERE x > 0").unwrap();
+    c.execute("INSERT INTO m SELECT [x], m[x-1] FROM m WHERE x > 0")
+        .unwrap();
     let rs = c.query("SELECT v FROM m ORDER BY x").unwrap();
     let vals: Vec<Value> = rs.rows().map(|r| r[0].clone()).collect();
     assert_eq!(

@@ -31,11 +31,7 @@ fn expect_grid(c: &mut Connection, grid: [[Option<i32>; 4]; 4]) {
     for (y, row) in grid.iter().enumerate() {
         for (x, cell) in row.iter().enumerate() {
             let want = cell.map(Value::Int).unwrap_or(Value::Null);
-            assert_eq!(
-                v_at(c, x as i64, y as i64),
-                want,
-                "cell (x={x}, y={y})"
-            );
+            assert_eq!(v_at(c, x as i64, y as i64), want, "cell (x={x}, y={y})");
         }
     }
 }
@@ -103,7 +99,9 @@ fn fig1c_insert_overwrites_and_delete_punches_holes() {
         ],
     );
     // 6 holes were punched (cells with x > y).
-    let rs = c.query("SELECT COUNT(*) FROM matrix WHERE v IS NULL").unwrap();
+    let rs = c
+        .query("SELECT COUNT(*) FROM matrix WHERE v IS NULL")
+        .unwrap();
     assert_eq!(rs.scalar().unwrap(), Value::Lng(6));
 }
 
@@ -140,7 +138,11 @@ fn fig1f_dimension_expansion() {
     c.execute("ALTER ARRAY matrix ALTER DIMENSION y SET RANGE [-1:1:5]")
         .unwrap();
     let rs = c.query("SELECT x, y, v FROM matrix").unwrap();
-    assert_eq!(rs.row_count(), 36, "6×6 after expanding by 1 in all directions");
+    assert_eq!(
+        rs.row_count(),
+        36,
+        "6×6 after expanding by 1 in all directions"
+    );
     // Old values preserved (Fig 1(f) keeps the Fig 1(c) interior).
     assert_eq!(v_at(&mut c, 3, 3), Value::Int(9));
     assert_eq!(v_at(&mut c, 0, 1), Value::Int(-1));
@@ -158,8 +160,10 @@ fn fig1f_dimension_expansion() {
 fn array_table_coercions_roundtrip() {
     // §2 "Array and Table Coercions": array → table → array.
     let mut c = setup_fig1c();
-    c.execute("CREATE TABLE mtable (x INT, y INT, v INT)").unwrap();
-    c.execute("INSERT INTO mtable SELECT x, y, v FROM matrix").unwrap();
+    c.execute("CREATE TABLE mtable (x INT, y INT, v INT)")
+        .unwrap();
+    c.execute("INSERT INTO mtable SELECT x, y, v FROM matrix")
+        .unwrap();
     let rs = c.query("SELECT x, y, v FROM mtable").unwrap();
     assert_eq!(rs.row_count(), 16);
     // Table → array with the [x], [y] qualifiers.

@@ -48,9 +48,7 @@ fn explain_exposes_pipeline_stages() {
     )
     .unwrap();
     let text = c
-        .explain(
-            "SELECT [x], [y], AVG(v) FROM matrix GROUP BY matrix[x:x+2][y:y+2]",
-        )
+        .explain("SELECT [x], [y], AVG(v) FROM matrix GROUP BY matrix[x:x+2][y:y+2]")
         .unwrap();
     assert!(text.contains("-- logical plan"), "{text}");
     assert!(text.contains("Tile cells=4"), "{text}");
@@ -109,11 +107,13 @@ fn candidate_and_mask_codegen_agree() {
         let mut cands = fig1c_session();
         cands.set_codegen(CodegenOptions {
             candidate_pushdown: true,
+            ..CodegenOptions::default()
         });
         let a = cands.query(sql).unwrap();
         let mut masks = fig1c_session();
         masks.set_codegen(CodegenOptions {
             candidate_pushdown: false,
+            ..CodegenOptions::default()
         });
         let b = masks.query(sql).unwrap();
         assert_eq!(a.row_count(), b.row_count(), "{sql}");
@@ -148,12 +148,14 @@ fn candidate_pushdown_produces_fewer_tuples() {
     let mut cands = fig1c_session();
     cands.set_codegen(CodegenOptions {
         candidate_pushdown: true,
+        ..CodegenOptions::default()
     });
     cands.query(sql).unwrap();
     let with = cands.last_exec().exec.tuples_produced;
     let mut masks = fig1c_session();
     masks.set_codegen(CodegenOptions {
         candidate_pushdown: false,
+        ..CodegenOptions::default()
     });
     masks.query(sql).unwrap();
     let without = masks.last_exec().exec.tuples_produced;
@@ -168,10 +170,8 @@ fn candidate_pushdown_produces_fewer_tuples() {
 #[test]
 fn join_recognition_in_pipeline() {
     let mut c = Connection::new();
-    c.execute(
-        "CREATE ARRAY img (x INT DIMENSION[0:1:8], y INT DIMENSION[0:1:8], v INT DEFAULT 1)",
-    )
-    .unwrap();
+    c.execute("CREATE ARRAY img (x INT DIMENSION[0:1:8], y INT DIMENSION[0:1:8], v INT DEFAULT 1)")
+        .unwrap();
     c.execute(
         "CREATE ARRAY mask (x INT DIMENSION[0:1:8], y INT DIMENSION[0:1:8], v INT DEFAULT 0)",
     )

@@ -54,11 +54,8 @@ fn reference_tile_sum(
 
 fn small_grid() -> impl Strategy<Value = (usize, usize, Vec<Option<i32>>)> {
     (2usize..6, 2usize..6).prop_flat_map(|(w, h)| {
-        proptest::collection::vec(
-            proptest::option::weighted(0.8, -20i32..20),
-            w * h,
-        )
-        .prop_map(move |cells| (w, h, cells))
+        proptest::collection::vec(proptest::option::weighted(0.8, -20i32..20), w * h)
+            .prop_map(move |cells| (w, h, cells))
     })
 }
 
