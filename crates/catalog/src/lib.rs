@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod schema;
+pub mod serde;
 
 pub use schema::{
     ArrayDef, Catalog, CatalogError, ColumnMeta, DimSpec, DimensionDef, SchemaObject, TableDef,

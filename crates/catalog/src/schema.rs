@@ -243,6 +243,7 @@ impl SchemaObject {
 #[derive(Debug, Default, Clone)]
 pub struct Catalog {
     objects: BTreeMap<String, SchemaObject>,
+    version: u64,
 }
 
 impl Catalog {
@@ -262,14 +263,25 @@ impl Catalog {
             return Err(CatalogError::AlreadyExists(obj.name().to_owned()));
         }
         self.objects.insert(key, obj);
+        self.version += 1;
         Ok(())
     }
 
     /// Drop an object.
     pub fn drop_object(&mut self, name: &str) -> Result<SchemaObject, CatalogError> {
-        self.objects
+        let obj = self
+            .objects
             .remove(&Self::key(name))
-            .ok_or_else(|| CatalogError::NotFound(name.to_owned()))
+            .ok_or_else(|| CatalogError::NotFound(name.to_owned()))?;
+        self.version += 1;
+        Ok(obj)
+    }
+
+    /// A counter bumped by every successful schema change (create, drop,
+    /// dimension alteration) — lets callers detect "did anything change?"
+    /// without diffing object lists.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Look up an object.
@@ -317,6 +329,7 @@ impl Catalog {
             .dim_index(dim)
             .ok_or_else(|| CatalogError::NotFound(format!("{array}.{dim}")))?;
         a.dims[k].range = Some(range);
+        self.version += 1;
         Ok(())
     }
 

@@ -1,0 +1,195 @@
+//! Binary (de)serialization of schema objects for the durable vault.
+//!
+//! The catalog snapshot written by `sciql-store` persists every
+//! [`SchemaObject`] — array `DIMENSION[lo:step:hi]` specs, attribute
+//! defaults and table column lists — in a compact tagged format built on
+//! the primitive helpers of [`gdk::codec`]. The container framing
+//! (magic, version, checksum) belongs to the snapshot file, not to the
+//! individual objects encoded here.
+
+use crate::schema::{ArrayDef, ColumnMeta, DimSpec, DimensionDef, SchemaObject, TableDef};
+use gdk::codec::{
+    decode_value, encode_value, put_i64, put_str, put_u32, put_u8, type_from_tag, type_tag,
+    CodecError, CodecResult, Reader,
+};
+
+const TAG_TABLE: u8 = 0;
+const TAG_ARRAY: u8 = 1;
+
+fn encode_column_meta(c: &ColumnMeta, out: &mut Vec<u8>) {
+    put_str(out, &c.name);
+    put_u8(out, type_tag(c.ty));
+    match &c.default {
+        None => put_u8(out, 0),
+        Some(v) => {
+            put_u8(out, 1);
+            encode_value(v, out);
+        }
+    }
+}
+
+fn decode_column_meta(r: &mut Reader<'_>) -> CodecResult<ColumnMeta> {
+    let name = r.str()?;
+    let ty = type_from_tag(r.u8()?)?;
+    let default = match r.u8()? {
+        0 => None,
+        1 => Some(decode_value(r)?),
+        other => return Err(CodecError::Invalid(format!("bad default flag {other}"))),
+    };
+    Ok(ColumnMeta { name, ty, default })
+}
+
+fn encode_dimension(d: &DimensionDef, out: &mut Vec<u8>) {
+    put_str(out, &d.name);
+    put_u8(out, type_tag(d.ty));
+    match &d.range {
+        None => put_u8(out, 0),
+        Some(r) => {
+            put_u8(out, 1);
+            put_i64(out, r.start);
+            put_i64(out, r.step);
+            put_i64(out, r.stop);
+        }
+    }
+}
+
+fn decode_dimension(r: &mut Reader<'_>) -> CodecResult<DimensionDef> {
+    let name = r.str()?;
+    let ty = type_from_tag(r.u8()?)?;
+    let range = match r.u8()? {
+        0 => None,
+        1 => {
+            let (start, step, stop) = (r.i64()?, r.i64()?, r.i64()?);
+            Some(DimSpec::new(start, step, stop).map_err(|e| CodecError::Invalid(e.to_string()))?)
+        }
+        other => return Err(CodecError::Invalid(format!("bad range flag {other}"))),
+    };
+    Ok(DimensionDef { name, ty, range })
+}
+
+/// Encode one schema object.
+pub fn encode_object(obj: &SchemaObject, out: &mut Vec<u8>) {
+    match obj {
+        SchemaObject::Table(t) => {
+            put_u8(out, TAG_TABLE);
+            put_str(out, &t.name);
+            put_u32(out, t.columns.len() as u32);
+            for c in &t.columns {
+                encode_column_meta(c, out);
+            }
+        }
+        SchemaObject::Array(a) => {
+            put_u8(out, TAG_ARRAY);
+            put_str(out, &a.name);
+            put_u32(out, a.dims.len() as u32);
+            for d in &a.dims {
+                encode_dimension(d, out);
+            }
+            put_u32(out, a.attrs.len() as u32);
+            for c in &a.attrs {
+                encode_column_meta(c, out);
+            }
+        }
+    }
+}
+
+/// Decode one schema object.
+pub fn decode_object(r: &mut Reader<'_>) -> CodecResult<SchemaObject> {
+    match r.u8()? {
+        TAG_TABLE => {
+            let name = r.str()?;
+            let n = r.u32()? as usize;
+            let mut columns = Vec::with_capacity(n);
+            for _ in 0..n {
+                columns.push(decode_column_meta(r)?);
+            }
+            Ok(SchemaObject::Table(TableDef { name, columns }))
+        }
+        TAG_ARRAY => {
+            let name = r.str()?;
+            let nd = r.u32()? as usize;
+            let mut dims = Vec::with_capacity(nd);
+            for _ in 0..nd {
+                dims.push(decode_dimension(r)?);
+            }
+            let na = r.u32()? as usize;
+            let mut attrs = Vec::with_capacity(na);
+            for _ in 0..na {
+                attrs.push(decode_column_meta(r)?);
+            }
+            Ok(SchemaObject::Array(ArrayDef { name, dims, attrs }))
+        }
+        other => Err(CodecError::Invalid(format!("unknown object tag {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdk::{ScalarType, Value};
+
+    fn roundtrip(obj: &SchemaObject) {
+        let mut bytes = Vec::new();
+        encode_object(obj, &mut bytes);
+        let mut r = Reader::new(&bytes);
+        let back = decode_object(&mut r).expect("decode");
+        assert_eq!(&back, obj);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn table_roundtrip() {
+        roundtrip(&SchemaObject::Table(TableDef {
+            name: "obs".into(),
+            columns: vec![
+                ColumnMeta {
+                    name: "sid".into(),
+                    ty: ScalarType::Int,
+                    default: None,
+                },
+                ColumnMeta {
+                    name: "label".into(),
+                    ty: ScalarType::Str,
+                    default: Some(Value::Str("it's".into())),
+                },
+            ],
+        }));
+    }
+
+    #[test]
+    fn array_roundtrip_fixed_and_unbounded() {
+        roundtrip(&SchemaObject::Array(ArrayDef {
+            name: "matrix".into(),
+            dims: vec![
+                DimensionDef {
+                    name: "x".into(),
+                    ty: ScalarType::Int,
+                    range: Some(DimSpec::new(-1, 1, 5).unwrap()),
+                },
+                DimensionDef {
+                    name: "t".into(),
+                    ty: ScalarType::Lng,
+                    range: None,
+                },
+            ],
+            attrs: vec![
+                ColumnMeta {
+                    name: "v".into(),
+                    ty: ScalarType::Int,
+                    default: Some(Value::Int(0)),
+                },
+                ColumnMeta {
+                    name: "w".into(),
+                    ty: ScalarType::Dbl,
+                    default: None,
+                },
+            ],
+        }));
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        let mut r = Reader::new(&[7, 0, 0]);
+        assert!(decode_object(&mut r).is_err());
+    }
+}

@@ -63,6 +63,8 @@ pub enum EngineError {
     Mal(mal::MalError),
     /// Kernel error.
     Gdk(gdk::GdkError),
+    /// Durable-store error (I/O or on-disk corruption).
+    Store(sciql_store::StoreError),
     /// Engine-level error.
     Msg(String),
 }
@@ -82,6 +84,7 @@ impl fmt::Display for EngineError {
             EngineError::Catalog(e) => write!(f, "{e}"),
             EngineError::Mal(e) => write!(f, "execution error: {e}"),
             EngineError::Gdk(e) => write!(f, "kernel error: {e}"),
+            EngineError::Store(e) => write!(f, "{e}"),
             EngineError::Msg(m) => f.write_str(m),
         }
     }
@@ -112,6 +115,11 @@ impl From<mal::MalError> for EngineError {
 impl From<gdk::GdkError> for EngineError {
     fn from(e: gdk::GdkError) -> Self {
         EngineError::Gdk(e)
+    }
+}
+impl From<sciql_store::StoreError> for EngineError {
+    fn from(e: sciql_store::StoreError) -> Self {
+        EngineError::Store(e)
     }
 }
 

@@ -10,9 +10,12 @@ use mal::{
 };
 use sciql_algebra::{compile, rewrite, Binder, CodegenOptions, Plan};
 use sciql_catalog::Catalog;
+use sciql_catalog::SchemaObject;
 use sciql_parser::ast::{SelectStmt, Stmt};
 use sciql_parser::{parse_statement, parse_statements};
+use sciql_store::{CheckpointColumn, CheckpointObject, Vault, VaultStats};
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::Arc;
 
 /// Result of executing one statement.
@@ -103,6 +106,11 @@ pub struct Connection {
     opt_config: OptConfig,
     codegen: CodegenOptions,
     last: LastExec,
+    /// Durable backing store; `None` for a purely in-memory session.
+    vault: Option<Vault>,
+    /// True while WAL statements are replayed at open (suppresses
+    /// re-logging them).
+    replaying: bool,
 }
 
 impl Default for Connection {
@@ -128,9 +136,161 @@ impl Connection {
             opt_config: OptConfig::default(),
             codegen: CodegenOptions::default(),
             last: LastExec::default(),
+            vault: None,
+            replaying: false,
         };
         conn.set_session_config(cfg);
         conn
+    }
+
+    /// Open (or create) a **durable** session backed by the vault
+    /// directory `path`, with the default execution configuration.
+    ///
+    /// Recovery runs here: the newest checkpoint is loaded and the WAL
+    /// tail replayed, so the returned connection sees every statement
+    /// that was acknowledged before the last shutdown or crash (a torn
+    /// final WAL record from a crash mid-write is truncated away).
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        Self::open_with_config(path, SessionConfig::default())
+    }
+
+    /// [`Connection::open`] with an explicit execution configuration.
+    pub fn open_with_config(path: impl AsRef<Path>, cfg: SessionConfig) -> Result<Self> {
+        let (vault, recovered) = Vault::open(path).map_err(EngineError::Store)?;
+        let mut conn = Self::with_config(cfg);
+        for obj in recovered.objects {
+            conn.catalog
+                .create(obj.def.clone())
+                .map_err(EngineError::Catalog)?;
+            let key = obj.def.name().to_ascii_lowercase();
+            match (obj.def, obj.columns) {
+                (SchemaObject::Array(def), Some(cols)) => {
+                    let nd = def.dims.len();
+                    let na = def.attrs.len();
+                    if cols.len() != nd + na {
+                        return Err(EngineError::msg(format!(
+                            "recovered array {:?} has {} columns, schema says {}",
+                            def.name,
+                            cols.len(),
+                            nd + na
+                        )));
+                    }
+                    let mut bats: Vec<Arc<Bat>> =
+                        cols.into_iter().map(|c| Arc::new(c.bat)).collect();
+                    let attrs = bats.split_off(nd);
+                    conn.arrays.insert(
+                        key,
+                        ArrayStore {
+                            def,
+                            dims: bats,
+                            attrs,
+                            dirty_dims: vec![false; nd],
+                            dirty_attrs: vec![false; na],
+                            mutations: 0,
+                        },
+                    );
+                }
+                (SchemaObject::Table(def), Some(cols)) => {
+                    if cols.len() != def.columns.len() {
+                        return Err(EngineError::msg(format!(
+                            "recovered table {:?} has {} columns, schema says {}",
+                            def.name,
+                            cols.len(),
+                            def.columns.len()
+                        )));
+                    }
+                    let n = cols.len();
+                    conn.tables.insert(
+                        key,
+                        TableStore {
+                            def,
+                            cols: cols.into_iter().map(|c| Arc::new(c.bat)).collect(),
+                            dirty_cols: vec![false; n],
+                            mutations: 0,
+                        },
+                    );
+                }
+                (_, None) => {} // catalog-only (unmaterialised array)
+            }
+        }
+        conn.vault = Some(vault);
+        conn.replaying = true;
+        let replay: Result<()> = recovered
+            .statements
+            .iter()
+            .try_for_each(|sql| conn.execute(sql).map(|_| ()));
+        conn.replaying = false;
+        replay?;
+        Ok(conn)
+    }
+
+    /// Is this session backed by a durable vault?
+    pub fn is_persistent(&self) -> bool {
+        self.vault.is_some()
+    }
+
+    /// Vault health counters, if persistent.
+    pub fn vault_stats(&self) -> Option<VaultStats> {
+        self.vault.as_ref().map(Vault::stats)
+    }
+
+    /// Write a checkpoint: every dirty column (tracked by the
+    /// copy-on-write update paths in [`ArrayStore`]/[`TableStore`]) is
+    /// rewritten, the catalog snapshot is refreshed, and the WAL is
+    /// rotated. After this returns, recovery no longer needs the old
+    /// log.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        let Some(vault) = self.vault.as_mut() else {
+            return Err(EngineError::msg(
+                "checkpoint requires a persistent connection (Connection::open)",
+            ));
+        };
+        let mut objects: Vec<CheckpointObject<'_>> = Vec::with_capacity(self.catalog.len());
+        for obj in self.catalog.iter() {
+            let key = obj.name().to_ascii_lowercase();
+            let columns = match obj {
+                SchemaObject::Array(def) => self.arrays.get(&key).map(|s| {
+                    def.dims
+                        .iter()
+                        .zip(&s.dims)
+                        .zip(&s.dirty_dims)
+                        .map(|((d, bat), &dirty)| CheckpointColumn {
+                            name: d.name.as_str(),
+                            bat,
+                            dirty,
+                        })
+                        .chain(def.attrs.iter().zip(&s.attrs).zip(&s.dirty_attrs).map(
+                            |((a, bat), &dirty)| CheckpointColumn {
+                                name: a.name.as_str(),
+                                bat,
+                                dirty,
+                            },
+                        ))
+                        .collect()
+                }),
+                SchemaObject::Table(def) => self.tables.get(&key).map(|s| {
+                    def.columns
+                        .iter()
+                        .zip(&s.cols)
+                        .zip(&s.dirty_cols)
+                        .map(|((c, bat), &dirty)| CheckpointColumn {
+                            name: c.name.as_str(),
+                            bat,
+                            dirty,
+                        })
+                        .collect()
+                }),
+            };
+            objects.push(CheckpointObject { def: obj, columns });
+        }
+        vault.checkpoint(&objects).map_err(EngineError::Store)?;
+        for s in self.arrays.values_mut() {
+            s.mark_clean();
+        }
+        for s in self.tables.values_mut() {
+            s.mark_clean();
+        }
+        Ok(())
     }
 
     /// Configure the MAL optimizer pipeline (ablation switch).
@@ -196,7 +356,73 @@ impl Connection {
     }
 
     /// Execute a parsed statement.
+    ///
+    /// On a persistent connection, every *mutating* statement that
+    /// succeeds is appended to the write-ahead log (as its canonical
+    /// printed text — the parser's printer round-trips) and synced
+    /// before this returns: an acknowledged statement survives a crash.
+    ///
+    /// The executors are not atomic: a statement that fails mid-way (a
+    /// multi-row INSERT whose third row does not cast, say) may have
+    /// partially applied. Such a statement is never WAL-logged — replaying
+    /// it would reproduce the error, not the partial effect — so on
+    /// failure the session re-syncs the vault with a checkpoint of the
+    /// actual in-memory state. The same fallback covers a WAL append that
+    /// itself fails after a successful statement.
     pub fn execute_stmt(&mut self, stmt: &Stmt) -> Result<QueryResult> {
+        let logged = !matches!(stmt, Stmt::Select(_)) && !self.replaying && self.vault.is_some();
+        let before = logged.then(|| self.mutation_epoch());
+        match self.dispatch_stmt(stmt) {
+            Ok(result) => {
+                if logged {
+                    let append = self
+                        .vault
+                        .as_mut()
+                        .expect("checked above")
+                        .append_statement(&stmt.to_string());
+                    if append.is_err() {
+                        // The WAL is unavailable; a checkpoint captures the
+                        // acknowledged effect directly, keeping the
+                        // durability promise without the log record.
+                        self.checkpoint()?;
+                    }
+                }
+                Ok(result)
+            }
+            Err(e) => {
+                if logged && before != Some(self.mutation_epoch()) {
+                    // The failed statement partially applied before
+                    // erroring. It cannot be WAL-logged (replay would hit
+                    // the same error, not the partial effect), so snapshot
+                    // the live state; if that also fails, say so rather
+                    // than letting recovery silently diverge.
+                    if let Err(ce) = self.checkpoint() {
+                        return Err(EngineError::msg(format!(
+                            "statement failed ({e}) after partially applying, and the \
+                             re-sync checkpoint also failed ({ce}): durable state lags \
+                             the session until a checkpoint succeeds"
+                        )));
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// A fingerprint of everything a statement can mutate: the catalog's
+    /// schema version plus every store's monotonic mutation counter.
+    /// Unchanged fingerprint ⇒ the statement had no effect.
+    fn mutation_epoch(&self) -> (u64, u64) {
+        let stores: u64 = self
+            .arrays
+            .values()
+            .map(|s| s.mutations)
+            .chain(self.tables.values().map(|s| s.mutations))
+            .sum();
+        (self.catalog.version(), stores)
+    }
+
+    fn dispatch_stmt(&mut self, stmt: &Stmt) -> Result<QueryResult> {
         match stmt {
             Stmt::Select(sel) => Ok(QueryResult::Rows(self.run_select(sel)?)),
             Stmt::CreateTable { name, columns } => {
@@ -364,6 +590,11 @@ impl Connection {
         let mut store = ArrayStore::create(def)?;
         store.attrs = attrs.into_iter().map(|(_, b)| Arc::new(b)).collect();
         self.arrays.insert(name.to_ascii_lowercase(), store);
+        // A bulk load bypasses SQL, so it cannot be replayed from the
+        // logical WAL — snapshot it immediately instead.
+        if self.vault.is_some() && !self.replaying {
+            self.checkpoint()?;
+        }
         Ok(())
     }
 

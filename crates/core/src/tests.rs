@@ -262,3 +262,144 @@ fn set_codegen_preserves_parallel_settings() {
         "ablation switches must not silently re-enable parallelism"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Persistence (the sciql-store vault).
+// ---------------------------------------------------------------------------
+
+fn vault_dir(name: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "sciql-core-vault-{}-{}-{name}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+#[test]
+fn open_checkpoint_reopen_roundtrip() {
+    let dir = vault_dir("roundtrip");
+    {
+        let mut c = Connection::open(&dir).unwrap();
+        assert!(c.is_persistent());
+        c.execute(
+            "CREATE ARRAY m (x INT DIMENSION[0:1:4], y INT DIMENSION[0:1:4], v INT DEFAULT 0)",
+        )
+        .unwrap();
+        c.execute("CREATE TABLE t (a INT, s TEXT)").unwrap();
+        c.execute("INSERT INTO t VALUES (1, 'one'), (2, NULL)")
+            .unwrap();
+        c.execute("UPDATE m SET v = x + y WHERE x > y").unwrap();
+        c.checkpoint().unwrap();
+        // Post-checkpoint mutations live only in the WAL.
+        c.execute("INSERT INTO m VALUES (0, 3, 99)").unwrap();
+        c.execute("DELETE FROM t WHERE a = 1").unwrap();
+    } // dropped without a second checkpoint — recovery must replay the WAL
+    let mut c = Connection::open(&dir).unwrap();
+    let rs = c.query("SELECT v FROM m WHERE x = 0 AND y = 3").unwrap();
+    assert_eq!(rs.scalar().unwrap(), Value::Int(99));
+    let rs = c.query("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(rs.scalar().unwrap(), Value::Lng(1));
+    let rs = c.query("SELECT s FROM t").unwrap();
+    assert_eq!(rs.scalar().unwrap(), Value::Null);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dirty_tracking_limits_checkpoint_rewrites() {
+    let dir = vault_dir("dirty");
+    let mut c = Connection::open(&dir).unwrap();
+    c.execute(
+        "CREATE ARRAY m (x INT DIMENSION[0:1:4], y INT DIMENSION[0:1:4], \
+         v INT DEFAULT 0, w DOUBLE DEFAULT 0.0)",
+    )
+    .unwrap();
+    assert_eq!(c.array_store("m").unwrap().dirty_columns(), 4);
+    c.checkpoint().unwrap();
+    assert_eq!(c.array_store("m").unwrap().dirty_columns(), 0);
+    // Updating one attribute dirties only that column.
+    c.execute("UPDATE m SET v = 7 WHERE x = y").unwrap();
+    let s = c.array_store("m").unwrap();
+    assert_eq!(s.dirty_columns(), 1);
+    assert!(s.dirty_attrs[0] && !s.dirty_attrs[1]);
+    c.checkpoint().unwrap();
+    assert_eq!(c.array_store("m").unwrap().dirty_columns(), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpoint_requires_persistence() {
+    let mut c = Connection::new();
+    assert!(!c.is_persistent());
+    assert!(c.vault_stats().is_none());
+    assert!(c.checkpoint().is_err());
+}
+
+#[test]
+fn drop_and_alter_survive_reopen() {
+    let dir = vault_dir("ddl");
+    {
+        let mut c = Connection::open(&dir).unwrap();
+        c.execute("CREATE ARRAY m (x INT DIMENSION[0:1:4], v INT DEFAULT 1)")
+            .unwrap();
+        c.execute("CREATE TABLE gone (a INT)").unwrap();
+        c.checkpoint().unwrap();
+        c.execute("DROP TABLE gone").unwrap();
+        c.execute("ALTER ARRAY m ALTER DIMENSION x SET RANGE [-1:1:5]")
+            .unwrap();
+    }
+    let mut c = Connection::open(&dir).unwrap();
+    assert!(c.query("SELECT a FROM gone").is_err());
+    let rs = c.query("SELECT COUNT(*) FROM m").unwrap();
+    assert_eq!(rs.scalar().unwrap(), Value::Lng(6));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn vault_stats_track_generations_and_wal() {
+    let dir = vault_dir("stats");
+    let mut c = Connection::open(&dir).unwrap();
+    let s0 = c.vault_stats().unwrap();
+    assert_eq!((s0.generation, s0.wal_records), (0, 0));
+    c.execute("CREATE TABLE t (a INT)").unwrap();
+    c.execute("INSERT INTO t VALUES (1)").unwrap();
+    c.query("SELECT a FROM t").unwrap(); // SELECTs are not logged
+    let s1 = c.vault_stats().unwrap();
+    assert_eq!(s1.wal_records, 2);
+    c.checkpoint().unwrap();
+    let s2 = c.vault_stats().unwrap();
+    assert_eq!((s2.generation, s2.wal_records), (1, 0));
+    assert_eq!(s2.column_files, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn failed_partial_statement_resyncs_durable_state() {
+    let dir = vault_dir("partial");
+    {
+        let mut c = Connection::open(&dir).unwrap();
+        c.execute("CREATE TABLE t (a INT, s TEXT)").unwrap();
+        let gen_before = c.vault_stats().unwrap().generation;
+        // A side-effect-free failure (unknown table) must NOT cost a
+        // checkpoint generation.
+        assert!(c.execute("INSERT INTO nosuch VALUES (1, 'x')").is_err());
+        assert_eq!(c.vault_stats().unwrap().generation, gen_before);
+        // A multi-row INSERT that fails on its second row has partially
+        // applied; it cannot be WAL-logged, so the session re-syncs with
+        // a checkpoint.
+        assert!(c
+            .execute("INSERT INTO t VALUES (1, 'ok'), ('bad', 2)")
+            .is_err());
+        assert_eq!(c.table_store("t").unwrap().row_count(), 1);
+        assert_eq!(c.vault_stats().unwrap().generation, gen_before + 1);
+    }
+    // Recovery sees exactly what the live session saw.
+    let mut c = Connection::open(&dir).unwrap();
+    let rs = c.query("SELECT a, s FROM t").unwrap();
+    assert_eq!(rs.row_count(), 1);
+    assert_eq!(rs.bats[0].get(0), Value::Int(1));
+    std::fs::remove_dir_all(&dir).ok();
+}

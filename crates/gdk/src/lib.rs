@@ -23,6 +23,7 @@ pub mod aggregate;
 pub mod arith;
 pub mod bat;
 pub mod candidates;
+pub mod codec;
 pub mod group;
 pub mod join;
 pub mod par;

@@ -49,6 +49,11 @@ impl StrHeap {
     pub fn distinct(&self) -> usize {
         self.entries.len()
     }
+
+    /// Iterate the distinct strings in heap-index order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|s| s.as_ref())
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,654 @@
+//! # sciql-store — durable BAT vault
+//!
+//! Persistence substrate for the SciQL reproduction: the paper's MonetDB
+//! base keeps every BAT as a consecutive on-disk array, and its data
+//! vaults assume columns that outlive a session. This crate supplies that
+//! durability in pure `std`:
+//!
+//! * **Checkpoints** — a catalog snapshot (schemas + dimension specs,
+//!   via `sciql-catalog`'s binary serde) plus one file per column
+//!   (`gdk::codec`'s checksummed encoding). Clean columns keep their
+//!   file across checkpoints; only dirty ones are rewritten.
+//! * **Write-ahead log** — an append-only log of the mutating statements
+//!   acknowledged since the last checkpoint, with per-record checksums
+//!   and explicit sync points.
+//! * **Recovery** — load the newest snapshot, then replay the WAL tail;
+//!   a torn final record (crash mid-write) is detected and truncated.
+//!
+//! On-disk layout of a vault directory:
+//!
+//! ```text
+//! <db>/
+//!   MANIFEST              current generation (written atomically)
+//!   snapshot-<gen>.cat    catalog + column-file references + checksum
+//!   wal-<gen>.log         statements since checkpoint <gen>
+//!   cols/c<id>.col        one encoded BAT per column version
+//! ```
+//!
+//! The engine crate (`sciql`) owns the logical side: it decides *what* to
+//! log (statement text that the parser's printer round-trips) and hands
+//! over columns with dirty flags at checkpoint time. This crate owns the
+//! files, framing, checksums and the atomic generation switch.
+
+#![warn(missing_docs)]
+
+pub mod snapshot;
+pub mod wal;
+
+pub use snapshot::{SnapshotData, SnapshotObject};
+
+use gdk::codec::{decode_bat, encode_bat, CodecError};
+use gdk::Bat;
+use sciql_catalog::SchemaObject;
+use snapshot::{read_snapshot, write_snapshot};
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{self, File};
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use wal::{scan_wal, WalWriter};
+
+/// Errors raised by the vault.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// On-disk content failed validation (checksum, framing, schema).
+    Corrupt(String),
+    /// The vault directory is already opened by a live process.
+    Locked {
+        /// Pid recorded in the lock file.
+        pid: u32,
+    },
+}
+
+impl StoreError {
+    /// Construct a [`StoreError::Corrupt`].
+    pub fn corrupt(msg: impl Into<String>) -> Self {
+        StoreError::Corrupt(msg.into())
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Corrupt(m) => write!(f, "store corruption: {m}"),
+            StoreError::Locked { pid } => {
+                write!(f, "vault is already open in process {pid}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        StoreError::Corrupt(e.to_string())
+    }
+}
+
+/// Store result type.
+pub type StoreResult<T> = std::result::Result<T, StoreError>;
+
+/// Write `bytes` to `path` atomically (tmp + rename) and durably (data
+/// and directory synced).
+pub(crate) fn write_file_durably(path: &Path, bytes: &[u8]) -> StoreResult<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    sync_dir(path.parent().unwrap_or(Path::new(".")))?;
+    Ok(())
+}
+
+fn sync_dir(dir: &Path) -> StoreResult<()> {
+    // Directory fsync is how the rename itself is made durable on POSIX;
+    // on platforms where opening a directory fails, skip it.
+    if let Ok(d) = File::open(dir) {
+        d.sync_all().ok();
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Recovery output / checkpoint input (the neutral data model shared with
+// the engine).
+// ---------------------------------------------------------------------------
+
+/// A recovered column: its name and loaded BAT.
+#[derive(Debug)]
+pub struct RecoveredColumn {
+    /// Column name (dimension, attribute or table column).
+    pub name: String,
+    /// Loaded column data.
+    pub bat: Bat,
+}
+
+/// A recovered schema object.
+#[derive(Debug)]
+pub struct RecoveredObject {
+    /// Schema definition.
+    pub def: SchemaObject,
+    /// Columns in storage order (arrays: dims then attrs), or `None` for
+    /// catalog-only objects.
+    pub columns: Option<Vec<RecoveredColumn>>,
+}
+
+/// Everything needed to rebuild a session: the checkpoint image plus the
+/// WAL tail to replay on top of it.
+#[derive(Debug)]
+pub struct Recovered {
+    /// Objects from the newest snapshot.
+    pub objects: Vec<RecoveredObject>,
+    /// Statement texts logged after that snapshot, in commit order.
+    pub statements: Vec<String>,
+}
+
+/// One column handed to [`Vault::checkpoint`].
+#[derive(Debug)]
+pub struct CheckpointColumn<'a> {
+    /// Column name, unique within its object.
+    pub name: &'a str,
+    /// Current column data.
+    pub bat: &'a Bat,
+    /// Has this column changed since the last checkpoint? Clean columns
+    /// reuse their existing file.
+    pub dirty: bool,
+}
+
+/// One object handed to [`Vault::checkpoint`].
+#[derive(Debug)]
+pub struct CheckpointObject<'a> {
+    /// Schema definition.
+    pub def: &'a SchemaObject,
+    /// Columns in storage order, or `None` for catalog-only objects.
+    pub columns: Option<Vec<CheckpointColumn<'a>>>,
+}
+
+/// Vault health counters (REPL `\stats`, monitoring).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VaultStats {
+    /// Current checkpoint generation.
+    pub generation: u64,
+    /// WAL records since that checkpoint.
+    pub wal_records: u64,
+    /// WAL size in bytes.
+    pub wal_bytes: u64,
+    /// Column files referenced by the current snapshot.
+    pub column_files: usize,
+}
+
+// ---------------------------------------------------------------------------
+// The vault.
+// ---------------------------------------------------------------------------
+
+/// RAII guard on the vault's `LOCK` file: created exclusively at open,
+/// removed when the vault (or a failed open) drops.
+#[derive(Debug)]
+struct LockGuard {
+    path: PathBuf,
+}
+
+impl Drop for LockGuard {
+    fn drop(&mut self) {
+        fs::remove_file(&self.path).ok();
+    }
+}
+
+impl LockGuard {
+    /// Take the single-writer lock on `dir`, or report who holds it. A
+    /// lock left behind by a crashed process (its pid no longer alive)
+    /// is broken automatically.
+    fn acquire(dir: &Path) -> StoreResult<LockGuard> {
+        let path = dir.join("LOCK");
+        for _ in 0..2 {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    f.write_all(std::process::id().to_string().as_bytes())?;
+                    f.sync_all()?;
+                    return Ok(LockGuard { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let pid = fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|s| s.trim().parse::<u32>().ok())
+                        .unwrap_or(0);
+                    if pid != 0 && process_alive(pid) {
+                        return Err(StoreError::Locked { pid });
+                    }
+                    // Stale lock from a crashed process: break it and retry.
+                    fs::remove_file(&path).ok();
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Err(StoreError::corrupt("could not break stale vault lock"))
+    }
+}
+
+/// Is a process with this pid currently running? Uses `/proc` where it
+/// exists; elsewhere the answer is conservatively `true` (a stale lock
+/// then needs manual removal rather than risking two writers).
+fn process_alive(pid: u32) -> bool {
+    let proc_dir = Path::new("/proc");
+    if proc_dir.is_dir() {
+        proc_dir.join(pid.to_string()).exists()
+    } else {
+        true
+    }
+}
+
+/// A durable column vault rooted at one directory.
+#[derive(Debug)]
+pub struct Vault {
+    dir: PathBuf,
+    gen: u64,
+    wal: WalWriter,
+    next_col_id: u64,
+    /// `"object\u{0}column"` (lowercased) → column file id, as of the
+    /// current snapshot.
+    refs: HashMap<String, u64>,
+    /// Held for the vault's lifetime; releases `LOCK` on drop.
+    _lock: LockGuard,
+}
+
+fn col_key(object: &str, column: &str) -> String {
+    format!(
+        "{}\u{0}{}",
+        object.to_ascii_lowercase(),
+        column.to_ascii_lowercase()
+    )
+}
+
+impl Vault {
+    fn manifest_path(dir: &Path) -> PathBuf {
+        dir.join("MANIFEST")
+    }
+    fn snapshot_path(dir: &Path, gen: u64) -> PathBuf {
+        dir.join(format!("snapshot-{gen}.cat"))
+    }
+    fn wal_path(dir: &Path, gen: u64) -> PathBuf {
+        dir.join(format!("wal-{gen}.log"))
+    }
+    fn col_path(dir: &Path, id: u64) -> PathBuf {
+        dir.join("cols").join(format!("c{id}.col"))
+    }
+
+    /// Open (or initialise) a vault at `dir` and recover its state: the
+    /// newest checkpoint image plus the intact WAL tail. A torn final WAL
+    /// record is truncated away.
+    pub fn open(dir: impl AsRef<Path>) -> StoreResult<(Vault, Recovered)> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(dir.join("cols"))?;
+        // Single writer per vault: a second process opening the same
+        // directory would interleave WAL frames and garbage-collect
+        // column files the first one still references.
+        let lock = LockGuard::acquire(&dir)?;
+        let manifest = Self::manifest_path(&dir);
+        if !manifest.exists() {
+            // Fresh vault (or a crash before the very first MANIFEST write,
+            // in which case nothing was ever acknowledged): initialise
+            // generation 0 with an empty snapshot and WAL.
+            write_snapshot(&Self::snapshot_path(&dir, 0), &SnapshotData::default())?;
+            let wal = WalWriter::create(&Self::wal_path(&dir, 0))?;
+            write_file_durably(&manifest, b"sciql-store v1\ngen 0\n")?;
+            let vault = Vault {
+                dir,
+                gen: 0,
+                wal,
+                next_col_id: 0,
+                refs: HashMap::new(),
+                _lock: lock,
+            };
+            return Ok((
+                vault,
+                Recovered {
+                    objects: Vec::new(),
+                    statements: Vec::new(),
+                },
+            ));
+        }
+        let gen = Self::read_manifest(&manifest)?;
+        let snap = read_snapshot(&Self::snapshot_path(&dir, gen))?;
+        let mut refs = HashMap::new();
+        let mut objects = Vec::with_capacity(snap.objects.len());
+        for so in snap.objects {
+            let columns = match &so.columns {
+                None => None,
+                Some(cols) => {
+                    let mut out = Vec::with_capacity(cols.len());
+                    for (name, id) in cols {
+                        let path = Self::col_path(&dir, *id);
+                        let mut bytes = Vec::new();
+                        File::open(&path)
+                            .and_then(|mut f| f.read_to_end(&mut bytes))
+                            .map_err(|e| {
+                                StoreError::corrupt(format!(
+                                    "column file {} unreadable: {e}",
+                                    path.display()
+                                ))
+                            })?;
+                        let bat = decode_bat(&bytes)?;
+                        refs.insert(col_key(so.def.name(), name), *id);
+                        out.push(RecoveredColumn {
+                            name: name.clone(),
+                            bat,
+                        });
+                    }
+                    Some(out)
+                }
+            };
+            objects.push(RecoveredObject {
+                def: so.def,
+                columns,
+            });
+        }
+        let wal_path = Self::wal_path(&dir, gen);
+        let (statements, wal) = if wal_path.exists() {
+            let scan = scan_wal(&wal_path)?;
+            let statements = scan
+                .records
+                .iter()
+                .map(|r| {
+                    String::from_utf8(r.clone())
+                        .map_err(|_| StoreError::corrupt("non-UTF-8 WAL statement"))
+                })
+                .collect::<StoreResult<Vec<_>>>()?;
+            let n = statements.len() as u64;
+            (
+                statements,
+                WalWriter::open_valid(&wal_path, scan.valid_len, n)?,
+            )
+        } else {
+            // Crash between MANIFEST switch and WAL creation cannot happen
+            // (the WAL is created first), but tolerate a missing log.
+            (Vec::new(), WalWriter::create(&wal_path)?)
+        };
+        let vault = Vault {
+            dir,
+            gen,
+            wal,
+            next_col_id: snap.next_col_id,
+            refs,
+            _lock: lock,
+        };
+        // A crash between the MANIFEST switch and a checkpoint's cleanup
+        // can leave the previous generation's files behind; sweep every
+        // generation but the current one (and any orphaned columns) now.
+        vault.gc_generations();
+        vault.gc_columns();
+        Ok((
+            vault,
+            Recovered {
+                objects,
+                statements,
+            },
+        ))
+    }
+
+    /// Delete snapshot/WAL files of any generation other than the
+    /// current one.
+    fn gc_generations(&self) {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let gen = name
+                .strip_prefix("snapshot-")
+                .and_then(|r| r.strip_suffix(".cat"))
+                .or_else(|| {
+                    name.strip_prefix("wal-")
+                        .and_then(|r| r.strip_suffix(".log"))
+                })
+                .and_then(|g| g.parse::<u64>().ok());
+            if gen.is_some_and(|g| g != self.gen) {
+                fs::remove_file(entry.path()).ok();
+            }
+        }
+    }
+
+    fn read_manifest(path: &Path) -> StoreResult<u64> {
+        let text = fs::read_to_string(path)?;
+        for line in text.lines() {
+            if let Some(gen) = line.strip_prefix("gen ") {
+                return gen
+                    .trim()
+                    .parse()
+                    .map_err(|_| StoreError::corrupt("MANIFEST generation not a number"));
+            }
+        }
+        Err(StoreError::corrupt("MANIFEST missing generation line"))
+    }
+
+    /// Append one acknowledged statement to the WAL and force it to disk.
+    /// When this returns `Ok`, the statement survives a crash.
+    pub fn append_statement(&mut self, sql: &str) -> StoreResult<()> {
+        self.wal.append(sql.as_bytes())?;
+        self.wal.sync()
+    }
+
+    /// Write a new checkpoint generation: dirty (or never-persisted)
+    /// columns get new column files, clean ones keep theirs; then the
+    /// snapshot is written, the WAL rotated, and the MANIFEST atomically
+    /// switched. Old generations and orphaned column files are removed
+    /// afterwards.
+    pub fn checkpoint(&mut self, objects: &[CheckpointObject<'_>]) -> StoreResult<()> {
+        let new_gen = self.gen + 1;
+        let mut new_refs = HashMap::new();
+        let mut snap_objects = Vec::with_capacity(objects.len());
+        for obj in objects {
+            let columns = match &obj.columns {
+                None => None,
+                Some(cols) => {
+                    let mut out = Vec::with_capacity(cols.len());
+                    for col in cols {
+                        let key = col_key(obj.def.name(), col.name);
+                        let id = match (col.dirty, self.refs.get(&key)) {
+                            (false, Some(&id)) => id,
+                            _ => {
+                                let id = self.next_col_id;
+                                self.next_col_id += 1;
+                                let bytes = encode_bat(col.bat);
+                                let path = Self::col_path(&self.dir, id);
+                                let mut f = File::create(&path)?;
+                                f.write_all(&bytes)?;
+                                f.sync_all()?;
+                                id
+                            }
+                        };
+                        new_refs.insert(key, id);
+                        out.push((col.name.to_owned(), id));
+                    }
+                    Some(out)
+                }
+            };
+            snap_objects.push(SnapshotObject {
+                def: obj.def.clone(),
+                columns,
+            });
+        }
+        sync_dir(&self.dir.join("cols"))?;
+        write_snapshot(
+            &Self::snapshot_path(&self.dir, new_gen),
+            &SnapshotData {
+                next_col_id: self.next_col_id,
+                objects: snap_objects,
+            },
+        )?;
+        // A fresh WAL for the new generation must exist before the
+        // MANIFEST points at it.
+        let new_wal = WalWriter::create(&Self::wal_path(&self.dir, new_gen))?;
+        write_file_durably(
+            &Self::manifest_path(&self.dir),
+            format!("sciql-store v1\ngen {new_gen}\n").as_bytes(),
+        )?;
+        // The switch is durable — everything from older generations is
+        // garbage now.
+        self.gen = new_gen;
+        self.wal = new_wal;
+        self.refs = new_refs;
+        self.gc_generations();
+        self.gc_columns();
+        Ok(())
+    }
+
+    /// Delete column files no snapshot references.
+    fn gc_columns(&self) {
+        let live: std::collections::HashSet<u64> = self.refs.values().copied().collect();
+        let Ok(entries) = fs::read_dir(self.dir.join("cols")) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(id) = name
+                .to_str()
+                .and_then(|n| n.strip_prefix('c'))
+                .and_then(|n| n.strip_suffix(".col"))
+                .and_then(|n| n.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            if !live.contains(&id) {
+                fs::remove_file(entry.path()).ok();
+            }
+        }
+    }
+
+    /// Vault directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Current checkpoint generation.
+    pub fn generation(&self) -> u64 {
+        self.gen
+    }
+
+    /// Health counters.
+    pub fn stats(&self) -> VaultStats {
+        VaultStats {
+            generation: self.gen,
+            wal_records: self.wal.records(),
+            wal_bytes: self.wal.bytes(),
+            column_files: self.refs.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let d = std::env::temp_dir().join(format!(
+            "sciql-vault-{}-{}-{name}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    #[test]
+    fn open_sweeps_stale_generations_and_orphan_columns() {
+        let dir = tmp_dir("gc");
+        {
+            let (mut vault, _) = Vault::open(&dir).unwrap();
+            vault.append_statement("CREATE TABLE t (a INT)").unwrap();
+        }
+        // Simulate a checkpoint that crashed after writing its files but
+        // before the MANIFEST switch, plus debris from older crashes.
+        fs::write(dir.join("snapshot-99.cat"), b"half-written").unwrap();
+        fs::write(dir.join("wal-99.log"), b"half-written").unwrap();
+        fs::write(dir.join("cols").join("c7.col"), b"orphan").unwrap();
+        let (vault, recovered) = Vault::open(&dir).unwrap();
+        assert_eq!(vault.generation(), 0);
+        assert_eq!(recovered.statements, vec!["CREATE TABLE t (a INT)"]);
+        assert!(!dir.join("snapshot-99.cat").exists());
+        assert!(!dir.join("wal-99.log").exists());
+        assert!(!dir.join("cols").join("c7.col").exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn second_open_is_rejected_while_locked() {
+        let dir = tmp_dir("lock");
+        let (vault, _) = Vault::open(&dir).unwrap();
+        match Vault::open(&dir) {
+            Err(StoreError::Locked { pid }) => assert_eq!(pid, std::process::id()),
+            other => panic!("expected Locked, got {other:?}"),
+        }
+        drop(vault);
+        // Released on drop — and a stale lock from a dead process is broken.
+        fs::write(dir.join("LOCK"), b"999999999").unwrap();
+        let (vault, _) = Vault::open(&dir).unwrap();
+        drop(vault);
+        assert!(!dir.join("LOCK").exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_reuses_clean_column_files() {
+        use sciql_catalog::{ColumnMeta, SchemaObject, TableDef};
+        let dir = tmp_dir("reuse");
+        let (mut vault, _) = Vault::open(&dir).unwrap();
+        let def = SchemaObject::Table(TableDef {
+            name: "t".into(),
+            columns: vec![ColumnMeta {
+                name: "a".into(),
+                ty: gdk::ScalarType::Int,
+                default: None,
+            }],
+        });
+        let bat = Bat::from_ints(vec![1, 2, 3]);
+        let obj = |dirty| CheckpointObject {
+            def: &def,
+            columns: Some(vec![CheckpointColumn {
+                name: "a",
+                bat: &bat,
+                dirty,
+            }]),
+        };
+        vault.checkpoint(&[obj(true)]).unwrap();
+        let first: Vec<_> = fs::read_dir(dir.join("cols"))
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name())
+            .collect();
+        vault.checkpoint(&[obj(false)]).unwrap();
+        let second: Vec<_> = fs::read_dir(dir.join("cols"))
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name())
+            .collect();
+        assert_eq!(first, second, "clean column must keep its file");
+        vault.checkpoint(&[obj(true)]).unwrap();
+        let third: Vec<_> = fs::read_dir(dir.join("cols"))
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name())
+            .collect();
+        assert_ne!(first, third, "dirty column must be rewritten");
+        assert_eq!(third.len(), 1, "old version garbage-collected");
+        fs::remove_dir_all(&dir).ok();
+    }
+}

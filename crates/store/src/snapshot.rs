@@ -1,0 +1,226 @@
+//! Checkpoint snapshot files.
+//!
+//! A snapshot is the durable image of one checkpoint generation: the full
+//! catalog (every [`SchemaObject`], serialized via `sciql-catalog`'s
+//! binary serde) plus, per materialised object, the list of column files
+//! holding its BATs. Column data itself lives in one file per column
+//! version under `cols/` — a clean column keeps its file across
+//! checkpoints, so only dirty columns are rewritten.
+//!
+//! Framing: `SNAP` magic, format version, payload, trailing CRC-32. The
+//! file is written to a temporary name and atomically renamed into place.
+
+use crate::{StoreError, StoreResult};
+use gdk::codec::{crc32, put_str, put_u16, put_u32, put_u64, put_u8, Reader};
+use sciql_catalog::serde::{decode_object, encode_object};
+use sciql_catalog::SchemaObject;
+use std::fs::File;
+use std::io::Read as _;
+use std::path::Path;
+
+const SNAP_MAGIC: [u8; 4] = *b"SNAP";
+const SNAP_VERSION: u16 = 1;
+
+/// One object in a snapshot: its definition and, when materialised, the
+/// ordered column list (arrays: dimensions then attributes) with the id
+/// of the column file holding each BAT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotObject {
+    /// Schema definition.
+    pub def: SchemaObject,
+    /// `(column name, column file id)` in storage order; `None` for
+    /// catalog-only objects (unbounded arrays not yet materialised).
+    pub columns: Option<Vec<(String, u64)>>,
+}
+
+/// The decoded content of a snapshot file.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SnapshotData {
+    /// Next unused column file id.
+    pub next_col_id: u64,
+    /// All schema objects at checkpoint time.
+    pub objects: Vec<SnapshotObject>,
+}
+
+/// Serialize and atomically write a snapshot to `path`.
+pub fn write_snapshot(path: &Path, data: &SnapshotData) -> StoreResult<()> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&SNAP_MAGIC);
+    put_u16(&mut out, SNAP_VERSION);
+    put_u64(&mut out, data.next_col_id);
+    put_u32(&mut out, data.objects.len() as u32);
+    for obj in &data.objects {
+        encode_object(&obj.def, &mut out);
+        match &obj.columns {
+            None => put_u8(&mut out, 0),
+            Some(cols) => {
+                put_u8(&mut out, 1);
+                put_u32(&mut out, cols.len() as u32);
+                for (name, id) in cols {
+                    put_str(&mut out, name);
+                    put_u64(&mut out, *id);
+                }
+            }
+        }
+    }
+    let crc = crc32(&out);
+    put_u32(&mut out, crc);
+    crate::write_file_durably(path, &out)
+}
+
+/// Read and verify a snapshot file.
+pub fn read_snapshot(path: &Path) -> StoreResult<SnapshotData> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < 4 + 2 + 8 + 4 + 4 {
+        return Err(StoreError::corrupt(format!(
+            "snapshot {} truncated",
+            path.display()
+        )));
+    }
+    let (content, tail) = bytes.split_at(bytes.len() - 4);
+    let expected = u32::from_le_bytes(tail.try_into().unwrap());
+    let actual = crc32(content);
+    if expected != actual {
+        return Err(StoreError::corrupt(format!(
+            "snapshot {} checksum mismatch",
+            path.display()
+        )));
+    }
+    let mut r = Reader::new(content);
+    let magic = r.take(4)?;
+    if magic != SNAP_MAGIC {
+        return Err(StoreError::corrupt(format!(
+            "snapshot {} has bad magic",
+            path.display()
+        )));
+    }
+    let version = r.u16()?;
+    if version != SNAP_VERSION {
+        return Err(StoreError::corrupt(format!(
+            "snapshot {} has unsupported version {version}",
+            path.display()
+        )));
+    }
+    let next_col_id = r.u64()?;
+    let n = r.u32()? as usize;
+    let mut objects = Vec::with_capacity(n);
+    for _ in 0..n {
+        let def = decode_object(&mut r)?;
+        let columns = match r.u8()? {
+            0 => None,
+            1 => {
+                let nc = r.u32()? as usize;
+                let mut cols = Vec::with_capacity(nc);
+                for _ in 0..nc {
+                    let name = r.str()?;
+                    let id = r.u64()?;
+                    cols.push((name, id));
+                }
+                Some(cols)
+            }
+            other => {
+                return Err(StoreError::corrupt(format!(
+                    "snapshot {}: bad column flag {other}",
+                    path.display()
+                )))
+            }
+        };
+        objects.push(SnapshotObject { def, columns });
+    }
+    if r.remaining() != 0 {
+        return Err(StoreError::corrupt(format!(
+            "snapshot {} has trailing bytes",
+            path.display()
+        )));
+    }
+    Ok(SnapshotData {
+        next_col_id,
+        objects,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdk::ScalarType;
+    use sciql_catalog::{ArrayDef, ColumnMeta, DimSpec, DimensionDef, TableDef};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "sciql-snap-{}-{}-{name}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn sample() -> SnapshotData {
+        SnapshotData {
+            next_col_id: 7,
+            objects: vec![
+                SnapshotObject {
+                    def: SchemaObject::Array(ArrayDef {
+                        name: "m".into(),
+                        dims: vec![DimensionDef {
+                            name: "x".into(),
+                            ty: ScalarType::Int,
+                            range: Some(DimSpec::new(0, 1, 4).unwrap()),
+                        }],
+                        attrs: vec![ColumnMeta {
+                            name: "v".into(),
+                            ty: ScalarType::Int,
+                            default: None,
+                        }],
+                    }),
+                    columns: Some(vec![("x".into(), 3), ("v".into(), 5)]),
+                },
+                SnapshotObject {
+                    def: SchemaObject::Table(TableDef {
+                        name: "t".into(),
+                        columns: vec![],
+                    }),
+                    columns: Some(vec![]),
+                },
+                SnapshotObject {
+                    def: SchemaObject::Array(ArrayDef {
+                        name: "unbounded".into(),
+                        dims: vec![DimensionDef {
+                            name: "i".into(),
+                            ty: ScalarType::Int,
+                            range: None,
+                        }],
+                        attrs: vec![ColumnMeta {
+                            name: "v".into(),
+                            ty: ScalarType::Dbl,
+                            default: None,
+                        }],
+                    }),
+                    columns: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let p = tmp("roundtrip.cat");
+        let data = sample();
+        write_snapshot(&p, &data).unwrap();
+        assert_eq!(read_snapshot(&p).unwrap(), data);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn snapshot_corruption_detected() {
+        let p = tmp("corrupt.cat");
+        write_snapshot(&p, &sample()).unwrap();
+        let mut bytes = std::fs::read(&p).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x55;
+        std::fs::write(&p, &bytes).unwrap();
+        assert!(read_snapshot(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+}

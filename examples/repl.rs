@@ -2,22 +2,61 @@
 //! demo GUI ("the audience has full control of the demo through SciQL
 //! queries").
 //!
-//! Run with: `cargo run --example repl`
+//! Run with: `cargo run --example repl [-- --db <path>]`
+//!
+//! With `--db <path>` the session is durable: statements are write-ahead
+//! logged to the vault directory and `\checkpoint` snapshots the columns,
+//! so a later `--db` run (even after a crash) resumes where you left off.
 //!
 //! Commands:
 //!   <SciQL statement>;          execute (multi-line until ';')
 //!   \explain <SELECT …>;        show plan + MAL (no trailing ';' needed)
 //!   \grid <SELECT …with [dims]>; render a coerced 2-D result as a grid
 //!   \demo                       load the Fig 1 matrix and a small board
+//!   \checkpoint                 write a vault checkpoint (needs --db)
+//!   \stats                      storage + vault counters
 //!   \q                          quit
 //!
 //! Pipe a script: `echo 'SELECT 1+1;' | cargo run --example repl`
 
 use sciql::{Connection, QueryResult};
+use sciql_catalog::SchemaObject;
 use std::io::{self, BufRead, Write};
 
 fn main() {
-    let mut conn = Connection::new();
+    let mut db: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--db" => {
+                db = args.next();
+                if db.is_none() {
+                    eprintln!("--db needs a path (usage: repl [--db <path>])");
+                    std::process::exit(2);
+                }
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (usage: repl [--db <path>])");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut conn = match &db {
+        Some(path) => match Connection::open(path) {
+            Ok(c) => {
+                println!(
+                    "opened vault {path:?} ({} objects recovered)",
+                    c.catalog().len()
+                );
+                c
+            }
+            Err(e) => {
+                eprintln!("cannot open vault {path:?}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => Connection::new(),
+    };
     let stdin = io::stdin();
     let mut buffer = String::new();
     print!("SciQL> ");
@@ -33,6 +72,22 @@ fn main() {
                 "\\q" | "\\quit" | "exit" => break,
                 "\\demo" => {
                     load_demo(&mut conn);
+                    prompt();
+                    continue;
+                }
+                "\\checkpoint" => {
+                    match conn.checkpoint() {
+                        Ok(()) => {
+                            let s = conn.vault_stats().expect("persistent after checkpoint");
+                            println!("checkpoint written (generation {})", s.generation);
+                        }
+                        Err(e) => println!("error: {e}"),
+                    }
+                    prompt();
+                    continue;
+                }
+                "\\stats" => {
+                    print_stats(&conn);
                     prompt();
                     continue;
                 }
@@ -93,6 +148,44 @@ fn main() {
 fn prompt() {
     print!("SciQL> ");
     io::stdout().flush().ok();
+}
+
+fn print_stats(conn: &Connection) {
+    if conn.catalog().is_empty() {
+        println!("no schema objects");
+    }
+    for obj in conn.catalog().iter() {
+        match obj {
+            SchemaObject::Array(a) => match conn.array_store(&a.name) {
+                Ok(s) => println!(
+                    "array {:<12} {} dims, {} attrs, {} cells, {} dirty column(s)",
+                    a.name,
+                    a.dims.len(),
+                    a.attrs.len(),
+                    s.cell_count(),
+                    s.dirty_columns()
+                ),
+                Err(_) => println!("array {:<12} (unbounded, not materialised)", a.name),
+            },
+            SchemaObject::Table(t) => {
+                let s = conn.table_store(&t.name).expect("tables always stored");
+                println!(
+                    "table {:<12} {} columns, {} rows, {} dirty column(s)",
+                    t.name,
+                    t.columns.len(),
+                    s.row_count(),
+                    s.dirty_columns()
+                );
+            }
+        }
+    }
+    match conn.vault_stats() {
+        Some(v) => println!(
+            "vault: generation {}, {} WAL record(s) ({} bytes), {} column file(s)",
+            v.generation, v.wal_records, v.wal_bytes, v.column_files
+        ),
+        None => println!("vault: none (in-memory session; restart with --db <path>)"),
+    }
 }
 
 fn load_demo(conn: &mut Connection) {
