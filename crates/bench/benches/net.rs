@@ -1,0 +1,93 @@
+//! Network benchmark: wire round-trip latency and result-streaming
+//! throughput of the `sciql-net` server over loopback, with the embedded
+//! engine as the no-network baseline.
+//!
+//! Run with `CRITERION_JSON_OUT=BENCH_net.json cargo bench -p sciql-bench
+//! --bench net` to record a baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sciql::SharedEngine;
+use sciql_net::{Client, Server, ServerHandle};
+use std::hint::black_box;
+
+const SIDE: usize = 64;
+const CELLS: usize = SIDE * SIDE; // 4096 rows streamed by the big SELECT
+
+/// One served engine with the benchmark schema.
+fn served() -> (ServerHandle, Client) {
+    let engine = SharedEngine::in_memory();
+    {
+        let mut s = engine.session();
+        s.execute(&format!(
+            "CREATE ARRAY big (x INT DIMENSION[0:1:{SIDE}], y INT DIMENSION[0:1:{SIDE}], \
+             v INT DEFAULT 0)"
+        ))
+        .unwrap();
+        s.execute("UPDATE big SET v = x * y").unwrap();
+    }
+    let handle = Server::bind(engine, "127.0.0.1:0")
+        .unwrap()
+        .serve()
+        .unwrap();
+    let client = Client::connect(handle.addr()).unwrap();
+    (handle, client)
+}
+
+/// Pure protocol round trip (ping/pong): the floor every query pays.
+fn bench_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net/roundtrip");
+    let (handle, mut client) = served();
+    g.bench_function(BenchmarkId::from_parameter("ping"), |b| {
+        b.iter(|| client.ping().unwrap())
+    });
+    // Smallest possible query: parse + snapshot + 1×1 result over the wire.
+    g.bench_function(BenchmarkId::from_parameter("select_scalar"), |b| {
+        b.iter(|| black_box(client.query("SELECT 1 + 1").unwrap()))
+    });
+    client.shutdown_server().unwrap();
+    handle.wait();
+    g.finish();
+}
+
+/// Streaming a 4096-row result: header + pages + reassembly, vs the
+/// embedded engine answering the same query with no wire in between.
+fn bench_streaming(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net/stream");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(CELLS as u64));
+    let (handle, mut client) = served();
+    g.bench_function(BenchmarkId::from_parameter("select_4k_rows_net"), |b| {
+        b.iter(|| black_box(client.query("SELECT x, y, v FROM big").unwrap()))
+    });
+    let engine = {
+        client.shutdown_server().unwrap();
+        handle.wait()
+    };
+    let mut embedded = engine.session();
+    g.bench_function(
+        BenchmarkId::from_parameter("select_4k_rows_embedded"),
+        |b| b.iter(|| black_box(embedded.query("SELECT x, y, v FROM big").unwrap())),
+    );
+    g.finish();
+}
+
+/// Write path over the wire: the per-statement cost a remote client pays
+/// (frame + parse + single-writer lock), in-memory engine so the WAL
+/// fsync (measured in BENCH_store.json) doesn't drown the wire cost.
+fn bench_writes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net/write");
+    let (handle, mut client) = served();
+    g.bench_function(BenchmarkId::from_parameter("update_one_cell"), |b| {
+        b.iter(|| {
+            client
+                .execute("UPDATE big SET v = 1 WHERE x = 0 AND y = 0")
+                .unwrap()
+        })
+    });
+    client.shutdown_server().unwrap();
+    handle.wait();
+    g.finish();
+}
+
+criterion_group!(benches, bench_roundtrip, bench_streaming, bench_writes);
+criterion_main!(benches);

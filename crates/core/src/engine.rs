@@ -1,0 +1,467 @@
+//! The shared engine: one process-wide database multiplexing many
+//! concurrent sessions.
+//!
+//! The embedded [`Connection`] owns the process — exactly one user at a
+//! time. A [`SharedEngine`] lifts the same state behind an `Arc` so that
+//! N sessions (local threads or `sciql-net` socket handlers) share it
+//! concurrently:
+//!
+//! * **Reads** take a brief lock to clone an [`EngineSnapshot`] — the
+//!   catalog plus `Arc` bumps of every column — then run the whole
+//!   Fig-2 pipeline *outside* the lock. Readers never block each other,
+//!   and a long scan never blocks a writer. Every statement sees a
+//!   consistent point-in-time image: no torn reads, ever.
+//! * **Writes** serialize through the single [`Connection`], which keeps
+//!   the vault's single-writer WAL discipline: an acknowledged mutating
+//!   statement is fsynced before the lock is released. Copy-on-write
+//!   (`Arc::make_mut`) in the stores means in-flight snapshot readers
+//!   keep their image while the writer installs new column versions.
+//!
+//! Per-session state (statement counters, [`LastExec`] stats, prepared
+//! statement texts) lives in [`EngineSession`]; everything shared lives
+//! in the engine.
+
+use crate::result::ResultSet;
+use crate::session::{execute_plan, Connection, LastExec, QueryResult, SessionConfig};
+use crate::storage::{ArrayStore, TableStore};
+use crate::{EngineError, Result};
+use mal::Registry;
+use sciql_algebra::{rewrite, Binder, CodegenOptions};
+use sciql_catalog::Catalog;
+use sciql_parser::ast::{SelectStmt, Stmt};
+use sciql_parser::{parse_statement, parse_statements};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A consistent point-in-time image of the database: the catalog plus
+/// `Arc`-shared column references. Cloning columns is a reference-count
+/// bump — a snapshot of a million-cell array costs a few pointer copies.
+#[derive(Debug, Clone)]
+pub struct EngineSnapshot {
+    catalog: Catalog,
+    arrays: HashMap<String, ArrayStore>,
+    tables: HashMap<String, TableStore>,
+    opt_config: mal::OptConfig,
+    codegen: CodegenOptions,
+}
+
+impl EngineSnapshot {
+    fn of(conn: &Connection) -> Self {
+        EngineSnapshot {
+            catalog: conn.catalog.clone(),
+            arrays: conn.arrays.clone(),
+            tables: conn.tables.clone(),
+            opt_config: conn.opt_config,
+            codegen: conn.codegen,
+        }
+    }
+
+    /// Run a SELECT against this image through the full Fig-2 pipeline.
+    /// No engine lock is held; concurrent snapshots execute in parallel.
+    pub fn run_select(
+        &self,
+        sel: &SelectStmt,
+        registry: &Registry,
+    ) -> Result<(ResultSet, LastExec)> {
+        let binder = Binder::new(&self.catalog);
+        let plan = rewrite(binder.bind_select(sel)?);
+        execute_plan(
+            &plan,
+            registry,
+            self.opt_config,
+            &self.codegen,
+            &self.arrays,
+            &self.tables,
+        )
+    }
+
+    /// The catalog as of this snapshot.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+}
+
+/// Cumulative engine counters (monitoring, REPL `\stats`, the server's
+/// shutdown report).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Sessions ever opened.
+    pub sessions_opened: u64,
+    /// Statements executed across all sessions.
+    pub statements: u64,
+    /// Of those, SELECTs served from lock-free snapshots.
+    pub snapshot_reads: u64,
+    /// Rows produced by all SELECTs.
+    pub rows_returned: u64,
+}
+
+#[derive(Debug, Default)]
+struct AtomicStats {
+    sessions_opened: AtomicU64,
+    statements: AtomicU64,
+    snapshot_reads: AtomicU64,
+    rows_returned: AtomicU64,
+}
+
+/// A process-wide engine shared by N concurrent sessions: many readers
+/// over `Arc` column snapshots, writes serialized through the (optionally
+/// vault-backed) single [`Connection`].
+pub struct SharedEngine {
+    conn: Mutex<Connection>,
+    /// Immutable primitive registry shared by every snapshot reader (the
+    /// per-connection registry stays private to the write path).
+    registry: Registry,
+    stats: AtomicStats,
+    next_session: AtomicU64,
+}
+
+impl SharedEngine {
+    /// Share an existing connection (embedded, in-memory or durable).
+    pub fn new(conn: Connection) -> Arc<Self> {
+        Arc::new(SharedEngine {
+            conn: Mutex::new(conn),
+            registry: mal::prims::default_registry(),
+            stats: AtomicStats::default(),
+            next_session: AtomicU64::new(1),
+        })
+    }
+
+    /// In-memory shared engine with the default execution configuration.
+    pub fn in_memory() -> Arc<Self> {
+        Self::new(Connection::new())
+    }
+
+    /// Open (or create) a durable shared engine over the vault at `path`
+    /// (recovery semantics of [`Connection::open`]).
+    pub fn open(path: impl AsRef<Path>) -> Result<Arc<Self>> {
+        Ok(Self::new(Connection::open(path)?))
+    }
+
+    /// [`SharedEngine::open`] with an explicit execution configuration.
+    pub fn open_with_config(path: impl AsRef<Path>, cfg: SessionConfig) -> Result<Arc<Self>> {
+        Ok(Self::new(Connection::open_with_config(path, cfg)?))
+    }
+
+    /// Start a new session over this engine.
+    pub fn session(self: &Arc<Self>) -> EngineSession {
+        self.stats.sessions_opened.fetch_add(1, Ordering::Relaxed);
+        EngineSession {
+            engine: Arc::clone(self),
+            id: self.next_session.fetch_add(1, Ordering::Relaxed),
+            last: LastExec::default(),
+            prepared: HashMap::new(),
+            statements: 0,
+            rows_returned: 0,
+            errors: 0,
+        }
+    }
+
+    /// Take a consistent point-in-time snapshot (brief lock).
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot::of(&self.lock())
+    }
+
+    /// Exclusive access to the underlying connection (the single-writer
+    /// path; also used for maintenance like `checkpoint`).
+    pub fn connection(&self) -> MutexGuard<'_, Connection> {
+        self.lock()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Connection> {
+        // A poisoned mutex means a writer panicked mid-statement. The
+        // stores themselves are never left torn (copy-on-write installs
+        // whole columns), so continuing with the current state is sound.
+        self.conn.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Write a vault checkpoint (see [`Connection::checkpoint`]).
+    pub fn checkpoint(&self) -> Result<()> {
+        self.lock().checkpoint()
+    }
+
+    /// Is the engine backed by a durable vault?
+    pub fn is_persistent(&self) -> bool {
+        self.lock().is_persistent()
+    }
+
+    /// Cumulative engine counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            sessions_opened: self.stats.sessions_opened.load(Ordering::Relaxed),
+            statements: self.stats.statements.load(Ordering::Relaxed),
+            snapshot_reads: self.stats.snapshot_reads.load(Ordering::Relaxed),
+            rows_returned: self.stats.rows_returned.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for SharedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedEngine")
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Per-session counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Statements executed in this session.
+    pub statements: u64,
+    /// Rows returned to this session.
+    pub rows_returned: u64,
+    /// Statements that failed.
+    pub errors: u64,
+}
+
+/// One client's view of a [`SharedEngine`]: session-scoped statistics and
+/// prepared statement texts over the shared state. Sessions are cheap;
+/// the `sciql-net` server creates one per accepted socket.
+pub struct EngineSession {
+    engine: Arc<SharedEngine>,
+    id: u64,
+    last: LastExec,
+    /// Prepared statement texts, named (the MAPI-style `PREPARE` is a
+    /// text stash: planning happens at execute, against current state).
+    prepared: HashMap<String, String>,
+    statements: u64,
+    rows_returned: u64,
+    errors: u64,
+}
+
+impl EngineSession {
+    /// Session id (unique within the engine's lifetime).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The engine this session runs over.
+    pub fn engine(&self) -> &Arc<SharedEngine> {
+        &self.engine
+    }
+
+    /// Statistics of this session's most recent statement.
+    pub fn last_exec(&self) -> LastExec {
+        self.last.clone()
+    }
+
+    /// This session's counters.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            statements: self.statements,
+            rows_returned: self.rows_returned,
+            errors: self.errors,
+        }
+    }
+
+    /// Execute one statement. SELECTs run on a lock-free snapshot (many
+    /// sessions in parallel); everything else serializes through the
+    /// engine's single-writer connection, with the vault's per-statement
+    /// WAL durability when the engine is persistent.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
+        let stmt = match parse_statement(sql) {
+            Ok(s) => s,
+            Err(e) => {
+                self.errors += 1;
+                return Err(EngineError::Parse(e));
+            }
+        };
+        self.execute_stmt(&stmt)
+    }
+
+    /// Execute a semicolon-separated script, one result per statement.
+    pub fn execute_script(&mut self, sql: &str) -> Result<Vec<QueryResult>> {
+        let stmts = parse_statements(sql).map_err(|e| {
+            self.errors += 1;
+            EngineError::Parse(e)
+        })?;
+        stmts.iter().map(|s| self.execute_stmt(s)).collect()
+    }
+
+    /// Execute a SELECT and return its rows.
+    pub fn query(&mut self, sql: &str) -> Result<ResultSet> {
+        self.execute(sql)?.rows()
+    }
+
+    /// Execute a parsed statement (see [`EngineSession::execute`]).
+    pub fn execute_stmt(&mut self, stmt: &Stmt) -> Result<QueryResult> {
+        self.statements += 1;
+        self.engine.stats.statements.fetch_add(1, Ordering::Relaxed);
+        let result = match stmt {
+            Stmt::Select(sel) => {
+                self.engine
+                    .stats
+                    .snapshot_reads
+                    .fetch_add(1, Ordering::Relaxed);
+                let snap = self.engine.snapshot();
+                snap.run_select(sel, &self.engine.registry)
+                    .map(|(rs, last)| {
+                        self.last = last;
+                        QueryResult::Rows(rs)
+                    })
+            }
+            _ => {
+                let mut conn = self.engine.lock();
+                let r = conn.execute_stmt(stmt);
+                self.last = conn.last_exec();
+                r
+            }
+        };
+        match &result {
+            Ok(QueryResult::Rows(rs)) => {
+                let n = rs.row_count() as u64;
+                self.rows_returned += n;
+                self.engine
+                    .stats
+                    .rows_returned
+                    .fetch_add(n, Ordering::Relaxed);
+            }
+            Ok(QueryResult::Affected(_)) => {}
+            Err(_) => self.errors += 1,
+        }
+        result
+    }
+
+    /// Stash a named statement text for later [`EngineSession::execute_prepared`].
+    pub fn prepare(&mut self, name: &str, sql: &str) -> Result<()> {
+        // Validate now so the client learns about syntax errors at
+        // prepare time, MAPI-style; the text is re-planned at execute.
+        parse_statement(sql).map_err(EngineError::Parse)?;
+        self.prepared
+            .insert(name.to_ascii_lowercase(), sql.to_owned());
+        Ok(())
+    }
+
+    /// Execute a statement previously stashed with [`EngineSession::prepare`].
+    pub fn execute_prepared(&mut self, name: &str) -> Result<QueryResult> {
+        let Some(sql) = self.prepared.get(&name.to_ascii_lowercase()).cloned() else {
+            self.errors += 1;
+            return Err(EngineError::msg(format!(
+                "no prepared statement named {name:?}"
+            )));
+        };
+        self.execute(&sql)
+    }
+
+    /// Drop a prepared statement; `true` if it existed.
+    pub fn deallocate(&mut self, name: &str) -> bool {
+        self.prepared.remove(&name.to_ascii_lowercase()).is_some()
+    }
+}
+
+impl std::fmt::Debug for EngineSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineSession")
+            .field("id", &self.id)
+            .field("statements", &self.statements)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded() -> Arc<SharedEngine> {
+        let engine = SharedEngine::in_memory();
+        let mut s = engine.session();
+        s.execute(
+            "CREATE ARRAY m (x INT DIMENSION[0:1:4], y INT DIMENSION[0:1:4], v INT DEFAULT 0)",
+        )
+        .unwrap();
+        s.execute("UPDATE m SET v = x + y").unwrap();
+        engine
+    }
+
+    #[test]
+    fn sessions_share_state() {
+        let engine = seeded();
+        let mut a = engine.session();
+        let mut b = engine.session();
+        assert_ne!(a.id(), b.id());
+        a.execute("UPDATE m SET v = 7 WHERE x = 0").unwrap();
+        let n = b
+            .query("SELECT COUNT(*) FROM m WHERE v = 7")
+            .unwrap()
+            .scalar()
+            .unwrap();
+        assert_eq!(n.as_i64(), Some(4));
+    }
+
+    #[test]
+    fn snapshot_isolates_readers_from_later_writes() {
+        let engine = seeded();
+        let snap = engine.snapshot();
+        engine.session().execute("UPDATE m SET v = 99").unwrap();
+        let sel =
+            match sciql_parser::parse_statement("SELECT COUNT(*) FROM m WHERE v = 99").unwrap() {
+                Stmt::Select(s) => s,
+                _ => unreachable!(),
+            };
+        let (rs, _) = snap.run_select(&sel, &engine.registry).unwrap();
+        assert_eq!(rs.scalar().unwrap().as_i64(), Some(0), "pre-write image");
+        let mut s = engine.session();
+        let n = s
+            .query("SELECT COUNT(*) FROM m WHERE v = 99")
+            .unwrap()
+            .scalar()
+            .unwrap();
+        assert_eq!(n.as_i64(), Some(16), "fresh snapshot sees the write");
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer() {
+        let engine = seeded();
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let engine = Arc::clone(&engine);
+            handles.push(std::thread::spawn(move || {
+                let mut s = engine.session();
+                for i in 0..20 {
+                    if t == 0 {
+                        // the writer: whole-array constant updates
+                        s.execute(&format!("UPDATE m SET v = {i}")).unwrap();
+                    } else {
+                        // readers: a torn read would see two constants
+                        let rs = s.query("SELECT [x], [y], v FROM m").unwrap();
+                        let vals: Vec<_> = (0..rs.row_count()).map(|r| rs.get(r, 2)).collect();
+                        assert!(
+                            vals.windows(2).all(|w| w[0] == w[1])
+                                || vals.iter().all(|v| v.as_i64().is_some()),
+                        );
+                        let first = &vals[0];
+                        assert!(vals.iter().all(|v| v == first), "torn read: {vals:?}");
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(engine.stats().snapshot_reads >= 60);
+    }
+
+    #[test]
+    fn prepared_statements_are_per_session() {
+        let engine = seeded();
+        let mut a = engine.session();
+        let mut b = engine.session();
+        a.prepare("q", "SELECT COUNT(*) FROM m").unwrap();
+        assert_eq!(
+            a.execute_prepared("q")
+                .unwrap()
+                .rows()
+                .unwrap()
+                .scalar()
+                .unwrap()
+                .as_i64(),
+            Some(16)
+        );
+        assert!(b.execute_prepared("q").is_err(), "not visible to b");
+        assert!(a.prepare("bad", "SELEC nonsense").is_err());
+        assert!(a.deallocate("q"));
+        assert!(!a.deallocate("q"));
+    }
+}

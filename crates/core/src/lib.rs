@@ -37,6 +37,7 @@
 
 pub mod ddl;
 pub mod dml;
+pub mod engine;
 pub mod result;
 pub mod session;
 pub mod storage;
@@ -44,6 +45,7 @@ pub mod storage;
 #[cfg(test)]
 mod tests;
 
+pub use engine::{EngineSession, EngineSnapshot, EngineStats, SessionStats, SharedEngine};
 pub use result::{ArrayView, ColumnMeta, ResultSet};
 pub use session::{Connection, LastExec, QueryResult, SessionConfig};
 pub use storage::{ArrayStore, TableStore};

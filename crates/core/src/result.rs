@@ -141,6 +141,64 @@ impl ResultSet {
         })
     }
 
+    /// Encode the column metadata for the wire (`sciql-net`'s result
+    /// header frame), reusing the vault codec's primitives: `u16` column
+    /// count, then per column a length-prefixed name, the stable
+    /// [`gdk::codec::type_tag`] and the dimensional flag.
+    pub fn encode_header(&self) -> Vec<u8> {
+        use gdk::codec::{put_str, put_u16, put_u8, type_tag};
+        let mut out = Vec::new();
+        put_u16(
+            &mut out,
+            u16::try_from(self.columns.len()).expect("result has more than 65535 columns"),
+        );
+        for c in &self.columns {
+            put_str(&mut out, &c.name);
+            put_u8(&mut out, type_tag(c.ty));
+            put_u8(&mut out, c.dimensional as u8);
+        }
+        out
+    }
+
+    /// Encode rows `[start, start+n)` as one wire page: `u32` row count,
+    /// then the values row-major through [`gdk::codec::encode_value`]
+    /// (which preserves nils and the NaN sentinel bit-exactly).
+    pub fn encode_page(&self, start: usize, n: usize) -> Vec<u8> {
+        use gdk::codec::{encode_value, put_u32};
+        let end = (start + n).min(self.row_count());
+        let start = start.min(end);
+        let mut out = Vec::new();
+        put_u32(&mut out, (end - start) as u32);
+        for r in start..end {
+            for b in &self.bats {
+                encode_value(&b.get(r), &mut out);
+            }
+        }
+        out
+    }
+
+    /// Split the whole result into pages of at most `rows_per_page` rows.
+    /// An empty result yields no pages (the header alone describes it).
+    pub fn encode_pages(&self, rows_per_page: usize) -> Vec<Vec<u8>> {
+        self.pages(rows_per_page, usize::MAX).collect()
+    }
+
+    /// Lazily encode the result as wire pages bounded by **both** row
+    /// count and encoded size: a page closes once it holds `max_rows`
+    /// rows *or* its body exceeds `max_bytes` (it always holds at least
+    /// one row, so a single oversized row can still exceed the soft
+    /// byte bound). The server streams these one at a time — nothing
+    /// beyond the current page is materialised, and wide string rows
+    /// cannot balloon a fixed-row-count page past the frame limit.
+    pub fn pages(&self, max_rows: usize, max_bytes: usize) -> PageIter<'_> {
+        PageIter {
+            rs: self,
+            row: 0,
+            max_rows: max_rows.max(1),
+            max_bytes,
+        }
+    }
+
     /// Render as an ASCII table (demo/CLI output).
     pub fn render(&self) -> String {
         let mut widths: Vec<usize> = self.columns.iter().map(|c| c.name.len()).collect();
@@ -181,6 +239,120 @@ impl ResultSet {
         }
         sep(&mut out);
         out
+    }
+}
+
+/// Lazy page encoder over a result set (see [`ResultSet::pages`]).
+#[derive(Debug)]
+pub struct PageIter<'a> {
+    rs: &'a ResultSet,
+    row: usize,
+    max_rows: usize,
+    max_bytes: usize,
+}
+
+impl Iterator for PageIter<'_> {
+    type Item = Vec<u8>;
+
+    fn next(&mut self) -> Option<Vec<u8>> {
+        use gdk::codec::{encode_value, put_u32};
+        let total = self.rs.row_count();
+        if self.row >= total {
+            return None;
+        }
+        let mut body = Vec::new();
+        let mut n: u32 = 0;
+        while self.row < total && (n as usize) < self.max_rows {
+            if n > 0 && body.len() >= self.max_bytes {
+                break;
+            }
+            for b in &self.rs.bats {
+                encode_value(&b.get(self.row), &mut body);
+            }
+            n += 1;
+            self.row += 1;
+        }
+        let mut out = Vec::with_capacity(4 + body.len());
+        put_u32(&mut out, n);
+        out.extend_from_slice(&body);
+        Some(out)
+    }
+}
+
+/// Reassembles a [`ResultSet`] from its wire encoding: construct from the
+/// header frame, feed result pages in order, then [`ResultSetBuilder::finish`].
+/// The `sciql-net` client uses this; round-tripping through
+/// [`ResultSet::encode_header`] / [`ResultSet::encode_pages`] is value- and
+/// type-exact.
+#[derive(Debug)]
+pub struct ResultSetBuilder {
+    columns: Vec<ColumnMeta>,
+    bats: Vec<Bat>,
+}
+
+impl ResultSetBuilder {
+    /// Parse a header frame (inverse of [`ResultSet::encode_header`]).
+    pub fn from_header(bytes: &[u8]) -> Result<Self> {
+        use gdk::codec::{type_from_tag, Reader};
+        let mut r = Reader::new(bytes);
+        let decode = |r: &mut Reader<'_>| -> gdk::codec::CodecResult<(Vec<ColumnMeta>, Vec<Bat>)> {
+            let ncols = r.u16()? as usize;
+            let mut columns = Vec::with_capacity(ncols);
+            let mut bats = Vec::with_capacity(ncols);
+            for _ in 0..ncols {
+                let name = r.str()?;
+                let ty = type_from_tag(r.u8()?)?;
+                let dimensional = r.u8()? != 0;
+                columns.push(ColumnMeta {
+                    name,
+                    ty,
+                    dimensional,
+                });
+                bats.push(Bat::new(ty));
+            }
+            Ok((columns, bats))
+        };
+        let (columns, bats) = decode(&mut r)
+            .map_err(|e| EngineError::msg(format!("malformed result header: {e}")))?;
+        if r.remaining() != 0 {
+            return Err(EngineError::msg("trailing bytes after result header"));
+        }
+        Ok(ResultSetBuilder { columns, bats })
+    }
+
+    /// Append one page of rows (inverse of [`ResultSet::encode_page`]);
+    /// returns the number of rows added.
+    pub fn push_page(&mut self, bytes: &[u8]) -> Result<usize> {
+        use gdk::codec::{decode_value, Reader};
+        let mut r = Reader::new(bytes);
+        let nrows = r
+            .u32()
+            .map_err(|e| EngineError::msg(format!("malformed result page: {e}")))?
+            as usize;
+        for _ in 0..nrows {
+            for b in &mut self.bats {
+                let v = decode_value(&mut r)
+                    .map_err(|e| EngineError::msg(format!("malformed result page: {e}")))?;
+                b.push(&v).map_err(EngineError::Gdk)?;
+            }
+        }
+        if r.remaining() != 0 {
+            return Err(EngineError::msg("trailing bytes after result page"));
+        }
+        Ok(nrows)
+    }
+
+    /// Rows received so far.
+    pub fn row_count(&self) -> usize {
+        self.bats.first().map_or(0, |b| b.len())
+    }
+
+    /// Finish into a result set.
+    pub fn finish(self) -> ResultSet {
+        ResultSet {
+            columns: self.columns,
+            bats: self.bats.into_iter().map(Arc::new).collect(),
+        }
     }
 }
 
@@ -314,6 +486,134 @@ mod tests {
         let text = rs().render();
         assert!(text.contains("x[]"), "{text}");
         assert!(text.contains("| 10"), "{text}");
+    }
+
+    #[test]
+    fn page_roundtrip_is_value_exact() {
+        let r = ResultSet {
+            columns: vec![
+                ColumnMeta {
+                    name: "x".into(),
+                    ty: ScalarType::Int,
+                    dimensional: true,
+                },
+                ColumnMeta {
+                    name: "w".into(),
+                    ty: ScalarType::Dbl,
+                    dimensional: false,
+                },
+                ColumnMeta {
+                    name: "label".into(),
+                    ty: ScalarType::Str,
+                    dimensional: false,
+                },
+            ],
+            bats: vec![
+                Arc::new(Bat::from_ints(vec![1, 2, 3, 4, 5])),
+                Arc::new(Bat::from_dbls(vec![0.5, f64::NAN, -1.0, 2.25, 1e300])),
+                Arc::new(Bat::from_strs(vec![
+                    Some("a"),
+                    None,
+                    Some("bb"),
+                    Some("a"),
+                    Some(""),
+                ])),
+            ],
+        };
+        // Page size 2 → pages of 2, 2, 1 rows.
+        let pages = r.encode_pages(2);
+        assert_eq!(pages.len(), 3);
+        let mut b = ResultSetBuilder::from_header(&r.encode_header()).unwrap();
+        let mut rows = 0;
+        for p in &pages {
+            rows += b.push_page(p).unwrap();
+        }
+        assert_eq!(rows, 5);
+        let back = b.finish();
+        assert_eq!(back.columns, r.columns);
+        assert_eq!(back.row_count(), r.row_count());
+        for row in 0..r.row_count() {
+            for col in 0..r.column_count() {
+                let (a, b) = (r.get(row, col), back.get(row, col));
+                // NaN != NaN; compare the nil/bit pattern instead.
+                match (&a, &b) {
+                    (Value::Dbl(x), Value::Dbl(y)) => assert_eq!(x.to_bits(), y.to_bits()),
+                    _ => assert_eq!(a, b, "({row},{col})"),
+                }
+            }
+        }
+        // Determinism: re-encoding the rebuilt set is byte-identical.
+        assert_eq!(back.encode_header(), r.encode_header());
+        assert_eq!(back.encode_pages(2), pages);
+    }
+
+    #[test]
+    fn byte_bounded_pages_split_on_size_and_reassemble() {
+        // 8 rows of ~300-byte strings: with a 600-byte soft cap, pages
+        // close after ~2 rows each instead of the 100-row cap.
+        let big: Vec<Option<String>> = (0..8).map(|i| Some(format!("{i}").repeat(300))).collect();
+        let r = ResultSet {
+            columns: vec![ColumnMeta {
+                name: "s".into(),
+                ty: ScalarType::Str,
+                dimensional: false,
+            }],
+            bats: vec![Arc::new(Bat::from_strs(
+                big.iter().map(|s| s.as_deref()).collect(),
+            ))],
+        };
+        let pages: Vec<_> = r.pages(100, 600).collect();
+        assert!(
+            pages.len() >= 4,
+            "byte cap must split: {} pages",
+            pages.len()
+        );
+        // Every page stays within cap + one row's worth of slack.
+        assert!(pages.iter().all(|p| p.len() <= 600 + 310));
+        let mut b = ResultSetBuilder::from_header(&r.encode_header()).unwrap();
+        for p in &pages {
+            b.push_page(p).unwrap();
+        }
+        let back = b.finish();
+        assert_eq!(back.row_count(), 8);
+        for i in 0..8 {
+            assert_eq!(back.get(i, 0), r.get(i, 0));
+        }
+        // A single row larger than the cap still travels (alone).
+        let pages: Vec<_> = r.pages(100, 1).collect();
+        assert_eq!(pages.len(), 8, "one row per page under a tiny cap");
+    }
+
+    #[test]
+    fn empty_result_encodes_header_only() {
+        let r = ResultSet {
+            columns: vec![ColumnMeta {
+                name: "n".into(),
+                ty: ScalarType::Lng,
+                dimensional: false,
+            }],
+            bats: vec![Arc::new(Bat::new(ScalarType::Lng))],
+        };
+        assert!(r.encode_pages(64).is_empty());
+        let back = ResultSetBuilder::from_header(&r.encode_header())
+            .unwrap()
+            .finish();
+        assert_eq!(back.row_count(), 0);
+        assert_eq!(back.columns, r.columns);
+    }
+
+    #[test]
+    fn malformed_pages_are_rejected() {
+        let r = rs();
+        let header = r.encode_header();
+        assert!(ResultSetBuilder::from_header(&header[..header.len() - 1]).is_err());
+        let mut b = ResultSetBuilder::from_header(&header).unwrap();
+        let page = r.encode_page(0, 3);
+        assert!(b.push_page(&page[..page.len() - 1]).is_err(), "truncated");
+        let mut long = page.clone();
+        long.push(0);
+        let mut b2 = ResultSetBuilder::from_header(&header).unwrap();
+        assert!(b2.push_page(&long).is_err(), "trailing bytes");
     }
 
     #[test]

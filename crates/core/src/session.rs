@@ -103,8 +103,8 @@ pub struct Connection {
     pub(crate) arrays: HashMap<String, ArrayStore>,
     pub(crate) tables: HashMap<String, TableStore>,
     registry: Registry,
-    opt_config: OptConfig,
-    codegen: CodegenOptions,
+    pub(crate) opt_config: OptConfig,
+    pub(crate) codegen: CodegenOptions,
     last: LastExec,
     /// Durable backing store; `None` for a purely in-memory session.
     vault: Option<Vault>,
@@ -497,49 +497,16 @@ impl Connection {
     /// Compile and execute a logical plan (also used by the DML
     /// executors).
     pub(crate) fn run_plan(&mut self, plan: &Plan) -> Result<ResultSet> {
-        let mut prog: Program = compile(plan, &self.codegen)?;
-        let before = prog.instrs.len();
-        let report = mal::optimise(&mut prog, &self.registry, self.opt_config);
-        let after = prog.instrs.len();
-        let storage = StorageBinder {
-            arrays: &self.arrays,
-            tables: &self.tables,
-        };
-        let interp = Interpreter::with_config(&self.registry, &storage, self.codegen.par_config());
-        let (outs, exec) = interp.run_with_stats(&prog).map_err(EngineError::Mal)?;
-        self.last = LastExec {
-            exec,
-            opt: report,
-            instrs_before_opt: before,
-            instrs_after_opt: after,
-        };
-        let schema = plan.schema();
-        let mut columns = Vec::with_capacity(schema.len());
-        let mut bats: Vec<Arc<Bat>> = Vec::with_capacity(schema.len());
-        for ((label, val), info) in outs.into_iter().zip(schema) {
-            let b = match val {
-                MalValue::Bat(b) => b,
-                MalValue::Scalar(v) => {
-                    let ty = v.scalar_type().unwrap_or(info.ty);
-                    let mut nb = Bat::with_capacity(ty, 1);
-                    nb.push(&v).map_err(EngineError::Gdk)?;
-                    Arc::new(nb)
-                }
-                other => {
-                    return Err(EngineError::msg(format!(
-                        "result column {label:?} is not a BAT ({})",
-                        other.kind()
-                    )))
-                }
-            };
-            columns.push(ColumnMeta {
-                name: label,
-                ty: b.tail_type(),
-                dimensional: info.dimensional,
-            });
-            bats.push(b);
-        }
-        Ok(ResultSet { columns, bats })
+        let (rs, last) = execute_plan(
+            plan,
+            &self.registry,
+            self.opt_config,
+            &self.codegen,
+            &self.arrays,
+            &self.tables,
+        )?;
+        self.last = last;
+        Ok(rs)
     }
 
     /// Bulk-load an array directly from column data — the reproduction's
@@ -612,6 +579,61 @@ impl Connection {
             .get(&name.to_ascii_lowercase())
             .ok_or_else(|| EngineError::msg(format!("no such table {name:?}")))
     }
+}
+
+/// Compile and execute a logical plan against a set of stores. This is
+/// the tail of the Fig-2 pipeline with no `&mut` requirement on any
+/// session state, which is what lets [`crate::SharedEngine`] run many
+/// concurrent readers over `Arc`-shared column snapshots while writes
+/// serialize elsewhere.
+pub(crate) fn execute_plan(
+    plan: &Plan,
+    registry: &Registry,
+    opt_config: OptConfig,
+    codegen: &CodegenOptions,
+    arrays: &HashMap<String, ArrayStore>,
+    tables: &HashMap<String, TableStore>,
+) -> Result<(ResultSet, LastExec)> {
+    let mut prog: Program = compile(plan, codegen)?;
+    let before = prog.instrs.len();
+    let report = mal::optimise(&mut prog, registry, opt_config);
+    let after = prog.instrs.len();
+    let storage = StorageBinder { arrays, tables };
+    let interp = Interpreter::with_config(registry, &storage, codegen.par_config());
+    let (outs, exec) = interp.run_with_stats(&prog).map_err(EngineError::Mal)?;
+    let last = LastExec {
+        exec,
+        opt: report,
+        instrs_before_opt: before,
+        instrs_after_opt: after,
+    };
+    let schema = plan.schema();
+    let mut columns = Vec::with_capacity(schema.len());
+    let mut bats: Vec<Arc<Bat>> = Vec::with_capacity(schema.len());
+    for ((label, val), info) in outs.into_iter().zip(schema) {
+        let b = match val {
+            MalValue::Bat(b) => b,
+            MalValue::Scalar(v) => {
+                let ty = v.scalar_type().unwrap_or(info.ty);
+                let mut nb = Bat::with_capacity(ty, 1);
+                nb.push(&v).map_err(EngineError::Gdk)?;
+                Arc::new(nb)
+            }
+            other => {
+                return Err(EngineError::msg(format!(
+                    "result column {label:?} is not a BAT ({})",
+                    other.kind()
+                )))
+            }
+        };
+        columns.push(ColumnMeta {
+            name: label,
+            ty: b.tail_type(),
+            dimensional: info.dimensional,
+        });
+        bats.push(b);
+    }
+    Ok((ResultSet { columns, bats }, last))
 }
 
 /// Resolves `sql.bind` against the session storage.

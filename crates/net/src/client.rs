@@ -1,0 +1,270 @@
+//! The blocking client: connect, handshake, send statements, reassemble
+//! paged results into a [`ResultSet`].
+
+use crate::proto::{self, NetError, NetResult, Op, PROTO_VERSION};
+use gdk::codec::Reader;
+use sciql::result::ResultSetBuilder;
+use sciql::ResultSet;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A statement's outcome as seen over the wire.
+#[derive(Debug, Clone)]
+pub enum NetReply {
+    /// DDL/DML: affected cells/rows.
+    Affected(u64),
+    /// SELECT: the reassembled result set.
+    Rows(ResultSet),
+}
+
+impl NetReply {
+    /// Unwrap a row result.
+    pub fn rows(self) -> NetResult<ResultSet> {
+        match self {
+            NetReply::Rows(r) => Ok(r),
+            NetReply::Affected(_) => Err(NetError::protocol("statement did not produce rows")),
+        }
+    }
+
+    /// Unwrap an affected-count result.
+    pub fn affected(self) -> NetResult<u64> {
+        match self {
+            NetReply::Affected(n) => Ok(n),
+            NetReply::Rows(_) => Err(NetError::protocol("statement produced rows")),
+        }
+    }
+}
+
+/// A connected, handshaken session with a `sciql-net` server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    session_id: u64,
+    server: String,
+    /// Set after an I/O or framing failure mid-exchange. Once the reply
+    /// stream may be desynchronized (e.g. a timed-out read whose answer
+    /// later lands in the socket), attributing the *next* reply to the
+    /// *next* request would silently return wrong results — so every
+    /// further call fails instead. Statement errors do not poison.
+    broken: bool,
+}
+
+impl Client {
+    /// Connect and perform the `Hello`/`HelloOk` handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> NetResult<Client> {
+        Self::connect_named(addr, "sciql-net-client")
+    }
+
+    /// [`Client::connect`] announcing a client name (shows up in server
+    /// diagnostics).
+    pub fn connect_named(addr: impl ToSocketAddrs, name: &str) -> NetResult<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        // A safety net so a dead server never hangs the client forever.
+        // A statement that genuinely takes longer trips it too — that
+        // poisons the connection (see `broken`) rather than risking a
+        // desynchronized reply stream; reconnect and retry in that case.
+        stream.set_read_timeout(Some(Duration::from_secs(60))).ok();
+        let mut client = Client {
+            stream,
+            session_id: 0,
+            server: String::new(),
+            broken: false,
+        };
+        proto::write_frame(&mut client.stream, &proto::hello(name))?;
+        let frame = client.expect_frame()?;
+        let (op, body) = proto::split(&frame)?;
+        match op {
+            Op::HelloOk => {
+                let mut r = Reader::new(body);
+                let theirs = r
+                    .u16()
+                    .map_err(|_| NetError::protocol("malformed HelloOk"))?;
+                if theirs != PROTO_VERSION {
+                    return Err(NetError::Version {
+                        ours: PROTO_VERSION,
+                        theirs,
+                    });
+                }
+                client.server = r
+                    .str()
+                    .map_err(|_| NetError::protocol("malformed HelloOk"))?;
+                client.session_id = r
+                    .u64()
+                    .map_err(|_| NetError::protocol("malformed HelloOk"))?;
+                Ok(client)
+            }
+            Op::Error => Err(NetError::Server(read_error(body))),
+            other => Err(NetError::protocol(format!(
+                "expected HelloOk, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Server-assigned session id.
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    /// Server name from the handshake.
+    pub fn server_name(&self) -> &str {
+        &self.server
+    }
+
+    /// Is this connection poisoned by an earlier I/O or framing failure?
+    /// A broken client refuses further statements; reconnect instead.
+    pub fn is_broken(&self) -> bool {
+        self.broken
+    }
+
+    /// Run one request/reply exchange with poison discipline: refuse if
+    /// already broken, and break on any failure that can leave the
+    /// reply stream out of step (everything except a server-reported
+    /// statement error, after which the stream is still aligned).
+    fn exchange<T>(&mut self, f: impl FnOnce(&mut Self) -> NetResult<T>) -> NetResult<T> {
+        if self.broken {
+            return Err(NetError::protocol(
+                "connection is broken by an earlier failure; reconnect",
+            ));
+        }
+        let result = f(self);
+        if let Err(e) = &result {
+            if !matches!(e, NetError::Server(_)) {
+                self.broken = true;
+            }
+        }
+        result
+    }
+
+    /// Execute one statement.
+    pub fn execute(&mut self, sql: &str) -> NetResult<NetReply> {
+        self.exchange(|c| {
+            proto::write_frame(&mut c.stream, &proto::query(sql))?;
+            c.read_reply()
+        })
+    }
+
+    /// Execute a SELECT and return its rows.
+    pub fn query(&mut self, sql: &str) -> NetResult<ResultSet> {
+        self.execute(sql)?.rows()
+    }
+
+    /// Stash a named statement text in the server-side session.
+    pub fn prepare(&mut self, name: &str, sql: &str) -> NetResult<()> {
+        self.exchange(|c| {
+            proto::write_frame(&mut c.stream, &proto::prepare(name, sql))?;
+            match c.read_reply()? {
+                NetReply::Affected(0) => Ok(()),
+                other => Err(NetError::protocol(format!(
+                    "unexpected Prepare reply {other:?}"
+                ))),
+            }
+        })
+    }
+
+    /// Execute a statement previously stashed with [`Client::prepare`].
+    pub fn execute_prepared(&mut self, name: &str) -> NetResult<NetReply> {
+        self.exchange(|c| {
+            proto::write_frame(&mut c.stream, &proto::exec_prepared(name))?;
+            c.read_reply()
+        })
+    }
+
+    /// Liveness round trip.
+    pub fn ping(&mut self) -> NetResult<()> {
+        self.exchange(|c| {
+            proto::write_frame(&mut c.stream, &proto::bare(Op::Ping))?;
+            let frame = c.expect_frame()?;
+            match proto::split(&frame)? {
+                (Op::Pong, _) => Ok(()),
+                (op, _) => Err(NetError::protocol(format!("expected Pong, got {op:?}"))),
+            }
+        })
+    }
+
+    /// Ask the server to shut down gracefully (in-flight statements of
+    /// other sessions finish first).
+    pub fn shutdown_server(mut self) -> NetResult<()> {
+        proto::write_frame(&mut self.stream, &proto::bare(Op::Shutdown))?;
+        let frame = self.expect_frame()?;
+        match proto::split(&frame)? {
+            (Op::Ok, _) => Ok(()),
+            (op, _) => Err(NetError::protocol(format!("expected Ok, got {op:?}"))),
+        }
+    }
+
+    /// Orderly hangup.
+    pub fn close(mut self) -> NetResult<()> {
+        proto::write_frame(&mut self.stream, &proto::bare(Op::Close))
+    }
+
+    fn expect_frame(&mut self) -> NetResult<Vec<u8>> {
+        proto::read_frame(&mut self.stream)?.ok_or_else(|| NetError::protocol("server hung up"))
+    }
+
+    /// Read one statement answer: `Affected`, `Error`, `Ok` (mapped to
+    /// `Affected(0)`), or header + pages + done.
+    fn read_reply(&mut self) -> NetResult<NetReply> {
+        let frame = self.expect_frame()?;
+        let (op, body) = proto::split(&frame)?;
+        match op {
+            Op::Error => Err(NetError::Server(read_error(body))),
+            Op::Ok => Ok(NetReply::Affected(0)),
+            Op::Affected => {
+                let n = Reader::new(body)
+                    .u64()
+                    .map_err(|_| NetError::protocol("malformed Affected"))?;
+                Ok(NetReply::Affected(n))
+            }
+            Op::ResultHeader => {
+                let mut builder = ResultSetBuilder::from_header(body)
+                    .map_err(|e| NetError::protocol(e.to_string()))?;
+                let mut pages_seen: u32 = 0;
+                loop {
+                    let frame = self.expect_frame()?;
+                    let (op, body) = proto::split(&frame)?;
+                    match op {
+                        Op::ResultPage => {
+                            builder
+                                .push_page(body)
+                                .map_err(|e| NetError::protocol(e.to_string()))?;
+                            pages_seen += 1;
+                        }
+                        Op::ResultDone => {
+                            let mut r = Reader::new(body);
+                            let rows = r
+                                .u64()
+                                .map_err(|_| NetError::protocol("malformed ResultDone"))?;
+                            let pages = r
+                                .u32()
+                                .map_err(|_| NetError::protocol("malformed ResultDone"))?;
+                            if pages != pages_seen || rows != builder.row_count() as u64 {
+                                return Err(NetError::protocol(format!(
+                                    "result stream torn: server sent {rows} rows in {pages} \
+                                     pages, received {} rows in {pages_seen} pages",
+                                    builder.row_count()
+                                )));
+                            }
+                            return Ok(NetReply::Rows(builder.finish()));
+                        }
+                        Op::Error => return Err(NetError::Server(read_error(body))),
+                        other => {
+                            return Err(NetError::protocol(format!(
+                                "unexpected {other:?} inside a result stream"
+                            )))
+                        }
+                    }
+                }
+            }
+            other => Err(NetError::protocol(format!(
+                "unexpected statement reply {other:?}"
+            ))),
+        }
+    }
+}
+
+fn read_error(body: &[u8]) -> String {
+    Reader::new(body)
+        .str()
+        .unwrap_or_else(|_| "malformed Error frame".into())
+}

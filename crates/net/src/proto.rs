@@ -1,0 +1,417 @@
+//! The wire protocol: length-prefixed, versioned frames.
+//!
+//! Every frame is `u32` little-endian payload length, then the payload;
+//! the payload's first byte is the opcode. Strings and integers inside
+//! payloads use `gdk::codec`'s primitives (length-prefixed UTF-8,
+//! little-endian fixed-width ints) — the same encoding the durable vault
+//! uses, so one codec serves disk and wire.
+//!
+//! ```text
+//! frame    := len:u32  payload[len]
+//! payload  := opcode:u8 body
+//!
+//! client → server                      server → client
+//!   0x01 Hello   ver:u16 client:str      0x81 HelloOk  ver:u16 server:str sid:u64
+//!   0x02 Query   sql:str                 0x82 Error    message:str
+//!   0x03 Prepare name:str sql:str        0x83 Affected n:u64
+//!   0x04 ExecPrepared name:str           0x84 ResultHeader  <ResultSet::encode_header>
+//!   0x05 Ping                            0x85 ResultPage    <ResultSet::encode_page>
+//!   0x06 Close                           0x86 ResultDone    rows:u64 pages:u32
+//!   0x07 Shutdown                        0x87 Pong
+//!                                        0x88 Ok       (Prepare/Shutdown ack)
+//! ```
+//!
+//! A query answer is either one `Error`, one `Affected`, or a
+//! `ResultHeader`, zero or more `ResultPage`s and a closing `ResultDone`.
+//! The handshake (`Hello`/`HelloOk`) must be the first exchange on a
+//! connection; the server rejects anything else with `Error` and hangs up.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Protocol version spoken by this build. A server answers a `Hello`
+/// carrying a *newer* version with the highest version it speaks; the
+/// client decides whether to continue (our client requires an exact
+/// match).
+pub const PROTO_VERSION: u16 = 1;
+
+/// Upper bound on a single frame (64 MiB): a defence against a corrupt
+/// or hostile length prefix allocating unbounded memory, not a result
+/// size limit — large results stream as many pages.
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// Rows per result page the server emits. Small enough to stream, large
+/// enough that the frame overhead vanishes.
+pub const PAGE_ROWS: usize = 1024;
+
+/// Frame opcodes (first payload byte).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Op {
+    /// Client handshake.
+    Hello = 0x01,
+    /// Execute one SQL statement.
+    Query = 0x02,
+    /// Stash a named statement text in the session.
+    Prepare = 0x03,
+    /// Execute a stashed statement.
+    ExecPrepared = 0x04,
+    /// Liveness probe.
+    Ping = 0x05,
+    /// Orderly session end.
+    Close = 0x06,
+    /// Ask the server to shut down gracefully.
+    Shutdown = 0x07,
+    /// Server handshake answer.
+    HelloOk = 0x81,
+    /// Statement (or protocol) failure; the session survives.
+    Error = 0x82,
+    /// DDL/DML acknowledgement with affected count.
+    Affected = 0x83,
+    /// Result-set column metadata.
+    ResultHeader = 0x84,
+    /// One page of result rows.
+    ResultPage = 0x85,
+    /// End of result set.
+    ResultDone = 0x86,
+    /// Ping answer.
+    Pong = 0x87,
+    /// Generic acknowledgement.
+    Ok = 0x88,
+}
+
+impl Op {
+    /// Parse an opcode byte.
+    pub fn from_u8(b: u8) -> Option<Op> {
+        Some(match b {
+            0x01 => Op::Hello,
+            0x02 => Op::Query,
+            0x03 => Op::Prepare,
+            0x04 => Op::ExecPrepared,
+            0x05 => Op::Ping,
+            0x06 => Op::Close,
+            0x07 => Op::Shutdown,
+            0x81 => Op::HelloOk,
+            0x82 => Op::Error,
+            0x83 => Op::Affected,
+            0x84 => Op::ResultHeader,
+            0x85 => Op::ResultPage,
+            0x86 => Op::ResultDone,
+            0x87 => Op::Pong,
+            0x88 => Op::Ok,
+            _ => return None,
+        })
+    }
+}
+
+/// Client- and server-side protocol errors.
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket failure.
+    Io(io::Error),
+    /// The peer violated the framing or sent something unexpected.
+    Protocol(String),
+    /// The server reported a statement error (the session survives).
+    Server(String),
+    /// Handshake version mismatch.
+    Version {
+        /// Version this build speaks.
+        ours: u16,
+        /// Version the peer answered with.
+        theirs: u16,
+    },
+}
+
+impl NetError {
+    /// Construct a [`NetError::Protocol`].
+    pub fn protocol(m: impl Into<String>) -> Self {
+        NetError::Protocol(m.into())
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "network I/O error: {e}"),
+            NetError::Protocol(m) => write!(f, "protocol error: {m}"),
+            NetError::Server(m) => write!(f, "server error: {m}"),
+            NetError::Version { ours, theirs } => {
+                write!(
+                    f,
+                    "protocol version mismatch: we speak {ours}, peer speaks {theirs}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+/// Net result type.
+pub type NetResult<T> = std::result::Result<T, NetError>;
+
+/// Write one frame (length prefix + payload) and flush.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> NetResult<()> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME)
+        .ok_or_else(|| NetError::protocol("outgoing frame exceeds MAX_FRAME"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one complete frame, blocking. Returns `None` on a clean EOF at a
+/// frame boundary (the peer hung up between frames).
+pub fn read_frame(r: &mut impl Read) -> NetResult<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(NetError::protocol(format!(
+            "incoming frame of {len} bytes exceeds the {MAX_FRAME}-byte limit"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Incremental frame reader for sockets with a read timeout: the server
+/// uses this to poll its shutdown flag between (and *during*) frames
+/// without losing partially received bytes.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+}
+
+impl FrameBuffer {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        FrameBuffer::default()
+    }
+
+    /// Pull bytes from `r` once and return the next complete frame if one
+    /// is buffered. `Ok(None)` means "no full frame yet" (including read
+    /// timeouts); `Err(UnexpectedEof)` is a peer hangup — clean if
+    /// [`FrameBuffer::is_empty`], mid-frame otherwise.
+    pub fn poll_frame(&mut self, r: &mut impl Read) -> NetResult<Option<Vec<u8>>> {
+        if let Some(f) = self.take_frame()? {
+            return Ok(Some(f));
+        }
+        let mut chunk = [0u8; 16 * 1024];
+        match r.read(&mut chunk) {
+            Ok(0) => Err(NetError::Io(io::Error::from(io::ErrorKind::UnexpectedEof))),
+            Ok(n) => {
+                self.buf.extend_from_slice(&chunk[..n]);
+                self.take_frame()
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Is the buffer at a frame boundary (no partial frame pending)?
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Bytes of a partial frame received so far (the server treats a
+    /// growing count as wire activity, so a slow upload is not reaped
+    /// as idle mid-transfer).
+    pub fn buffered_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn take_frame(&mut self) -> NetResult<Option<Vec<u8>>> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().unwrap());
+        if len > MAX_FRAME {
+            return Err(NetError::protocol(format!(
+                "incoming frame of {len} bytes exceeds the {MAX_FRAME}-byte limit"
+            )));
+        }
+        let total = 4 + len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let frame = self.buf[4..total].to_vec();
+        self.buf.drain(..total);
+        Ok(Some(frame))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Payload builders (the tiny bodies; result frames reuse core's encoding).
+// ---------------------------------------------------------------------------
+
+/// `Hello` payload.
+pub fn hello(client: &str) -> Vec<u8> {
+    let mut p = vec![Op::Hello as u8];
+    gdk::codec::put_u16(&mut p, PROTO_VERSION);
+    gdk::codec::put_str(&mut p, client);
+    p
+}
+
+/// `HelloOk` payload.
+pub fn hello_ok(server: &str, session_id: u64) -> Vec<u8> {
+    let mut p = vec![Op::HelloOk as u8];
+    gdk::codec::put_u16(&mut p, PROTO_VERSION);
+    gdk::codec::put_str(&mut p, server);
+    gdk::codec::put_u64(&mut p, session_id);
+    p
+}
+
+/// `Query` payload.
+pub fn query(sql: &str) -> Vec<u8> {
+    let mut p = vec![Op::Query as u8];
+    gdk::codec::put_str(&mut p, sql);
+    p
+}
+
+/// `Prepare` payload.
+pub fn prepare(name: &str, sql: &str) -> Vec<u8> {
+    let mut p = vec![Op::Prepare as u8];
+    gdk::codec::put_str(&mut p, name);
+    gdk::codec::put_str(&mut p, sql);
+    p
+}
+
+/// `ExecPrepared` payload.
+pub fn exec_prepared(name: &str) -> Vec<u8> {
+    let mut p = vec![Op::ExecPrepared as u8];
+    gdk::codec::put_str(&mut p, name);
+    p
+}
+
+/// Bare single-opcode payload (`Ping`, `Close`, `Shutdown`, `Pong`, `Ok`).
+pub fn bare(op: Op) -> Vec<u8> {
+    vec![op as u8]
+}
+
+/// `Error` payload.
+pub fn error(message: &str) -> Vec<u8> {
+    let mut p = vec![Op::Error as u8];
+    gdk::codec::put_str(&mut p, message);
+    p
+}
+
+/// `Affected` payload.
+pub fn affected(n: u64) -> Vec<u8> {
+    let mut p = vec![Op::Affected as u8];
+    gdk::codec::put_u64(&mut p, n);
+    p
+}
+
+/// `ResultDone` payload.
+pub fn result_done(rows: u64, pages: u32) -> Vec<u8> {
+    let mut p = vec![Op::ResultDone as u8];
+    gdk::codec::put_u64(&mut p, rows);
+    gdk::codec::put_u32(&mut p, pages);
+    p
+}
+
+/// Prefix `body` with `op` (result header/page frames wrap core's bytes).
+pub fn wrap(op: Op, body: &[u8]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(1 + body.len());
+    p.push(op as u8);
+    p.extend_from_slice(body);
+    p
+}
+
+/// Split a received payload into opcode and body.
+pub fn split(payload: &[u8]) -> NetResult<(Op, &[u8])> {
+    let (&first, body) = payload
+        .split_first()
+        .ok_or_else(|| NetError::protocol("empty frame"))?;
+    let op = Op::from_u8(first)
+        .ok_or_else(|| NetError::protocol(format!("unknown opcode {first:#04x}")))?;
+    Ok((op, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &query("SELECT 1")).unwrap();
+        write_frame(&mut wire, &bare(Op::Ping)).unwrap();
+        let mut r = &wire[..];
+        let f1 = read_frame(&mut r).unwrap().unwrap();
+        let (op, body) = split(&f1).unwrap();
+        assert_eq!(op, Op::Query);
+        assert_eq!(gdk::codec::Reader::new(body).str().unwrap(), "SELECT 1");
+        let f2 = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(split(&f2).unwrap().0, Op::Ping);
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut &wire[..]),
+            Err(NetError::Protocol(_))
+        ));
+        let mut fb = FrameBuffer::new();
+        assert!(matches!(
+            fb.poll_frame(&mut &wire[..]),
+            Err(NetError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn frame_buffer_reassembles_split_frames() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &query("SELECT 42")).unwrap();
+        let mut fb = FrameBuffer::new();
+        // Feed one byte at a time: no frame until the last byte arrives.
+        let mut got = None;
+        for i in 0..wire.len() {
+            let mut one = &wire[i..i + 1];
+            if let Some(f) = fb.poll_frame(&mut one).unwrap() {
+                assert_eq!(i, wire.len() - 1, "frame must complete on the last byte");
+                got = Some(f);
+            } else {
+                assert!(!fb.is_empty() || i < 3);
+            }
+        }
+        let (op, _) = split(&got.expect("frame")).unwrap();
+        assert_eq!(op, Op::Query);
+    }
+
+    #[test]
+    fn mid_frame_hangup_is_detected() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &query("SELECT 1")).unwrap();
+        wire.truncate(wire.len() - 2);
+        let mut fb = FrameBuffer::new();
+        let mut r = &wire[..];
+        assert!(fb.poll_frame(&mut r).unwrap().is_none());
+        assert!(!fb.is_empty(), "partial frame pending");
+        match fb.poll_frame(&mut r) {
+            Err(NetError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
+            other => panic!("expected EOF, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! The TCP server: one accept loop, one thread and one [`EngineSession`]
+//! per client, all multiplexed onto a shared [`SharedEngine`].
+//!
+//! Reads run concurrently on `Arc` column snapshots; writes serialize
+//! through the engine's single-writer connection (per-statement WAL
+//! durability when the vault is attached). Shutdown is graceful: the
+//! accept loop stops, in-flight statements finish, idle sessions are
+//! closed, and `ServerHandle::wait` returns once every handler exited.
+
+use crate::proto::{self, FrameBuffer, NetError, NetResult, Op, PAGE_ROWS};
+use gdk::codec::Reader;
+use sciql::{EngineSession, QueryResult, SharedEngine};
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Rows per result page.
+    pub page_rows: usize,
+    /// Soft byte bound per result page: a page closes once its body
+    /// exceeds this, so wide string rows cannot balloon a page past the
+    /// wire's frame limit. Keep it well under `proto::MAX_FRAME`.
+    pub page_bytes: usize,
+    /// Close a session after this long without wire activity
+    /// (`None` = never).
+    pub idle_timeout: Option<Duration>,
+    /// Give up on a client that stops draining its socket after this
+    /// long (`None` = block forever — a dead peer then pins its handler
+    /// thread and stalls [`ServerHandle::wait`]).
+    pub write_timeout: Option<Duration>,
+    /// Server name announced in the handshake.
+    pub name: String,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            page_rows: PAGE_ROWS,
+            page_bytes: 1 << 20,
+            idle_timeout: Some(Duration::from_secs(300)),
+            write_timeout: Some(Duration::from_secs(30)),
+            name: format!("sciql-net/{}", env!("CARGO_PKG_VERSION")),
+        }
+    }
+}
+
+/// Shared server state (accept loop + every session handler).
+struct Shared {
+    engine: Arc<SharedEngine>,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    active_sessions: AtomicU64,
+}
+
+/// A bound, not-yet-serving server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Bind to `addr` (use port 0 for an ephemeral port) over a shared
+    /// engine, with default tuning.
+    pub fn bind(engine: Arc<SharedEngine>, addr: impl ToSocketAddrs) -> NetResult<Server> {
+        Self::bind_with_config(engine, addr, ServerConfig::default())
+    }
+
+    /// [`Server::bind`] with explicit tuning.
+    pub fn bind_with_config(
+        engine: Arc<SharedEngine>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> NetResult<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                engine,
+                config,
+                shutdown: AtomicBool::new(false),
+                active_sessions: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> NetResult<SocketAddr> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Start serving on a background accept thread and return a handle
+    /// for shutdown/wait.
+    pub fn serve(self) -> NetResult<ServerHandle> {
+        let addr = self.local_addr()?;
+        let shared = Arc::clone(&self.shared);
+        let listener = self.listener;
+        // Accept with a poll interval so the loop notices the shutdown
+        // flag without needing a wake-up connection.
+        listener.set_nonblocking(true)?;
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_handlers = Arc::clone(&handlers);
+        let accept = std::thread::Builder::new()
+            .name("sciql-net-accept".into())
+            .spawn(move || {
+                while !shared.shutdown.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, peer)) => {
+                            let shared = Arc::clone(&shared);
+                            let h = std::thread::Builder::new()
+                                .name(format!("sciql-net-{peer}"))
+                                .spawn(move || {
+                                    shared.active_sessions.fetch_add(1, Ordering::SeqCst);
+                                    serve_session(&shared, stream);
+                                    shared.active_sessions.fetch_sub(1, Ordering::SeqCst);
+                                })
+                                .expect("spawn session thread");
+                            let mut hs = accept_handlers.lock().unwrap();
+                            hs.retain(|h| !h.is_finished());
+                            hs.push(h);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(20));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(20)),
+                    }
+                }
+            })
+            .expect("spawn accept thread");
+        Ok(ServerHandle {
+            addr,
+            shared: self.shared,
+            accept: Some(accept),
+            handlers,
+        })
+    }
+}
+
+/// Controls a serving server: request shutdown, wait for drain.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The serving address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Has a shutdown been requested (by [`ServerHandle::shutdown`] or a
+    /// client `Shutdown` frame)?
+    pub fn shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Sessions currently connected.
+    pub fn active_sessions(&self) -> u64 {
+        self.shared.active_sessions.load(Ordering::SeqCst)
+    }
+
+    /// Request a graceful shutdown (idempotent, non-blocking): stop
+    /// accepting, let in-flight statements finish, close sessions.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Block until the accept loop and every session handler have
+    /// exited. Returns the shared engine so the caller can checkpoint or
+    /// reopen it embedded.
+    pub fn wait(mut self) -> Arc<SharedEngine> {
+        if let Some(h) = self.accept.take() {
+            h.join().ok();
+        }
+        loop {
+            let hs: Vec<JoinHandle<()>> = std::mem::take(&mut *self.handlers.lock().unwrap());
+            if hs.is_empty() {
+                break;
+            }
+            for h in hs {
+                h.join().ok();
+            }
+        }
+        Arc::clone(&self.shared.engine)
+    }
+
+    /// [`ServerHandle::shutdown`] then [`ServerHandle::wait`].
+    pub fn stop(self) -> Arc<SharedEngine> {
+        self.shutdown();
+        self.wait()
+    }
+}
+
+/// Why a session ended (drives the farewell, if any).
+enum SessionEnd {
+    /// Client sent `Close` or hung up cleanly.
+    Closed,
+    /// Server is shutting down.
+    Shutdown,
+    /// No frame within the idle timeout.
+    Idle,
+    /// Socket or framing failure — nothing more can be said to the peer.
+    Broken,
+}
+
+/// One client from handshake to hangup.
+fn serve_session(shared: &Shared, mut stream: TcpStream) {
+    // A short read timeout turns the blocking socket into a poll loop:
+    // between (and during) frames the handler keeps checking the
+    // shutdown flag and the idle clock. The write timeout bounds how
+    // long a client that stops draining its socket can pin this thread
+    // (and hence how long a graceful shutdown can take).
+    stream
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .ok();
+    stream.set_write_timeout(shared.config.write_timeout).ok();
+    stream.set_nodelay(true).ok();
+    let mut session = shared.engine.session();
+    let end = session_loop(shared, &mut stream, &mut session);
+    // Best-effort farewell; the peer may already be gone.
+    let farewell = match end {
+        SessionEnd::Closed | SessionEnd::Broken => None,
+        SessionEnd::Shutdown => Some("server shutting down"),
+        SessionEnd::Idle => Some("idle timeout exceeded"),
+    };
+    if let Some(msg) = farewell {
+        proto::write_frame(&mut stream, &proto::error(msg)).ok();
+    }
+    stream.flush().ok();
+}
+
+fn session_loop(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    session: &mut EngineSession,
+) -> SessionEnd {
+    let mut fb = FrameBuffer::new();
+    let mut greeted = false;
+    let mut last_activity = Instant::now();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return SessionEnd::Shutdown;
+        }
+        if let Some(limit) = shared.config.idle_timeout {
+            if last_activity.elapsed() > limit {
+                return SessionEnd::Idle;
+            }
+        }
+        let buffered_before = fb.buffered_bytes();
+        let frame = match fb.poll_frame(stream) {
+            Ok(Some(f)) => f,
+            Ok(None) => {
+                // A partial frame trickling in is activity too: a slow
+                // upload must not be reaped as idle mid-transfer.
+                if fb.buffered_bytes() != buffered_before {
+                    last_activity = Instant::now();
+                }
+                continue;
+            }
+            Err(NetError::Io(e)) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                return SessionEnd::Closed;
+            }
+            Err(_) => return SessionEnd::Broken,
+        };
+        last_activity = Instant::now();
+        let (op, body) = match proto::split(&frame) {
+            Ok(x) => x,
+            Err(e) => {
+                proto::write_frame(stream, &proto::error(&e.to_string())).ok();
+                return SessionEnd::Broken;
+            }
+        };
+        if !greeted {
+            if op != Op::Hello {
+                proto::write_frame(
+                    stream,
+                    &proto::error("handshake required: first frame must be Hello"),
+                )
+                .ok();
+                return SessionEnd::Broken;
+            }
+            let mut r = Reader::new(body);
+            let ok = r.u16().is_ok() && r.str().is_ok();
+            if !ok {
+                proto::write_frame(stream, &proto::error("malformed Hello")).ok();
+                return SessionEnd::Broken;
+            }
+            // Versioning: we always answer with the version we speak;
+            // an incompatible client hangs up after inspecting it.
+            if proto::write_frame(stream, &proto::hello_ok(&shared.config.name, session.id()))
+                .is_err()
+            {
+                return SessionEnd::Broken;
+            }
+            greeted = true;
+            continue;
+        }
+        let ok = match op {
+            Op::Ping => proto::write_frame(stream, &proto::bare(Op::Pong)).is_ok(),
+            Op::Close => return SessionEnd::Closed,
+            Op::Shutdown => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                proto::write_frame(stream, &proto::bare(Op::Ok)).ok();
+                return SessionEnd::Shutdown;
+            }
+            Op::Query => match Reader::new(body).str() {
+                Ok(sql) => answer(stream, shared, session.execute(&sql)),
+                Err(_) => {
+                    proto::write_frame(stream, &proto::error("malformed Query")).ok();
+                    false
+                }
+            },
+            Op::Prepare => {
+                let mut r = Reader::new(body);
+                match (r.str(), r.str()) {
+                    (Ok(name), Ok(sql)) => match session.prepare(&name, &sql) {
+                        Ok(()) => proto::write_frame(stream, &proto::bare(Op::Ok)).is_ok(),
+                        Err(e) => proto::write_frame(stream, &proto::error(&e.to_string())).is_ok(),
+                    },
+                    _ => {
+                        proto::write_frame(stream, &proto::error("malformed Prepare")).ok();
+                        false
+                    }
+                }
+            }
+            Op::ExecPrepared => match Reader::new(body).str() {
+                Ok(name) => answer(stream, shared, session.execute_prepared(&name)),
+                Err(_) => {
+                    proto::write_frame(stream, &proto::error("malformed ExecPrepared")).ok();
+                    false
+                }
+            },
+            other => {
+                proto::write_frame(
+                    stream,
+                    &proto::error(&format!("unexpected client opcode {other:?}")),
+                )
+                .ok();
+                false
+            }
+        };
+        if !ok {
+            return SessionEnd::Broken;
+        }
+    }
+}
+
+/// Stream one statement's outcome: `Affected`, an `Error`, or header +
+/// pages + done. Returns `false` when the socket died.
+fn answer(stream: &mut TcpStream, shared: &Shared, result: sciql::Result<QueryResult>) -> bool {
+    match result {
+        Err(e) => proto::write_frame(stream, &proto::error(&e.to_string())).is_ok(),
+        Ok(QueryResult::Affected(n)) => {
+            proto::write_frame(stream, &proto::affected(n as u64)).is_ok()
+        }
+        Ok(QueryResult::Rows(rs)) => {
+            if proto::write_frame(stream, &proto::wrap(Op::ResultHeader, &rs.encode_header()))
+                .is_err()
+            {
+                return false;
+            }
+            // Stream pages lazily — only the page in flight is ever
+            // materialised, and each closes at page_rows rows *or*
+            // page_bytes of body, whichever comes first, so no row mix
+            // can push a frame past MAX_FRAME.
+            let mut npages: u32 = 0;
+            for page in rs.pages(shared.config.page_rows, shared.config.page_bytes) {
+                if proto::write_frame(stream, &proto::wrap(Op::ResultPage, &page)).is_err() {
+                    return false;
+                }
+                npages += 1;
+            }
+            proto::write_frame(stream, &proto::result_done(rs.row_count() as u64, npages)).is_ok()
+        }
+    }
+}

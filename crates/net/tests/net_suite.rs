@@ -1,0 +1,410 @@
+//! End-to-end suite for the network layer: handshake and statement
+//! round trips, concurrent clients over one shared vault, torn-read
+//! detection, graceful shutdown, and the acceptance criterion — network
+//! results byte-identical to embedded results, across server restart and
+//! crash recovery under ≥ 4 concurrent clients.
+
+use sciql::{Connection, ResultSet, SharedEngine};
+use sciql_net::{Client, NetError, NetReply, Server, ServerConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "sciql-net-{}-{}-{name}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+/// The full wire encoding of a result — the "byte-identical" yardstick.
+fn wire_bytes(rs: &ResultSet) -> Vec<u8> {
+    let mut out = rs.encode_header();
+    for page in rs.encode_pages(1024) {
+        out.extend_from_slice(&page);
+    }
+    out
+}
+
+#[test]
+fn statement_roundtrips() {
+    let handle = Server::bind(SharedEngine::in_memory(), "127.0.0.1:0")
+        .unwrap()
+        .serve()
+        .unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    assert!(c.session_id() > 0);
+    assert!(c.server_name().starts_with("sciql-net/"));
+    c.ping().unwrap();
+    // DDL + DML round trips with affected counts.
+    assert_eq!(
+        c.execute(
+            "CREATE ARRAY m (x INT DIMENSION[0:1:4], y INT DIMENSION[0:1:4], v INT DEFAULT 0)"
+        )
+        .unwrap()
+        .affected()
+        .unwrap(),
+        16
+    );
+    c.execute("UPDATE m SET v = x + y").unwrap();
+    // Multi-page SELECT (page size 3 forces paging).
+    let rs = c.query("SELECT x, y, v FROM m").unwrap();
+    assert_eq!(rs.row_count(), 16);
+    assert_eq!(rs.column_count(), 3);
+    // A statement error leaves the session usable.
+    match c.execute("SELECT nonsense FROM nowhere") {
+        Err(NetError::Server(msg)) => assert!(!msg.is_empty()),
+        other => panic!("expected a server error, got {other:?}"),
+    }
+    let n = c.query("SELECT COUNT(*) FROM m").unwrap();
+    assert_eq!(n.scalar_i64(), Some(16));
+    // Prepared texts are session-scoped.
+    c.prepare("q", "SELECT COUNT(*) FROM m WHERE v > 3")
+        .unwrap();
+    let rs = c.execute_prepared("q").unwrap().rows().unwrap();
+    assert_eq!(rs.row_count(), 1);
+    let mut other = Client::connect(handle.addr()).unwrap();
+    assert!(matches!(
+        other.execute_prepared("q"),
+        Err(NetError::Server(_))
+    ));
+    other.close().unwrap();
+    c.shutdown_server().unwrap();
+    handle.wait();
+}
+
+/// Small-page streaming: many pages reassemble exactly.
+#[test]
+fn paged_results_reassemble() {
+    let engine = SharedEngine::in_memory();
+    {
+        let mut s = engine.session();
+        s.execute(
+            "CREATE ARRAY big (x INT DIMENSION[0:1:32], y INT DIMENSION[0:1:32], v INT DEFAULT 0)",
+        )
+        .unwrap();
+        s.execute("UPDATE big SET v = x * y").unwrap();
+    }
+    let cfg = ServerConfig {
+        page_rows: 7, // deliberately tiny and non-divisor of 1024
+        ..ServerConfig::default()
+    };
+    let handle = Server::bind_with_config(engine.clone(), "127.0.0.1:0", cfg)
+        .unwrap()
+        .serve()
+        .unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let over_wire = c.query("SELECT x, y, v FROM big").unwrap();
+    let (embedded, _) = {
+        let mut s = engine.session();
+        (s.query("SELECT x, y, v FROM big").unwrap(), ())
+    };
+    assert_eq!(over_wire.row_count(), 1024);
+    assert_eq!(wire_bytes(&over_wire), wire_bytes(&embedded));
+    c.shutdown_server().unwrap();
+    handle.wait();
+}
+
+/// N clients hammering one durable server with mixed SELECT/UPDATE:
+/// every read must be a consistent point-in-time image (whole-array
+/// constant updates ⇒ a torn read would surface as two different
+/// constants in one result).
+#[test]
+fn concurrent_clients_serializable_no_torn_reads() {
+    let dir = tmp_dir("hammer");
+    let engine = SharedEngine::open(&dir).unwrap();
+    {
+        let mut s = engine.session();
+        s.execute(
+            "CREATE ARRAY grid (x INT DIMENSION[0:1:8], y INT DIMENSION[0:1:8], v INT DEFAULT 0)",
+        )
+        .unwrap();
+        s.execute("CREATE TABLE hits (who INT, k INT)").unwrap();
+    }
+    let handle = Server::bind(engine, "127.0.0.1:0")
+        .unwrap()
+        .serve()
+        .unwrap();
+    let addr = handle.addr();
+    let writers = 2usize;
+    let readers = 4usize;
+    let rounds = 15i64;
+    let mut threads = Vec::new();
+    for w in 0..writers {
+        threads.push(std::thread::spawn(move || {
+            let mut c = Client::connect_named(addr, &format!("writer-{w}")).unwrap();
+            for k in 0..rounds {
+                // Whole-array constant write: the torn-read canary.
+                c.execute(&format!("UPDATE grid SET v = {k}")).unwrap();
+                c.execute(&format!("INSERT INTO hits VALUES ({w}, {k})"))
+                    .unwrap()
+                    .affected()
+                    .unwrap();
+            }
+            c.close().unwrap();
+        }));
+    }
+    for r in 0..readers {
+        threads.push(std::thread::spawn(move || {
+            let mut c = Client::connect_named(addr, &format!("reader-{r}")).unwrap();
+            let mut last_count = 0i64;
+            for _ in 0..rounds {
+                let rs = c.query("SELECT x, y, v FROM grid").unwrap();
+                let vals: Vec<_> = (0..rs.row_count()).map(|i| rs.get(i, 2)).collect();
+                assert!(
+                    vals.windows(2).all(|w| w[0] == w[1]),
+                    "torn read across a whole-array update: {vals:?}"
+                );
+                // Per-statement serializability: committed row counts
+                // never move backwards between two of our statements.
+                let n = c
+                    .query("SELECT COUNT(*) FROM hits")
+                    .unwrap()
+                    .scalar_i64()
+                    .unwrap();
+                assert!(n >= last_count, "count went backwards: {n} < {last_count}");
+                last_count = n;
+            }
+            c.close().unwrap();
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+    // All acknowledged writes are visible once the dust settles.
+    let mut c = Client::connect(addr).unwrap();
+    let n = c
+        .query("SELECT COUNT(*) FROM hits")
+        .unwrap()
+        .scalar_i64()
+        .unwrap();
+    assert_eq!(n, writers as i64 * rounds);
+    c.shutdown_server().unwrap();
+    handle.wait();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The acceptance criterion: a query through `sciql_net::Client` against
+/// a served vault returns byte-identical results to the same query on an
+/// embedded `Connection` — including after a server restart and after
+/// crash recovery (no checkpoint, WAL-tail replay), with ≥ 4 concurrent
+/// clients having produced the state.
+#[test]
+fn network_results_byte_identical_to_embedded_across_recovery() {
+    let dir = tmp_dir("accept");
+    const PROBE: &str =
+        "SELECT x, y, v, COUNT(*) FROM cells WHERE v >= 0 GROUP BY x, y, v ORDER BY x, y, v";
+
+    // Phase 1: 4 concurrent clients build the state over the network.
+    let engine = SharedEngine::open(&dir).unwrap();
+    {
+        let mut s = engine.session();
+        s.execute(
+            "CREATE ARRAY cells (x INT DIMENSION[0:1:6], y INT DIMENSION[0:1:6], v INT DEFAULT 0)",
+        )
+        .unwrap();
+    }
+    let handle = Server::bind(engine, "127.0.0.1:0")
+        .unwrap()
+        .serve()
+        .unwrap();
+    let addr = handle.addr();
+    let mut threads = Vec::new();
+    for t in 0..4i64 {
+        threads.push(std::thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            // Disjoint row bands per client → a deterministic final state.
+            c.execute(&format!("UPDATE cells SET v = {} WHERE x = {t}", t * 10))
+                .unwrap();
+            c.query("SELECT COUNT(*) FROM cells").unwrap();
+            c.close().unwrap();
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+    let mut c = Client::connect(addr).unwrap();
+    let served_before = c.query(PROBE).unwrap();
+    c.shutdown_server().unwrap();
+    let engine = handle.wait();
+    drop(engine); // releases the vault lock, nothing checkpointed: WAL replay ahead
+
+    // Phase 2: embedded reopen (crash recovery) must agree byte for byte.
+    let mut embedded = Connection::open(&dir).unwrap();
+    let embedded_rs = embedded.query(PROBE).unwrap();
+    assert_eq!(
+        wire_bytes(&served_before),
+        wire_bytes(&embedded_rs),
+        "served vs embedded-after-recovery"
+    );
+    drop(embedded);
+
+    // Phase 3: restart the server on the recovered vault; 4 concurrent
+    // clients must all see the identical bytes again.
+    let handle = Server::bind(SharedEngine::open(&dir).unwrap(), "127.0.0.1:0")
+        .unwrap()
+        .serve()
+        .unwrap();
+    let addr = handle.addr();
+    let expect = wire_bytes(&embedded_rs);
+    let mut threads = Vec::new();
+    for _ in 0..4 {
+        let expect = expect.clone();
+        threads.push(std::thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            let rs = c.query(PROBE).unwrap();
+            assert_eq!(wire_bytes(&rs), expect, "served-after-restart");
+            c.close().unwrap();
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+    Client::connect(addr).unwrap().shutdown_server().unwrap();
+    handle.wait();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn graceful_shutdown_notifies_idle_sessions() {
+    let handle = Server::bind(SharedEngine::in_memory(), "127.0.0.1:0")
+        .unwrap()
+        .serve()
+        .unwrap();
+    let mut idle = Client::connect(handle.addr()).unwrap();
+    idle.ping().unwrap();
+    assert_eq!(handle.active_sessions(), 1);
+    handle.shutdown();
+    let engine = handle.wait();
+    assert_eq!(engine.stats().sessions_opened, 1);
+    // The idle session was told: its next statement fails cleanly
+    // (either the farewell Error frame or a dead socket).
+    assert!(idle.execute("SELECT 1 + 1").is_err());
+}
+
+#[test]
+fn idle_timeout_reaps_silent_sessions() {
+    let cfg = ServerConfig {
+        idle_timeout: Some(Duration::from_millis(150)),
+        ..ServerConfig::default()
+    };
+    let handle = Server::bind_with_config(SharedEngine::in_memory(), "127.0.0.1:0", cfg)
+        .unwrap()
+        .serve()
+        .unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    c.ping().unwrap();
+    std::thread::sleep(Duration::from_millis(600));
+    assert_eq!(handle.active_sessions(), 0, "idle session reaped");
+    assert!(c.ping().is_err(), "socket was closed by the server");
+    handle.stop();
+}
+
+#[test]
+fn handshake_is_mandatory_and_versioned() {
+    use sciql_net::proto::{self, Op};
+    use std::io::Write as _;
+    let handle = Server::bind(SharedEngine::in_memory(), "127.0.0.1:0")
+        .unwrap()
+        .serve()
+        .unwrap();
+    // Skipping Hello gets an Error and a hangup.
+    let mut raw = std::net::TcpStream::connect(handle.addr()).unwrap();
+    proto::write_frame(&mut raw, &proto::query("SELECT 1")).unwrap();
+    let reply = proto::read_frame(&mut raw).unwrap().unwrap();
+    let (op, _) = proto::split(&reply).unwrap();
+    assert_eq!(op, Op::Error);
+    assert!(proto::read_frame(&mut raw).unwrap().is_none(), "hung up");
+    // Garbage framing is refused without taking the server down.
+    let mut raw = std::net::TcpStream::connect(handle.addr()).unwrap();
+    raw.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    let mut ok = Client::connect(handle.addr()).unwrap();
+    ok.ping().unwrap();
+    ok.shutdown_server().unwrap();
+    handle.wait();
+}
+
+/// A framing failure mid-exchange poisons the client: once the reply
+/// stream may be out of step, further statements must refuse to run
+/// rather than attribute a stale reply to the wrong request. Statement
+/// errors, by contrast, never poison.
+#[test]
+fn client_poisons_on_protocol_failure_but_not_statement_errors() {
+    use sciql_net::proto;
+    use std::net::TcpListener;
+    // A fake server: valid handshake, then an unknown opcode as the
+    // "reply" to the first query.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let fake = std::thread::spawn(move || {
+        let (mut s, _) = listener.accept().unwrap();
+        let _hello = proto::read_frame(&mut s).unwrap().unwrap();
+        proto::write_frame(&mut s, &proto::hello_ok("fake", 1)).unwrap();
+        let _query = proto::read_frame(&mut s).unwrap().unwrap();
+        proto::write_frame(&mut s, &[0x7f]).unwrap(); // unknown opcode
+                                                      // Keep the socket open so the client's failure is the framing,
+                                                      // not a hangup.
+        std::thread::sleep(Duration::from_millis(300));
+    });
+    let mut c = Client::connect(addr).unwrap();
+    assert!(!c.is_broken());
+    assert!(matches!(
+        c.execute("SELECT 1 + 1"),
+        Err(NetError::Protocol(_))
+    ));
+    assert!(c.is_broken(), "framing failure must poison");
+    assert!(
+        matches!(c.execute("SELECT 1 + 1"), Err(NetError::Protocol(_))),
+        "a broken client refuses further statements"
+    );
+    fake.join().unwrap();
+
+    // Against a real server: a statement error does NOT poison.
+    let handle = Server::bind(SharedEngine::in_memory(), "127.0.0.1:0")
+        .unwrap()
+        .serve()
+        .unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    assert!(matches!(
+        c.execute("SELECT broken FROM nowhere"),
+        Err(NetError::Server(_))
+    ));
+    assert!(!c.is_broken());
+    c.ping().unwrap();
+    c.shutdown_server().unwrap();
+    handle.wait();
+}
+
+/// `NetReply` accessors behave.
+#[test]
+fn reply_accessors() {
+    let handle = Server::bind(SharedEngine::in_memory(), "127.0.0.1:0")
+        .unwrap()
+        .serve()
+        .unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let r = c.execute("CREATE TABLE t (a INT)").unwrap();
+    assert!(matches!(r, NetReply::Affected(0)));
+    assert!(c.execute("SELECT 1 + 1").unwrap().affected().is_err());
+    c.shutdown_server().unwrap();
+    handle.wait();
+}
+
+/// Helper: scalar i64 out of a 1×1 result.
+trait ScalarI64 {
+    fn scalar_i64(&self) -> Option<i64>;
+}
+
+impl ScalarI64 for ResultSet {
+    fn scalar_i64(&self) -> Option<i64> {
+        if self.row_count() == 1 && self.column_count() == 1 {
+            self.get(0, 0).as_i64()
+        } else {
+            None
+        }
+    }
+}

@@ -2,46 +2,155 @@
 //! demo GUI ("the audience has full control of the demo through SciQL
 //! queries").
 //!
-//! Run with: `cargo run --example repl [-- --db <path>]`
+//! Run with: `cargo run --example repl [-- --db <path> | --listen <addr> | --connect <addr>]`
 //!
 //! With `--db <path>` the session is durable: statements are write-ahead
 //! logged to the vault directory and `\checkpoint` snapshots the columns,
 //! so a later `--db` run (even after a crash) resumes where you left off.
 //!
+//! With `--listen <addr>` (optionally plus `--db`) the process becomes a
+//! `sciql-net` server: N concurrent clients share the engine — reads on
+//! `Arc` column snapshots, writes serialized through the vault. It runs
+//! until a client sends `\shutdown`.
+//!
+//! With `--connect <addr>` the shell speaks the wire protocol to such a
+//! server instead of embedding the engine.
+//!
 //! Commands:
 //!   <SciQL statement>;          execute (multi-line until ';')
-//!   \explain <SELECT …>;        show plan + MAL (no trailing ';' needed)
+//!   \explain <SELECT …>;        show plan + MAL (embedded only)
 //!   \grid <SELECT …with [dims]>; render a coerced 2-D result as a grid
 //!   \demo                       load the Fig 1 matrix and a small board
 //!   \checkpoint                 write a vault checkpoint (needs --db)
 //!   \stats                      storage + vault counters
+//!   \timing                     toggle per-statement wall time + thread counts
+//!   \ping                       round-trip probe (--connect only)
+//!   \shutdown                   stop the remote server (--connect only)
 //!   \q                          quit
 //!
 //! Pipe a script: `echo 'SELECT 1+1;' | cargo run --example repl`
 
-use sciql::{Connection, QueryResult};
+use sciql::{Connection, QueryResult, SharedEngine};
 use sciql_catalog::SchemaObject;
+use sciql_net::{Client, NetReply, Server};
 use std::io::{self, BufRead, Write};
+use std::time::Instant;
+
+/// Where statements go: an embedded engine or a remote server.
+enum Backend {
+    Embedded(Box<Connection>),
+    Remote(Client),
+}
 
 fn main() {
     let mut db: Option<String> = None;
+    let mut listen: Option<String> = None;
+    let mut connect: Option<String> = None;
+    let usage = "usage: repl [--db <path>] [--listen <addr> | --connect <addr>]";
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        match a.as_str() {
-            "--db" => {
-                db = args.next();
-                if db.is_none() {
-                    eprintln!("--db needs a path (usage: repl [--db <path>])");
-                    std::process::exit(2);
-                }
-            }
+        let target = match a.as_str() {
+            "--db" => &mut db,
+            "--listen" => &mut listen,
+            "--connect" => &mut connect,
             other => {
-                eprintln!("unknown argument {other:?} (usage: repl [--db <path>])");
+                eprintln!("unknown argument {other:?} ({usage})");
                 std::process::exit(2);
             }
+        };
+        *target = args.next();
+        if target.is_none() {
+            eprintln!("{a} needs a value ({usage})");
+            std::process::exit(2);
         }
     }
-    let mut conn = match &db {
+    if listen.is_some() && connect.is_some() {
+        eprintln!("--listen and --connect are mutually exclusive ({usage})");
+        std::process::exit(2);
+    }
+    if db.is_some() && connect.is_some() {
+        eprintln!(
+            "--db opens a local vault; with --connect the database lives on the server ({usage})"
+        );
+        std::process::exit(2);
+    }
+
+    if let Some(addr) = listen {
+        serve(&addr, db.as_deref());
+        return;
+    }
+
+    let backend = match connect {
+        Some(addr) => match Client::connect_named(&addr, "sciql-repl") {
+            Ok(c) => {
+                println!(
+                    "connected to {} at {addr} (session {})",
+                    c.server_name(),
+                    c.session_id()
+                );
+                Backend::Remote(c)
+            }
+            Err(e) => {
+                eprintln!("cannot connect to {addr}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => Backend::Embedded(Box::new(open_embedded(db.as_deref()))),
+    };
+    repl_loop(backend);
+}
+
+/// `--listen`: serve the (optionally durable) engine until a client asks
+/// for shutdown.
+fn serve(addr: &str, db: Option<&str>) {
+    let engine = match db {
+        Some(path) => match SharedEngine::open(path) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("cannot open vault {path:?}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => SharedEngine::in_memory(),
+    };
+    let server = match Server::bind(engine, addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let handle = match server.serve() {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cannot serve: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "sciql-net serving on {} ({}); stop with \\shutdown from a client",
+        handle.addr(),
+        match db {
+            Some(p) => format!("vault {p:?}"),
+            None => "in-memory".into(),
+        }
+    );
+    let engine = handle.wait();
+    let stats = engine.stats();
+    if engine.is_persistent() {
+        match engine.checkpoint() {
+            Ok(()) => println!("final checkpoint written"),
+            Err(e) => eprintln!("final checkpoint failed: {e}"),
+        }
+    }
+    println!(
+        "server stopped: {} session(s), {} statement(s), {} snapshot read(s), {} row(s) served",
+        stats.sessions_opened, stats.statements, stats.snapshot_reads, stats.rows_returned
+    );
+}
+
+fn open_embedded(db: Option<&str>) -> Connection {
+    match db {
         Some(path) => match Connection::open(path) {
             Ok(c) => {
                 println!(
@@ -56,9 +165,13 @@ fn main() {
             }
         },
         None => Connection::new(),
-    };
+    }
+}
+
+fn repl_loop(mut backend: Backend) {
     let stdin = io::stdin();
     let mut buffer = String::new();
+    let mut timing = false;
     print!("SciQL> ");
     io::stdout().flush().ok();
     for line in stdin.lock().lines() {
@@ -69,25 +182,74 @@ fn main() {
         let trimmed = line.trim();
         if buffer.is_empty() {
             match trimmed {
-                "\\q" | "\\quit" | "exit" => break,
+                "\\q" | "\\quit" | "exit" => {
+                    if let Backend::Remote(c) = backend {
+                        c.close().ok();
+                    }
+                    println!();
+                    return;
+                }
+                "\\timing" => {
+                    timing = !timing;
+                    println!("timing is {}", if timing { "on" } else { "off" });
+                    prompt();
+                    continue;
+                }
+                "\\ping" => {
+                    match &mut backend {
+                        Backend::Remote(c) => {
+                            let t0 = Instant::now();
+                            match c.ping() {
+                                Ok(()) => println!("pong ({:.3} ms)", ms_since(t0)),
+                                Err(e) => println!("error: {e}"),
+                            }
+                        }
+                        Backend::Embedded(_) => println!("\\ping needs --connect"),
+                    }
+                    prompt();
+                    continue;
+                }
+                "\\shutdown" => {
+                    match backend {
+                        Backend::Remote(c) => {
+                            match c.shutdown_server() {
+                                Ok(()) => println!("server is shutting down"),
+                                Err(e) => println!("error: {e}"),
+                            }
+                            println!();
+                            return;
+                        }
+                        Backend::Embedded(_) => {
+                            println!("\\shutdown needs --connect");
+                            prompt();
+                            continue;
+                        }
+                    };
+                }
                 "\\demo" => {
-                    load_demo(&mut conn);
+                    load_demo(&mut backend);
                     prompt();
                     continue;
                 }
                 "\\checkpoint" => {
-                    match conn.checkpoint() {
-                        Ok(()) => {
-                            let s = conn.vault_stats().expect("persistent after checkpoint");
-                            println!("checkpoint written (generation {})", s.generation);
-                        }
-                        Err(e) => println!("error: {e}"),
+                    match &mut backend {
+                        Backend::Embedded(conn) => match conn.checkpoint() {
+                            Ok(()) => {
+                                let s = conn.vault_stats().expect("persistent after checkpoint");
+                                println!("checkpoint written (generation {})", s.generation);
+                            }
+                            Err(e) => println!("error: {e}"),
+                        },
+                        Backend::Remote(_) => println!("\\checkpoint runs on the server side"),
                     }
                     prompt();
                     continue;
                 }
                 "\\stats" => {
-                    print_stats(&conn);
+                    match &backend {
+                        Backend::Embedded(conn) => print_stats(conn),
+                        Backend::Remote(_) => println!("\\stats needs an embedded session"),
+                    }
                     prompt();
                     continue;
                 }
@@ -95,16 +257,26 @@ fn main() {
                     let sql = trimmed
                         .trim_start_matches("\\explain ")
                         .trim_end_matches(';');
-                    match conn.explain(sql) {
-                        Ok(text) => println!("{text}"),
-                        Err(e) => println!("error: {e}"),
+                    match &backend {
+                        Backend::Embedded(conn) => match conn.explain(sql) {
+                            Ok(text) => println!("{text}"),
+                            Err(e) => println!("error: {e}"),
+                        },
+                        Backend::Remote(_) => println!("\\explain needs an embedded session"),
                     }
                     prompt();
                     continue;
                 }
                 _ if trimmed.starts_with("\\grid ") => {
                     let sql = trimmed.trim_start_matches("\\grid ").trim_end_matches(';');
-                    match conn.query_array(sql).and_then(|v| v.render_grid()) {
+                    let view = match &mut backend {
+                        Backend::Embedded(conn) => conn.query_array(sql),
+                        Backend::Remote(c) => c
+                            .query(sql)
+                            .map_err(|e| sciql::EngineError::msg(e.to_string()))
+                            .and_then(|rs| rs.to_array_view()),
+                    };
+                    match view.and_then(|v| v.render_grid()) {
                         Ok(grid) => println!("{grid}"),
                         Err(e) => println!("error: {e}"),
                     }
@@ -126,23 +298,95 @@ fn main() {
             continue;
         }
         let script = std::mem::take(&mut buffer);
-        match conn.execute_script(&script) {
+        run_script(&mut backend, &script, timing);
+        prompt();
+    }
+    if let Backend::Remote(c) = backend {
+        c.close().ok();
+    }
+    println!();
+}
+
+fn ms_since(t0: Instant) -> f64 {
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+/// Execute a script and print results; with `timing`, print per-script
+/// wall time plus the engine's per-instruction thread counters
+/// (embedded) or the round-trip time (remote).
+fn run_script(backend: &mut Backend, script: &str, timing: bool) {
+    let t0 = Instant::now();
+    match backend {
+        Backend::Embedded(conn) => match conn.execute_script(script) {
             Ok(results) => {
+                let wall = ms_since(t0);
                 for r in results {
-                    match r {
-                        QueryResult::Rows(rs) => {
-                            println!("{}", rs.render());
-                            println!("{} row(s)", rs.row_count());
-                        }
-                        QueryResult::Affected(n) => println!("ok, {n} cell(s)/row(s)"),
-                    }
+                    print_result(r);
+                }
+                if timing {
+                    let e = conn.last_exec().exec;
+                    println!(
+                        "Time: {wall:.3} ms ({} instr, {} parallel, max {} thread(s))",
+                        e.instructions, e.par_instructions, e.max_threads
+                    );
                 }
             }
             Err(e) => println!("error: {e}"),
+        },
+        Backend::Remote(client) => {
+            // The wire protocol is one statement per Query frame.
+            for stmt in split_statements(script) {
+                match client.execute(&stmt) {
+                    Ok(NetReply::Rows(rs)) => {
+                        println!("{}", rs.render());
+                        println!("{} row(s)", rs.row_count());
+                    }
+                    Ok(NetReply::Affected(n)) => println!("ok, {n} cell(s)/row(s)"),
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            if timing {
+                println!("Time: {:.3} ms (round trip)", ms_since(t0));
+            }
         }
-        prompt();
     }
-    println!();
+}
+
+fn print_result(r: QueryResult) {
+    match r {
+        QueryResult::Rows(rs) => {
+            println!("{}", rs.render());
+            println!("{} row(s)", rs.row_count());
+        }
+        QueryResult::Affected(n) => println!("ok, {n} cell(s)/row(s)"),
+    }
+}
+
+/// Split a script on top-level semicolons (quote-aware, like the server
+/// expects single statements per frame).
+fn split_statements(script: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for ch in script.chars() {
+        match ch {
+            '\'' => {
+                in_str = !in_str;
+                cur.push(ch);
+            }
+            ';' if !in_str => {
+                if !cur.trim().is_empty() {
+                    out.push(cur.trim().to_owned());
+                }
+                cur.clear();
+            }
+            _ => cur.push(ch),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_owned());
+    }
+    out
 }
 
 fn prompt() {
@@ -188,7 +432,7 @@ fn print_stats(conn: &Connection) {
     }
 }
 
-fn load_demo(conn: &mut Connection) {
+fn load_demo(backend: &mut Backend) {
     let script = "CREATE ARRAY matrix (x INT DIMENSION[0:1:4], y INT DIMENSION[0:1:4], \
                   v INT DEFAULT 0); \
                   UPDATE matrix SET v = CASE WHEN x > y THEN x + y \
@@ -196,8 +440,18 @@ fn load_demo(conn: &mut Connection) {
                   CREATE ARRAY life (x INT DIMENSION[0:1:8], y INT DIMENSION[0:1:8], \
                   v INT DEFAULT 0); \
                   INSERT INTO life VALUES (2,1,1), (2,2,1), (2,3,1);";
-    match conn.execute_script(script) {
-        Ok(_) => println!(
+    let loaded = match backend {
+        Backend::Embedded(conn) => conn
+            .execute_script(script)
+            .map(|_| ())
+            .map_err(|e| e.to_string()),
+        Backend::Remote(c) => split_statements(script)
+            .iter()
+            .try_for_each(|s| c.execute(s).map(|_| ()))
+            .map_err(|e| e.to_string()),
+    };
+    match loaded {
+        Ok(()) => println!(
             "loaded: matrix (Fig 1(b)) and life (8x8 board with a blinker).\n\
              try:  SELECT [x], [y], AVG(v) FROM matrix GROUP BY matrix[x:x+2][y:y+2];\n\
              or :  \\grid SELECT [x], [y], v FROM life"

@@ -8,5 +8,6 @@ pub use sciql_algebra as algebra;
 pub use sciql_catalog as catalog;
 pub use sciql_imaging as imaging;
 pub use sciql_life as life;
+pub use sciql_net as net;
 pub use sciql_parser as parser;
 pub use sciql_store as store;

@@ -153,3 +153,53 @@ proptest! {
         std::fs::remove_dir_all(&dir).ok();
     }
 }
+
+/// The vault's single-writer `LOCK` file is released by a clean
+/// `Connection` drop — a second open must not have to wait for stale-pid
+/// breaking (which only rescues locks left by *dead* processes; within a
+/// live process a leaked lock would deadlock every reopen).
+#[test]
+fn clean_drop_releases_vault_lock() {
+    let dir = fresh_dir();
+    let lock = dir.join("LOCK");
+    {
+        let mut conn = Connection::open(&dir).unwrap();
+        conn.execute("CREATE TABLE held (a INT)").unwrap();
+        assert!(lock.exists(), "LOCK held while the connection lives");
+        // While held, a same-process reopen is refused (the pid is alive,
+        // so stale-lock breaking must NOT kick in).
+        match Connection::open(&dir) {
+            Err(e) => assert!(
+                e.to_string().contains("already open"),
+                "expected a lock error, got: {e}"
+            ),
+            Ok(_) => panic!("second open succeeded while locked"),
+        }
+        assert!(lock.exists(), "failed open must not break a live lock");
+    }
+    assert!(!lock.exists(), "clean drop must remove LOCK");
+    // And the release is real: an immediate reopen works.
+    let mut again = Connection::open(&dir).unwrap();
+    again.execute("INSERT INTO held VALUES (1)").unwrap();
+    drop(again);
+    assert!(!lock.exists(), "second clean drop releases LOCK too");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A shared engine behaves the same: dropping the last `Arc` releases
+/// the lock (the `sciql-net` server relies on this between restarts).
+#[test]
+fn shared_engine_drop_releases_vault_lock() {
+    let dir = fresh_dir();
+    let lock = dir.join("LOCK");
+    {
+        let engine = sciql::SharedEngine::open(&dir).unwrap();
+        engine
+            .session()
+            .execute("CREATE TABLE held (a INT)")
+            .unwrap();
+        assert!(lock.exists());
+    }
+    assert!(!lock.exists(), "engine drop must remove LOCK");
+    std::fs::remove_dir_all(&dir).ok();
+}
