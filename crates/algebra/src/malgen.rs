@@ -23,6 +23,12 @@ pub struct CodegenOptions {
     /// Compile simple `col <op> const` conjunctions into `thetaselect`
     /// candidate chains instead of bit masks (MonetDB's native style).
     pub candidate_pushdown: bool,
+    /// MAL optimizer pipeline level the session runs after codegen
+    /// (`0` = off, `1` = classic shrinking passes, `2` = full pipeline
+    /// with candidate propagation and kernel fusion). Codegen itself
+    /// ignores it; it rides here so the session's execution settings
+    /// travel as one value from `Connection` to the interpreter.
+    pub opt_level: u8,
     /// Worker threads for parallel-safe instructions (`1` = serial).
     pub threads: usize,
     /// Minimum BAT length before a kernel goes parallel.
@@ -34,6 +40,7 @@ impl Default for CodegenOptions {
         let par = gdk::ParConfig::default();
         CodegenOptions {
             candidate_pushdown: true,
+            opt_level: 2,
             threads: par.threads,
             parallel_threshold: par.parallel_threshold,
         }

@@ -6,7 +6,7 @@
 //! * A3 — void (virtual dense) dimension columns vs materialised oids at
 //!   the kernel level.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use gdk::arith::CmpOp;
 use gdk::{select, Bat, Value};
 use mal::OptConfig;
@@ -22,7 +22,6 @@ use std::hint::black_box;
 ///   eliminates the duplicated shifts, so this measures the win case.
 fn bench_optimizer_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation/mal_optimizer");
-    g.sample_size(10);
     let tiling = "SELECT [x], [y], AVG(v) FROM matrix \
                   GROUP BY matrix[x-1:x+2][y-1:y+2]";
     let redundant = "SELECT ABS(v - matrix[x-1][y]) + ABS(v - matrix[x][y-1]), \
@@ -52,7 +51,6 @@ fn bench_optimizer_ablation(c: &mut Criterion) {
 /// A2: a selective filter compiled as thetaselect candidates vs bit masks.
 fn bench_candidate_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation/candidate_pushdown");
-    g.sample_size(10);
     let sql = "SELECT v FROM matrix WHERE x > 3 AND y <= 10";
     for n in [64usize, 256] {
         let mut with = holey_matrix_session(n);
@@ -97,10 +95,8 @@ fn bench_void_vs_materialised(c: &mut Criterion) {
 }
 
 fn fast() -> Criterion {
-    Criterion::default()
-        .measurement_time(std::time::Duration::from_millis(900))
-        .warm_up_time(std::time::Duration::from_millis(200))
-        .sample_size(10)
+    // Shared profile (quick mode under SCIQL_BENCH_QUICK for CI).
+    sciql_bench::criterion_config()
 }
 
 criterion_group! {
@@ -112,4 +108,7 @@ criterion_group! {
     bench_void_vs_materialised
 
 }
-criterion_main!(benches);
+fn main() {
+    sciql_bench::emit_meta("ablations", &[("cells", 65536)], "optimizer/candidate-pushdown ablations on a 256x256 array; see bench source for query texts");
+    benches();
+}

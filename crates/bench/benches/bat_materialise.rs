@@ -1,7 +1,7 @@
 //! E6 (Fig 3): cost of materialising array storage with the paper's two
 //! MAL primitives, `array.series` and `array.filler`, across array sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use gdk::{Bat, Value};
 use std::hint::black_box;
 
@@ -85,10 +85,8 @@ fn bench_full_array(c: &mut Criterion) {
 }
 
 fn fast() -> Criterion {
-    Criterion::default()
-        .measurement_time(std::time::Duration::from_millis(900))
-        .warm_up_time(std::time::Duration::from_millis(200))
-        .sample_size(10)
+    // Shared profile (quick mode under SCIQL_BENCH_QUICK for CI).
+    sciql_bench::criterion_config()
 }
 
 criterion_group! {
@@ -96,4 +94,11 @@ criterion_group! {
     config = fast();
     targets = bench_series, bench_filler, bench_full_array
 }
-criterion_main!(benches);
+fn main() {
+    sciql_bench::emit_meta(
+        "bat_materialise",
+        &[],
+        "BAT construction and materialisation microbenchmarks",
+    );
+    benches();
+}

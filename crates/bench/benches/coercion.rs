@@ -2,13 +2,12 @@
 //! array → table (plain SELECT), table → array (`[col]` qualifiers), and
 //! a full round trip through a stored table.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use sciql_bench::matrix_session;
 use std::hint::black_box;
 
 fn bench_array_to_table(c: &mut Criterion) {
     let mut g = c.benchmark_group("coercion/array_to_table");
-    g.sample_size(10);
     for n in [64usize, 256] {
         let mut conn = matrix_session(n);
         g.throughput(Throughput::Elements((n * n) as u64));
@@ -21,7 +20,6 @@ fn bench_array_to_table(c: &mut Criterion) {
 
 fn bench_table_to_array(c: &mut Criterion) {
     let mut g = c.benchmark_group("coercion/table_to_array");
-    g.sample_size(10);
     for n in [64usize, 256] {
         let mut conn = matrix_session(n);
         conn.execute("CREATE TABLE mtable (x INT, y INT, v INT)")
@@ -45,7 +43,6 @@ fn bench_table_to_array(c: &mut Criterion) {
 
 fn bench_roundtrip(c: &mut Criterion) {
     let mut g = c.benchmark_group("coercion/roundtrip_insert");
-    g.sample_size(10);
     for n in [32usize, 64] {
         g.throughput(Throughput::Elements((n * n) as u64));
         let mut conn = matrix_session(n);
@@ -65,10 +62,8 @@ fn bench_roundtrip(c: &mut Criterion) {
 }
 
 fn fast() -> Criterion {
-    Criterion::default()
-        .measurement_time(std::time::Duration::from_millis(900))
-        .warm_up_time(std::time::Duration::from_millis(200))
-        .sample_size(10)
+    // Shared profile (quick mode under SCIQL_BENCH_QUICK for CI).
+    sciql_bench::criterion_config()
 }
 
 criterion_group! {
@@ -76,4 +71,11 @@ criterion_group! {
     config = fast();
     targets = bench_array_to_table, bench_table_to_array, bench_roundtrip
 }
-criterion_main!(benches);
+fn main() {
+    sciql_bench::emit_meta(
+        "coercion",
+        &[],
+        "result-set array-view coercion microbenchmarks",
+    );
+    benches();
+}

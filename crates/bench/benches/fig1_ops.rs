@@ -2,7 +2,7 @@
 //! sweep — array creation, guarded update, insert/delete, 2×2 tiling and
 //! dimension expansion.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use sciql::Connection;
 use sciql_bench::{holey_matrix_session, matrix_session};
 use std::hint::black_box;
@@ -11,7 +11,6 @@ const SIZES: [usize; 3] = [16, 64, 256];
 
 fn bench_create(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig1_ops/create");
-    g.sample_size(10);
     for n in SIZES {
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter(|| {
@@ -30,7 +29,6 @@ fn bench_create(c: &mut Criterion) {
 
 fn bench_guarded_update(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig1_ops/guarded_update");
-    g.sample_size(10);
     for n in SIZES {
         let mut conn = matrix_session(n);
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
@@ -48,7 +46,6 @@ fn bench_guarded_update(c: &mut Criterion) {
 
 fn bench_insert_delete(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig1_ops/insert_delete");
-    g.sample_size(10);
     for n in SIZES {
         let mut conn = matrix_session(n);
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
@@ -64,7 +61,6 @@ fn bench_insert_delete(c: &mut Criterion) {
 
 fn bench_tiling(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig1_ops/tiling_2x2");
-    g.sample_size(10);
     for n in SIZES {
         let mut conn = holey_matrix_session(n);
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
@@ -85,7 +81,6 @@ fn bench_tiling(c: &mut Criterion) {
 
 fn bench_alter(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig1_ops/alter_dimension");
-    g.sample_size(10);
     for n in SIZES {
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter_with_setup(
@@ -105,10 +100,8 @@ fn bench_alter(c: &mut Criterion) {
 }
 
 fn fast() -> Criterion {
-    Criterion::default()
-        .measurement_time(std::time::Duration::from_millis(900))
-        .warm_up_time(std::time::Duration::from_millis(200))
-        .sample_size(10)
+    // Shared profile (quick mode under SCIQL_BENCH_QUICK for CI).
+    sciql_bench::criterion_config()
 }
 
 criterion_group! {
@@ -122,4 +115,11 @@ criterion_group! {
     bench_alter
 
 }
-criterion_main!(benches);
+fn main() {
+    sciql_bench::emit_meta(
+        "fig1_ops",
+        &[("cells", 65536)],
+        "the Fig-1 SciQL statement suite on a 256x256 array",
+    );
+    benches();
+}

@@ -7,7 +7,7 @@
 //! quadratic under our cross+filter executor. Expect the gap to widen
 //! with board size; the self-join is only run on the small boards.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sciql_life::{Board, SciqlLife};
@@ -22,7 +22,6 @@ fn seeded_board(n: usize) -> Board {
 
 fn bench_step(c: &mut Criterion) {
     let mut g = c.benchmark_group("game_of_life/step");
-    g.sample_size(10);
     for n in [16usize, 32, 64, 128] {
         let cells = (n * n) as u64;
         g.throughput(Throughput::Elements(cells));
@@ -57,10 +56,8 @@ fn bench_step(c: &mut Criterion) {
 }
 
 fn fast() -> Criterion {
-    Criterion::default()
-        .measurement_time(std::time::Duration::from_millis(900))
-        .warm_up_time(std::time::Duration::from_millis(200))
-        .sample_size(10)
+    // Shared profile (quick mode under SCIQL_BENCH_QUICK for CI).
+    sciql_bench::criterion_config()
 }
 
 criterion_group! {
@@ -68,4 +65,11 @@ criterion_group! {
     config = fast();
     targets = bench_step
 }
-criterion_main!(benches);
+fn main() {
+    sciql_bench::emit_meta(
+        "game_of_life",
+        &[],
+        "Game-of-Life generation steps through the SciQL tiling pipeline",
+    );
+    benches();
+}

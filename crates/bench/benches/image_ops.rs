@@ -3,7 +3,7 @@
 //! that slab selection ("AreasOfInterest" / zoom) is proportional to the
 //! selected area, not the image size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use sciql_imaging::{ops, synth, GreyImage, SciqlImages};
 use std::hint::black_box;
 
@@ -17,7 +17,6 @@ fn session(img: &GreyImage) -> SciqlImages {
 
 fn bench_pointwise(c: &mut Criterion) {
     let mut g = c.benchmark_group("image/pointwise");
-    g.sample_size(10);
     for n in SIZES {
         let img = synth::building(n, n, 42);
         g.throughput(Throughput::Elements((n * n) as u64));
@@ -42,7 +41,6 @@ fn bench_pointwise(c: &mut Criterion) {
 
 fn bench_neighbourhood(c: &mut Criterion) {
     let mut g = c.benchmark_group("image/neighbourhood");
-    g.sample_size(10);
     for n in SIZES {
         let img = synth::building(n, n, 42);
         g.throughput(Throughput::Elements((n * n) as u64));
@@ -66,7 +64,6 @@ fn bench_neighbourhood(c: &mut Criterion) {
 
 fn bench_restructure(c: &mut Criterion) {
     let mut g = c.benchmark_group("image/restructure");
-    g.sample_size(10);
     for n in SIZES {
         let img = synth::terrain(n, n, 7);
         g.throughput(Throughput::Elements((n * n) as u64));
@@ -91,7 +88,6 @@ fn bench_restructure(c: &mut Criterion) {
 /// dominates scanning.
 fn bench_slab_proportionality(c: &mut Criterion) {
     let mut g = c.benchmark_group("image/slab_selection");
-    g.sample_size(10);
     for n in [64usize, 128, 256] {
         let img = synth::terrain(n, n, 7);
         let mut s = session(&img);
@@ -108,7 +104,6 @@ fn bench_slab_proportionality(c: &mut Criterion) {
 
 fn bench_areas_of_interest(c: &mut Criterion) {
     let mut g = c.benchmark_group("image/areas_of_interest");
-    g.sample_size(10);
     for n in SIZES {
         let img = synth::terrain(n, n, 7);
         let mask = synth::ellipse_mask(n, n);
@@ -133,10 +128,8 @@ fn bench_areas_of_interest(c: &mut Criterion) {
 }
 
 fn fast() -> Criterion {
-    Criterion::default()
-        .measurement_time(std::time::Duration::from_millis(900))
-        .warm_up_time(std::time::Duration::from_millis(200))
-        .sample_size(10)
+    // Shared profile (quick mode under SCIQL_BENCH_QUICK for CI).
+    sciql_bench::criterion_config()
 }
 
 criterion_group! {
@@ -150,4 +143,11 @@ criterion_group! {
     bench_areas_of_interest
 
 }
-criterion_main!(benches);
+fn main() {
+    sciql_bench::emit_meta(
+        "image_ops",
+        &[],
+        "image workload (invert/threshold/smooth) through SciQL vs direct kernels",
+    );
+    benches();
+}

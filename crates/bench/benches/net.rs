@@ -5,7 +5,7 @@
 //! Run with `CRITERION_JSON_OUT=BENCH_net.json cargo bench -p sciql-bench
 //! --bench net` to record a baseline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use sciql::SharedEngine;
 use sciql_net::{Client, Server, ServerHandle};
 use std::hint::black_box;
@@ -53,7 +53,6 @@ fn bench_roundtrip(c: &mut Criterion) {
 /// embedded engine answering the same query with no wire in between.
 fn bench_streaming(c: &mut Criterion) {
     let mut g = c.benchmark_group("net/stream");
-    g.sample_size(10);
     g.throughput(Throughput::Elements(CELLS as u64));
     let (handle, mut client) = served();
     g.bench_function(BenchmarkId::from_parameter("select_4k_rows_net"), |b| {
@@ -89,5 +88,12 @@ fn bench_writes(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_roundtrip, bench_streaming, bench_writes);
-criterion_main!(benches);
+criterion_group! {
+    name = benches;
+    config = sciql_bench::criterion_config();
+    targets = bench_roundtrip, bench_streaming, bench_writes
+}
+fn main() {
+    sciql_bench::emit_meta("net", &[("rows_streamed", 4096)], "sciql-net loopback round-trip/streaming/write benchmarks; embedded twin measures the no-wire path");
+    benches();
+}

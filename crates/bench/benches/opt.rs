@@ -1,0 +1,81 @@
+//! Optimizer pipeline benchmark: the same select+project and
+//! select+aggregate queries at `opt_level` 0 (naive generated plan),
+//! 1 (classic shrinking passes) and 2 (full pipeline with candidate
+//! propagation and fused `selectproject`/`selectagg` kernels).
+//!
+//! Run with `CRITERION_JSON_OUT=BENCH_opt.json cargo bench -p
+//! sciql-bench --bench opt` to record a baseline. The CI bench-guard job
+//! additionally checks (machine-independently) that the `/L2` ids beat
+//! their `/L0` twins.
+
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use sciql::{Connection, SessionConfig};
+use std::hint::black_box;
+
+const N: usize = 1024; // N*N = 1M cells
+const LEVELS: [u8; 3] = [0, 1, 2];
+
+fn session(opt_level: u8) -> Connection {
+    let mut conn = Connection::with_config(SessionConfig {
+        opt_level,
+        ..SessionConfig::default()
+    });
+    conn.execute(&format!(
+        "CREATE ARRAY matrix (x INT DIMENSION[0:1:{N}], \
+         y INT DIMENSION[0:1:{N}], v INT DEFAULT 0)"
+    ))
+    .unwrap();
+    conn.execute("UPDATE matrix SET v = x + y").unwrap();
+    conn
+}
+
+/// One query, swept over the optimizer levels.
+fn sweep(c: &mut Criterion, group: &str, sql: &'static str) {
+    let mut g = c.benchmark_group(format!("opt/{group}"));
+    for level in LEVELS {
+        let mut conn = session(level);
+        g.throughput(Throughput::Elements((N * N) as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("L{level}")),
+            &level,
+            |b, _| b.iter(|| black_box(conn.query(sql).unwrap())),
+        );
+    }
+    g.finish();
+}
+
+/// Select+project: `thetaselect` + `projection` fuse into one
+/// `selectproject` scan at level 2 (and level 0 additionally pays for
+/// the dead dimension projections DCE would have removed).
+fn bench_select_project(c: &mut Criterion) {
+    sweep(c, "select_project", "SELECT v FROM matrix WHERE x > 512");
+}
+
+/// Select+aggregate: the whole chain fuses into one `selectagg` scan at
+/// level 2 — no candidate list, no projected intermediate.
+fn bench_select_aggregate(c: &mut Criterion) {
+    sweep(c, "select_sum", "SELECT SUM(v) FROM matrix WHERE x > 512");
+    sweep(
+        c,
+        "select_count",
+        "SELECT COUNT(v) FROM matrix WHERE y < 256",
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = sciql_bench::criterion_config();
+    targets = bench_select_project, bench_select_aggregate
+}
+
+fn main() {
+    sciql_bench::emit_meta(
+        "opt",
+        &[("cells", (N * N) as u64)],
+        "MAL optimizer pipeline ablation on a 1024x1024 array: L0 = naive generated plan, \
+         L1 = classic shrinking passes, L2 = full pipeline with fused selectproject/selectagg \
+         kernels; tracked metric is the L2-vs-L0 speedup on the select+project and \
+         select+aggregate queries",
+    );
+    benches();
+}

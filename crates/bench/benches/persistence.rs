@@ -6,7 +6,7 @@
 //! vault has. Run with `CRITERION_JSON_OUT=BENCH_store.json cargo bench
 //! -p sciql-bench --bench persistence` to record a baseline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use sciql::Connection;
 use std::hint::black_box;
 use std::path::PathBuf;
@@ -47,7 +47,6 @@ fn populate(conn: &mut Connection) {
 /// practice) vs with everything clean (pure snapshot + WAL rotation).
 fn bench_checkpoint(c: &mut Criterion) {
     let mut g = c.benchmark_group("persistence/checkpoint");
-    g.sample_size(10);
     g.throughput(Throughput::Elements(CELLS as u64));
     let dir = fresh_dir("ckpt");
     let mut conn = Connection::open(&dir).unwrap();
@@ -76,7 +75,6 @@ fn bench_checkpoint(c: &mut Criterion) {
 /// Cold reopen of a checkpointed vault: snapshot read + column decode.
 fn bench_cold_open(c: &mut Criterion) {
     let mut g = c.benchmark_group("persistence/recovery");
-    g.sample_size(10);
     g.throughput(Throughput::Elements(CELLS as u64));
     let dir = fresh_dir("open");
     {
@@ -111,7 +109,6 @@ fn bench_cold_open(c: &mut Criterion) {
 /// before it is acknowledged. The in-memory twin shows the WAL overhead.
 fn bench_wal_dml(c: &mut Criterion) {
     let mut g = c.benchmark_group("persistence/dml");
-    g.sample_size(10);
     let dir = fresh_dir("dml");
     let mut durable = Connection::open(&dir).unwrap();
     populate(&mut durable);
@@ -136,5 +133,12 @@ fn bench_wal_dml(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_checkpoint, bench_cold_open, bench_wal_dml);
-criterion_main!(benches);
+criterion_group! {
+    name = benches;
+    config = sciql_bench::criterion_config();
+    targets = bench_checkpoint, bench_cold_open, bench_wal_dml
+}
+fn main() {
+    sciql_bench::emit_meta("persistence", &[("cells", 65536)], "durability: checkpoint write, cold reopen and per-statement WAL fsync on a 256x256 array plus a string table");
+    benches();
+}

@@ -8,7 +8,7 @@
 //! single-vCPU host the sweep records the thread-dispatch overhead
 //! rather than a speedup — the kernels cannot beat the hardware.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use gdk::arith::{BinOp, CmpOp, Operand};
 use gdk::par::ParConfig;
 use gdk::{Bat, Value};
@@ -30,7 +30,6 @@ fn forced(threads: usize) -> ParConfig {
 /// grouping by a dimension and the grouped SUM.
 fn bench_kernels(c: &mut Criterion) {
     let mut g = c.benchmark_group("threads/kernels_1m");
-    g.sample_size(10);
     let v = Bat::from_ints((0..CELLS as i32).map(|i| i % 1000).collect());
     let dim = Bat::from_ints((0..CELLS as i32).map(|i| i % 1024).collect());
     let groups = gdk::group::group_by(&dim, None, None).unwrap();
@@ -75,6 +74,7 @@ fn session(threads: usize, n: usize) -> Connection {
     let mut conn = Connection::with_config(SessionConfig {
         threads,
         parallel_threshold: 1024,
+        ..SessionConfig::default()
     });
     conn.execute(&format!(
         "CREATE ARRAY matrix (x INT DIMENSION[0:1:{n}], \
@@ -94,7 +94,6 @@ fn session(threads: usize, n: usize) -> Connection {
 /// `SessionConfig` exactly as a user would.
 fn bench_fig1_sql(c: &mut Criterion) {
     let mut g = c.benchmark_group("threads/fig1_sql_1m");
-    g.sample_size(10);
     let n = 1024usize; // n*n = 1M cells
     for t in THREADS {
         let mut conn = session(t, n);
@@ -133,13 +132,13 @@ fn bench_fig1_sql(c: &mut Criterion) {
 fn bench_image_ops(c: &mut Criterion) {
     use sciql_imaging::{synth, SciqlImages};
     let mut g = c.benchmark_group("threads/image_1m");
-    g.sample_size(10);
     let n = 1024usize;
     let img = synth::terrain(n, n, 7);
     for t in THREADS {
         let mut s = SciqlImages::with_config(SessionConfig {
             threads: t,
             parallel_threshold: 1024,
+            ..SessionConfig::default()
         });
         s.load("img", &img).unwrap();
         g.throughput(Throughput::Elements((n * n) as u64));
@@ -151,10 +150,8 @@ fn bench_image_ops(c: &mut Criterion) {
 }
 
 fn fast() -> Criterion {
-    Criterion::default()
-        .measurement_time(std::time::Duration::from_millis(900))
-        .warm_up_time(std::time::Duration::from_millis(200))
-        .sample_size(10)
+    // Shared profile (quick mode under SCIQL_BENCH_QUICK for CI).
+    sciql_bench::criterion_config()
 }
 
 criterion_group! {
@@ -162,4 +159,7 @@ criterion_group! {
     config = fast();
     targets = bench_kernels, bench_fig1_sql, bench_image_ops
 }
-criterion_main!(benches);
+fn main() {
+    sciql_bench::emit_meta("threads", &[("cells", 1048576)], "slice-parallelism sweep; on a single-vCPU host thread counts >1 record dispatch overhead, not speedup");
+    benches();
+}

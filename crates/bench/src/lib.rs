@@ -1,8 +1,73 @@
 //! Shared helpers for the benchmark harness.
+//!
+//! Every bench target routes its JSON output through [`emit_meta`] and
+//! [`criterion_config`], so the committed `BENCH_*.json` baselines share
+//! one machine-readable format: a single `{"meta":{…}}` header line
+//! (bench name, sizing fields, host CPU count, quick-mode flag, prose
+//! note) followed by one `{"id":…,"min_ns":…,"median_ns":…}` line per
+//! benchmark, appended by the criterion shim when `CRITERION_JSON_OUT`
+//! names a file. The CI bench-guard job sets `SCIQL_BENCH_QUICK=1` for a
+//! shorter measurement profile and compares the result against the
+//! committed baselines with `cargo run -p sciql-bench --bin bench-guard`.
 
 #![warn(missing_docs)]
 
 use sciql::Connection;
+use std::io::Write as _;
+use std::time::Duration;
+
+/// Is the quick measurement profile requested (`SCIQL_BENCH_QUICK` set)?
+pub fn quick_mode() -> bool {
+    std::env::var_os("SCIQL_BENCH_QUICK").is_some()
+}
+
+/// The shared Criterion configuration: the standard profile, or a
+/// shorter one in [`quick_mode`] (used by the CI bench-guard job, where
+/// wall-clock budget matters more than tight confidence intervals).
+pub fn criterion_config() -> criterion::Criterion {
+    if quick_mode() {
+        criterion::Criterion::default()
+            .measurement_time(Duration::from_millis(200))
+            .warm_up_time(Duration::from_millis(50))
+            .sample_size(5)
+    } else {
+        criterion::Criterion::default()
+            .measurement_time(Duration::from_millis(900))
+            .warm_up_time(Duration::from_millis(200))
+            .sample_size(10)
+    }
+}
+
+/// Write the one `{"meta":{…}}` header line for a bench target to the
+/// `CRITERION_JSON_OUT` file (no-op when the variable is unset, i.e. in
+/// plain `cargo bench` runs). Runs once at target start and **truncates**
+/// the file, so re-recording a baseline replaces it instead of appending
+/// duplicate ids (the criterion shim appends the per-benchmark lines
+/// after this). `fields` carries the target's sizing numbers (cells,
+/// rows, …); `note` is the human-readable context that makes the
+/// baseline interpretable later.
+pub fn emit_meta(bench: &str, fields: &[(&str, u64)], note: &str) {
+    let Some(path) = std::env::var_os("CRITERION_JSON_OUT") else {
+        return;
+    };
+    let mut line = format!("{{\"meta\":{{\"bench\":{bench:?}");
+    for (k, v) in fields {
+        line.push_str(&format!(",{k:?}:{v}"));
+    }
+    line.push_str(&format!(
+        ",\"host_cpus\":{},\"quick\":{},\"note\":{note:?}}}}}",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        quick_mode(),
+    ));
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(true)
+        .open(path)
+    {
+        let _ = writeln!(file, "{line}");
+    }
+}
 
 /// Build a session holding an `n × n` matrix array with the Fig 1(b)
 /// contents (deterministic, no holes).

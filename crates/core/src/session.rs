@@ -6,7 +6,7 @@ use crate::storage::{ArrayStore, TableStore};
 use crate::{EngineError, Result};
 use gdk::Bat;
 use mal::{
-    Binder as MalBinder, ExecStats, Interpreter, MalValue, OptConfig, OptReport, Program, Registry,
+    Binder as MalBinder, ExecStats, Interpreter, MalValue, OptConfig, PassStats, Program, Registry,
 };
 use sciql_algebra::{compile, rewrite, Binder, CodegenOptions, Plan};
 use sciql_catalog::Catalog;
@@ -48,10 +48,11 @@ impl QueryResult {
 /// benchmarking hooks).
 #[derive(Debug, Clone, Default)]
 pub struct LastExec {
-    /// Interpreter counters (including per-instruction thread counts).
+    /// Interpreter counters (including per-instruction thread counts and
+    /// the fused kernels' avoided-materialization accounting).
     pub exec: ExecStats,
-    /// Optimizer report.
-    pub opt: OptReport,
+    /// Optimizer pass report.
+    pub opt: PassStats,
     /// MAL instructions before optimization.
     pub instrs_before_opt: usize,
     /// MAL instructions after optimization.
@@ -66,6 +67,11 @@ pub struct SessionConfig {
     pub threads: usize,
     /// Minimum BAT length before a kernel goes parallel.
     pub parallel_threshold: usize,
+    /// MAL optimizer pipeline level: `0` = off (execute the naive
+    /// generated plan), `1` = classic shrinking passes (constant folding,
+    /// CSE, alias removal, DCE), `2` = full pipeline with candidate
+    /// propagation and select→project / select→aggregate kernel fusion.
+    pub opt_level: u8,
 }
 
 impl Default for SessionConfig {
@@ -74,6 +80,7 @@ impl Default for SessionConfig {
         SessionConfig {
             threads: par.threads,
             parallel_threshold: par.parallel_threshold,
+            opt_level: 2,
         }
     }
 }
@@ -84,6 +91,7 @@ impl SessionConfig {
         SessionConfig {
             threads: 1,
             parallel_threshold: usize::MAX,
+            ..SessionConfig::default()
         }
     }
 
@@ -91,6 +99,14 @@ impl SessionConfig {
     pub fn with_threads(threads: usize) -> Self {
         SessionConfig {
             threads: threads.max(1),
+            ..SessionConfig::default()
+        }
+    }
+
+    /// Default execution with an explicit optimizer level.
+    pub fn with_opt_level(opt_level: u8) -> Self {
+        SessionConfig {
+            opt_level,
             ..SessionConfig::default()
         }
     }
@@ -293,7 +309,8 @@ impl Connection {
         Ok(())
     }
 
-    /// Configure the MAL optimizer pipeline (ablation switch).
+    /// Configure the MAL optimizer pipeline per pass (finer-grained than
+    /// `SessionConfig::opt_level`; used by the ablation bench and tests).
     pub fn set_optimizer(&mut self, cfg: OptConfig) {
         self.opt_config = cfg;
     }
@@ -307,11 +324,19 @@ impl Connection {
         self.set_session_config(keep);
     }
 
-    /// Reconfigure parallel execution: the settings flow through
-    /// [`CodegenOptions`] into the interpreter's slice driver.
+    /// Reconfigure execution: the parallel settings and the optimizer
+    /// level flow through [`CodegenOptions`] into the MAL pipeline and
+    /// the interpreter's slice driver. The per-pass configuration is
+    /// rebuilt from `opt_level` only when the level actually changes, so
+    /// a custom [`Connection::set_optimizer`] ablation survives
+    /// unrelated reconfiguration (e.g. a thread-count change).
     pub fn set_session_config(&mut self, cfg: SessionConfig) {
         self.codegen.threads = cfg.threads.max(1);
         self.codegen.parallel_threshold = cfg.parallel_threshold;
+        if cfg.opt_level != self.codegen.opt_level {
+            self.opt_config = OptConfig::level(cfg.opt_level);
+        }
+        self.codegen.opt_level = cfg.opt_level;
     }
 
     /// The session's current execution configuration.
@@ -319,6 +344,7 @@ impl Connection {
         SessionConfig {
             threads: self.codegen.threads,
             parallel_threshold: self.codegen.parallel_threshold,
+            opt_level: self.codegen.opt_level,
         }
     }
 

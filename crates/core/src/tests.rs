@@ -177,6 +177,7 @@ fn parallel_session_matches_serial_and_reports_threads() {
     let par_cfg = SessionConfig {
         threads: 4,
         parallel_threshold: 1,
+        ..SessionConfig::default()
     };
     let sql_fill = "UPDATE matrix SET v = CASE WHEN x > y THEN x + y \
                     WHEN x < y THEN x - y ELSE 0 END";
@@ -236,6 +237,7 @@ fn session_config_roundtrip() {
     c.set_session_config(SessionConfig {
         threads: 3,
         parallel_threshold: 123,
+        ..SessionConfig::default()
     });
     assert_eq!(c.session_config().threads, 3);
     assert_eq!(c.session_config().parallel_threshold, 123);
@@ -243,6 +245,7 @@ fn session_config_roundtrip() {
     c.set_session_config(SessionConfig {
         threads: 0,
         parallel_threshold: 1,
+        ..SessionConfig::default()
     });
     assert_eq!(c.session_config().threads, 1);
 }

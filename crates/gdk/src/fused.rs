@@ -1,0 +1,572 @@
+//! Fused kernels: select→project and select→aggregate in one pass.
+//!
+//! The MAL optimizer's fusion passes rewrite `thetaselect` + `projection`
+//! (+ scalar aggregate) chains into single instructions backed by these
+//! kernels, so the candidate list — and for aggregates the projected
+//! payload BAT — is never materialised. Each kernel is defined as *the
+//! composition of the serial kernels it replaces*: `select_project(b, …,
+//! payload)` produces exactly `project(rangeselect(b, …), payload)` and
+//! `select_aggregate` produces exactly `scalar(func, project(…))`,
+//! including error behaviour (out-of-range projection oids, SUM overflow
+//! at the same prefix), which the differential tests pin down.
+//!
+//! Predicates use the same `*_in_range` helpers the selection scan
+//! monomorphizes — so the qualifying sets cannot drift — dispatched here
+//! through [`with_range_pred!`] so each shape gets a concrete closure
+//! (no virtual call per element on the hot path).
+
+use crate::aggregate::AggFunc;
+use crate::bat::{Bat, ColumnData};
+use crate::candidates::Candidates;
+use crate::select::theta_bounds;
+use crate::types::ScalarType;
+use crate::value::Value;
+use crate::{GdkError, Result};
+
+/// Bind `$pred` to a *concrete* per-shape range-predicate closure and
+/// evaluate `$body` with it — one monomorphized copy of the body per
+/// column shape, sharing the `select::*_in_range` element tests with
+/// the plain selection scan.
+macro_rules! with_range_pred {
+    ($b:expr, $lo:expr, $hi:expr, $li:expr, $hi_incl:expr, $anti:expr, |$pred:ident| $body:expr) => {{
+        let b = $b;
+        match b.data() {
+            ColumnData::Int(vals) => {
+                let lo_i = crate::select::bound_as_i64($lo)?;
+                let hi_i = crate::select::bound_as_i64($hi)?;
+                let $pred = |pos: usize| {
+                    crate::select::int_in_range(vals[pos], lo_i, hi_i, $li, $hi_incl, $anti)
+                };
+                $body
+            }
+            ColumnData::Void { seq, .. } => {
+                let lo_i = crate::select::bound_as_i64($lo)?;
+                let hi_i = crate::select::bound_as_i64($hi)?;
+                let seq = *seq as i64;
+                let $pred = |pos: usize| {
+                    crate::select::i64_in_range(seq + pos as i64, lo_i, hi_i, $li, $hi_incl, $anti)
+                };
+                $body
+            }
+            _ => {
+                let $pred = |pos: usize| {
+                    crate::select::generic_in_range(&b.get(pos), $lo, $hi, $li, $hi_incl, $anti)
+                };
+                $body
+            }
+        }
+    }};
+}
+
+/// Bytes one tail element of type `t` occupies in a materialised BAT
+/// (strings count their dictionary index). Used for the "bytes not
+/// materialized" accounting the fused kernels report upward.
+pub fn elem_width(t: ScalarType) -> usize {
+    match t {
+        ScalarType::Bit => 1,
+        ScalarType::Int | ScalarType::Str => 4,
+        ScalarType::Lng | ScalarType::Dbl | ScalarType::OidT => 8,
+    }
+}
+
+/// Walk the selection domain (all of `b`, or the incoming candidate
+/// list) in order, calling `f` with each in-range position.
+fn for_each_pos(
+    len: usize,
+    cand: Option<&Candidates>,
+    mut f: impl FnMut(usize) -> Result<()>,
+) -> Result<()> {
+    match cand {
+        None => {
+            for pos in 0..len {
+                f(pos)?;
+            }
+        }
+        Some(c) => {
+            for o in c.iter() {
+                let pos = o as usize;
+                if pos < len {
+                    f(pos)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+pub(crate) fn oob(pos: usize, len: usize) -> GdkError {
+    GdkError::invalid(format!("projection oid {pos} out of range (len {len})"))
+}
+
+/// Fused range-select + project: one pass over `b`'s selection domain,
+/// emitting `payload` values at qualifying positions. Equivalent to
+/// `project(&rangeselect(b, cand, …)?, payload)` without materialising
+/// the candidate list.
+#[allow(clippy::too_many_arguments)]
+pub fn select_project(
+    b: &Bat,
+    cand: Option<&Candidates>,
+    lo: &Value,
+    hi: &Value,
+    li: bool,
+    hi_incl: bool,
+    anti: bool,
+    payload: &Bat,
+) -> Result<Bat> {
+    with_range_pred!(b, lo, hi, li, hi_incl, anti, |pred| {
+        select_project_with(b.len(), cand, payload, pred)
+    })
+}
+
+/// The select→project walk, generic over the (monomorphized) predicate.
+///
+/// The dominant shape — full-domain scan over a payload at least as long
+/// as the selection column — needs no per-element range check, so that
+/// loop is a plain `if pred { push }` like the selection scan itself;
+/// everything else goes through the careful [`for_each_pos`] walk with
+/// the same out-of-range error `project` would raise.
+fn select_project_with(
+    len: usize,
+    cand: Option<&Candidates>,
+    payload: &Bat,
+    pred: impl Fn(usize) -> bool,
+) -> Result<Bat> {
+    let plen = payload.len();
+    let fast = cand.is_none() && plen >= len;
+    macro_rules! typed {
+        ($v:expr, $fetch:expr, $ctor:expr) => {{
+            let v = $v;
+            #[allow(clippy::redundant_closure_call)]
+            let mut out = Vec::new();
+            if fast {
+                for pos in 0..len {
+                    if pred(pos) {
+                        out.push($fetch(v, pos));
+                    }
+                }
+            } else {
+                for_each_pos(len, cand, |pos| {
+                    if pred(pos) {
+                        if pos >= plen {
+                            return Err(oob(pos, plen));
+                        }
+                        out.push($fetch(v, pos));
+                    }
+                    Ok(())
+                })?;
+            }
+            #[allow(clippy::redundant_closure_call)]
+            Ok($ctor(out))
+        }};
+    }
+    match payload.data() {
+        ColumnData::Void { seq, .. } => {
+            let seq = *seq;
+            typed!(
+                (),
+                |_: (), pos: usize| seq + pos as crate::types::Oid,
+                Bat::from_oids
+            )
+        }
+        ColumnData::Bit(v) => typed!(v, |v: &[i8], p: usize| v[p], |o| Bat::from_data(
+            ColumnData::Bit(o)
+        )),
+        ColumnData::Int(v) => typed!(v, |v: &[i32], p: usize| v[p], |o| Bat::from_data(
+            ColumnData::Int(o)
+        )),
+        ColumnData::Lng(v) => typed!(v, |v: &[i64], p: usize| v[p], |o| Bat::from_data(
+            ColumnData::Lng(o)
+        )),
+        ColumnData::Dbl(v) => typed!(v, |v: &[f64], p: usize| v[p], |o| Bat::from_data(
+            ColumnData::Dbl(o)
+        )),
+        ColumnData::Oid(v) => typed!(v, |v: &[crate::types::Oid], p: usize| v[p], |o| {
+            Bat::from_data(ColumnData::Oid(o))
+        }),
+        ColumnData::Str { idx, heap } => {
+            // Share the dictionary by cloning, exactly like `project`.
+            let heap = heap.clone();
+            typed!(idx, |v: &[u32], p: usize| v[p], move |o| Bat::from_data(
+                ColumnData::Str { idx: o, heap }
+            ))
+        }
+    }
+}
+
+/// [`select_project`] with the theta comparison lowered through the same
+/// [`theta_bounds`] as `thetaselect` (NULL comparison value selects
+/// nothing).
+pub fn theta_select_project(
+    b: &Bat,
+    cand: Option<&Candidates>,
+    val: &Value,
+    op: crate::arith::CmpOp,
+    payload: &Bat,
+) -> Result<Bat> {
+    if val.is_null() {
+        return crate::project::project(&Candidates::none(), payload);
+    }
+    let (lo, hi, li, hi_incl, anti) = theta_bounds(val, op);
+    select_project(b, cand, &lo, &hi, li, hi_incl, anti, payload)
+}
+
+/// Streaming scalar-aggregate accumulator replicating
+/// [`crate::aggregate::grouped`] for a single group, element by element
+/// in scan order — so a fused aggregate sees the same values in the same
+/// order as `scalar(func, project(cand, payload))` and produces the same
+/// result, including SUM overflow at the same running prefix.
+pub(crate) struct ScalarAcc {
+    func: AggFunc,
+    /// Integral SUM path (int/lng input widens to lng, checked).
+    lng_sum: i64,
+    /// Float SUM / AVG path.
+    dbl_sum: f64,
+    count: i64,
+    seen: bool,
+    best: Value,
+}
+
+impl ScalarAcc {
+    /// New accumulator; rejects non-numeric SUM/AVG inputs up front, as
+    /// the unfused kernel does.
+    pub fn new(func: AggFunc, input: ScalarType) -> Result<Self> {
+        if matches!(func, AggFunc::Sum | AggFunc::Avg) {
+            func.result_type(input)?;
+        }
+        Ok(ScalarAcc {
+            func,
+            lng_sum: 0,
+            dbl_sum: 0.0,
+            count: 0,
+            seen: false,
+            best: Value::Null,
+        })
+    }
+
+    /// Integral SUM (result widens to lng)?
+    fn sums_lng(&self, input: ScalarType) -> bool {
+        matches!(input, ScalarType::Int | ScalarType::Lng)
+    }
+
+    /// Fold in `payload[pos]`.
+    pub fn push(&mut self, payload: &Bat, pos: usize) -> Result<()> {
+        match self.func {
+            AggFunc::Count => {
+                if !payload.is_nil_at(pos) {
+                    self.count += 1;
+                }
+            }
+            AggFunc::Sum if self.sums_lng(payload.tail_type()) => {
+                if let Some(x) = payload.get(pos).as_i64() {
+                    self.lng_sum = self
+                        .lng_sum
+                        .checked_add(x)
+                        .ok_or_else(|| GdkError::arithmetic("SUM overflow"))?;
+                    self.seen = true;
+                }
+            }
+            AggFunc::Sum | AggFunc::Avg => {
+                if payload.is_nil_at(pos) {
+                    return Ok(());
+                }
+                if let Some(x) = payload.get(pos).as_f64() {
+                    self.dbl_sum += x;
+                    self.count += 1;
+                    self.seen = true;
+                }
+            }
+            AggFunc::Min | AggFunc::Max => {
+                let v = payload.get(pos);
+                if v.is_null() {
+                    return Ok(());
+                }
+                let replace = match self.best.sql_cmp(&v) {
+                    None => true, // still NULL
+                    Some(ord) => {
+                        if self.func == AggFunc::Min {
+                            ord == std::cmp::Ordering::Greater
+                        } else {
+                            ord == std::cmp::Ordering::Less
+                        }
+                    }
+                };
+                if replace {
+                    self.best = v;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The aggregate value (NULL for an empty/all-nil input, COUNT 0).
+    pub fn finish(self, input: ScalarType) -> Value {
+        match self.func {
+            AggFunc::Count => Value::Lng(self.count),
+            AggFunc::Sum if self.sums_lng(input) => {
+                if self.seen {
+                    Value::Lng(self.lng_sum)
+                } else {
+                    Value::Null
+                }
+            }
+            AggFunc::Sum => {
+                if self.seen {
+                    Value::Dbl(self.dbl_sum)
+                } else {
+                    Value::Null
+                }
+            }
+            AggFunc::Avg => {
+                if self.count > 0 {
+                    Value::Dbl(self.dbl_sum / self.count as f64)
+                } else {
+                    Value::Null
+                }
+            }
+            AggFunc::Min | AggFunc::Max => self.best,
+        }
+    }
+}
+
+/// Candidate-propagated scalar aggregate: aggregate `payload` at the
+/// candidate positions without materialising the projected BAT.
+/// Equivalent to `scalar(func, project(cand, payload))`.
+pub fn project_aggregate(func: AggFunc, payload: &Bat, cand: &Candidates) -> Result<Value> {
+    let mut acc = ScalarAcc::new(func, payload.tail_type())?;
+    let plen = payload.len();
+    for o in cand.iter() {
+        let pos = o as usize;
+        if pos >= plen {
+            return Err(oob(pos, plen));
+        }
+        acc.push(payload, pos)?;
+    }
+    Ok(acc.finish(payload.tail_type()))
+}
+
+/// Fully fused select→project→aggregate: one pass over `b`'s selection
+/// domain, aggregating `payload` at qualifying positions. Neither the
+/// candidate list nor the projected BAT is materialised. Returns the
+/// aggregate plus the qualifying-tuple count (for the "bytes not
+/// materialized" accounting). Equivalent to
+/// `scalar(func, project(&thetaselect(b, cand, val, op)?, payload))`.
+pub fn theta_select_aggregate(
+    func: AggFunc,
+    payload: &Bat,
+    b: &Bat,
+    cand: Option<&Candidates>,
+    val: &Value,
+    op: crate::arith::CmpOp,
+) -> Result<(Value, usize)> {
+    if val.is_null() {
+        // Up-front type validation still applies (as the unfused
+        // aggregate over the empty projection would).
+        let acc = ScalarAcc::new(func, payload.tail_type())?;
+        return Ok((acc.finish(payload.tail_type()), 0));
+    }
+    let (lo, hi, li, hi_incl, anti) = theta_bounds(val, op);
+    with_range_pred!(b, &lo, &hi, li, hi_incl, anti, |pred| {
+        select_aggregate_with(func, payload, b.len(), cand, pred)
+    })
+}
+
+/// The select→aggregate walk, generic over the (monomorphized)
+/// predicate, with typed loops for the hot integral SUM shapes (same
+/// per-element semantics as [`ScalarAcc::push`]: the nil sentinel is
+/// what `Bat::get(..).as_i64()` would have turned into `None`).
+fn select_aggregate_with(
+    func: AggFunc,
+    payload: &Bat,
+    len: usize,
+    cand: Option<&Candidates>,
+    pred: impl Fn(usize) -> bool,
+) -> Result<(Value, usize)> {
+    let plen = payload.len();
+    let fast = cand.is_none() && plen >= len;
+    let mut selected = 0usize;
+    // Typed loops for the hot integral shapes; per-element semantics are
+    // exactly [`ScalarAcc::push`]'s (the nil sentinel is what
+    // `Bat::get(..).as_i64()` would have turned into `None`).
+    macro_rules! typed_loop {
+        (|$pos:ident| $body:expr) => {
+            if fast {
+                for $pos in 0..len {
+                    if pred($pos) {
+                        selected += 1;
+                        $body
+                    }
+                }
+            } else {
+                for_each_pos(len, cand, |$pos| {
+                    if pred($pos) {
+                        if $pos >= plen {
+                            return Err(oob($pos, plen));
+                        }
+                        selected += 1;
+                        $body
+                    }
+                    Ok(())
+                })?;
+            }
+        };
+    }
+    match (func, payload.data()) {
+        (AggFunc::Sum, ColumnData::Int(v)) => {
+            let (mut sum, mut seen) = (0i64, false);
+            typed_loop!(|pos| {
+                if v[pos] != crate::types::INT_NIL {
+                    sum = sum
+                        .checked_add(v[pos] as i64)
+                        .ok_or_else(|| GdkError::arithmetic("SUM overflow"))?;
+                    seen = true;
+                }
+            });
+            let out = if seen { Value::Lng(sum) } else { Value::Null };
+            Ok((out, selected))
+        }
+        (AggFunc::Sum, ColumnData::Lng(v)) => {
+            let (mut sum, mut seen) = (0i64, false);
+            typed_loop!(|pos| {
+                if v[pos] != crate::types::LNG_NIL {
+                    sum = sum
+                        .checked_add(v[pos])
+                        .ok_or_else(|| GdkError::arithmetic("SUM overflow"))?;
+                    seen = true;
+                }
+            });
+            let out = if seen { Value::Lng(sum) } else { Value::Null };
+            Ok((out, selected))
+        }
+        (AggFunc::Count, _) => {
+            let mut count = 0i64;
+            typed_loop!(|pos| {
+                if !payload.is_nil_at(pos) {
+                    count += 1;
+                }
+            });
+            Ok((Value::Lng(count), selected))
+        }
+        _ => {
+            let mut acc = ScalarAcc::new(func, payload.tail_type())?;
+            typed_loop!(|pos| {
+                acc.push(payload, pos)?;
+            });
+            Ok((acc.finish(payload.tail_type()), selected))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith::CmpOp;
+    use crate::project::project;
+    use crate::select::thetaselect;
+
+    fn unfused_sp(b: &Bat, cand: Option<&Candidates>, val: &Value, op: CmpOp, p: &Bat) -> Bat {
+        project(&thetaselect(b, cand, val, op).unwrap(), p).unwrap()
+    }
+
+    #[test]
+    fn select_project_matches_unfused() {
+        let b = Bat::from_opt_ints(vec![Some(5), None, Some(-3), Some(8), Some(0), Some(5)]);
+        let p = Bat::from_strs(vec![Some("a"), Some("b"), None, Some("d"), Some("e"), None]);
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Ge] {
+            let fused = theta_select_project(&b, None, &Value::Int(0), op, &p).unwrap();
+            let plain = unfused_sp(&b, None, &Value::Int(0), op, &p);
+            assert_eq!(fused.to_values(), plain.to_values(), "{op:?}");
+        }
+        let cand = Candidates::from_vec(vec![0, 2, 3, 5]);
+        let fused = theta_select_project(&b, Some(&cand), &Value::Int(4), CmpOp::Gt, &p).unwrap();
+        let plain = unfused_sp(&b, Some(&cand), &Value::Int(4), CmpOp::Gt, &p);
+        assert_eq!(fused.to_values(), plain.to_values());
+    }
+
+    #[test]
+    fn select_project_null_value_is_empty() {
+        let b = Bat::from_ints(vec![1, 2]);
+        let p = Bat::from_ints(vec![10, 20]);
+        let out = theta_select_project(&b, None, &Value::Null, CmpOp::Eq, &p).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(out.tail_type(), ScalarType::Int);
+    }
+
+    #[test]
+    fn select_project_oob_errors_like_project() {
+        let b = Bat::from_ints(vec![1, 2, 3]);
+        let short = Bat::from_ints(vec![10]);
+        let fused = theta_select_project(&b, None, &Value::Int(1), CmpOp::Gt, &short).unwrap_err();
+        let plain = project(
+            &thetaselect(&b, None, &Value::Int(1), CmpOp::Gt).unwrap(),
+            &short,
+        )
+        .unwrap_err();
+        assert_eq!(fused, plain);
+    }
+
+    #[test]
+    fn project_aggregate_matches_unfused() {
+        let p = Bat::from_opt_ints(vec![Some(3), None, Some(7), Some(-2), Some(7)]);
+        let cand = Candidates::from_vec(vec![0, 1, 2, 4]);
+        for f in [
+            AggFunc::Sum,
+            AggFunc::Count,
+            AggFunc::Avg,
+            AggFunc::Min,
+            AggFunc::Max,
+        ] {
+            let fused = project_aggregate(f, &p, &cand).unwrap();
+            let plain = crate::aggregate::scalar(f, &project(&cand, &p).unwrap()).unwrap();
+            assert_eq!(fused, plain, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn select_aggregate_matches_unfused() {
+        let b = Bat::from_opt_ints((0..200).map(|i| (i % 9 != 0).then_some(i % 40)).collect());
+        let p = Bat::from_opt_ints((0..200).map(|i| (i % 7 != 0).then_some(i - 100)).collect());
+        for f in [
+            AggFunc::Sum,
+            AggFunc::Count,
+            AggFunc::Avg,
+            AggFunc::Min,
+            AggFunc::Max,
+        ] {
+            let (fused, n) =
+                theta_select_aggregate(f, &p, &b, None, &Value::Int(20), CmpOp::Lt).unwrap();
+            let cand = thetaselect(&b, None, &Value::Int(20), CmpOp::Lt).unwrap();
+            let plain = crate::aggregate::scalar(f, &project(&cand, &p).unwrap()).unwrap();
+            assert_eq!(fused, plain, "{f:?}");
+            assert_eq!(n, cand.len(), "{f:?}");
+        }
+        // NULL comparison value: empty selection.
+        let (v, n) =
+            theta_select_aggregate(AggFunc::Count, &p, &b, None, &Value::Null, CmpOp::Eq).unwrap();
+        assert_eq!(v, Value::Lng(0));
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn fused_sum_overflow_matches_unfused() {
+        let b = Bat::from_ints(vec![1, 1, 1]);
+        let p = Bat::from_lngs(vec![i64::MAX, i64::MAX, -1]);
+        let fused = theta_select_aggregate(AggFunc::Sum, &p, &b, None, &Value::Int(0), CmpOp::Gt)
+            .unwrap_err();
+        let cand = thetaselect(&b, None, &Value::Int(0), CmpOp::Gt).unwrap();
+        let plain = crate::aggregate::scalar(AggFunc::Sum, &project(&cand, &p).unwrap());
+        assert_eq!(Err(fused), plain);
+    }
+
+    #[test]
+    fn string_sum_rejected_like_unfused() {
+        let p = Bat::from_strs(vec![Some("a")]);
+        assert!(project_aggregate(AggFunc::Sum, &p, &Candidates::all(1)).is_err());
+    }
+
+    #[test]
+    fn widths() {
+        assert_eq!(elem_width(ScalarType::Bit), 1);
+        assert_eq!(elem_width(ScalarType::Int), 4);
+        assert_eq!(elem_width(ScalarType::Lng), 8);
+    }
+}

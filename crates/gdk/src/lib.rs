@@ -24,6 +24,7 @@ pub mod arith;
 pub mod bat;
 pub mod candidates;
 pub mod codec;
+pub mod fused;
 pub mod group;
 pub mod join;
 pub mod par;

@@ -852,6 +852,212 @@ pub fn scalar(func: AggFunc, vals: &Bat, cfg: &ParConfig) -> Result<(Value, usiz
     }
 }
 
+// ---------------------------------------------------------------------
+// Fused select→project / select→aggregate
+// ---------------------------------------------------------------------
+
+/// Parallel [`crate::fused::theta_select_project`]: selection-domain
+/// windows run the serial fused kernel concurrently and the typed chunk
+/// outputs concatenate in window order, so results equal the serial
+/// fused kernel (which equals the unfused select-then-project pair).
+pub fn theta_select_project(
+    b: &Bat,
+    cand: Option<&Candidates>,
+    val: &Value,
+    op: CmpOp,
+    payload: &Bat,
+    cfg: &ParConfig,
+) -> Result<(Bat, usize)> {
+    let n = cand.map_or(b.len(), Candidates::len);
+    let k = cfg.threads_for(n);
+    if k == 1 || val.is_null() {
+        return Ok((
+            crate::fused::theta_select_project(b, cand, val, op, payload)?,
+            1,
+        ));
+    }
+    let (lo, hi, li, hi_incl, anti) = select::theta_bounds(val, op);
+    let ranges = chunk_ranges(n, k);
+    let parts = scatter(&ranges, |_, r| {
+        let sub = match cand {
+            Some(c) => c.slice(r),
+            None => Candidates::Dense {
+                first: r.start as Oid,
+                len: r.len(),
+            },
+        };
+        crate::fused::select_project(b, Some(&sub), &lo, &hi, li, hi_incl, anti, payload)
+    });
+    let mut bats = Vec::with_capacity(parts.len());
+    for p in parts {
+        bats.push(p?);
+    }
+    Ok((concat_bats(bats)?, k))
+}
+
+/// Parallel [`crate::fused::theta_select_aggregate`]. Returns
+/// `(value, threads, selected)`. Functions without an exactly-associative
+/// merge (`AVG`, float `SUM`) run the serial fused kernel.
+pub fn theta_select_aggregate(
+    func: AggFunc,
+    payload: &Bat,
+    b: &Bat,
+    cand: Option<&Candidates>,
+    val: &Value,
+    op: CmpOp,
+    cfg: &ParConfig,
+) -> Result<(Value, usize, usize)> {
+    let n = cand.map_or(b.len(), Candidates::len);
+    let k = cfg.threads_for(n);
+    if k == 1 || val.is_null() || !parallel_agg_supported(func, payload.tail_type()) {
+        let (v, sel) = crate::fused::theta_select_aggregate(func, payload, b, cand, val, op)?;
+        return Ok((v, 1, sel));
+    }
+    let (lo, hi, li, hi_incl, anti) = select::theta_bounds(val, op);
+    let pred = select::range_pred(b, &lo, &hi, li, hi_incl, anti)?;
+    let (blen, plen) = (b.len(), payload.len());
+    let sel_at = |i: usize| -> Result<Option<usize>> {
+        let pos = match cand {
+            None => i,
+            Some(c) => {
+                let p = c.get(i) as usize;
+                if p >= blen {
+                    return Ok(None);
+                }
+                p
+            }
+        };
+        if !pred(pos) {
+            return Ok(None);
+        }
+        if pos >= plen {
+            return Err(crate::fused::oob(pos, plen));
+        }
+        Ok(Some(pos))
+    };
+    let (v, sel) = fused_agg_windows(func, payload, n, k, &sel_at)?;
+    Ok((v, k, sel))
+}
+
+/// Parallel [`crate::fused::project_aggregate`] (candidate-propagated
+/// scalar aggregate): candidate windows accumulate partials merged in
+/// window order, matching the serial running-prefix behaviour exactly.
+pub fn project_aggregate(
+    func: AggFunc,
+    payload: &Bat,
+    cand: &Candidates,
+    cfg: &ParConfig,
+) -> Result<(Value, usize)> {
+    let n = cand.len();
+    let k = cfg.threads_for(n);
+    if k == 1 || !parallel_agg_supported(func, payload.tail_type()) {
+        return Ok((crate::fused::project_aggregate(func, payload, cand)?, 1));
+    }
+    let plen = payload.len();
+    let sel_at = |i: usize| -> Result<Option<usize>> {
+        let pos = cand.get(i) as usize;
+        if pos >= plen {
+            return Err(crate::fused::oob(pos, plen));
+        }
+        Ok(Some(pos))
+    };
+    let (v, _) = fused_agg_windows(func, payload, n, k, &sel_at)?;
+    Ok((v, k))
+}
+
+/// Shared window driver for the fused scalar aggregates: `sel_at(i)`
+/// resolves domain index `i` to a qualifying payload position (or skips,
+/// or errors on an out-of-range projection). Only the exactly-associative
+/// functions reach this (callers guard with [`parallel_agg_supported`]).
+fn fused_agg_windows(
+    func: AggFunc,
+    payload: &Bat,
+    n: usize,
+    k: usize,
+    sel_at: &(impl Fn(usize) -> Result<Option<usize>> + Sync),
+) -> Result<(Value, usize)> {
+    let ranges = chunk_ranges(n, k);
+    match func {
+        AggFunc::Count => {
+            let parts = scatter(&ranges, |_, r| -> Result<(i64, usize)> {
+                let (mut cnt, mut sel) = (0i64, 0usize);
+                for i in r {
+                    if let Some(pos) = sel_at(i)? {
+                        sel += 1;
+                        if !payload.is_nil_at(pos) {
+                            cnt += 1;
+                        }
+                    }
+                }
+                Ok((cnt, sel))
+            });
+            let (mut cnt, mut sel) = (0i64, 0usize);
+            for p in parts {
+                let (c, s) = p?;
+                cnt += c;
+                sel += s;
+            }
+            Ok((Value::Lng(cnt), sel))
+        }
+        AggFunc::Sum => {
+            let parts = scatter(&ranges, |_, r| -> Result<(SumPartial, usize)> {
+                let mut part = SumPartial::new(1);
+                let mut sel = 0usize;
+                for i in r {
+                    if let Some(pos) = sel_at(i)? {
+                        sel += 1;
+                        if let Some(x) = payload.get(pos).as_i64() {
+                            part.add(0, x);
+                        }
+                    }
+                }
+                Ok((part, sel))
+            });
+            let mut partials = Vec::with_capacity(parts.len());
+            let mut sel = 0usize;
+            for p in parts {
+                let (part, s) = p?;
+                partials.push(part);
+                sel += s;
+            }
+            let (sums, seen) = merge_sum_partials(partials, 1)?;
+            let v = if seen[0] {
+                Value::Lng(sums[0] as i64)
+            } else {
+                Value::Null
+            };
+            Ok((v, sel))
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let parts = scatter(&ranges, |_, r| -> Result<(Value, usize)> {
+                let mut best = Value::Null;
+                let mut sel = 0usize;
+                for i in r {
+                    if let Some(pos) = sel_at(i)? {
+                        sel += 1;
+                        let v = payload.get(pos);
+                        if !v.is_null() && agg_replaces(func, &best, &v) {
+                            best = v;
+                        }
+                    }
+                }
+                Ok((best, sel))
+            });
+            let mut best = Value::Null;
+            let mut sel = 0usize;
+            for p in parts {
+                let (v, s) = p?;
+                sel += s;
+                if !v.is_null() && agg_replaces(func, &best, &v) {
+                    best = v;
+                }
+            }
+            Ok((best, sel))
+        }
+        AggFunc::Avg => unreachable!("AVG filtered by parallel_agg_supported"),
+    }
+}
+
 /// Per-window SUM state: per group, the window's total plus the running
 /// prefix extrema within the window (over post-add values), in i128 so
 /// the window arithmetic itself cannot overflow.
@@ -1018,6 +1224,100 @@ mod tests {
         let serial = crate::group::group_by(&b, None, None).unwrap();
         let (par, k) = group_by(&b, None, None, &force(5)).unwrap();
         assert_eq!(k, 5);
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn parallel_fused_select_project_matches_serial() {
+        let b = Bat::from_opt_ints((0..1200).map(|i| (i % 7 != 0).then_some(i % 50)).collect());
+        let p = Bat::from_strs(
+            (0..1200)
+                .map(|i| (i % 5 != 0).then(|| format!("s{}", i % 17)))
+                .collect(),
+        );
+        let serial =
+            crate::fused::theta_select_project(&b, None, &Value::Int(25), CmpOp::Ge, &p).unwrap();
+        for t in [2, 4, 8] {
+            let (par, k) =
+                theta_select_project(&b, None, &Value::Int(25), CmpOp::Ge, &p, &force(t)).unwrap();
+            assert_eq!(k, t);
+            assert_eq!(par.to_values(), serial.to_values(), "threads {t}");
+        }
+        let cand = Candidates::from_vec((0..1200).step_by(3).collect());
+        let serial =
+            crate::fused::theta_select_project(&b, Some(&cand), &Value::Int(25), CmpOp::Lt, &p)
+                .unwrap();
+        let (par, _) =
+            theta_select_project(&b, Some(&cand), &Value::Int(25), CmpOp::Lt, &p, &force(4))
+                .unwrap();
+        assert_eq!(par.to_values(), serial.to_values());
+    }
+
+    #[test]
+    fn parallel_fused_aggregates_match_serial() {
+        let b = Bat::from_opt_ints((0..1500).map(|i| (i % 9 != 0).then_some(i % 40)).collect());
+        let p = Bat::from_opt_ints((0..1500).map(|i| (i % 4 != 0).then_some(i - 700)).collect());
+        for func in [AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max] {
+            let (serial, sel_s) = crate::fused::theta_select_aggregate(
+                func,
+                &p,
+                &b,
+                None,
+                &Value::Int(20),
+                CmpOp::Lt,
+            )
+            .unwrap();
+            let (par, k, sel_p) =
+                theta_select_aggregate(func, &p, &b, None, &Value::Int(20), CmpOp::Lt, &force(6))
+                    .unwrap();
+            assert_eq!(k, 6, "{func:?}");
+            assert_eq!(par, serial, "{func:?}");
+            assert_eq!(sel_p, sel_s, "{func:?}");
+            let cand = Candidates::from_vec((0..1500).step_by(2).collect());
+            let serial_pa = crate::fused::project_aggregate(func, &p, &cand).unwrap();
+            let (par_pa, _) = project_aggregate(func, &p, &cand, &force(5)).unwrap();
+            assert_eq!(par_pa, serial_pa, "{func:?}");
+        }
+        // AVG stays serial for float determinism.
+        let (_, k, _) = theta_select_aggregate(
+            AggFunc::Avg,
+            &p,
+            &b,
+            None,
+            &Value::Int(20),
+            CmpOp::Lt,
+            &force(6),
+        )
+        .unwrap();
+        assert_eq!(k, 1);
+    }
+
+    #[test]
+    fn parallel_fused_sum_overflow_matches_serial() {
+        let b = Bat::from_ints(vec![1; 300]);
+        let mut vals = vec![0i64; 300];
+        vals[0] = i64::MAX;
+        vals[299] = i64::MAX;
+        let p = Bat::from_lngs(vals);
+        let serial = crate::fused::theta_select_aggregate(
+            AggFunc::Sum,
+            &p,
+            &b,
+            None,
+            &Value::Int(0),
+            CmpOp::Gt,
+        )
+        .unwrap_err();
+        let par = theta_select_aggregate(
+            AggFunc::Sum,
+            &p,
+            &b,
+            None,
+            &Value::Int(0),
+            CmpOp::Gt,
+            &force(4),
+        )
+        .unwrap_err();
         assert_eq!(par, serial);
     }
 

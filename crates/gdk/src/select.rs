@@ -53,82 +53,129 @@ pub fn rangeselect(
     hi_incl: bool,
     anti: bool,
 ) -> Result<Candidates> {
-    // Fast path: int BAT with integral bounds.
+    // Monomorphized per-shape scans: the hot path must not pay a virtual
+    // call per element (the boxed [`range_pred`] exists for the fused
+    // kernels, where one dynamic predicate replaces a whole second scan).
     if let ColumnData::Int(vals) = b.data() {
         let lo_i = bound_as_i64(lo)?;
         let hi_i = bound_as_i64(hi)?;
-        let pred = |x: i32| -> bool {
-            if x == crate::types::INT_NIL {
-                return false;
-            }
-            let x = x as i64;
-            let ge = match lo_i {
-                None => true,
-                Some(l) => {
-                    if li {
-                        x >= l
-                    } else {
-                        x > l
-                    }
-                }
-            };
-            let le = match hi_i {
-                None => true,
-                Some(h) => {
-                    if hi_incl {
-                        x <= h
-                    } else {
-                        x < h
-                    }
-                }
-            };
-            (ge && le) != anti
-        };
-        return Ok(scan(b.len(), cand, |pos| pred(vals[pos])));
+        return Ok(scan(b.len(), cand, |pos| {
+            int_in_range(vals[pos], lo_i, hi_i, li, hi_incl, anti)
+        }));
     }
-    // Dense (void) BAT fast path: tails are oids seq..seq+len.
-    if let ColumnData::Void { seq, len } = b.data() {
+    if let ColumnData::Void { seq, .. } = b.data() {
         let lo_i = bound_as_i64(lo)?;
         let hi_i = bound_as_i64(hi)?;
-        let (seq, len) = (*seq as i64, *len);
-        let pred = |pos: usize| -> bool {
-            let x = seq + pos as i64;
-            let ge = lo_i.is_none_or(|l| if li { x >= l } else { x > l });
-            let le = hi_i.is_none_or(|h| if hi_incl { x <= h } else { x < h });
-            (ge && le) != anti
-        };
-        return Ok(scan(len, cand, pred));
+        let seq = *seq as i64;
+        return Ok(scan(b.len(), cand, |pos| {
+            i64_in_range(seq + pos as i64, lo_i, hi_i, li, hi_incl, anti)
+        }));
     }
-    // Generic path via boxed values.
-    let pred = |pos: usize| -> bool {
-        let v = b.get(pos);
-        if v.is_null() {
-            return false;
-        }
-        let ge = if lo.is_null() {
-            true
-        } else {
-            match v.sql_cmp(lo) {
-                Some(Ordering::Greater) => true,
-                Some(Ordering::Equal) => li,
-                _ => false,
-            }
-        };
-        let le = if hi.is_null() {
-            true
-        } else {
-            match v.sql_cmp(hi) {
-                Some(Ordering::Less) => true,
-                Some(Ordering::Equal) => hi_incl,
-                _ => false,
-            }
-        };
-        (ge && le) != anti
-    };
-    Ok(scan(b.len(), cand, pred))
+    Ok(scan(b.len(), cand, |pos| {
+        generic_in_range(&b.get(pos), lo, hi, li, hi_incl, anti)
+    }))
 }
 
-fn bound_as_i64(v: &Value) -> Result<Option<i64>> {
+/// Int-column element test (nil sentinel never qualifies).
+#[inline]
+pub(crate) fn int_in_range(
+    x: i32,
+    lo_i: Option<i64>,
+    hi_i: Option<i64>,
+    li: bool,
+    hi_incl: bool,
+    anti: bool,
+) -> bool {
+    if x == crate::types::INT_NIL {
+        return false;
+    }
+    i64_in_range(x as i64, lo_i, hi_i, li, hi_incl, anti)
+}
+
+/// Integral range test shared by the int and void fast paths.
+#[inline]
+pub(crate) fn i64_in_range(
+    x: i64,
+    lo_i: Option<i64>,
+    hi_i: Option<i64>,
+    li: bool,
+    hi_incl: bool,
+    anti: bool,
+) -> bool {
+    let ge = lo_i.is_none_or(|l| if li { x >= l } else { x > l });
+    let le = hi_i.is_none_or(|h| if hi_incl { x <= h } else { x < h });
+    (ge && le) != anti
+}
+
+/// Generic (boxed-value) range test.
+#[inline]
+pub(crate) fn generic_in_range(
+    v: &Value,
+    lo: &Value,
+    hi: &Value,
+    li: bool,
+    hi_incl: bool,
+    anti: bool,
+) -> bool {
+    if v.is_null() {
+        return false;
+    }
+    let ge = if lo.is_null() {
+        true
+    } else {
+        match v.sql_cmp(lo) {
+            Some(Ordering::Greater) => true,
+            Some(Ordering::Equal) => li,
+            _ => false,
+        }
+    };
+    let le = if hi.is_null() {
+        true
+    } else {
+        match v.sql_cmp(hi) {
+            Some(Ordering::Less) => true,
+            Some(Ordering::Equal) => hi_incl,
+            _ => false,
+        }
+    };
+    (ge && le) != anti
+}
+
+/// Build the per-position range predicate over `b` as one boxed closure —
+/// used by the fused select→project / select→aggregate kernels, which
+/// interleave the test with a typed payload walk (there the single
+/// dynamic call replaces an entire second scan). The per-element logic is
+/// the same `*_in_range` helpers [`rangeselect`] monomorphizes, so the
+/// qualifying sets cannot drift.
+pub(crate) fn range_pred<'a>(
+    b: &'a Bat,
+    lo: &'a Value,
+    hi: &'a Value,
+    li: bool,
+    hi_incl: bool,
+    anti: bool,
+) -> Result<Box<dyn Fn(usize) -> bool + Send + Sync + 'a>> {
+    if let ColumnData::Int(vals) = b.data() {
+        let lo_i = bound_as_i64(lo)?;
+        let hi_i = bound_as_i64(hi)?;
+        return Ok(Box::new(move |pos: usize| {
+            int_in_range(vals[pos], lo_i, hi_i, li, hi_incl, anti)
+        }));
+    }
+    if let ColumnData::Void { seq, .. } = b.data() {
+        let lo_i = bound_as_i64(lo)?;
+        let hi_i = bound_as_i64(hi)?;
+        let seq = *seq as i64;
+        return Ok(Box::new(move |pos: usize| {
+            i64_in_range(seq + pos as i64, lo_i, hi_i, li, hi_incl, anti)
+        }));
+    }
+    Ok(Box::new(move |pos: usize| {
+        generic_in_range(&b.get(pos), lo, hi, li, hi_incl, anti)
+    }))
+}
+
+pub(crate) fn bound_as_i64(v: &Value) -> Result<Option<i64>> {
     if v.is_null() {
         return Ok(None);
     }

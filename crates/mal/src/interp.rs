@@ -119,6 +119,11 @@ pub struct ExecStats {
     pub par_instructions: usize,
     /// Largest worker-thread count any instruction used.
     pub max_threads: usize,
+    /// Intermediate results (candidate lists, projected BATs) the fused
+    /// kernels skipped materialising.
+    pub intermediates_avoided: usize,
+    /// Approximate bytes those intermediates would have occupied.
+    pub bytes_not_materialized: usize,
     /// Per executed instruction: qualified primitive name and the number
     /// of worker threads its kernel used (1 = serial).
     pub per_instr_threads: Vec<(String, usize)>,
@@ -158,12 +163,14 @@ impl<'a> Interpreter<'a> {
         let mut env: Vec<Option<MalValue>> = vec![None; prog.vars.len()];
         let mut stats = ExecStats::default();
         for ins in &prog.instrs {
-            let (outs, threads) = self.exec_instr(prog, ins, &env)?;
+            let (outs, threads, (avoided, avoided_bytes)) = self.exec_instr(prog, ins, &env)?;
             stats.instructions += 1;
             stats.max_threads = stats.max_threads.max(threads);
             if threads > 1 {
                 stats.par_instructions += 1;
             }
+            stats.intermediates_avoided += avoided;
+            stats.bytes_not_materialized += avoided_bytes;
             stats.per_instr_threads.push((ins.qualified(), threads));
             if outs.len() != ins.results.len() {
                 return Err(MalError::msg(format!(
@@ -195,7 +202,7 @@ impl<'a> Interpreter<'a> {
         prog: &Program,
         ins: &Instr,
         env: &[Option<MalValue>],
-    ) -> Result<(Vec<MalValue>, usize)> {
+    ) -> Result<(Vec<MalValue>, usize, (usize, usize))> {
         let mut args: Vec<MalValue> = Vec::with_capacity(ins.args.len());
         for a in &ins.args {
             match a {
@@ -224,7 +231,7 @@ impl<'a> Interpreter<'a> {
             let (Value::Str(obj), Value::Str(col)) = (obj, col) else {
                 return Err(MalError::msg("sql.bind arguments must be strings"));
             };
-            return Ok((vec![self.binder.bind(&obj, &col)?], 1));
+            return Ok((vec![self.binder.bind(&obj, &col)?], 1, (0, 0)));
         }
         let prim = self.registry.lookup(&ins.module, &ins.function)?;
         // Only instructions the code generator marked parallel-safe see
@@ -236,7 +243,7 @@ impl<'a> Interpreter<'a> {
         };
         let outs =
             prim(&args, &ctx).map_err(|e| MalError::msg(format!("{}: {e}", ins.qualified())))?;
-        Ok((outs, ctx.threads_used()))
+        Ok((outs, ctx.threads_used(), ctx.avoided()))
     }
 }
 

@@ -88,15 +88,24 @@ impl Instr {
 pub fn parallel_safe(module: &str, function: &str) -> bool {
     matches!(
         (module, function),
-        ("algebra", "thetaselect" | "select" | "projection")
-            | (
-                "batcalc",
-                "add" | "sub" | "mul" | "div" | "mod" | "eq" | "ne" | "lt" | "le" | "gt" | "ge"
-            )
-            | ("group", "group" | "subgroup")
+        (
+            "algebra",
+            "thetaselect" | "select" | "projection" | "selectproject"
+        ) | (
+            "batcalc",
+            "add" | "sub" | "mul" | "div" | "mod" | "eq" | "ne" | "lt" | "le" | "gt" | "ge"
+        ) | ("group", "group" | "subgroup")
             | (
                 "aggr",
-                "subsum" | "subcount" | "submin" | "submax" | "sum" | "count" | "min" | "max"
+                "subsum"
+                    | "subcount"
+                    | "submin"
+                    | "submax"
+                    | "sum"
+                    | "count"
+                    | "min"
+                    | "max"
+                    | "selectagg"
             )
     )
 }

@@ -12,7 +12,9 @@
 //! * [`prims`] — the standard library (`algebra`, `batcalc`, `group`,
 //!   `aggr`, `bat`, and the paper's new `array.series` / `array.filler`);
 //! * [`opt`] — the optimizer pipeline (constant folding, CSE, alias
-//!   removal, DCE) with per-pass ablation switches.
+//!   removal, DCE, candidate propagation, select→project and
+//!   select→aggregate kernel fusion) with per-pass ablation switches and
+//!   a coarse `opt_level` selector.
 
 #![warn(missing_docs)]
 
@@ -24,7 +26,7 @@ pub mod registry;
 
 pub use interp::{Binder, EmptyBinder, ExecStats, Interpreter, MalValue};
 pub use ir::{Arg, Instr, MalType, Program, VarId};
-pub use opt::{optimise, OptConfig, OptReport};
+pub use opt::{optimise, OptConfig, PassStats};
 pub use registry::Registry;
 
 use std::fmt;

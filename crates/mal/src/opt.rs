@@ -1,8 +1,8 @@
 //! MAL optimizer pipeline.
 //!
 //! MonetDB runs a battery of MAL optimizers between the code generator and
-//! the interpreter (Fig 2 of the paper). We implement the four that matter
-//! for the SciQL workload:
+//! the interpreter (Fig 2 of the paper). We implement the passes that
+//! matter for the SciQL workload, in pipeline order:
 //!
 //! * **constant folding** — pure scalar primitives with constant arguments
 //!   are evaluated at optimization time;
@@ -10,17 +10,33 @@
 //!   compute once;
 //! * **alias removal** — `language.pass` identities are short-circuited;
 //! * **dead code elimination** — pure instructions whose results are never
-//!   used are dropped.
+//!   used are dropped;
+//! * **candidate propagation** — a scalar aggregate over
+//!   `algebra.projection(cand, col)` consumes the candidate list directly
+//!   (`aggr.f(col, cand)`), skipping the projected intermediate;
+//! * **select→project fusion** — a single-consumer `algebra.thetaselect`
+//!   feeding `algebra.projection` becomes one `algebra.selectproject`
+//!   instruction backed by the fused [`gdk::fused`] kernel, so the
+//!   candidate list is never materialised;
+//! * **select→aggregate fusion** — a single-consumer selection feeding a
+//!   scalar aggregate becomes one `aggr.selectagg` instruction: one scan,
+//!   no candidate list, no projected BAT.
+//!
+//! The pipeline is driven by [`OptConfig`] (per-pass ablation switches,
+//! or the coarse [`OptConfig::level`] exposed as `SessionConfig::opt_level`)
+//! and reports what it did in [`PassStats`].
 
 use crate::interp::MalValue;
-use crate::ir::{is_pure, Arg, Instr, Program, VarId};
+use crate::ir::{is_pure, parallel_safe, Arg, Instr, Program, VarId};
 use crate::registry::Registry;
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
-/// What each pass did (surfaced by the optimizer-ablation bench).
+/// What each pass did. Threaded through the engine's `LastExec` so the
+/// REPL's `\timing`, the net protocol's stats frame and the
+/// optimizer-ablation bench can surface it.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
-pub struct OptReport {
+pub struct PassStats {
     /// Instructions folded to constants.
     pub folded: usize,
     /// Instructions removed by CSE.
@@ -29,12 +45,27 @@ pub struct OptReport {
     pub aliases_removed: usize,
     /// Dead instructions removed.
     pub dead_removed: usize,
+    /// Candidate lists propagated into scalar aggregates.
+    pub candprop: usize,
+    /// `thetaselect`+`projection` pairs fused into `selectproject`.
+    pub select_project_fused: usize,
+    /// Selection→aggregate chains fused into `selectagg`.
+    pub select_aggregate_fused: usize,
+    /// MAL instructions before the pipeline ran.
+    pub instrs_before: usize,
+    /// MAL instructions after the pipeline ran.
+    pub instrs_after: usize,
 }
 
-impl OptReport {
-    /// Total instructions eliminated.
+impl PassStats {
+    /// Total instructions eliminated by the classic shrinking passes.
     pub fn total_removed(&self) -> usize {
         self.folded + self.cse_hits + self.aliases_removed + self.dead_removed
+    }
+
+    /// Rewrites that avoid materialising an intermediate at runtime.
+    pub fn fusions(&self) -> usize {
+        self.candprop + self.select_project_fused + self.select_aggregate_fused
     }
 }
 
@@ -49,6 +80,12 @@ pub struct OptConfig {
     pub alias: bool,
     /// Enable dead code elimination.
     pub dce: bool,
+    /// Enable candidate propagation into scalar aggregates.
+    pub candprop: bool,
+    /// Enable select→project fusion.
+    pub fuse_select_project: bool,
+    /// Enable select→aggregate fusion.
+    pub fuse_select_aggregate: bool,
 }
 
 impl Default for OptConfig {
@@ -58,25 +95,61 @@ impl Default for OptConfig {
             cse: true,
             alias: true,
             dce: true,
+            candprop: true,
+            fuse_select_project: true,
+            fuse_select_aggregate: true,
         }
     }
 }
 
 impl OptConfig {
-    /// All passes disabled (the ablation baseline).
+    /// All passes disabled (the ablation baseline, `opt_level = 0`).
     pub fn none() -> Self {
         OptConfig {
             constfold: false,
             cse: false,
             alias: false,
             dce: false,
+            candprop: false,
+            fuse_select_project: false,
+            fuse_select_aggregate: false,
+        }
+    }
+
+    /// The classic shrinking passes only — no rewrites that change which
+    /// kernels run (`opt_level = 1`).
+    pub fn classic() -> Self {
+        OptConfig {
+            candprop: false,
+            fuse_select_project: false,
+            fuse_select_aggregate: false,
+            ..OptConfig::default()
+        }
+    }
+
+    /// The full pipeline including candidate propagation and kernel
+    /// fusion (`opt_level = 2`, the default).
+    pub fn full() -> Self {
+        OptConfig::default()
+    }
+
+    /// Coarse pipeline selection: `0` = off, `1` = classic shrinking
+    /// passes, `2` (and above) = full pipeline with fusion.
+    pub fn level(level: u8) -> Self {
+        match level {
+            0 => OptConfig::none(),
+            1 => OptConfig::classic(),
+            _ => OptConfig::full(),
         }
     }
 }
 
 /// Run the configured pipeline in place; returns a report.
-pub fn optimise(prog: &mut Program, registry: &Registry, cfg: OptConfig) -> OptReport {
-    let mut report = OptReport::default();
+pub fn optimise(prog: &mut Program, registry: &Registry, cfg: OptConfig) -> PassStats {
+    let mut report = PassStats {
+        instrs_before: prog.instrs.len(),
+        ..PassStats::default()
+    };
     if cfg.constfold {
         report.folded = constfold(prog, registry);
     }
@@ -86,9 +159,27 @@ pub fn optimise(prog: &mut Program, registry: &Registry, cfg: OptConfig) -> OptR
     if cfg.alias {
         report.aliases_removed = alias_removal(prog);
     }
+    // DCE runs before the fusion passes so dead projections (columns a
+    // filter carried along that nothing reads) don't inflate candidate
+    // use counts and block fusion.
     if cfg.dce {
         report.dead_removed = dce(prog);
     }
+    if cfg.candprop {
+        report.candprop = candprop(prog);
+    }
+    if cfg.fuse_select_project {
+        report.select_project_fused = fuse_select_project(prog);
+    }
+    if cfg.fuse_select_aggregate {
+        report.select_aggregate_fused = fuse_select_aggregate(prog);
+    }
+    // Safety-net DCE after fusion (the fusion passes delete the producers
+    // they consumed themselves, so this is usually a no-op).
+    if cfg.dce && report.fusions() > 0 {
+        report.dead_removed += dce(prog);
+    }
+    report.instrs_after = prog.instrs.len();
     report
 }
 
@@ -268,6 +359,201 @@ fn dce(prog: &mut Program) -> usize {
     before - prog.instrs.len()
 }
 
+// ---------------------------------------------------------------------
+// Candidate propagation and kernel fusion
+// ---------------------------------------------------------------------
+
+/// Per-variable use count: argument reads plus program-result listings.
+fn use_counts(prog: &Program) -> Vec<usize> {
+    let mut counts = vec![0usize; prog.vars.len()];
+    for ins in &prog.instrs {
+        for u in Program::uses(ins) {
+            counts[u] += 1;
+        }
+    }
+    for (_, v) in &prog.results {
+        counts[*v] += 1;
+    }
+    counts
+}
+
+/// Per-variable producing instruction index (straight-line SSA: at most
+/// one producer).
+fn producers(prog: &Program) -> Vec<Option<usize>> {
+    let mut p = vec![None; prog.vars.len()];
+    for (i, ins) in prog.instrs.iter().enumerate() {
+        for &r in &ins.results {
+            p[r] = Some(i);
+        }
+    }
+    p
+}
+
+/// Is this a scalar aggregate function the fusion passes understand?
+fn scalar_agg(ins: &Instr) -> bool {
+    ins.module == "aggr"
+        && matches!(
+            ins.function.as_str(),
+            "sum" | "avg" | "count" | "min" | "max"
+        )
+}
+
+fn remove_instrs(prog: &mut Program, removed: &HashSet<usize>) {
+    if removed.is_empty() {
+        return;
+    }
+    let mut i = 0usize;
+    prog.instrs.retain(|_| {
+        let keep = !removed.contains(&i);
+        i += 1;
+        keep
+    });
+}
+
+/// Candidate propagation: `aggr.f(p)` where `p := algebra.projection(c,
+/// col)` is read only by this aggregate becomes `aggr.f(col, c)` — the
+/// aggregate walks the candidate list directly and the projected BAT is
+/// never materialised. The dead projection is removed here (its single
+/// consumer is gone).
+fn candprop(prog: &mut Program) -> usize {
+    let counts = use_counts(prog);
+    let producer = producers(prog);
+    let mut removed: HashSet<usize> = HashSet::new();
+    let mut edits: Vec<(usize, Vec<Arg>)> = Vec::new();
+    for (i, ins) in prog.instrs.iter().enumerate() {
+        if !scalar_agg(ins) || ins.args.len() != 1 {
+            continue;
+        }
+        let Arg::Var(p) = ins.args[0] else { continue };
+        if counts[p] != 1 {
+            continue; // someone else (or the result list) reads p
+        }
+        let Some(j) = producer[p] else { continue };
+        let pj = &prog.instrs[j];
+        if pj.module != "algebra" || pj.function != "projection" || pj.args.len() != 2 {
+            continue;
+        }
+        let Arg::Var(c) = pj.args[0] else { continue };
+        if prog.vars[c].ty != crate::ir::MalType::Cand {
+            continue; // oid-BAT projection (join result), not a candidate list
+        }
+        edits.push((i, vec![pj.args[1].clone(), Arg::Var(c)]));
+        removed.insert(j);
+    }
+    let hits = edits.len();
+    for (i, args) in edits {
+        prog.instrs[i].args = args;
+    }
+    remove_instrs(prog, &removed);
+    hits
+}
+
+/// Select→project fusion: `p := algebra.projection(c, payload)` where
+/// `c := algebra.thetaselect(…)` has no other reader becomes `p :=
+/// algebra.selectproject(…, payload)`; the selection instruction is
+/// removed and the candidate list never exists at runtime.
+fn fuse_select_project(prog: &mut Program) -> usize {
+    let counts = use_counts(prog);
+    let producer = producers(prog);
+    let mut removed: HashSet<usize> = HashSet::new();
+    let mut edits: Vec<(usize, Vec<Arg>)> = Vec::new();
+    for (i, ins) in prog.instrs.iter().enumerate() {
+        if ins.module != "algebra" || ins.function != "projection" || ins.args.len() != 2 {
+            continue;
+        }
+        let Arg::Var(c) = ins.args[0] else { continue };
+        if prog.vars[c].ty != crate::ir::MalType::Cand || counts[c] != 1 {
+            continue;
+        }
+        let Some(j) = producer[c] else { continue };
+        let theta = &prog.instrs[j];
+        if theta.module != "algebra" || theta.function != "thetaselect" {
+            continue;
+        }
+        // selectproject args = thetaselect args + payload.
+        let mut args = theta.args.clone();
+        args.push(ins.args[1].clone());
+        edits.push((i, args));
+        removed.insert(j);
+    }
+    let hits = edits.len();
+    for (i, args) in edits {
+        let ins = &mut prog.instrs[i];
+        ins.function = "selectproject".into();
+        ins.parallel_ok = parallel_safe("algebra", "selectproject");
+        ins.args = args;
+    }
+    remove_instrs(prog, &removed);
+    hits
+}
+
+/// Select→aggregate fusion. Two shapes feed it:
+///
+/// * `s := aggr.f(col, c)` (the candprop form) with `c :=
+///   algebra.thetaselect(…)` unread elsewhere;
+/// * `s := aggr.f(p)` with `p := algebra.selectproject(…, payload)`
+///   unread elsewhere (when candprop was ablated off but select→project
+///   fusion ran).
+///
+/// Both become `s := aggr.selectagg(f, payload, …)` — one scan, no
+/// candidate list, no projected BAT.
+fn fuse_select_aggregate(prog: &mut Program) -> usize {
+    let counts = use_counts(prog);
+    let producer = producers(prog);
+    let mut removed: HashSet<usize> = HashSet::new();
+    let mut edits: Vec<(usize, Vec<Arg>)> = Vec::new();
+    for (i, ins) in prog.instrs.iter().enumerate() {
+        if !scalar_agg(ins) {
+            continue;
+        }
+        let func = Arg::Const(gdk::Value::Str(ins.function.clone()));
+        match ins.args.as_slice() {
+            // aggr.f(payload, cand) — candprop already ran.
+            [payload, Arg::Var(c)] => {
+                if prog.vars[*c].ty != crate::ir::MalType::Cand || counts[*c] != 1 {
+                    continue;
+                }
+                let Some(j) = producer[*c] else { continue };
+                let theta = &prog.instrs[j];
+                if theta.module != "algebra" || theta.function != "thetaselect" {
+                    continue;
+                }
+                // selectagg args = (func, payload) + thetaselect args.
+                let mut args = vec![func, payload.clone()];
+                args.extend(theta.args.iter().cloned());
+                edits.push((i, args));
+                removed.insert(j);
+            }
+            // aggr.f(p) with p := selectproject(…, payload).
+            [Arg::Var(p)] => {
+                if counts[*p] != 1 {
+                    continue;
+                }
+                let Some(j) = producer[*p] else { continue };
+                let sp = &prog.instrs[j];
+                if sp.module != "algebra" || sp.function != "selectproject" {
+                    continue;
+                }
+                let (payload, theta_args) = sp.args.split_last().expect("selectproject args");
+                let mut args = vec![func, payload.clone()];
+                args.extend(theta_args.iter().cloned());
+                edits.push((i, args));
+                removed.insert(j);
+            }
+            _ => {}
+        }
+    }
+    let hits = edits.len();
+    for (i, args) in edits {
+        let ins = &mut prog.instrs[i];
+        ins.function = "selectagg".into();
+        ins.parallel_ok = parallel_safe("aggr", "selectagg");
+        ins.args = args;
+    }
+    remove_instrs(prog, &removed);
+    hits
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,10 +637,8 @@ mod tests {
             &mut p,
             &reg,
             OptConfig {
-                constfold: false,
                 cse: true,
-                alias: false,
-                dce: false,
+                ..OptConfig::none()
             },
         );
         assert_eq!(report.cse_hits, 1, "y duplicates x");
@@ -410,13 +694,203 @@ mod tests {
             &mut p,
             &reg,
             OptConfig {
-                constfold: false,
-                cse: false,
                 alias: true,
                 dce: true,
+                ..OptConfig::none()
             },
         );
         assert_eq!(p.instrs.len(), 2, "add + filler remain");
         assert_eq!(p.instrs[1].args[1], Arg::Var(a));
+    }
+
+    /// bind-free stand-in for a compiled `SELECT f(v) FROM t WHERE x > 1`:
+    /// fillers for the columns, a theta chain, projections, an aggregate.
+    fn select_agg_program(agg: &str) -> Program {
+        let mut p = Program::new("fs");
+        let x = p.emit(
+            "array",
+            "filler",
+            vec![Arg::Const(Value::Lng(6)), Arg::Const(Value::Int(2))],
+            MalType::Bat(ScalarType::Int),
+        );
+        let v = p.emit(
+            "array",
+            "series",
+            vec![
+                Arg::Const(Value::Int(0)),
+                Arg::Const(Value::Int(1)),
+                Arg::Const(Value::Int(6)),
+                Arg::Const(Value::Lng(6)),
+                Arg::Const(Value::Lng(1)),
+            ],
+            MalType::Bat(ScalarType::Int),
+        );
+        let c = p.emit(
+            "algebra",
+            "thetaselect",
+            vec![
+                Arg::Var(x),
+                Arg::Const(Value::Int(1)),
+                Arg::Const(Value::Str(">".into())),
+            ],
+            MalType::Cand,
+        );
+        let pv = p.emit(
+            "algebra",
+            "projection",
+            vec![Arg::Var(c), Arg::Var(v)],
+            MalType::Bat(ScalarType::Int),
+        );
+        let s = p.emit(
+            "aggr",
+            agg,
+            vec![Arg::Var(pv)],
+            MalType::Scalar(ScalarType::Lng),
+        );
+        p.add_result("s", s);
+        p
+    }
+
+    #[test]
+    fn candprop_rewrites_aggregate_over_projection() {
+        let reg = default_registry();
+        let mut p = select_agg_program("sum");
+        let report = optimise(
+            &mut p,
+            &reg,
+            OptConfig {
+                candprop: true,
+                ..OptConfig::none()
+            },
+        );
+        assert_eq!(report.candprop, 1);
+        let text = p.to_text();
+        assert!(!text.contains("algebra.projection"), "{text}");
+        assert!(text.contains("aggr.sum"), "{text}");
+        // The aggregate now takes (payload, cand).
+        let agg = p.instrs.iter().find(|i| i.function == "sum").unwrap();
+        assert_eq!(agg.args.len(), 2);
+    }
+
+    #[test]
+    fn select_project_fuses_single_consumer_only() {
+        let reg = default_registry();
+        // Single consumer: fuses.
+        let mut p = select_agg_program("sum");
+        let report = optimise(
+            &mut p,
+            &reg,
+            OptConfig {
+                fuse_select_project: true,
+                ..OptConfig::none()
+            },
+        );
+        assert_eq!(report.select_project_fused, 1);
+        let text = p.to_text();
+        assert!(text.contains("algebra.selectproject"), "{text}");
+        assert!(!text.contains("thetaselect"), "{text}");
+        // Two consumers: the candidate list stays shared, no fusion.
+        let mut p2 = select_agg_program("sum");
+        let c = match p2.instrs[2].results.as_slice() {
+            [c] => *c,
+            _ => unreachable!(),
+        };
+        let extra = p2.emit(
+            "algebra",
+            "projection",
+            vec![Arg::Var(c), Arg::Var(0)],
+            MalType::Bat(ScalarType::Int),
+        );
+        p2.add_result("extra", extra);
+        let report = optimise(
+            &mut p2,
+            &reg,
+            OptConfig {
+                fuse_select_project: true,
+                ..OptConfig::none()
+            },
+        );
+        assert_eq!(report.select_project_fused, 0);
+    }
+
+    #[test]
+    fn full_pipeline_fuses_select_aggregate() {
+        let reg = default_registry();
+        for agg in ["sum", "count", "min", "max", "avg"] {
+            let mut p = select_agg_program(agg);
+            let plain = {
+                let interp = Interpreter::new(&reg, &EmptyBinder);
+                interp.run(&p).unwrap()
+            };
+            let report = optimise(&mut p, &reg, OptConfig::full());
+            assert_eq!(report.fusions(), 2, "{agg}: candprop then selectagg");
+            let text = p.to_text();
+            assert!(text.contains("aggr.selectagg"), "{agg}: {text}");
+            assert!(!text.contains("thetaselect"), "{agg}: {text}");
+            assert!(!text.contains("projection"), "{agg}: {text}");
+            let interp = Interpreter::new(&reg, &EmptyBinder);
+            let opt = interp.run(&p).unwrap();
+            assert_eq!(
+                plain[0].1.as_scalar().unwrap(),
+                opt[0].1.as_scalar().unwrap(),
+                "{agg}"
+            );
+        }
+    }
+
+    #[test]
+    fn fusion_without_candprop_goes_through_selectproject() {
+        let reg = default_registry();
+        let mut p = select_agg_program("count");
+        let report = optimise(
+            &mut p,
+            &reg,
+            OptConfig {
+                fuse_select_project: true,
+                fuse_select_aggregate: true,
+                ..OptConfig::none()
+            },
+        );
+        assert_eq!(report.select_project_fused, 1);
+        assert_eq!(report.select_aggregate_fused, 1);
+        assert!(p.to_text().contains("aggr.selectagg"), "{}", p.to_text());
+    }
+
+    #[test]
+    fn opt_levels_select_pass_sets() {
+        assert_eq!(OptConfig::level(0), OptConfig::none());
+        assert_eq!(OptConfig::level(1), OptConfig::classic());
+        assert_eq!(OptConfig::level(2), OptConfig::full());
+        assert_eq!(OptConfig::level(9), OptConfig::full());
+        assert!(!OptConfig::classic().candprop);
+        assert!(OptConfig::classic().dce);
+    }
+
+    #[test]
+    fn shared_projection_keeps_both_readers_correct() {
+        let reg = default_registry();
+        let mut p = select_agg_program("sum");
+        // A second aggregate over the same projection: candprop must not
+        // claim it (two readers), and whatever the later passes do the
+        // answers must not change.
+        let pv = match p.instrs[3].results.as_slice() {
+            [pv] => *pv,
+            _ => unreachable!(),
+        };
+        let s2 = p.emit(
+            "aggr",
+            "count",
+            vec![Arg::Var(pv)],
+            MalType::Scalar(ScalarType::Lng),
+        );
+        p.add_result("n", s2);
+        let interp = Interpreter::new(&reg, &EmptyBinder);
+        let plain = interp.run(&p).unwrap();
+        let report = optimise(&mut p, &reg, OptConfig::full());
+        assert_eq!(report.candprop, 0, "projection has two readers");
+        let opt = interp.run(&p).unwrap();
+        for (a, b) in plain.iter().zip(&opt) {
+            assert_eq!(a.1.as_scalar().unwrap(), b.1.as_scalar().unwrap());
+        }
     }
 }

@@ -7,7 +7,7 @@ use gdk::arith::CmpOp;
 use gdk::candidates::Candidates;
 use gdk::{join, project, select, sort, Bat, Value};
 
-fn cmp_from_str(s: &str) -> Result<CmpOp> {
+pub(crate) fn cmp_from_str(s: &str) -> Result<CmpOp> {
     Ok(match s {
         "==" | "=" => CmpOp::Eq,
         "!=" | "<>" => CmpOp::Ne,
@@ -118,6 +118,36 @@ pub fn register(r: &mut Registry) {
             m,
             cand.as_deref(),
         )?)])
+    });
+
+    // algebra.selectproject(b, [cand,] val, op:str, payload) :bat — fused
+    // thetaselect + projection: the candidate list is never materialised.
+    // Emitted by the optimizer's select→project fusion pass.
+    r.register("algebra", "selectproject", |args, ctx| {
+        let b = args
+            .first()
+            .ok_or_else(|| MalError::msg("selectproject: missing BAT"))?
+            .as_bat()?;
+        let (cand, val_i) = if args.len() == 5 {
+            (opt_cand(args, 1)?, 2)
+        } else if args.len() == 4 {
+            (None, 1)
+        } else {
+            return Err(MalError::msg("selectproject takes 4 or 5 arguments"));
+        };
+        let val = args[val_i].as_scalar()?;
+        let Value::Str(op) = args[val_i + 1].as_scalar()? else {
+            return Err(MalError::msg("selectproject operator must be a string"));
+        };
+        let op = cmp_from_str(op)?;
+        let payload = args[val_i + 2].as_bat()?;
+        let (out, threads) =
+            gdk::par::theta_select_project(b, cand.as_deref(), val, op, payload, &ctx.par)?;
+        ctx.note_threads(threads);
+        // The unfused pair would have materialised one candidate list of
+        // the qualifying oids.
+        ctx.note_avoided(1, out.len() * std::mem::size_of::<gdk::Oid>());
+        Ok(vec![MalValue::bat(out)])
     });
 
     // algebra.projection(cand|oidbat, b) :bat

@@ -20,14 +20,88 @@ fn register_subagg(r: &mut Registry, name: &'static str, func: AggFunc) {
 }
 
 fn register_scalaragg(r: &mut Registry, name: &'static str, func: AggFunc) {
-    // aggr.X(vals:bat) :scalar
+    // aggr.X(vals:bat [, cand]) :scalar — with a candidate list the
+    // aggregate runs over the candidate positions directly (the
+    // optimizer's candidate-propagation pass rewrites
+    // `aggr.X(projection(cand, vals))` into this form, skipping the
+    // projected intermediate).
     r.register("aggr", name, move |args, ctx| {
-        if args.len() != 1 {
-            return Err(MalError::msg("scalar aggregate takes (vals)"));
+        let vals = args
+            .first()
+            .ok_or_else(|| MalError::msg("scalar aggregate takes (vals [, cand])"))?
+            .as_bat()?;
+        match args.len() {
+            1 => {
+                let (out, threads) = gdk::par::scalar(func, vals, &ctx.par)?;
+                ctx.note_threads(threads);
+                Ok(vec![MalValue::Scalar(out)])
+            }
+            2 => {
+                let cand = args[1].as_cand()?;
+                let (out, threads) = gdk::par::project_aggregate(func, vals, cand, &ctx.par)?;
+                ctx.note_threads(threads);
+                ctx.note_avoided(1, cand.len() * gdk::fused::elem_width(vals.tail_type()));
+                Ok(vec![MalValue::Scalar(out)])
+            }
+            _ => Err(MalError::msg("scalar aggregate takes (vals [, cand])")),
         }
-        let vals = args[0].as_bat()?;
-        let (out, threads) = gdk::par::scalar(func, vals, &ctx.par)?;
+    });
+}
+
+/// `aggr.selectagg(func:str, payload, b, [cand,] val, op:str)` :scalar —
+/// the fully fused select→project→aggregate: neither the candidate list
+/// nor the projected payload BAT is materialised. Emitted by the
+/// optimizer's select→aggregate fusion pass.
+fn register_selectagg(r: &mut Registry) {
+    r.register("aggr", "selectagg", |args, ctx| {
+        let Some(MalValue::Scalar(gdk::Value::Str(fname))) = args.first() else {
+            return Err(MalError::msg(
+                "selectagg: first argument names the function",
+            ));
+        };
+        let func = AggFunc::from_name(fname)
+            .ok_or_else(|| MalError::msg(format!("selectagg: unknown aggregate {fname:?}")))?;
+        let payload = args
+            .get(1)
+            .ok_or_else(|| MalError::msg("selectagg: missing payload"))?
+            .as_bat()?;
+        let b = args
+            .get(2)
+            .ok_or_else(|| MalError::msg("selectagg: missing selection BAT"))?
+            .as_bat()?;
+        let (cand, val_i) = if args.len() == 6 {
+            (
+                match &args[3] {
+                    MalValue::Cand(c) => Some(c.clone()),
+                    other => {
+                        return Err(MalError::msg(format!(
+                            "selectagg candidate must be a candidate list, got {}",
+                            other.kind()
+                        )))
+                    }
+                },
+                4,
+            )
+        } else if args.len() == 5 {
+            (None, 3)
+        } else {
+            return Err(MalError::msg("selectagg takes 5 or 6 arguments"));
+        };
+        let val = args[val_i].as_scalar()?;
+        let gdk::Value::Str(opname) = args[val_i + 1].as_scalar()? else {
+            return Err(MalError::msg("selectagg operator must be a string"));
+        };
+        let op = crate::prims::algebra::cmp_from_str(opname)?;
+        let (out, threads, selected) =
+            gdk::par::theta_select_aggregate(func, payload, b, cand.as_deref(), val, op, &ctx.par)?;
         ctx.note_threads(threads);
+        // The unfused chain would have materialised the candidate list
+        // plus the projected payload BAT.
+        ctx.note_avoided(
+            2,
+            selected
+                * (std::mem::size_of::<gdk::Oid>() + gdk::fused::elem_width(payload.tail_type())),
+        );
         Ok(vec![MalValue::Scalar(out)])
     });
 }
@@ -110,6 +184,7 @@ pub fn register(r: &mut Registry) {
     register_scalaragg(r, "count", AggFunc::Count);
     register_scalaragg(r, "min", AggFunc::Min);
     register_scalaragg(r, "max", AggFunc::Max);
+    register_selectagg(r);
 }
 
 #[cfg(test)]

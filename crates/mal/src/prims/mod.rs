@@ -7,7 +7,7 @@
 //! * `batcalc` / `calc` — element-wise and scalar arithmetic;
 //! * `bat` — BAT construction and (side-effecting) updates.
 
-mod algebra;
+pub(crate) mod algebra;
 mod array;
 mod batcalc;
 mod batmod;

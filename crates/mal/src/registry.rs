@@ -17,6 +17,8 @@ pub struct ExecCtx {
     /// [`ParConfig::serial`].
     pub par: ParConfig,
     threads_used: Cell<usize>,
+    avoided_intermediates: Cell<usize>,
+    avoided_bytes: Cell<usize>,
 }
 
 impl ExecCtx {
@@ -25,6 +27,8 @@ impl ExecCtx {
         ExecCtx {
             par,
             threads_used: Cell::new(1),
+            avoided_intermediates: Cell::new(0),
+            avoided_bytes: Cell::new(0),
         }
     }
 
@@ -42,6 +46,21 @@ impl ExecCtx {
     /// context (1 when everything ran serially).
     pub fn threads_used(&self) -> usize {
         self.threads_used.get()
+    }
+
+    /// Record that a fused kernel skipped materialising `intermediates`
+    /// intermediate results totalling roughly `bytes` bytes (candidate
+    /// lists, projected payload BATs). Collected into
+    /// [`crate::interp::ExecStats`].
+    pub fn note_avoided(&self, intermediates: usize, bytes: usize) {
+        self.avoided_intermediates
+            .set(self.avoided_intermediates.get() + intermediates);
+        self.avoided_bytes.set(self.avoided_bytes.get() + bytes);
+    }
+
+    /// `(intermediates, bytes)` this instruction avoided materialising.
+    pub fn avoided(&self) -> (usize, usize) {
+        (self.avoided_intermediates.get(), self.avoided_bytes.get())
     }
 }
 

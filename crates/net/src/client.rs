@@ -182,6 +182,23 @@ impl Client {
         })
     }
 
+    /// Execution report for this session's most recent statement: the
+    /// interpreter counters and the optimizer pipeline's pass summary
+    /// (what a local `LastExec` would show).
+    pub fn last_stats(&mut self) -> NetResult<proto::ExecReport> {
+        self.exchange(|c| {
+            proto::write_frame(&mut c.stream, &proto::bare(Op::Stats))?;
+            let frame = c.expect_frame()?;
+            match proto::split(&frame)? {
+                (Op::StatsReply, body) => proto::read_stats_reply(body),
+                (Op::Error, body) => Err(NetError::Server(read_error(body))),
+                (op, _) => Err(NetError::protocol(format!(
+                    "expected StatsReply, got {op:?}"
+                ))),
+            }
+        })
+    }
+
     /// Ask the server to shut down gracefully (in-flight statements of
     /// other sessions finish first).
     pub fn shutdown_server(mut self) -> NetResult<()> {

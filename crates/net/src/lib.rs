@@ -39,5 +39,5 @@ pub mod proto;
 pub mod server;
 
 pub use client::{Client, NetReply};
-pub use proto::{NetError, NetResult, PROTO_VERSION};
+pub use proto::{ExecReport, NetError, NetResult, PROTO_VERSION};
 pub use server::{Server, ServerConfig, ServerHandle};

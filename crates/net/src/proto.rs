@@ -18,7 +18,8 @@
 //!   0x05 Ping                            0x85 ResultPage    <ResultSet::encode_page>
 //!   0x06 Close                           0x86 ResultDone    rows:u64 pages:u32
 //!   0x07 Shutdown                        0x87 Pong
-//!                                        0x88 Ok       (Prepare/Shutdown ack)
+//!   0x08 Stats                           0x88 Ok       (Prepare/Shutdown ack)
+//!                                        0x89 StatsReply    9×u64 (see [`ExecReport`])
 //! ```
 //!
 //! A query answer is either one `Error`, one `Affected`, or a
@@ -32,8 +33,8 @@ use std::io::{self, Read, Write};
 /// Protocol version spoken by this build. A server answers a `Hello`
 /// carrying a *newer* version with the highest version it speaks; the
 /// client decides whether to continue (our client requires an exact
-/// match).
-pub const PROTO_VERSION: u16 = 1;
+/// match). Version 2 added `Stats`/`StatsReply`.
+pub const PROTO_VERSION: u16 = 2;
 
 /// Upper bound on a single frame (64 MiB): a defence against a corrupt
 /// or hostile length prefix allocating unbounded memory, not a result
@@ -62,6 +63,8 @@ pub enum Op {
     Close = 0x06,
     /// Ask the server to shut down gracefully.
     Shutdown = 0x07,
+    /// Request the session's last-statement execution report.
+    Stats = 0x08,
     /// Server handshake answer.
     HelloOk = 0x81,
     /// Statement (or protocol) failure; the session survives.
@@ -78,6 +81,8 @@ pub enum Op {
     Pong = 0x87,
     /// Generic acknowledgement.
     Ok = 0x88,
+    /// Execution report for the session's most recent statement.
+    StatsReply = 0x89,
 }
 
 impl Op {
@@ -91,6 +96,7 @@ impl Op {
             0x05 => Op::Ping,
             0x06 => Op::Close,
             0x07 => Op::Shutdown,
+            0x08 => Op::Stats,
             0x81 => Op::HelloOk,
             0x82 => Op::Error,
             0x83 => Op::Affected,
@@ -99,6 +105,7 @@ impl Op {
             0x86 => Op::ResultDone,
             0x87 => Op::Pong,
             0x88 => Op::Ok,
+            0x89 => Op::StatsReply,
             _ => return None,
         })
     }
@@ -318,6 +325,71 @@ pub fn affected(n: u64) -> Vec<u8> {
     let mut p = vec![Op::Affected as u8];
     gdk::codec::put_u64(&mut p, n);
     p
+}
+
+/// Execution report for a session's most recent statement, as carried by
+/// `StatsReply`: the interpreter counters plus the optimizer pipeline's
+/// `PassStats` highlights, so a remote `\timing` shows the same numbers
+/// as an embedded one.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecReport {
+    /// MAL instructions executed.
+    pub instructions: u64,
+    /// Instructions that ran with more than one worker thread.
+    pub par_instructions: u64,
+    /// Largest worker-thread count any instruction used.
+    pub max_threads: u64,
+    /// MAL instructions before the optimizer pipeline.
+    pub instrs_before_opt: u64,
+    /// MAL instructions after the optimizer pipeline.
+    pub instrs_after_opt: u64,
+    /// Instructions eliminated by the shrinking passes.
+    pub eliminated: u64,
+    /// Fusion rewrites applied (candprop + select→project + select→aggregate).
+    pub fused: u64,
+    /// Intermediates the fused kernels never materialised.
+    pub intermediates_avoided: u64,
+    /// Approximate bytes those intermediates would have occupied.
+    pub bytes_not_materialized: u64,
+}
+
+/// `StatsReply` payload.
+pub fn stats_reply(report: &ExecReport) -> Vec<u8> {
+    let mut p = vec![Op::StatsReply as u8];
+    for v in [
+        report.instructions,
+        report.par_instructions,
+        report.max_threads,
+        report.instrs_before_opt,
+        report.instrs_after_opt,
+        report.eliminated,
+        report.fused,
+        report.intermediates_avoided,
+        report.bytes_not_materialized,
+    ] {
+        gdk::codec::put_u64(&mut p, v);
+    }
+    p
+}
+
+/// Decode a `StatsReply` body.
+pub fn read_stats_reply(body: &[u8]) -> NetResult<ExecReport> {
+    let mut r = gdk::codec::Reader::new(body);
+    let mut next = || {
+        r.u64()
+            .map_err(|_| NetError::protocol("malformed StatsReply"))
+    };
+    Ok(ExecReport {
+        instructions: next()?,
+        par_instructions: next()?,
+        max_threads: next()?,
+        instrs_before_opt: next()?,
+        instrs_after_opt: next()?,
+        eliminated: next()?,
+        fused: next()?,
+        intermediates_avoided: next()?,
+        bytes_not_materialized: next()?,
+    })
 }
 
 /// `ResultDone` payload.

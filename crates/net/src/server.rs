@@ -303,6 +303,21 @@ fn session_loop(
         }
         let ok = match op {
             Op::Ping => proto::write_frame(stream, &proto::bare(Op::Pong)).is_ok(),
+            Op::Stats => {
+                let last = session.last_exec();
+                let report = proto::ExecReport {
+                    instructions: last.exec.instructions as u64,
+                    par_instructions: last.exec.par_instructions as u64,
+                    max_threads: last.exec.max_threads as u64,
+                    instrs_before_opt: last.instrs_before_opt as u64,
+                    instrs_after_opt: last.instrs_after_opt as u64,
+                    eliminated: last.opt.total_removed() as u64,
+                    fused: last.opt.fusions() as u64,
+                    intermediates_avoided: last.exec.intermediates_avoided as u64,
+                    bytes_not_materialized: last.exec.bytes_not_materialized as u64,
+                };
+                proto::write_frame(stream, &proto::stats_reply(&report)).is_ok()
+            }
             Op::Close => return SessionEnd::Closed,
             Op::Shutdown => {
                 shared.shutdown.store(true, Ordering::SeqCst);

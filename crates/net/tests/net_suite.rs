@@ -79,6 +79,37 @@ fn statement_roundtrips() {
 
 /// Small-page streaming: many pages reassemble exactly.
 #[test]
+fn stats_frame_reports_last_execution() {
+    let handle = Server::bind(SharedEngine::in_memory(), "127.0.0.1:0")
+        .unwrap()
+        .serve()
+        .unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    // Before any statement: an all-zero report, not an error.
+    let empty = c.last_stats().unwrap();
+    assert_eq!(empty.instructions, 0);
+    c.execute("CREATE ARRAY m (x INT DIMENSION[0:1:8], y INT DIMENSION[0:1:8], v INT DEFAULT 0)")
+        .unwrap();
+    c.execute("UPDATE m SET v = x + y").unwrap();
+    c.query("SELECT SUM(v) FROM m WHERE x > 2").unwrap();
+    let stats = c.last_stats().unwrap();
+    assert!(stats.instructions > 0);
+    assert!(
+        stats.instrs_after_opt < stats.instrs_before_opt,
+        "{stats:?}"
+    );
+    assert!(stats.fused >= 2, "candprop + selectagg fused: {stats:?}");
+    assert!(stats.intermediates_avoided >= 2, "{stats:?}");
+    assert!(stats.bytes_not_materialized > 0, "{stats:?}");
+    // The report is per-session: a fresh client starts at zero again.
+    let mut c2 = Client::connect(handle.addr()).unwrap();
+    assert_eq!(c2.last_stats().unwrap().instructions, 0);
+    c.close().unwrap();
+    c2.close().unwrap();
+    handle.stop();
+}
+
+#[test]
 fn paged_results_reassemble() {
     let engine = SharedEngine::in_memory();
     {

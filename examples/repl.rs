@@ -23,7 +23,10 @@
 //!   \demo                       load the Fig 1 matrix and a small board
 //!   \checkpoint                 write a vault checkpoint (needs --db)
 //!   \stats                      storage + vault counters
-//!   \timing                     toggle per-statement wall time + thread counts
+//!   \timing                     toggle per-statement wall time, thread counts
+//!                               and optimizer stats (eliminated/fused instrs,
+//!                               bytes not materialized; fetched over the wire
+//!                               with the Stats frame when connected)
 //!   \ping                       round-trip probe (--connect only)
 //!   \shutdown                   stop the remote server (--connect only)
 //!   \q                          quit
@@ -324,10 +327,21 @@ fn run_script(backend: &mut Backend, script: &str, timing: bool) {
                     print_result(r);
                 }
                 if timing {
-                    let e = conn.last_exec().exec;
+                    let le = conn.last_exec();
+                    let e = &le.exec;
                     println!(
                         "Time: {wall:.3} ms ({} instr, {} parallel, max {} thread(s))",
                         e.instructions, e.par_instructions, e.max_threads
+                    );
+                    println!(
+                        "Opt:  {} -> {} instr ({} eliminated, {} fused); \
+                         {} intermediate(s) not materialized ({} bytes)",
+                        le.instrs_before_opt,
+                        le.instrs_after_opt,
+                        le.opt.total_removed(),
+                        le.opt.fusions(),
+                        e.intermediates_avoided,
+                        e.bytes_not_materialized
                     );
                 }
             }
@@ -347,6 +361,24 @@ fn run_script(backend: &mut Backend, script: &str, timing: bool) {
             }
             if timing {
                 println!("Time: {:.3} ms (round trip)", ms_since(t0));
+                // The server keeps the last statement's execution report;
+                // fetch it so remote \timing matches embedded \timing.
+                if let Ok(s) = client.last_stats() {
+                    println!(
+                        "Opt:  {} -> {} instr ({} eliminated, {} fused); \
+                         {} intermediate(s) not materialized ({} bytes); \
+                         {} instr executed, {} parallel, max {} thread(s)",
+                        s.instrs_before_opt,
+                        s.instrs_after_opt,
+                        s.eliminated,
+                        s.fused,
+                        s.intermediates_avoided,
+                        s.bytes_not_materialized,
+                        s.instructions,
+                        s.par_instructions,
+                        s.max_threads
+                    );
+                }
             }
         }
     }

@@ -1,0 +1,156 @@
+//! Differential tests for the MAL optimizer pipeline v2: for a spread of
+//! Fig-2 query shapes, the result *pages* (the exact bytes the net
+//! protocol would put on the wire) must be identical between
+//! `opt_level = 0` (naive generated plan) and every higher level, across
+//! worker-thread counts {1, 2, 8} — for value-based and
+//! structural-tiling GROUP BY alike.
+
+use sciql::{Connection, SessionConfig};
+
+const QUERIES: &[&str] = &[
+    // select+project (thetaselect → selectproject fusion)
+    "SELECT v FROM m WHERE x > 5",
+    "SELECT v FROM m WHERE x > 2 AND y <= 11",
+    // select+aggregate (→ selectagg fusion), every aggregate
+    "SELECT SUM(v) FROM m WHERE x > 5",
+    "SELECT COUNT(v) FROM m WHERE y < 9",
+    "SELECT MIN(v), MAX(v) FROM m WHERE x <= 10",
+    "SELECT AVG(v) FROM m WHERE y >= 3",
+    // complex predicate (maskselect path, no theta chain)
+    "SELECT v FROM m WHERE x + y > 12",
+    // expression projection over a filter
+    "SELECT v * 2 + x FROM m WHERE v > 10",
+    // value-based GROUP BY (grouped aggregates stay unfused)
+    "SELECT x, SUM(v), COUNT(*) FROM m GROUP BY x",
+    "SELECT v, COUNT(*) FROM m GROUP BY v",
+    // structural-tiling GROUP BY
+    "SELECT [x], [y], AVG(v) FROM m GROUP BY m[x:x+2][y:y+2]",
+    "SELECT [x], [y], SUM(v) FROM m GROUP BY m[x-1:x+1][y-1:y+1]",
+    // ordering, limits, distinct
+    "SELECT v FROM m ORDER BY v DESC LIMIT 7",
+    "SELECT DISTINCT v FROM m",
+    // scalar aggregate without a filter (candidate-free)
+    "SELECT SUM(v), AVG(v) FROM m",
+];
+
+fn session(opt_level: u8, threads: usize) -> Connection {
+    let mut c = Connection::with_config(SessionConfig {
+        threads,
+        // Force the slice drivers on even for this small array.
+        parallel_threshold: 1,
+        opt_level,
+    });
+    c.execute("CREATE ARRAY m (x INT DIMENSION[0:1:16], y INT DIMENSION[0:1:16], v INT DEFAULT 0)")
+        .unwrap();
+    c.execute("UPDATE m SET v = CASE WHEN x > y THEN x * y WHEN x < y THEN x - 2 * y ELSE x END")
+        .unwrap();
+    // Punch holes so the nil paths are exercised everywhere.
+    c.execute("DELETE FROM m WHERE (x + 2 * y) % 7 = 0")
+        .unwrap();
+    c
+}
+
+/// The exact wire bytes of a result: header plus every page.
+fn page_bytes(conn: &mut Connection, sql: &str) -> Vec<u8> {
+    let rs = conn.query(sql).unwrap();
+    let mut bytes = rs.encode_header();
+    for page in rs.encode_pages(7) {
+        bytes.extend_from_slice(&page);
+    }
+    bytes
+}
+
+#[test]
+fn all_levels_and_thread_counts_are_bit_identical() {
+    let mut reference = session(0, 1);
+    for sql in QUERIES {
+        let expect = page_bytes(&mut reference, sql);
+        for level in [0u8, 1, 2] {
+            for threads in [1usize, 2, 8] {
+                let mut conn = session(level, threads);
+                let got = page_bytes(&mut conn, sql);
+                assert_eq!(
+                    got, expect,
+                    "result pages diverged for {sql:?} at opt_level={level} threads={threads}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pass_stats_surface_through_last_exec() {
+    let mut c2 = session(2, 1);
+    c2.query("SELECT SUM(v) FROM m WHERE x > 5").unwrap();
+    let le = c2.last_exec();
+    assert!(le.opt.fusions() >= 2, "candprop + selectagg: {:?}", le.opt);
+    assert_eq!(le.opt.instrs_before, le.instrs_before_opt);
+    assert!(le.instrs_after_opt < le.instrs_before_opt);
+    assert!(le.exec.intermediates_avoided >= 2, "{:?}", le.exec);
+    assert!(le.exec.bytes_not_materialized > 0, "{:?}", le.exec);
+
+    let mut c1 = session(1, 1);
+    c1.query("SELECT SUM(v) FROM m WHERE x > 5").unwrap();
+    let le1 = c1.last_exec();
+    assert_eq!(le1.opt.fusions(), 0, "level 1 has no fusion passes");
+    assert!(le1.opt.total_removed() > 0, "level 1 still shrinks");
+    assert_eq!(le1.exec.intermediates_avoided, 0);
+
+    let mut c0 = session(0, 1);
+    c0.query("SELECT SUM(v) FROM m WHERE x > 5").unwrap();
+    let le0 = c0.last_exec();
+    assert_eq!(le0.opt.total_removed() + le0.opt.fusions(), 0);
+    assert_eq!(le0.instrs_before_opt, le0.instrs_after_opt);
+}
+
+#[test]
+fn explain_shows_fused_kernels_only_at_level_two() {
+    let c2 = session(2, 1);
+    let text = c2.explain("SELECT SUM(v) FROM m WHERE x > 5").unwrap();
+    let optimised = text.split("-- MAL (optimised)").nth(1).unwrap();
+    assert!(optimised.contains("aggr.selectagg"), "{optimised}");
+    assert!(!optimised.contains("thetaselect"), "{optimised}");
+
+    let ctext = c2.explain("SELECT v FROM m WHERE x > 5").unwrap();
+    let coptimised = ctext.split("-- MAL (optimised)").nth(1).unwrap();
+    assert!(coptimised.contains("algebra.selectproject"), "{coptimised}");
+
+    let c1 = session(1, 1);
+    let text1 = c1.explain("SELECT SUM(v) FROM m WHERE x > 5").unwrap();
+    let optimised1 = text1.split("-- MAL (optimised)").nth(1).unwrap();
+    assert!(!optimised1.contains("selectagg"), "{optimised1}");
+    assert!(optimised1.contains("thetaselect"), "{optimised1}");
+}
+
+#[test]
+fn session_config_opt_level_roundtrips() {
+    let mut c = Connection::new();
+    assert_eq!(c.session_config().opt_level, 2, "full pipeline by default");
+    c.set_session_config(SessionConfig::with_opt_level(0));
+    assert_eq!(c.session_config().opt_level, 0);
+    c.set_session_config(SessionConfig::with_opt_level(1));
+    assert_eq!(c.session_config().opt_level, 1);
+}
+
+#[test]
+fn per_pass_ablation_survives_unrelated_reconfiguration() {
+    use mal::OptConfig;
+    let mut c = session(2, 1);
+    // Ablate one pass, then change only the thread count: the custom
+    // pass set must survive (opt_level did not change).
+    c.set_optimizer(OptConfig {
+        fuse_select_aggregate: false,
+        ..OptConfig::full()
+    });
+    let mut cfg = c.session_config();
+    cfg.threads = 2;
+    c.set_session_config(cfg);
+    c.query("SELECT SUM(v) FROM m WHERE x > 5").unwrap();
+    let le = c.last_exec();
+    assert_eq!(le.opt.select_aggregate_fused, 0, "ablation survived");
+    assert!(le.opt.candprop > 0, "other passes still ran");
+    // Changing the level does rebuild the pass set.
+    c.set_session_config(SessionConfig::with_opt_level(0));
+    c.query("SELECT SUM(v) FROM m WHERE x > 5").unwrap();
+    assert_eq!(c.last_exec().opt.fusions(), 0);
+}

@@ -59,8 +59,72 @@ fn small_grid() -> impl Strategy<Value = (usize, usize, Vec<Option<i32>>)> {
     })
 }
 
+/// Render a query result as exact wire bytes (header + pages), the
+/// representation the optimizer-ablation property compares.
+fn result_pages(c: &mut Connection, sql: &str) -> Result<Vec<u8>, String> {
+    let rs = c.query(sql).map_err(|e| e.to_string())?;
+    let mut bytes = rs.encode_header();
+    for page in rs.encode_pages(5) {
+        bytes.extend_from_slice(&page);
+    }
+    Ok(bytes)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random Fig-2 pipelines produce byte-identical result pages with
+    /// and without each individual optimizer pass: the full pipeline
+    /// minus any one pass, the pass alone, and the empty pipeline all
+    /// agree with the naive plan.
+    #[test]
+    fn optimizer_passes_preserve_result_pages(
+        (w, h, cells) in small_grid(),
+        threshold in -20i32..20,
+        agg_ix in 0usize..5,
+    ) {
+        use mal::OptConfig;
+        let agg = ["SUM", "COUNT", "AVG", "MIN", "MAX"][agg_ix];
+        let queries = [
+            format!("SELECT v FROM a WHERE v > {threshold}"),
+            format!("SELECT {agg}(v) FROM a WHERE v <= {threshold}"),
+            format!("SELECT {agg}(v + 1) FROM a WHERE x > 1 AND v < {threshold}"),
+            "SELECT [x], [y], SUM(v) FROM a GROUP BY a[x:x+2][y:y+2]".to_owned(),
+            format!("SELECT v, {agg}(v) FROM a GROUP BY v"),
+        ];
+        // Each single pass toggled on alone, and off from the full set.
+        let toggles: [fn(&mut OptConfig) -> &mut bool; 7] = [
+            |c| &mut c.constfold,
+            |c| &mut c.cse,
+            |c| &mut c.alias,
+            |c| &mut c.dce,
+            |c| &mut c.candprop,
+            |c| &mut c.fuse_select_project,
+            |c| &mut c.fuse_select_aggregate,
+        ];
+        let mut configs = vec![OptConfig::none(), OptConfig::full()];
+        for t in &toggles {
+            let mut only = OptConfig::none();
+            *t(&mut only) = true;
+            let mut all_but = OptConfig::full();
+            *t(&mut all_but) = false;
+            configs.push(only);
+            configs.push(all_but);
+        }
+        let mut c = array_session(w, h, &cells);
+        for sql in &queries {
+            c.set_optimizer(OptConfig::none());
+            let expect = result_pages(&mut c, sql);
+            for cfg in &configs {
+                c.set_optimizer(*cfg);
+                let got = result_pages(&mut c, sql);
+                prop_assert_eq!(
+                    &got, &expect,
+                    "pages diverged for {:?} under {:?}", sql, cfg
+                );
+            }
+        }
+    }
 
     /// SciQL 2×2 tiling SUM equals the brute-force reference, including
     /// hole and boundary handling.
