@@ -15,6 +15,16 @@ pub enum BExpr {
     Const(Value),
     /// Input column by position.
     Col(usize),
+    /// Bind-parameter slot (`?` / `:name`), filled with a scalar value at
+    /// execution time. `ty` is the contextually inferred slot type
+    /// (`None` when the context gave no hint — the bound value is then
+    /// passed through untyped and coerced by the kernels).
+    Param {
+        /// Zero-based bind slot.
+        slot: usize,
+        /// Contextually inferred type, if any.
+        ty: Option<ScalarType>,
+    },
     /// Relative cell reference: the value of input column `col` at the cell
     /// displaced by `deltas` (requires full-array alignment — only the
     /// binder creates these, directly above an array scan).
@@ -77,6 +87,7 @@ impl BExpr {
     pub fn infer_type(&self, input: &[ScalarType]) -> Result<ScalarType> {
         Ok(match self {
             BExpr::Const(v) => v.scalar_type().unwrap_or(ScalarType::Int),
+            BExpr::Param { ty, .. } => ty.unwrap_or(ScalarType::Int),
             BExpr::Col(i) | BExpr::Shift { col: i, .. } => *input
                 .get(*i)
                 .ok_or_else(|| AlgebraError::internal(format!("column {i} out of schema range")))?,
@@ -128,6 +139,9 @@ impl BExpr {
     pub fn is_const(&self) -> bool {
         match self {
             BExpr::Const(_) => true,
+            // A parameter's value changes per execution; it is never a
+            // compile-time constant.
+            BExpr::Param { .. } => false,
             BExpr::Col(_) | BExpr::Shift { .. } => false,
             BExpr::Bin { l, r, .. } => l.is_const() && r.is_const(),
             BExpr::Neg(e) | BExpr::Not(e) | BExpr::Abs(e) => e.is_const(),
@@ -142,7 +156,7 @@ impl BExpr {
     /// Collect the columns this expression reads.
     pub fn collect_cols(&self, out: &mut Vec<usize>) {
         match self {
-            BExpr::Const(_) => {}
+            BExpr::Const(_) | BExpr::Param { .. } => {}
             BExpr::Col(i) | BExpr::Shift { col: i, .. } => out.push(*i),
             BExpr::Bin { l, r, .. } => {
                 l.collect_cols(out);
@@ -165,7 +179,7 @@ impl BExpr {
     pub fn contains_shift(&self) -> bool {
         match self {
             BExpr::Shift { .. } => true,
-            BExpr::Const(_) | BExpr::Col(_) => false,
+            BExpr::Const(_) | BExpr::Col(_) | BExpr::Param { .. } => false,
             BExpr::Bin { l, r, .. } => l.contains_shift() || r.contains_shift(),
             BExpr::Neg(e) | BExpr::Not(e) | BExpr::Abs(e) => e.contains_shift(),
             BExpr::IsNull { e, .. } => e.contains_shift(),
@@ -183,6 +197,10 @@ impl BExpr {
     pub fn remap_cols(&self, map: &dyn Fn(usize) -> usize) -> BExpr {
         match self {
             BExpr::Const(v) => BExpr::Const(v.clone()),
+            BExpr::Param { slot, ty } => BExpr::Param {
+                slot: *slot,
+                ty: *ty,
+            },
             BExpr::Col(i) => BExpr::Col(map(*i)),
             BExpr::Shift { col, deltas } => BExpr::Shift {
                 col: map(*col),

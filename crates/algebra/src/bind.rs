@@ -685,8 +685,39 @@ impl<'a> Binder<'a> {
         e: &Expr,
         rec: &mut dyn FnMut(&Expr) -> Result<BExpr>,
     ) -> Result<BExpr> {
+        // Contextual bind-parameter typing: a `?`/`:name` next to a
+        // column or literal adopts that sibling's type, so `v < ?`
+        // compiles to the same typed kernel call as `v < 3`. A parameter
+        // with no typed sibling stays untyped (the kernels coerce the
+        // scalar at run time).
+        let hint = |sibling: &Expr| -> Option<ScalarType> {
+            match sibling {
+                Expr::Column { qualifier, name } => scope
+                    .resolve(qualifier.as_deref(), name)
+                    .ok()
+                    .map(|i| scope.cols[i].ty),
+                Expr::Literal(l) => literal_value(l).scalar_type(),
+                _ => None,
+            }
+        };
+        let operand = |e: &Expr,
+                       sibling: &Expr,
+                       rec: &mut dyn FnMut(&Expr) -> Result<BExpr>|
+         -> Result<BExpr> {
+            match e {
+                Expr::Param(p) => Ok(BExpr::Param {
+                    slot: p.slot,
+                    ty: hint(sibling),
+                }),
+                other => rec(other),
+            }
+        };
         match e {
             Expr::Literal(l) => Ok(BExpr::Const(literal_value(l))),
+            Expr::Param(p) => Ok(BExpr::Param {
+                slot: p.slot,
+                ty: None,
+            }),
             Expr::Column { qualifier, name } => {
                 scope.resolve(qualifier.as_deref(), name).map(BExpr::Col)
             }
@@ -699,7 +730,11 @@ impl<'a> Binder<'a> {
                 op: UnaryOp::Not,
                 expr,
             } => Ok(BExpr::Not(Box::new(rec(expr)?))),
-            Expr::Binary { op, lhs, rhs } => Ok(BExpr::bin(*op, rec(lhs)?, rec(rhs)?)),
+            Expr::Binary { op, lhs, rhs } => Ok(BExpr::bin(
+                *op,
+                operand(lhs, rhs, rec)?,
+                operand(rhs, lhs, rec)?,
+            )),
             Expr::IsNull { expr, negated } => Ok(BExpr::IsNull {
                 e: Box::new(rec(expr)?),
                 negated: *negated,
@@ -711,10 +746,12 @@ impl<'a> Binder<'a> {
                 negated,
             } => {
                 let e0 = rec(expr)?;
+                let lo_b = operand(lo, expr, rec)?;
+                let hi_b = operand(hi, expr, rec)?;
                 let both = BExpr::bin(
                     BinOp::And,
-                    BExpr::bin(BinOp::Ge, e0.clone(), rec(lo)?),
-                    BExpr::bin(BinOp::Le, e0, rec(hi)?),
+                    BExpr::bin(BinOp::Ge, e0.clone(), lo_b),
+                    BExpr::bin(BinOp::Le, e0, hi_b),
                 );
                 Ok(if *negated {
                     BExpr::Not(Box::new(both))
@@ -730,7 +767,7 @@ impl<'a> Binder<'a> {
                 let e0 = rec(expr)?;
                 let mut acc: Option<BExpr> = None;
                 for item in list {
-                    let eq = BExpr::bin(BinOp::Eq, e0.clone(), rec(item)?);
+                    let eq = BExpr::bin(BinOp::Eq, e0.clone(), operand(item, expr, rec)?);
                     acc = Some(match acc {
                         None => eq,
                         Some(prev) => BExpr::bin(BinOp::Or, prev, eq),

@@ -811,11 +811,24 @@ fn gen_filter_candidates(prog: &mut Program, inp: &NodeOut, pred: &BExpr) -> Res
         if let Some(c) = cand {
             args.push(Arg::Var(c));
         }
-        args.push(Arg::Const(v));
+        args.push(match v {
+            CmpRhs::Const(v) => Arg::Const(v),
+            CmpRhs::Param { slot, ty } => {
+                prog.declare_param(slot, ty);
+                Arg::Param(slot)
+            }
+        });
         args.push(Arg::Const(Value::Str(opname.into())));
         cand = Some(prog.emit("algebra", "thetaselect", args, MalType::Cand));
     }
     Ok(cand)
+}
+
+/// The right-hand side of a pushed-down `col <op> rhs` predicate: an
+/// inlined constant or a bind-parameter slot.
+enum CmpRhs {
+    Const(Value),
+    Param { slot: usize, ty: Option<ScalarType> },
 }
 
 fn collect_conjuncts<'e>(e: &'e BExpr, out: &mut Vec<&'e BExpr>) {
@@ -832,16 +845,26 @@ fn collect_conjuncts<'e>(e: &'e BExpr, out: &mut Vec<&'e BExpr>) {
     }
 }
 
-fn as_simple_cmp(e: &BExpr) -> Option<(usize, BinOp, Value)> {
+fn as_simple_cmp(e: &BExpr) -> Option<(usize, BinOp, CmpRhs)> {
     let BExpr::Bin { op, l, r } = e else {
         return None;
     };
     if !op.is_comparison() {
         return None;
     }
+    let rhs = |e: &BExpr| -> Option<CmpRhs> {
+        match e {
+            BExpr::Const(v) => Some(CmpRhs::Const(v.clone())),
+            BExpr::Param { slot, ty } => Some(CmpRhs::Param {
+                slot: *slot,
+                ty: *ty,
+            }),
+            _ => None,
+        }
+    };
     match (l.as_ref(), r.as_ref()) {
-        (BExpr::Col(c), BExpr::Const(v)) => Some((*c, *op, v.clone())),
-        (BExpr::Const(v), BExpr::Col(c)) => Some((*c, flip(*op), v.clone())),
+        (BExpr::Col(c), other) => rhs(other).map(|v| (*c, *op, v)),
+        (other, BExpr::Col(c)) => rhs(other).map(|v| (*c, flip(*op), v)),
         _ => None,
     }
 }
@@ -882,6 +905,10 @@ fn batcalc_name(op: BinOp) -> &'static str {
 fn emit_expr(prog: &mut Program, inp: &NodeOut, e: &BExpr) -> Result<Arg> {
     Ok(match e {
         BExpr::Const(v) => Arg::Const(v.clone()),
+        BExpr::Param { slot, ty } => {
+            prog.declare_param(*slot, *ty);
+            Arg::Param(*slot)
+        }
         BExpr::Col(i) => {
             Arg::Var(*inp.cols.get(*i).ok_or_else(|| {
                 AlgebraError::internal(format!("column {i} out of codegen range"))
@@ -940,7 +967,10 @@ fn emit_expr(prog: &mut Program, inp: &NodeOut, e: &BExpr) -> Result<Arg> {
             let a = emit_expr(prog, inp, e)?;
             match a {
                 Arg::Const(v) => Arg::Const(Value::Bit(v.is_null() != *negated)),
-                Arg::Var(v) => {
+                a @ (Arg::Var(_) | Arg::Param(_)) => {
+                    // Parameters broadcast like constants so the nil mask
+                    // stays aligned with the input columns.
+                    let v = force_bat(prog, inp, a)?;
                     let m = prog.emit(
                         "batcalc",
                         "isnil",
@@ -974,7 +1004,8 @@ fn emit_expr(prog: &mut Program, inp: &NodeOut, e: &BExpr) -> Result<Arg> {
                             acc = t;
                         }
                     }
-                    Arg::Var(mask) => {
+                    c @ (Arg::Var(_) | Arg::Param(_)) => {
+                        let mask = force_bit_bat(prog, inp, c)?;
                         acc = Arg::Var(prog.emit(
                             "batcalc",
                             "ifthenelse",
@@ -1048,16 +1079,13 @@ fn fold_const_bin(op: BinOp, l: &Value, r: &Value) -> Result<Option<Value>> {
 fn force_bat(prog: &mut Program, inp: &NodeOut, a: Arg) -> Result<VarId> {
     match a {
         Arg::Var(v) => Ok(v),
-        Arg::Const(c) => {
+        a @ (Arg::Const(_) | Arg::Param(_)) => {
+            // A parameter resolves to a scalar at execution time, so it
+            // broadcasts exactly like an inlined constant.
             let t = *inp.cols.first().ok_or_else(|| {
                 AlgebraError::internal("cannot broadcast a constant without input columns")
             })?;
-            Ok(prog.emit(
-                "batcalc",
-                "fill",
-                vec![Arg::Var(t), Arg::Const(c)],
-                MalType::Any,
-            ))
+            Ok(prog.emit("batcalc", "fill", vec![Arg::Var(t), a], MalType::Any))
         }
     }
 }
@@ -1068,7 +1096,7 @@ fn force_bit_bat(prog: &mut Program, inp: &NodeOut, a: Arg) -> Result<VarId> {
             let as_bit = Value::Bit(v.as_bool().unwrap_or(false));
             force_bat(prog, inp, Arg::Const(as_bit))
         }
-        Arg::Var(_) => force_bat(prog, inp, a),
+        Arg::Var(_) | Arg::Param(_) => force_bat(prog, inp, a),
     }
 }
 
@@ -1076,7 +1104,7 @@ fn force_bit_bat(prog: &mut Program, inp: &NodeOut, a: Arg) -> Result<VarId> {
 fn arg_to_var_scalar(prog: &mut Program, a: Arg) -> VarId {
     match a {
         Arg::Var(v) => v,
-        Arg::Const(c) => prog.emit("language", "pass", vec![Arg::Const(c)], MalType::Any),
+        a @ (Arg::Const(_) | Arg::Param(_)) => prog.emit("language", "pass", vec![a], MalType::Any),
     }
 }
 
@@ -1130,6 +1158,30 @@ mod tests {
         let text = p.to_text();
         assert!(text.contains("algebra.thetaselect"), "{text}");
         assert!(!text.contains("maskselect"), "{text}");
+    }
+
+    #[test]
+    fn param_filter_stays_on_thetaselect_fast_path() {
+        // `x > ?` compiles to the same candidate chain as `x > 1`, with
+        // the parameter slot in the compared-value position and the
+        // slot's type inferred from the column.
+        let p = compile_sql("SELECT v FROM m WHERE x > ?", &CodegenOptions::default());
+        let text = p.to_text();
+        assert!(text.contains("algebra.thetaselect"), "{text}");
+        assert!(text.contains("?0"), "{text}");
+        assert_eq!(p.params, vec![Some(ScalarType::Int)]);
+    }
+
+    #[test]
+    fn params_in_projection_and_named_slots() {
+        let p = compile_sql(
+            "SELECT v + :delta FROM m WHERE x BETWEEN :lo AND :hi",
+            &CodegenOptions::default(),
+        );
+        assert_eq!(p.params.len(), 3, "{:?}", p.params);
+        // lo/hi adopt the dimension's int type from context.
+        assert_eq!(p.params[1], Some(ScalarType::Int));
+        assert_eq!(p.params[2], Some(ScalarType::Int));
     }
 
     #[test]

@@ -21,15 +21,16 @@
 //! statement texts) lives in [`EngineSession`]; everything shared lives
 //! in the engine.
 
+use crate::exec::{self, Prepared, PreparedSet};
 use crate::result::ResultSet;
-use crate::session::{execute_plan, Connection, LastExec, QueryResult, SessionConfig};
+use crate::session::{Connection, LastExec, QueryResult, SessionConfig};
 use crate::storage::{ArrayStore, TableStore};
-use crate::{EngineError, Result};
+use crate::Result;
+use gdk::Value;
 use mal::Registry;
 use sciql_algebra::{rewrite, Binder, CodegenOptions};
 use sciql_catalog::Catalog;
 use sciql_parser::ast::{SelectStmt, Stmt};
-use sciql_parser::{parse_statement, parse_statements};
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -67,11 +68,31 @@ impl EngineSnapshot {
     ) -> Result<(ResultSet, LastExec)> {
         let binder = Binder::new(&self.catalog);
         let plan = rewrite(binder.bind_select(sel)?);
-        execute_plan(
+        exec::execute_plan(
             &plan,
             registry,
             self.opt_config,
             &self.codegen,
+            &self.arrays,
+            &self.tables,
+        )
+    }
+
+    /// Run a prepared SELECT with bound parameters against this image,
+    /// reusing (or filling) the statement's compiled-plan cache.
+    pub fn run_prepared(
+        &self,
+        prep: &mut Prepared,
+        params: &[Value],
+        registry: &Registry,
+    ) -> Result<(ResultSet, LastExec)> {
+        exec::execute_prepared_select(
+            prep,
+            params,
+            registry,
+            self.opt_config,
+            &self.codegen,
+            &self.catalog,
             &self.arrays,
             &self.tables,
         )
@@ -151,7 +172,7 @@ impl SharedEngine {
             engine: Arc::clone(self),
             id: self.next_session.fetch_add(1, Ordering::Relaxed),
             last: LastExec::default(),
-            prepared: HashMap::new(),
+            prepared: PreparedSet::default(),
             statements: 0,
             rows_returned: 0,
             errors: 0,
@@ -223,9 +244,11 @@ pub struct EngineSession {
     engine: Arc<SharedEngine>,
     id: u64,
     last: LastExec,
-    /// Prepared statement texts, named (the MAPI-style `PREPARE` is a
-    /// text stash: planning happens at execute, against current state).
-    prepared: HashMap<String, String>,
+    /// Named prepared statements. SELECTs carry a compiled-once plan
+    /// cache with bind-parameter slots (see [`crate::Prepared`]); the
+    /// cache is shared state-free, so each execution runs it against a
+    /// fresh snapshot.
+    prepared: PreparedSet,
     statements: u64,
     rows_returned: u64,
     errors: u64,
@@ -261,11 +284,11 @@ impl EngineSession {
     /// engine's single-writer connection, with the vault's per-statement
     /// WAL durability when the engine is persistent.
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
-        let stmt = match parse_statement(sql) {
+        let stmt = match exec::parse_one(sql) {
             Ok(s) => s,
             Err(e) => {
                 self.errors += 1;
-                return Err(EngineError::Parse(e));
+                return Err(e);
             }
         };
         self.execute_stmt(&stmt)
@@ -273,9 +296,8 @@ impl EngineSession {
 
     /// Execute a semicolon-separated script, one result per statement.
     pub fn execute_script(&mut self, sql: &str) -> Result<Vec<QueryResult>> {
-        let stmts = parse_statements(sql).map_err(|e| {
+        let stmts = exec::parse_script(sql).inspect_err(|_| {
             self.errors += 1;
-            EngineError::Parse(e)
         })?;
         stmts.iter().map(|s| self.execute_stmt(s)).collect()
     }
@@ -324,30 +346,75 @@ impl EngineSession {
         result
     }
 
-    /// Stash a named statement text for later [`EngineSession::execute_prepared`].
-    pub fn prepare(&mut self, name: &str, sql: &str) -> Result<()> {
-        // Validate now so the client learns about syntax errors at
-        // prepare time, MAPI-style; the text is re-planned at execute.
-        parse_statement(sql).map_err(EngineError::Parse)?;
-        self.prepared
-            .insert(name.to_ascii_lowercase(), sql.to_owned());
-        Ok(())
+    /// Prepare a named statement: parsed now, and (for SELECTs) compiled
+    /// once into a parameterised plan on first execution. Returns the
+    /// number of `?`/`:name` bind slots.
+    pub fn prepare(&mut self, name: &str, sql: &str) -> Result<usize> {
+        self.prepared.insert(name, sql).inspect_err(|_| {
+            self.errors += 1;
+        })
     }
 
-    /// Execute a statement previously stashed with [`EngineSession::prepare`].
-    pub fn execute_prepared(&mut self, name: &str) -> Result<QueryResult> {
-        let Some(sql) = self.prepared.get(&name.to_ascii_lowercase()).cloned() else {
-            self.errors += 1;
-            return Err(EngineError::msg(format!(
-                "no prepared statement named {name:?}"
-            )));
-        };
-        self.execute(&sql)
+    /// Execute a statement previously stashed with
+    /// [`EngineSession::prepare`], binding `params` into its `?`/`:name`
+    /// slots (pass `&[]` for a parameter-free statement).
+    ///
+    /// SELECTs run the cached compiled plan against a fresh lock-free
+    /// snapshot — a cache hit skips parse, bind and the optimizer
+    /// pipeline (`ExecStats::plan_cache_hits`). Mutating statements
+    /// inline the values as literals and serialize through the engine's
+    /// single-writer connection like any other write.
+    pub fn execute_prepared(&mut self, name: &str, params: &[Value]) -> Result<QueryResult> {
+        let result = self.execute_prepared_inner(name, params);
+        match &result {
+            Ok(QueryResult::Rows(rs)) => {
+                let n = rs.row_count() as u64;
+                self.rows_returned += n;
+                self.engine
+                    .stats
+                    .rows_returned
+                    .fetch_add(n, Ordering::Relaxed);
+            }
+            Ok(QueryResult::Affected(_)) => {}
+            Err(_) => self.errors += 1,
+        }
+        result
+    }
+
+    fn execute_prepared_inner(&mut self, name: &str, params: &[Value]) -> Result<QueryResult> {
+        let prep = self.prepared.get_mut(name)?;
+        prep.check_params(params)?;
+        if prep.is_select() {
+            self.statements += 1;
+            self.engine.stats.statements.fetch_add(1, Ordering::Relaxed);
+            self.engine
+                .stats
+                .snapshot_reads
+                .fetch_add(1, Ordering::Relaxed);
+            let snap = self.engine.snapshot();
+            let (rs, last) = snap.run_prepared(prep, params, &self.engine.registry)?;
+            self.last = last;
+            return Ok(QueryResult::Rows(rs));
+        }
+        // Mutating statement: inline the values and serialize through
+        // the single-writer connection.
+        let stmt = exec::bind_params_into(prep.statement(), params)?;
+        self.statements += 1;
+        self.engine.stats.statements.fetch_add(1, Ordering::Relaxed);
+        let mut conn = self.engine.lock();
+        let r = conn.execute_stmt(&stmt);
+        self.last = conn.last_exec();
+        r
     }
 
     /// Drop a prepared statement; `true` if it existed.
     pub fn deallocate(&mut self, name: &str) -> bool {
-        self.prepared.remove(&name.to_ascii_lowercase()).is_some()
+        self.prepared.remove(name)
+    }
+
+    /// Is a statement of this name prepared in this session?
+    pub fn has_prepared(&self, name: &str) -> bool {
+        self.prepared.contains(name)
     }
 }
 
@@ -450,7 +517,7 @@ mod tests {
         let mut b = engine.session();
         a.prepare("q", "SELECT COUNT(*) FROM m").unwrap();
         assert_eq!(
-            a.execute_prepared("q")
+            a.execute_prepared("q", &[])
                 .unwrap()
                 .rows()
                 .unwrap()
@@ -459,7 +526,7 @@ mod tests {
                 .as_i64(),
             Some(16)
         );
-        assert!(b.execute_prepared("q").is_err(), "not visible to b");
+        assert!(b.execute_prepared("q", &[]).is_err(), "not visible to b");
         assert!(a.prepare("bad", "SELEC nonsense").is_err());
         assert!(a.deallocate("q"));
         assert!(!a.deallocate("q"));

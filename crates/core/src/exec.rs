@@ -1,0 +1,425 @@
+//! The shared statement executor: one parse / compile / cache / run
+//! path used by both the embedded [`Connection`](crate::Connection) and
+//! the multiplexed [`EngineSession`](crate::EngineSession) (and hence
+//! by every driver transport).
+//!
+//! The centrepiece is the prepared statement. A [`Prepared`] carries the
+//! parsed AST plus, for SELECTs, a cached plan: the bound, optimised
+//! MAL program compiled **once** with [`mal::Arg::Param`] slots where the
+//! statement had `?`/`:name` placeholders. Re-executing the statement
+//! fills the slots with the caller's values and runs the cached program
+//! directly — no re-parse, no re-bind, no re-optimise. The cache is
+//! invalidated by schema changes (catalog version) and by execution
+//! reconfiguration (optimizer level, thread count), never by data
+//! changes: programs reference stored columns by name through `sql.bind`,
+//! so a cached plan always sees the current column versions.
+//!
+//! Mutating statements take the other path: bound values are inlined
+//! into the AST as literals and the statement is
+//! dispatched like any other DML — which also keeps the WAL correct,
+//! because the logged canonical text then contains the actual values,
+//! not placeholders.
+
+use crate::result::ResultSet;
+use crate::session::LastExec;
+use crate::storage::{ArrayStore, TableStore};
+use crate::{EngineError, Result};
+use gdk::{Bat, ScalarType, Value};
+use mal::{
+    Binder as MalBinder, ExecStats, Interpreter, MalValue, OptConfig, PassStats, Program, Registry,
+};
+use sciql_algebra::{compile, rewrite, Binder, CodegenOptions, ColInfo, Plan};
+use sciql_catalog::Catalog;
+use sciql_parser::ast::{Expr, Literal, ParamRef, SelectStmt, Stmt};
+use sciql_parser::{parse_statement, parse_statements};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// parsing (the single entry point both session types use)
+// ---------------------------------------------------------------------
+
+/// Parse exactly one statement.
+pub(crate) fn parse_one(sql: &str) -> Result<Stmt> {
+    parse_statement(sql).map_err(EngineError::Parse)
+}
+
+/// Parse a semicolon-separated script.
+pub(crate) fn parse_script(sql: &str) -> Result<Vec<Stmt>> {
+    parse_statements(sql).map_err(EngineError::Parse)
+}
+
+// ---------------------------------------------------------------------
+// prepared statements
+// ---------------------------------------------------------------------
+
+/// A prepared statement: parsed once, and for SELECTs compiled once into
+/// a parameterised MAL program that re-executes without re-planning.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    stmt: Stmt,
+    sql: String,
+    params: Vec<ParamRef>,
+    cache: Option<CachedPlan>,
+}
+
+/// The compiled-once artefact of a prepared SELECT, plus everything the
+/// validity check needs.
+#[derive(Debug, Clone)]
+struct CachedPlan {
+    prog: Program,
+    schema: Vec<ColInfo>,
+    catalog_version: u64,
+    opt_config: OptConfig,
+    codegen: CodegenOptions,
+    opt_report: PassStats,
+    instrs_before: usize,
+    instrs_after: usize,
+}
+
+impl Prepared {
+    /// Parse `sql` into a prepared statement (plan compilation is lazy:
+    /// it happens on first execution, against the catalog of that
+    /// moment).
+    pub fn new(sql: &str) -> Result<Prepared> {
+        let stmt = parse_one(sql)?;
+        let params = stmt.params();
+        Ok(Prepared {
+            stmt,
+            sql: sql.to_owned(),
+            params,
+            cache: None,
+        })
+    }
+
+    /// The original statement text.
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+
+    /// The parsed statement.
+    pub fn statement(&self) -> &Stmt {
+        &self.stmt
+    }
+
+    /// Number of bind-parameter slots.
+    pub fn param_count(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Per-slot parameter descriptors (slot order).
+    pub fn params(&self) -> &[ParamRef] {
+        &self.params
+    }
+
+    /// Resolve a `:name` to its slot (leading `:` optional,
+    /// case-insensitive).
+    pub fn param_slot(&self, name: &str) -> Option<usize> {
+        sciql_parser::ast::named_param_slot(&self.params, name)
+    }
+
+    /// Is this a SELECT (plan-cached) statement?
+    pub fn is_select(&self) -> bool {
+        matches!(self.stmt, Stmt::Select(_))
+    }
+
+    /// Does the cached plan match the current engine state?
+    fn cache_valid(
+        &self,
+        catalog_version: u64,
+        opt_config: OptConfig,
+        codegen: &CodegenOptions,
+    ) -> bool {
+        self.cache.as_ref().is_some_and(|c| {
+            c.catalog_version == catalog_version
+                && c.opt_config == opt_config
+                && c.codegen == *codegen
+        })
+    }
+
+    /// Fail unless enough parameter values are bound.
+    pub fn check_params(&self, params: &[Value]) -> Result<()> {
+        if params.len() < self.params.len() {
+            return Err(EngineError::Mal(mal::MalError::unbound_param(
+                self.params.len() - 1,
+                params.len(),
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// The named prepared-statement registry shared by [`crate::Connection`]
+/// and [`crate::EngineSession`] (names are case-insensitive).
+#[derive(Debug, Default)]
+pub(crate) struct PreparedSet {
+    map: HashMap<String, Prepared>,
+}
+
+impl PreparedSet {
+    /// Parse and stash a statement under `name`; returns its parameter
+    /// count. Re-preparing an existing name replaces it.
+    pub(crate) fn insert(&mut self, name: &str, sql: &str) -> Result<usize> {
+        let prep = Prepared::new(sql)?;
+        let n = prep.param_count();
+        self.map.insert(name.to_ascii_lowercase(), prep);
+        Ok(n)
+    }
+
+    /// Look up a statement for execution.
+    pub(crate) fn get_mut(&mut self, name: &str) -> Result<&mut Prepared> {
+        self.map
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or_else(|| EngineError::msg(format!("no prepared statement named {name:?}")))
+    }
+
+    /// Drop a statement; `true` if it existed.
+    pub(crate) fn remove(&mut self, name: &str) -> bool {
+        self.map.remove(&name.to_ascii_lowercase()).is_some()
+    }
+
+    /// Is a statement of this name prepared?
+    pub(crate) fn contains(&self, name: &str) -> bool {
+        self.map.contains_key(&name.to_ascii_lowercase())
+    }
+}
+
+// ---------------------------------------------------------------------
+// the Fig-2 pipeline tail, split for plan caching
+// ---------------------------------------------------------------------
+
+/// Bind + rewrite + compile + optimise a SELECT into a MAL program.
+fn compile_select(
+    sel: &SelectStmt,
+    registry: &Registry,
+    opt_config: OptConfig,
+    codegen: &CodegenOptions,
+    catalog: &Catalog,
+) -> Result<(Program, Vec<ColInfo>, PassStats, usize, usize)> {
+    let binder = Binder::new(catalog);
+    let plan = rewrite(binder.bind_select(sel)?);
+    let schema = plan.schema();
+    let mut prog: Program = compile(&plan, codegen)?;
+    let before = prog.instrs.len();
+    let report = mal::optimise(&mut prog, registry, opt_config);
+    let after = prog.instrs.len();
+    Ok((prog, schema, report, before, after))
+}
+
+/// Execute a compiled program against a set of stores, filling its
+/// parameter slots from `params`, and shape the outputs into a
+/// [`ResultSet`] using the plan's schema.
+fn run_program(
+    prog: &Program,
+    schema: &[ColInfo],
+    registry: &Registry,
+    codegen: &CodegenOptions,
+    arrays: &HashMap<String, ArrayStore>,
+    tables: &HashMap<String, TableStore>,
+    params: &[Value],
+) -> Result<(ResultSet, ExecStats)> {
+    let storage = StorageBinder { arrays, tables };
+    let interp = Interpreter::with_config(registry, &storage, codegen.par_config());
+    let (outs, exec) = interp
+        .run_with_stats_params(prog, params)
+        .map_err(EngineError::Mal)?;
+    let mut columns = Vec::with_capacity(schema.len());
+    let mut bats: Vec<Arc<Bat>> = Vec::with_capacity(schema.len());
+    for ((label, val), info) in outs.into_iter().zip(schema) {
+        let b = match val {
+            MalValue::Bat(b) => b,
+            MalValue::Scalar(v) => {
+                let ty = v.scalar_type().unwrap_or(info.ty);
+                let mut nb = Bat::with_capacity(ty, 1);
+                nb.push(&v).map_err(EngineError::Gdk)?;
+                Arc::new(nb)
+            }
+            other => {
+                return Err(EngineError::msg(format!(
+                    "result column {label:?} is not a BAT ({})",
+                    other.kind()
+                )))
+            }
+        };
+        columns.push(crate::result::ColumnMeta {
+            name: label,
+            ty: b.tail_type(),
+            dimensional: info.dimensional,
+        });
+        bats.push(b);
+    }
+    Ok((ResultSet { columns, bats }, exec))
+}
+
+/// Compile and execute a logical plan in one go (the unprepared path;
+/// also used by the DML executors). No `&mut` session state is required,
+/// which is what lets [`crate::SharedEngine`] run many concurrent
+/// readers over `Arc` column snapshots while writes serialize elsewhere.
+pub(crate) fn execute_plan(
+    plan: &Plan,
+    registry: &Registry,
+    opt_config: OptConfig,
+    codegen: &CodegenOptions,
+    arrays: &HashMap<String, ArrayStore>,
+    tables: &HashMap<String, TableStore>,
+) -> Result<(ResultSet, LastExec)> {
+    let mut prog: Program = compile(plan, codegen)?;
+    let before = prog.instrs.len();
+    let report = mal::optimise(&mut prog, registry, opt_config);
+    let after = prog.instrs.len();
+    let schema = plan.schema();
+    let (rs, exec) = run_program(&prog, &schema, registry, codegen, arrays, tables, &[])?;
+    let last = LastExec {
+        exec,
+        opt: report,
+        instrs_before_opt: before,
+        instrs_after_opt: after,
+    };
+    Ok((rs, last))
+}
+
+/// Execute a prepared SELECT with bound parameters against a consistent
+/// image of the database (the embedded session's live stores, or a
+/// [`crate::EngineSnapshot`]'s `Arc` clones). Reuses the cached compiled
+/// plan when it is still valid — `ExecStats::plan_cache_hits` reports
+/// which path ran.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn execute_prepared_select(
+    prep: &mut Prepared,
+    params: &[Value],
+    registry: &Registry,
+    opt_config: OptConfig,
+    codegen: &CodegenOptions,
+    catalog: &Catalog,
+    arrays: &HashMap<String, ArrayStore>,
+    tables: &HashMap<String, TableStore>,
+) -> Result<(ResultSet, LastExec)> {
+    let Stmt::Select(sel) = &prep.stmt else {
+        return Err(EngineError::msg(
+            "execute_prepared_select requires a SELECT statement",
+        ));
+    };
+    let hit = prep.cache_valid(catalog.version(), opt_config, codegen);
+    if !hit {
+        let (prog, schema, report, before, after) =
+            compile_select(sel, registry, opt_config, codegen, catalog)?;
+        prep.cache = Some(CachedPlan {
+            prog,
+            schema,
+            catalog_version: catalog.version(),
+            opt_config,
+            codegen: *codegen,
+            opt_report: report,
+            instrs_before: before,
+            instrs_after: after,
+        });
+    }
+    let cache = prep.cache.as_ref().expect("compiled above");
+    let (rs, mut exec) = run_program(
+        &cache.prog,
+        &cache.schema,
+        registry,
+        codegen,
+        arrays,
+        tables,
+        params,
+    )?;
+    exec.plan_cache_hits = usize::from(hit);
+    let last = LastExec {
+        exec,
+        opt: cache.opt_report,
+        instrs_before_opt: cache.instrs_before,
+        instrs_after_opt: cache.instrs_after,
+    };
+    Ok((rs, last))
+}
+
+/// Resolves `sql.bind` against the session storage.
+struct StorageBinder<'a> {
+    arrays: &'a HashMap<String, ArrayStore>,
+    tables: &'a HashMap<String, TableStore>,
+}
+
+impl MalBinder for StorageBinder<'_> {
+    fn bind(&self, object: &str, column: &str) -> mal::Result<MalValue> {
+        let key = object.to_ascii_lowercase();
+        if let Some(a) = self.arrays.get(&key) {
+            if let Some(k) = a.def.dim_index(column) {
+                return Ok(MalValue::Bat(a.dims[k].clone()));
+            }
+            if let Some(k) = a.def.attr_index(column) {
+                return Ok(MalValue::Bat(a.attrs[k].clone()));
+            }
+            return Err(mal::MalError::msg(format!(
+                "array {object:?} has no column {column:?}"
+            )));
+        }
+        if let Some(t) = self.tables.get(&key) {
+            if let Some(k) = t.def.column_index(column) {
+                return Ok(MalValue::Bat(t.cols[k].clone()));
+            }
+            return Err(mal::MalError::msg(format!(
+                "table {object:?} has no column {column:?}"
+            )));
+        }
+        Err(mal::MalError::msg(format!(
+            "no storage for object {object:?}"
+        )))
+    }
+}
+
+// ---------------------------------------------------------------------
+// parameter inlining (the DML path)
+// ---------------------------------------------------------------------
+
+/// Turn a bound value back into an AST literal.
+fn value_to_literal(v: &Value) -> Literal {
+    match v {
+        Value::Null => Literal::Null,
+        Value::Bit(b) => Literal::Bool(*b),
+        Value::Int(i) => Literal::Int(*i as i64),
+        Value::Lng(i) => Literal::Int(*i),
+        Value::Oid(o) => Literal::Int(*o as i64),
+        Value::Dbl(d) => Literal::Float(*d),
+        Value::Str(s) => Literal::Str(s.clone()),
+    }
+}
+
+/// Inline bound parameter values into a statement as literals. Mutating
+/// statements execute (and WAL-log) the resulting parameter-free text,
+/// so crash recovery replays the actual values.
+///
+/// Non-finite doubles (NaN, ±inf) are rejected here: SciQL has no
+/// literal syntax for them, so inlining one would WAL-log text that can
+/// never re-parse — an acknowledged write that bricks recovery.
+pub(crate) fn bind_params_into(stmt: &Stmt, params: &[Value]) -> Result<Stmt> {
+    let slots = stmt.params();
+    if params.len() < slots.len() {
+        return Err(EngineError::Mal(mal::MalError::unbound_param(
+            slots.len() - 1,
+            params.len(),
+        )));
+    }
+    for p in &slots {
+        if let Some(Value::Dbl(d)) = params.get(p.slot) {
+            if !d.is_finite() {
+                return Err(EngineError::Mal(mal::MalError::BadParam(
+                    p.slot,
+                    format!("{d} has no SQL literal form in a mutating statement"),
+                )));
+            }
+        }
+    }
+    let bound = stmt.map_params(&mut |p| {
+        params
+            .get(p.slot)
+            .map(|v| Expr::Literal(value_to_literal(v)))
+    });
+    Ok(bound)
+}
+
+/// The declared type of each parameter slot of a cached plan, if
+/// compiled (driver introspection; `None` entries mean "untyped").
+pub fn cached_param_types(prep: &Prepared) -> Option<Vec<Option<ScalarType>>> {
+    prep.cache.as_ref().map(|c| c.prog.params.clone())
+}

@@ -38,6 +38,7 @@
 pub mod ddl;
 pub mod dml;
 pub mod engine;
+pub mod exec;
 pub mod result;
 pub mod session;
 pub mod storage;
@@ -46,11 +47,102 @@ pub mod storage;
 mod tests;
 
 pub use engine::{EngineSession, EngineSnapshot, EngineStats, SessionStats, SharedEngine};
+pub use exec::Prepared;
 pub use result::{ArrayView, ColumnMeta, ResultSet};
 pub use session::{Connection, LastExec, QueryResult, SessionConfig};
 pub use storage::{ArrayStore, TableStore};
 
 use std::fmt;
+
+/// Stable, transport-independent error codes. Every error the stack can
+/// produce — parser, binder, catalog, interpreter, kernels, durable
+/// store, network — maps to exactly one code, and the code survives the
+/// wire: a server-side parse error reaches a remote driver as the same
+/// [`ErrorCode::Parse`] an embedded session produces. The numeric values
+/// are part of the public API and never change meaning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// Lexical or syntax error (1001).
+    Parse = 1001,
+    /// Name resolution / type-check error (1002).
+    Bind = 1002,
+    /// Catalog error: unknown or duplicate schema object (1003).
+    Catalog = 1003,
+    /// Runtime execution error in the MAL interpreter (1004).
+    Exec = 1004,
+    /// BAT kernel error — overflow, division by zero, bad cast (1005).
+    Kernel = 1005,
+    /// Durable-store error: I/O or on-disk corruption (1006).
+    Storage = 1006,
+    /// Bind-parameter error: unbound slot or uncoercible value (1007).
+    Param = 1007,
+    /// Statement-level misuse: unknown prepared name, rows/affected
+    /// mismatch, and other engine-reported conditions (1008).
+    Statement = 1008,
+    /// Network transport I/O failure (1101).
+    Io = 1101,
+    /// Wire-protocol violation (1102).
+    Protocol = 1102,
+    /// Protocol version mismatch (1103).
+    Version = 1103,
+    /// Driver-level misuse: bad URL, closed connection (1104).
+    Connection = 1104,
+    /// Anything that should not happen (1999).
+    Internal = 1999,
+}
+
+impl ErrorCode {
+    /// The wire representation.
+    pub fn as_u16(self) -> u16 {
+        self as u16
+    }
+
+    /// Parse a wire code; unknown codes land on
+    /// [`ErrorCode::Internal`] so old clients survive new servers.
+    pub fn from_u16(v: u16) -> ErrorCode {
+        match v {
+            1001 => ErrorCode::Parse,
+            1002 => ErrorCode::Bind,
+            1003 => ErrorCode::Catalog,
+            1004 => ErrorCode::Exec,
+            1005 => ErrorCode::Kernel,
+            1006 => ErrorCode::Storage,
+            1007 => ErrorCode::Param,
+            1008 => ErrorCode::Statement,
+            1101 => ErrorCode::Io,
+            1102 => ErrorCode::Protocol,
+            1103 => ErrorCode::Version,
+            1104 => ErrorCode::Connection,
+            _ => ErrorCode::Internal,
+        }
+    }
+
+    /// Stable lowercase name (used in error display).
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::Parse => "parse",
+            ErrorCode::Bind => "bind",
+            ErrorCode::Catalog => "catalog",
+            ErrorCode::Exec => "exec",
+            ErrorCode::Kernel => "kernel",
+            ErrorCode::Storage => "storage",
+            ErrorCode::Param => "param",
+            ErrorCode::Statement => "statement",
+            ErrorCode::Io => "io",
+            ErrorCode::Protocol => "protocol",
+            ErrorCode::Version => "version",
+            ErrorCode::Connection => "connection",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name(), self.as_u16())
+    }
+}
 
 /// Engine errors, aggregating every layer of the stack.
 #[derive(Debug)]
@@ -75,6 +167,24 @@ impl EngineError {
     /// Engine-level error from a message.
     pub fn msg(m: impl Into<String>) -> Self {
         EngineError::Msg(m.into())
+    }
+
+    /// The stable [`ErrorCode`] this error maps into (the same code a
+    /// remote driver receives over the wire).
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            EngineError::Parse(_) => ErrorCode::Parse,
+            EngineError::Algebra(sciql_algebra::AlgebraError::Catalog(_)) => ErrorCode::Catalog,
+            EngineError::Algebra(sciql_algebra::AlgebraError::Internal(_)) => ErrorCode::Internal,
+            EngineError::Algebra(_) => ErrorCode::Bind,
+            EngineError::Catalog(_) => ErrorCode::Catalog,
+            EngineError::Mal(mal::MalError::UnboundParam(..))
+            | EngineError::Mal(mal::MalError::BadParam(..)) => ErrorCode::Param,
+            EngineError::Mal(_) => ErrorCode::Exec,
+            EngineError::Gdk(_) => ErrorCode::Kernel,
+            EngineError::Store(_) => ErrorCode::Storage,
+            EngineError::Msg(_) => ErrorCode::Statement,
+        }
     }
 }
 

@@ -1,18 +1,16 @@
 //! The session: parse → bind → algebra → MAL → optimizers → interpreter,
 //! the full pipeline of the paper's Fig 2.
 
-use crate::result::{ColumnMeta, ResultSet};
+use crate::exec::{self, PreparedSet};
+use crate::result::ResultSet;
 use crate::storage::{ArrayStore, TableStore};
 use crate::{EngineError, Result};
-use gdk::Bat;
-use mal::{
-    Binder as MalBinder, ExecStats, Interpreter, MalValue, OptConfig, PassStats, Program, Registry,
-};
+use gdk::{Bat, Value};
+use mal::{ExecStats, OptConfig, PassStats, Registry};
 use sciql_algebra::{compile, rewrite, Binder, CodegenOptions, Plan};
 use sciql_catalog::Catalog;
 use sciql_catalog::SchemaObject;
 use sciql_parser::ast::{SelectStmt, Stmt};
-use sciql_parser::{parse_statement, parse_statements};
 use sciql_store::{CheckpointColumn, CheckpointObject, Vault, VaultStats};
 use std::collections::HashMap;
 use std::path::Path;
@@ -122,6 +120,8 @@ pub struct Connection {
     pub(crate) opt_config: OptConfig,
     pub(crate) codegen: CodegenOptions,
     last: LastExec,
+    /// Named prepared statements (compiled-once plan cache for SELECTs).
+    prepared: PreparedSet,
     /// Durable backing store; `None` for a purely in-memory session.
     vault: Option<Vault>,
     /// True while WAL statements are replayed at open (suppresses
@@ -152,6 +152,7 @@ impl Connection {
             opt_config: OptConfig::default(),
             codegen: CodegenOptions::default(),
             last: LastExec::default(),
+            prepared: PreparedSet::default(),
             vault: None,
             replaying: false,
         };
@@ -360,15 +361,56 @@ impl Connection {
 
     /// Execute one statement.
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
-        let stmt = parse_statement(sql).map_err(EngineError::Parse)?;
+        let stmt = exec::parse_one(sql)?;
         self.execute_stmt(&stmt)
     }
 
     /// Execute a semicolon-separated script, returning one result per
     /// statement.
     pub fn execute_script(&mut self, sql: &str) -> Result<Vec<QueryResult>> {
-        let stmts = parse_statements(sql).map_err(EngineError::Parse)?;
+        let stmts = exec::parse_script(sql)?;
         stmts.iter().map(|s| self.execute_stmt(s)).collect()
+    }
+
+    /// Prepare a named statement: parsed now, and (for SELECTs) compiled
+    /// once into a parameterised plan on first execution. Returns the
+    /// number of `?`/`:name` bind slots. Re-preparing a name replaces it.
+    pub fn prepare(&mut self, name: &str, sql: &str) -> Result<usize> {
+        self.prepared.insert(name, sql)
+    }
+
+    /// Execute a prepared statement with bound parameter values (slot
+    /// order; see [`crate::Prepared::param_slot`] for named lookup).
+    ///
+    /// SELECTs run the cached compiled plan — a cache hit skips parse,
+    /// bind and the optimizer pipeline entirely, reported as
+    /// `ExecStats::plan_cache_hits` in [`Connection::last_exec`].
+    /// Mutating statements inline the values as literals and take the
+    /// ordinary (WAL-logged) dispatch path.
+    pub fn execute_prepared(&mut self, name: &str, params: &[Value]) -> Result<QueryResult> {
+        let prep = self.prepared.get_mut(name)?;
+        prep.check_params(params)?;
+        if prep.is_select() {
+            let (rs, last) = exec::execute_prepared_select(
+                prep,
+                params,
+                &self.registry,
+                self.opt_config,
+                &self.codegen,
+                &self.catalog,
+                &self.arrays,
+                &self.tables,
+            )?;
+            self.last = last;
+            return Ok(QueryResult::Rows(rs));
+        }
+        let stmt = exec::bind_params_into(prep.statement(), params)?;
+        self.execute_stmt(&stmt)
+    }
+
+    /// Drop a prepared statement; `true` if it existed.
+    pub fn deallocate(&mut self, name: &str) -> bool {
+        self.prepared.remove(name)
     }
 
     /// Execute a SELECT and return its rows.
@@ -497,7 +539,7 @@ impl Connection {
 
     /// EXPLAIN: the logical plan and the (optimised) MAL program text.
     pub fn explain(&self, sql: &str) -> Result<String> {
-        let stmt = parse_statement(sql).map_err(EngineError::Parse)?;
+        let stmt = exec::parse_one(sql)?;
         let Stmt::Select(sel) = stmt else {
             return Err(EngineError::msg("EXPLAIN supports SELECT statements"));
         };
@@ -523,7 +565,7 @@ impl Connection {
     /// Compile and execute a logical plan (also used by the DML
     /// executors).
     pub(crate) fn run_plan(&mut self, plan: &Plan) -> Result<ResultSet> {
-        let (rs, last) = execute_plan(
+        let (rs, last) = exec::execute_plan(
             plan,
             &self.registry,
             self.opt_config,
@@ -604,94 +646,5 @@ impl Connection {
         self.tables
             .get(&name.to_ascii_lowercase())
             .ok_or_else(|| EngineError::msg(format!("no such table {name:?}")))
-    }
-}
-
-/// Compile and execute a logical plan against a set of stores. This is
-/// the tail of the Fig-2 pipeline with no `&mut` requirement on any
-/// session state, which is what lets [`crate::SharedEngine`] run many
-/// concurrent readers over `Arc`-shared column snapshots while writes
-/// serialize elsewhere.
-pub(crate) fn execute_plan(
-    plan: &Plan,
-    registry: &Registry,
-    opt_config: OptConfig,
-    codegen: &CodegenOptions,
-    arrays: &HashMap<String, ArrayStore>,
-    tables: &HashMap<String, TableStore>,
-) -> Result<(ResultSet, LastExec)> {
-    let mut prog: Program = compile(plan, codegen)?;
-    let before = prog.instrs.len();
-    let report = mal::optimise(&mut prog, registry, opt_config);
-    let after = prog.instrs.len();
-    let storage = StorageBinder { arrays, tables };
-    let interp = Interpreter::with_config(registry, &storage, codegen.par_config());
-    let (outs, exec) = interp.run_with_stats(&prog).map_err(EngineError::Mal)?;
-    let last = LastExec {
-        exec,
-        opt: report,
-        instrs_before_opt: before,
-        instrs_after_opt: after,
-    };
-    let schema = plan.schema();
-    let mut columns = Vec::with_capacity(schema.len());
-    let mut bats: Vec<Arc<Bat>> = Vec::with_capacity(schema.len());
-    for ((label, val), info) in outs.into_iter().zip(schema) {
-        let b = match val {
-            MalValue::Bat(b) => b,
-            MalValue::Scalar(v) => {
-                let ty = v.scalar_type().unwrap_or(info.ty);
-                let mut nb = Bat::with_capacity(ty, 1);
-                nb.push(&v).map_err(EngineError::Gdk)?;
-                Arc::new(nb)
-            }
-            other => {
-                return Err(EngineError::msg(format!(
-                    "result column {label:?} is not a BAT ({})",
-                    other.kind()
-                )))
-            }
-        };
-        columns.push(ColumnMeta {
-            name: label,
-            ty: b.tail_type(),
-            dimensional: info.dimensional,
-        });
-        bats.push(b);
-    }
-    Ok((ResultSet { columns, bats }, last))
-}
-
-/// Resolves `sql.bind` against the session storage.
-struct StorageBinder<'a> {
-    arrays: &'a HashMap<String, ArrayStore>,
-    tables: &'a HashMap<String, TableStore>,
-}
-
-impl MalBinder for StorageBinder<'_> {
-    fn bind(&self, object: &str, column: &str) -> mal::Result<MalValue> {
-        let key = object.to_ascii_lowercase();
-        if let Some(a) = self.arrays.get(&key) {
-            if let Some(k) = a.def.dim_index(column) {
-                return Ok(MalValue::Bat(a.dims[k].clone()));
-            }
-            if let Some(k) = a.def.attr_index(column) {
-                return Ok(MalValue::Bat(a.attrs[k].clone()));
-            }
-            return Err(mal::MalError::msg(format!(
-                "array {object:?} has no column {column:?}"
-            )));
-        }
-        if let Some(t) = self.tables.get(&key) {
-            if let Some(k) = t.def.column_index(column) {
-                return Ok(MalValue::Bat(t.cols[k].clone()));
-            }
-            return Err(mal::MalError::msg(format!(
-                "table {object:?} has no column {column:?}"
-            )));
-        }
-        Err(mal::MalError::msg(format!(
-            "no storage for object {object:?}"
-        )))
     }
 }

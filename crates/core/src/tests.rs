@@ -406,3 +406,193 @@ fn failed_partial_statement_resyncs_durable_state() {
     assert_eq!(rs.bats[0].get(0), Value::Int(1));
     std::fs::remove_dir_all(&dir).ok();
 }
+
+// ---------------------------------------------------------------------
+// prepared statements with bound parameters (the driver's engine path)
+// ---------------------------------------------------------------------
+
+fn fig1_connection() -> Connection {
+    let mut c = Connection::new();
+    c.execute_script(
+        "CREATE ARRAY m (x INT DIMENSION[0:1:4], y INT DIMENSION[0:1:4], v INT DEFAULT 0); \
+         UPDATE m SET v = x + y;",
+    )
+    .unwrap();
+    c
+}
+
+#[test]
+fn prepared_select_binds_positional_params() {
+    let mut c = fig1_connection();
+    let n = c
+        .prepare("q", "SELECT COUNT(*) FROM m WHERE v < ?")
+        .unwrap();
+    assert_eq!(n, 1);
+    let count = |c: &mut Connection, v: i64| {
+        c.execute_prepared("q", &[Value::Lng(v)])
+            .unwrap()
+            .rows()
+            .unwrap()
+            .scalar()
+            .unwrap()
+            .as_i64()
+            .unwrap()
+    };
+    // v = x + y over a 4x4 grid; v < 1 ⇒ only (0,0).
+    assert_eq!(count(&mut c, 1), 1);
+    assert_eq!(count(&mut c, 100), 16);
+    // The result matches the unprepared equivalent with the value inlined.
+    let direct = c
+        .query("SELECT COUNT(*) FROM m WHERE v < 3")
+        .unwrap()
+        .scalar()
+        .unwrap()
+        .as_i64()
+        .unwrap();
+    assert_eq!(count(&mut c, 3), direct);
+}
+
+#[test]
+fn prepared_select_reuses_cached_plan() {
+    let mut c = fig1_connection();
+    c.prepare("q", "SELECT SUM(v) FROM m WHERE x > :lo")
+        .unwrap();
+    c.execute_prepared("q", &[Value::Int(0)]).unwrap();
+    assert_eq!(
+        c.last_exec().exec.plan_cache_hits,
+        0,
+        "first execution compiles"
+    );
+    c.execute_prepared("q", &[Value::Int(1)]).unwrap();
+    assert_eq!(
+        c.last_exec().exec.plan_cache_hits,
+        1,
+        "re-execution skips parse/bind/optimise"
+    );
+    // A schema change invalidates the cache…
+    c.execute("CREATE TABLE unrelated (a INT)").unwrap();
+    c.execute_prepared("q", &[Value::Int(2)]).unwrap();
+    assert_eq!(c.last_exec().exec.plan_cache_hits, 0, "catalog changed");
+    // …and the next execution hits again.
+    c.execute_prepared("q", &[Value::Int(3)]).unwrap();
+    assert_eq!(c.last_exec().exec.plan_cache_hits, 1);
+}
+
+#[test]
+fn prepared_select_cache_invalidated_by_reconfig() {
+    let mut c = fig1_connection();
+    c.prepare("q", "SELECT SUM(v) FROM m WHERE x > ?").unwrap();
+    c.execute_prepared("q", &[Value::Int(0)]).unwrap();
+    c.execute_prepared("q", &[Value::Int(0)]).unwrap();
+    assert_eq!(c.last_exec().exec.plan_cache_hits, 1);
+    c.set_session_config(crate::SessionConfig::with_opt_level(0));
+    c.execute_prepared("q", &[Value::Int(0)]).unwrap();
+    assert_eq!(
+        c.last_exec().exec.plan_cache_hits,
+        0,
+        "opt level change recompiles"
+    );
+}
+
+#[test]
+fn prepared_results_identical_to_inlined_constants() {
+    // The parameterised plan and the constant plan must produce
+    // byte-identical result pages (the driver's acceptance criterion).
+    let mut c = fig1_connection();
+    c.prepare("p", "SELECT [x], [y], v FROM m WHERE v >= :t AND x < 3")
+        .unwrap();
+    for t in [0i64, 2, 5] {
+        let bound = c
+            .execute_prepared("p", &[Value::Lng(t)])
+            .unwrap()
+            .rows()
+            .unwrap();
+        let inlined = c
+            .query(&format!(
+                "SELECT [x], [y], v FROM m WHERE v >= {t} AND x < 3"
+            ))
+            .unwrap();
+        assert_eq!(bound.encode_header(), inlined.encode_header(), "t={t}");
+        assert_eq!(
+            bound.encode_pages(7),
+            inlined.encode_pages(7),
+            "t={t}: pages must be byte-identical"
+        );
+    }
+}
+
+#[test]
+fn prepared_dml_inlines_values_and_wal_logs_them() {
+    let dir = std::env::temp_dir().join(format!("sciql-prep-dml-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    {
+        let mut c = Connection::open(&dir).unwrap();
+        c.execute("CREATE TABLE t (a INT, s VARCHAR)").unwrap();
+        c.prepare("ins", "INSERT INTO t VALUES (?, ?)").unwrap();
+        for (a, s) in [(1, "one"), (2, "it's")] {
+            let r = c
+                .execute_prepared("ins", &[Value::Int(a), Value::Str(s.into())])
+                .unwrap();
+            assert!(matches!(r, QueryResult::Affected(1)));
+        }
+        c.prepare("del", "DELETE FROM t WHERE a = :k").unwrap();
+        c.execute_prepared("del", &[Value::Int(1)]).unwrap();
+    }
+    // Crash-free reopen replays the WAL: the logged text carried the
+    // bound values, not placeholders.
+    let mut c = Connection::open(&dir).unwrap();
+    let rs = c.query("SELECT a, s FROM t").unwrap();
+    assert_eq!(rs.row_count(), 1);
+    assert_eq!(rs.get(0, 0), Value::Int(2));
+    assert_eq!(rs.get(0, 1), Value::Str("it's".into()));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn prepared_param_errors_are_clear() {
+    let mut c = fig1_connection();
+    c.prepare("q", "SELECT v FROM m WHERE v = ? AND x = ?")
+        .unwrap();
+    // Unbound parameter.
+    let err = c.execute_prepared("q", &[Value::Int(1)]).unwrap_err();
+    assert_eq!(err.code(), crate::ErrorCode::Param, "{err}");
+    // Unknown statement name.
+    let err = c.execute_prepared("nope", &[]).unwrap_err();
+    assert_eq!(err.code(), crate::ErrorCode::Statement, "{err}");
+    // Uncastable value for a typed slot.
+    let err = c
+        .execute_prepared("q", &[Value::Str("x".into()), Value::Int(0)])
+        .unwrap_err();
+    assert_eq!(err.code(), crate::ErrorCode::Param, "{err}");
+    // Deallocate works and is idempotent.
+    assert!(c.deallocate("q"));
+    assert!(!c.deallocate("q"));
+}
+
+#[test]
+fn non_finite_params_cannot_brick_the_wal() {
+    // NaN/inf have no SQL literal form; inlining one into a logged DML
+    // statement would make WAL replay fail forever. The bind must be
+    // refused up front — and recovery must still work afterwards.
+    let dir = std::env::temp_dir().join(format!("sciql-nanbind-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    {
+        let mut c = Connection::open(&dir).unwrap();
+        c.execute("CREATE TABLE q (d DOUBLE)").unwrap();
+        c.prepare("ins", "INSERT INTO q VALUES (?)").unwrap();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = c.execute_prepared("ins", &[Value::Dbl(bad)]).unwrap_err();
+            assert_eq!(err.code(), crate::ErrorCode::Param, "{bad}: {err}");
+        }
+        // Finite values still work, SELECT params still accept NaN.
+        c.execute_prepared("ins", &[Value::Dbl(2.5)]).unwrap();
+        c.prepare("sel", "SELECT COUNT(*) FROM q WHERE d = ?")
+            .unwrap();
+        c.execute_prepared("sel", &[Value::Dbl(f64::NAN)]).unwrap();
+        // Simulate a crash: drop without checkpoint, forcing WAL replay.
+    }
+    let mut c = Connection::open(&dir).unwrap();
+    let n = c.query("SELECT COUNT(*) FROM q").unwrap().scalar().unwrap();
+    assert_eq!(n.as_i64(), Some(1), "replay sees exactly the finite row");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -12,7 +12,7 @@
 //!
 //! Predicates use the same `*_in_range` helpers the selection scan
 //! monomorphizes — so the qualifying sets cannot drift — dispatched here
-//! through [`with_range_pred!`] so each shape gets a concrete closure
+//! through the `with_range_pred!` macro so each shape gets a concrete closure
 //! (no virtual call per element on the hot path).
 
 use crate::aggregate::AggFunc;
@@ -194,7 +194,7 @@ fn select_project_with(
 }
 
 /// [`select_project`] with the theta comparison lowered through the same
-/// [`theta_bounds`] as `thetaselect` (NULL comparison value selects
+/// theta-bounds lowering as `thetaselect` (NULL comparison value selects
 /// nothing).
 pub fn theta_select_project(
     b: &Bat,

@@ -4,13 +4,13 @@
 //! kernels: the input domain (positions or candidate positions) is split
 //! into near-equal contiguous windows ([`crate::slice::chunk_ranges`]),
 //! each window is processed on its own scoped thread over zero-copy
-//! [`BatSlice`](crate::slice::BatSlice) views, and the per-window results
+//! [`crate::slice::BatSlice`] views, and the per-window results
 //! are merged in window order. Because windows are processed in input
 //! order and merged in input order, results are identical to the serial
 //! kernels (the differential tests in `tests/kernel_properties.rs` pin
 //! this down across thread counts).
 //!
-//! Inputs shorter than [`ParConfig::threshold`] — or any shape a kernel
+//! Inputs shorter than [`ParConfig::parallel_threshold`] — or any shape a kernel
 //! has no typed parallel path for — run serially; each driver reports the
 //! thread count it actually used so the MAL interpreter can record
 //! per-instruction parallelism in its `ExecStats`.

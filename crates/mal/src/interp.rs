@@ -119,6 +119,11 @@ pub struct ExecStats {
     pub par_instructions: usize,
     /// Largest worker-thread count any instruction used.
     pub max_threads: usize,
+    /// 1 when this execution reused a cached compiled plan (prepared
+    /// statement re-execution that skipped parse + bind + optimise);
+    /// 0 when the plan was compiled for this execution. Set by the
+    /// engine's prepared-statement executor, not the interpreter itself.
+    pub plan_cache_hits: usize,
     /// Intermediate results (candidate lists, projected BATs) the fused
     /// kernels skipped materialising.
     pub intermediates_avoided: usize,
@@ -158,12 +163,36 @@ impl<'a> Interpreter<'a> {
         self.run_with_stats(prog).map(|(r, _)| r)
     }
 
+    /// Run the program with bound parameter values filling its
+    /// [`Arg::Param`] slots.
+    pub fn run_with_params(
+        &self,
+        prog: &Program,
+        params: &[Value],
+    ) -> Result<Vec<(String, MalValue)>> {
+        self.run_with_stats_params(prog, params).map(|(r, _)| r)
+    }
+
     /// Run the program and report execution statistics.
     pub fn run_with_stats(&self, prog: &Program) -> Result<(Vec<(String, MalValue)>, ExecStats)> {
+        self.run_with_stats_params(prog, &[])
+    }
+
+    /// [`Interpreter::run_with_stats`] with bound parameter values. Each
+    /// value is coerced to its slot's declared type (`Program::params`)
+    /// up front, so a parameterised plan executes exactly like the same
+    /// plan with inlined constants.
+    pub fn run_with_stats_params(
+        &self,
+        prog: &Program,
+        params: &[Value],
+    ) -> Result<(Vec<(String, MalValue)>, ExecStats)> {
+        let params = coerce_params(prog, params)?;
         let mut env: Vec<Option<MalValue>> = vec![None; prog.vars.len()];
         let mut stats = ExecStats::default();
         for ins in &prog.instrs {
-            let (outs, threads, (avoided, avoided_bytes)) = self.exec_instr(prog, ins, &env)?;
+            let (outs, threads, (avoided, avoided_bytes)) =
+                self.exec_instr(prog, ins, &env, &params)?;
             stats.instructions += 1;
             stats.max_threads = stats.max_threads.max(threads);
             if threads > 1 {
@@ -202,11 +231,18 @@ impl<'a> Interpreter<'a> {
         prog: &Program,
         ins: &Instr,
         env: &[Option<MalValue>],
+        params: &[Value],
     ) -> Result<(Vec<MalValue>, usize, (usize, usize))> {
         let mut args: Vec<MalValue> = Vec::with_capacity(ins.args.len());
         for a in &ins.args {
             match a {
                 Arg::Const(v) => args.push(MalValue::Scalar(v.clone())),
+                Arg::Param(k) => args.push(MalValue::Scalar(
+                    params
+                        .get(*k)
+                        .cloned()
+                        .ok_or_else(|| MalError::unbound_param(*k, params.len()))?,
+                )),
                 Arg::Var(vid) => args.push(env[*vid].clone().ok_or_else(|| {
                     MalError::msg(format!(
                         "variable {} used before assignment in {}",
@@ -245,6 +281,32 @@ impl<'a> Interpreter<'a> {
             prim(&args, &ctx).map_err(|e| MalError::msg(format!("{}: {e}", ins.qualified())))?;
         Ok((outs, ctx.threads_used(), ctx.avoided()))
     }
+}
+
+/// Coerce the caller's bound values to the program's declared slot
+/// types. Fails when the program declares a slot past the end of
+/// `params` (unbound parameter) or a value cannot be cast to its slot
+/// type. Extra trailing values are tolerated (the program simply does
+/// not read them). The slot count comes from `Program::params`, which
+/// the code generator maintains for every emitted `Arg::Param` — no
+/// per-execution instruction scan on the cached-plan hot path; a
+/// hand-built program with an undeclared slot still fails cleanly at
+/// the referencing instruction.
+fn coerce_params(prog: &Program, params: &[Value]) -> Result<Vec<Value>> {
+    let needed = prog.params.len();
+    if params.len() < needed {
+        return Err(MalError::unbound_param(needed - 1, params.len()));
+    }
+    params
+        .iter()
+        .enumerate()
+        .map(|(k, v)| match prog.params.get(k).copied().flatten() {
+            Some(ty) => v
+                .cast(ty)
+                .ok_or_else(|| MalError::BadParam(k, format!("{v} is not a valid {ty}"))),
+            None => Ok(v.clone()),
+        })
+        .collect()
 }
 
 /// Convenience: variable id type re-export for callers.
@@ -406,6 +468,50 @@ mod tests {
         let interp = Interpreter::new(&r, &EmptyBinder);
         let err = interp.run(&p).unwrap_err();
         assert!(err.to_string().contains("expected BAT"), "{err}");
+    }
+
+    #[test]
+    fn params_fill_slots_per_execution() {
+        // filler(?0, ?1) summed: the same compiled program runs with
+        // different count/value bindings, no recompilation.
+        let mut p = Program::new("par");
+        let x = p.emit(
+            "array",
+            "filler",
+            vec![Arg::Param(0), Arg::Param(1)],
+            MalType::Bat(ScalarType::Int),
+        );
+        let s = p.emit(
+            "aggr",
+            "sum",
+            vec![Arg::Var(x)],
+            MalType::Scalar(ScalarType::Lng),
+        );
+        p.add_result("s", s);
+        p.declare_param(0, Some(ScalarType::Lng));
+        p.declare_param(1, Some(ScalarType::Int));
+        let r = reg();
+        let interp = Interpreter::new(&r, &EmptyBinder);
+        let sum = |params: &[Value]| {
+            interp.run_with_params(&p, params).unwrap()[0]
+                .1
+                .as_scalar()
+                .unwrap()
+                .as_i64()
+                .unwrap()
+        };
+        assert_eq!(sum(&[Value::Lng(4), Value::Int(8)]), 32);
+        assert_eq!(sum(&[Value::Lng(3), Value::Int(5)]), 15);
+        // Typed coercion: an int binds into the lng slot.
+        assert_eq!(sum(&[Value::Int(4), Value::Int(8)]), 32);
+        // Unbound: clear error naming the slot.
+        let err = interp.run(&p).unwrap_err();
+        assert!(err.to_string().contains("parameter 2"), "{err}");
+        // Uncastable: also a clear error.
+        let err = interp
+            .run_with_params(&p, &[Value::Str("x".into()), Value::Int(1)])
+            .unwrap_err();
+        assert!(err.to_string().contains("cannot bind"), "{err}");
     }
 
     #[test]

@@ -55,6 +55,12 @@ pub enum Arg {
     Var(VarId),
     /// Literal constant.
     Const(Value),
+    /// Bind-parameter slot, filled per execution by the interpreter from
+    /// the caller-supplied value list (`?`/`:name` placeholders compiled
+    /// by the code generator). A program with `Param` arguments compiles
+    /// once and re-executes with different values — no re-parse, no
+    /// re-optimise.
+    Param(usize),
 }
 
 /// One MAL instruction: `(r1, r2, …) := module.function(arg, …)`.
@@ -122,6 +128,11 @@ pub struct Program {
     /// Variables whose final values form the program result, with output
     /// column labels.
     pub results: Vec<(String, VarId)>,
+    /// Declared type per bind-parameter slot, indexed by the slot of
+    /// [`Arg::Param`]. The interpreter coerces each bound value to its
+    /// slot type before execution; `None` means the type could not be
+    /// inferred at compile time and the value is passed through as-is.
+    pub params: Vec<Option<ScalarType>>,
 }
 
 impl Program {
@@ -218,6 +229,7 @@ impl Program {
                     Arg::Var(v) => self.vars[*v].name.clone(),
                     Arg::Const(Value::Str(s)) => format!("{s:?}"),
                     Arg::Const(c) => format!("{c}"),
+                    Arg::Param(k) => format!("?{k}"),
                 })
                 .collect();
             out.push_str(&args.join(", "));
@@ -240,8 +252,23 @@ impl Program {
     pub fn uses(ins: &Instr) -> impl Iterator<Item = VarId> + '_ {
         ins.args.iter().filter_map(|a| match a {
             Arg::Var(v) => Some(*v),
-            Arg::Const(_) => None,
+            Arg::Const(_) | Arg::Param(_) => None,
         })
+    }
+
+    /// Declare a bind-parameter slot's type (grows the slot table as
+    /// needed). A slot seen with two different inferred types degrades to
+    /// `None` (pass-through).
+    pub fn declare_param(&mut self, slot: usize, ty: Option<ScalarType>) {
+        if self.params.len() <= slot {
+            self.params.resize(slot + 1, None);
+        }
+        self.params[slot] = match (self.params[slot], ty) {
+            (None, t) => t,
+            (Some(prev), Some(t)) if prev == t => Some(prev),
+            (Some(prev), None) => Some(prev),
+            _ => None,
+        };
     }
 }
 

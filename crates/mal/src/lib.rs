@@ -36,6 +36,13 @@ use std::fmt;
 pub enum MalError {
     /// Kernel-level error.
     Gdk(gdk::GdkError),
+    /// A bind-parameter slot was referenced but no value was supplied:
+    /// `(slot, bound)` — the zero-based slot and how many values the
+    /// caller actually bound.
+    UnboundParam(usize, usize),
+    /// A bound value could not be coerced to its slot's declared type:
+    /// `(slot, detail)`.
+    BadParam(usize, String),
     /// Interpreter/registry error.
     Msg(String),
 }
@@ -45,12 +52,26 @@ impl MalError {
     pub fn msg(m: impl Into<String>) -> Self {
         MalError::Msg(m.into())
     }
+
+    /// Construct an unbound-parameter error.
+    pub fn unbound_param(slot: usize, bound: usize) -> Self {
+        MalError::UnboundParam(slot, bound)
+    }
 }
 
 impl fmt::Display for MalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MalError::Gdk(e) => write!(f, "{e}"),
+            MalError::UnboundParam(slot, bound) => write!(
+                f,
+                "parameter {} is not bound ({} value(s) supplied)",
+                slot + 1,
+                bound
+            ),
+            MalError::BadParam(slot, detail) => {
+                write!(f, "cannot bind parameter {}: {detail}", slot + 1)
+            }
             MalError::Msg(m) => f.write_str(m),
         }
     }

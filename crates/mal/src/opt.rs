@@ -255,7 +255,10 @@ fn constfold(prog: &mut Program, registry: &Registry) -> usize {
                 .iter()
                 .map(|a| match a {
                     Arg::Const(v) => MalValue::Scalar(v.clone()),
-                    Arg::Var(_) => unreachable!("checked all-const above"),
+                    // Param args are never constant-folded (their value
+                    // changes per execution), Var args were filtered by
+                    // the all-const check above.
+                    Arg::Var(_) | Arg::Param(_) => unreachable!("checked all-const above"),
                 })
                 .collect();
             if let Ok(prim) = registry.lookup(&ins.module, &ins.function) {

@@ -94,7 +94,7 @@ impl Client {
                     .map_err(|_| NetError::protocol("malformed HelloOk"))?;
                 Ok(client)
             }
-            Op::Error => Err(NetError::Server(read_error(body))),
+            Op::Error => Err(proto::read_error(body)),
             other => Err(NetError::protocol(format!(
                 "expected HelloOk, got {other:?}"
             ))),
@@ -129,7 +129,7 @@ impl Client {
         }
         let result = f(self);
         if let Err(e) = &result {
-            if !matches!(e, NetError::Server(_)) {
+            if !matches!(e, NetError::Server { .. }) {
                 self.broken = true;
             }
         }
@@ -149,24 +149,95 @@ impl Client {
         self.execute(sql)?.rows()
     }
 
-    /// Stash a named statement text in the server-side session.
-    pub fn prepare(&mut self, name: &str, sql: &str) -> NetResult<()> {
+    /// Prepare a named statement in the server-side session. The server
+    /// parses it immediately (and compiles SELECTs once, on first
+    /// execution); returns the number of `?`/`:name` bind slots.
+    pub fn prepare(&mut self, name: &str, sql: &str) -> NetResult<u16> {
         self.exchange(|c| {
             proto::write_frame(&mut c.stream, &proto::prepare(name, sql))?;
-            match c.read_reply()? {
-                NetReply::Affected(0) => Ok(()),
-                other => Err(NetError::protocol(format!(
-                    "unexpected Prepare reply {other:?}"
-                ))),
+            let frame = c.expect_frame()?;
+            match proto::split(&frame)? {
+                (Op::StmtOk, body) => proto::read_stmt_ok(body),
+                (Op::Error, body) => Err(proto::read_error(body)),
+                (op, _) => Err(NetError::protocol(format!("expected StmtOk, got {op:?}"))),
             }
         })
     }
 
-    /// Execute a statement previously stashed with [`Client::prepare`].
+    /// Execute a statement previously stashed with [`Client::prepare`]
+    /// (no parameters; use [`Client::execute_bound`] to bind values).
     pub fn execute_prepared(&mut self, name: &str) -> NetResult<NetReply> {
         self.exchange(|c| {
             proto::write_frame(&mut c.stream, &proto::exec_prepared(name))?;
             c.read_reply()
+        })
+    }
+
+    /// Stage bound parameter values for a prepared statement (slot
+    /// order). The values travel codec-encoded and bit-exact; they stay
+    /// staged until the next [`Client::bind`] for the same name.
+    pub fn bind(&mut self, name: &str, params: &[gdk::Value]) -> NetResult<()> {
+        self.exchange(|c| {
+            proto::write_frame(&mut c.stream, &proto::bind(name, params))?;
+            let frame = c.expect_frame()?;
+            match proto::split(&frame)? {
+                (Op::Ok, _) => Ok(()),
+                (Op::Error, body) => Err(proto::read_error(body)),
+                (op, _) => Err(NetError::protocol(format!("expected Ok, got {op:?}"))),
+            }
+        })
+    }
+
+    /// Execute a prepared statement with the values staged by the last
+    /// [`Client::bind`] (server-side cached plan, no re-planning).
+    pub fn exec_bound(&mut self, name: &str) -> NetResult<NetReply> {
+        self.exchange(|c| {
+            proto::write_frame(&mut c.stream, &proto::exec_bound(name))?;
+            c.read_reply()
+        })
+    }
+
+    /// [`Client::bind`] + [`Client::exec_bound`] pipelined: both frames
+    /// go out back-to-back and both replies are read afterwards, so a
+    /// bound re-execution costs one round trip, not two. If the bind is
+    /// refused, the exec answer (also an error — the values never
+    /// staged) is drained to keep the reply stream aligned and the bind
+    /// error is returned.
+    pub fn execute_bound(&mut self, name: &str, params: &[gdk::Value]) -> NetResult<NetReply> {
+        self.exchange(|c| {
+            proto::write_frame(&mut c.stream, &proto::bind(name, params))?;
+            proto::write_frame(&mut c.stream, &proto::exec_bound(name))?;
+            let frame = c.expect_frame()?;
+            let bind_err = match proto::split(&frame)? {
+                (Op::Ok, _) => None,
+                (Op::Error, body) => Some(proto::read_error(body)),
+                (op, _) => {
+                    return Err(NetError::protocol(format!("expected Ok, got {op:?}")));
+                }
+            };
+            let reply = c.read_reply();
+            match (bind_err, reply) {
+                // Bind refused: the exec answer is a statement error
+                // too; report the root cause. A transport-level failure
+                // on the second read still wins so the poison discipline
+                // sees it.
+                (Some(e), Ok(_) | Err(NetError::Server { .. })) => Err(e),
+                (Some(_), Err(other)) => Err(other),
+                (None, r) => r,
+            }
+        })
+    }
+
+    /// Drop a prepared statement server-side; `true` if it existed.
+    pub fn deallocate(&mut self, name: &str) -> NetResult<bool> {
+        self.exchange(|c| {
+            proto::write_frame(&mut c.stream, &proto::deallocate(name))?;
+            match c.read_reply()? {
+                NetReply::Affected(n) => Ok(n > 0),
+                other => Err(NetError::protocol(format!(
+                    "unexpected Deallocate reply {other:?}"
+                ))),
+            }
         })
     }
 
@@ -191,7 +262,7 @@ impl Client {
             let frame = c.expect_frame()?;
             match proto::split(&frame)? {
                 (Op::StatsReply, body) => proto::read_stats_reply(body),
-                (Op::Error, body) => Err(NetError::Server(read_error(body))),
+                (Op::Error, body) => Err(proto::read_error(body)),
                 (op, _) => Err(NetError::protocol(format!(
                     "expected StatsReply, got {op:?}"
                 ))),
@@ -225,7 +296,7 @@ impl Client {
         let frame = self.expect_frame()?;
         let (op, body) = proto::split(&frame)?;
         match op {
-            Op::Error => Err(NetError::Server(read_error(body))),
+            Op::Error => Err(proto::read_error(body)),
             Op::Ok => Ok(NetReply::Affected(0)),
             Op::Affected => {
                 let n = Reader::new(body)
@@ -264,7 +335,7 @@ impl Client {
                             }
                             return Ok(NetReply::Rows(builder.finish()));
                         }
-                        Op::Error => return Err(NetError::Server(read_error(body))),
+                        Op::Error => return Err(proto::read_error(body)),
                         other => {
                             return Err(NetError::protocol(format!(
                                 "unexpected {other:?} inside a result stream"
@@ -278,10 +349,4 @@ impl Client {
             ))),
         }
     }
-}
-
-fn read_error(body: &[u8]) -> String {
-    Reader::new(body)
-        .str()
-        .unwrap_or_else(|_| "malformed Error frame".into())
 }

@@ -3,8 +3,9 @@
 //! The paper's engine lives inside MonetDB and is reached over the MAPI
 //! socket protocol by many concurrent clients. This crate is that fourth
 //! layer for the reproduction: a pure-`std` TCP server that multiplexes
-//! N concurrent client sessions onto one process-wide [`SharedEngine`]
-//! (`sciql::SharedEngine`), and a blocking [`Client`] for tests, the
+//! N concurrent client sessions onto one process-wide
+//! [`SharedEngine`](sciql::SharedEngine), and a blocking [`Client`] for
+//! tests, the
 //! REPL's `--connect` mode and embedding.
 //!
 //! * Wire format: length-prefixed, versioned frames ([`proto`]); result

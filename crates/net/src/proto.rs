@@ -12,29 +12,43 @@
 //!
 //! client → server                      server → client
 //!   0x01 Hello   ver:u16 client:str      0x81 HelloOk  ver:u16 server:str sid:u64
-//!   0x02 Query   sql:str                 0x82 Error    message:str
+//!   0x02 Query   sql:str                 0x82 Error    code:u16 message:str
 //!   0x03 Prepare name:str sql:str        0x83 Affected n:u64
 //!   0x04 ExecPrepared name:str           0x84 ResultHeader  <ResultSet::encode_header>
 //!   0x05 Ping                            0x85 ResultPage    <ResultSet::encode_page>
 //!   0x06 Close                           0x86 ResultDone    rows:u64 pages:u32
 //!   0x07 Shutdown                        0x87 Pong
-//!   0x08 Stats                           0x88 Ok       (Prepare/Shutdown ack)
-//!                                        0x89 StatsReply    9×u64 (see [`ExecReport`])
+//!   0x08 Stats                           0x88 Ok       (Shutdown ack)
+//!   0x09 Bind    name:str n:u16 value*   0x89 StatsReply    10×u64 (see [`ExecReport`])
+//!   0x0A ExecBound name:str              0x8A StmtOk   nparams:u16 (Prepare ack)
+//!   0x0B Deallocate name:str
 //! ```
 //!
 //! A query answer is either one `Error`, one `Affected`, or a
 //! `ResultHeader`, zero or more `ResultPage`s and a closing `ResultDone`.
 //! The handshake (`Hello`/`HelloOk`) must be the first exchange on a
 //! connection; the server rejects anything else with `Error` and hangs up.
+//!
+//! Prepared statements with parameters: `Prepare` compiles the statement
+//! server-side (acked by `StmtOk` with the bind-slot count), `Bind`
+//! stages codec-encoded scalar values in the session (refused for names
+//! that were never prepared), `ExecBound` executes the statement with
+//! the staged values, and `Deallocate` frees it — re-executions reuse
+//! the server's cached plan, so only `Bind` + `ExecBound` round trips
+//! repeat, never parsing or optimisation.
 
+use sciql::ErrorCode;
 use std::fmt;
 use std::io::{self, Read, Write};
 
 /// Protocol version spoken by this build. A server answers a `Hello`
 /// carrying a *newer* version with the highest version it speaks; the
 /// client decides whether to continue (our client requires an exact
-/// match). Version 2 added `Stats`/`StatsReply`.
-pub const PROTO_VERSION: u16 = 2;
+/// match). Version 2 added `Stats`/`StatsReply`; version 3 added stable
+/// error codes in `Error`, the `Bind`/`ExecBound`/`StmtOk` frames for
+/// bound-parameter prepared statements, and `plan_cache_hits` in
+/// `StatsReply`.
+pub const PROTO_VERSION: u16 = 3;
 
 /// Upper bound on a single frame (64 MiB): a defence against a corrupt
 /// or hostile length prefix allocating unbounded memory, not a result
@@ -65,6 +79,12 @@ pub enum Op {
     Shutdown = 0x07,
     /// Request the session's last-statement execution report.
     Stats = 0x08,
+    /// Stage bound parameter values for a prepared statement.
+    Bind = 0x09,
+    /// Execute a prepared statement with the staged values.
+    ExecBound = 0x0A,
+    /// Drop a prepared statement (and its staged values).
+    Deallocate = 0x0B,
     /// Server handshake answer.
     HelloOk = 0x81,
     /// Statement (or protocol) failure; the session survives.
@@ -83,6 +103,8 @@ pub enum Op {
     Ok = 0x88,
     /// Execution report for the session's most recent statement.
     StatsReply = 0x89,
+    /// Prepare acknowledgement carrying the statement's bind-slot count.
+    StmtOk = 0x8A,
 }
 
 impl Op {
@@ -97,6 +119,9 @@ impl Op {
             0x06 => Op::Close,
             0x07 => Op::Shutdown,
             0x08 => Op::Stats,
+            0x09 => Op::Bind,
+            0x0A => Op::ExecBound,
+            0x0B => Op::Deallocate,
             0x81 => Op::HelloOk,
             0x82 => Op::Error,
             0x83 => Op::Affected,
@@ -106,6 +131,7 @@ impl Op {
             0x87 => Op::Pong,
             0x88 => Op::Ok,
             0x89 => Op::StatsReply,
+            0x8A => Op::StmtOk,
             _ => return None,
         })
     }
@@ -119,7 +145,15 @@ pub enum NetError {
     /// The peer violated the framing or sent something unexpected.
     Protocol(String),
     /// The server reported a statement error (the session survives).
-    Server(String),
+    /// Carries the stable [`ErrorCode`] the embedded engine would have
+    /// produced for the same failure, so a remote parse error is
+    /// indistinguishable from a local one.
+    Server {
+        /// Stable error code from the wire.
+        code: ErrorCode,
+        /// Human-readable message.
+        message: String,
+    },
     /// Handshake version mismatch.
     Version {
         /// Version this build speaks.
@@ -134,6 +168,16 @@ impl NetError {
     pub fn protocol(m: impl Into<String>) -> Self {
         NetError::Protocol(m.into())
     }
+
+    /// The stable [`ErrorCode`] this error maps into.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            NetError::Io(_) => ErrorCode::Io,
+            NetError::Protocol(_) => ErrorCode::Protocol,
+            NetError::Server { code, .. } => *code,
+            NetError::Version { .. } => ErrorCode::Version,
+        }
+    }
 }
 
 impl fmt::Display for NetError {
@@ -141,7 +185,7 @@ impl fmt::Display for NetError {
         match self {
             NetError::Io(e) => write!(f, "network I/O error: {e}"),
             NetError::Protocol(m) => write!(f, "protocol error: {m}"),
-            NetError::Server(m) => write!(f, "server error: {m}"),
+            NetError::Server { message, .. } => write!(f, "server error: {message}"),
             NetError::Version { ours, theirs } => {
                 write!(
                     f,
@@ -308,16 +352,87 @@ pub fn exec_prepared(name: &str) -> Vec<u8> {
     p
 }
 
+/// `Bind` payload: statement name plus slot-ordered scalar values,
+/// encoded with the same versioned value codec the vault and the result
+/// pages use (bit-exact round trip, nil sentinels included).
+pub fn bind(name: &str, values: &[gdk::Value]) -> Vec<u8> {
+    let mut p = vec![Op::Bind as u8];
+    gdk::codec::put_str(&mut p, name);
+    gdk::codec::put_u16(&mut p, values.len() as u16);
+    for v in values {
+        gdk::codec::encode_value(v, &mut p);
+    }
+    p
+}
+
+/// Decode a `Bind` body into the statement name and its values.
+pub fn read_bind(body: &[u8]) -> NetResult<(String, Vec<gdk::Value>)> {
+    let mut r = gdk::codec::Reader::new(body);
+    let bad = |_| NetError::protocol("malformed Bind");
+    let name = r.str().map_err(bad)?;
+    let n = r.u16().map_err(bad)? as usize;
+    let mut values = Vec::with_capacity(n);
+    for _ in 0..n {
+        values.push(gdk::codec::decode_value(&mut r).map_err(bad)?);
+    }
+    Ok((name, values))
+}
+
+/// `ExecBound` payload.
+pub fn exec_bound(name: &str) -> Vec<u8> {
+    let mut p = vec![Op::ExecBound as u8];
+    gdk::codec::put_str(&mut p, name);
+    p
+}
+
+/// `Deallocate` payload (answered with `Affected(1)` if the statement
+/// existed, `Affected(0)` otherwise).
+pub fn deallocate(name: &str) -> Vec<u8> {
+    let mut p = vec![Op::Deallocate as u8];
+    gdk::codec::put_str(&mut p, name);
+    p
+}
+
+/// `StmtOk` payload (Prepare acknowledgement).
+pub fn stmt_ok(nparams: u16) -> Vec<u8> {
+    let mut p = vec![Op::StmtOk as u8];
+    gdk::codec::put_u16(&mut p, nparams);
+    p
+}
+
+/// Decode a `StmtOk` body.
+pub fn read_stmt_ok(body: &[u8]) -> NetResult<u16> {
+    gdk::codec::Reader::new(body)
+        .u16()
+        .map_err(|_| NetError::protocol("malformed StmtOk"))
+}
+
 /// Bare single-opcode payload (`Ping`, `Close`, `Shutdown`, `Pong`, `Ok`).
 pub fn bare(op: Op) -> Vec<u8> {
     vec![op as u8]
 }
 
-/// `Error` payload.
-pub fn error(message: &str) -> Vec<u8> {
+/// `Error` payload: stable code + message.
+pub fn error(code: ErrorCode, message: &str) -> Vec<u8> {
     let mut p = vec![Op::Error as u8];
+    gdk::codec::put_u16(&mut p, code.as_u16());
     gdk::codec::put_str(&mut p, message);
     p
+}
+
+/// Decode an `Error` body into a [`NetError::Server`].
+pub fn read_error(body: &[u8]) -> NetError {
+    let mut r = gdk::codec::Reader::new(body);
+    match (r.u16(), r.str()) {
+        (Ok(code), Ok(message)) => NetError::Server {
+            code: ErrorCode::from_u16(code),
+            message,
+        },
+        _ => NetError::Server {
+            code: ErrorCode::Protocol,
+            message: "malformed Error frame".into(),
+        },
+    }
 }
 
 /// `Affected` payload.
@@ -351,6 +466,9 @@ pub struct ExecReport {
     pub intermediates_avoided: u64,
     /// Approximate bytes those intermediates would have occupied.
     pub bytes_not_materialized: u64,
+    /// 1 when the statement reused a cached compiled plan (prepared
+    /// re-execution), 0 otherwise.
+    pub plan_cache_hits: u64,
 }
 
 /// `StatsReply` payload.
@@ -366,6 +484,7 @@ pub fn stats_reply(report: &ExecReport) -> Vec<u8> {
         report.fused,
         report.intermediates_avoided,
         report.bytes_not_materialized,
+        report.plan_cache_hits,
     ] {
         gdk::codec::put_u64(&mut p, v);
     }
@@ -389,6 +508,7 @@ pub fn read_stats_reply(body: &[u8]) -> NetResult<ExecReport> {
         fused: next()?,
         intermediates_avoided: next()?,
         bytes_not_materialized: next()?,
+        plan_cache_hits: next()?,
     })
 }
 

@@ -9,7 +9,8 @@
 
 use crate::proto::{self, FrameBuffer, NetError, NetResult, Op, PAGE_ROWS};
 use gdk::codec::Reader;
-use sciql::{EngineSession, QueryResult, SharedEngine};
+use sciql::{EngineSession, ErrorCode, QueryResult, SharedEngine};
+use std::collections::HashMap;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -230,7 +231,7 @@ fn serve_session(shared: &Shared, mut stream: TcpStream) {
         SessionEnd::Idle => Some("idle timeout exceeded"),
     };
     if let Some(msg) = farewell {
-        proto::write_frame(&mut stream, &proto::error(msg)).ok();
+        proto::write_frame(&mut stream, &proto::error(ErrorCode::Connection, msg)).ok();
     }
     stream.flush().ok();
 }
@@ -242,6 +243,8 @@ fn session_loop(
 ) -> SessionEnd {
     let mut fb = FrameBuffer::new();
     let mut greeted = false;
+    // Parameter values staged by Bind frames, per prepared-statement name.
+    let mut bound: HashMap<String, Vec<gdk::Value>> = HashMap::new();
     let mut last_activity = Instant::now();
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
@@ -272,7 +275,7 @@ fn session_loop(
         let (op, body) = match proto::split(&frame) {
             Ok(x) => x,
             Err(e) => {
-                proto::write_frame(stream, &proto::error(&e.to_string())).ok();
+                proto::write_frame(stream, &proto::error(ErrorCode::Protocol, &e.to_string())).ok();
                 return SessionEnd::Broken;
             }
         };
@@ -280,7 +283,10 @@ fn session_loop(
             if op != Op::Hello {
                 proto::write_frame(
                     stream,
-                    &proto::error("handshake required: first frame must be Hello"),
+                    &proto::error(
+                        ErrorCode::Protocol,
+                        "handshake required: first frame must be Hello",
+                    ),
                 )
                 .ok();
                 return SessionEnd::Broken;
@@ -288,7 +294,11 @@ fn session_loop(
             let mut r = Reader::new(body);
             let ok = r.u16().is_ok() && r.str().is_ok();
             if !ok {
-                proto::write_frame(stream, &proto::error("malformed Hello")).ok();
+                proto::write_frame(
+                    stream,
+                    &proto::error(ErrorCode::Protocol, "malformed Hello"),
+                )
+                .ok();
                 return SessionEnd::Broken;
             }
             // Versioning: we always answer with the version we speak;
@@ -315,6 +325,7 @@ fn session_loop(
                     fused: last.opt.fusions() as u64,
                     intermediates_avoided: last.exec.intermediates_avoided as u64,
                     bytes_not_materialized: last.exec.bytes_not_materialized as u64,
+                    plan_cache_hits: last.exec.plan_cache_hits as u64,
                 };
                 proto::write_frame(stream, &proto::stats_reply(&report)).is_ok()
             }
@@ -327,7 +338,11 @@ fn session_loop(
             Op::Query => match Reader::new(body).str() {
                 Ok(sql) => answer(stream, shared, session.execute(&sql)),
                 Err(_) => {
-                    proto::write_frame(stream, &proto::error("malformed Query")).ok();
+                    proto::write_frame(
+                        stream,
+                        &proto::error(ErrorCode::Protocol, "malformed Query"),
+                    )
+                    .ok();
                     false
                 }
             },
@@ -335,26 +350,101 @@ fn session_loop(
                 let mut r = Reader::new(body);
                 match (r.str(), r.str()) {
                     (Ok(name), Ok(sql)) => match session.prepare(&name, &sql) {
-                        Ok(()) => proto::write_frame(stream, &proto::bare(Op::Ok)).is_ok(),
-                        Err(e) => proto::write_frame(stream, &proto::error(&e.to_string())).is_ok(),
+                        Ok(nparams) => {
+                            bound.remove(&name.to_ascii_lowercase());
+                            proto::write_frame(stream, &proto::stmt_ok(nparams as u16)).is_ok()
+                        }
+                        Err(e) => {
+                            proto::write_frame(stream, &proto::error(e.code(), &e.to_string()))
+                                .is_ok()
+                        }
                     },
                     _ => {
-                        proto::write_frame(stream, &proto::error("malformed Prepare")).ok();
+                        proto::write_frame(
+                            stream,
+                            &proto::error(ErrorCode::Protocol, "malformed Prepare"),
+                        )
+                        .ok();
                         false
                     }
                 }
             }
             Op::ExecPrepared => match Reader::new(body).str() {
-                Ok(name) => answer(stream, shared, session.execute_prepared(&name)),
+                Ok(name) => answer(stream, shared, session.execute_prepared(&name, &[])),
                 Err(_) => {
-                    proto::write_frame(stream, &proto::error("malformed ExecPrepared")).ok();
+                    proto::write_frame(
+                        stream,
+                        &proto::error(ErrorCode::Protocol, "malformed ExecPrepared"),
+                    )
+                    .ok();
+                    false
+                }
+            },
+            Op::Bind => match proto::read_bind(body) {
+                // Binding requires an existing prepared statement: a
+                // typo'd name fails here (not later at ExecBound), and
+                // the staged-values map stays bounded by the session's
+                // prepared set.
+                Ok((name, values)) => {
+                    if session.has_prepared(&name) {
+                        bound.insert(name.to_ascii_lowercase(), values);
+                        proto::write_frame(stream, &proto::bare(Op::Ok)).is_ok()
+                    } else {
+                        proto::write_frame(
+                            stream,
+                            &proto::error(
+                                ErrorCode::Statement,
+                                &format!("no prepared statement named {name:?}"),
+                            ),
+                        )
+                        .is_ok()
+                    }
+                }
+                Err(e) => {
+                    proto::write_frame(stream, &proto::error(ErrorCode::Protocol, &e.to_string()))
+                        .ok();
+                    false
+                }
+            },
+            Op::Deallocate => match Reader::new(body).str() {
+                Ok(name) => {
+                    bound.remove(&name.to_ascii_lowercase());
+                    let existed = session.deallocate(&name);
+                    proto::write_frame(stream, &proto::affected(existed as u64)).is_ok()
+                }
+                Err(_) => {
+                    proto::write_frame(
+                        stream,
+                        &proto::error(ErrorCode::Protocol, "malformed Deallocate"),
+                    )
+                    .ok();
+                    false
+                }
+            },
+            Op::ExecBound => match Reader::new(body).str() {
+                Ok(name) => {
+                    let params = bound
+                        .get(&name.to_ascii_lowercase())
+                        .cloned()
+                        .unwrap_or_default();
+                    answer(stream, shared, session.execute_prepared(&name, &params))
+                }
+                Err(_) => {
+                    proto::write_frame(
+                        stream,
+                        &proto::error(ErrorCode::Protocol, "malformed ExecBound"),
+                    )
+                    .ok();
                     false
                 }
             },
             other => {
                 proto::write_frame(
                     stream,
-                    &proto::error(&format!("unexpected client opcode {other:?}")),
+                    &proto::error(
+                        ErrorCode::Protocol,
+                        &format!("unexpected client opcode {other:?}"),
+                    ),
                 )
                 .ok();
                 false
@@ -370,7 +460,7 @@ fn session_loop(
 /// pages + done. Returns `false` when the socket died.
 fn answer(stream: &mut TcpStream, shared: &Shared, result: sciql::Result<QueryResult>) -> bool {
     match result {
-        Err(e) => proto::write_frame(stream, &proto::error(&e.to_string())).is_ok(),
+        Err(e) => proto::write_frame(stream, &proto::error(e.code(), &e.to_string())).is_ok(),
         Ok(QueryResult::Affected(n)) => {
             proto::write_frame(stream, &proto::affected(n as u64)).is_ok()
         }

@@ -57,7 +57,10 @@ fn statement_roundtrips() {
     assert_eq!(rs.column_count(), 3);
     // A statement error leaves the session usable.
     match c.execute("SELECT nonsense FROM nowhere") {
-        Err(NetError::Server(msg)) => assert!(!msg.is_empty()),
+        Err(NetError::Server { code, message }) => {
+            assert!(!message.is_empty());
+            assert_eq!(code, sciql::ErrorCode::Catalog, "unknown table");
+        }
         other => panic!("expected a server error, got {other:?}"),
     }
     let n = c.query("SELECT COUNT(*) FROM m").unwrap();
@@ -70,7 +73,7 @@ fn statement_roundtrips() {
     let mut other = Client::connect(handle.addr()).unwrap();
     assert!(matches!(
         other.execute_prepared("q"),
-        Err(NetError::Server(_))
+        Err(NetError::Server { .. })
     ));
     other.close().unwrap();
     c.shutdown_server().unwrap();
@@ -402,7 +405,7 @@ fn client_poisons_on_protocol_failure_but_not_statement_errors() {
     let mut c = Client::connect(handle.addr()).unwrap();
     assert!(matches!(
         c.execute("SELECT broken FROM nowhere"),
-        Err(NetError::Server(_))
+        Err(NetError::Server { .. })
     ));
     assert!(!c.is_broken());
     c.ping().unwrap();
@@ -438,4 +441,109 @@ impl ScalarI64 for ResultSet {
             None
         }
     }
+}
+
+/// Protocol v3: prepared statements with bound parameters over the wire.
+/// Bind values round-trip bit-exactly, re-execution hits the server-side
+/// plan cache, and server errors carry the same stable code the embedded
+/// engine produces.
+#[test]
+fn bound_prepared_statements_over_the_wire() {
+    use gdk::Value;
+    let handle = Server::bind(SharedEngine::in_memory(), "127.0.0.1:0")
+        .unwrap()
+        .serve()
+        .unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    c.execute("CREATE ARRAY m (x INT DIMENSION[0:1:4], y INT DIMENSION[0:1:4], v INT DEFAULT 0)")
+        .unwrap();
+    c.execute("UPDATE m SET v = x + y").unwrap();
+    // Prepare reports the slot count.
+    let n = c
+        .prepare("q", "SELECT COUNT(*) FROM m WHERE v < :t")
+        .unwrap();
+    assert_eq!(n, 1);
+    // Bind + exec, twice with different values, matching inlined queries.
+    for t in [1i64, 100] {
+        let bound = c
+            .execute_bound("q", &[Value::Lng(t)])
+            .unwrap()
+            .rows()
+            .unwrap();
+        let inlined = c
+            .query(&format!("SELECT COUNT(*) FROM m WHERE v < {t}"))
+            .unwrap();
+        assert_eq!(wire_bytes(&bound), wire_bytes(&inlined), "t={t}");
+    }
+    // The second-and-later bound executions reused the cached plan.
+    c.execute_bound("q", &[Value::Lng(5)]).unwrap();
+    let stats = c.last_stats().unwrap();
+    assert_eq!(stats.plan_cache_hits, 1, "server-side plan cache hit");
+    // Unbound parameter: a typed Param error, session survives.
+    c.prepare("q2", "SELECT COUNT(*) FROM m WHERE v < ?")
+        .unwrap();
+    match c.exec_bound("q2") {
+        Err(NetError::Server { code, .. }) => assert_eq!(code, sciql::ErrorCode::Param),
+        other => panic!("expected Param error, got {other:?}"),
+    }
+    // Error-code parity: a remote parse error carries ErrorCode::Parse,
+    // exactly what an embedded session's EngineError::code() returns.
+    match c.prepare("bad", "SELEC nonsense") {
+        Err(NetError::Server { code, .. }) => assert_eq!(code, sciql::ErrorCode::Parse),
+        other => panic!("expected Parse error, got {other:?}"),
+    }
+    let embedded_code = sciql::Connection::new()
+        .execute("SELEC nonsense")
+        .unwrap_err()
+        .code();
+    assert_eq!(embedded_code, sciql::ErrorCode::Parse);
+    // Prepared DML with params mutates shared state.
+    c.execute("CREATE TABLE t (a INT, s VARCHAR)").unwrap();
+    c.prepare("ins", "INSERT INTO t VALUES (?, ?)").unwrap();
+    let r = c
+        .execute_bound("ins", &[Value::Int(7), Value::Str("it's".into())])
+        .unwrap();
+    assert!(matches!(r, NetReply::Affected(1)));
+    let rs = c.query("SELECT s FROM t WHERE a = 7").unwrap();
+    assert_eq!(rs.get(0, 0), Value::Str("it's".into()));
+    c.shutdown_server().unwrap();
+    handle.wait();
+}
+
+/// Bind hygiene: staging values for a name that was never prepared is
+/// refused (bounding the staged-values map and failing typos early),
+/// and Deallocate frees server-side statements.
+#[test]
+fn bind_requires_prepared_statement_and_deallocate_frees_it() {
+    use gdk::Value;
+    let handle = Server::bind(SharedEngine::in_memory(), "127.0.0.1:0")
+        .unwrap()
+        .serve()
+        .unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    c.execute("CREATE TABLE t (a INT)").unwrap();
+    // Bind to a never-prepared name: refused with a Statement error.
+    match c.bind("ghost", &[Value::Int(1)]) {
+        Err(NetError::Server { code, .. }) => assert_eq!(code, sciql::ErrorCode::Statement),
+        other => panic!("expected Statement error, got {other:?}"),
+    }
+    // The pipelined execute_bound reports the bind refusal as the root
+    // cause and leaves the session usable.
+    match c.execute_bound("ghost", &[Value::Int(1)]) {
+        Err(NetError::Server { code, .. }) => assert_eq!(code, sciql::ErrorCode::Statement),
+        other => panic!("expected Statement error, got {other:?}"),
+    }
+    assert!(!c.is_broken());
+    // Prepared → bound → executed → deallocated → gone.
+    c.prepare("q", "SELECT COUNT(*) FROM t WHERE a = ?")
+        .unwrap();
+    c.execute_bound("q", &[Value::Int(1)]).unwrap();
+    assert!(c.deallocate("q").unwrap());
+    assert!(!c.deallocate("q").unwrap(), "second deallocate is a no-op");
+    match c.bind("q", &[Value::Int(1)]) {
+        Err(NetError::Server { code, .. }) => assert_eq!(code, sciql::ErrorCode::Statement),
+        other => panic!("deallocated name must refuse binds, got {other:?}"),
+    }
+    c.shutdown_server().unwrap();
+    handle.wait();
 }

@@ -69,11 +69,38 @@ pub enum UnaryOp {
     Not,
 }
 
+/// A bind-parameter placeholder in a statement: `?` (positional) or
+/// `:name` (named). Slots are assigned by the parser in first-appearance
+/// order; every occurrence of the same `:name` shares one slot, while
+/// each `?` gets a fresh one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamRef {
+    /// Zero-based bind slot (the position in the value list the driver
+    /// supplies at execute time).
+    pub slot: usize,
+    /// The `:name`, if this was a named placeholder (`None` for `?`).
+    pub name: Option<String>,
+}
+
+/// Find the slot of a named parameter in a slot-descriptor list. The
+/// leading `:` is optional and matching is case-insensitive — the one
+/// lookup rule every layer (engine prepared statements, driver
+/// handles) shares.
+pub fn named_param_slot(params: &[ParamRef], name: &str) -> Option<usize> {
+    let key = name.trim_start_matches(':').to_ascii_lowercase();
+    params
+        .iter()
+        .find(|p| p.name.as_deref() == Some(key.as_str()))
+        .map(|p| p.slot)
+}
+
 /// Expressions.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// Literal constant.
     Literal(Literal),
+    /// A `?` / `:name` bind-parameter placeholder.
+    Param(ParamRef),
     /// Column (or dimension) reference, optionally qualified
     /// (`m.v` or `v`).
     Column {
@@ -210,6 +237,126 @@ impl Expr {
                     || else_.as_deref().is_some_and(Expr::contains_aggregate)
             }
             _ => false,
+        }
+    }
+}
+
+impl Expr {
+    /// Pre-order walk over this expression and every sub-expression.
+    pub fn walk<'a>(&'a self, f: &mut dyn FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Literal(_) | Expr::Column { .. } | Expr::Param(_) => {}
+            Expr::Cell { indices, .. } => {
+                for i in indices {
+                    i.walk(f);
+                }
+            }
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Cast { expr, .. } => {
+                expr.walk(f)
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.walk(f);
+                rhs.walk(f);
+            }
+            Expr::Between { expr, lo, hi, .. } => {
+                expr.walk(f);
+                lo.walk(f);
+                hi.walk(f);
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.walk(f);
+                for e in list {
+                    e.walk(f);
+                }
+            }
+            Expr::Case {
+                operand,
+                whens,
+                else_,
+            } => {
+                if let Some(op) = operand {
+                    op.walk(f);
+                }
+                for (w, t) in whens {
+                    w.walk(f);
+                    t.walk(f);
+                }
+                if let Some(e) = else_ {
+                    e.walk(f);
+                }
+            }
+            Expr::Func { args, .. } => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+        }
+    }
+
+    /// Rebuild this expression with every [`Expr::Param`] node for which
+    /// `f` returns `Some` replaced by that expression (used by the engine
+    /// to inline bound parameter values into DML statements).
+    pub fn map_params(&self, f: &mut dyn FnMut(&ParamRef) -> Option<Expr>) -> Expr {
+        let rec = |e: &Expr, f: &mut dyn FnMut(&ParamRef) -> Option<Expr>| e.map_params(f);
+        match self {
+            Expr::Param(p) => f(p).unwrap_or_else(|| Expr::Param(p.clone())),
+            Expr::Literal(_) | Expr::Column { .. } => self.clone(),
+            Expr::Cell { array, indices } => Expr::Cell {
+                array: array.clone(),
+                indices: indices.iter().map(|i| rec(i, f)).collect(),
+            },
+            Expr::Unary { op, expr } => Expr::Unary {
+                op: *op,
+                expr: Box::new(rec(expr, f)),
+            },
+            Expr::Binary { op, lhs, rhs } => Expr::Binary {
+                op: *op,
+                lhs: Box::new(rec(lhs, f)),
+                rhs: Box::new(rec(rhs, f)),
+            },
+            Expr::IsNull { expr, negated } => Expr::IsNull {
+                expr: Box::new(rec(expr, f)),
+                negated: *negated,
+            },
+            Expr::Between {
+                expr,
+                lo,
+                hi,
+                negated,
+            } => Expr::Between {
+                expr: Box::new(rec(expr, f)),
+                lo: Box::new(rec(lo, f)),
+                hi: Box::new(rec(hi, f)),
+                negated: *negated,
+            },
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Expr::InList {
+                expr: Box::new(rec(expr, f)),
+                list: list.iter().map(|e| rec(e, f)).collect(),
+                negated: *negated,
+            },
+            Expr::Case {
+                operand,
+                whens,
+                else_,
+            } => Expr::Case {
+                operand: operand.as_ref().map(|o| Box::new(rec(o, f))),
+                whens: whens.iter().map(|(w, t)| (rec(w, f), rec(t, f))).collect(),
+                else_: else_.as_ref().map(|e| Box::new(rec(e, f))),
+            },
+            Expr::Func { name, args, star } => Expr::Func {
+                name: name.clone(),
+                args: args.iter().map(|a| rec(a, f)).collect(),
+                star: *star,
+            },
+            Expr::Cast { expr, ty } => Expr::Cast {
+                expr: Box::new(rec(expr, f)),
+                ty: ty.clone(),
+            },
         }
     }
 }
@@ -422,6 +569,247 @@ pub enum Stmt {
     },
     /// SELECT query.
     Select(SelectStmt),
+}
+
+impl SelectStmt {
+    /// Pre-order walk over every expression in the statement (projection
+    /// list, FROM slices, WHERE, GROUP BY, HAVING, ORDER BY).
+    pub fn walk_exprs<'a>(&'a self, f: &mut dyn FnMut(&'a Expr)) {
+        for p in &self.projections {
+            if let Projection::Item { expr, .. } = p {
+                expr.walk(f);
+            }
+        }
+        for t in &self.from {
+            for s in &t.slices {
+                if let Some(lo) = &s.lo {
+                    lo.walk(f);
+                }
+                if let Some(hi) = &s.hi {
+                    hi.walk(f);
+                }
+            }
+        }
+        if let Some(w) = &self.where_clause {
+            w.walk(f);
+        }
+        match &self.group_by {
+            Some(GroupBy::Value(es)) => {
+                for e in es {
+                    e.walk(f);
+                }
+            }
+            Some(GroupBy::Structural(tiles)) => {
+                for t in tiles {
+                    for i in &t.indices {
+                        match i {
+                            TileIndex::Point(e) => e.walk(f),
+                            TileIndex::Range(a, b) => {
+                                a.walk(f);
+                                b.walk(f);
+                            }
+                        }
+                    }
+                }
+            }
+            None => {}
+        }
+        if let Some(h) = &self.having {
+            h.walk(f);
+        }
+        for o in &self.order_by {
+            o.expr.walk(f);
+        }
+    }
+}
+
+impl Stmt {
+    /// Pre-order walk over every expression in the statement.
+    pub fn walk_exprs<'a>(&'a self, f: &mut dyn FnMut(&'a Expr)) {
+        match self {
+            Stmt::Select(s) => s.walk_exprs(f),
+            Stmt::CreateTable { columns, .. } | Stmt::CreateArray { columns, .. } => {
+                for c in columns {
+                    match &c.kind {
+                        ColumnKind::Attribute { default: Some(d) } => d.walk(f),
+                        ColumnKind::Attribute { default: None } => {}
+                        ColumnKind::Dimension { range } => {
+                            if let Some(r) = range {
+                                r.start.walk(f);
+                                r.step.walk(f);
+                                r.stop.walk(f);
+                            }
+                        }
+                    }
+                }
+            }
+            Stmt::Drop { .. } => {}
+            Stmt::AlterDimension { range, .. } => {
+                range.start.walk(f);
+                range.step.walk(f);
+                range.stop.walk(f);
+            }
+            Stmt::Insert { source, .. } => match source {
+                InsertSource::Values(rows) => {
+                    for row in rows {
+                        for e in row {
+                            e.walk(f);
+                        }
+                    }
+                }
+                InsertSource::Select(s) => s.walk_exprs(f),
+            },
+            Stmt::Delete { filter, .. } => {
+                if let Some(p) = filter {
+                    p.walk(f);
+                }
+            }
+            Stmt::Update { sets, filter, .. } => {
+                for (_, e) in sets {
+                    e.walk(f);
+                }
+                if let Some(p) = filter {
+                    p.walk(f);
+                }
+            }
+        }
+    }
+
+    /// The statement's bind parameters, one entry per slot in slot order.
+    /// Every occurrence of the same `:name` shares a slot, so the result
+    /// is dense: `result[k].slot == k`.
+    pub fn params(&self) -> Vec<ParamRef> {
+        let mut by_slot: Vec<ParamRef> = Vec::new();
+        self.walk_exprs(&mut |e| {
+            if let Expr::Param(p) = e {
+                if !by_slot.iter().any(|q| q.slot == p.slot) {
+                    by_slot.push(p.clone());
+                }
+            }
+        });
+        by_slot.sort_by_key(|p| p.slot);
+        by_slot
+    }
+
+    /// Rebuild the statement with every [`Expr::Param`] for which `f`
+    /// returns `Some` replaced by that expression.
+    pub fn map_params(&self, f: &mut dyn FnMut(&ParamRef) -> Option<Expr>) -> Stmt {
+        let map_e = |e: &Expr, f: &mut dyn FnMut(&ParamRef) -> Option<Expr>| e.map_params(f);
+        let map_sel = |s: &SelectStmt, f: &mut dyn FnMut(&ParamRef) -> Option<Expr>| SelectStmt {
+            distinct: s.distinct,
+            projections: s
+                .projections
+                .iter()
+                .map(|p| match p {
+                    Projection::Wildcard => Projection::Wildcard,
+                    Projection::Item {
+                        expr,
+                        alias,
+                        dimensional,
+                    } => Projection::Item {
+                        expr: map_e(expr, f),
+                        alias: alias.clone(),
+                        dimensional: *dimensional,
+                    },
+                })
+                .collect(),
+            from: s
+                .from
+                .iter()
+                .map(|t| TableRef {
+                    name: t.name.clone(),
+                    alias: t.alias.clone(),
+                    slices: t
+                        .slices
+                        .iter()
+                        .map(|r| SliceRange {
+                            lo: r.lo.as_ref().map(|e| map_e(e, f)),
+                            hi: r.hi.as_ref().map(|e| map_e(e, f)),
+                        })
+                        .collect(),
+                })
+                .collect(),
+            where_clause: s.where_clause.as_ref().map(|e| map_e(e, f)),
+            group_by: s.group_by.as_ref().map(|g| match g {
+                GroupBy::Value(es) => GroupBy::Value(es.iter().map(|e| map_e(e, f)).collect()),
+                GroupBy::Structural(tiles) => GroupBy::Structural(
+                    tiles
+                        .iter()
+                        .map(|t| TileRef {
+                            array: t.array.clone(),
+                            indices: t
+                                .indices
+                                .iter()
+                                .map(|i| match i {
+                                    TileIndex::Point(e) => TileIndex::Point(map_e(e, f)),
+                                    TileIndex::Range(a, b) => {
+                                        TileIndex::Range(map_e(a, f), map_e(b, f))
+                                    }
+                                })
+                                .collect(),
+                        })
+                        .collect(),
+                ),
+            }),
+            having: s.having.as_ref().map(|e| map_e(e, f)),
+            order_by: s
+                .order_by
+                .iter()
+                .map(|o| OrderItem {
+                    expr: map_e(&o.expr, f),
+                    desc: o.desc,
+                })
+                .collect(),
+            limit: s.limit,
+            offset: s.offset,
+        };
+        match self {
+            Stmt::Select(s) => Stmt::Select(map_sel(s, f)),
+            Stmt::CreateTable { .. } | Stmt::CreateArray { .. } | Stmt::Drop { .. } => self.clone(),
+            Stmt::AlterDimension {
+                array,
+                dimension,
+                range,
+            } => Stmt::AlterDimension {
+                array: array.clone(),
+                dimension: dimension.clone(),
+                range: DimRange {
+                    start: map_e(&range.start, f),
+                    step: map_e(&range.step, f),
+                    stop: map_e(&range.stop, f),
+                },
+            },
+            Stmt::Insert {
+                table,
+                columns,
+                source,
+            } => Stmt::Insert {
+                table: table.clone(),
+                columns: columns.clone(),
+                source: match source {
+                    InsertSource::Values(rows) => InsertSource::Values(
+                        rows.iter()
+                            .map(|row| row.iter().map(|e| map_e(e, f)).collect())
+                            .collect(),
+                    ),
+                    InsertSource::Select(s) => InsertSource::Select(Box::new(map_sel(s, f))),
+                },
+            },
+            Stmt::Delete { table, filter } => Stmt::Delete {
+                table: table.clone(),
+                filter: filter.as_ref().map(|e| map_e(e, f)),
+            },
+            Stmt::Update {
+                table,
+                sets,
+                filter,
+            } => Stmt::Update {
+                table: table.clone(),
+                sets: sets.iter().map(|(c, e)| (c.clone(), map_e(e, f))).collect(),
+                filter: filter.as_ref().map(|e| map_e(e, f)),
+            },
+        }
+    }
 }
 
 #[cfg(test)]

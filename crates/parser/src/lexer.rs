@@ -175,6 +175,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
                             ';' => TokenKind::Semicolon,
                             ':' => TokenKind::Colon,
                             '.' => TokenKind::Dot,
+                            '?' => TokenKind::Question,
                             other => {
                                 return Err(ParseError::at(
                                     start,

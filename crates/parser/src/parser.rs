@@ -8,13 +8,16 @@ use crate::ParseError;
 /// Parse a semicolon-separated script into statements.
 pub fn parse_statements(input: &str) -> Result<Vec<Stmt>, ParseError> {
     let toks = tokenize(input)?;
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser::new(toks);
     let mut out = Vec::new();
     loop {
         while p.eat(&TokenKind::Semicolon) {}
         if p.check(&TokenKind::Eof) {
             break;
         }
+        // Parameter slots are scoped per statement: `SELECT ?; SELECT ?`
+        // is two single-parameter statements.
+        p.reset_params();
         out.push(p.statement()?);
         if !p.check(&TokenKind::Eof) && !p.check(&TokenKind::Semicolon) {
             return Err(p.unexpected("';' or end of input"));
@@ -39,7 +42,7 @@ pub fn parse_statement(input: &str) -> Result<Stmt, ParseError> {
 /// Parse a standalone expression (testing / tooling convenience).
 pub fn parse_expression(input: &str) -> Result<Expr, ParseError> {
     let toks = tokenize(input)?;
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser::new(toks);
     let e = p.expr()?;
     if !p.check(&TokenKind::Eof) {
         return Err(p.unexpected("end of input"));
@@ -50,9 +53,53 @@ pub fn parse_expression(input: &str) -> Result<Expr, ParseError> {
 struct Parser {
     toks: Vec<Token>,
     pos: usize,
+    /// Bind slots assigned so far in the current statement.
+    param_slots: usize,
+    /// `:name` → slot (names are case-insensitive; stored lowercased).
+    named_params: Vec<(String, usize)>,
 }
 
 impl Parser {
+    fn new(toks: Vec<Token>) -> Parser {
+        Parser {
+            toks,
+            pos: 0,
+            param_slots: 0,
+            named_params: Vec::new(),
+        }
+    }
+
+    /// Start a fresh per-statement parameter slot space.
+    fn reset_params(&mut self) {
+        self.param_slots = 0;
+        self.named_params.clear();
+    }
+
+    /// Assign a fresh positional slot (`?`).
+    fn positional_param(&mut self) -> ParamRef {
+        let slot = self.param_slots;
+        self.param_slots += 1;
+        ParamRef { slot, name: None }
+    }
+
+    /// Resolve (or assign) the slot of a `:name` parameter.
+    fn named_param(&mut self, name: &str) -> ParamRef {
+        let key = name.to_ascii_lowercase();
+        let slot = match self.named_params.iter().find(|(n, _)| *n == key) {
+            Some((_, s)) => *s,
+            None => {
+                let s = self.param_slots;
+                self.param_slots += 1;
+                self.named_params.push((key.clone(), s));
+                s
+            }
+        };
+        ParamRef {
+            slot,
+            name: Some(key),
+        }
+    }
+
     fn peek(&self) -> &TokenKind {
         &self.toks[self.pos].kind
     }
@@ -751,6 +798,20 @@ impl Parser {
                 self.advance();
                 Ok(Expr::Literal(Literal::Null))
             }
+            TokenKind::Question => {
+                self.advance();
+                let p = self.positional_param();
+                Ok(Expr::Param(p))
+            }
+            // `:name` only ever starts an expression as a named bind
+            // parameter (range/slice colons are consumed by their own
+            // grammar rules before an expression is parsed).
+            TokenKind::Colon => {
+                self.advance();
+                let name = self.ident()?;
+                let p = self.named_param(&name);
+                Ok(Expr::Param(p))
+            }
             TokenKind::Keyword(Keyword::CASE) => self.case_expr(),
             TokenKind::Keyword(Keyword::CAST) => {
                 self.advance();
@@ -1132,6 +1193,92 @@ mod tests {
         let e = parse_expression("CAST(v AS DOUBLE)").unwrap();
         let Expr::Cast { ty, .. } = e else { panic!() };
         assert_eq!(ty, "DOUBLE");
+    }
+
+    #[test]
+    fn positional_params_get_fresh_slots() {
+        let s = parse_statement("SELECT v FROM t WHERE x > ? AND y < ?").unwrap();
+        let ps = s.params();
+        assert_eq!(ps.len(), 2);
+        assert_eq!(
+            ps[0],
+            ParamRef {
+                slot: 0,
+                name: None
+            }
+        );
+        assert_eq!(
+            ps[1],
+            ParamRef {
+                slot: 1,
+                name: None
+            }
+        );
+    }
+
+    #[test]
+    fn named_params_share_slots() {
+        let s = parse_statement("SELECT v FROM t WHERE x > :lo AND y < :hi AND v <> :lo").unwrap();
+        let ps = s.params();
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].name.as_deref(), Some("lo"));
+        assert_eq!(ps[1].name.as_deref(), Some("hi"));
+        // Named params are case-insensitive.
+        let s2 = parse_statement("SELECT v FROM t WHERE x > :LO AND y < :lo").unwrap();
+        assert_eq!(s2.params().len(), 1);
+    }
+
+    #[test]
+    fn mixed_params_allocate_in_appearance_order() {
+        let s = parse_statement("SELECT v FROM t WHERE a = ? AND b = :n AND c = ?").unwrap();
+        let ps = s.params();
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps[1].name.as_deref(), Some("n"));
+        assert!(ps[0].name.is_none() && ps[2].name.is_none());
+    }
+
+    #[test]
+    fn param_slots_reset_per_statement() {
+        let stmts = parse_statements("SELECT ? FROM t; SELECT ? FROM t").unwrap();
+        assert_eq!(stmts[0].params().len(), 1);
+        assert_eq!(stmts[1].params(), stmts[0].params());
+    }
+
+    #[test]
+    fn params_in_dml_and_between() {
+        let s = parse_statement("UPDATE t SET v = ? WHERE x BETWEEN :lo AND :hi").unwrap();
+        assert_eq!(s.params().len(), 3);
+        let s = parse_statement("INSERT INTO t VALUES (?, ?), (?, :x)").unwrap();
+        assert_eq!(s.params().len(), 4);
+        let s = parse_statement("DELETE FROM t WHERE v IN (?, ?, ?)").unwrap();
+        assert_eq!(s.params().len(), 3);
+    }
+
+    #[test]
+    fn slice_colons_are_not_named_params() {
+        // `[x:x+2]` ranges and `[:100]` open slices keep their meaning.
+        let s = parse_statement("SELECT v FROM img[:100][50:]").unwrap();
+        assert!(s.params().is_empty());
+        let s = parse_statement("SELECT [x], SUM(v) FROM a GROUP BY a[x:x+2][y]").unwrap();
+        assert!(s.params().is_empty());
+        // A parenthesised named param works inside a slice bound.
+        let s = parse_statement("SELECT v FROM img[(:lo):(:hi)]").unwrap();
+        assert_eq!(s.params().len(), 2);
+    }
+
+    #[test]
+    fn map_params_substitutes() {
+        let s = parse_statement("UPDATE t SET v = ? WHERE x = :k").unwrap();
+        let out = s.map_params(&mut |p| Some(Expr::int(10 + p.slot as i64)));
+        assert!(out.params().is_empty());
+        let Stmt::Update { sets, filter, .. } = out else {
+            panic!()
+        };
+        assert_eq!(sets[0].1, Expr::int(10));
+        let Some(Expr::Binary { rhs, .. }) = filter else {
+            panic!()
+        };
+        assert_eq!(*rhs, Expr::int(11));
     }
 
     #[test]

@@ -48,6 +48,10 @@ impl fmt::Display for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Expr::Literal(l) => write!(f, "{l}"),
+            Expr::Param(p) => match &p.name {
+                Some(n) => write!(f, ":{n}"),
+                None => f.write_str("?"),
+            },
             Expr::Column { qualifier, name } => match qualifier {
                 Some(q) => write!(f, "{q}.{name}"),
                 None => f.write_str(name),
@@ -377,6 +381,11 @@ mod tests {
             "CREATE ARRAY u (x INT DIMENSION, v DOUBLE DEFAULT 1.5)",
             "SELECT [x], SUM(v) FROM a GROUP BY a[x][y], a[x+1][y]",
             "SELECT v FROM img[:100][50:]",
+            "SELECT v FROM t WHERE x > ? AND y < ?",
+            "SELECT v FROM t WHERE x BETWEEN :lo AND :hi",
+            "UPDATE t SET v = ? WHERE x = :k",
+            "INSERT INTO t VALUES (?, :a), (?, :a)",
+            "DELETE FROM t WHERE v IN (?, :x, ?)",
         ];
         for sql in statements {
             let ast1 = parse_statement(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));

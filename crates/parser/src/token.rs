@@ -62,6 +62,8 @@ pub enum TokenKind {
     Colon,
     /// `.`
     Dot,
+    /// `?` (positional bind-parameter placeholder)
+    Question,
     /// End of input.
     Eof,
 }
@@ -93,6 +95,7 @@ impl fmt::Display for TokenKind {
             TokenKind::Semicolon => f.write_str("';'"),
             TokenKind::Colon => f.write_str("':'"),
             TokenKind::Dot => f.write_str("'.'"),
+            TokenKind::Question => f.write_str("'?'"),
             TokenKind::Eof => f.write_str("end of input"),
         }
     }

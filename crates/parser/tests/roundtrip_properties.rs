@@ -115,7 +115,7 @@ fn mentions_keyword(e: &Expr) -> bool {
     match e {
         Expr::Column { qualifier, name } => qualifier.as_deref().is_some_and(is_kw) || is_kw(name),
         Expr::Cell { array, indices } => is_kw(array) || indices.iter().any(mentions_keyword),
-        Expr::Literal(_) => false,
+        Expr::Literal(_) | Expr::Param(_) => false,
         Expr::Unary { expr, .. } => mentions_keyword(expr),
         Expr::Binary { lhs, rhs, .. } => mentions_keyword(lhs) || mentions_keyword(rhs),
         Expr::IsNull { expr, .. } => mentions_keyword(expr),

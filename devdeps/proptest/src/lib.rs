@@ -5,7 +5,7 @@
 //! [`strategy::Strategy`] trait with `prop_map` / `prop_flat_map` /
 //! `prop_recursive` / `boxed`, range and tuple strategies, a tiny
 //! regex-subset string strategy, `Just`, `any::<bool>()`, the
-//! [`collection`], [`option`] and [`bool`](crate::bool) modules, and the
+//! [`collection`], [`option`] and [`bool`](mod@crate::bool) modules, and the
 //! `proptest!`, `prop_oneof!`, `prop_assert!`, `prop_assert_eq!`,
 //! `prop_assume!` macros.
 //!

@@ -3,98 +3,115 @@
 //! metadata about the instruments and observations. It therefore calls for
 //! a strong symbiosis of the relational paradigm and array paradigm."
 //!
-//! This example builds a tiny virtual observatory: an `instruments` TABLE
-//! (relational metadata), a 2-D measurement ARRAY per scene, and combined
-//! queries that join them — metadata-driven slab selection, per-instrument
-//! statistics, and a quality report computed with structural grouping.
+//! This example builds a tiny virtual observatory over the **unified
+//! driver API**: an `instruments` TABLE (relational metadata), a 2-D
+//! measurement ARRAY per scene, and combined queries that join them —
+//! metadata-driven slab selection, per-instrument statistics computed
+//! with one bound-parameter prepared statement, and a quality report
+//! written back through prepared DML.
 //!
 //! Run with: `cargo run --example observatory`
 
-use sciql::Connection;
-use sciql_imaging::synth;
+use sciql_repro::driver::Sciql;
+use sciql_repro::imaging::synth;
+use sciql_repro::params;
 
 fn main() {
-    let mut conn = Connection::new();
+    let mut conn = Sciql::connect("mem:").expect("in-memory connect");
 
     // --- relational side: instrument & scene metadata ------------------
-    conn.execute_script(
-        "CREATE TABLE instruments (iid INT, name VARCHAR, band VARCHAR, noise INT); \
-         INSERT INTO instruments VALUES \
+    for stmt in [
+        "CREATE TABLE instruments (iid INT, name VARCHAR, band VARCHAR, noise INT)",
+        "INSERT INTO instruments VALUES \
            (1, 'VIS-A', 'visible', 2), \
-           (2, 'NIR-B', 'near-infrared', 5); \
-         CREATE TABLE scenes (sid INT, iid INT, day INT, cloud INT); \
-         INSERT INTO scenes VALUES \
+           (2, 'NIR-B', 'near-infrared', 5)",
+        "CREATE TABLE scenes (sid INT, iid INT, day INT, cloud INT)",
+        "INSERT INTO scenes VALUES \
            (100, 1, 12, 8), \
            (101, 2, 12, 35), \
-           (102, 1, 13, 2);",
-    )
-    .expect("metadata");
+           (102, 1, 13, 2)",
+    ] {
+        conn.execute(stmt).expect("metadata");
+    }
 
     // --- array side: one measurement array per scene (Data Vault) ------
+    // Bulk image ingestion bypasses SQL; it needs the embedded
+    // connection behind the driver.
+    let embedded = conn
+        .embedded_connection()
+        .expect("mem: transport is embedded");
     for (sid, seed) in [(100u64, 7u64), (101, 8), (102, 9)] {
         let img = synth::terrain(48, 48, seed);
-        sciql_imaging::vault::load_image(&mut conn, &format!("scene_{sid}"), &img)
+        sciql_repro::imaging::vault::load_image(embedded, &format!("scene_{sid}"), &img)
             .expect("load scene");
     }
 
     // --- symbiosis 1: metadata query drives array processing -----------
     // Find the clearest scene, then compute its intensity statistics
     // straight from the array.
-    let best = conn
-        .query("SELECT sid FROM scenes ORDER BY cloud LIMIT 1")
-        .unwrap()
-        .scalar()
-        .unwrap();
+    let best: i64 = {
+        let mut rows = conn
+            .query("SELECT sid FROM scenes ORDER BY cloud LIMIT 1")
+            .unwrap();
+        rows.next_row().unwrap().get(0).unwrap()
+    };
     println!("clearest scene: {best}");
     let stats = conn
         .query(&format!(
             "SELECT MIN(v), MAX(v), CAST(AVG(v) AS INT), COUNT(*) FROM scene_{best}"
         ))
         .unwrap();
-    println!("  min/max/avg/cells: {:?}", stats.row(0));
+    println!("  min/max/avg/cells: {:?}", stats.result_set().row(0));
 
     // --- symbiosis 2: join table metadata against array cells ----------
     // Per-instrument mean intensity across all of that instrument's
     // scenes (a table↔table join selecting which arrays to aggregate).
     println!("per-instrument mean intensity:");
-    let per_instrument = conn
+    let mut per_instrument = conn
         .query(
             "SELECT i.name AS name, s.sid AS sid FROM instruments i, scenes s \
              WHERE i.iid = s.iid ORDER BY sid",
         )
         .unwrap();
-    for row in per_instrument.rows() {
-        let name = &row[0];
-        let sid = row[1].as_i64().unwrap();
-        let mean = conn
+    let mut pairs: Vec<(String, i64)> = Vec::new();
+    while let Some(row) = per_instrument.next_row() {
+        pairs.push((
+            row.get_by_name("name").unwrap(),
+            row.get_by_name("sid").unwrap(),
+        ));
+    }
+    for (name, sid) in pairs {
+        let mut rows = conn
             .query(&format!("SELECT AVG(v) FROM scene_{sid}"))
-            .unwrap()
-            .scalar()
             .unwrap();
-        println!("  {name:<8} scene {sid}: mean {mean}");
+        let mean: f64 = rows.next_row().unwrap().get(0).unwrap();
+        println!("  {name:<8} scene {sid}: mean {mean:.1}");
     }
 
     // --- symbiosis 3: structural grouping for a quality report ---------
-    // Local 3×3 variance proxy (max - min per tile) on the best scene;
-    // count rough cells — a derived-metadata product written back into a
-    // relational table.
+    // Local 3×3 variance proxy (max - min per tile) on each scene; count
+    // rough cells — written back into a relational table through a
+    // prepared INSERT with bound parameters.
     conn.execute("CREATE TABLE quality (sid INT, rough_cells INT)")
         .unwrap();
-    for sid in [100, 101, 102] {
-        let rs = conn
+    let record = conn
+        .prepare("INSERT INTO quality VALUES (:sid, :rough)")
+        .unwrap();
+    for sid in [100i64, 101, 102] {
+        let mut rows = conn
             .query(&format!(
                 "SELECT [x], [y], MAX(v) - MIN(v) AS spread FROM scene_{sid} \
                  GROUP BY scene_{sid}[x-1:x+2][y-1:y+2]"
             ))
             .unwrap();
-        let rough_cells = rs
-            .rows()
-            .filter(|r| r[2].as_i64().unwrap_or(0) > 12)
-            .count();
-        conn.execute(&format!(
-            "INSERT INTO quality VALUES ({sid}, {rough_cells})"
-        ))
-        .unwrap();
+        let mut rough_cells = 0i64;
+        while let Some(row) = rows.next_row() {
+            if row.get::<Option<i64>>(2).unwrap().unwrap_or(0) > 12 {
+                rough_cells += 1;
+            }
+        }
+        conn.execute_bound(&record, params![sid, rough_cells])
+            .unwrap();
     }
     let report = conn
         .query(
@@ -103,5 +120,5 @@ fn main() {
         )
         .unwrap();
     println!("scene quality report (metadata ⋈ derived array statistics):");
-    println!("{}", report.render());
+    println!("{}", report.result_set().render());
 }

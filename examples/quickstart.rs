@@ -1,20 +1,30 @@
 //! Quickstart: walk through §2 of the paper — Figure 1(a)–(f) — statement
-//! by statement, printing the array after each operation.
+//! by statement through the **unified driver API**, printing the array
+//! after each operation, then re-run the paper's tiling query as a bound
+//! prepared statement.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use sciql::Connection;
+use sciql_repro::driver::{Conn, Sciql};
+use sciql_repro::params;
 
-fn show(conn: &mut Connection, caption: &str) {
+fn show(conn: &mut Conn, caption: &str) {
     println!("== {caption}");
-    let view = conn
-        .query_array("SELECT [x], [y], v FROM matrix")
+    let rows = conn
+        .query("SELECT [x], [y], v FROM matrix")
         .expect("matrix readable");
+    let view = rows
+        .result_set()
+        .to_array_view()
+        .expect("dimensional result");
     println!("{}", view.render_grid().expect("2-D"));
 }
 
 fn main() {
-    let mut conn = Connection::new();
+    // One line replaces Connection::new(); swap the URL for
+    // "file:./mydb" (durable vault) or "tcp://host:port" (server) and
+    // everything below runs unchanged.
+    let mut conn = Sciql::connect("mem:").expect("in-memory connect");
 
     // Fig 1(a): CREATE ARRAY materialises a 4×4 zero matrix.
     conn.execute(
@@ -47,7 +57,7 @@ fn main() {
 
     // Fig 1(d)/(e): structural grouping — 2×2 tiles, anchors filtered by
     // HAVING, holes ignored by AVG.
-    let rs = conn
+    let rows = conn
         .query(
             "SELECT [x], [y], AVG(v) FROM matrix \
              GROUP BY matrix[x:x+2][y:y+2] \
@@ -55,8 +65,15 @@ fn main() {
         )
         .unwrap();
     println!("== Fig 1(d)/(e): 2x2 tiling, AVG per anchor");
-    println!("{}", rs.render());
-    println!("{}", rs.to_array_view().unwrap().render_grid().unwrap());
+    println!("{}", rows.result_set().render());
+    println!(
+        "{}",
+        rows.result_set()
+            .to_array_view()
+            .unwrap()
+            .render_grid()
+            .unwrap()
+    );
 
     // Fig 1(f): expand both dimensions by one in each direction.
     conn.execute("ALTER ARRAY matrix ALTER DIMENSION x SET RANGE [-1:1:5]")
@@ -67,6 +84,19 @@ fn main() {
         &mut conn,
         "Fig 1(f): ALTER ARRAY — expanded with default border",
     );
+
+    // Bound parameters: one prepared statement, three thresholds. The
+    // plan compiles once; re-executions fill the `?` slot and reuse it.
+    println!("== prepared statement: SELECT COUNT(*) FROM matrix WHERE v >= ?");
+    let stmt = conn
+        .prepare("SELECT COUNT(*) FROM matrix WHERE v >= ?")
+        .unwrap();
+    for threshold in [0i64, 2, 4] {
+        let mut rows = conn.query_bound(&stmt, params![threshold]).unwrap();
+        let n: i64 = rows.next_row().unwrap().get(0).unwrap();
+        let hit = conn.last_plan_cache_hits().unwrap();
+        println!("  v >= {threshold}: {n} cell(s)   (plan cache hit: {hit})");
+    }
 
     // Bonus: what the engine actually runs (Fig 2 pipeline).
     println!("== EXPLAIN of the tiling query");

@@ -1,61 +1,69 @@
 //! An interactive SciQL shell — the reproduction's counterpart of the
 //! demo GUI ("the audience has full control of the demo through SciQL
-//! queries").
+//! queries") — built on the **unified driver API**: one
+//! `Sciql::connect(url)` call, whatever the backend.
 //!
-//! Run with: `cargo run --example repl [-- --db <path> | --listen <addr> | --connect <addr>]`
+//! Run with: `cargo run --example repl [-- <URL> | --listen <addr> [--db <path>]]`
 //!
-//! With `--db <path>` the session is durable: statements are write-ahead
-//! logged to the vault directory and `\checkpoint` snapshots the columns,
-//! so a later `--db` run (even after a crash) resumes where you left off.
+//! URLs:
+//!   mem:                  fresh in-memory session (the default)
+//!   file:<path>           durable session over the vault at <path> —
+//!                         statements are write-ahead logged, `\checkpoint`
+//!                         snapshots the columns, a later run resumes
+//!                         where you left off (even after a crash)
+//!   tcp://host:port       speak the wire protocol to a serving repl
+//!
+//! The legacy flags still work and map onto URLs: `--db <path>` ⇒
+//! `file:<path>`, `--connect <addr>` ⇒ `tcp://<addr>`.
 //!
 //! With `--listen <addr>` (optionally plus `--db`) the process becomes a
-//! `sciql-net` server: N concurrent clients share the engine — reads on
-//! `Arc` column snapshots, writes serialized through the vault. It runs
-//! until a client sends `\shutdown`.
-//!
-//! With `--connect <addr>` the shell speaks the wire protocol to such a
-//! server instead of embedding the engine.
+//! `sciql-net` server instead: N concurrent clients share the engine —
+//! reads on `Arc` column snapshots, writes serialized through the vault.
+//! It runs until a client sends `\shutdown`.
 //!
 //! Commands:
 //!   <SciQL statement>;          execute (multi-line until ';')
+//!   \prepare <name> <sql>;      prepare a statement (use ? or :name params)
+//!   \exec <name> [v1 v2 …];     execute it with bound parameter values
 //!   \explain <SELECT …>;        show plan + MAL (embedded only)
 //!   \grid <SELECT …with [dims]>; render a coerced 2-D result as a grid
 //!   \demo                       load the Fig 1 matrix and a small board
-//!   \checkpoint                 write a vault checkpoint (needs --db)
-//!   \stats                      storage + vault counters
-//!   \timing                     toggle per-statement wall time, thread counts
-//!                               and optimizer stats (eliminated/fused instrs,
-//!                               bytes not materialized; fetched over the wire
-//!                               with the Stats frame when connected)
-//!   \ping                       round-trip probe (--connect only)
-//!   \shutdown                   stop the remote server (--connect only)
+//!   \checkpoint                 write a vault checkpoint (file: only)
+//!   \stats                      storage + vault counters (embedded only)
+//!   \timing                     toggle per-statement wall time, thread counts,
+//!                               optimizer stats and the plan-cache flag
+//!                               (fetched over the wire when remote)
+//!   \ping                       round-trip probe
+//!   \shutdown                   stop the remote server (tcp:// only)
 //!   \q                          quit
 //!
 //! Pipe a script: `echo 'SELECT 1+1;' | cargo run --example repl`
 
-use sciql::{Connection, QueryResult, SharedEngine};
-use sciql_catalog::SchemaObject;
-use sciql_net::{Client, NetReply, Server};
+use sciql_repro::driver::{Conn, Outcome, Sciql, Statement};
+use sciql_repro::gdk::Value;
+use sciql_repro::net::Server;
+use sciql_repro::sciql::SharedEngine;
+use std::collections::HashMap;
 use std::io::{self, BufRead, Write};
 use std::time::Instant;
-
-/// Where statements go: an embedded engine or a remote server.
-enum Backend {
-    Embedded(Box<Connection>),
-    Remote(Client),
-}
 
 fn main() {
     let mut db: Option<String> = None;
     let mut listen: Option<String> = None;
     let mut connect: Option<String> = None;
-    let usage = "usage: repl [--db <path>] [--listen <addr> | --connect <addr>]";
+    let mut url: Option<String> = None;
+    let usage = "usage: repl [<URL> | --listen <addr> [--db <path>]]  \
+                 (URL = mem: | file:<path> | tcp://host:port)";
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let target = match a.as_str() {
             "--db" => &mut db,
             "--listen" => &mut listen,
             "--connect" => &mut connect,
+            other if !other.starts_with('-') && url.is_none() => {
+                url = Some(other.to_owned());
+                continue;
+            }
             other => {
                 eprintln!("unknown argument {other:?} ({usage})");
                 std::process::exit(2);
@@ -67,14 +75,8 @@ fn main() {
             std::process::exit(2);
         }
     }
-    if listen.is_some() && connect.is_some() {
-        eprintln!("--listen and --connect are mutually exclusive ({usage})");
-        std::process::exit(2);
-    }
-    if db.is_some() && connect.is_some() {
-        eprintln!(
-            "--db opens a local vault; with --connect the database lives on the server ({usage})"
-        );
+    if listen.is_some() && (connect.is_some() || url.is_some()) {
+        eprintln!("--listen starts a server; it takes no client URL ({usage})");
         std::process::exit(2);
     }
 
@@ -83,24 +85,36 @@ fn main() {
         return;
     }
 
-    let backend = match connect {
-        Some(addr) => match Client::connect_named(&addr, "sciql-repl") {
-            Ok(c) => {
-                println!(
-                    "connected to {} at {addr} (session {})",
-                    c.server_name(),
-                    c.session_id()
-                );
-                Backend::Remote(c)
-            }
-            Err(e) => {
-                eprintln!("cannot connect to {addr}: {e}");
-                std::process::exit(1);
-            }
-        },
-        None => Backend::Embedded(Box::new(open_embedded(db.as_deref()))),
+    // Everything below is one driver connection: the legacy flags just
+    // pick the URL. Conflicting selections are an error, not a silent
+    // preference — a user naming a vault must not land elsewhere.
+    let url = match (url, connect, db) {
+        (Some(_), Some(_), _) | (Some(_), _, Some(_)) => {
+            eprintln!("give either a URL or the legacy --db/--connect flags, not both ({usage})");
+            std::process::exit(2);
+        }
+        (None, Some(_), Some(_)) => {
+            eprintln!(
+                "--db opens a local vault; with --connect the database lives on the server ({usage})"
+            );
+            std::process::exit(2);
+        }
+        (Some(u), None, None) => u,
+        (None, Some(addr), None) => format!("tcp://{addr}"),
+        (None, None, Some(path)) => format!("file:{path}"),
+        (None, None, None) => "mem:".to_owned(),
     };
-    repl_loop(backend);
+    let conn = match Sciql::connect(&url) {
+        Ok(c) => {
+            println!("connected: {url} ({} transport)", c.transport_kind());
+            c
+        }
+        Err(e) => {
+            eprintln!("cannot connect to {url}: {e}");
+            std::process::exit(1);
+        }
+    };
+    repl_loop(conn);
 }
 
 /// `--listen`: serve the (optionally durable) engine until a client asks
@@ -152,29 +166,11 @@ fn serve(addr: &str, db: Option<&str>) {
     );
 }
 
-fn open_embedded(db: Option<&str>) -> Connection {
-    match db {
-        Some(path) => match Connection::open(path) {
-            Ok(c) => {
-                println!(
-                    "opened vault {path:?} ({} objects recovered)",
-                    c.catalog().len()
-                );
-                c
-            }
-            Err(e) => {
-                eprintln!("cannot open vault {path:?}: {e}");
-                std::process::exit(1);
-            }
-        },
-        None => Connection::new(),
-    }
-}
-
-fn repl_loop(mut backend: Backend) {
+fn repl_loop(mut conn: Conn) {
     let stdin = io::stdin();
     let mut buffer = String::new();
     let mut timing = false;
+    let mut prepared: HashMap<String, Statement> = HashMap::new();
     print!("SciQL> ");
     io::stdout().flush().ok();
     for line in stdin.lock().lines() {
@@ -186,9 +182,7 @@ fn repl_loop(mut backend: Backend) {
         if buffer.is_empty() {
             match trimmed {
                 "\\q" | "\\quit" | "exit" => {
-                    if let Backend::Remote(c) = backend {
-                        c.close().ok();
-                    }
+                    conn.close().ok();
                     println!();
                     return;
                 }
@@ -199,59 +193,45 @@ fn repl_loop(mut backend: Backend) {
                     continue;
                 }
                 "\\ping" => {
-                    match &mut backend {
-                        Backend::Remote(c) => {
-                            let t0 = Instant::now();
-                            match c.ping() {
-                                Ok(()) => println!("pong ({:.3} ms)", ms_since(t0)),
-                                Err(e) => println!("error: {e}"),
-                            }
-                        }
-                        Backend::Embedded(_) => println!("\\ping needs --connect"),
+                    let t0 = Instant::now();
+                    match conn.ping() {
+                        Ok(()) => println!("pong ({:.3} ms)", ms_since(t0)),
+                        Err(e) => println!("error: {e}"),
                     }
                     prompt();
                     continue;
                 }
                 "\\shutdown" => {
-                    match backend {
-                        Backend::Remote(c) => {
-                            match c.shutdown_server() {
-                                Ok(()) => println!("server is shutting down"),
-                                Err(e) => println!("error: {e}"),
-                            }
+                    // Only exit on an actual remote shutdown; an
+                    // embedded session refuses and keeps running.
+                    match conn.shutdown_server() {
+                        Ok(()) => {
+                            println!("server is shutting down");
                             println!();
                             return;
                         }
-                        Backend::Embedded(_) => {
-                            println!("\\shutdown needs --connect");
-                            prompt();
-                            continue;
-                        }
-                    };
+                        Err(e) => println!("error: {e}"),
+                    }
+                    prompt();
+                    continue;
                 }
                 "\\demo" => {
-                    load_demo(&mut backend);
+                    load_demo(&mut conn);
                     prompt();
                     continue;
                 }
                 "\\checkpoint" => {
-                    match &mut backend {
-                        Backend::Embedded(conn) => match conn.checkpoint() {
-                            Ok(()) => {
-                                let s = conn.vault_stats().expect("persistent after checkpoint");
-                                println!("checkpoint written (generation {})", s.generation);
-                            }
-                            Err(e) => println!("error: {e}"),
-                        },
-                        Backend::Remote(_) => println!("\\checkpoint runs on the server side"),
+                    match conn.checkpoint() {
+                        Ok(()) => println!("checkpoint written"),
+                        Err(e) => println!("error: {e}"),
                     }
                     prompt();
                     continue;
                 }
                 "\\stats" => {
-                    match &backend {
-                        Backend::Embedded(conn) => print_stats(conn),
-                        Backend::Remote(_) => println!("\\stats needs an embedded session"),
+                    match conn.storage_report() {
+                        Ok(text) => print!("{text}"),
+                        Err(e) => println!("error: {e}"),
                     }
                     prompt();
                     continue;
@@ -260,28 +240,63 @@ fn repl_loop(mut backend: Backend) {
                     let sql = trimmed
                         .trim_start_matches("\\explain ")
                         .trim_end_matches(';');
-                    match &backend {
-                        Backend::Embedded(conn) => match conn.explain(sql) {
-                            Ok(text) => println!("{text}"),
-                            Err(e) => println!("error: {e}"),
-                        },
-                        Backend::Remote(_) => println!("\\explain needs an embedded session"),
+                    match conn.explain(sql) {
+                        Ok(text) => println!("{text}"),
+                        Err(e) => println!("error: {e}"),
                     }
                     prompt();
                     continue;
                 }
                 _ if trimmed.starts_with("\\grid ") => {
                     let sql = trimmed.trim_start_matches("\\grid ").trim_end_matches(';');
-                    let view = match &mut backend {
-                        Backend::Embedded(conn) => conn.query_array(sql),
-                        Backend::Remote(c) => c
-                            .query(sql)
-                            .map_err(|e| sciql::EngineError::msg(e.to_string()))
-                            .and_then(|rs| rs.to_array_view()),
-                    };
-                    match view.and_then(|v| v.render_grid()) {
+                    let view = conn
+                        .query(sql)
+                        .and_then(|rows| Ok(rows.result_set().to_array_view()?));
+                    match view.and_then(|v| Ok(v.render_grid()?)) {
                         Ok(grid) => println!("{grid}"),
                         Err(e) => println!("error: {e}"),
+                    }
+                    prompt();
+                    continue;
+                }
+                _ if trimmed.starts_with("\\prepare ") => {
+                    let rest = trimmed
+                        .trim_start_matches("\\prepare ")
+                        .trim_end_matches(';');
+                    match rest.split_once(' ') {
+                        Some((name, sql)) => match conn.prepare(sql.trim()) {
+                            Ok(stmt) => {
+                                println!(
+                                    "prepared {name:?} with {} parameter slot(s)",
+                                    stmt.param_count()
+                                );
+                                prepared.insert(name.to_owned(), stmt);
+                            }
+                            Err(e) => println!("error: {e}"),
+                        },
+                        None => println!("usage: \\prepare <name> <sql>"),
+                    }
+                    prompt();
+                    continue;
+                }
+                _ if trimmed.starts_with("\\exec ") => {
+                    let rest = trimmed.trim_start_matches("\\exec ").trim_end_matches(';');
+                    let mut parts = rest.split_whitespace();
+                    match parts.next().and_then(|n| prepared.get(n).cloned()) {
+                        Some(stmt) => {
+                            let params: Vec<Value> = parts.map(parse_param).collect();
+                            let t0 = Instant::now();
+                            match conn.run_bound(&stmt, &params) {
+                                Ok(outcome) => {
+                                    print_outcome(outcome);
+                                    if timing {
+                                        print_timing(&mut conn, t0);
+                                    }
+                                }
+                                Err(e) => println!("error: {e}"),
+                            }
+                        }
+                        None => println!("usage: \\exec <prepared-name> [value …]"),
                     }
                     prompt();
                     continue;
@@ -301,12 +316,10 @@ fn repl_loop(mut backend: Backend) {
             continue;
         }
         let script = std::mem::take(&mut buffer);
-        run_script(&mut backend, &script, timing);
+        run_script(&mut conn, &script, timing);
         prompt();
     }
-    if let Backend::Remote(c) = backend {
-        c.close().ok();
-    }
+    conn.close().ok();
     println!();
 }
 
@@ -314,88 +327,74 @@ fn ms_since(t0: Instant) -> f64 {
     t0.elapsed().as_secs_f64() * 1e3
 }
 
-/// Execute a script and print results; with `timing`, print per-script
-/// wall time plus the engine's per-instruction thread counters
-/// (embedded) or the round-trip time (remote).
-fn run_script(backend: &mut Backend, script: &str, timing: bool) {
+/// A `\exec` literal: integer, float, quoted or bare string, `null`.
+fn parse_param(tok: &str) -> Value {
+    if tok.eq_ignore_ascii_case("null") {
+        return Value::Null;
+    }
+    if let Ok(i) = tok.parse::<i64>() {
+        return Value::Lng(i);
+    }
+    if let Ok(f) = tok.parse::<f64>() {
+        return Value::Dbl(f);
+    }
+    Value::Str(tok.trim_matches('\'').to_owned())
+}
+
+/// Execute a script and print results; with `timing`, print wall time
+/// plus the transport-independent execution report.
+fn run_script(conn: &mut Conn, script: &str, timing: bool) {
     let t0 = Instant::now();
-    match backend {
-        Backend::Embedded(conn) => match conn.execute_script(script) {
-            Ok(results) => {
-                let wall = ms_since(t0);
-                for r in results {
-                    print_result(r);
-                }
-                if timing {
-                    let le = conn.last_exec();
-                    let e = &le.exec;
-                    println!(
-                        "Time: {wall:.3} ms ({} instr, {} parallel, max {} thread(s))",
-                        e.instructions, e.par_instructions, e.max_threads
-                    );
-                    println!(
-                        "Opt:  {} -> {} instr ({} eliminated, {} fused); \
-                         {} intermediate(s) not materialized ({} bytes)",
-                        le.instrs_before_opt,
-                        le.instrs_after_opt,
-                        le.opt.total_removed(),
-                        le.opt.fusions(),
-                        e.intermediates_avoided,
-                        e.bytes_not_materialized
-                    );
-                }
-            }
+    for stmt in split_statements(script) {
+        match conn.run(&stmt) {
+            Ok(outcome) => print_outcome(outcome),
             Err(e) => println!("error: {e}"),
-        },
-        Backend::Remote(client) => {
-            // The wire protocol is one statement per Query frame.
-            for stmt in split_statements(script) {
-                match client.execute(&stmt) {
-                    Ok(NetReply::Rows(rs)) => {
-                        println!("{}", rs.render());
-                        println!("{} row(s)", rs.row_count());
-                    }
-                    Ok(NetReply::Affected(n)) => println!("ok, {n} cell(s)/row(s)"),
-                    Err(e) => println!("error: {e}"),
-                }
-            }
-            if timing {
-                println!("Time: {:.3} ms (round trip)", ms_since(t0));
-                // The server keeps the last statement's execution report;
-                // fetch it so remote \timing matches embedded \timing.
-                if let Ok(s) = client.last_stats() {
-                    println!(
-                        "Opt:  {} -> {} instr ({} eliminated, {} fused); \
-                         {} intermediate(s) not materialized ({} bytes); \
-                         {} instr executed, {} parallel, max {} thread(s)",
-                        s.instrs_before_opt,
-                        s.instrs_after_opt,
-                        s.eliminated,
-                        s.fused,
-                        s.intermediates_avoided,
-                        s.bytes_not_materialized,
-                        s.instructions,
-                        s.par_instructions,
-                        s.max_threads
-                    );
-                }
-            }
         }
+    }
+    if timing {
+        print_timing(conn, t0);
     }
 }
 
-fn print_result(r: QueryResult) {
-    match r {
-        QueryResult::Rows(rs) => {
+fn print_timing(conn: &mut Conn, t0: Instant) {
+    let wall = ms_since(t0);
+    match conn.last_report() {
+        Ok(s) => {
+            println!(
+                "Time: {wall:.3} ms ({} instr, {} parallel, max {} thread(s), \
+                 plan cache {})",
+                s.instructions,
+                s.par_instructions,
+                s.max_threads,
+                if s.plan_cache_hits > 0 { "HIT" } else { "miss" }
+            );
+            println!(
+                "Opt:  {} -> {} instr ({} eliminated, {} fused); \
+                 {} intermediate(s) not materialized ({} bytes)",
+                s.instrs_before_opt,
+                s.instrs_after_opt,
+                s.eliminated,
+                s.fused,
+                s.intermediates_avoided,
+                s.bytes_not_materialized
+            );
+        }
+        Err(e) => println!("Time: {wall:.3} ms (report unavailable: {e})"),
+    }
+}
+
+fn print_outcome(outcome: Outcome) {
+    match outcome {
+        Outcome::Rows(rs) => {
             println!("{}", rs.render());
             println!("{} row(s)", rs.row_count());
         }
-        QueryResult::Affected(n) => println!("ok, {n} cell(s)/row(s)"),
+        Outcome::Affected(n) => println!("ok, {n} cell(s)/row(s)"),
     }
 }
 
-/// Split a script on top-level semicolons (quote-aware, like the server
-/// expects single statements per frame).
+/// Split a script on top-level semicolons (quote-aware — the driver
+/// executes one statement at a time, like the wire protocol).
 fn split_statements(script: &str) -> Vec<String> {
     let mut out = Vec::new();
     let mut cur = String::new();
@@ -426,45 +425,7 @@ fn prompt() {
     io::stdout().flush().ok();
 }
 
-fn print_stats(conn: &Connection) {
-    if conn.catalog().is_empty() {
-        println!("no schema objects");
-    }
-    for obj in conn.catalog().iter() {
-        match obj {
-            SchemaObject::Array(a) => match conn.array_store(&a.name) {
-                Ok(s) => println!(
-                    "array {:<12} {} dims, {} attrs, {} cells, {} dirty column(s)",
-                    a.name,
-                    a.dims.len(),
-                    a.attrs.len(),
-                    s.cell_count(),
-                    s.dirty_columns()
-                ),
-                Err(_) => println!("array {:<12} (unbounded, not materialised)", a.name),
-            },
-            SchemaObject::Table(t) => {
-                let s = conn.table_store(&t.name).expect("tables always stored");
-                println!(
-                    "table {:<12} {} columns, {} rows, {} dirty column(s)",
-                    t.name,
-                    t.columns.len(),
-                    s.row_count(),
-                    s.dirty_columns()
-                );
-            }
-        }
-    }
-    match conn.vault_stats() {
-        Some(v) => println!(
-            "vault: generation {}, {} WAL record(s) ({} bytes), {} column file(s)",
-            v.generation, v.wal_records, v.wal_bytes, v.column_files
-        ),
-        None => println!("vault: none (in-memory session; restart with --db <path>)"),
-    }
-}
-
-fn load_demo(backend: &mut Backend) {
+fn load_demo(conn: &mut Conn) {
     let script = "CREATE ARRAY matrix (x INT DIMENSION[0:1:4], y INT DIMENSION[0:1:4], \
                   v INT DEFAULT 0); \
                   UPDATE matrix SET v = CASE WHEN x > y THEN x + y \
@@ -472,21 +433,15 @@ fn load_demo(backend: &mut Backend) {
                   CREATE ARRAY life (x INT DIMENSION[0:1:8], y INT DIMENSION[0:1:8], \
                   v INT DEFAULT 0); \
                   INSERT INTO life VALUES (2,1,1), (2,2,1), (2,3,1);";
-    let loaded = match backend {
-        Backend::Embedded(conn) => conn
-            .execute_script(script)
-            .map(|_| ())
-            .map_err(|e| e.to_string()),
-        Backend::Remote(c) => split_statements(script)
-            .iter()
-            .try_for_each(|s| c.execute(s).map(|_| ()))
-            .map_err(|e| e.to_string()),
-    };
+    let loaded = split_statements(script)
+        .iter()
+        .try_for_each(|s| conn.run(s).map(|_| ()));
     match loaded {
         Ok(()) => println!(
             "loaded: matrix (Fig 1(b)) and life (8x8 board with a blinker).\n\
              try:  SELECT [x], [y], AVG(v) FROM matrix GROUP BY matrix[x:x+2][y:y+2];\n\
-             or :  \\grid SELECT [x], [y], v FROM life"
+             or :  \\grid SELECT [x], [y], v FROM life\n\
+             or :  \\prepare q SELECT COUNT(*) FROM matrix WHERE v >= ?; then \\exec q 2"
         ),
         Err(e) => println!("demo load failed: {e}"),
     }

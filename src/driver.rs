@@ -1,0 +1,1022 @@
+//! The unified SciQL driver: **one** connection surface over every
+//! transport the workspace offers.
+//!
+//! [`Sciql::connect`] takes a URL and returns a [`Conn`] backed by a
+//! [`Transport`] trait object:
+//!
+//! | URL | backend |
+//! |-----|---------|
+//! | `mem:` | embedded in-memory [`sciql::Connection`] |
+//! | `file:<path>` | embedded durable connection over the vault at `<path>` (WAL + checkpoints + crash recovery) |
+//! | `tcp://host:port` | remote [`sciql_net::Client`] speaking protocol v3 |
+//!
+//! A fourth backend, [`Sciql::attach`], opens a session on an in-process
+//! [`sciql::SharedEngine`] (many concurrent driver connections over one
+//! shared database).
+//!
+//! Whatever the transport, the API is the same: `execute` for DDL/DML,
+//! `query` for SELECTs returning a [`Rows`] cursor with typed
+//! [`Row::get`] accessors, and **bound-parameter prepared statements** —
+//! [`Conn::prepare`] compiles a statement with `?` / `:name`
+//! placeholders once, and each [`Conn::query_bound`] /
+//! [`Conn::execute_bound`] fills the parameter slots without re-parsing
+//! or re-optimising (embedded: an in-process plan cache; remote:
+//! `Bind`/`ExecBound` frames against the server's cache). Errors from
+//! every layer unify into [`SciqlError`] with stable [`ErrorCode`]s, so
+//! a parse error looks the same whether it happened in-process or on a
+//! server.
+//!
+//! ```
+//! use sciql_repro::driver::Sciql;
+//! use sciql_repro::params;
+//!
+//! let mut conn = Sciql::connect("mem:").unwrap();
+//! conn.execute("CREATE ARRAY m (x INT DIMENSION[0:1:4], y INT DIMENSION[0:1:4], \
+//!               v INT DEFAULT 0)").unwrap();
+//! conn.execute("UPDATE m SET v = x + y").unwrap();
+//! let stmt = conn.prepare("SELECT COUNT(*) FROM m WHERE v < ?").unwrap();
+//! let mut rows = conn.query_bound(&stmt, params![3]).unwrap();
+//! let n: i64 = rows.next_row().unwrap().get(0).unwrap();
+//! assert_eq!(n, 6); // cells with x + y < 3
+//! ```
+
+use gdk::Value;
+use sciql::{
+    Connection, EngineSession, ErrorCode, QueryResult, ResultSet, SessionConfig, SharedEngine,
+};
+use sciql_net::{Client, NetError, NetReply};
+use sciql_parser::ast::ParamRef;
+use std::fmt;
+use std::sync::Arc;
+
+/// Driver result type.
+pub type Result<T> = std::result::Result<T, SciqlError>;
+
+// ---------------------------------------------------------------------
+// errors
+// ---------------------------------------------------------------------
+
+/// The unified driver error: every failure from every layer — parser,
+/// binder, catalog, interpreter, kernels, durable store, wire protocol —
+/// maps into one of these variants, and each variant corresponds to
+/// exactly one stable [`ErrorCode`]. The mapping is
+/// transport-independent: a server-side parse error surfaces as the same
+/// [`SciqlError::Parse`] an embedded session produces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SciqlError {
+    /// Lexical or syntax error ([`ErrorCode::Parse`]).
+    Parse(String),
+    /// Name resolution / type-check error ([`ErrorCode::Bind`]).
+    Bind(String),
+    /// Unknown or duplicate schema object ([`ErrorCode::Catalog`]).
+    Catalog(String),
+    /// Runtime execution error ([`ErrorCode::Exec`]).
+    Exec(String),
+    /// BAT kernel error ([`ErrorCode::Kernel`]).
+    Kernel(String),
+    /// Durable-store error ([`ErrorCode::Storage`]).
+    Storage(String),
+    /// Bind-parameter error: unbound slot, uncoercible value, unknown
+    /// `:name` ([`ErrorCode::Param`]).
+    Param(String),
+    /// Statement-level misuse ([`ErrorCode::Statement`]).
+    Statement(String),
+    /// Network I/O failure ([`ErrorCode::Io`]).
+    Io(String),
+    /// Wire-protocol violation ([`ErrorCode::Protocol`]).
+    Protocol(String),
+    /// Protocol version mismatch ([`ErrorCode::Version`]).
+    Version(String),
+    /// Driver misuse: bad URL, wrong result shape, closed connection
+    /// ([`ErrorCode::Connection`]).
+    Connection(String),
+    /// Anything that should not happen ([`ErrorCode::Internal`]).
+    Internal(String),
+}
+
+impl SciqlError {
+    /// The stable error code of this variant.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            SciqlError::Parse(_) => ErrorCode::Parse,
+            SciqlError::Bind(_) => ErrorCode::Bind,
+            SciqlError::Catalog(_) => ErrorCode::Catalog,
+            SciqlError::Exec(_) => ErrorCode::Exec,
+            SciqlError::Kernel(_) => ErrorCode::Kernel,
+            SciqlError::Storage(_) => ErrorCode::Storage,
+            SciqlError::Param(_) => ErrorCode::Param,
+            SciqlError::Statement(_) => ErrorCode::Statement,
+            SciqlError::Io(_) => ErrorCode::Io,
+            SciqlError::Protocol(_) => ErrorCode::Protocol,
+            SciqlError::Version(_) => ErrorCode::Version,
+            SciqlError::Connection(_) => ErrorCode::Connection,
+            SciqlError::Internal(_) => ErrorCode::Internal,
+        }
+    }
+
+    /// The error message without the code prefix.
+    pub fn message(&self) -> &str {
+        match self {
+            SciqlError::Parse(m)
+            | SciqlError::Bind(m)
+            | SciqlError::Catalog(m)
+            | SciqlError::Exec(m)
+            | SciqlError::Kernel(m)
+            | SciqlError::Storage(m)
+            | SciqlError::Param(m)
+            | SciqlError::Statement(m)
+            | SciqlError::Io(m)
+            | SciqlError::Protocol(m)
+            | SciqlError::Version(m)
+            | SciqlError::Connection(m)
+            | SciqlError::Internal(m) => m,
+        }
+    }
+
+    /// Build the variant matching a stable code (the wire → driver
+    /// direction).
+    pub fn from_code(code: ErrorCode, message: impl Into<String>) -> SciqlError {
+        let m = message.into();
+        match code {
+            ErrorCode::Parse => SciqlError::Parse(m),
+            ErrorCode::Bind => SciqlError::Bind(m),
+            ErrorCode::Catalog => SciqlError::Catalog(m),
+            ErrorCode::Exec => SciqlError::Exec(m),
+            ErrorCode::Kernel => SciqlError::Kernel(m),
+            ErrorCode::Storage => SciqlError::Storage(m),
+            ErrorCode::Param => SciqlError::Param(m),
+            ErrorCode::Statement => SciqlError::Statement(m),
+            ErrorCode::Io => SciqlError::Io(m),
+            ErrorCode::Protocol => SciqlError::Protocol(m),
+            ErrorCode::Version => SciqlError::Version(m),
+            ErrorCode::Connection => SciqlError::Connection(m),
+            ErrorCode::Internal => SciqlError::Internal(m),
+        }
+    }
+}
+
+impl fmt::Display for SciqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.code(), self.message())
+    }
+}
+
+impl std::error::Error for SciqlError {}
+
+impl From<sciql::EngineError> for SciqlError {
+    fn from(e: sciql::EngineError) -> Self {
+        SciqlError::from_code(e.code(), e.to_string())
+    }
+}
+
+impl From<NetError> for SciqlError {
+    fn from(e: NetError) -> Self {
+        SciqlError::from_code(e.code(), e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------
+// transports
+// ---------------------------------------------------------------------
+
+/// A statement's outcome, transport-independent.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// DDL/DML: affected cells/rows.
+    Affected(u64),
+    /// SELECT: a result set.
+    Rows(ResultSet),
+}
+
+impl Outcome {
+    fn from_query_result(r: QueryResult) -> Outcome {
+        match r {
+            QueryResult::Affected(n) => Outcome::Affected(n as u64),
+            QueryResult::Rows(rs) => Outcome::Rows(rs),
+        }
+    }
+
+    fn from_net_reply(r: NetReply) -> Outcome {
+        match r {
+            NetReply::Affected(n) => Outcome::Affected(n),
+            NetReply::Rows(rs) => Outcome::Rows(rs),
+        }
+    }
+}
+
+/// What a [`Conn`] needs from a backend. Implemented by the embedded
+/// connection, shared-engine sessions, and the TCP client; implement it
+/// yourself to put the driver API over a new transport.
+pub trait Transport {
+    /// Execute one statement.
+    fn execute(&mut self, sql: &str) -> Result<Outcome>;
+    /// Prepare a named statement; returns its bind-slot count.
+    fn prepare(&mut self, name: &str, sql: &str) -> Result<usize>;
+    /// Execute a prepared statement with slot-ordered bound values.
+    fn execute_prepared(&mut self, name: &str, params: &[Value]) -> Result<Outcome>;
+    /// Drop a prepared statement; `true` if it existed.
+    fn deallocate(&mut self, name: &str) -> Result<bool>;
+    /// Plan-cache hits of the most recent statement (1 = the execution
+    /// reused a compiled plan and skipped parse/bind/optimise).
+    fn last_plan_cache_hits(&mut self) -> Result<u64>;
+    /// Short backend tag for diagnostics (`"mem"`, `"file"`, `"tcp"`,
+    /// `"engine"`).
+    fn kind(&self) -> &'static str;
+    /// Orderly shutdown of the backend.
+    fn close(&mut self) -> Result<()>;
+
+    /// EXPLAIN a SELECT: logical plan + generated and optimised MAL.
+    /// Embedded transports implement this; the default refuses.
+    fn explain(&mut self, _sql: &str) -> Result<String> {
+        Err(SciqlError::Connection(format!(
+            "EXPLAIN is not supported by the {} transport",
+            self.kind()
+        )))
+    }
+
+    /// Write a durability checkpoint (vault-backed embedded transports).
+    fn checkpoint(&mut self) -> Result<()> {
+        Err(SciqlError::Connection(format!(
+            "checkpoint is not supported by the {} transport",
+            self.kind()
+        )))
+    }
+
+    /// A human-readable report of stored objects and vault health.
+    fn storage_report(&mut self) -> Result<String> {
+        Err(SciqlError::Connection(format!(
+            "storage reports are not supported by the {} transport",
+            self.kind()
+        )))
+    }
+
+    /// The underlying embedded [`Connection`], if this transport has one
+    /// in-process (bulk loads, imaging vault ingestion).
+    fn connection(&mut self) -> Option<&mut Connection> {
+        None
+    }
+
+    /// Liveness probe. Embedded transports answer trivially; the TCP
+    /// transport does a real `Ping`/`Pong` round trip.
+    fn ping(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    /// Execution report of the most recent statement (the same numbers
+    /// whether they were measured in-process or fetched over the wire
+    /// with a `Stats` frame).
+    fn last_report(&mut self) -> Result<sciql_net::ExecReport>;
+
+    /// Ask a remote server to shut down gracefully (TCP only).
+    fn shutdown_server(&mut self) -> Result<()> {
+        Err(SciqlError::Connection(format!(
+            "shutdown_server is not supported by the {} transport",
+            self.kind()
+        )))
+    }
+}
+
+/// Build the wire-format execution report from an embedded session's
+/// [`sciql::LastExec`].
+fn report_of(last: &sciql::LastExec) -> sciql_net::ExecReport {
+    sciql_net::ExecReport {
+        instructions: last.exec.instructions as u64,
+        par_instructions: last.exec.par_instructions as u64,
+        max_threads: last.exec.max_threads as u64,
+        instrs_before_opt: last.instrs_before_opt as u64,
+        instrs_after_opt: last.instrs_after_opt as u64,
+        eliminated: last.opt.total_removed() as u64,
+        fused: last.opt.fusions() as u64,
+        intermediates_avoided: last.exec.intermediates_avoided as u64,
+        bytes_not_materialized: last.exec.bytes_not_materialized as u64,
+        plan_cache_hits: last.exec.plan_cache_hits as u64,
+    }
+}
+
+/// Render the repl-style storage report for an embedded connection.
+fn storage_report_of(conn: &Connection) -> String {
+    use sciql_catalog::SchemaObject;
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    if conn.catalog().is_empty() {
+        out.push_str("no schema objects\n");
+    }
+    for obj in conn.catalog().iter() {
+        match obj {
+            SchemaObject::Array(a) => match conn.array_store(&a.name) {
+                Ok(s) => {
+                    let _ = writeln!(
+                        out,
+                        "array {:<12} {} dims, {} attrs, {} cells, {} dirty column(s)",
+                        a.name,
+                        a.dims.len(),
+                        a.attrs.len(),
+                        s.cell_count(),
+                        s.dirty_columns()
+                    );
+                }
+                Err(_) => {
+                    let _ = writeln!(out, "array {:<12} (unbounded, not materialised)", a.name);
+                }
+            },
+            SchemaObject::Table(t) => {
+                if let Ok(s) = conn.table_store(&t.name) {
+                    let _ = writeln!(
+                        out,
+                        "table {:<12} {} columns, {} rows, {} dirty column(s)",
+                        t.name,
+                        t.columns.len(),
+                        s.row_count(),
+                        s.dirty_columns()
+                    );
+                }
+            }
+        }
+    }
+    match conn.vault_stats() {
+        Some(v) => {
+            let _ = writeln!(
+                out,
+                "vault: generation {}, {} WAL record(s) ({} bytes), {} column file(s)",
+                v.generation, v.wal_records, v.wal_bytes, v.column_files
+            );
+        }
+        None => out.push_str("vault: none (in-memory session)\n"),
+    }
+    out
+}
+
+/// Embedded transport: a [`Connection`] (in-memory or vault-backed).
+struct Embedded {
+    conn: Connection,
+    kind: &'static str,
+}
+
+impl Transport for Embedded {
+    fn execute(&mut self, sql: &str) -> Result<Outcome> {
+        Ok(Outcome::from_query_result(self.conn.execute(sql)?))
+    }
+    fn prepare(&mut self, name: &str, sql: &str) -> Result<usize> {
+        Ok(self.conn.prepare(name, sql)?)
+    }
+    fn execute_prepared(&mut self, name: &str, params: &[Value]) -> Result<Outcome> {
+        Ok(Outcome::from_query_result(
+            self.conn.execute_prepared(name, params)?,
+        ))
+    }
+    fn deallocate(&mut self, name: &str) -> Result<bool> {
+        Ok(self.conn.deallocate(name))
+    }
+    fn last_plan_cache_hits(&mut self) -> Result<u64> {
+        Ok(self.conn.last_exec().exec.plan_cache_hits as u64)
+    }
+    fn kind(&self) -> &'static str {
+        self.kind
+    }
+    fn close(&mut self) -> Result<()> {
+        if self.conn.is_persistent() {
+            self.conn.checkpoint()?;
+        }
+        Ok(())
+    }
+    fn explain(&mut self, sql: &str) -> Result<String> {
+        Ok(self.conn.explain(sql)?)
+    }
+    fn checkpoint(&mut self) -> Result<()> {
+        Ok(self.conn.checkpoint()?)
+    }
+    fn storage_report(&mut self) -> Result<String> {
+        Ok(storage_report_of(&self.conn))
+    }
+    fn connection(&mut self) -> Option<&mut Connection> {
+        Some(&mut self.conn)
+    }
+    fn last_report(&mut self) -> Result<sciql_net::ExecReport> {
+        Ok(report_of(&self.conn.last_exec()))
+    }
+}
+
+/// Shared-engine transport: one [`EngineSession`] over an in-process
+/// [`SharedEngine`] (snapshot reads, serialized writes).
+struct Session {
+    session: EngineSession,
+}
+
+impl Transport for Session {
+    fn execute(&mut self, sql: &str) -> Result<Outcome> {
+        Ok(Outcome::from_query_result(self.session.execute(sql)?))
+    }
+    fn prepare(&mut self, name: &str, sql: &str) -> Result<usize> {
+        Ok(self.session.prepare(name, sql)?)
+    }
+    fn execute_prepared(&mut self, name: &str, params: &[Value]) -> Result<Outcome> {
+        Ok(Outcome::from_query_result(
+            self.session.execute_prepared(name, params)?,
+        ))
+    }
+    fn deallocate(&mut self, name: &str) -> Result<bool> {
+        Ok(self.session.deallocate(name))
+    }
+    fn last_plan_cache_hits(&mut self) -> Result<u64> {
+        Ok(self.session.last_exec().exec.plan_cache_hits as u64)
+    }
+    fn kind(&self) -> &'static str {
+        "engine"
+    }
+    fn close(&mut self) -> Result<()> {
+        Ok(())
+    }
+    fn explain(&mut self, sql: &str) -> Result<String> {
+        Ok(self.session.engine().connection().explain(sql)?)
+    }
+    fn checkpoint(&mut self) -> Result<()> {
+        Ok(self.session.engine().checkpoint()?)
+    }
+    fn storage_report(&mut self) -> Result<String> {
+        Ok(storage_report_of(&self.session.engine().connection()))
+    }
+    fn last_report(&mut self) -> Result<sciql_net::ExecReport> {
+        Ok(report_of(&self.session.last_exec()))
+    }
+}
+
+/// Network transport: a protocol-v3 [`Client`].
+struct Tcp {
+    client: Option<Client>,
+}
+
+impl Tcp {
+    fn client(&mut self) -> Result<&mut Client> {
+        self.client
+            .as_mut()
+            .ok_or_else(|| SciqlError::Connection("connection is closed".into()))
+    }
+}
+
+impl Transport for Tcp {
+    fn execute(&mut self, sql: &str) -> Result<Outcome> {
+        Ok(Outcome::from_net_reply(self.client()?.execute(sql)?))
+    }
+    fn prepare(&mut self, name: &str, sql: &str) -> Result<usize> {
+        Ok(self.client()?.prepare(name, sql)? as usize)
+    }
+    fn execute_prepared(&mut self, name: &str, params: &[Value]) -> Result<Outcome> {
+        Ok(Outcome::from_net_reply(
+            self.client()?.execute_bound(name, params)?,
+        ))
+    }
+    fn deallocate(&mut self, name: &str) -> Result<bool> {
+        Ok(self.client()?.deallocate(name)?)
+    }
+    fn last_plan_cache_hits(&mut self) -> Result<u64> {
+        Ok(self.client()?.last_stats()?.plan_cache_hits)
+    }
+    fn kind(&self) -> &'static str {
+        "tcp"
+    }
+    fn close(&mut self) -> Result<()> {
+        if let Some(c) = self.client.take() {
+            c.close()?;
+        }
+        Ok(())
+    }
+    fn ping(&mut self) -> Result<()> {
+        Ok(self.client()?.ping()?)
+    }
+    fn last_report(&mut self) -> Result<sciql_net::ExecReport> {
+        Ok(self.client()?.last_stats()?)
+    }
+    fn shutdown_server(&mut self) -> Result<()> {
+        let c = self
+            .client
+            .take()
+            .ok_or_else(|| SciqlError::Connection("connection is closed".into()))?;
+        Ok(c.shutdown_server()?)
+    }
+}
+
+// ---------------------------------------------------------------------
+// connect
+// ---------------------------------------------------------------------
+
+/// The driver entry point: [`Sciql::connect`] and [`Sciql::attach`].
+pub struct Sciql;
+
+impl Sciql {
+    /// Open a connection from a URL — `mem:`, `file:<path>`, or
+    /// `tcp://host:port` — with the default execution configuration.
+    pub fn connect(url: &str) -> Result<Conn> {
+        Self::connect_with_config(url, SessionConfig::default())
+    }
+
+    /// [`Sciql::connect`] with an explicit embedded execution
+    /// configuration (thread count, parallel threshold, optimizer
+    /// level). For `tcp://` URLs the configuration lives server-side and
+    /// `cfg` is ignored.
+    pub fn connect_with_config(url: &str, cfg: SessionConfig) -> Result<Conn> {
+        let transport: Box<dyn Transport + Send> = if url == "mem:" || url == "mem" {
+            Box::new(Embedded {
+                conn: Connection::with_config(cfg),
+                kind: "mem",
+            })
+        } else if let Some(path) = url.strip_prefix("file:") {
+            if path.is_empty() {
+                return Err(SciqlError::Connection(
+                    "file: URL needs a vault directory path, e.g. file:./mydb".into(),
+                ));
+            }
+            Box::new(Embedded {
+                conn: Connection::open_with_config(path, cfg)?,
+                kind: "file",
+            })
+        } else if let Some(addr) = url.strip_prefix("tcp://") {
+            if addr.is_empty() {
+                return Err(SciqlError::Connection(
+                    "tcp:// URL needs host:port, e.g. tcp://127.0.0.1:5000".into(),
+                ));
+            }
+            Box::new(Tcp {
+                client: Some(Client::connect_named(addr, "sciql-driver")?),
+            })
+        } else {
+            return Err(SciqlError::Connection(format!(
+                "unsupported URL {url:?}: expected mem:, file:<path> or tcp://host:port"
+            )));
+        };
+        Ok(Conn {
+            transport,
+            id: fresh_conn_id(),
+            next_stmt: 0,
+        })
+    }
+
+    /// Open a driver connection as a new session on an in-process
+    /// [`SharedEngine`] — N such connections share one database with
+    /// snapshot-isolated reads.
+    pub fn attach(engine: &Arc<SharedEngine>) -> Conn {
+        Conn {
+            transport: Box::new(Session {
+                session: engine.session(),
+            }),
+            id: fresh_conn_id(),
+            next_stmt: 0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// the connection
+// ---------------------------------------------------------------------
+
+/// Process-unique connection ids, used to pin [`Statement`] handles to
+/// the connection that prepared them.
+static NEXT_CONN_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+fn fresh_conn_id() -> u64 {
+    NEXT_CONN_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
+/// One open driver connection, backed by a boxed [`Transport`].
+pub struct Conn {
+    transport: Box<dyn Transport + Send>,
+    id: u64,
+    next_stmt: u64,
+}
+
+impl Conn {
+    /// Wrap a custom [`Transport`] in the driver API.
+    pub fn from_transport(transport: Box<dyn Transport + Send>) -> Conn {
+        Conn {
+            transport,
+            id: fresh_conn_id(),
+            next_stmt: 0,
+        }
+    }
+
+    /// Short backend tag (`"mem"`, `"file"`, `"tcp"`, `"engine"`).
+    pub fn transport_kind(&self) -> &'static str {
+        self.transport.kind()
+    }
+
+    /// Execute a statement and return either rows or an affected count.
+    pub fn run(&mut self, sql: &str) -> Result<Outcome> {
+        self.transport.execute(sql)
+    }
+
+    /// Execute DDL/DML; returns the affected cell/row count. Fails with
+    /// [`SciqlError::Statement`] if the statement produced rows — use
+    /// [`Conn::query`] for SELECTs.
+    pub fn execute(&mut self, sql: &str) -> Result<u64> {
+        match self.run(sql)? {
+            Outcome::Affected(n) => Ok(n),
+            Outcome::Rows(_) => Err(SciqlError::Statement(
+                "statement produced rows; use query()".into(),
+            )),
+        }
+    }
+
+    /// Execute a SELECT; returns a [`Rows`] cursor. Fails with
+    /// [`SciqlError::Statement`] if the statement did not produce rows.
+    pub fn query(&mut self, sql: &str) -> Result<Rows> {
+        match self.run(sql)? {
+            Outcome::Rows(rs) => Ok(Rows::new(rs)),
+            Outcome::Affected(_) => Err(SciqlError::Statement(
+                "statement did not produce rows; use execute()".into(),
+            )),
+        }
+    }
+
+    /// Prepare a statement with `?` / `:name` placeholders. The
+    /// statement is parsed (and validated) immediately; SELECT plans
+    /// compile once on first execution and re-executions reuse the
+    /// cached plan with fresh parameter values.
+    pub fn prepare(&mut self, sql: &str) -> Result<Statement> {
+        // Parse locally to learn the slot layout (works identically for
+        // every transport — the same parser assigns the same slots).
+        let stmt =
+            sciql_parser::parse_statement(sql).map_err(|e| SciqlError::Parse(e.to_string()))?;
+        let params = stmt.params();
+        let name = format!("__driver_stmt_{}", self.next_stmt);
+        self.next_stmt += 1;
+        let nparams = self.transport.prepare(&name, sql)?;
+        if nparams != params.len() {
+            return Err(SciqlError::Internal(format!(
+                "transport reports {nparams} bind slots, parser found {}",
+                params.len()
+            )));
+        }
+        Ok(Statement {
+            conn_id: self.id,
+            name,
+            sql: sql.to_owned(),
+            params,
+        })
+    }
+
+    /// Execute a prepared statement with slot-ordered values; rows or
+    /// affected count.
+    pub fn run_bound(&mut self, stmt: &Statement, params: &[Value]) -> Result<Outcome> {
+        self.check_owned(stmt)?;
+        if params.len() < stmt.param_count() {
+            return Err(SciqlError::Param(format!(
+                "statement has {} parameter(s), {} bound",
+                stmt.param_count(),
+                params.len()
+            )));
+        }
+        self.transport.execute_prepared(&stmt.name, params)
+    }
+
+    /// Execute prepared DDL/DML with bound values; the affected count.
+    pub fn execute_bound(&mut self, stmt: &Statement, params: &[Value]) -> Result<u64> {
+        match self.run_bound(stmt, params)? {
+            Outcome::Affected(n) => Ok(n),
+            Outcome::Rows(_) => Err(SciqlError::Statement(
+                "statement produced rows; use query_bound()".into(),
+            )),
+        }
+    }
+
+    /// Execute a prepared SELECT with bound values; a [`Rows`] cursor.
+    pub fn query_bound(&mut self, stmt: &Statement, params: &[Value]) -> Result<Rows> {
+        match self.run_bound(stmt, params)? {
+            Outcome::Rows(rs) => Ok(Rows::new(rs)),
+            Outcome::Affected(_) => Err(SciqlError::Statement(
+                "statement did not produce rows; use execute_bound()".into(),
+            )),
+        }
+    }
+
+    /// Execute a prepared statement binding parameters **by name**:
+    /// `[(":lo", v1), ("hi", v2)]` (the leading `:` is optional,
+    /// matching is case-insensitive). Positional `?` slots cannot be
+    /// bound by name.
+    pub fn run_named(&mut self, stmt: &Statement, params: &[(&str, Value)]) -> Result<Outcome> {
+        self.check_owned(stmt)?;
+        let values = stmt.resolve_named(params)?;
+        self.transport.execute_prepared(&stmt.name, &values)
+    }
+
+    /// Drop a prepared statement, freeing its cached plan on the
+    /// backend (embedded registry or server session). The handle is
+    /// consumed; long-lived connections that prepare many statements
+    /// should deallocate the ones they are done with.
+    pub fn deallocate(&mut self, stmt: Statement) -> Result<bool> {
+        self.check_owned(&stmt)?;
+        self.transport.deallocate(&stmt.name)
+    }
+
+    /// A [`Statement`] only works on the connection that prepared it —
+    /// generated names are connection-local, so a foreign handle would
+    /// silently address an unrelated statement.
+    fn check_owned(&self, stmt: &Statement) -> Result<()> {
+        if stmt.conn_id != self.id {
+            return Err(SciqlError::Statement(
+                "statement was prepared on a different connection".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Plan-cache hits of the most recent statement on this connection
+    /// (1 = the execution reused a compiled plan).
+    pub fn last_plan_cache_hits(&mut self) -> Result<u64> {
+        self.transport.last_plan_cache_hits()
+    }
+
+    /// EXPLAIN a SELECT: logical plan plus generated and optimised MAL
+    /// (embedded transports only).
+    pub fn explain(&mut self, sql: &str) -> Result<String> {
+        self.transport.explain(sql)
+    }
+
+    /// Write a durability checkpoint (vault-backed transports only).
+    pub fn checkpoint(&mut self) -> Result<()> {
+        self.transport.checkpoint()
+    }
+
+    /// Human-readable report of stored objects and vault health
+    /// (embedded transports only).
+    pub fn storage_report(&mut self) -> Result<String> {
+        self.transport.storage_report()
+    }
+
+    /// Escape hatch to the in-process [`Connection`] behind a `mem:` or
+    /// `file:` transport (`None` for remote and shared-engine backends).
+    /// Needed by bulk ingestion paths that bypass SQL, e.g. the imaging
+    /// data vault.
+    pub fn embedded_connection(&mut self) -> Option<&mut Connection> {
+        self.transport.connection()
+    }
+
+    /// Liveness round trip (a real `Ping` frame over TCP; trivial for
+    /// in-process transports).
+    pub fn ping(&mut self) -> Result<()> {
+        self.transport.ping()
+    }
+
+    /// Execution report of this connection's most recent statement —
+    /// interpreter counters, optimizer pass summary and the plan-cache
+    /// flag, identical in shape across transports.
+    pub fn last_report(&mut self) -> Result<sciql_net::ExecReport> {
+        self.transport.last_report()
+    }
+
+    /// Ask the remote server to shut down gracefully (TCP transports
+    /// only; in-process transports refuse and the connection stays
+    /// usable). After a successful shutdown the connection is spent.
+    pub fn shutdown_server(&mut self) -> Result<()> {
+        self.transport.shutdown_server()
+    }
+
+    /// Orderly shutdown: checkpoints a `file:` vault, closes a `tcp://`
+    /// socket. Dropping a [`Conn`] without calling this is safe (the
+    /// vault recovers from its WAL), just less tidy.
+    pub fn close(mut self) -> Result<()> {
+        self.transport.close()
+    }
+}
+
+impl fmt::Debug for Conn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Conn")
+            .field("transport", &self.transport.kind())
+            .finish_non_exhaustive()
+    }
+}
+
+// ---------------------------------------------------------------------
+// prepared statement handles
+// ---------------------------------------------------------------------
+
+/// A prepared statement handle returned by [`Conn::prepare`]. Cheap to
+/// keep around; execute it any number of times with
+/// [`Conn::query_bound`] / [`Conn::execute_bound`].
+#[derive(Debug, Clone)]
+pub struct Statement {
+    /// Id of the [`Conn`] that prepared this statement (handles are not
+    /// transferable between connections).
+    conn_id: u64,
+    name: String,
+    sql: String,
+    params: Vec<ParamRef>,
+}
+
+impl Statement {
+    /// The statement text this handle was prepared from.
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+
+    /// Number of bind slots (`?` and distinct `:name`s).
+    pub fn param_count(&self) -> usize {
+        self.params.len()
+    }
+
+    /// The slot of a named parameter (leading `:` optional,
+    /// case-insensitive).
+    pub fn param_slot(&self, name: &str) -> Option<usize> {
+        sciql_parser::ast::named_param_slot(&self.params, name)
+    }
+
+    /// Resolve a name→value list into a slot-ordered value vector.
+    fn resolve_named(&self, params: &[(&str, Value)]) -> Result<Vec<Value>> {
+        let mut values = vec![Value::Null; self.params.len()];
+        let mut bound = vec![false; self.params.len()];
+        for (name, v) in params {
+            let slot = self.param_slot(name).ok_or_else(|| {
+                SciqlError::Param(format!("statement has no parameter named {name:?}"))
+            })?;
+            values[slot] = v.clone();
+            bound[slot] = true;
+        }
+        if let Some(k) = bound.iter().position(|b| !b) {
+            let p = &self.params[k];
+            return Err(SciqlError::Param(match &p.name {
+                Some(n) => format!("parameter :{n} is not bound"),
+                None => format!(
+                    "positional parameter {} cannot be bound by name; use query_bound",
+                    k + 1
+                ),
+            }));
+        }
+        Ok(values)
+    }
+}
+
+// ---------------------------------------------------------------------
+// rows + typed accessors
+// ---------------------------------------------------------------------
+
+/// A cursor over a query result, shared by every transport (the remote
+/// side reassembles the same [`ResultSet`] from wire pages that the
+/// embedded side returns directly — byte-identical, by test).
+#[derive(Debug, Clone)]
+pub struct Rows {
+    rs: ResultSet,
+    cursor: usize,
+}
+
+impl Rows {
+    fn new(rs: ResultSet) -> Rows {
+        Rows { rs, cursor: 0 }
+    }
+
+    /// Total row count.
+    pub fn row_count(&self) -> usize {
+        self.rs.row_count()
+    }
+
+    /// Column count.
+    pub fn column_count(&self) -> usize {
+        self.rs.column_count()
+    }
+
+    /// Column names in output order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.rs.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Advance the cursor and return the next row, or `None` at the end.
+    pub fn next_row(&mut self) -> Option<Row<'_>> {
+        if self.cursor >= self.rs.row_count() {
+            return None;
+        }
+        let idx = self.cursor;
+        self.cursor += 1;
+        Some(Row { rs: &self.rs, idx })
+    }
+
+    /// Random access to a row without moving the cursor.
+    pub fn row(&self, idx: usize) -> Option<Row<'_>> {
+        (idx < self.rs.row_count()).then_some(Row { rs: &self.rs, idx })
+    }
+
+    /// The underlying result set (column-oriented access, rendering,
+    /// wire encoding).
+    pub fn result_set(&self) -> &ResultSet {
+        &self.rs
+    }
+
+    /// Unwrap into the underlying result set.
+    pub fn into_result_set(self) -> ResultSet {
+        self.rs
+    }
+}
+
+/// One row of a [`Rows`] cursor.
+#[derive(Debug, Clone, Copy)]
+pub struct Row<'a> {
+    rs: &'a ResultSet,
+    idx: usize,
+}
+
+impl Row<'_> {
+    /// The raw value at column `col`.
+    pub fn value(&self, col: usize) -> Value {
+        self.rs.get(self.idx, col)
+    }
+
+    /// Typed access: `row.get::<i64>(0)?`. NULL converts only into
+    /// `Option<T>` (and [`Value`] itself).
+    pub fn get<T: FromSql>(&self, col: usize) -> Result<T> {
+        if col >= self.rs.column_count() {
+            return Err(SciqlError::Statement(format!(
+                "column {col} out of range ({} columns)",
+                self.rs.column_count()
+            )));
+        }
+        T::from_sql(&self.rs.get(self.idx, col))
+    }
+
+    /// Typed access by column name (case-insensitive).
+    pub fn get_by_name<T: FromSql>(&self, name: &str) -> Result<T> {
+        let col = self.rs.column_index(name).ok_or_else(|| {
+            SciqlError::Statement(format!("no column named {name:?} in the result"))
+        })?;
+        self.get(col)
+    }
+}
+
+/// Conversion from a SQL scalar into a Rust type (the typed side of
+/// [`Row::get`]).
+pub trait FromSql: Sized {
+    /// Convert, failing with [`SciqlError::Statement`] on a type or NULL
+    /// mismatch.
+    fn from_sql(v: &Value) -> Result<Self>;
+}
+
+fn from_sql_err<T>(v: &Value, what: &str) -> Result<T> {
+    Err(SciqlError::Statement(format!(
+        "cannot read {} as {what}",
+        if v.is_null() {
+            "NULL".to_owned()
+        } else {
+            format!("{v:?}")
+        }
+    )))
+}
+
+impl FromSql for i64 {
+    fn from_sql(v: &Value) -> Result<i64> {
+        v.as_i64().map_or_else(|| from_sql_err(v, "i64"), Ok)
+    }
+}
+
+impl FromSql for i32 {
+    fn from_sql(v: &Value) -> Result<i32> {
+        let wide = i64::from_sql(v)?;
+        i32::try_from(wide).map_err(|_| SciqlError::Statement(format!("{wide} overflows i32")))
+    }
+}
+
+impl FromSql for f64 {
+    fn from_sql(v: &Value) -> Result<f64> {
+        v.as_f64().map_or_else(|| from_sql_err(v, "f64"), Ok)
+    }
+}
+
+impl FromSql for bool {
+    fn from_sql(v: &Value) -> Result<bool> {
+        v.as_bool().map_or_else(|| from_sql_err(v, "bool"), Ok)
+    }
+}
+
+impl FromSql for String {
+    fn from_sql(v: &Value) -> Result<String> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => from_sql_err(other, "String"),
+        }
+    }
+}
+
+impl FromSql for Value {
+    fn from_sql(v: &Value) -> Result<Value> {
+        Ok(v.clone())
+    }
+}
+
+impl<T: FromSql> FromSql for Option<T> {
+    fn from_sql(v: &Value) -> Result<Option<T>> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::from_sql(v).map(Some)
+        }
+    }
+}
+
+/// Build a slot-ordered parameter slice from mixed Rust values:
+/// `params![3, "name", 2.5]`. Each element goes through
+/// [`gdk::Value::from`]; use `Option<T>` (or `gdk::Value::Null`) for SQL
+/// NULL.
+#[macro_export]
+macro_rules! params {
+    () => {
+        &[] as &[$crate::gdk::Value]
+    };
+    ($($v:expr),+ $(,)?) => {
+        &[$($crate::gdk::Value::from($v)),+][..]
+    };
+}

@@ -1,5 +1,11 @@
-//! Umbrella crate for the SciQL reproduction workspace: re-exports the
-//! public API of every layer for examples and integration tests.
+//! Umbrella crate for the SciQL reproduction workspace: the unified
+//! [`driver`] API (one `connect(url)` surface with bound-parameter
+//! prepared statements over embedded and network transports), plus
+//! re-exports of every layer for examples and integration tests.
+
+#![warn(missing_docs)]
+
+pub mod driver;
 
 pub use gdk;
 pub use mal;

@@ -1,0 +1,331 @@
+//! Driver acceptance suite: one `sciql::driver` surface over embedded
+//! and network transports.
+//!
+//! The headline differential test pins **byte-identical result pages**
+//! for bound-parameter prepared statements across `mem:` (embedded) vs
+//! `tcp://` (served) transports × opt_level {0, 2} × threads {1, 8},
+//! plus a property test that random parameter values round-trip through
+//! protocol-v3 `Bind` frames bit-exactly (nil sentinels and strings
+//! included).
+
+use proptest::prelude::*;
+use sciql_repro::driver::{Conn, Rows, Sciql, SciqlError};
+use sciql_repro::gdk::Value;
+use sciql_repro::net::proto;
+use sciql_repro::net::Server;
+use sciql_repro::params;
+use sciql_repro::sciql::{Connection, ErrorCode, SessionConfig, SharedEngine};
+
+/// Statements that build the shared test state: an array with computed
+/// cells and a table with strings and NULL holes.
+const SEED: &[&str] = &[
+    "CREATE ARRAY m (x INT DIMENSION[0:1:6], y INT DIMENSION[0:1:6], v INT DEFAULT 0)",
+    "UPDATE m SET v = x * y - x",
+    "DELETE FROM m WHERE x = 5 AND y = 5",
+    "CREATE TABLE t (a INT, s VARCHAR)",
+    "INSERT INTO t VALUES (1, 'alpha'), (2, 'it''s'), (3, NULL), (4, 'Δδ'), (5, 'beta')",
+];
+
+/// The prepared statements under test, with two parameter vectors each
+/// (so the second execution exercises the plan cache).
+fn cases() -> Vec<(&'static str, Vec<Vec<Value>>)> {
+    vec![
+        (
+            "SELECT [x], [y], v FROM m WHERE v >= :lo AND v < :hi",
+            vec![
+                vec![Value::Int(0), Value::Int(10)],
+                vec![Value::Int(-5), Value::Int(3)],
+            ],
+        ),
+        (
+            "SELECT COUNT(*) FROM m WHERE x > ?",
+            vec![vec![Value::Int(1)], vec![Value::Int(4)]],
+        ),
+        (
+            "SELECT a, s FROM t WHERE a BETWEEN ? AND ? ORDER BY a",
+            vec![
+                vec![Value::Int(1), Value::Int(5)],
+                vec![Value::Int(2), Value::Int(3)],
+            ],
+        ),
+        (
+            "SELECT a FROM t WHERE s = ?",
+            vec![
+                vec![Value::Str("it's".into())],
+                vec![Value::Str("Δδ".into())],
+            ],
+        ),
+    ]
+}
+
+/// The full wire encoding of a result — the "byte-identical" yardstick
+/// (page size 3 forces multi-page results).
+fn wire_bytes(rows: &Rows) -> Vec<u8> {
+    let rs = rows.result_set();
+    let mut bytes = rs.encode_header();
+    for page in rs.encode_pages(3) {
+        bytes.extend_from_slice(&page);
+    }
+    bytes
+}
+
+fn seed(conn: &mut Conn) {
+    for stmt in SEED {
+        conn.execute(stmt).expect(stmt);
+    }
+}
+
+/// The acceptance criterion: `Sciql::connect("tcp://…")` and
+/// `Sciql::connect("mem:")` execute the same prepared statement with the
+/// same bound parameters and yield byte-identical result pages, at every
+/// optimizer level and thread count.
+#[test]
+fn bound_params_byte_identical_across_transports() {
+    for opt_level in [0u8, 2] {
+        for threads in [1usize, 8] {
+            let cfg = SessionConfig {
+                threads,
+                opt_level,
+                ..SessionConfig::default()
+            };
+            // Embedded side.
+            let mut local = Sciql::connect_with_config("mem:", cfg).unwrap();
+            seed(&mut local);
+            // Served side: same config, same seed, reached over TCP.
+            let engine = SharedEngine::new(Connection::with_config(cfg));
+            let handle = Server::bind(engine, "127.0.0.1:0")
+                .unwrap()
+                .serve()
+                .unwrap();
+            let mut remote = Sciql::connect(&format!("tcp://{}", handle.addr())).unwrap();
+            seed(&mut remote);
+
+            for (sql, param_sets) in cases() {
+                let lstmt = local.prepare(sql).unwrap();
+                let rstmt = remote.prepare(sql).unwrap();
+                assert_eq!(lstmt.param_count(), rstmt.param_count(), "{sql}");
+                for (i, ps) in param_sets.iter().enumerate() {
+                    let lrows = local.query_bound(&lstmt, ps).unwrap();
+                    let rrows = remote.query_bound(&rstmt, ps).unwrap();
+                    assert_eq!(
+                        wire_bytes(&lrows),
+                        wire_bytes(&rrows),
+                        "opt={opt_level} threads={threads} sql={sql} params#{i}"
+                    );
+                    if i > 0 {
+                        // Re-execution hit the plan cache on both sides.
+                        assert_eq!(local.last_plan_cache_hits().unwrap(), 1, "{sql}");
+                        assert_eq!(remote.last_plan_cache_hits().unwrap(), 1, "{sql}");
+                    }
+                }
+            }
+            remote.shutdown_server().unwrap();
+            handle.wait();
+        }
+    }
+}
+
+/// Error parity: the same failure yields the same `SciqlError` variant
+/// (and stable code) on both transports.
+#[test]
+fn errors_unify_across_transports() {
+    let engine = SharedEngine::in_memory();
+    let handle = Server::bind(engine, "127.0.0.1:0")
+        .unwrap()
+        .serve()
+        .unwrap();
+    let mut remote = Sciql::connect(&format!("tcp://{}", handle.addr())).unwrap();
+    let mut local = Sciql::connect("mem:").unwrap();
+
+    let check = |local_err: SciqlError, remote_err: SciqlError, code: ErrorCode| {
+        assert_eq!(local_err.code(), code, "{local_err}");
+        assert_eq!(remote_err.code(), code, "{remote_err}");
+        assert_eq!(
+            std::mem::discriminant(&local_err),
+            std::mem::discriminant(&remote_err)
+        );
+    };
+    // Parse error.
+    check(
+        local.execute("SELEC nonsense").unwrap_err(),
+        remote.execute("SELEC nonsense").unwrap_err(),
+        ErrorCode::Parse,
+    );
+    // Catalog error.
+    check(
+        local.query("SELECT v FROM nowhere").unwrap_err(),
+        remote.query("SELECT v FROM nowhere").unwrap_err(),
+        ErrorCode::Catalog,
+    );
+    // Param error: prepared statement executed with a missing value.
+    for conn in [&mut local, &mut remote] {
+        conn.execute("CREATE TABLE e (a INT)").unwrap();
+    }
+    let ls = local.prepare("SELECT a FROM e WHERE a = ?").unwrap();
+    let rs = remote.prepare("SELECT a FROM e WHERE a = ?").unwrap();
+    check(
+        local.query_bound(&ls, &[]).unwrap_err(),
+        remote.query_bound(&rs, &[]).unwrap_err(),
+        ErrorCode::Param,
+    );
+    remote.shutdown_server().unwrap();
+    handle.wait();
+}
+
+/// Named binding, FromSql typed accessors and cursor semantics.
+#[test]
+fn typed_rows_and_named_params() {
+    let mut conn = Sciql::connect("mem:").unwrap();
+    seed(&mut conn);
+    let stmt = conn
+        .prepare("SELECT a, s FROM t WHERE a >= :lo AND a <= :hi ORDER BY a")
+        .unwrap();
+    let outcome = conn
+        .run_named(&stmt, &[(":hi", Value::Int(3)), ("lo", Value::Int(2))])
+        .unwrap();
+    let sciql_repro::driver::Outcome::Rows(rs) = outcome else {
+        panic!("expected rows");
+    };
+    assert_eq!(rs.row_count(), 2);
+    let mut rows = conn.query_bound(&stmt, params![2, 3]).unwrap();
+    let first = rows.next_row().unwrap();
+    assert_eq!(first.get::<i64>(0).unwrap(), 2);
+    assert_eq!(first.get::<String>(1).unwrap(), "it's");
+    let second = rows.next_row().unwrap();
+    assert_eq!(second.get_by_name::<i64>("a").unwrap(), 3);
+    assert_eq!(second.get::<Option<String>>(1).unwrap(), None, "SQL NULL");
+    assert!(rows.next_row().is_none(), "cursor exhausted");
+    // Type mismatches are statement errors, not panics.
+    assert!(matches!(
+        rows.row(0).unwrap().get::<String>(0),
+        Err(SciqlError::Statement(_))
+    ));
+    // Unknown named parameter.
+    assert!(matches!(
+        conn.run_named(&stmt, &[("nope", Value::Int(1))]),
+        Err(SciqlError::Param(_))
+    ));
+    // Unbound named parameter.
+    assert!(matches!(
+        conn.run_named(&stmt, &[("lo", Value::Int(1))]),
+        Err(SciqlError::Param(_))
+    ));
+}
+
+/// Prepared DML through the driver mutates identically over both
+/// transports, and `file:` URLs recover their state.
+#[test]
+fn file_url_durability_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("sciql-driver-vault-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let url = format!("file:{}", dir.display());
+    {
+        let mut conn = Sciql::connect(&url).unwrap();
+        conn.execute("CREATE TABLE kv (k INT, v VARCHAR)").unwrap();
+        let ins = conn.prepare("INSERT INTO kv VALUES (?, ?)").unwrap();
+        for (k, v) in [(1, "one"), (2, "two")] {
+            assert_eq!(conn.execute_bound(&ins, params![k, v]).unwrap(), 1);
+        }
+        conn.close().unwrap();
+    }
+    let mut conn = Sciql::connect(&url).unwrap();
+    let mut rows = conn.query("SELECT v FROM kv WHERE k = 2").unwrap();
+    assert_eq!(rows.next_row().unwrap().get::<String>(0).unwrap(), "two");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Driver connections over one in-process `SharedEngine` share state.
+#[test]
+fn attach_shares_an_engine() {
+    let engine = SharedEngine::in_memory();
+    let mut a = Sciql::attach(&engine);
+    let mut b = Sciql::attach(&engine);
+    a.execute("CREATE TABLE shared (x INT)").unwrap();
+    a.execute("INSERT INTO shared VALUES (7)").unwrap();
+    let stmt = b
+        .prepare("SELECT COUNT(*) FROM shared WHERE x = ?")
+        .unwrap();
+    let mut rows = b.query_bound(&stmt, params![7]).unwrap();
+    assert_eq!(rows.next_row().unwrap().get::<i64>(0).unwrap(), 1);
+    assert_eq!(b.transport_kind(), "engine");
+}
+
+/// Bad URLs fail with the Connection code, not a panic.
+#[test]
+fn connect_rejects_bad_urls() {
+    for url in ["", "http://x", "file:", "tcp://"] {
+        match Sciql::connect(url) {
+            Err(e) => assert_eq!(e.code(), ErrorCode::Connection, "{url}"),
+            Ok(_) => panic!("{url} should not connect"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// property: Bind frames round-trip bit-exactly
+// ---------------------------------------------------------------------
+
+fn value_strategy() -> BoxedStrategy<Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bit),
+        (-1_000_000i32..1_000_000).prop_map(Value::Int),
+        (-1_000_000_000_000i64..1_000_000_000_000).prop_map(Value::Lng),
+        (-1.0e12f64..1.0e12).prop_map(Value::Dbl),
+        "[ -~]{0,24}".prop_map(Value::Str),
+        Just(Value::Str("Δδ π — ünïcode".into())),
+        Just(Value::Dbl(f64::NAN)),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random parameter vectors (nil sentinels, strings with quotes,
+    /// NaN doubles) survive the Bind frame encode/decode bit-exactly:
+    /// re-encoding the decoded values reproduces the original payload
+    /// byte for byte.
+    #[test]
+    fn bind_frames_roundtrip_bit_exactly(
+        values in proptest::collection::vec(value_strategy(), 0..8),
+        name in "[a-z][a-z0-9_]{0,12}",
+    ) {
+        let payload = proto::bind(&name, &values);
+        let (op, body) = proto::split(&payload)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(op, proto::Op::Bind);
+        let (dname, dvalues) = proto::read_bind(body)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(&dname, &name);
+        prop_assert_eq!(dvalues.len(), values.len());
+        // Bit-exactness: the re-encoded payload is identical (this also
+        // covers NaN, which is not == to itself at the Value level).
+        let reencoded = proto::bind(&dname, &dvalues);
+        prop_assert_eq!(reencoded, payload);
+    }
+}
+
+/// Statement handles are pinned to the connection that prepared them —
+/// a foreign handle is refused instead of silently addressing an
+/// unrelated statement with the same generated name.
+#[test]
+fn statements_are_connection_local() {
+    let mut a = Sciql::connect("mem:").unwrap();
+    let mut b = Sciql::connect("mem:").unwrap();
+    for conn in [&mut a, &mut b] {
+        conn.execute("CREATE TABLE t (x INT)").unwrap();
+        conn.execute("INSERT INTO t VALUES (1)").unwrap();
+    }
+    let stmt_a = a.prepare("SELECT COUNT(*) FROM t WHERE x = ?").unwrap();
+    // Same generated name slot on b, very different statement.
+    let _stmt_b = b.prepare("DELETE FROM t WHERE x = ?").unwrap();
+    match b.run_bound(&stmt_a, &[Value::Int(1)]) {
+        Err(SciqlError::Statement(_)) => {}
+        other => panic!("foreign statement must be refused, got {other:?}"),
+    }
+    assert!(b.deallocate(stmt_a).is_err(), "deallocate checks too");
+    // b's own table is untouched by the refused call.
+    let mut rows = b.query("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(rows.next_row().unwrap().get::<i64>(0).unwrap(), 1);
+}

@@ -1,0 +1,106 @@
+//! Public-API snapshot guard for the driver surface.
+//!
+//! The test scrapes every public item declaration out of `src/driver.rs`
+//! and compares the normalized list against the committed snapshot in
+//! `tests/snapshots/driver_api.txt`. A future PR that renames, removes
+//! or re-types a public driver item fails here and must consciously
+//! update the snapshot (regenerate with
+//! `UPDATE_API_SNAPSHOT=1 cargo test --test public_api`).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Extract normalized public item signatures from a Rust source file:
+/// `pub fn/struct/enum/trait/type` declarations (and exported macros),
+/// captured up to the opening brace or semicolon, whitespace-collapsed.
+fn public_items(source: &str) -> Vec<String> {
+    const STARTERS: &[&str] = &[
+        "pub fn ",
+        "pub struct ",
+        "pub enum ",
+        "pub trait ",
+        "pub type ",
+        "macro_rules! ",
+    ];
+    let mut items = Vec::new();
+    let mut capture: Option<String> = None;
+    for raw in source.lines() {
+        let line = raw.trim();
+        if capture.is_none() && STARTERS.iter().any(|s| line.starts_with(s)) {
+            capture = Some(String::new());
+        }
+        if let Some(buf) = capture.as_mut() {
+            buf.push_str(line);
+            buf.push(' ');
+            if line.contains('{') || line.contains(';') {
+                let sig = buf
+                    .split(['{', ';'])
+                    .next()
+                    .unwrap_or_default()
+                    .split_whitespace()
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                items.push(sig);
+                capture = None;
+            }
+        }
+    }
+    items.sort();
+    items
+}
+
+#[test]
+fn driver_public_api_matches_snapshot() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let source = std::fs::read_to_string(root.join("src/driver.rs")).expect("read src/driver.rs");
+    let mut generated = String::new();
+    writeln!(
+        generated,
+        "# Public items of sciql_repro::driver (generated — see tests/public_api.rs)"
+    )
+    .unwrap();
+    for item in public_items(&source) {
+        writeln!(generated, "{item}").unwrap();
+    }
+    let snap_path = root.join("tests/snapshots/driver_api.txt");
+    if std::env::var_os("UPDATE_API_SNAPSHOT").is_some() {
+        std::fs::create_dir_all(snap_path.parent().unwrap()).unwrap();
+        std::fs::write(&snap_path, &generated).unwrap();
+        return;
+    }
+    let committed = std::fs::read_to_string(&snap_path).unwrap_or_else(|_| {
+        panic!(
+            "missing snapshot {}; generate it with UPDATE_API_SNAPSHOT=1 cargo test --test public_api",
+            snap_path.display()
+        )
+    });
+    assert_eq!(
+        committed, generated,
+        "the public driver API changed; if intentional, regenerate the snapshot with \
+         UPDATE_API_SNAPSHOT=1 cargo test --test public_api"
+    );
+}
+
+#[test]
+fn scraper_sees_the_core_surface() {
+    // Guard the guard: if the scraper silently broke, the snapshot would
+    // degenerate to an empty list and stop protecting anything.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let source = std::fs::read_to_string(root.join("src/driver.rs")).unwrap();
+    let items = public_items(&source);
+    for needle in [
+        "pub fn connect(url: &str) -> Result<Conn>",
+        "pub struct Conn",
+        "pub struct Statement",
+        "pub struct Rows",
+        "pub trait FromSql: Sized",
+        "pub trait Transport",
+        "pub enum SciqlError",
+    ] {
+        assert!(
+            items.iter().any(|i| i.starts_with(needle)),
+            "scraper lost {needle:?}; items: {items:#?}"
+        );
+    }
+    assert!(items.len() >= 40, "suspiciously few items: {}", items.len());
+}
