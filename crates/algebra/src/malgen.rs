@@ -33,6 +33,9 @@ pub struct CodegenOptions {
     pub threads: usize,
     /// Minimum BAT length before a kernel goes parallel.
     pub parallel_threshold: usize,
+    /// Consult per-tile zone maps to skip non-matching tiles in
+    /// selections (results are identical either way).
+    pub zone_skip: bool,
 }
 
 impl Default for CodegenOptions {
@@ -43,6 +46,7 @@ impl Default for CodegenOptions {
             opt_level: 2,
             threads: par.threads,
             parallel_threshold: par.parallel_threshold,
+            zone_skip: par.zone_skip,
         }
     }
 }
@@ -53,6 +57,7 @@ impl CodegenOptions {
         gdk::ParConfig {
             threads: self.threads.max(1),
             parallel_threshold: self.parallel_threshold,
+            zone_skip: self.zone_skip,
         }
     }
 }

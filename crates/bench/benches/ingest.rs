@@ -1,0 +1,142 @@
+//! Bulk-ingest benchmark: `COPY … (FORMAT binary)` against the row-at-a-
+//! time INSERT loop it replaces, and a zone-map skip scan against its
+//! full-scan twin on the same clustered table.
+//!
+//! Two workloads:
+//!
+//! * `ingest/load_8k` — land one tile (8,192 rows) of `(k INT, v DOUBLE)`
+//!   into a fresh in-memory table, once via a binary COPY file and once
+//!   via 8,192 single-row INSERT statements. COPY must win by ≥10×
+//!   (enforced by bench-guard's expect-faster check).
+//! * `ingest/scan_512k` — a 64-tile table ingested via COPY with `k`
+//!   ascending (time-clustered, so per-tile zone maps are tight); a
+//!   single-cell point probe with zone skipping on reads one tile, the
+//!   `zone_skip = false` twin scans all 64. The skip scan must win by
+//!   ≥5×.
+//!
+//! Run with `CRITERION_JSON_OUT=BENCH_ingest.json cargo bench -p
+//! sciql-bench --bench ingest` to record a baseline.
+
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use gdk::Bat;
+use sciql::{write_copy_binary, Connection, SessionConfig};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const TILE_ROWS: usize = 8192;
+const LOAD_ROWS: usize = TILE_ROWS;
+const SCAN_TILES: usize = 64;
+const SCAN_ROWS: usize = SCAN_TILES * TILE_ROWS;
+
+fn tmp_file(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "sciql-bench-ingest-{}-{}-{tag}.scpy",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// The synthetic frame stream: `k` ascending (arrival order), `v` a
+/// deterministic payload.
+fn frame_columns(rows: usize) -> Vec<Bat> {
+    let k: Vec<i32> = (0..rows as i32).collect();
+    let v: Vec<f64> = (0..rows).map(|i| (i % 251) as f64 / 4.0).collect();
+    vec![Bat::from_ints(k), Bat::from_dbls(v)]
+}
+
+fn fresh_table() -> Connection {
+    let mut c = Connection::new();
+    c.execute("CREATE TABLE ev (k INT, v DOUBLE)").unwrap();
+    c
+}
+
+/// One tile of rows into a fresh table: streaming COPY vs the INSERT
+/// loop. Same rows, same table shape; only the ingest path differs.
+fn bench_copy_vs_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ingest/load_8k");
+    g.throughput(Throughput::Elements(LOAD_ROWS as u64));
+    let path = tmp_file("load");
+    write_copy_binary(&path, &frame_columns(LOAD_ROWS)).unwrap();
+    let copy_sql = format!("COPY ev FROM '{}' (FORMAT binary)", path.display());
+    g.bench_function(BenchmarkId::from_parameter("copy_binary"), |b| {
+        b.iter_with_setup(fresh_table, |mut conn| {
+            conn.execute(&copy_sql).unwrap();
+            conn
+        })
+    });
+    g.bench_function(BenchmarkId::from_parameter("insert_loop"), |b| {
+        b.iter_with_setup(fresh_table, |mut conn| {
+            for i in 0..LOAD_ROWS {
+                conn.execute(&format!(
+                    "INSERT INTO ev VALUES ({i}, {})",
+                    (i % 251) as f64 / 4.0
+                ))
+                .unwrap();
+            }
+            conn
+        })
+    });
+    std::fs::remove_file(&path).ok();
+    g.finish();
+}
+
+/// Point probe on the clustered table: zone maps prune 63 of 64 tiles
+/// when skipping is on; the `zone_skip = false` twin runs the identical
+/// plan over every tile. Single-threaded so the full scan cannot hide
+/// behind parallelism.
+fn bench_skip_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ingest/scan_512k");
+    g.throughput(Throughput::Elements(SCAN_ROWS as u64));
+    let path = tmp_file("scan");
+    write_copy_binary(&path, &frame_columns(SCAN_ROWS)).unwrap();
+    let mk = |zone_skip: bool| {
+        let mut conn = Connection::with_config(SessionConfig {
+            threads: 1,
+            zone_skip,
+            ..SessionConfig::default()
+        });
+        conn.execute("CREATE TABLE ev (k INT, v DOUBLE)").unwrap();
+        conn.execute(&format!(
+            "COPY ev FROM '{}' (FORMAT binary)",
+            path.display()
+        ))
+        .unwrap();
+        conn
+    };
+    let mut skip = mk(true);
+    let mut full = mk(false);
+    std::fs::remove_file(&path).ok();
+    let probe = format!("SELECT v FROM ev WHERE k = {}", SCAN_ROWS / 2);
+    g.bench_function(BenchmarkId::from_parameter("zone_skip"), |b| {
+        b.iter(|| black_box(skip.query(&probe).unwrap()))
+    });
+    assert!(
+        skip.last_exec().exec.tiles_skipped >= SCAN_TILES - 1,
+        "probe must actually skip tiles"
+    );
+    g.bench_function(BenchmarkId::from_parameter("full_scan"), |b| {
+        b.iter(|| black_box(full.query(&probe).unwrap()))
+    });
+    assert_eq!(full.last_exec().exec.tiles_skipped, 0);
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = sciql_bench::criterion_config();
+    targets = bench_copy_vs_insert, bench_skip_scan
+}
+fn main() {
+    sciql_bench::emit_meta(
+        "ingest",
+        &[
+            ("load_rows", LOAD_ROWS as u64),
+            ("scan_rows", SCAN_ROWS as u64),
+            ("tile_rows", TILE_ROWS as u64),
+        ],
+        "bulk ingest: binary COPY vs INSERT loop on one tile, and a clustered point probe with zone-map tile skipping vs the full-scan twin",
+    );
+    benches();
+}

@@ -22,6 +22,7 @@ fn forced(threads: usize) -> ParConfig {
     ParConfig {
         threads,
         parallel_threshold: 1024,
+        zone_skip: true,
     }
 }
 

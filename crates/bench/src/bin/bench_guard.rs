@@ -23,7 +23,8 @@
 //! Independent of mode, the guard enforces the machine-free invariants
 //! in [`EXPECT_FASTER`]: within the *fresh* numbers, the optimized ids
 //! must beat their unoptimized twins (e.g. `opt/select_sum/L2` <
-//! `opt/select_sum/L0`).
+//! `opt/select_sum/L0`), some by a required minimum speedup (COPY ≥10×
+//! over the INSERT loop, zone-skip scan ≥5× over the full scan).
 //!
 //! Files may contain `{"meta":…}` header lines (ignored here) and
 //! duplicate ids from appended re-runs (the last occurrence wins).
@@ -55,20 +56,31 @@ const TRACKED: &[(&str, &str)] = &[
     ("BENCH_driver.json", "driver/cells_1k/prepared"),
     ("BENCH_driver.json", "driver/cells_1k/unprepared"),
     ("BENCH_driver.json", "driver/cells_256k/prepared"),
+    ("BENCH_ingest.json", "ingest/load_8k/copy_binary"),
+    ("BENCH_ingest.json", "ingest/scan_512k/zone_skip"),
+    ("BENCH_ingest.json", "ingest/scan_512k/full_scan"),
 ];
 
-/// Within the fresh run, `left` must be faster than `right`.
-const EXPECT_FASTER: &[(&str, &str, &str)] = &[
+/// Within the fresh run, `left` must be at least `min_speedup`× faster
+/// than `right` (1.0 = merely faster).
+const EXPECT_FASTER: &[(&str, &str, &str, f64)] = &[
     (
         "BENCH_opt.json",
         "opt/select_project/L2",
         "opt/select_project/L0",
+        1.0,
     ),
-    ("BENCH_opt.json", "opt/select_sum/L2", "opt/select_sum/L0"),
+    (
+        "BENCH_opt.json",
+        "opt/select_sum/L2",
+        "opt/select_sum/L0",
+        1.0,
+    ),
     (
         "BENCH_opt.json",
         "opt/select_count/L2",
         "opt/select_count/L0",
+        1.0,
     ),
     // A bound prepared statement (cached plan) must beat re-parsing and
     // re-optimising the same text. Only the planning-dominated small
@@ -79,6 +91,23 @@ const EXPECT_FASTER: &[(&str, &str, &str)] = &[
         "BENCH_driver.json",
         "driver/cells_1k/prepared",
         "driver/cells_1k/unprepared",
+        1.0,
+    ),
+    // Tiled bulk ingest: streaming COPY must beat the row-at-a-time
+    // INSERT loop by an order of magnitude (~20x locally), and the
+    // zone-map point probe must prune its way past the full scan by at
+    // least 5x (~29x locally — 63 of 64 tiles skipped).
+    (
+        "BENCH_ingest.json",
+        "ingest/load_8k/copy_binary",
+        "ingest/load_8k/insert_loop",
+        10.0,
+    ),
+    (
+        "BENCH_ingest.json",
+        "ingest/scan_512k/zone_skip",
+        "ingest/scan_512k/full_scan",
+        5.0,
     ),
 ];
 
@@ -177,7 +206,7 @@ fn main() -> ExitCode {
         }
     }
 
-    for (file, fast, slow) in EXPECT_FASTER {
+    for (file, fast, slow, min_speedup) in EXPECT_FASTER {
         let Some(cur) = load(Path::new(&current_dir).join(file)) else {
             println!("FAIL {file}: fresh numbers missing for expect-faster checks");
             failures += 1;
@@ -189,9 +218,9 @@ fn main() -> ExitCode {
             continue;
         };
         checked += 1;
-        let ok = f < s;
+        let ok = f * min_speedup < s;
         println!(
-            "{} {file} {fast} ({f:.1} ns) {} {slow} ({s:.1} ns), speedup {:.2}x",
+            "{} {file} {fast} ({f:.1} ns) {} {slow} ({s:.1} ns), speedup {:.2}x (need {min_speedup:.1}x)",
             if ok { "ok  " } else { "FAIL" },
             if ok { "beats" } else { "DOES NOT beat" },
             s / f,

@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod copy;
 pub mod ddl;
 pub mod dml;
 pub mod engine;
@@ -46,6 +47,7 @@ pub mod storage;
 #[cfg(test)]
 mod tests;
 
+pub use copy::write_copy_binary;
 pub use engine::{EngineSession, EngineSnapshot, EngineStats, SessionStats, SharedEngine};
 pub use exec::Prepared;
 pub use result::{ArrayView, ColumnMeta, ResultSet};

@@ -11,7 +11,7 @@ use sciql_algebra::{compile, rewrite, Binder, CodegenOptions, Plan};
 use sciql_catalog::Catalog;
 use sciql_catalog::SchemaObject;
 use sciql_parser::ast::{SelectStmt, Stmt};
-use sciql_store::{CheckpointColumn, CheckpointObject, Vault, VaultStats};
+use sciql_store::{CheckpointColumn, CheckpointObject, ColumnDirt, ReplayOp, Vault, VaultStats};
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
@@ -70,6 +70,10 @@ pub struct SessionConfig {
     /// CSE, alias removal, DCE), `2` = full pipeline with candidate
     /// propagation and select→project / select→aggregate kernel fusion.
     pub opt_level: u8,
+    /// Consult per-tile zone maps to skip non-matching tiles in range
+    /// and theta selections. Results are identical either way; the
+    /// differential tests pin that down by toggling this.
+    pub zone_skip: bool,
 }
 
 impl Default for SessionConfig {
@@ -79,6 +83,7 @@ impl Default for SessionConfig {
             threads: par.threads,
             parallel_threshold: par.parallel_threshold,
             opt_level: 2,
+            zone_skip: par.zone_skip,
         }
     }
 }
@@ -123,10 +128,10 @@ pub struct Connection {
     /// Named prepared statements (compiled-once plan cache for SELECTs).
     prepared: PreparedSet,
     /// Durable backing store; `None` for a purely in-memory session.
-    vault: Option<Vault>,
-    /// True while WAL statements are replayed at open (suppresses
+    pub(crate) vault: Option<Vault>,
+    /// True while WAL operations are replayed at open (suppresses
     /// re-logging them).
-    replaying: bool,
+    pub(crate) replaying: bool,
 }
 
 impl Default for Connection {
@@ -201,8 +206,8 @@ impl Connection {
                             def,
                             dims: bats,
                             attrs,
-                            dirty_dims: vec![false; nd],
-                            dirty_attrs: vec![false; na],
+                            dirty_dims: vec![ColumnDirt::Clean; nd],
+                            dirty_attrs: vec![ColumnDirt::Clean; na],
                             mutations: 0,
                         },
                     );
@@ -222,7 +227,7 @@ impl Connection {
                         TableStore {
                             def,
                             cols: cols.into_iter().map(|c| Arc::new(c.bat)).collect(),
-                            dirty_cols: vec![false; n],
+                            dirty_cols: vec![ColumnDirt::Clean; n],
                             mutations: 0,
                         },
                     );
@@ -232,10 +237,14 @@ impl Connection {
         }
         conn.vault = Some(vault);
         conn.replaying = true;
-        let replay: Result<()> = recovered
-            .statements
-            .iter()
-            .try_for_each(|sql| conn.execute(sql).map(|_| ()));
+        let replay: Result<()> = recovered.ops.iter().try_for_each(|op| match op {
+            ReplayOp::Sql(sql) => conn.execute(sql).map(|_| ()),
+            ReplayOp::CopyBatch {
+                target,
+                start,
+                columns,
+            } => conn.apply_copy_batch(target, *start, columns),
+        });
         conn.replaying = false;
         replay?;
         Ok(conn)
@@ -251,9 +260,19 @@ impl Connection {
         self.vault.as_ref().map(Vault::stats)
     }
 
-    /// Write a checkpoint: every dirty column (tracked by the
+    /// Crash injection for the recovery tests: the next checkpoint fails
+    /// after writing `after_tiles` tile files, before the manifest flips.
+    #[doc(hidden)]
+    pub fn set_checkpoint_fault(&mut self, after_tiles: u64) {
+        if let Some(v) = self.vault.as_mut() {
+            v.set_checkpoint_fault(after_tiles);
+        }
+    }
+
+    /// Write a checkpoint: every dirty *tile* (tracked per tile by the
     /// copy-on-write update paths in [`ArrayStore`]/[`TableStore`]) is
-    /// rewritten, the catalog snapshot is refreshed, and the WAL is
+    /// rewritten, clean tiles keep their files, the catalog snapshot —
+    /// including each tile's zone map — is refreshed, and the WAL is
     /// rotated. After this returns, recovery no longer needs the old
     /// log.
     pub fn checkpoint(&mut self) -> Result<()> {
@@ -271,16 +290,16 @@ impl Connection {
                         .iter()
                         .zip(&s.dims)
                         .zip(&s.dirty_dims)
-                        .map(|((d, bat), &dirty)| CheckpointColumn {
+                        .map(|((d, bat), dirt)| CheckpointColumn {
                             name: d.name.as_str(),
                             bat,
-                            dirty,
+                            dirt: dirt.clone(),
                         })
                         .chain(def.attrs.iter().zip(&s.attrs).zip(&s.dirty_attrs).map(
-                            |((a, bat), &dirty)| CheckpointColumn {
+                            |((a, bat), dirt)| CheckpointColumn {
                                 name: a.name.as_str(),
                                 bat,
-                                dirty,
+                                dirt: dirt.clone(),
                             },
                         ))
                         .collect()
@@ -290,10 +309,10 @@ impl Connection {
                         .iter()
                         .zip(&s.cols)
                         .zip(&s.dirty_cols)
-                        .map(|((c, bat), &dirty)| CheckpointColumn {
+                        .map(|((c, bat), dirt)| CheckpointColumn {
                             name: c.name.as_str(),
                             bat,
-                            dirty,
+                            dirt: dirt.clone(),
                         })
                         .collect()
                 }),
@@ -334,6 +353,7 @@ impl Connection {
     pub fn set_session_config(&mut self, cfg: SessionConfig) {
         self.codegen.threads = cfg.threads.max(1);
         self.codegen.parallel_threshold = cfg.parallel_threshold;
+        self.codegen.zone_skip = cfg.zone_skip;
         if cfg.opt_level != self.codegen.opt_level {
             self.opt_config = OptConfig::level(cfg.opt_level);
         }
@@ -346,6 +366,7 @@ impl Connection {
             threads: self.codegen.threads,
             parallel_threshold: self.codegen.parallel_threshold,
             opt_level: self.codegen.opt_level,
+            zone_skip: self.codegen.zone_skip,
         }
     }
 
@@ -438,7 +459,11 @@ impl Connection {
     /// actual in-memory state. The same fallback covers a WAL append that
     /// itself fails after a successful statement.
     pub fn execute_stmt(&mut self, stmt: &Stmt) -> Result<QueryResult> {
-        let logged = !matches!(stmt, Stmt::Select(_)) && !self.replaying && self.vault.is_some();
+        // COPY logs its own per-batch WAL records as it streams (see
+        // `crate::copy`), so it is excluded from statement-level logging.
+        let logged = !matches!(stmt, Stmt::Select(_) | Stmt::Copy { .. })
+            && !self.replaying
+            && self.vault.is_some();
         let before = logged.then(|| self.mutation_epoch());
         match self.dispatch_stmt(stmt) {
             Ok(result) => {
@@ -534,6 +559,13 @@ impl Connection {
                 sets,
                 filter.as_ref(),
             )?)),
+            Stmt::Copy {
+                target,
+                path,
+                format,
+            } => Ok(QueryResult::Affected(
+                self.copy_into(target, path, *format)?,
+            )),
         }
     }
 

@@ -11,7 +11,9 @@
 use crate::strheap::{StrHeap, STR_NIL_IDX};
 use crate::types::{dbl_nil, is_dbl_nil, Oid, ScalarType, BIT_NIL, INT_NIL, LNG_NIL, OID_NIL};
 use crate::value::Value;
+use crate::zonemap::ZoneMap;
 use crate::{GdkError, Result};
+use std::sync::{Arc, OnceLock};
 
 /// Physical tail storage of a BAT.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,11 +47,22 @@ pub enum ColumnData {
 }
 
 /// A BAT: dense (virtual) head starting at `hseq` plus a typed tail column.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Bat {
     /// First head oid. Tail position `i` is addressed by oid `hseq + i`.
     pub hseq: Oid,
     data: ColumnData,
+    /// Optional per-tile zone map (see [`crate::zonemap`]). Installed by
+    /// bulk ingest and checkpoint load, dropped by any tail mutation.
+    zones: OnceLock<Arc<ZoneMap>>,
+}
+
+// Zone maps are derived statistics: two BATs are equal iff their logical
+// content is, regardless of whether either has a map installed.
+impl PartialEq for Bat {
+    fn eq(&self, other: &Self) -> bool {
+        self.hseq == other.hseq && self.data == other.data
+    }
 }
 
 impl Bat {
@@ -71,7 +84,11 @@ impl Bat {
                 heap: StrHeap::new(),
             },
         };
-        Bat { hseq: 0, data }
+        Bat {
+            hseq: 0,
+            data,
+            zones: OnceLock::new(),
+        }
     }
 
     /// A void BAT: the dense sequence `seq .. seq+len`.
@@ -79,12 +96,17 @@ impl Bat {
         Bat {
             hseq: 0,
             data: ColumnData::Void { seq, len },
+            zones: OnceLock::new(),
         }
     }
 
     /// Wrap existing column data.
     pub fn from_data(data: ColumnData) -> Self {
-        Bat { hseq: 0, data }
+        Bat {
+            hseq: 0,
+            data,
+            zones: OnceLock::new(),
+        }
     }
 
     /// Build an `int` BAT from plain values.
@@ -233,14 +255,37 @@ impl Bat {
         &self.data
     }
 
-    /// Mutably borrow the raw column data.
+    /// Mutably borrow the raw column data. Drops any installed zone map —
+    /// the caller may rewrite the tail arbitrarily.
     pub fn data_mut(&mut self) -> &mut ColumnData {
+        self.zones.take();
         &mut self.data
     }
 
     /// Take ownership of the raw column data.
     pub fn into_data(self) -> ColumnData {
         self.data
+    }
+
+    /// The installed per-tile zone map, if any.
+    pub fn zone_map(&self) -> Option<&Arc<ZoneMap>> {
+        self.zones.get()
+    }
+
+    /// Install a zone map (no-op if one is already installed). Callers
+    /// build maps where the data is walked anyway — bulk ingest,
+    /// checkpoint write, and checkpoint load.
+    pub fn install_zone_map(&self, zm: impl Into<Arc<ZoneMap>>) {
+        let _ = self.zones.set(zm.into());
+    }
+
+    /// Ensure a zone map with the given tile size is installed, building
+    /// one over the current content if absent.
+    pub fn ensure_zone_map(&self, tile_rows: usize) -> &Arc<ZoneMap> {
+        if self.zones.get().is_none() {
+            let _ = self.zones.set(Arc::new(ZoneMap::build(self, tile_rows)));
+        }
+        self.zones.get().expect("just installed")
     }
 
     /// Is this a virtual (void) column?
@@ -329,6 +374,7 @@ impl Bat {
         let cast = v
             .cast(ty)
             .ok_or_else(|| GdkError::type_mismatch(format!("cannot store {v} into {ty} BAT")))?;
+        self.zones.take();
         match (&mut self.data, cast) {
             (ColumnData::Void { .. }, _) => {
                 return Err(GdkError::invalid("cannot append to a void BAT"))
@@ -362,6 +408,7 @@ impl Bat {
         let cast = v
             .cast(ty)
             .ok_or_else(|| GdkError::type_mismatch(format!("cannot store {v} into {ty} BAT")))?;
+        self.zones.take();
         match (&mut self.data, cast) {
             (ColumnData::Void { .. }, _) => {
                 return Err(GdkError::invalid("cannot update a void BAT"))

@@ -35,6 +35,7 @@ pub mod sort;
 pub mod strheap;
 pub mod types;
 pub mod value;
+pub mod zonemap;
 
 pub use bat::{Bat, ColumnData};
 pub use candidates::Candidates;
@@ -42,6 +43,7 @@ pub use par::ParConfig;
 pub use slice::BatSlice;
 pub use types::{Oid, ScalarType};
 pub use value::Value;
+pub use zonemap::{ZoneEntry, ZoneMap, TILE_ROWS};
 
 use std::fmt;
 

@@ -43,6 +43,10 @@ pub struct ParConfig {
     /// Minimum input length before a kernel goes parallel; shorter inputs
     /// run the serial path (thread spawn costs more than the scan).
     pub parallel_threshold: usize,
+    /// Consult per-tile zone maps to skip non-matching tiles in range and
+    /// theta selections (see [`crate::zonemap`]). Results are identical
+    /// either way; disable to pin down differential behaviour.
+    pub zone_skip: bool,
 }
 
 impl Default for ParConfig {
@@ -50,6 +54,7 @@ impl Default for ParConfig {
         ParConfig {
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             parallel_threshold: 64 * 1024,
+            zone_skip: true,
         }
     }
 }
@@ -60,6 +65,7 @@ impl ParConfig {
         ParConfig {
             threads: 1,
             parallel_threshold: usize::MAX,
+            zone_skip: true,
         }
     }
 
@@ -1151,6 +1157,7 @@ mod tests {
         ParConfig {
             threads: k,
             parallel_threshold: 1,
+            zone_skip: true,
         }
     }
 
@@ -1159,6 +1166,7 @@ mod tests {
         let cfg = ParConfig {
             threads: 8,
             parallel_threshold: 100,
+            zone_skip: true,
         };
         assert_eq!(cfg.threads_for(99), 1);
         assert_eq!(cfg.threads_for(100), 8);

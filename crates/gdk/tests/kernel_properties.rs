@@ -194,6 +194,7 @@ fn forced(threads: usize) -> ParConfig {
     ParConfig {
         threads,
         parallel_threshold: 1,
+        zone_skip: true,
     }
 }
 

@@ -129,10 +129,18 @@ pub struct ExecStats {
     pub intermediates_avoided: usize,
     /// Approximate bytes those intermediates would have occupied.
     pub bytes_not_materialized: usize,
+    /// Column tiles that zone-map consultation let selections skip
+    /// without scanning (see [`gdk::zonemap`]).
+    pub tiles_skipped: usize,
     /// Per executed instruction: qualified primitive name and the number
     /// of worker threads its kernel used (1 = serial).
     pub per_instr_threads: Vec<(String, usize)>,
 }
+
+/// Per-instruction outcome: output values, worker-thread count,
+/// `(intermediates avoided, their bytes)`, and tiles skipped by zone
+/// maps.
+type InstrOutcome = (Vec<MalValue>, usize, (usize, usize), usize);
 
 /// The interpreter.
 pub struct Interpreter<'a> {
@@ -191,7 +199,7 @@ impl<'a> Interpreter<'a> {
         let mut env: Vec<Option<MalValue>> = vec![None; prog.vars.len()];
         let mut stats = ExecStats::default();
         for ins in &prog.instrs {
-            let (outs, threads, (avoided, avoided_bytes)) =
+            let (outs, threads, (avoided, avoided_bytes), tiles_skipped) =
                 self.exec_instr(prog, ins, &env, &params)?;
             stats.instructions += 1;
             stats.max_threads = stats.max_threads.max(threads);
@@ -200,6 +208,7 @@ impl<'a> Interpreter<'a> {
             }
             stats.intermediates_avoided += avoided;
             stats.bytes_not_materialized += avoided_bytes;
+            stats.tiles_skipped += tiles_skipped;
             stats.per_instr_threads.push((ins.qualified(), threads));
             if outs.len() != ins.results.len() {
                 return Err(MalError::msg(format!(
@@ -232,7 +241,7 @@ impl<'a> Interpreter<'a> {
         ins: &Instr,
         env: &[Option<MalValue>],
         params: &[Value],
-    ) -> Result<(Vec<MalValue>, usize, (usize, usize))> {
+    ) -> Result<InstrOutcome> {
         let mut args: Vec<MalValue> = Vec::with_capacity(ins.args.len());
         for a in &ins.args {
             match a {
@@ -267,7 +276,7 @@ impl<'a> Interpreter<'a> {
             let (Value::Str(obj), Value::Str(col)) = (obj, col) else {
                 return Err(MalError::msg("sql.bind arguments must be strings"));
             };
-            return Ok((vec![self.binder.bind(&obj, &col)?], 1, (0, 0)));
+            return Ok((vec![self.binder.bind(&obj, &col)?], 1, (0, 0), 0));
         }
         let prim = self.registry.lookup(&ins.module, &ins.function)?;
         // Only instructions the code generator marked parallel-safe see
@@ -275,11 +284,17 @@ impl<'a> Interpreter<'a> {
         let ctx = if ins.parallel_ok {
             ExecCtx::new(self.par)
         } else {
-            ExecCtx::serial()
+            // Serial execution still honours the session's zone-skip
+            // switch: skipping is a candidate restriction, not a
+            // parallelism concern.
+            ExecCtx::new(ParConfig {
+                zone_skip: self.par.zone_skip,
+                ..ParConfig::serial()
+            })
         };
         let outs =
             prim(&args, &ctx).map_err(|e| MalError::msg(format!("{}: {e}", ins.qualified())))?;
-        Ok((outs, ctx.threads_used(), ctx.avoided()))
+        Ok((outs, ctx.threads_used(), ctx.avoided(), ctx.tiles_skipped()))
     }
 }
 

@@ -1,11 +1,12 @@
 //! `algebra.*` — selections, projections, joins, slices, sorting.
 
 use crate::interp::MalValue;
-use crate::registry::Registry;
+use crate::registry::{ExecCtx, Registry};
 use crate::{MalError, Result};
 use gdk::arith::CmpOp;
 use gdk::candidates::Candidates;
-use gdk::{join, project, select, sort, Bat, Value};
+use gdk::{join, project, select, sort, zonemap, Bat, Value};
+use std::sync::Arc;
 
 pub(crate) fn cmp_from_str(s: &str) -> Result<CmpOp> {
     Ok(match s {
@@ -35,6 +36,47 @@ fn as_bool(v: &Value, what: &str) -> Result<bool> {
         .ok_or_else(|| MalError::msg(format!("{what} must be a boolean")))
 }
 
+/// Consult `b`'s zone map and narrow an unrestricted theta-selection to
+/// the tiles that may hold qualifying rows. Only fires when no explicit
+/// candidate list restricts the scan already and the session has
+/// zone-skipping enabled; results are identical either way.
+pub(crate) fn zone_restrict_theta(
+    ctx: &ExecCtx,
+    b: &Bat,
+    cand: Option<Arc<Candidates>>,
+    val: &Value,
+    op: CmpOp,
+) -> Option<Arc<Candidates>> {
+    if cand.is_none() && ctx.par.zone_skip {
+        if let Some((zc, skipped)) = zonemap::restrict_theta(b, val, op) {
+            ctx.note_tiles_skipped(skipped);
+            return Some(Arc::new(zc));
+        }
+    }
+    cand
+}
+
+/// Range-predicate variant of [`zone_restrict_theta`].
+#[allow(clippy::too_many_arguments)]
+fn zone_restrict_range(
+    ctx: &ExecCtx,
+    b: &Bat,
+    cand: Option<Arc<Candidates>>,
+    lo: &Value,
+    hi: &Value,
+    li: bool,
+    hi_incl: bool,
+    anti: bool,
+) -> Option<Arc<Candidates>> {
+    if cand.is_none() && ctx.par.zone_skip {
+        if let Some((zc, skipped)) = zonemap::restrict_range(b, lo, hi, li, hi_incl, anti) {
+            ctx.note_tiles_skipped(skipped);
+            return Some(Arc::new(zc));
+        }
+    }
+    cand
+}
+
 /// Register the `algebra` module.
 pub fn register(r: &mut Registry) {
     // algebra.thetaselect(b, [cand,] val, op:str) :cand
@@ -55,6 +97,7 @@ pub fn register(r: &mut Registry) {
             return Err(MalError::msg("thetaselect operator must be a string"));
         };
         let op = cmp_from_str(op)?;
+        let cand = zone_restrict_theta(ctx, b, cand, val, op);
         let (c, threads) = gdk::par::thetaselect(b, cand.as_deref(), val, op, &ctx.par)?;
         ctx.note_threads(threads);
         Ok(vec![MalValue::cand(c)])
@@ -78,6 +121,7 @@ pub fn register(r: &mut Registry) {
         let li = as_bool(args[base + 2].as_scalar()?, "li")?;
         let hi_incl = as_bool(args[base + 3].as_scalar()?, "hi")?;
         let anti = as_bool(args[base + 4].as_scalar()?, "anti")?;
+        let cand = zone_restrict_range(ctx, b, cand, lo, hi, li, hi_incl, anti);
         let (c, threads) =
             gdk::par::rangeselect(b, cand.as_deref(), lo, hi, li, hi_incl, anti, &ctx.par)?;
         ctx.note_threads(threads);
@@ -141,6 +185,7 @@ pub fn register(r: &mut Registry) {
         };
         let op = cmp_from_str(op)?;
         let payload = args[val_i + 2].as_bat()?;
+        let cand = zone_restrict_theta(ctx, b, cand, val, op);
         let (out, threads) =
             gdk::par::theta_select_project(b, cand.as_deref(), val, op, payload, &ctx.par)?;
         ctx.note_threads(threads);

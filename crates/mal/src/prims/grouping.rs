@@ -92,6 +92,7 @@ fn register_selectagg(r: &mut Registry) {
             return Err(MalError::msg("selectagg operator must be a string"));
         };
         let op = crate::prims::algebra::cmp_from_str(opname)?;
+        let cand = crate::prims::algebra::zone_restrict_theta(ctx, b, cand, val, op);
         let (out, threads, selected) =
             gdk::par::theta_select_aggregate(func, payload, b, cand.as_deref(), val, op, &ctx.par)?;
         ctx.note_threads(threads);

@@ -19,6 +19,7 @@ pub struct ExecCtx {
     threads_used: Cell<usize>,
     avoided_intermediates: Cell<usize>,
     avoided_bytes: Cell<usize>,
+    tiles_skipped: Cell<usize>,
 }
 
 impl ExecCtx {
@@ -29,6 +30,7 @@ impl ExecCtx {
             threads_used: Cell::new(1),
             avoided_intermediates: Cell::new(0),
             avoided_bytes: Cell::new(0),
+            tiles_skipped: Cell::new(0),
         }
     }
 
@@ -61,6 +63,17 @@ impl ExecCtx {
     /// `(intermediates, bytes)` this instruction avoided materialising.
     pub fn avoided(&self) -> (usize, usize) {
         (self.avoided_intermediates.get(), self.avoided_bytes.get())
+    }
+
+    /// Record that a selection consulted a zone map and skipped `n`
+    /// tiles without scanning them.
+    pub fn note_tiles_skipped(&self, n: usize) {
+        self.tiles_skipped.set(self.tiles_skipped.get() + n);
+    }
+
+    /// Tiles skipped by zone-map consultation under this context.
+    pub fn tiles_skipped(&self) -> usize {
+        self.tiles_skipped.get()
     }
 }
 

@@ -469,6 +469,8 @@ pub struct ExecReport {
     /// 1 when the statement reused a cached compiled plan (prepared
     /// re-execution), 0 otherwise.
     pub plan_cache_hits: u64,
+    /// Column tiles whose zone maps excluded them from range scans.
+    pub tiles_skipped: u64,
 }
 
 /// `StatsReply` payload.
@@ -485,6 +487,7 @@ pub fn stats_reply(report: &ExecReport) -> Vec<u8> {
         report.intermediates_avoided,
         report.bytes_not_materialized,
         report.plan_cache_hits,
+        report.tiles_skipped,
     ] {
         gdk::codec::put_u64(&mut p, v);
     }
@@ -509,6 +512,7 @@ pub fn read_stats_reply(body: &[u8]) -> NetResult<ExecReport> {
         intermediates_avoided: next()?,
         bytes_not_materialized: next()?,
         plan_cache_hits: next()?,
+        tiles_skipped: next()?,
     })
 }
 

@@ -326,6 +326,7 @@ fn session_loop(
                     intermediates_avoided: last.exec.intermediates_avoided as u64,
                     bytes_not_materialized: last.exec.bytes_not_materialized as u64,
                     plan_cache_hits: last.exec.plan_cache_hits as u64,
+                    tiles_skipped: last.exec.tiles_skipped as u64,
                 };
                 proto::write_frame(stream, &proto::stats_reply(&report)).is_ok()
             }

@@ -567,8 +567,28 @@ pub enum Stmt {
         /// WHERE predicate.
         filter: Option<Expr>,
     },
+    /// `COPY target FROM 'path' (FORMAT csv|binary)` — streaming bulk
+    /// ingest from a file.
+    Copy {
+        /// Target table or array.
+        target: String,
+        /// Source file path (as written; resolved by the executor).
+        path: String,
+        /// Input file format.
+        format: CopyFormat,
+    },
     /// SELECT query.
     Select(SelectStmt),
+}
+
+/// Input format of a COPY statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CopyFormat {
+    /// Comma-separated text, one row per line, empty field or `NULL` for
+    /// nil.
+    Csv,
+    /// The engine's binary batch format (`gdk::codec` framed BATs).
+    Binary,
 }
 
 impl SelectStmt {
@@ -643,7 +663,7 @@ impl Stmt {
                     }
                 }
             }
-            Stmt::Drop { .. } => {}
+            Stmt::Drop { .. } | Stmt::Copy { .. } => {}
             Stmt::AlterDimension { range, .. } => {
                 range.start.walk(f);
                 range.step.walk(f);
@@ -765,7 +785,10 @@ impl Stmt {
         };
         match self {
             Stmt::Select(s) => Stmt::Select(map_sel(s, f)),
-            Stmt::CreateTable { .. } | Stmt::CreateArray { .. } | Stmt::Drop { .. } => self.clone(),
+            Stmt::CreateTable { .. }
+            | Stmt::CreateArray { .. }
+            | Stmt::Drop { .. }
+            | Stmt::Copy { .. } => self.clone(),
             Stmt::AlterDimension {
                 array,
                 dimension,

@@ -186,8 +186,46 @@ impl Parser {
             TokenKind::Keyword(Keyword::INSERT) => self.insert(),
             TokenKind::Keyword(Keyword::DELETE) => self.delete(),
             TokenKind::Keyword(Keyword::UPDATE) => self.update(),
+            TokenKind::Keyword(Keyword::COPY) => self.copy_stmt(),
             _ => Err(self.unexpected("a statement")),
         }
+    }
+
+    // COPY target FROM 'path' [(FORMAT csv|binary)]
+    fn copy_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.expect_kw(Keyword::COPY)?;
+        let target = self.ident()?;
+        self.expect_kw(Keyword::FROM)?;
+        let path = match self.peek().clone() {
+            TokenKind::Str(s) => {
+                self.advance();
+                s
+            }
+            _ => return Err(self.unexpected("a quoted file path")),
+        };
+        let format = if self.eat(&TokenKind::LParen) {
+            self.expect_kw(Keyword::FORMAT)?;
+            let word = self.ident()?;
+            let format = match word.to_ascii_lowercase().as_str() {
+                "csv" => CopyFormat::Csv,
+                "binary" => CopyFormat::Binary,
+                _ => {
+                    return Err(ParseError::at(
+                        self.offset(),
+                        format!("unknown COPY format {word:?} (expected csv or binary)"),
+                    ))
+                }
+            };
+            self.expect(&TokenKind::RParen)?;
+            format
+        } else {
+            CopyFormat::Csv
+        };
+        Ok(Stmt::Copy {
+            target,
+            path,
+            format,
+        })
     }
 
     fn create(&mut self) -> Result<Stmt, ParseError> {

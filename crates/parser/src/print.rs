@@ -327,6 +327,19 @@ impl fmt::Display for Stmt {
                 }
                 Ok(())
             }
+            Stmt::Copy {
+                target,
+                path,
+                format,
+            } => write!(
+                f,
+                "COPY {target} FROM '{}' (FORMAT {})",
+                path.replace('\'', "''"),
+                match format {
+                    CopyFormat::Csv => "csv",
+                    CopyFormat::Binary => "binary",
+                }
+            ),
             Stmt::Update {
                 table,
                 sets,
@@ -386,6 +399,9 @@ mod tests {
             "UPDATE t SET v = ? WHERE x = :k",
             "INSERT INTO t VALUES (?, :a), (?, :a)",
             "DELETE FROM t WHERE v IN (?, :x, ?)",
+            "COPY frames FROM '/data/frames.csv' (FORMAT csv)",
+            "COPY frames FROM 'obs''night1.bin' (FORMAT binary)",
+            "COPY t FROM 'rows.csv'",
         ];
         for sql in statements {
             let ast1 = parse_statement(sql).unwrap_or_else(|e| panic!("{sql}: {e}"));

@@ -136,6 +136,7 @@ keywords! {
     TRUE, FALSE,
     JOIN, INNER, LEFT, OUTER, ON, CROSS,
     PRIMARY, KEY, CHECK,
+    COPY, FORMAT,
 }
 
 #[cfg(test)]

@@ -6,39 +6,44 @@
 //! durability in pure `std`:
 //!
 //! * **Checkpoints** — a catalog snapshot (schemas + dimension specs,
-//!   via `sciql-catalog`'s binary serde) plus one file per column
-//!   (`gdk::codec`'s checksummed encoding). Clean columns keep their
-//!   file across checkpoints; only dirty ones are rewritten.
-//! * **Write-ahead log** — an append-only log of the mutating statements
-//!   acknowledged since the last checkpoint, with per-record checksums
-//!   and explicit sync points.
-//! * **Recovery** — load the newest snapshot, then replay the WAL tail;
-//!   a torn final record (crash mid-write) is detected and truncated.
+//!   via `sciql-catalog`'s binary serde) plus column data split into
+//!   fixed-size **tiles** (one checksummed `gdk::codec` frame per tile).
+//!   The snapshot records each tile's zone-map statistics (row count,
+//!   nil count, min/max), and a clean tile keeps its file across
+//!   checkpoints — only dirty tiles are rewritten.
+//! * **Write-ahead log** — an append-only log of the mutating operations
+//!   acknowledged since the last checkpoint (statement text or COPY
+//!   ingest batches), with per-record checksums and explicit sync points.
+//! * **Recovery** — load the newest snapshot tile by tile, then replay
+//!   the WAL tail; a torn final record (crash mid-write) is detected and
+//!   truncated, and tile files orphaned by a crashed checkpoint are
+//!   swept.
 //!
 //! On-disk layout of a vault directory:
 //!
 //! ```text
 //! <db>/
 //!   MANIFEST              current generation (written atomically)
-//!   snapshot-<gen>.cat    catalog + column-file references + checksum
-//!   wal-<gen>.log         statements since checkpoint <gen>
-//!   cols/c<id>.col        one encoded BAT per column version
+//!   snapshot-<gen>.cat    catalog + tile references + zone maps + checksum
+//!   wal-<gen>.log         operations since checkpoint <gen>
+//!   cols/c<id>.col        one encoded BAT tile per column-tile version
 //! ```
 //!
 //! The engine crate (`sciql`) owns the logical side: it decides *what* to
-//! log (statement text that the parser's printer round-trips) and hands
-//! over columns with dirty flags at checkpoint time. This crate owns the
-//! files, framing, checksums and the atomic generation switch.
+//! log and hands over columns with per-tile dirt at checkpoint time. This
+//! crate owns the files, framing, checksums and the atomic generation
+//! switch.
 
 #![warn(missing_docs)]
 
 pub mod snapshot;
 pub mod wal;
 
-pub use snapshot::{SnapshotData, SnapshotObject};
+pub use snapshot::{SnapshotColumn, SnapshotData, SnapshotObject, SnapshotTile};
 
-use gdk::codec::{decode_bat, encode_bat, CodecError};
-use gdk::Bat;
+use gdk::codec::{decode_bat, encode_bat, put_str, put_u32, put_u64, put_u8, CodecError, Reader};
+use gdk::zonemap::{ZoneEntry, ZoneMap, TILE_ROWS};
+use gdk::{Bat, Value};
 use sciql_catalog::SchemaObject;
 use snapshot::{read_snapshot, write_snapshot};
 use std::collections::HashMap;
@@ -122,11 +127,92 @@ fn sync_dir(dir: &Path) -> StoreResult<()> {
 }
 
 // ---------------------------------------------------------------------------
+// Per-tile dirt tracking (shared vocabulary with the engine).
+// ---------------------------------------------------------------------------
+
+/// What changed in a column since the last checkpoint, at tile
+/// granularity. The engine keeps one of these per column and the vault
+/// rewrites only the tiles it names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColumnDirt {
+    /// Nothing changed: every tile may keep its file.
+    Clean,
+    /// Everything changed (bulk replacement, unknown extent): rewrite all
+    /// tiles.
+    All,
+    /// Per-tile dirty flags, indexed by tile number. Tiles beyond the
+    /// vector's length count as dirty (they are new growth).
+    Tiles(Vec<bool>),
+}
+
+impl ColumnDirt {
+    /// Is tile `tile` dirty?
+    pub fn tile_dirty(&self, tile: usize) -> bool {
+        match self {
+            ColumnDirt::Clean => false,
+            ColumnDirt::All => true,
+            ColumnDirt::Tiles(v) => v.get(tile).copied().unwrap_or(true),
+        }
+    }
+
+    /// Is any tile dirty? (`Tiles` with no flag set counts as clean.)
+    pub fn any_dirty(&self) -> bool {
+        match self {
+            ColumnDirt::Clean => false,
+            ColumnDirt::All => true,
+            ColumnDirt::Tiles(v) => v.iter().any(|&d| d),
+        }
+    }
+
+    /// Mark the tile containing `row` (with `tile_rows` rows per tile)
+    /// dirty, growing the flag vector as needed.
+    pub fn mark_row(&mut self, row: usize, tile_rows: usize) {
+        self.mark_tile(row / tile_rows.max(1));
+    }
+
+    /// Mark tile `tile` dirty.
+    pub fn mark_tile(&mut self, tile: usize) {
+        match self {
+            ColumnDirt::All => {}
+            ColumnDirt::Clean => {
+                let mut v = vec![false; tile + 1];
+                v[tile] = true;
+                *self = ColumnDirt::Tiles(v);
+            }
+            ColumnDirt::Tiles(v) => {
+                if v.len() <= tile {
+                    v.resize(tile + 1, false);
+                }
+                v[tile] = true;
+            }
+        }
+    }
+
+    /// Mark every tile dirty.
+    pub fn mark_all(&mut self) {
+        *self = ColumnDirt::All;
+    }
+
+    /// Dirty tiles among the first `n_tiles` (for `\stats`-style
+    /// reporting; `All` counts every tile).
+    pub fn dirty_count(&self, n_tiles: usize) -> usize {
+        match self {
+            ColumnDirt::Clean => 0,
+            ColumnDirt::All => n_tiles,
+            ColumnDirt::Tiles(v) => (0..n_tiles)
+                .filter(|&i| self.tile_dirty(i) || i >= v.len())
+                .count(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Recovery output / checkpoint input (the neutral data model shared with
 // the engine).
 // ---------------------------------------------------------------------------
 
-/// A recovered column: its name and loaded BAT.
+/// A recovered column: its name and loaded BAT (tiles concatenated, zone
+/// map from the snapshot installed).
 #[derive(Debug)]
 pub struct RecoveredColumn {
     /// Column name (dimension, attribute or table column).
@@ -145,14 +231,31 @@ pub struct RecoveredObject {
     pub columns: Option<Vec<RecoveredColumn>>,
 }
 
+/// One logged operation to replay on top of the checkpoint image.
+#[derive(Debug)]
+pub enum ReplayOp {
+    /// A mutating SQL statement, as printed text.
+    Sql(String),
+    /// One COPY ingest batch: rows appended to `target` starting at row
+    /// offset `start`, one BAT fragment per column in storage order.
+    CopyBatch {
+        /// Target object name.
+        target: String,
+        /// Row offset the batch was appended at.
+        start: u64,
+        /// `(column name, batch rows)` in storage order.
+        columns: Vec<(String, Bat)>,
+    },
+}
+
 /// Everything needed to rebuild a session: the checkpoint image plus the
 /// WAL tail to replay on top of it.
 #[derive(Debug)]
 pub struct Recovered {
     /// Objects from the newest snapshot.
     pub objects: Vec<RecoveredObject>,
-    /// Statement texts logged after that snapshot, in commit order.
-    pub statements: Vec<String>,
+    /// Operations logged after that snapshot, in commit order.
+    pub ops: Vec<ReplayOp>,
 }
 
 /// One column handed to [`Vault::checkpoint`].
@@ -162,9 +265,9 @@ pub struct CheckpointColumn<'a> {
     pub name: &'a str,
     /// Current column data.
     pub bat: &'a Bat,
-    /// Has this column changed since the last checkpoint? Clean columns
-    /// reuse their existing file.
-    pub dirty: bool,
+    /// Which tiles changed since the last checkpoint. Clean tiles reuse
+    /// their existing file.
+    pub dirt: ColumnDirt,
 }
 
 /// One object handed to [`Vault::checkpoint`].
@@ -185,8 +288,72 @@ pub struct VaultStats {
     pub wal_records: u64,
     /// WAL size in bytes.
     pub wal_bytes: u64,
-    /// Column files referenced by the current snapshot.
-    pub column_files: usize,
+    /// Columns referenced by the current snapshot.
+    pub columns: usize,
+    /// Tile files referenced by the current snapshot.
+    pub tile_files: usize,
+    /// Tile files rewritten by the most recent checkpoint of this
+    /// process (0 before the first).
+    pub tiles_rewritten: u64,
+    /// Tile files reused (kept clean) by the most recent checkpoint.
+    pub tiles_reused: u64,
+}
+
+// ---------------------------------------------------------------------------
+// WAL payload tagging.
+// ---------------------------------------------------------------------------
+
+const TAG_SQL: u8 = 0x01;
+const TAG_COPY: u8 = 0x02;
+
+fn encode_copy_batch(target: &str, start: u64, columns: &[(String, &Bat)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u8(&mut out, TAG_COPY);
+    put_str(&mut out, target);
+    put_u64(&mut out, start);
+    put_u32(&mut out, columns.len() as u32);
+    for (name, bat) in columns {
+        put_str(&mut out, name);
+        let bytes = encode_bat(bat);
+        put_u32(&mut out, bytes.len() as u32);
+        out.extend_from_slice(&bytes);
+    }
+    out
+}
+
+fn decode_replay_op(payload: &[u8], wal: &Path, record: usize) -> StoreResult<ReplayOp> {
+    let bad =
+        |what: &str| StoreError::corrupt(format!("WAL {} record {record}: {what}", wal.display()));
+    let Some((&tag, rest)) = payload.split_first() else {
+        return Err(bad("empty record"));
+    };
+    match tag {
+        TAG_SQL => String::from_utf8(rest.to_vec())
+            .map(ReplayOp::Sql)
+            .map_err(|_| bad("non-UTF-8 statement text")),
+        TAG_COPY => {
+            let mut r = Reader::new(rest);
+            let target = r.str()?;
+            let start = r.u64()?;
+            let ncols = r.u32()? as usize;
+            let mut columns = Vec::with_capacity(ncols);
+            for _ in 0..ncols {
+                let name = r.str()?;
+                let len = r.u32()? as usize;
+                let bytes = r.take(len)?;
+                columns.push((name, decode_bat(bytes)?));
+            }
+            if r.remaining() != 0 {
+                return Err(bad("trailing bytes after COPY batch"));
+            }
+            Ok(ReplayOp::CopyBatch {
+                target,
+                start,
+                columns,
+            })
+        }
+        other => Err(bad(&format!("unknown record tag 0x{other:02x}"))),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -253,6 +420,14 @@ fn process_alive(pid: u32) -> bool {
     }
 }
 
+/// Tile references of one persisted column, as of the current snapshot.
+#[derive(Debug, Clone)]
+struct ColRef {
+    tile_rows: u32,
+    /// `(tile file id, rows in tile)` in row order.
+    tiles: Vec<(u64, u64)>,
+}
+
 /// A durable column vault rooted at one directory.
 #[derive(Debug)]
 pub struct Vault {
@@ -260,9 +435,15 @@ pub struct Vault {
     gen: u64,
     wal: WalWriter,
     next_col_id: u64,
-    /// `"object\u{0}column"` (lowercased) → column file id, as of the
+    /// `"object\u{0}column"` (lowercased) → tile references, as of the
     /// current snapshot.
-    refs: HashMap<String, u64>,
+    refs: HashMap<String, ColRef>,
+    tiles_rewritten: u64,
+    tiles_reused: u64,
+    /// Test hook: fail the checkpoint after this many tile files have
+    /// been written (before the MANIFEST switch), simulating a crash
+    /// mid-checkpoint. One-shot.
+    fault_after_tiles: Option<u64>,
     /// Held for the vault's lifetime; releases `LOCK` on drop.
     _lock: LockGuard,
 }
@@ -273,6 +454,26 @@ fn col_key(object: &str, column: &str) -> String {
         object.to_ascii_lowercase(),
         column.to_ascii_lowercase()
     )
+}
+
+/// Split `bat` into its checkpoint tile plan: the tile size plus one
+/// zone entry per tile. An empty column still gets one empty tile so its
+/// type survives the round-trip.
+fn tile_plan(bat: &Bat) -> (u32, Vec<ZoneEntry>) {
+    let zm = bat.ensure_zone_map(TILE_ROWS);
+    if zm.entries.is_empty() {
+        (
+            zm.tile_rows as u32,
+            vec![ZoneEntry {
+                rows: 0,
+                nils: 0,
+                min: None,
+                max: None,
+            }],
+        )
+    } else {
+        (zm.tile_rows as u32, zm.entries.clone())
+    }
 }
 
 impl Vault {
@@ -291,13 +492,14 @@ impl Vault {
 
     /// Open (or initialise) a vault at `dir` and recover its state: the
     /// newest checkpoint image plus the intact WAL tail. A torn final WAL
-    /// record is truncated away.
+    /// record is truncated away; tile files orphaned by a crashed
+    /// checkpoint are removed.
     pub fn open(dir: impl AsRef<Path>) -> StoreResult<(Vault, Recovered)> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(dir.join("cols"))?;
         // Single writer per vault: a second process opening the same
         // directory would interleave WAL frames and garbage-collect
-        // column files the first one still references.
+        // tile files the first one still references.
         let lock = LockGuard::acquire(&dir)?;
         let manifest = Self::manifest_path(&dir);
         if !manifest.exists() {
@@ -313,13 +515,16 @@ impl Vault {
                 wal,
                 next_col_id: 0,
                 refs: HashMap::new(),
+                tiles_rewritten: 0,
+                tiles_reused: 0,
+                fault_after_tiles: None,
                 _lock: lock,
             };
             return Ok((
                 vault,
                 Recovered {
                     objects: Vec::new(),
-                    statements: Vec::new(),
+                    ops: Vec::new(),
                 },
             ));
         }
@@ -332,21 +537,17 @@ impl Vault {
                 None => None,
                 Some(cols) => {
                     let mut out = Vec::with_capacity(cols.len());
-                    for (name, id) in cols {
-                        let path = Self::col_path(&dir, *id);
-                        let mut bytes = Vec::new();
-                        File::open(&path)
-                            .and_then(|mut f| f.read_to_end(&mut bytes))
-                            .map_err(|e| {
-                                StoreError::corrupt(format!(
-                                    "column file {} unreadable: {e}",
-                                    path.display()
-                                ))
-                            })?;
-                        let bat = decode_bat(&bytes)?;
-                        refs.insert(col_key(so.def.name(), name), *id);
+                    for col in cols {
+                        let bat = Self::load_column(&dir, col)?;
+                        refs.insert(
+                            col_key(so.def.name(), &col.name),
+                            ColRef {
+                                tile_rows: col.tile_rows,
+                                tiles: col.tiles.iter().map(|t| (t.id, t.rows)).collect(),
+                            },
+                        );
                         out.push(RecoveredColumn {
-                            name: name.clone(),
+                            name: col.name.clone(),
                             bat,
                         });
                     }
@@ -359,21 +560,16 @@ impl Vault {
             });
         }
         let wal_path = Self::wal_path(&dir, gen);
-        let (statements, wal) = if wal_path.exists() {
+        let (ops, wal) = if wal_path.exists() {
             let scan = scan_wal(&wal_path)?;
-            let statements = scan
+            let ops = scan
                 .records
                 .iter()
-                .map(|r| {
-                    String::from_utf8(r.clone())
-                        .map_err(|_| StoreError::corrupt("non-UTF-8 WAL statement"))
-                })
+                .enumerate()
+                .map(|(i, r)| decode_replay_op(r, &wal_path, i))
                 .collect::<StoreResult<Vec<_>>>()?;
-            let n = statements.len() as u64;
-            (
-                statements,
-                WalWriter::open_valid(&wal_path, scan.valid_len, n)?,
-            )
+            let n = ops.len() as u64;
+            (ops, WalWriter::open_valid(&wal_path, scan.valid_len, n)?)
         } else {
             // Crash between MANIFEST switch and WAL creation cannot happen
             // (the WAL is created first), but tolerate a missing log.
@@ -385,20 +581,77 @@ impl Vault {
             wal,
             next_col_id: snap.next_col_id,
             refs,
+            tiles_rewritten: 0,
+            tiles_reused: 0,
+            fault_after_tiles: None,
             _lock: lock,
         };
         // A crash between the MANIFEST switch and a checkpoint's cleanup
-        // can leave the previous generation's files behind; sweep every
-        // generation but the current one (and any orphaned columns) now.
+        // can leave the previous generation's files behind — and a crash
+        // *during* a checkpoint leaves tile files no snapshot references.
+        // Sweep both now.
         vault.gc_generations();
         vault.gc_columns();
-        Ok((
-            vault,
-            Recovered {
-                objects,
-                statements,
-            },
-        ))
+        Ok((vault, Recovered { objects, ops }))
+    }
+
+    /// Load one column: decode its tiles in row order, concatenate them,
+    /// and install the snapshot's zone map on the result.
+    fn load_column(dir: &Path, col: &SnapshotColumn) -> StoreResult<Bat> {
+        let mut bat: Option<Bat> = None;
+        for t in &col.tiles {
+            let path = Self::col_path(dir, t.id);
+            let mut bytes = Vec::new();
+            File::open(&path)
+                .and_then(|mut f| f.read_to_end(&mut bytes))
+                .map_err(|e| {
+                    StoreError::corrupt(format!("tile file {} unreadable: {e}", path.display()))
+                })?;
+            let tile = decode_bat(&bytes)
+                .map_err(|e| StoreError::corrupt(format!("tile file {}: {e}", path.display())))?;
+            if tile.len() as u64 != t.rows {
+                return Err(StoreError::corrupt(format!(
+                    "tile file {} holds {} rows, snapshot says {}",
+                    path.display(),
+                    tile.len(),
+                    t.rows
+                )));
+            }
+            match &mut bat {
+                None => bat = Some(tile),
+                Some(b) => b.append_bat(&tile).map_err(|e| {
+                    StoreError::corrupt(format!(
+                        "tile file {} does not extend column {}: {e}",
+                        path.display(),
+                        col.name
+                    ))
+                })?,
+            }
+        }
+        let bat =
+            bat.ok_or_else(|| StoreError::corrupt(format!("column {} has no tiles", col.name)))?;
+        if !bat.is_empty() {
+            bat.install_zone_map(ZoneMap {
+                tile_rows: col.tile_rows as usize,
+                entries: col
+                    .tiles
+                    .iter()
+                    .map(|t| ZoneEntry {
+                        rows: t.rows as usize,
+                        nils: t.nils as usize,
+                        min: match &t.min {
+                            Value::Null => None,
+                            v => Some(v.clone()),
+                        },
+                        max: match &t.max {
+                            Value::Null => None,
+                            v => Some(v.clone()),
+                        },
+                    })
+                    .collect(),
+            });
+        }
+        Ok(bat)
     }
 
     /// Delete snapshot/WAL files of any generation other than the
@@ -425,34 +678,60 @@ impl Vault {
     }
 
     fn read_manifest(path: &Path) -> StoreResult<u64> {
-        let text = fs::read_to_string(path)?;
+        let text = fs::read_to_string(path).map_err(|e| {
+            StoreError::corrupt(format!("manifest {} unreadable: {e}", path.display()))
+        })?;
         for line in text.lines() {
             if let Some(gen) = line.strip_prefix("gen ") {
-                return gen
-                    .trim()
-                    .parse()
-                    .map_err(|_| StoreError::corrupt("MANIFEST generation not a number"));
+                return gen.trim().parse().map_err(|_| {
+                    StoreError::corrupt(format!(
+                        "manifest {}: generation {gen:?} is not a number",
+                        path.display()
+                    ))
+                });
             }
         }
-        Err(StoreError::corrupt("MANIFEST missing generation line"))
+        Err(StoreError::corrupt(format!(
+            "manifest {} missing generation line",
+            path.display()
+        )))
     }
 
     /// Append one acknowledged statement to the WAL and force it to disk.
     /// When this returns `Ok`, the statement survives a crash.
     pub fn append_statement(&mut self, sql: &str) -> StoreResult<()> {
-        self.wal.append(sql.as_bytes())?;
+        let mut payload = Vec::with_capacity(1 + sql.len());
+        payload.push(TAG_SQL);
+        payload.extend_from_slice(sql.as_bytes());
+        self.wal.append(&payload)?;
+        self.wal.sync()
+    }
+
+    /// Append one COPY ingest batch to the WAL and force it to disk:
+    /// `columns` are the batch's rows (one fragment per column in storage
+    /// order) appended to `target` at row offset `start`.
+    pub fn append_copy_batch(
+        &mut self,
+        target: &str,
+        start: u64,
+        columns: &[(String, &Bat)],
+    ) -> StoreResult<()> {
+        self.wal
+            .append(&encode_copy_batch(target, start, columns))?;
         self.wal.sync()
     }
 
     /// Write a new checkpoint generation: dirty (or never-persisted)
-    /// columns get new column files, clean ones keep theirs; then the
-    /// snapshot is written, the WAL rotated, and the MANIFEST atomically
-    /// switched. Old generations and orphaned column files are removed
-    /// afterwards.
+    /// tiles get new tile files, clean ones keep theirs; then the
+    /// snapshot — with each tile's zone-map statistics — is written, the
+    /// WAL rotated, and the MANIFEST atomically switched. Old generations
+    /// and orphaned tile files are removed afterwards.
     pub fn checkpoint(&mut self, objects: &[CheckpointObject<'_>]) -> StoreResult<()> {
         let new_gen = self.gen + 1;
         let mut new_refs = HashMap::new();
         let mut snap_objects = Vec::with_capacity(objects.len());
+        let mut written: u64 = 0;
+        let mut reused: u64 = 0;
         for obj in objects {
             let columns = match &obj.columns {
                 None => None,
@@ -460,21 +739,63 @@ impl Vault {
                     let mut out = Vec::with_capacity(cols.len());
                     for col in cols {
                         let key = col_key(obj.def.name(), col.name);
-                        let id = match (col.dirty, self.refs.get(&key)) {
-                            (false, Some(&id)) => id,
-                            _ => {
+                        let (tile_rows, entries) = tile_plan(col.bat);
+                        let prev = self
+                            .refs
+                            .get(&key)
+                            .filter(|p| p.tile_rows == tile_rows)
+                            .cloned();
+                        let mut tiles = Vec::with_capacity(entries.len());
+                        let mut start = 0usize;
+                        for (i, e) in entries.iter().enumerate() {
+                            let reusable = !col.dirt.tile_dirty(i)
+                                && prev
+                                    .as_ref()
+                                    .and_then(|p| p.tiles.get(i))
+                                    .is_some_and(|&(_, rows)| rows == e.rows as u64);
+                            let id = if reusable {
+                                reused += 1;
+                                prev.as_ref().unwrap().tiles[i].0
+                            } else {
+                                if self.fault_after_tiles == Some(written) {
+                                    self.fault_after_tiles = None;
+                                    return Err(StoreError::corrupt(
+                                        "injected checkpoint fault (test hook)",
+                                    ));
+                                }
                                 let id = self.next_col_id;
                                 self.next_col_id += 1;
-                                let bytes = encode_bat(col.bat);
+                                let tile = gdk::project::slice(col.bat, start, start + e.rows)
+                                    .map_err(|e| StoreError::corrupt(e.to_string()))?;
+                                let bytes = encode_bat(&tile);
                                 let path = Self::col_path(&self.dir, id);
                                 let mut f = File::create(&path)?;
                                 f.write_all(&bytes)?;
                                 f.sync_all()?;
+                                written += 1;
                                 id
-                            }
-                        };
-                        new_refs.insert(key, id);
-                        out.push((col.name.to_owned(), id));
+                            };
+                            tiles.push(SnapshotTile {
+                                id,
+                                rows: e.rows as u64,
+                                nils: e.nils as u64,
+                                min: e.min.clone().unwrap_or(Value::Null),
+                                max: e.max.clone().unwrap_or(Value::Null),
+                            });
+                            start += e.rows;
+                        }
+                        new_refs.insert(
+                            key,
+                            ColRef {
+                                tile_rows,
+                                tiles: tiles.iter().map(|t| (t.id, t.rows)).collect(),
+                            },
+                        );
+                        out.push(SnapshotColumn {
+                            name: col.name.to_owned(),
+                            tile_rows,
+                            tiles,
+                        });
                     }
                     Some(out)
                 }
@@ -504,14 +825,21 @@ impl Vault {
         self.gen = new_gen;
         self.wal = new_wal;
         self.refs = new_refs;
+        self.tiles_rewritten = written;
+        self.tiles_reused = reused;
         self.gc_generations();
         self.gc_columns();
         Ok(())
     }
 
-    /// Delete column files no snapshot references.
+    /// Delete tile files no snapshot references — including files left
+    /// behind by a checkpoint that failed before its MANIFEST switch.
     fn gc_columns(&self) {
-        let live: std::collections::HashSet<u64> = self.refs.values().copied().collect();
+        let live: std::collections::HashSet<u64> = self
+            .refs
+            .values()
+            .flat_map(|c| c.tiles.iter().map(|&(id, _)| id))
+            .collect();
         let Ok(entries) = fs::read_dir(self.dir.join("cols")) else {
             return;
         };
@@ -531,6 +859,21 @@ impl Vault {
         }
     }
 
+    /// Remove tile files orphaned by an aborted checkpoint without
+    /// waiting for the next successful one (the sweep [`Vault::open`]
+    /// and [`Vault::checkpoint`] already run).
+    pub fn gc_orphaned_tiles(&self) {
+        self.gc_columns();
+    }
+
+    /// Fail the next checkpoint after `after_tiles` tile files have been
+    /// written, before the MANIFEST switch — simulates a crash
+    /// mid-checkpoint. One-shot; crash-recovery tests only.
+    #[doc(hidden)]
+    pub fn set_checkpoint_fault(&mut self, after_tiles: u64) {
+        self.fault_after_tiles = Some(after_tiles);
+    }
+
     /// Vault directory.
     pub fn dir(&self) -> &Path {
         &self.dir
@@ -547,7 +890,10 @@ impl Vault {
             generation: self.gen,
             wal_records: self.wal.records(),
             wal_bytes: self.wal.bytes(),
-            column_files: self.refs.len(),
+            columns: self.refs.len(),
+            tile_files: self.refs.values().map(|c| c.tiles.len()).sum(),
+            tiles_rewritten: self.tiles_rewritten,
+            tiles_reused: self.tiles_reused,
         }
     }
 }
@@ -555,6 +901,7 @@ impl Vault {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sciql_catalog::{ColumnMeta, TableDef};
     use std::sync::atomic::{AtomicU64, Ordering};
 
     fn tmp_dir(name: &str) -> PathBuf {
@@ -566,6 +913,17 @@ mod tests {
         ));
         fs::remove_dir_all(&d).ok();
         d
+    }
+
+    fn int_table(name: &str) -> SchemaObject {
+        SchemaObject::Table(TableDef {
+            name: name.into(),
+            columns: vec![ColumnMeta {
+                name: "a".into(),
+                ty: gdk::ScalarType::Int,
+                default: None,
+            }],
+        })
     }
 
     #[test]
@@ -582,7 +940,7 @@ mod tests {
         fs::write(dir.join("cols").join("c7.col"), b"orphan").unwrap();
         let (vault, recovered) = Vault::open(&dir).unwrap();
         assert_eq!(vault.generation(), 0);
-        assert_eq!(recovered.statements, vec!["CREATE TABLE t (a INT)"]);
+        assert!(matches!(&recovered.ops[..], [ReplayOp::Sql(s)] if s == "CREATE TABLE t (a INT)"));
         assert!(!dir.join("snapshot-99.cat").exists());
         assert!(!dir.join("wal-99.log").exists());
         assert!(!dir.join("cols").join("c7.col").exists());
@@ -608,40 +966,33 @@ mod tests {
 
     #[test]
     fn checkpoint_reuses_clean_column_files() {
-        use sciql_catalog::{ColumnMeta, SchemaObject, TableDef};
         let dir = tmp_dir("reuse");
         let (mut vault, _) = Vault::open(&dir).unwrap();
-        let def = SchemaObject::Table(TableDef {
-            name: "t".into(),
-            columns: vec![ColumnMeta {
-                name: "a".into(),
-                ty: gdk::ScalarType::Int,
-                default: None,
-            }],
-        });
+        let def = int_table("t");
         let bat = Bat::from_ints(vec![1, 2, 3]);
-        let obj = |dirty| CheckpointObject {
+        let obj = |dirt: ColumnDirt| CheckpointObject {
             def: &def,
             columns: Some(vec![CheckpointColumn {
                 name: "a",
                 bat: &bat,
-                dirty,
+                dirt,
             }]),
         };
-        vault.checkpoint(&[obj(true)]).unwrap();
+        vault.checkpoint(&[obj(ColumnDirt::All)]).unwrap();
         let first: Vec<_> = fs::read_dir(dir.join("cols"))
             .unwrap()
             .flatten()
             .map(|e| e.file_name())
             .collect();
-        vault.checkpoint(&[obj(false)]).unwrap();
+        vault.checkpoint(&[obj(ColumnDirt::Clean)]).unwrap();
         let second: Vec<_> = fs::read_dir(dir.join("cols"))
             .unwrap()
             .flatten()
             .map(|e| e.file_name())
             .collect();
         assert_eq!(first, second, "clean column must keep its file");
-        vault.checkpoint(&[obj(true)]).unwrap();
+        assert_eq!(vault.stats().tiles_reused, 1);
+        vault.checkpoint(&[obj(ColumnDirt::All)]).unwrap();
         let third: Vec<_> = fs::read_dir(dir.join("cols"))
             .unwrap()
             .flatten()
@@ -649,6 +1000,114 @@ mod tests {
             .collect();
         assert_ne!(first, third, "dirty column must be rewritten");
         assert_eq!(third.len(), 1, "old version garbage-collected");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_rewrites_only_dirty_tiles() {
+        let dir = tmp_dir("tiles");
+        let (mut vault, _) = Vault::open(&dir).unwrap();
+        let def = int_table("t");
+        // Three tiles with a custom zone map so the test stays small.
+        let bat = Bat::from_ints((0..10).collect());
+        bat.install_zone_map(gdk::ZoneMap::build(&bat, 4));
+        fn obj<'a>(def: &'a SchemaObject, dirt: ColumnDirt, bat: &'a Bat) -> CheckpointObject<'a> {
+            CheckpointObject {
+                def,
+                columns: Some(vec![CheckpointColumn {
+                    name: "a",
+                    bat,
+                    dirt,
+                }]),
+            }
+        }
+        vault
+            .checkpoint(&[obj(&def, ColumnDirt::All, &bat)])
+            .unwrap();
+        assert_eq!(vault.stats().tile_files, 3);
+        assert_eq!(vault.stats().tiles_rewritten, 3);
+        // Only tile 1 dirty: exactly one file is rewritten.
+        let bat2 = bat.clone();
+        bat2.install_zone_map(gdk::ZoneMap::build(&bat2, 4));
+        vault
+            .checkpoint(&[obj(
+                &def,
+                ColumnDirt::Tiles(vec![false, true, false]),
+                &bat2,
+            )])
+            .unwrap();
+        let s = vault.stats();
+        assert_eq!((s.tiles_rewritten, s.tiles_reused), (1, 2));
+        drop(vault);
+        // And the column survives the round-trip with its zone map.
+        let (_vault, recovered) = Vault::open(&dir).unwrap();
+        let col = &recovered.objects[0].columns.as_ref().unwrap()[0];
+        assert_eq!(col.bat.as_ints().unwrap(), (0..10).collect::<Vec<_>>());
+        let zm = col.bat.zone_map().expect("zone map installed on load");
+        assert_eq!(zm.tile_rows, 4);
+        assert_eq!(zm.entries.len(), 3);
+        assert_eq!(zm.entries[1].min, Some(Value::Int(4)));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn copy_batches_roundtrip_through_the_wal() {
+        let dir = tmp_dir("copywal");
+        {
+            let (mut vault, _) = Vault::open(&dir).unwrap();
+            vault.append_statement("CREATE TABLE t (a INT)").unwrap();
+            let a = Bat::from_ints(vec![1, 2, 3]);
+            vault
+                .append_copy_batch("t", 0, &[("a".into(), &a)])
+                .unwrap();
+        }
+        let (_vault, recovered) = Vault::open(&dir).unwrap();
+        assert_eq!(recovered.ops.len(), 2);
+        match &recovered.ops[1] {
+            ReplayOp::CopyBatch {
+                target,
+                start,
+                columns,
+            } => {
+                assert_eq!((target.as_str(), *start), ("t", 0));
+                assert_eq!(columns[0].0, "a");
+                assert_eq!(columns[0].1.as_ints().unwrap(), &[1, 2, 3]);
+            }
+            other => panic!("expected CopyBatch, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn aborted_checkpoint_leaves_recoverable_state_and_no_orphans() {
+        let dir = tmp_dir("fault");
+        let (mut vault, _) = Vault::open(&dir).unwrap();
+        let def = int_table("t");
+        let bat = Bat::from_ints((0..10).collect());
+        bat.install_zone_map(gdk::ZoneMap::build(&bat, 4));
+        vault.append_statement("CREATE TABLE t (a INT)").unwrap();
+        vault.set_checkpoint_fault(2);
+        let err = vault
+            .checkpoint(&[CheckpointObject {
+                def: &def,
+                columns: Some(vec![CheckpointColumn {
+                    name: "a",
+                    bat: &bat,
+                    dirt: ColumnDirt::All,
+                }]),
+            }])
+            .unwrap_err();
+        assert!(err.to_string().contains("injected"), "{err}");
+        // The failed checkpoint wrote 2 tile files nothing references.
+        assert_eq!(fs::read_dir(dir.join("cols")).unwrap().count(), 2);
+        assert_eq!(vault.generation(), 0);
+        vault.gc_orphaned_tiles();
+        assert_eq!(fs::read_dir(dir.join("cols")).unwrap().count(), 0);
+        drop(vault);
+        // Reopen: the WAL tail is intact, the vault is at generation 0.
+        let (vault, recovered) = Vault::open(&dir).unwrap();
+        assert_eq!(vault.generation(), 0);
+        assert_eq!(recovered.ops.len(), 1);
         fs::remove_dir_all(&dir).ok();
     }
 }

@@ -2,16 +2,21 @@
 //!
 //! A snapshot is the durable image of one checkpoint generation: the full
 //! catalog (every [`SchemaObject`], serialized via `sciql-catalog`'s
-//! binary serde) plus, per materialised object, the list of column files
-//! holding its BATs. Column data itself lives in one file per column
-//! version under `cols/` — a clean column keeps its file across
-//! checkpoints, so only dirty columns are rewritten.
+//! binary serde) plus, per materialised object, the list of *tile* files
+//! holding its BATs. A column is stored as a sequence of fixed-size tiles
+//! (`cols/c<id>.col`, one encoded BAT fragment each) and the snapshot
+//! carries each tile's zone-map statistics — row count, nil count,
+//! min/max — so scans can skip tiles without touching their files and
+//! checkpoints can rewrite only the tiles that changed.
 //!
 //! Framing: `SNAP` magic, format version, payload, trailing CRC-32. The
 //! file is written to a temporary name and atomically renamed into place.
 
 use crate::{StoreError, StoreResult};
-use gdk::codec::{crc32, put_str, put_u16, put_u32, put_u64, put_u8, Reader};
+use gdk::codec::{
+    crc32, decode_value, encode_value, put_str, put_u16, put_u32, put_u64, put_u8, Reader,
+};
+use gdk::Value;
 use sciql_catalog::serde::{decode_object, encode_object};
 use sciql_catalog::SchemaObject;
 use std::fs::File;
@@ -19,24 +24,51 @@ use std::io::Read as _;
 use std::path::Path;
 
 const SNAP_MAGIC: [u8; 4] = *b"SNAP";
-const SNAP_VERSION: u16 = 1;
+const SNAP_VERSION: u16 = 2;
+
+/// One tile of a persisted column: the file id of its encoded BAT
+/// fragment plus the zone-map statistics recorded at checkpoint time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotTile {
+    /// Tile file id (`cols/c<id>.col`).
+    pub id: u64,
+    /// Rows in this tile.
+    pub rows: u64,
+    /// Nil rows in this tile.
+    pub nils: u64,
+    /// Smallest non-nil value; [`Value::Null`] when the tile is all nil.
+    pub min: Value,
+    /// Largest non-nil value; [`Value::Null`] when the tile is all nil.
+    pub max: Value,
+}
+
+/// One persisted column: its name, the tile size it was split with, and
+/// its tiles in row order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotColumn {
+    /// Column name (dimension, attribute or table column).
+    pub name: String,
+    /// Tile size (rows per tile) used to split this column.
+    pub tile_rows: u32,
+    /// Tiles in row order (tile 0 holds rows `0..tile_rows`).
+    pub tiles: Vec<SnapshotTile>,
+}
 
 /// One object in a snapshot: its definition and, when materialised, the
-/// ordered column list (arrays: dimensions then attributes) with the id
-/// of the column file holding each BAT.
+/// ordered column list (arrays: dimensions then attributes).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SnapshotObject {
     /// Schema definition.
     pub def: SchemaObject,
-    /// `(column name, column file id)` in storage order; `None` for
-    /// catalog-only objects (unbounded arrays not yet materialised).
-    pub columns: Option<Vec<(String, u64)>>,
+    /// Columns in storage order; `None` for catalog-only objects
+    /// (unbounded arrays not yet materialised).
+    pub columns: Option<Vec<SnapshotColumn>>,
 }
 
 /// The decoded content of a snapshot file.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct SnapshotData {
-    /// Next unused column file id.
+    /// Next unused tile file id.
     pub next_col_id: u64,
     /// All schema objects at checkpoint time.
     pub objects: Vec<SnapshotObject>,
@@ -56,9 +88,17 @@ pub fn write_snapshot(path: &Path, data: &SnapshotData) -> StoreResult<()> {
             Some(cols) => {
                 put_u8(&mut out, 1);
                 put_u32(&mut out, cols.len() as u32);
-                for (name, id) in cols {
-                    put_str(&mut out, name);
-                    put_u64(&mut out, *id);
+                for col in cols {
+                    put_str(&mut out, &col.name);
+                    put_u32(&mut out, col.tile_rows);
+                    put_u32(&mut out, col.tiles.len() as u32);
+                    for t in &col.tiles {
+                        put_u64(&mut out, t.id);
+                        put_u64(&mut out, t.rows);
+                        put_u64(&mut out, t.nils);
+                        encode_value(&t.min, &mut out);
+                        encode_value(&t.max, &mut out);
+                    }
                 }
             }
         }
@@ -74,8 +114,9 @@ pub fn read_snapshot(path: &Path) -> StoreResult<SnapshotData> {
     File::open(path)?.read_to_end(&mut bytes)?;
     if bytes.len() < 4 + 2 + 8 + 4 + 4 {
         return Err(StoreError::corrupt(format!(
-            "snapshot {} truncated",
-            path.display()
+            "snapshot {} truncated at byte {} (header incomplete)",
+            path.display(),
+            bytes.len()
         )));
     }
     let (content, tail) = bytes.split_at(bytes.len() - 4);
@@ -83,15 +124,16 @@ pub fn read_snapshot(path: &Path) -> StoreResult<SnapshotData> {
     let actual = crc32(content);
     if expected != actual {
         return Err(StoreError::corrupt(format!(
-            "snapshot {} checksum mismatch",
-            path.display()
+            "snapshot {} checksum mismatch over bytes 0..{}",
+            path.display(),
+            content.len()
         )));
     }
     let mut r = Reader::new(content);
     let magic = r.take(4)?;
     if magic != SNAP_MAGIC {
         return Err(StoreError::corrupt(format!(
-            "snapshot {} has bad magic",
+            "snapshot {} has bad magic at byte 0",
             path.display()
         )));
     }
@@ -114,8 +156,23 @@ pub fn read_snapshot(path: &Path) -> StoreResult<SnapshotData> {
                 let mut cols = Vec::with_capacity(nc);
                 for _ in 0..nc {
                     let name = r.str()?;
-                    let id = r.u64()?;
-                    cols.push((name, id));
+                    let tile_rows = r.u32()?;
+                    let nt = r.u32()? as usize;
+                    let mut tiles = Vec::with_capacity(nt);
+                    for _ in 0..nt {
+                        tiles.push(SnapshotTile {
+                            id: r.u64()?,
+                            rows: r.u64()?,
+                            nils: r.u64()?,
+                            min: decode_value(&mut r)?,
+                            max: decode_value(&mut r)?,
+                        });
+                    }
+                    cols.push(SnapshotColumn {
+                        name,
+                        tile_rows,
+                        tiles,
+                    });
                 }
                 Some(cols)
             }
@@ -130,8 +187,9 @@ pub fn read_snapshot(path: &Path) -> StoreResult<SnapshotData> {
     }
     if r.remaining() != 0 {
         return Err(StoreError::corrupt(format!(
-            "snapshot {} has trailing bytes",
-            path.display()
+            "snapshot {} has {} trailing bytes",
+            path.display(),
+            r.remaining()
         )));
     }
     Ok(SnapshotData {
@@ -174,7 +232,39 @@ mod tests {
                             default: None,
                         }],
                     }),
-                    columns: Some(vec![("x".into(), 3), ("v".into(), 5)]),
+                    columns: Some(vec![
+                        SnapshotColumn {
+                            name: "x".into(),
+                            tile_rows: 4,
+                            tiles: vec![SnapshotTile {
+                                id: 3,
+                                rows: 4,
+                                nils: 0,
+                                min: Value::Int(0),
+                                max: Value::Int(3),
+                            }],
+                        },
+                        SnapshotColumn {
+                            name: "v".into(),
+                            tile_rows: 4,
+                            tiles: vec![
+                                SnapshotTile {
+                                    id: 5,
+                                    rows: 4,
+                                    nils: 1,
+                                    min: Value::Dbl(-1.5),
+                                    max: Value::Str("zz".into()),
+                                },
+                                SnapshotTile {
+                                    id: 6,
+                                    rows: 2,
+                                    nils: 2,
+                                    min: Value::Null,
+                                    max: Value::Null,
+                                },
+                            ],
+                        },
+                    ]),
                 },
                 SnapshotObject {
                     def: SchemaObject::Table(TableDef {
@@ -220,7 +310,9 @@ mod tests {
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x55;
         std::fs::write(&p, &bytes).unwrap();
-        assert!(read_snapshot(&p).is_err());
+        let err = read_snapshot(&p).unwrap_err().to_string();
+        assert!(err.contains("checksum mismatch"), "{err}");
+        assert!(err.contains("corrupt.cat"), "error names the file: {err}");
         std::fs::remove_file(&p).ok();
     }
 }

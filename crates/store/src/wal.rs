@@ -1,8 +1,10 @@
 //! The append-only logical write-ahead log.
 //!
 //! One WAL file exists per checkpoint generation and records, in order,
-//! the text of every mutating statement acknowledged since that
-//! checkpoint. Records are framed as
+//! every mutating operation acknowledged since that checkpoint — the
+//! text of a SQL statement, or an encoded COPY ingest batch (the payload
+//! tagging lives in the crate root; this module only frames bytes).
+//! Records are framed as
 //!
 //! ```text
 //! [u32 payload length][u32 CRC-32 of payload][payload bytes]
@@ -22,7 +24,7 @@ use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
 use std::path::Path;
 
 const WAL_MAGIC: [u8; 4] = *b"SWAL";
-const WAL_VERSION: u16 = 1;
+const WAL_VERSION: u16 = 2;
 const HEADER_LEN: u64 = 8; // magic + version + 2 reserved bytes
 
 /// Append handle on the active WAL file.
@@ -160,8 +162,8 @@ pub fn scan_wal(path: &Path) -> StoreResult<WalScan> {
             let frame_end = pos + 8 + len;
             if frame_end < buf.len() {
                 return Err(StoreError::corrupt(format!(
-                    "WAL {} record {} failed its checksum with {} intact bytes after it \
-                     — mid-log corruption, not a torn tail",
+                    "WAL {} record {} at byte offset {pos} failed its checksum with {} \
+                     intact bytes after it — mid-log corruption, not a torn tail",
                     path.display(),
                     records.len(),
                     buf.len() - frame_end

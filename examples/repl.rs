@@ -27,6 +27,8 @@
 //!   \exec <name> [v1 v2 …];     execute it with bound parameter values
 //!   \explain <SELECT …>;        show plan + MAL (embedded only)
 //!   \grid <SELECT …with [dims]>; render a coerced 2-D result as a grid
+//!   \copy <target> <path> [csv|binary]  bulk-load a file into an array/table
+//!                               (shorthand for COPY … FROM … (FORMAT …))
 //!   \demo                       load the Fig 1 matrix and a small board
 //!   \checkpoint                 write a vault checkpoint (file: only)
 //!   \stats                      storage + vault counters (embedded only)
@@ -259,6 +261,35 @@ fn repl_loop(mut conn: Conn) {
                     prompt();
                     continue;
                 }
+                _ if trimmed.starts_with("\\copy ") => {
+                    let rest = trimmed.trim_start_matches("\\copy ").trim_end_matches(';');
+                    let mut parts = rest.split_whitespace();
+                    match (parts.next(), parts.next()) {
+                        (Some(target), Some(path)) => {
+                            let fmt = parts.next().unwrap_or("csv").to_ascii_lowercase();
+                            if fmt != "csv" && fmt != "binary" {
+                                println!("usage: \\copy <target> <path> [csv|binary]");
+                                prompt();
+                                continue;
+                            }
+                            let sql = format!(
+                                "COPY {target} FROM '{}' (FORMAT {fmt})",
+                                path.replace('\'', "''")
+                            );
+                            let t0 = Instant::now();
+                            match conn.run(&sql) {
+                                Ok(outcome) => {
+                                    print_outcome(outcome);
+                                    println!("copy took {:.3} ms", ms_since(t0));
+                                }
+                                Err(e) => println!("error: {e}"),
+                            }
+                        }
+                        _ => println!("usage: \\copy <target> <path> [csv|binary]"),
+                    }
+                    prompt();
+                    continue;
+                }
                 _ if trimmed.starts_with("\\prepare ") => {
                     let rest = trimmed
                         .trim_start_matches("\\prepare ")
@@ -378,6 +409,9 @@ fn print_timing(conn: &mut Conn, t0: Instant) {
                 s.intermediates_avoided,
                 s.bytes_not_materialized
             );
+            if s.tiles_skipped > 0 {
+                println!("Scan: {} tile(s) skipped via zone maps", s.tiles_skipped);
+            }
         }
         Err(e) => println!("Time: {wall:.3} ms (report unavailable: {e})"),
     }

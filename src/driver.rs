@@ -290,6 +290,7 @@ fn report_of(last: &sciql::LastExec) -> sciql_net::ExecReport {
         intermediates_avoided: last.exec.intermediates_avoided as u64,
         bytes_not_materialized: last.exec.bytes_not_materialized as u64,
         plan_cache_hits: last.exec.plan_cache_hits as u64,
+        tiles_skipped: last.exec.tiles_skipped as u64,
     }
 }
 
@@ -305,14 +306,16 @@ fn storage_report_of(conn: &Connection) -> String {
         match obj {
             SchemaObject::Array(a) => match conn.array_store(&a.name) {
                 Ok(s) => {
+                    let (tiles, dirty) = s.tile_stats();
                     let _ = writeln!(
                         out,
-                        "array {:<12} {} dims, {} attrs, {} cells, {} dirty column(s)",
+                        "array {:<12} {} dims, {} attrs, {} cells, {} tile(s) ({} dirty)",
                         a.name,
                         a.dims.len(),
                         a.attrs.len(),
                         s.cell_count(),
-                        s.dirty_columns()
+                        tiles,
+                        dirty
                     );
                 }
                 Err(_) => {
@@ -321,13 +324,15 @@ fn storage_report_of(conn: &Connection) -> String {
             },
             SchemaObject::Table(t) => {
                 if let Ok(s) = conn.table_store(&t.name) {
+                    let (tiles, dirty) = s.tile_stats();
                     let _ = writeln!(
                         out,
-                        "table {:<12} {} columns, {} rows, {} dirty column(s)",
+                        "table {:<12} {} columns, {} rows, {} tile(s) ({} dirty)",
                         t.name,
                         t.columns.len(),
                         s.row_count(),
-                        s.dirty_columns()
+                        tiles,
+                        dirty
                     );
                 }
             }
@@ -337,12 +342,22 @@ fn storage_report_of(conn: &Connection) -> String {
         Some(v) => {
             let _ = writeln!(
                 out,
-                "vault: generation {}, {} WAL record(s) ({} bytes), {} column file(s)",
-                v.generation, v.wal_records, v.wal_bytes, v.column_files
+                "vault: generation {}, {} WAL record(s) ({} bytes), {} column(s) in {} tile file(s)",
+                v.generation, v.wal_records, v.wal_bytes, v.columns, v.tile_files
+            );
+            let _ = writeln!(
+                out,
+                "vault: last checkpoint rewrote {} tile(s), reused {}",
+                v.tiles_rewritten, v.tiles_reused
             );
         }
         None => out.push_str("vault: none (in-memory session)\n"),
     }
+    let _ = writeln!(
+        out,
+        "scan:  last query skipped {} tile(s) via zone maps",
+        conn.last_exec().exec.tiles_skipped
+    );
     out
 }
 

@@ -39,6 +39,7 @@ fn session(opt_level: u8, threads: usize) -> Connection {
         // Force the slice drivers on even for this small array.
         parallel_threshold: 1,
         opt_level,
+        zone_skip: true,
     });
     c.execute("CREATE ARRAY m (x INT DIMENSION[0:1:16], y INT DIMENSION[0:1:16], v INT DEFAULT 0)")
         .unwrap();
