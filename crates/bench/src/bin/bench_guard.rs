@@ -24,7 +24,10 @@
 //! in [`EXPECT_FASTER`]: within the *fresh* numbers, the optimized ids
 //! must beat their unoptimized twins (e.g. `opt/select_sum/L2` <
 //! `opt/select_sum/L0`), some by a required minimum speedup (COPY ≥10×
-//! over the INSERT loop, zone-skip scan ≥5× over the full scan).
+//! over the INSERT loop, zone-skip scan ≥5× over the full scan). The
+//! [`EXPECT_CLOSE`] invariants bound in the other direction: the
+//! trace-off query run may take at most 1.05× the traced run — query
+//! tracing must stay zero-cost when disabled.
 //!
 //! Files may contain `{"meta":…}` header lines (ignored here) and
 //! duplicate ids from appended re-runs (the last occurrence wins).
@@ -59,6 +62,9 @@ const TRACKED: &[(&str, &str)] = &[
     ("BENCH_ingest.json", "ingest/load_8k/copy_binary"),
     ("BENCH_ingest.json", "ingest/scan_512k/zone_skip"),
     ("BENCH_ingest.json", "ingest/scan_512k/full_scan"),
+    ("BENCH_obs.json", "obs/scan_sum_256k/on"),
+    ("BENCH_obs.json", "obs/scan_sum_256k/off"),
+    ("BENCH_obs.json", "obs/metrics/snapshot_render"),
 ];
 
 /// Within the fresh run, `left` must be at least `min_speedup`× faster
@@ -108,6 +114,22 @@ const EXPECT_FASTER: &[(&str, &str, &str, f64)] = &[
         "ingest/scan_512k/zone_skip",
         "ingest/scan_512k/full_scan",
         5.0,
+    ),
+];
+
+/// Within the fresh run, `left` must take at most `max_ratio` × the time
+/// of `right` — an upper bound rather than [`EXPECT_FASTER`]'s lower
+/// one. Used to pin "off must be (near) free" invariants.
+const EXPECT_CLOSE: &[(&str, &str, &str, f64)] = &[
+    // Query tracing must be zero-cost when disabled: the trace-off run
+    // is allowed at most 5% of the traced run's time as overhead. (It
+    // should in fact be *faster*; the bound is the tripwire for dormant
+    // tracing machinery leaking work into the hot path.)
+    (
+        "BENCH_obs.json",
+        "obs/scan_sum_256k/off",
+        "obs/scan_sum_256k/on",
+        1.05,
     ),
 ];
 
@@ -224,6 +246,29 @@ fn main() -> ExitCode {
             if ok { "ok  " } else { "FAIL" },
             if ok { "beats" } else { "DOES NOT beat" },
             s / f,
+        );
+        if !ok {
+            failures += 1;
+        }
+    }
+
+    for (file, left, right, max_ratio) in EXPECT_CLOSE {
+        let Some(cur) = load(Path::new(&current_dir).join(file)) else {
+            println!("FAIL {file}: fresh numbers missing for expect-close checks");
+            failures += 1;
+            continue;
+        };
+        let (Some(&l), Some(&r)) = (cur.get(*left), cur.get(*right)) else {
+            println!("FAIL {file}: expect-close ids missing ({left} vs {right})");
+            failures += 1;
+            continue;
+        };
+        checked += 1;
+        let ok = l <= r * max_ratio;
+        println!(
+            "{} {file} {left} ({l:.1} ns) is {:.3}x of {right} ({r:.1} ns), allowed {max_ratio:.2}x",
+            if ok { "ok  " } else { "FAIL" },
+            l / r,
         );
         if !ok {
             failures += 1;

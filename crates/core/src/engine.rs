@@ -30,11 +30,13 @@ use gdk::Value;
 use mal::Registry;
 use sciql_algebra::{rewrite, Binder, CodegenOptions};
 use sciql_catalog::Catalog;
+use sciql_obs::{SpanId, Trace, Tracer};
 use sciql_parser::ast::{SelectStmt, Stmt};
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
 
 /// A consistent point-in-time image of the database: the catalog plus
 /// `Arc`-shared column references. Cloning columns is a reference-count
@@ -66,8 +68,22 @@ impl EngineSnapshot {
         sel: &SelectStmt,
         registry: &Registry,
     ) -> Result<(ResultSet, LastExec)> {
+        self.run_select_traced(sel, registry, &mut Tracer::off())
+    }
+
+    pub(crate) fn run_select_traced(
+        &self,
+        sel: &SelectStmt,
+        registry: &Registry,
+        tracer: &mut Tracer,
+    ) -> Result<(ResultSet, LastExec)> {
         let binder = Binder::new(&self.catalog);
-        let plan = rewrite(binder.bind_select(sel)?);
+        let sp = tracer.open(SpanId::ROOT, "bind");
+        let bound = binder.bind_select(sel);
+        tracer.close(sp);
+        let sp = tracer.open(SpanId::ROOT, "rewrite");
+        let plan = rewrite(bound?);
+        tracer.close(sp);
         exec::execute_plan(
             &plan,
             registry,
@@ -75,6 +91,7 @@ impl EngineSnapshot {
             &self.codegen,
             &self.arrays,
             &self.tables,
+            tracer,
         )
     }
 
@@ -86,6 +103,16 @@ impl EngineSnapshot {
         params: &[Value],
         registry: &Registry,
     ) -> Result<(ResultSet, LastExec)> {
+        self.run_prepared_traced(prep, params, registry, &mut Tracer::off())
+    }
+
+    pub(crate) fn run_prepared_traced(
+        &self,
+        prep: &mut Prepared,
+        params: &[Value],
+        registry: &Registry,
+        tracer: &mut Tracer,
+    ) -> Result<(ResultSet, LastExec)> {
         exec::execute_prepared_select(
             prep,
             params,
@@ -95,6 +122,7 @@ impl EngineSnapshot {
             &self.catalog,
             &self.arrays,
             &self.tables,
+            tracer,
         )
     }
 
@@ -168,6 +196,7 @@ impl SharedEngine {
     /// Start a new session over this engine.
     pub fn session(self: &Arc<Self>) -> EngineSession {
         self.stats.sessions_opened.fetch_add(1, Ordering::Relaxed);
+        sciql_obs::global().sessions_opened.inc();
         EngineSession {
             engine: Arc::clone(self),
             id: self.next_session.fetch_add(1, Ordering::Relaxed),
@@ -176,6 +205,8 @@ impl SharedEngine {
             statements: 0,
             rows_returned: 0,
             errors: 0,
+            trace_enabled: false,
+            last_trace: None,
         }
     }
 
@@ -252,6 +283,8 @@ pub struct EngineSession {
     statements: u64,
     rows_returned: u64,
     errors: u64,
+    trace_enabled: bool,
+    last_trace: Option<Trace>,
 }
 
 impl EngineSession {
@@ -268,6 +301,25 @@ impl EngineSession {
     /// Statistics of this session's most recent statement.
     pub fn last_exec(&self) -> LastExec {
         self.last.clone()
+    }
+
+    /// Enable or disable per-statement span tracing for this session
+    /// (the protocol's `TraceEnable` frame and the repl's `\trace`).
+    pub fn set_tracing(&mut self, on: bool) {
+        self.trace_enabled = on;
+        if !on {
+            self.last_trace = None;
+        }
+    }
+
+    /// Is per-statement tracing enabled?
+    pub fn tracing(&self) -> bool {
+        self.trace_enabled
+    }
+
+    /// The span tree of this session's most recent traced statement.
+    pub fn last_trace(&self) -> Option<&Trace> {
+        self.last_trace.as_ref()
     }
 
     /// This session's counters.
@@ -318,16 +370,39 @@ impl EngineSession {
                     .snapshot_reads
                     .fetch_add(1, Ordering::Relaxed);
                 let snap = self.engine.snapshot();
-                snap.run_select(sel, &self.engine.registry)
-                    .map(|(rs, last)| {
-                        self.last = last;
-                        QueryResult::Rows(rs)
-                    })
+                let mut tracer = if self.trace_enabled {
+                    Tracer::on(stmt.to_string())
+                } else {
+                    Tracer::off()
+                };
+                let t0 = Instant::now();
+                let ran = snap.run_select_traced(sel, &self.engine.registry, &mut tracer);
+                let m = sciql_obs::global();
+                m.query_ns.observe(t0.elapsed());
+                match &ran {
+                    Ok(_) => m.queries_select.inc(),
+                    Err(_) => m.queries_failed.inc(),
+                }
+                if let Some(trace) = tracer.finish() {
+                    self.last_trace = Some(trace);
+                }
+                ran.map(|(rs, last)| {
+                    self.last = last;
+                    QueryResult::Rows(rs)
+                })
             }
             _ => {
+                // Serialized through the single-writer connection, which
+                // is also where the by-kind and latency metrics land.
                 let mut conn = self.engine.lock();
+                let prev = conn.tracing();
+                conn.set_tracing(self.trace_enabled);
                 let r = conn.execute_stmt(stmt);
                 self.last = conn.last_exec();
+                if self.trace_enabled {
+                    self.last_trace = conn.last_trace().cloned();
+                }
+                conn.set_tracing(prev);
                 r
             }
         };
@@ -392,7 +467,23 @@ impl EngineSession {
                 .snapshot_reads
                 .fetch_add(1, Ordering::Relaxed);
             let snap = self.engine.snapshot();
-            let (rs, last) = snap.run_prepared(prep, params, &self.engine.registry)?;
+            let mut tracer = if self.trace_enabled {
+                Tracer::on(prep.sql().to_string())
+            } else {
+                Tracer::off()
+            };
+            let t0 = Instant::now();
+            let ran = snap.run_prepared_traced(prep, params, &self.engine.registry, &mut tracer);
+            let m = sciql_obs::global();
+            m.query_ns.observe(t0.elapsed());
+            match &ran {
+                Ok(_) => m.queries_select.inc(),
+                Err(_) => m.queries_failed.inc(),
+            }
+            if let Some(trace) = tracer.finish() {
+                self.last_trace = Some(trace);
+            }
+            let (rs, last) = ran?;
             self.last = last;
             return Ok(QueryResult::Rows(rs));
         }

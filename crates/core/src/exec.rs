@@ -30,6 +30,7 @@ use mal::{
 };
 use sciql_algebra::{compile, rewrite, Binder, CodegenOptions, ColInfo, Plan};
 use sciql_catalog::Catalog;
+use sciql_obs::{SpanId, Tracer};
 use sciql_parser::ast::{Expr, Literal, ParamRef, SelectStmt, Stmt};
 use sciql_parser::{parse_statement, parse_statements};
 use std::collections::HashMap;
@@ -195,20 +196,46 @@ fn compile_select(
     opt_config: OptConfig,
     codegen: &CodegenOptions,
     catalog: &Catalog,
+    tracer: &mut Tracer,
 ) -> Result<(Program, Vec<ColInfo>, PassStats, usize, usize)> {
     let binder = Binder::new(catalog);
-    let plan = rewrite(binder.bind_select(sel)?);
+    let sp = tracer.open(SpanId::ROOT, "bind");
+    let bound = binder.bind_select(sel);
+    tracer.close(sp);
+    let sp = tracer.open(SpanId::ROOT, "rewrite");
+    let plan = rewrite(bound?);
+    tracer.close(sp);
     let schema = plan.schema();
-    let mut prog: Program = compile(&plan, codegen)?;
-    let before = prog.instrs.len();
-    let report = mal::optimise(&mut prog, registry, opt_config);
-    let after = prog.instrs.len();
+    let (prog, report, before, after) = compile_plan(&plan, registry, opt_config, codegen, tracer)?;
     Ok((prog, schema, report, before, after))
+}
+
+/// Compile + optimise a logical plan, with `codegen` and per-pass
+/// `optimize` spans.
+fn compile_plan(
+    plan: &Plan,
+    registry: &Registry,
+    opt_config: OptConfig,
+    codegen: &CodegenOptions,
+    tracer: &mut Tracer,
+) -> Result<(Program, PassStats, usize, usize)> {
+    let sp = tracer.open(SpanId::ROOT, "codegen");
+    let mut prog: Program = compile(plan, codegen)?;
+    let before = prog.instrs.len();
+    tracer.note(sp, "instrs", before as u64);
+    tracer.close(sp);
+    let sp = tracer.open(SpanId::ROOT, "optimize");
+    let report = mal::optimise_traced(&mut prog, registry, opt_config, tracer, sp);
+    let after = prog.instrs.len();
+    tracer.note(sp, "instrs", after as u64);
+    tracer.close(sp);
+    Ok((prog, report, before, after))
 }
 
 /// Execute a compiled program against a set of stores, filling its
 /// parameter slots from `params`, and shape the outputs into a
 /// [`ResultSet`] using the plan's schema.
+#[allow(clippy::too_many_arguments)]
 fn run_program(
     prog: &Program,
     schema: &[ColInfo],
@@ -217,12 +244,32 @@ fn run_program(
     arrays: &HashMap<String, ArrayStore>,
     tables: &HashMap<String, TableStore>,
     params: &[Value],
+    tracer: &mut Tracer,
 ) -> Result<(ResultSet, ExecStats)> {
     let storage = StorageBinder { arrays, tables };
     let interp = Interpreter::with_config(registry, &storage, codegen.par_config());
-    let (outs, exec) = interp
-        .run_with_stats_params(prog, params)
-        .map_err(EngineError::Mal)?;
+    let sp = tracer.open(SpanId::ROOT, "mal");
+    let ran = interp.run_traced(prog, params, tracer, sp);
+    tracer.close(sp);
+    let (outs, exec) = ran.map_err(EngineError::Mal)?;
+    sciql_obs::global()
+        .tiles_skipped
+        .add(exec.tiles_skipped as u64);
+    if tracer.is_on() {
+        tracer.note(sp, "instructions", exec.instructions as u64);
+        tracer.note(sp, "threads", exec.max_threads as u64);
+        if exec.tiles_skipped > 0 {
+            tracer.note(sp, "tiles_skipped", exec.tiles_skipped as u64);
+        }
+        if exec.intermediates_avoided > 0 {
+            tracer.note(
+                sp,
+                "intermediates_avoided",
+                exec.intermediates_avoided as u64,
+            );
+        }
+    }
+    let sp = tracer.open(SpanId::ROOT, "result");
     let mut columns = Vec::with_capacity(schema.len());
     let mut bats: Vec<Arc<Bat>> = Vec::with_capacity(schema.len());
     for ((label, val), info) in outs.into_iter().zip(schema) {
@@ -248,7 +295,13 @@ fn run_program(
         });
         bats.push(b);
     }
-    Ok((ResultSet { columns, bats }, exec))
+    let rs = ResultSet { columns, bats };
+    if tracer.is_on() {
+        tracer.note(sp, "rows", rs.row_count() as u64);
+        tracer.note(sp, "cols", rs.column_count() as u64);
+    }
+    tracer.close(sp);
+    Ok((rs, exec))
 }
 
 /// Compile and execute a logical plan in one go (the unprepared path;
@@ -262,13 +315,20 @@ pub(crate) fn execute_plan(
     codegen: &CodegenOptions,
     arrays: &HashMap<String, ArrayStore>,
     tables: &HashMap<String, TableStore>,
+    tracer: &mut Tracer,
 ) -> Result<(ResultSet, LastExec)> {
-    let mut prog: Program = compile(plan, codegen)?;
-    let before = prog.instrs.len();
-    let report = mal::optimise(&mut prog, registry, opt_config);
-    let after = prog.instrs.len();
+    let (prog, report, before, after) = compile_plan(plan, registry, opt_config, codegen, tracer)?;
     let schema = plan.schema();
-    let (rs, exec) = run_program(&prog, &schema, registry, codegen, arrays, tables, &[])?;
+    let (rs, exec) = run_program(
+        &prog,
+        &schema,
+        registry,
+        codegen,
+        arrays,
+        tables,
+        &[],
+        tracer,
+    )?;
     let last = LastExec {
         exec,
         opt: report,
@@ -293,6 +353,7 @@ pub(crate) fn execute_prepared_select(
     catalog: &Catalog,
     arrays: &HashMap<String, ArrayStore>,
     tables: &HashMap<String, TableStore>,
+    tracer: &mut Tracer,
 ) -> Result<(ResultSet, LastExec)> {
     let Stmt::Select(sel) = &prep.stmt else {
         return Err(EngineError::msg(
@@ -300,9 +361,15 @@ pub(crate) fn execute_prepared_select(
         ));
     };
     let hit = prep.cache_valid(catalog.version(), opt_config, codegen);
+    let m = sciql_obs::global();
+    if hit {
+        m.plan_cache_hits.inc();
+    } else {
+        m.plan_cache_misses.inc();
+    }
     if !hit {
         let (prog, schema, report, before, after) =
-            compile_select(sel, registry, opt_config, codegen, catalog)?;
+            compile_select(sel, registry, opt_config, codegen, catalog, tracer)?;
         prep.cache = Some(CachedPlan {
             prog,
             schema,
@@ -315,6 +382,9 @@ pub(crate) fn execute_prepared_select(
         });
     }
     let cache = prep.cache.as_ref().expect("compiled above");
+    if tracer.is_on() {
+        tracer.note(SpanId::ROOT, "plan_cache_hit", u64::from(hit));
+    }
     let (rs, mut exec) = run_program(
         &cache.prog,
         &cache.schema,
@@ -323,6 +393,7 @@ pub(crate) fn execute_prepared_select(
         arrays,
         tables,
         params,
+        tracer,
     )?;
     exec.plan_cache_hits = usize::from(hit);
     let last = LastExec {

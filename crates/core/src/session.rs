@@ -10,11 +10,13 @@ use mal::{ExecStats, OptConfig, PassStats, Registry};
 use sciql_algebra::{compile, rewrite, Binder, CodegenOptions, Plan};
 use sciql_catalog::Catalog;
 use sciql_catalog::SchemaObject;
+use sciql_obs::{SpanId, Trace, Tracer};
 use sciql_parser::ast::{SelectStmt, Stmt};
 use sciql_store::{CheckpointColumn, CheckpointObject, ColumnDirt, ReplayOp, Vault, VaultStats};
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Result of executing one statement.
 #[derive(Debug, Clone)]
@@ -132,6 +134,10 @@ pub struct Connection {
     /// True while WAL operations are replayed at open (suppresses
     /// re-logging them).
     pub(crate) replaying: bool,
+    /// When set, every statement records a span trace ([`Connection::last_trace`]).
+    trace_enabled: bool,
+    /// The span tree of the most recent traced statement.
+    last_trace: Option<Trace>,
 }
 
 impl Default for Connection {
@@ -160,6 +166,8 @@ impl Connection {
             prepared: PreparedSet::default(),
             vault: None,
             replaying: false,
+            trace_enabled: false,
+            last_trace: None,
         };
         conn.set_session_config(cfg);
         conn
@@ -382,8 +390,47 @@ impl Connection {
 
     /// Execute one statement.
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult> {
-        let stmt = exec::parse_one(sql)?;
-        self.execute_stmt(&stmt)
+        let mut tracer = self.new_tracer(sql);
+        let sp = tracer.open(SpanId::ROOT, "parse");
+        let parsed = exec::parse_one(sql);
+        tracer.close(sp);
+        let stmt = match parsed {
+            Ok(s) => s,
+            Err(e) => {
+                sciql_obs::global().queries_failed.inc();
+                return Err(e);
+            }
+        };
+        self.execute_stmt_traced(&stmt, tracer)
+    }
+
+    /// Enable or disable per-statement span tracing on this session
+    /// (the repl's `\trace on|off`). Off by default; when off, the
+    /// tracing machinery never reads the clock.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.trace_enabled = on;
+        if !on {
+            self.last_trace = None;
+        }
+    }
+
+    /// Is per-statement tracing enabled?
+    pub fn tracing(&self) -> bool {
+        self.trace_enabled
+    }
+
+    /// The span tree of the most recent statement, if it was traced
+    /// (tracing enabled, or an `EXPLAIN ANALYZE`).
+    pub fn last_trace(&self) -> Option<&Trace> {
+        self.last_trace.as_ref()
+    }
+
+    fn new_tracer(&self, label: &str) -> Tracer {
+        if self.trace_enabled {
+            Tracer::on(label)
+        } else {
+            Tracer::off()
+        }
     }
 
     /// Execute a semicolon-separated script, returning one result per
@@ -409,10 +456,17 @@ impl Connection {
     /// Mutating statements inline the values as literals and take the
     /// ordinary (WAL-logged) dispatch path.
     pub fn execute_prepared(&mut self, name: &str, params: &[Value]) -> Result<QueryResult> {
+        let trace_enabled = self.trace_enabled;
         let prep = self.prepared.get_mut(name)?;
         prep.check_params(params)?;
         if prep.is_select() {
-            let (rs, last) = exec::execute_prepared_select(
+            let mut tracer = if trace_enabled {
+                Tracer::on(prep.sql())
+            } else {
+                Tracer::off()
+            };
+            let t0 = Instant::now();
+            let ran = exec::execute_prepared_select(
                 prep,
                 params,
                 &self.registry,
@@ -421,7 +475,18 @@ impl Connection {
                 &self.catalog,
                 &self.arrays,
                 &self.tables,
-            )?;
+                &mut tracer,
+            );
+            let m = sciql_obs::global();
+            m.query_ns.observe(t0.elapsed());
+            match &ran {
+                Ok(_) => m.queries_select.inc(),
+                Err(_) => m.queries_failed.inc(),
+            }
+            if let Some(trace) = tracer.finish() {
+                self.last_trace = Some(trace);
+            }
+            let (rs, last) = ran?;
             self.last = last;
             return Ok(QueryResult::Rows(rs));
         }
@@ -459,20 +524,52 @@ impl Connection {
     /// actual in-memory state. The same fallback covers a WAL append that
     /// itself fails after a successful statement.
     pub fn execute_stmt(&mut self, stmt: &Stmt) -> Result<QueryResult> {
+        let tracer = if self.trace_enabled {
+            Tracer::on(stmt.to_string())
+        } else {
+            Tracer::off()
+        };
+        self.execute_stmt_traced(stmt, tracer)
+    }
+
+    /// [`Connection::execute_stmt`] with an already-opened tracer (the
+    /// `execute` path owns the `parse` span). Also the metrics tap:
+    /// every statement lands in the global query-latency histogram and
+    /// a by-kind counter.
+    fn execute_stmt_traced(&mut self, stmt: &Stmt, mut tracer: Tracer) -> Result<QueryResult> {
+        let t0 = Instant::now();
+        let result = self.execute_stmt_inner(stmt, &mut tracer);
+        let m = sciql_obs::global();
+        m.query_ns.observe(t0.elapsed());
+        match &result {
+            Ok(_) => stmt_kind_counter(stmt).inc(),
+            Err(_) => m.queries_failed.inc(),
+        }
+        if let Some(trace) = tracer.finish() {
+            self.last_trace = Some(trace);
+        }
+        result
+    }
+
+    fn execute_stmt_inner(&mut self, stmt: &Stmt, tracer: &mut Tracer) -> Result<QueryResult> {
         // COPY logs its own per-batch WAL records as it streams (see
         // `crate::copy`), so it is excluded from statement-level logging.
-        let logged = !matches!(stmt, Stmt::Select(_) | Stmt::Copy { .. })
-            && !self.replaying
+        let logged = !matches!(
+            stmt,
+            Stmt::Select(_) | Stmt::Copy { .. } | Stmt::Explain { .. }
+        ) && !self.replaying
             && self.vault.is_some();
         let before = logged.then(|| self.mutation_epoch());
-        match self.dispatch_stmt(stmt) {
+        match self.dispatch_stmt(stmt, tracer) {
             Ok(result) => {
                 if logged {
+                    let sp = tracer.open(SpanId::ROOT, "wal.append");
                     let append = self
                         .vault
                         .as_mut()
                         .expect("checked above")
                         .append_statement(&stmt.to_string());
+                    tracer.close(sp);
                     if append.is_err() {
                         // The WAL is unavailable; a checkpoint captures the
                         // acknowledged effect directly, keeping the
@@ -515,9 +612,10 @@ impl Connection {
         (self.catalog.version(), stores)
     }
 
-    fn dispatch_stmt(&mut self, stmt: &Stmt) -> Result<QueryResult> {
+    fn dispatch_stmt(&mut self, stmt: &Stmt, tracer: &mut Tracer) -> Result<QueryResult> {
         match stmt {
-            Stmt::Select(sel) => Ok(QueryResult::Rows(self.run_select(sel)?)),
+            Stmt::Select(sel) => Ok(QueryResult::Rows(self.run_select_traced(sel, tracer)?)),
+            Stmt::Explain { analyze, stmt } => self.run_explain(*analyze, stmt),
             Stmt::CreateTable { name, columns } => {
                 self.create_table(name, columns)?;
                 Ok(QueryResult::Affected(0))
@@ -569,14 +667,51 @@ impl Connection {
         }
     }
 
+    /// Execute `EXPLAIN [ANALYZE] <select>`. Plain EXPLAIN renders the
+    /// plan without running it; EXPLAIN ANALYZE executes the SELECT
+    /// under a tracer and renders the measured span tree. Either way
+    /// the result is a one-text-column row set, so it travels over the
+    /// wire like any other query result.
+    fn run_explain(&mut self, analyze: bool, inner: &Stmt) -> Result<QueryResult> {
+        let Stmt::Select(sel) = inner else {
+            return Err(EngineError::msg("EXPLAIN supports SELECT statements"));
+        };
+        if !analyze {
+            let text = self.explain_select(sel)?;
+            return Ok(QueryResult::Rows(text_rows(
+                "explain",
+                text.lines().map(str::to_owned),
+            )));
+        }
+        let mut tracer = Tracer::on(inner.to_string());
+        let rows = self.run_select_traced(sel, &mut tracer)?.row_count();
+        let mut trace = tracer.finish().expect("tracing was on");
+        trace.note(SpanId::ROOT, "rows", rows as u64);
+        let lines = trace.render_lines();
+        self.last_trace = Some(trace);
+        Ok(QueryResult::Rows(text_rows("explain analyze", lines)))
+    }
+
     /// EXPLAIN: the logical plan and the (optimised) MAL program text.
     pub fn explain(&self, sql: &str) -> Result<String> {
         let stmt = exec::parse_one(sql)?;
-        let Stmt::Select(sel) = stmt else {
-            return Err(EngineError::msg("EXPLAIN supports SELECT statements"));
+        let sel = match stmt {
+            Stmt::Select(sel) => sel,
+            Stmt::Explain {
+                stmt: inner,
+                analyze: false,
+            } => match *inner {
+                Stmt::Select(sel) => sel,
+                _ => return Err(EngineError::msg("EXPLAIN supports SELECT statements")),
+            },
+            _ => return Err(EngineError::msg("EXPLAIN supports SELECT statements")),
         };
+        self.explain_select(&sel)
+    }
+
+    fn explain_select(&self, sel: &SelectStmt) -> Result<String> {
         let binder = Binder::new(&self.catalog);
-        let plan = rewrite(binder.bind_select(&sel)?);
+        let plan = rewrite(binder.bind_select(sel)?);
         let mut prog = compile(&plan, &self.codegen)?;
         let before = prog.to_text();
         mal::optimise(&mut prog, &self.registry, self.opt_config);
@@ -589,14 +724,27 @@ impl Connection {
 
     /// Run a SELECT through the full pipeline.
     pub fn run_select(&mut self, sel: &SelectStmt) -> Result<ResultSet> {
+        self.run_select_traced(sel, &mut Tracer::off())
+    }
+
+    fn run_select_traced(&mut self, sel: &SelectStmt, tracer: &mut Tracer) -> Result<ResultSet> {
         let binder = Binder::new(&self.catalog);
-        let plan = rewrite(binder.bind_select(sel)?);
-        self.run_plan(&plan)
+        let sp = tracer.open(SpanId::ROOT, "bind");
+        let bound = binder.bind_select(sel);
+        tracer.close(sp);
+        let sp = tracer.open(SpanId::ROOT, "rewrite");
+        let plan = rewrite(bound?);
+        tracer.close(sp);
+        self.run_plan_traced(&plan, tracer)
     }
 
     /// Compile and execute a logical plan (also used by the DML
     /// executors).
     pub(crate) fn run_plan(&mut self, plan: &Plan) -> Result<ResultSet> {
+        self.run_plan_traced(plan, &mut Tracer::off())
+    }
+
+    fn run_plan_traced(&mut self, plan: &Plan, tracer: &mut Tracer) -> Result<ResultSet> {
         let (rs, last) = exec::execute_plan(
             plan,
             &self.registry,
@@ -604,6 +752,7 @@ impl Connection {
             &self.codegen,
             &self.arrays,
             &self.tables,
+            tracer,
         )?;
         self.last = last;
         Ok(rs)
@@ -678,5 +827,36 @@ impl Connection {
         self.tables
             .get(&name.to_ascii_lowercase())
             .ok_or_else(|| EngineError::msg(format!("no such table {name:?}")))
+    }
+}
+
+/// The by-kind query counter a successful statement lands in.
+fn stmt_kind_counter(stmt: &Stmt) -> &'static sciql_obs::Counter {
+    let m = sciql_obs::global();
+    match stmt {
+        Stmt::Select(_) | Stmt::Explain { .. } => &m.queries_select,
+        Stmt::Insert { .. } | Stmt::Delete { .. } | Stmt::Update { .. } | Stmt::Copy { .. } => {
+            &m.queries_dml
+        }
+        Stmt::CreateTable { .. }
+        | Stmt::CreateArray { .. }
+        | Stmt::Drop { .. }
+        | Stmt::AlterDimension { .. } => &m.queries_ddl,
+    }
+}
+
+/// A one-text-column result set (EXPLAIN output), one row per line.
+pub(crate) fn text_rows(column: &str, lines: impl IntoIterator<Item = String>) -> ResultSet {
+    let mut bat = Bat::with_capacity(gdk::ScalarType::Str, 0);
+    for line in lines {
+        bat.push(&Value::Str(line)).expect("text rows are pushable");
+    }
+    ResultSet {
+        columns: vec![crate::result::ColumnMeta {
+            name: column.to_owned(),
+            ty: gdk::ScalarType::Str,
+            dimensional: false,
+        }],
+        bats: vec![Arc::new(bat)],
     }
 }

@@ -14,6 +14,7 @@ use crate::registry::{ExecCtx, Registry};
 use crate::{MalError, Result};
 use gdk::group::Groups;
 use gdk::{Bat, Candidates, ParConfig, Value};
+use sciql_obs::{SpanId, Tracer};
 use std::sync::Arc;
 
 /// A runtime MAL value.
@@ -195,10 +196,30 @@ impl<'a> Interpreter<'a> {
         prog: &Program,
         params: &[Value],
     ) -> Result<(Vec<(String, MalValue)>, ExecStats)> {
+        self.run_traced(prog, params, &mut Tracer::off(), SpanId::ROOT)
+    }
+
+    /// [`Interpreter::run_with_stats_params`] with a span per executed
+    /// instruction recorded under `parent`, annotated with the kernel's
+    /// worker-thread count and with tuples produced, tiles skipped and
+    /// intermediates avoided when non-zero. With a disabled tracer the
+    /// per-instruction cost is one predictable branch.
+    pub fn run_traced(
+        &self,
+        prog: &Program,
+        params: &[Value],
+        tracer: &mut Tracer,
+        parent: SpanId,
+    ) -> Result<(Vec<(String, MalValue)>, ExecStats)> {
         let params = coerce_params(prog, params)?;
         let mut env: Vec<Option<MalValue>> = vec![None; prog.vars.len()];
         let mut stats = ExecStats::default();
-        for ins in &prog.instrs {
+        for (idx, ins) in prog.instrs.iter().enumerate() {
+            let sp = if tracer.is_on() {
+                tracer.open(parent, &format!("[{idx:02}] {}", ins.qualified()))
+            } else {
+                SpanId::ROOT
+            };
             let (outs, threads, (avoided, avoided_bytes), tiles_skipped) =
                 self.exec_instr(prog, ins, &env, &params)?;
             stats.instructions += 1;
@@ -218,11 +239,27 @@ impl<'a> Interpreter<'a> {
                     ins.results.len()
                 )));
             }
+            let mut tuples = 0usize;
             for (rid, val) in ins.results.iter().zip(outs) {
                 if let MalValue::Bat(b) = &val {
-                    stats.tuples_produced += b.len();
+                    tuples += b.len();
                 }
                 env[*rid] = Some(val);
+            }
+            stats.tuples_produced += tuples;
+            if tracer.is_on() {
+                tracer.note(sp, "threads", threads as u64);
+                if tuples > 0 {
+                    tracer.note(sp, "tuples", tuples as u64);
+                }
+                if tiles_skipped > 0 {
+                    tracer.note(sp, "tiles_skipped", tiles_skipped as u64);
+                }
+                if avoided > 0 {
+                    tracer.note(sp, "intermediates_avoided", avoided as u64);
+                    tracer.note(sp, "bytes_not_materialized", avoided_bytes as u64);
+                }
+                tracer.close(sp);
             }
         }
         let mut results = Vec::with_capacity(prog.results.len());

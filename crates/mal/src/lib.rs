@@ -26,7 +26,7 @@ pub mod registry;
 
 pub use interp::{Binder, EmptyBinder, ExecStats, Interpreter, MalValue};
 pub use ir::{Arg, Instr, MalType, Program, VarId};
-pub use opt::{optimise, OptConfig, PassStats};
+pub use opt::{optimise, optimise_traced, OptConfig, PassStats};
 pub use registry::Registry;
 
 use std::fmt;

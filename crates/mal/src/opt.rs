@@ -29,6 +29,7 @@
 use crate::interp::MalValue;
 use crate::ir::{is_pure, parallel_safe, Arg, Instr, Program, VarId};
 use crate::registry::Registry;
+use sciql_obs::{SpanId, Tracer};
 
 use std::collections::{HashMap, HashSet};
 
@@ -146,38 +147,62 @@ impl OptConfig {
 
 /// Run the configured pipeline in place; returns a report.
 pub fn optimise(prog: &mut Program, registry: &Registry, cfg: OptConfig) -> PassStats {
+    optimise_traced(prog, registry, cfg, &mut Tracer::off(), SpanId::ROOT)
+}
+
+/// [`optimise`] with a per-pass span recorded under `parent` (each pass
+/// is annotated with its rewrite count).
+pub fn optimise_traced(
+    prog: &mut Program,
+    registry: &Registry,
+    cfg: OptConfig,
+    tracer: &mut Tracer,
+    parent: SpanId,
+) -> PassStats {
     let mut report = PassStats {
         instrs_before: prog.instrs.len(),
         ..PassStats::default()
     };
-    if cfg.constfold {
-        report.folded = constfold(prog, registry);
-    }
-    if cfg.cse {
-        report.cse_hits = cse(prog);
-    }
-    if cfg.alias {
-        report.aliases_removed = alias_removal(prog);
-    }
+    let mut pass = |tracer: &mut Tracer,
+                    enabled: bool,
+                    name: &str,
+                    f: &mut dyn FnMut(&mut Program) -> usize|
+     -> usize {
+        if !enabled {
+            return 0;
+        }
+        let sp = tracer.open(parent, name);
+        let n = f(prog);
+        tracer.note(sp, "rewrites", n as u64);
+        tracer.close(sp);
+        n
+    };
+    report.folded = pass(tracer, cfg.constfold, "pass:constfold", &mut |p| {
+        constfold(p, registry)
+    });
+    report.cse_hits = pass(tracer, cfg.cse, "pass:cse", &mut cse);
+    report.aliases_removed = pass(tracer, cfg.alias, "pass:alias", &mut alias_removal);
     // DCE runs before the fusion passes so dead projections (columns a
     // filter carried along that nothing reads) don't inflate candidate
     // use counts and block fusion.
-    if cfg.dce {
-        report.dead_removed = dce(prog);
-    }
-    if cfg.candprop {
-        report.candprop = candprop(prog);
-    }
-    if cfg.fuse_select_project {
-        report.select_project_fused = fuse_select_project(prog);
-    }
-    if cfg.fuse_select_aggregate {
-        report.select_aggregate_fused = fuse_select_aggregate(prog);
-    }
+    report.dead_removed = pass(tracer, cfg.dce, "pass:dce", &mut dce);
+    report.candprop = pass(tracer, cfg.candprop, "pass:candprop", &mut candprop);
+    report.select_project_fused = pass(
+        tracer,
+        cfg.fuse_select_project,
+        "pass:fuse_select_project",
+        &mut fuse_select_project,
+    );
+    report.select_aggregate_fused = pass(
+        tracer,
+        cfg.fuse_select_aggregate,
+        "pass:fuse_select_aggregate",
+        &mut fuse_select_aggregate,
+    );
     // Safety-net DCE after fusion (the fusion passes delete the producers
     // they consumed themselves, so this is usually a no-op).
-    if cfg.dce && report.fusions() > 0 {
-        report.dead_removed += dce(prog);
+    if report.fusions() > 0 {
+        report.dead_removed += pass(tracer, cfg.dce, "pass:dce(post-fusion)", &mut dce);
     }
     report.instrs_after = prog.instrs.len();
     report

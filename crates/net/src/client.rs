@@ -270,6 +270,55 @@ impl Client {
         })
     }
 
+    /// Snapshot of the server's engine-wide metrics registry: query
+    /// counters by kind, latency histograms (query, WAL fsync,
+    /// checkpoint), plan-cache hit/miss, tile churn, live sessions and
+    /// wire byte counts.
+    pub fn metrics(&mut self) -> NetResult<sciql_obs::MetricsSnapshot> {
+        self.exchange(|c| {
+            proto::write_frame(&mut c.stream, &proto::bare(Op::Metrics))?;
+            let frame = c.expect_frame()?;
+            match proto::split(&frame)? {
+                (Op::MetricsReply, body) => proto::read_metrics_reply(body),
+                (Op::Error, body) => Err(proto::read_error(body)),
+                (op, _) => Err(NetError::protocol(format!(
+                    "expected MetricsReply, got {op:?}"
+                ))),
+            }
+        })
+    }
+
+    /// Switch per-session query tracing on or off server-side. While
+    /// on, every statement this session executes records a span tree;
+    /// fetch the latest with [`Client::fetch_trace`].
+    pub fn set_tracing(&mut self, on: bool) -> NetResult<()> {
+        self.exchange(|c| {
+            proto::write_frame(&mut c.stream, &proto::trace_enable(on))?;
+            let frame = c.expect_frame()?;
+            match proto::split(&frame)? {
+                (Op::Ok, _) => Ok(()),
+                (Op::Error, body) => Err(proto::read_error(body)),
+                (op, _) => Err(NetError::protocol(format!("expected Ok, got {op:?}"))),
+            }
+        })
+    }
+
+    /// The rendered span tree of this session's most recent traced
+    /// statement, or `None` when tracing was off / nothing ran yet.
+    pub fn fetch_trace(&mut self) -> NetResult<Option<String>> {
+        self.exchange(|c| {
+            proto::write_frame(&mut c.stream, &proto::bare(Op::TraceFetch))?;
+            let frame = c.expect_frame()?;
+            match proto::split(&frame)? {
+                (Op::TraceReply, body) => proto::read_trace_reply(body),
+                (Op::Error, body) => Err(proto::read_error(body)),
+                (op, _) => Err(NetError::protocol(format!(
+                    "expected TraceReply, got {op:?}"
+                ))),
+            }
+        })
+    }
+
     /// Ask the server to shut down gracefully (in-flight statements of
     /// other sessions finish first).
     pub fn shutdown_server(mut self) -> NetResult<()> {

@@ -19,9 +19,12 @@
 //!   0x06 Close                           0x86 ResultDone    rows:u64 pages:u32
 //!   0x07 Shutdown                        0x87 Pong
 //!   0x08 Stats                           0x88 Ok       (Shutdown ack)
-//!   0x09 Bind    name:str n:u16 value*   0x89 StatsReply    10×u64 (see [`ExecReport`])
+//!   0x09 Bind    name:str n:u16 value*   0x89 StatsReply    12×u64 (see [`ExecReport`])
 //!   0x0A ExecBound name:str              0x8A StmtOk   nparams:u16 (Prepare ack)
-//!   0x0B Deallocate name:str
+//!   0x0B Deallocate name:str             0x8B MetricsReply  <MetricsSnapshot>
+//!   0x0C Metrics                         0x8C TraceReply    has:u8 text:str
+//!   0x0D TraceEnable on:u8
+//!   0x0E TraceFetch
 //! ```
 //!
 //! A query answer is either one `Error`, one `Affected`, or a
@@ -47,8 +50,12 @@ use std::io::{self, Read, Write};
 /// match). Version 2 added `Stats`/`StatsReply`; version 3 added stable
 /// error codes in `Error`, the `Bind`/`ExecBound`/`StmtOk` frames for
 /// bound-parameter prepared statements, and `plan_cache_hits` in
-/// `StatsReply`.
-pub const PROTO_VERSION: u16 = 3;
+/// `StatsReply`. Version 4 added `tuples_produced` to `StatsReply` and
+/// the observability frames: `Metrics`/`MetricsReply` (engine-wide
+/// counter/gauge/histogram snapshot), `TraceEnable` (per-session query
+/// tracing) and `TraceFetch`/`TraceReply` (rendered span tree of the
+/// session's most recent traced statement).
+pub const PROTO_VERSION: u16 = 4;
 
 /// Upper bound on a single frame (64 MiB): a defence against a corrupt
 /// or hostile length prefix allocating unbounded memory, not a result
@@ -85,6 +92,12 @@ pub enum Op {
     ExecBound = 0x0A,
     /// Drop a prepared statement (and its staged values).
     Deallocate = 0x0B,
+    /// Request an engine-wide metrics snapshot.
+    Metrics = 0x0C,
+    /// Switch per-session query tracing on or off.
+    TraceEnable = 0x0D,
+    /// Fetch the rendered span tree of the last traced statement.
+    TraceFetch = 0x0E,
     /// Server handshake answer.
     HelloOk = 0x81,
     /// Statement (or protocol) failure; the session survives.
@@ -105,6 +118,10 @@ pub enum Op {
     StatsReply = 0x89,
     /// Prepare acknowledgement carrying the statement's bind-slot count.
     StmtOk = 0x8A,
+    /// Engine-wide metrics snapshot.
+    MetricsReply = 0x8B,
+    /// Rendered span tree (or "none recorded") answer to `TraceFetch`.
+    TraceReply = 0x8C,
 }
 
 impl Op {
@@ -122,6 +139,9 @@ impl Op {
             0x09 => Op::Bind,
             0x0A => Op::ExecBound,
             0x0B => Op::Deallocate,
+            0x0C => Op::Metrics,
+            0x0D => Op::TraceEnable,
+            0x0E => Op::TraceFetch,
             0x81 => Op::HelloOk,
             0x82 => Op::Error,
             0x83 => Op::Affected,
@@ -132,6 +152,8 @@ impl Op {
             0x88 => Op::Ok,
             0x89 => Op::StatsReply,
             0x8A => Op::StmtOk,
+            0x8B => Op::MetricsReply,
+            0x8C => Op::TraceReply,
             _ => return None,
         })
     }
@@ -407,6 +429,121 @@ pub fn read_stmt_ok(body: &[u8]) -> NetResult<u16> {
         .map_err(|_| NetError::protocol("malformed StmtOk"))
 }
 
+/// `TraceEnable` payload.
+pub fn trace_enable(on: bool) -> Vec<u8> {
+    vec![Op::TraceEnable as u8, on as u8]
+}
+
+/// Decode a `TraceEnable` body.
+pub fn read_trace_enable(body: &[u8]) -> NetResult<bool> {
+    match body {
+        [0] => Ok(false),
+        [1] => Ok(true),
+        _ => Err(NetError::protocol("malformed TraceEnable")),
+    }
+}
+
+/// `TraceReply` payload: the rendered span tree of the session's last
+/// traced statement, or `None` when nothing was recorded.
+pub fn trace_reply(text: Option<&str>) -> Vec<u8> {
+    let mut p = vec![Op::TraceReply as u8];
+    match text {
+        None => gdk::codec::put_u8(&mut p, 0),
+        Some(t) => {
+            gdk::codec::put_u8(&mut p, 1);
+            gdk::codec::put_str(&mut p, t);
+        }
+    }
+    p
+}
+
+/// Decode a `TraceReply` body.
+pub fn read_trace_reply(body: &[u8]) -> NetResult<Option<String>> {
+    let mut r = gdk::codec::Reader::new(body);
+    let bad = |_| NetError::protocol("malformed TraceReply");
+    match r.u8().map_err(bad)? {
+        0 => Ok(None),
+        1 => Ok(Some(r.str().map_err(bad)?)),
+        _ => Err(NetError::protocol("malformed TraceReply")),
+    }
+}
+
+/// `MetricsReply` payload: the full [`sciql_obs::MetricsSnapshot`] — named
+/// counters, gauges and latency histograms — with the same codec
+/// primitives every other frame uses.
+pub fn metrics_reply(snap: &sciql_obs::MetricsSnapshot) -> Vec<u8> {
+    let mut p = vec![Op::MetricsReply as u8];
+    gdk::codec::put_u32(&mut p, snap.counters.len() as u32);
+    for (n, v) in &snap.counters {
+        gdk::codec::put_str(&mut p, n);
+        gdk::codec::put_u64(&mut p, *v);
+    }
+    gdk::codec::put_u32(&mut p, snap.gauges.len() as u32);
+    for (n, v) in &snap.gauges {
+        gdk::codec::put_str(&mut p, n);
+        gdk::codec::put_i64(&mut p, *v);
+    }
+    gdk::codec::put_u32(&mut p, snap.histograms.len() as u32);
+    for (n, h) in &snap.histograms {
+        gdk::codec::put_str(&mut p, n);
+        gdk::codec::put_u32(&mut p, h.counts.len() as u32);
+        for &c in &h.counts {
+            gdk::codec::put_u64(&mut p, c);
+        }
+        gdk::codec::put_u64(&mut p, h.count);
+        gdk::codec::put_u64(&mut p, h.sum_ns);
+    }
+    p
+}
+
+/// Decode a `MetricsReply` body.
+pub fn read_metrics_reply(body: &[u8]) -> NetResult<sciql_obs::MetricsSnapshot> {
+    let mut r = gdk::codec::Reader::new(body);
+    let bad = |_| NetError::protocol("malformed MetricsReply");
+    let nc = r.u32().map_err(bad)? as usize;
+    let mut counters = Vec::with_capacity(nc);
+    for _ in 0..nc {
+        let n = r.str().map_err(bad)?;
+        let v = r.u64().map_err(bad)?;
+        counters.push((n, v));
+    }
+    let ng = r.u32().map_err(bad)? as usize;
+    let mut gauges = Vec::with_capacity(ng);
+    for _ in 0..ng {
+        let n = r.str().map_err(bad)?;
+        let v = r.i64().map_err(bad)?;
+        gauges.push((n, v));
+    }
+    let nh = r.u32().map_err(bad)? as usize;
+    let mut histograms = Vec::with_capacity(nh);
+    for _ in 0..nh {
+        let n = r.str().map_err(bad)?;
+        let nb = r.u32().map_err(bad)? as usize;
+        if nb > sciql_obs::LATENCY_BOUNDS_NS.len() + 1 {
+            return Err(NetError::protocol("malformed MetricsReply: bucket count"));
+        }
+        let mut counts = Vec::with_capacity(nb);
+        for _ in 0..nb {
+            counts.push(r.u64().map_err(bad)?);
+        }
+        let count = r.u64().map_err(bad)?;
+        let sum_ns = r.u64().map_err(bad)?;
+        histograms.push((
+            n,
+            sciql_obs::HistogramSnapshot {
+                counts,
+                count,
+                sum_ns,
+            },
+        ));
+    }
+    Ok(sciql_obs::MetricsSnapshot {
+        counters,
+        gauges,
+        histograms,
+    })
+}
+
 /// Bare single-opcode payload (`Ping`, `Close`, `Shutdown`, `Pong`, `Ok`).
 pub fn bare(op: Op) -> Vec<u8> {
     vec![op as u8]
@@ -471,37 +608,102 @@ pub struct ExecReport {
     pub plan_cache_hits: u64,
     /// Column tiles whose zone maps excluded them from range scans.
     pub tiles_skipped: u64,
+    /// Tuples the interpreter's instructions produced in total.
+    pub tuples_produced: u64,
+}
+
+impl ExecReport {
+    /// Build the report from the engine's last-statement record — the
+    /// one conversion both the server's `Stats` handler and the
+    /// embedded driver use, so the two transports can never drift.
+    pub fn from_last_exec(last: &sciql::LastExec) -> ExecReport {
+        ExecReport {
+            instructions: last.exec.instructions as u64,
+            par_instructions: last.exec.par_instructions as u64,
+            max_threads: last.exec.max_threads as u64,
+            instrs_before_opt: last.instrs_before_opt as u64,
+            instrs_after_opt: last.instrs_after_opt as u64,
+            eliminated: last.opt.total_removed() as u64,
+            fused: last.opt.fusions() as u64,
+            intermediates_avoided: last.exec.intermediates_avoided as u64,
+            bytes_not_materialized: last.exec.bytes_not_materialized as u64,
+            plan_cache_hits: last.exec.plan_cache_hits as u64,
+            tiles_skipped: last.exec.tiles_skipped as u64,
+            tuples_produced: last.exec.tuples_produced as u64,
+        }
+    }
+
+    /// View this report as the renderer-ready [`sciql_obs::ExecSummary`]
+    /// (optionally with a client-measured wall time), so `\timing`
+    /// output is byte-identical embedded and over the wire.
+    pub fn summary(&self, wall_ms: Option<f64>) -> sciql_obs::ExecSummary {
+        sciql_obs::ExecSummary {
+            wall_ms,
+            instructions: self.instructions,
+            tuples_produced: self.tuples_produced,
+            par_instructions: self.par_instructions,
+            max_threads: self.max_threads,
+            instrs_before_opt: self.instrs_before_opt,
+            instrs_after_opt: self.instrs_after_opt,
+            eliminated: self.eliminated,
+            fused: self.fused,
+            intermediates_avoided: self.intermediates_avoided,
+            bytes_not_materialized: self.bytes_not_materialized,
+            plan_cache_hits: self.plan_cache_hits,
+            tiles_skipped: self.tiles_skipped,
+        }
+    }
 }
 
 /// `StatsReply` payload.
 pub fn stats_reply(report: &ExecReport) -> Vec<u8> {
+    // Exhaustive destructuring, deliberately without `..`: adding a
+    // field to `ExecReport` refuses to compile until it is wired
+    // through the codec here (and in `read_stats_reply`).
+    let ExecReport {
+        instructions,
+        par_instructions,
+        max_threads,
+        instrs_before_opt,
+        instrs_after_opt,
+        eliminated,
+        fused,
+        intermediates_avoided,
+        bytes_not_materialized,
+        plan_cache_hits,
+        tiles_skipped,
+        tuples_produced,
+    } = *report;
     let mut p = vec![Op::StatsReply as u8];
     for v in [
-        report.instructions,
-        report.par_instructions,
-        report.max_threads,
-        report.instrs_before_opt,
-        report.instrs_after_opt,
-        report.eliminated,
-        report.fused,
-        report.intermediates_avoided,
-        report.bytes_not_materialized,
-        report.plan_cache_hits,
-        report.tiles_skipped,
+        instructions,
+        par_instructions,
+        max_threads,
+        instrs_before_opt,
+        instrs_after_opt,
+        eliminated,
+        fused,
+        intermediates_avoided,
+        bytes_not_materialized,
+        plan_cache_hits,
+        tiles_skipped,
+        tuples_produced,
     ] {
         gdk::codec::put_u64(&mut p, v);
     }
     p
 }
 
-/// Decode a `StatsReply` body.
+/// Decode a `StatsReply` body. Rejects a body whose length does not
+/// match this build's field count exactly, so a half-wired field shows
+/// up as a loud protocol error rather than silent zeros.
 pub fn read_stats_reply(body: &[u8]) -> NetResult<ExecReport> {
     let mut r = gdk::codec::Reader::new(body);
     let mut next = || {
         r.u64()
             .map_err(|_| NetError::protocol("malformed StatsReply"))
     };
-    Ok(ExecReport {
+    let report = ExecReport {
         instructions: next()?,
         par_instructions: next()?,
         max_threads: next()?,
@@ -513,7 +715,14 @@ pub fn read_stats_reply(body: &[u8]) -> NetResult<ExecReport> {
         bytes_not_materialized: next()?,
         plan_cache_hits: next()?,
         tiles_skipped: next()?,
-    })
+        tuples_produced: next()?,
+    };
+    if r.remaining() != 0 {
+        return Err(NetError::protocol(
+            "malformed StatsReply: trailing bytes (field-count drift between peer builds?)",
+        ));
+    }
+    Ok(report)
 }
 
 /// `ResultDone` payload.

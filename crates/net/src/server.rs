@@ -210,6 +210,30 @@ enum SessionEnd {
     Broken,
 }
 
+/// Byte-metering socket wrapper: every read and write a session makes
+/// feeds the global `bytes_in`/`bytes_out` counters.
+struct Metered<'a>(&'a mut TcpStream);
+
+impl std::io::Read for Metered<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = std::io::Read::read(self.0, buf)?;
+        sciql_obs::global().bytes_in.add(n as u64);
+        Ok(n)
+    }
+}
+
+impl std::io::Write for Metered<'_> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.0.write(buf)?;
+        sciql_obs::global().bytes_out.add(n as u64);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.0.flush()
+    }
+}
+
 /// One client from handshake to hangup.
 fn serve_session(shared: &Shared, mut stream: TcpStream) {
     // A short read timeout turns the blocking socket into a poll loop:
@@ -222,8 +246,11 @@ fn serve_session(shared: &Shared, mut stream: TcpStream) {
         .ok();
     stream.set_write_timeout(shared.config.write_timeout).ok();
     stream.set_nodelay(true).ok();
+    let gauge = &sciql_obs::global().sessions_open;
+    gauge.inc();
     let mut session = shared.engine.session();
-    let end = session_loop(shared, &mut stream, &mut session);
+    let mut wire = Metered(&mut stream);
+    let end = session_loop(shared, &mut wire, &mut session);
     // Best-effort farewell; the peer may already be gone.
     let farewell = match end {
         SessionEnd::Closed | SessionEnd::Broken => None,
@@ -231,14 +258,15 @@ fn serve_session(shared: &Shared, mut stream: TcpStream) {
         SessionEnd::Idle => Some("idle timeout exceeded"),
     };
     if let Some(msg) = farewell {
-        proto::write_frame(&mut stream, &proto::error(ErrorCode::Connection, msg)).ok();
+        proto::write_frame(&mut wire, &proto::error(ErrorCode::Connection, msg)).ok();
     }
-    stream.flush().ok();
+    wire.flush().ok();
+    gauge.dec();
 }
 
 fn session_loop(
     shared: &Shared,
-    stream: &mut TcpStream,
+    stream: &mut Metered<'_>,
     session: &mut EngineSession,
 ) -> SessionEnd {
     let mut fb = FrameBuffer::new();
@@ -314,21 +342,27 @@ fn session_loop(
         let ok = match op {
             Op::Ping => proto::write_frame(stream, &proto::bare(Op::Pong)).is_ok(),
             Op::Stats => {
-                let last = session.last_exec();
-                let report = proto::ExecReport {
-                    instructions: last.exec.instructions as u64,
-                    par_instructions: last.exec.par_instructions as u64,
-                    max_threads: last.exec.max_threads as u64,
-                    instrs_before_opt: last.instrs_before_opt as u64,
-                    instrs_after_opt: last.instrs_after_opt as u64,
-                    eliminated: last.opt.total_removed() as u64,
-                    fused: last.opt.fusions() as u64,
-                    intermediates_avoided: last.exec.intermediates_avoided as u64,
-                    bytes_not_materialized: last.exec.bytes_not_materialized as u64,
-                    plan_cache_hits: last.exec.plan_cache_hits as u64,
-                    tiles_skipped: last.exec.tiles_skipped as u64,
-                };
+                let report = proto::ExecReport::from_last_exec(&session.last_exec());
                 proto::write_frame(stream, &proto::stats_reply(&report)).is_ok()
+            }
+            Op::Metrics => {
+                let snap = sciql_obs::global().snapshot();
+                proto::write_frame(stream, &proto::metrics_reply(&snap)).is_ok()
+            }
+            Op::TraceEnable => match proto::read_trace_enable(body) {
+                Ok(on) => {
+                    session.set_tracing(on);
+                    proto::write_frame(stream, &proto::bare(Op::Ok)).is_ok()
+                }
+                Err(e) => {
+                    proto::write_frame(stream, &proto::error(ErrorCode::Protocol, &e.to_string()))
+                        .ok();
+                    false
+                }
+            },
+            Op::TraceFetch => {
+                let text = session.last_trace().map(|t| t.render());
+                proto::write_frame(stream, &proto::trace_reply(text.as_deref())).is_ok()
             }
             Op::Close => return SessionEnd::Closed,
             Op::Shutdown => {
@@ -459,7 +493,7 @@ fn session_loop(
 
 /// Stream one statement's outcome: `Affected`, an `Error`, or header +
 /// pages + done. Returns `false` when the socket died.
-fn answer(stream: &mut TcpStream, shared: &Shared, result: sciql::Result<QueryResult>) -> bool {
+fn answer(stream: &mut Metered<'_>, shared: &Shared, result: sciql::Result<QueryResult>) -> bool {
     match result {
         Err(e) => proto::write_frame(stream, &proto::error(e.code(), &e.to_string())).is_ok(),
         Ok(QueryResult::Affected(n)) => {

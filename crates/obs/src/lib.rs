@@ -1,0 +1,34 @@
+//! Observability substrate for the SciQL engine.
+//!
+//! Two pillars, both pure `std`:
+//!
+//! * **Per-query tracing** ([`span`]): a lightweight span tree recording
+//!   monotonic-clock wall times and counter annotations for every phase
+//!   of a statement — parse, bind, per-optimizer-pass, codegen, each MAL
+//!   instruction, WAL append/fsync, result shaping. The executor opens a
+//!   [`Tracer`]; when tracing is off every call is a no-op and the clock
+//!   is never read. `EXPLAIN ANALYZE` and the repl's `\trace on` render
+//!   the finished tree as a timed plan table.
+//!
+//! * **Engine-wide metrics** ([`metrics`]): a global lock-free registry
+//!   of atomic counters, gauges, and fixed-bucket latency histograms fed
+//!   by core/store/net — queries by kind, query/fsync/checkpoint latency
+//!   (p50/p95/p99), tile churn, plan-cache hit ratio, live sessions,
+//!   bytes in/out. A [`MetricsSnapshot`] travels over the wire and
+//!   renders either as a human table or in Prometheus text exposition
+//!   format.
+//!
+//! [`report`] holds the one renderer for per-statement execution
+//! reports, shared by the repl's `\timing` and the driver so embedded
+//! and TCP sessions print identical text.
+
+pub mod metrics;
+pub mod report;
+pub mod span;
+
+pub use metrics::{
+    global, Counter, Gauge, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot,
+    LATENCY_BOUNDS_NS,
+};
+pub use report::{render_exec_summary, ExecSummary};
+pub use span::{Span, SpanId, Trace, Tracer};

@@ -1,0 +1,393 @@
+//! The engine-wide metrics registry.
+//!
+//! One process-global, lock-free [`Metrics`] struct of atomic
+//! [`Counter`]s, [`Gauge`]s, and fixed-bucket latency [`Histogram`]s,
+//! fed by core (queries by kind, query latency, plan cache), store
+//! (WAL appends/fsyncs, checkpoints, tile churn), and net (sessions,
+//! bytes in/out). Reading is a relaxed-atomic [`Metrics::snapshot`];
+//! the snapshot is plain data that travels over the wire and renders
+//! as a human table ([`MetricsSnapshot::render_table`]) or in
+//! Prometheus text exposition format
+//! ([`MetricsSnapshot::to_prometheus_text`]).
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed gauge (goes up and down — live sessions, open files).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub const fn new() -> Gauge {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Increment by 1.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrement by 1.
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Upper bounds (inclusive, nanoseconds) of the latency histogram
+/// buckets: powers of four from 1 µs to 4 s. A final implicit
+/// `+Inf` bucket catches the rest.
+pub const LATENCY_BOUNDS_NS: [u64; 12] = [
+    1_000,
+    4_000,
+    16_000,
+    64_000,
+    256_000,
+    1_024_000,
+    4_096_000,
+    16_384_000,
+    65_536_000,
+    262_144_000,
+    1_048_576_000,
+    4_194_304_000,
+];
+
+const BUCKETS: usize = LATENCY_BOUNDS_NS.len() + 1;
+
+/// A fixed-bucket latency histogram over [`LATENCY_BOUNDS_NS`].
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Histogram {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            buckets: [ZERO; BUCKETS],
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation of `ns` nanoseconds.
+    pub fn observe_ns(&self, ns: u64) {
+        let idx = LATENCY_BOUNDS_NS
+            .iter()
+            .position(|&b| ns <= b)
+            .unwrap_or(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Record one observation of a [`Duration`].
+    pub fn observe(&self, d: Duration) {
+        self.observe_ns(d.as_nanos() as u64);
+    }
+
+    /// Read the histogram into plain data.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data copy of a [`Histogram`]; this is what crosses the wire.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts, aligned with [`LATENCY_BOUNDS_NS`] plus a
+    /// final `+Inf` bucket.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values, nanoseconds.
+    pub sum_ns: u64,
+}
+
+impl HistogramSnapshot {
+    /// Estimate the `q`-quantile (0..=1) as the upper bound of the
+    /// bucket containing it. Returns 0 for an empty histogram.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return LATENCY_BOUNDS_NS.get(i).copied().unwrap_or(u64::MAX);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Median estimate, nanoseconds.
+    pub fn p50_ns(&self) -> u64 {
+        self.quantile_ns(0.50)
+    }
+
+    /// 95th percentile estimate, nanoseconds.
+    pub fn p95_ns(&self) -> u64 {
+        self.quantile_ns(0.95)
+    }
+
+    /// 99th percentile estimate, nanoseconds.
+    pub fn p99_ns(&self) -> u64 {
+        self.quantile_ns(0.99)
+    }
+
+    /// Mean, nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+macro_rules! metrics_struct {
+    (
+        counters { $($(#[$cm:meta])* $counter:ident),* $(,)? }
+        gauges { $($(#[$gm:meta])* $gauge:ident),* $(,)? }
+        histograms { $($(#[$hm:meta])* $hist:ident),* $(,)? }
+    ) => {
+        /// The engine-wide registry. One static instance per process —
+        /// obtain it with [`global()`].
+        #[derive(Debug, Default)]
+        pub struct Metrics {
+            $($(#[$cm])* pub $counter: Counter,)*
+            $($(#[$gm])* pub $gauge: Gauge,)*
+            $($(#[$hm])* pub $hist: Histogram,)*
+        }
+
+        impl Metrics {
+            /// A zeroed registry (`global()` is the shared one; fresh
+            /// instances are for tests).
+            pub const fn new() -> Metrics {
+                Metrics {
+                    $($counter: Counter::new(),)*
+                    $($gauge: Gauge::new(),)*
+                    $($hist: Histogram::new(),)*
+                }
+            }
+
+            /// Relaxed-atomic read of every metric into plain data.
+            pub fn snapshot(&self) -> MetricsSnapshot {
+                MetricsSnapshot {
+                    counters: vec![$((stringify!($counter).to_owned(), self.$counter.get()),)*],
+                    gauges: vec![$((stringify!($gauge).to_owned(), self.$gauge.get()),)*],
+                    histograms: vec![$((stringify!($hist).to_owned(), self.$hist.snapshot()),)*],
+                }
+            }
+        }
+    };
+}
+
+metrics_struct! {
+    counters {
+        /// Successfully executed SELECT statements.
+        queries_select,
+        /// Successfully executed DML statements (INSERT/UPDATE/DELETE/COPY).
+        queries_dml,
+        /// Successfully executed DDL statements.
+        queries_ddl,
+        /// Statements that failed with an error.
+        queries_failed,
+        /// Plan-cache hits on prepared-statement execution.
+        plan_cache_hits,
+        /// Plan-cache misses (compiles).
+        plan_cache_misses,
+        /// WAL records appended.
+        wal_appends,
+        /// WAL fsyncs issued.
+        wal_fsyncs,
+        /// Checkpoints completed.
+        checkpoints,
+        /// Tiles rewritten by checkpoints.
+        tiles_rewritten,
+        /// Clean tiles reused by checkpoints.
+        tiles_reused,
+        /// Tiles skipped by zone-map scans.
+        tiles_skipped,
+        /// Sessions opened since process start.
+        sessions_opened,
+        /// Bytes received from network clients.
+        bytes_in,
+        /// Bytes sent to network clients.
+        bytes_out,
+    }
+    gauges {
+        /// Currently connected network sessions.
+        sessions_open,
+    }
+    histograms {
+        /// End-to-end statement latency.
+        query_ns,
+        /// WAL fsync latency.
+        wal_fsync_ns,
+        /// Checkpoint duration.
+        checkpoint_ns,
+    }
+}
+
+static GLOBAL: Metrics = Metrics::new();
+
+/// The process-global registry every subsystem feeds.
+pub fn global() -> &'static Metrics {
+    &GLOBAL
+}
+
+/// Plain-data copy of the whole registry; travels over the wire as the
+/// `MetricsReply` frame payload.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` counters, in registry order.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauges.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, histogram)` latency histograms.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Look up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Look up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Look up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Plan-cache hit ratio in `[0, 1]`, or `None` before any lookup.
+    pub fn plan_cache_hit_ratio(&self) -> Option<f64> {
+        let hits = self.counter("plan_cache_hits")?;
+        let misses = self.counter("plan_cache_misses")?;
+        let total = hits + misses;
+        (total > 0).then(|| hits as f64 / total as f64)
+    }
+
+    /// Human-readable table for the repl's `\metrics`.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (n, v) in &self.counters {
+            let _ = writeln!(out, "{n:<24} {v}");
+        }
+        for (n, v) in &self.gauges {
+            let _ = writeln!(out, "{n:<24} {v}");
+        }
+        if let Some(r) = self.plan_cache_hit_ratio() {
+            let _ = writeln!(out, "{:<24} {:.1}%", "plan_cache_hit_ratio", r * 100.0);
+        }
+        for (n, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "{n:<24} count={} mean={} p50={} p95={} p99={}",
+                h.count,
+                crate::span::fmt_ns(h.mean_ns()),
+                crate::span::fmt_ns(h.p50_ns()),
+                crate::span::fmt_ns(h.p95_ns()),
+                crate::span::fmt_ns(h.p99_ns()),
+            );
+        }
+        out
+    }
+
+    /// Prometheus text exposition format (`sciql_` prefix; histograms
+    /// as cumulative `_bucket{le=…}` series in seconds).
+    pub fn to_prometheus_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (n, v) in &self.counters {
+            let _ = writeln!(out, "# TYPE sciql_{n}_total counter");
+            let _ = writeln!(out, "sciql_{n}_total {v}");
+        }
+        for (n, v) in &self.gauges {
+            let _ = writeln!(out, "# TYPE sciql_{n} gauge");
+            let _ = writeln!(out, "sciql_{n} {v}");
+        }
+        for (n, h) in &self.histograms {
+            let base = n.strip_suffix("_ns").unwrap_or(n);
+            let _ = writeln!(out, "# TYPE sciql_{base}_seconds histogram");
+            let mut cum = 0u64;
+            for (i, &c) in h.counts.iter().enumerate() {
+                cum += c;
+                match LATENCY_BOUNDS_NS.get(i) {
+                    Some(&b) => {
+                        let _ = writeln!(
+                            out,
+                            "sciql_{base}_seconds_bucket{{le=\"{}\"}} {cum}",
+                            b as f64 / 1e9
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(out, "sciql_{base}_seconds_bucket{{le=\"+Inf\"}} {cum}");
+                    }
+                }
+            }
+            let _ = writeln!(out, "sciql_{base}_seconds_sum {}", h.sum_ns as f64 / 1e9);
+            let _ = writeln!(out, "sciql_{base}_seconds_count {}", h.count);
+        }
+        out
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests: `Trace` span trees built through the public API stay
+//! well-formed under arbitrary interleavings of open/close/record/note —
+//! every span ends up closed, every child interval nests inside its
+//! parent's, and the direct children of any span (the root included)
+//! never account for more time than the span itself. `Trace::check()`
+//! encodes those invariants; the engine's traced paths rely on them and
+//! the EXPLAIN ANALYZE renderer assumes them.
+
+use proptest::prelude::*;
+use sciql_obs::{SpanId, Trace, Tracer};
+use std::time::Duration;
+
+/// One step of a randomized tracing session. The driver below keeps a
+/// stack of open spans, so any op sequence maps onto a legal (if
+/// contrived) use of the API — exactly the discipline the engine's
+/// phase instrumentation follows.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Open a child under the innermost open span and descend into it.
+    Open,
+    /// Close the innermost open span (no-op at the root).
+    Close,
+    /// Add a pre-measured child to the innermost open span. Zero-length
+    /// like a sub-clock-resolution fsync: `record` back-dates the start
+    /// by the duration, so only intervals measured inside the parent
+    /// keep nesting — zero trivially does.
+    Record,
+    /// Annotate the innermost open span with a counter.
+    Note(u64),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    // Open is listed twice to bias toward deeper trees.
+    prop_oneof![
+        Just(Op::Open),
+        Just(Op::Open),
+        Just(Op::Close),
+        Just(Op::Record),
+        any::<u64>().prop_map(Op::Note),
+    ]
+}
+
+/// Replay `ops` against a fresh trace and finish it, returning the
+/// trace plus how many spans were created (root included).
+fn replay(ops: &[Op]) -> Trace {
+    let mut trace = Trace::start("prop");
+    let mut stack = vec![SpanId::ROOT];
+    for (i, o) in ops.iter().enumerate() {
+        let top = *stack.last().unwrap();
+        match o {
+            Op::Open => stack.push(trace.open(top, format!("open-{i}"))),
+            Op::Close => {
+                if stack.len() > 1 {
+                    trace.close(stack.pop().unwrap());
+                }
+            }
+            Op::Record => {
+                trace.record(top, format!("rec-{i}"), Duration::ZERO);
+            }
+            Op::Note(v) => trace.note(top, "n", *v),
+        }
+    }
+    // The engine's epilogue: close whatever the statement left open.
+    trace.finish();
+    trace
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The headline invariant: any op sequence yields a tree that
+    /// passes `check()` — all spans closed, child intervals nested,
+    /// per-parent child durations summing to at most the parent's own.
+    #[test]
+    fn random_traces_are_well_formed(ops in proptest::collection::vec(op(), 0..64)) {
+        let trace = replay(&ops);
+        prop_assert!(trace.check().is_ok(), "{:?}", trace.check());
+
+        // Spot-check the pieces independently of check()'s own logic.
+        let spans = trace.spans();
+        let root_end = spans[0].start_ns + spans[0].dur_ns;
+        let mut child_of_root = 0u64;
+        for (i, s) in spans.iter().enumerate() {
+            prop_assert!(s.closed, "span {i} left open");
+            prop_assert!(s.start_ns + s.dur_ns <= root_end, "span {i} outlives root");
+            if s.parent == Some(0) {
+                child_of_root += s.dur_ns;
+            }
+        }
+        prop_assert!(child_of_root <= trace.total_ns());
+    }
+
+    /// Rendering is total and shape-stable: one header line plus one
+    /// line per span, indentation strictly one level deeper than the
+    /// parent's.
+    #[test]
+    fn render_emits_one_line_per_span(ops in proptest::collection::vec(op(), 0..64)) {
+        let trace = replay(&ops);
+        let lines = trace.render_lines();
+        prop_assert_eq!(lines.len(), trace.spans().len() + 1);
+        prop_assert!(lines[0].starts_with("trace: "));
+        for line in &lines[1..] {
+            let depth = line.len() - line.trim_start().len();
+            prop_assert_eq!(depth % 2, 0, "indent is two spaces per level: {}", line);
+        }
+    }
+
+    /// The no-op tracer stays a no-op: the same op sequence against
+    /// `Tracer::off()` produces nothing, and `finish()` yields `None`.
+    #[test]
+    fn off_tracer_absorbs_everything(ops in proptest::collection::vec(op(), 0..32)) {
+        let mut t = Tracer::off();
+        prop_assert!(!t.is_on());
+        let mut stack = vec![SpanId::ROOT];
+        for o in &ops {
+            let top = *stack.last().unwrap();
+            match o {
+                Op::Open => stack.push(t.open(top, "x")),
+                Op::Close => {
+                    if stack.len() > 1 {
+                        t.close(stack.pop().unwrap());
+                    }
+                }
+                Op::Record => {
+                    t.record(top, "r", Duration::ZERO);
+                }
+                Op::Note(v) => t.note(top, "n", *v),
+            }
+        }
+        prop_assert!(t.finish().is_none());
+    }
+}

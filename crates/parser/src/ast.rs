@@ -579,6 +579,15 @@ pub enum Stmt {
     },
     /// SELECT query.
     Select(SelectStmt),
+    /// `EXPLAIN [ANALYZE] <statement>` — plan inspection. Plain
+    /// `EXPLAIN` renders the plan without running it; `EXPLAIN ANALYZE`
+    /// executes the statement and returns its timed span tree.
+    Explain {
+        /// Execute and measure (`EXPLAIN ANALYZE`)?
+        analyze: bool,
+        /// The statement being explained.
+        stmt: Box<Stmt>,
+    },
 }
 
 /// Input format of a COPY statement.
@@ -648,6 +657,7 @@ impl Stmt {
     pub fn walk_exprs<'a>(&'a self, f: &mut dyn FnMut(&'a Expr)) {
         match self {
             Stmt::Select(s) => s.walk_exprs(f),
+            Stmt::Explain { stmt, .. } => stmt.walk_exprs(f),
             Stmt::CreateTable { columns, .. } | Stmt::CreateArray { columns, .. } => {
                 for c in columns {
                     match &c.kind {
@@ -785,6 +795,10 @@ impl Stmt {
         };
         match self {
             Stmt::Select(s) => Stmt::Select(map_sel(s, f)),
+            Stmt::Explain { analyze, stmt } => Stmt::Explain {
+                analyze: *analyze,
+                stmt: Box::new(stmt.map_params(f)),
+            },
             Stmt::CreateTable { .. }
             | Stmt::CreateArray { .. }
             | Stmt::Drop { .. }

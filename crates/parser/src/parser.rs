@@ -179,6 +179,7 @@ impl Parser {
 
     fn statement(&mut self) -> Result<Stmt, ParseError> {
         match self.peek() {
+            TokenKind::Keyword(Keyword::EXPLAIN) => self.explain_stmt(),
             TokenKind::Keyword(Keyword::SELECT) => Ok(Stmt::Select(self.select()?)),
             TokenKind::Keyword(Keyword::CREATE) => self.create(),
             TokenKind::Keyword(Keyword::DROP) => self.drop_stmt(),
@@ -189,6 +190,23 @@ impl Parser {
             TokenKind::Keyword(Keyword::COPY) => self.copy_stmt(),
             _ => Err(self.unexpected("a statement")),
         }
+    }
+
+    // EXPLAIN [ANALYZE] statement
+    fn explain_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.expect_kw(Keyword::EXPLAIN)?;
+        let analyze = self.eat_kw(Keyword::ANALYZE);
+        if matches!(self.peek(), TokenKind::Keyword(Keyword::EXPLAIN)) {
+            return Err(ParseError::at(
+                self.offset(),
+                "EXPLAIN cannot be nested".to_owned(),
+            ));
+        }
+        let stmt = self.statement()?;
+        Ok(Stmt::Explain {
+            analyze,
+            stmt: Box::new(stmt),
+        })
     }
 
     // COPY target FROM 'path' [(FORMAT csv|binary)]

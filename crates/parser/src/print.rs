@@ -263,6 +263,13 @@ impl fmt::Display for Stmt {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Stmt::Select(s) => write!(f, "{s}"),
+            Stmt::Explain { analyze, stmt } => {
+                f.write_str("EXPLAIN ")?;
+                if *analyze {
+                    f.write_str("ANALYZE ")?;
+                }
+                write!(f, "{stmt}")
+            }
             Stmt::CreateTable { name, columns } | Stmt::CreateArray { name, columns } => {
                 let kind = if matches!(self, Stmt::CreateArray { .. }) {
                     "ARRAY"

@@ -137,6 +137,7 @@ keywords! {
     JOIN, INNER, LEFT, OUTER, ON, CROSS,
     PRIMARY, KEY, CHECK,
     COPY, FORMAT,
+    EXPLAIN, ANALYZE,
 }
 
 #[cfg(test)]

@@ -704,7 +704,19 @@ impl Vault {
         payload.push(TAG_SQL);
         payload.extend_from_slice(sql.as_bytes());
         self.wal.append(&payload)?;
-        self.wal.sync()
+        sciql_obs::global().wal_appends.inc();
+        self.synced_to_disk()
+    }
+
+    /// Fsync the WAL, feeding the global fsync counter and latency
+    /// histogram.
+    fn synced_to_disk(&mut self) -> StoreResult<()> {
+        let t0 = std::time::Instant::now();
+        let r = self.wal.sync();
+        let m = sciql_obs::global();
+        m.wal_fsyncs.inc();
+        m.wal_fsync_ns.observe(t0.elapsed());
+        r
     }
 
     /// Append one COPY ingest batch to the WAL and force it to disk:
@@ -718,7 +730,8 @@ impl Vault {
     ) -> StoreResult<()> {
         self.wal
             .append(&encode_copy_batch(target, start, columns))?;
-        self.wal.sync()
+        sciql_obs::global().wal_appends.inc();
+        self.synced_to_disk()
     }
 
     /// Write a new checkpoint generation: dirty (or never-persisted)
@@ -727,6 +740,7 @@ impl Vault {
     /// WAL rotated, and the MANIFEST atomically switched. Old generations
     /// and orphaned tile files are removed afterwards.
     pub fn checkpoint(&mut self, objects: &[CheckpointObject<'_>]) -> StoreResult<()> {
+        let t0 = std::time::Instant::now();
         let new_gen = self.gen + 1;
         let mut new_refs = HashMap::new();
         let mut snap_objects = Vec::with_capacity(objects.len());
@@ -829,6 +843,11 @@ impl Vault {
         self.tiles_reused = reused;
         self.gc_generations();
         self.gc_columns();
+        let m = sciql_obs::global();
+        m.checkpoints.inc();
+        m.checkpoint_ns.observe(t0.elapsed());
+        m.tiles_rewritten.add(written);
+        m.tiles_reused.add(reused);
         Ok(())
     }
 

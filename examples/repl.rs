@@ -3,7 +3,7 @@
 //! queries") — built on the **unified driver API**: one
 //! `Sciql::connect(url)` call, whatever the backend.
 //!
-//! Run with: `cargo run --example repl [-- <URL> | --listen <addr> [--db <path>]]`
+//! Run with: `cargo run --example repl [-- <URL> | --listen <addr> [--db <path>] [--metrics-text]]`
 //!
 //! URLs:
 //!   mem:                  fresh in-memory session (the default)
@@ -19,7 +19,10 @@
 //! With `--listen <addr>` (optionally plus `--db`) the process becomes a
 //! `sciql-net` server instead: N concurrent clients share the engine —
 //! reads on `Arc` column snapshots, writes serialized through the vault.
-//! It runs until a client sends `\shutdown`.
+//! It runs until a client sends `\shutdown`; with `--metrics-text` it
+//! dumps the engine-wide metrics registry in Prometheus text exposition
+//! format on shutdown (clients can fetch the same snapshot live with
+//! `\metrics`).
 //!
 //! Commands:
 //!   <SciQL statement>;          execute (multi-line until ';')
@@ -35,6 +38,11 @@
 //!   \timing                     toggle per-statement wall time, thread counts,
 //!                               optimizer stats and the plan-cache flag
 //!                               (fetched over the wire when remote)
+//!   \trace on|off               toggle per-statement span-tree tracing; each
+//!                               statement then prints its trace (works over
+//!                               tcp:// too — the server records, you fetch)
+//!   \metrics                    engine-wide metrics snapshot (the server's
+//!                               registry when remote)
 //!   \ping                       round-trip probe
 //!   \shutdown                   stop the remote server (tcp:// only)
 //!   \q                          quit
@@ -54,7 +62,8 @@ fn main() {
     let mut listen: Option<String> = None;
     let mut connect: Option<String> = None;
     let mut url: Option<String> = None;
-    let usage = "usage: repl [<URL> | --listen <addr> [--db <path>]]  \
+    let mut metrics_text = false;
+    let usage = "usage: repl [<URL> | --listen <addr> [--db <path>] [--metrics-text]]  \
                  (URL = mem: | file:<path> | tcp://host:port)";
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -62,6 +71,10 @@ fn main() {
             "--db" => &mut db,
             "--listen" => &mut listen,
             "--connect" => &mut connect,
+            "--metrics-text" => {
+                metrics_text = true;
+                continue;
+            }
             other if !other.starts_with('-') && url.is_none() => {
                 url = Some(other.to_owned());
                 continue;
@@ -83,8 +96,12 @@ fn main() {
     }
 
     if let Some(addr) = listen {
-        serve(&addr, db.as_deref());
+        serve(&addr, db.as_deref(), metrics_text);
         return;
+    }
+    if metrics_text {
+        eprintln!("--metrics-text only applies to --listen servers ({usage})");
+        std::process::exit(2);
     }
 
     // Everything below is one driver connection: the legacy flags just
@@ -121,7 +138,7 @@ fn main() {
 
 /// `--listen`: serve the (optionally durable) engine until a client asks
 /// for shutdown.
-fn serve(addr: &str, db: Option<&str>) {
+fn serve(addr: &str, db: Option<&str>, metrics_text: bool) {
     let engine = match db {
         Some(path) => match SharedEngine::open(path) {
             Ok(e) => e,
@@ -166,12 +183,19 @@ fn serve(addr: &str, db: Option<&str>) {
         "server stopped: {} session(s), {} statement(s), {} snapshot read(s), {} row(s) served",
         stats.sessions_opened, stats.statements, stats.snapshot_reads, stats.rows_returned
     );
+    if metrics_text {
+        print!(
+            "{}",
+            sciql_repro::obs::global().snapshot().to_prometheus_text()
+        );
+    }
 }
 
 fn repl_loop(mut conn: Conn) {
     let stdin = io::stdin();
     let mut buffer = String::new();
     let mut timing = false;
+    let mut tracing = false;
     let mut prepared: HashMap<String, Statement> = HashMap::new();
     print!("SciQL> ");
     io::stdout().flush().ok();
@@ -235,6 +259,31 @@ fn repl_loop(mut conn: Conn) {
                         Ok(text) => print!("{text}"),
                         Err(e) => println!("error: {e}"),
                     }
+                    prompt();
+                    continue;
+                }
+                "\\metrics" => {
+                    match conn.metrics() {
+                        Ok(snap) => print!("{}", snap.render_table()),
+                        Err(e) => println!("error: {e}"),
+                    }
+                    prompt();
+                    continue;
+                }
+                "\\trace on" | "\\trace off" => {
+                    let on = trimmed.ends_with("on");
+                    match conn.set_tracing(on) {
+                        Ok(()) => {
+                            tracing = on;
+                            println!("tracing is {}", if on { "on" } else { "off" });
+                        }
+                        Err(e) => println!("error: {e}"),
+                    }
+                    prompt();
+                    continue;
+                }
+                "\\trace" => {
+                    println!("usage: \\trace on|off");
                     prompt();
                     continue;
                 }
@@ -323,6 +372,9 @@ fn repl_loop(mut conn: Conn) {
                                     if timing {
                                         print_timing(&mut conn, t0);
                                     }
+                                    if tracing {
+                                        print_trace(&mut conn);
+                                    }
                                 }
                                 Err(e) => println!("error: {e}"),
                             }
@@ -347,7 +399,7 @@ fn repl_loop(mut conn: Conn) {
             continue;
         }
         let script = std::mem::take(&mut buffer);
-        run_script(&mut conn, &script, timing);
+        run_script(&mut conn, &script, timing, tracing);
         prompt();
     }
     conn.close().ok();
@@ -373,8 +425,9 @@ fn parse_param(tok: &str) -> Value {
 }
 
 /// Execute a script and print results; with `timing`, print wall time
-/// plus the transport-independent execution report.
-fn run_script(conn: &mut Conn, script: &str, timing: bool) {
+/// plus the transport-independent execution report; with `tracing`, the
+/// span tree of the last statement.
+fn run_script(conn: &mut Conn, script: &str, timing: bool, tracing: bool) {
     let t0 = Instant::now();
     for stmt in split_statements(script) {
         match conn.run(&stmt) {
@@ -385,35 +438,29 @@ fn run_script(conn: &mut Conn, script: &str, timing: bool) {
     if timing {
         print_timing(conn, t0);
     }
+    if tracing {
+        print_trace(conn);
+    }
 }
 
 fn print_timing(conn: &mut Conn, t0: Instant) {
     let wall = ms_since(t0);
+    // One renderer for every transport (see sciql_obs::report): an
+    // embedded session and a tcp:// one print identical reports.
     match conn.last_report() {
-        Ok(s) => {
-            println!(
-                "Time: {wall:.3} ms ({} instr, {} parallel, max {} thread(s), \
-                 plan cache {})",
-                s.instructions,
-                s.par_instructions,
-                s.max_threads,
-                if s.plan_cache_hits > 0 { "HIT" } else { "miss" }
-            );
-            println!(
-                "Opt:  {} -> {} instr ({} eliminated, {} fused); \
-                 {} intermediate(s) not materialized ({} bytes)",
-                s.instrs_before_opt,
-                s.instrs_after_opt,
-                s.eliminated,
-                s.fused,
-                s.intermediates_avoided,
-                s.bytes_not_materialized
-            );
-            if s.tiles_skipped > 0 {
-                println!("Scan: {} tile(s) skipped via zone maps", s.tiles_skipped);
-            }
-        }
+        Ok(s) => print!(
+            "{}",
+            sciql_repro::obs::render_exec_summary(&s.summary(Some(wall)))
+        ),
         Err(e) => println!("Time: {wall:.3} ms (report unavailable: {e})"),
+    }
+}
+
+fn print_trace(conn: &mut Conn) {
+    match conn.last_trace_text() {
+        Ok(Some(text)) => println!("{text}"),
+        Ok(None) => println!("no trace recorded"),
+        Err(e) => println!("error: {e}"),
     }
 }
 

@@ -8,7 +8,7 @@
 //! |-----|---------|
 //! | `mem:` | embedded in-memory [`sciql::Connection`] |
 //! | `file:<path>` | embedded durable connection over the vault at `<path>` (WAL + checkpoints + crash recovery) |
-//! | `tcp://host:port` | remote [`sciql_net::Client`] speaking protocol v3 |
+//! | `tcp://host:port` | remote [`sciql_net::Client`] speaking protocol v4 |
 //!
 //! A fourth backend, [`Sciql::attach`], opens a session on an in-process
 //! [`sciql::SharedEngine`] (many concurrent driver connections over one
@@ -274,24 +274,19 @@ pub trait Transport {
             self.kind()
         )))
     }
-}
 
-/// Build the wire-format execution report from an embedded session's
-/// [`sciql::LastExec`].
-fn report_of(last: &sciql::LastExec) -> sciql_net::ExecReport {
-    sciql_net::ExecReport {
-        instructions: last.exec.instructions as u64,
-        par_instructions: last.exec.par_instructions as u64,
-        max_threads: last.exec.max_threads as u64,
-        instrs_before_opt: last.instrs_before_opt as u64,
-        instrs_after_opt: last.instrs_after_opt as u64,
-        eliminated: last.opt.total_removed() as u64,
-        fused: last.opt.fusions() as u64,
-        intermediates_avoided: last.exec.intermediates_avoided as u64,
-        bytes_not_materialized: last.exec.bytes_not_materialized as u64,
-        plan_cache_hits: last.exec.plan_cache_hits as u64,
-        tiles_skipped: last.exec.tiles_skipped as u64,
+    /// Engine-wide metrics snapshot: the in-process global registry for
+    /// embedded transports, a `Metrics` frame round trip for TCP.
+    fn metrics(&mut self) -> Result<sciql_obs::MetricsSnapshot> {
+        Ok(sciql_obs::global().snapshot())
     }
+
+    /// Switch per-statement query tracing on or off for this connection.
+    fn set_tracing(&mut self, on: bool) -> Result<()>;
+
+    /// Rendered span tree of the most recent traced statement, or
+    /// `None` when tracing is off / nothing ran yet.
+    fn last_trace_text(&mut self) -> Result<Option<String>>;
 }
 
 /// Render the repl-style storage report for an embedded connection.
@@ -407,7 +402,16 @@ impl Transport for Embedded {
         Some(&mut self.conn)
     }
     fn last_report(&mut self) -> Result<sciql_net::ExecReport> {
-        Ok(report_of(&self.conn.last_exec()))
+        Ok(sciql_net::ExecReport::from_last_exec(
+            &self.conn.last_exec(),
+        ))
+    }
+    fn set_tracing(&mut self, on: bool) -> Result<()> {
+        self.conn.set_tracing(on);
+        Ok(())
+    }
+    fn last_trace_text(&mut self) -> Result<Option<String>> {
+        Ok(self.conn.last_trace().map(|t| t.render()))
     }
 }
 
@@ -451,11 +455,20 @@ impl Transport for Session {
         Ok(storage_report_of(&self.session.engine().connection()))
     }
     fn last_report(&mut self) -> Result<sciql_net::ExecReport> {
-        Ok(report_of(&self.session.last_exec()))
+        Ok(sciql_net::ExecReport::from_last_exec(
+            &self.session.last_exec(),
+        ))
+    }
+    fn set_tracing(&mut self, on: bool) -> Result<()> {
+        self.session.set_tracing(on);
+        Ok(())
+    }
+    fn last_trace_text(&mut self) -> Result<Option<String>> {
+        Ok(self.session.last_trace().map(|t| t.render()))
     }
 }
 
-/// Network transport: a protocol-v3 [`Client`].
+/// Network transport: a protocol-v4 [`Client`].
 struct Tcp {
     client: Option<Client>,
 }
@@ -507,6 +520,15 @@ impl Transport for Tcp {
             .take()
             .ok_or_else(|| SciqlError::Connection("connection is closed".into()))?;
         Ok(c.shutdown_server()?)
+    }
+    fn metrics(&mut self) -> Result<sciql_obs::MetricsSnapshot> {
+        Ok(self.client()?.metrics()?)
+    }
+    fn set_tracing(&mut self, on: bool) -> Result<()> {
+        Ok(self.client()?.set_tracing(on)?)
+    }
+    fn last_trace_text(&mut self) -> Result<Option<String>> {
+        Ok(self.client()?.fetch_trace()?)
     }
 }
 
@@ -782,6 +804,28 @@ impl Conn {
     /// usable). After a successful shutdown the connection is spent.
     pub fn shutdown_server(&mut self) -> Result<()> {
         self.transport.shutdown_server()
+    }
+
+    /// Engine-wide metrics snapshot: query counters by kind, latency
+    /// histograms (query, WAL fsync, checkpoint), plan-cache hit/miss,
+    /// tile churn, live sessions and wire byte counts. For `tcp://`
+    /// connections the numbers come from the *server's* registry over a
+    /// `Metrics` frame; for embedded transports from this process.
+    pub fn metrics(&mut self) -> Result<sciql_obs::MetricsSnapshot> {
+        self.transport.metrics()
+    }
+
+    /// Switch per-statement query tracing on or off. While on, every
+    /// statement records a span tree readable with
+    /// [`Conn::last_trace_text`] (the repl's `\trace on`).
+    pub fn set_tracing(&mut self, on: bool) -> Result<()> {
+        self.transport.set_tracing(on)
+    }
+
+    /// Rendered span tree of this connection's most recent traced
+    /// statement, or `None` when tracing is off / nothing ran yet.
+    pub fn last_trace_text(&mut self) -> Result<Option<String>> {
+        self.transport.last_trace_text()
     }
 
     /// Orderly shutdown: checkpoints a `file:` vault, closes a `tcp://`

@@ -15,5 +15,6 @@ pub use sciql_catalog as catalog;
 pub use sciql_imaging as imaging;
 pub use sciql_life as life;
 pub use sciql_net as net;
+pub use sciql_obs as obs;
 pub use sciql_parser as parser;
 pub use sciql_store as store;

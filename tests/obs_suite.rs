@@ -1,0 +1,312 @@
+//! Observability acceptance suite.
+//!
+//! Pins the four load-bearing guarantees of the tracing/metrics
+//! subsystem:
+//!
+//! * `StatsReply` round-trips **every** `ExecReport` field bit-exactly
+//!   (distinct sentinel values catch field swaps; length checks catch
+//!   half-wired fields).
+//! * Tracing is invisible in results: the same query yields
+//!   byte-identical wire pages with tracing off and on, across
+//!   optimizer levels and thread counts.
+//! * `EXPLAIN ANALYZE` produces the same span-tree *shape* (names +
+//!   nesting) whether the statement runs embedded or over `tcp://`;
+//!   only the measured values may differ.
+//! * `Conn::metrics()` over the wire reports WAL fsync counts and
+//!   latency plus the plan-cache hit ratio after a scripted workload.
+
+use sciql::{write_copy_binary, Connection, SessionConfig, SharedEngine};
+use sciql_repro::driver::{Conn, Rows, Sciql};
+use sciql_repro::gdk::Bat;
+use sciql_repro::net::proto;
+use sciql_repro::net::Server;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const TILE_ROWS: usize = 8192;
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "sciql-obs-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&d).ok();
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// The full wire encoding of a result (page size 3 forces paging).
+fn wire_bytes(rows: &Rows) -> Vec<u8> {
+    let rs = rows.result_set();
+    let mut bytes = rs.encode_header();
+    for page in rs.encode_pages(3) {
+        bytes.extend_from_slice(&page);
+    }
+    bytes
+}
+
+/// Every `ExecReport` field survives the `StatsReply` codec, and the
+/// runtime guards complement the compile-time exhaustive-destructure
+/// guard in `proto::stats_reply`: the payload length is exactly the
+/// field count, and both trailing garbage and truncation are loud
+/// protocol errors rather than silently dropped or zeroed fields.
+#[test]
+fn stats_reply_roundtrips_every_field() {
+    // Distinct sentinel per field: any swap or misordering in either
+    // codec direction breaks the equality below.
+    let report = proto::ExecReport {
+        instructions: 101,
+        par_instructions: 102,
+        max_threads: 103,
+        instrs_before_opt: 104,
+        instrs_after_opt: 105,
+        eliminated: 106,
+        fused: 107,
+        intermediates_avoided: 108,
+        bytes_not_materialized: 109,
+        plan_cache_hits: 110,
+        tiles_skipped: 111,
+        tuples_produced: 112,
+    };
+    let payload = proto::stats_reply(&report);
+    assert_eq!(payload[0], proto::Op::StatsReply as u8);
+    // 12 u64 fields: if this assertion fires you added an ExecReport
+    // field — update it *and* the sentinel struct above.
+    assert_eq!(payload.len(), 1 + 12 * 8, "StatsReply field-count drift");
+
+    let back = proto::read_stats_reply(&payload[1..]).unwrap();
+    assert_eq!(back, report);
+
+    let mut long = payload[1..].to_vec();
+    long.push(0);
+    assert!(
+        proto::read_stats_reply(&long).is_err(),
+        "trailing bytes must be rejected"
+    );
+    assert!(
+        proto::read_stats_reply(&payload[1..payload.len() - 1]).is_err(),
+        "truncated payload must be rejected"
+    );
+}
+
+/// Tracing must never change what a query returns: with the tracer on,
+/// result pages stay byte-identical to the untraced run, at every
+/// optimizer level × thread count. (The ≤5% wall-clock bound for the
+/// *off* direction is enforced by bench-guard's `EXPECT_CLOSE` gate.)
+#[test]
+fn tracing_leaves_results_byte_identical() {
+    const QUERIES: &[&str] = &[
+        "SELECT SUM(v) FROM m WHERE x > 3",
+        "SELECT [x], [y], v FROM m WHERE v >= 2 AND v < 9",
+        "SELECT COUNT(*), MAX(v) FROM m",
+    ];
+    for opt_level in [0u8, 2] {
+        for threads in [1usize, 8] {
+            let cfg = SessionConfig {
+                threads,
+                opt_level,
+                ..SessionConfig::default()
+            };
+            let mut conn = Sciql::connect_with_config("mem:", cfg).unwrap();
+            conn.execute(
+                "CREATE ARRAY m (x INT DIMENSION[0:1:8], \
+                 y INT DIMENSION[0:1:8], v INT DEFAULT 0)",
+            )
+            .unwrap();
+            conn.execute("UPDATE m SET v = x * y - x").unwrap();
+            for sql in QUERIES {
+                conn.set_tracing(false).unwrap();
+                let plain = wire_bytes(&conn.query(sql).unwrap());
+                assert_eq!(conn.last_trace_text().unwrap(), None, "{sql}");
+
+                conn.set_tracing(true).unwrap();
+                let traced = wire_bytes(&conn.query(sql).unwrap());
+                let trace = conn.last_trace_text().unwrap();
+
+                assert_eq!(plain, traced, "opt={opt_level} threads={threads} sql={sql}");
+                let text = trace.expect("tracing on records a trace");
+                assert!(text.starts_with("trace: "), "{text}");
+            }
+        }
+    }
+}
+
+/// Span-tree *shape*: the indented span name column with the measured
+/// values stripped. Durations and annotation values vary run to run;
+/// the names, nesting and annotation keys must not.
+fn shape(lines: &[String]) -> Vec<String> {
+    lines
+        .iter()
+        .map(|line| {
+            // Render format: `{name:<40} {dur:>12}  k=v ...` — the
+            // first 40 columns are the indented name.
+            let name = if line.len() > 40 {
+                line[..40].trim_end().to_owned()
+            } else {
+                line.trim_end().to_owned()
+            };
+            let keys: Vec<&str> = line
+                .get(40..)
+                .unwrap_or("")
+                .split_whitespace()
+                .filter_map(|tok| tok.split_once('=').map(|(k, _)| k))
+                .collect();
+            if keys.is_empty() {
+                name
+            } else {
+                format!("{name} [{}]", keys.join(","))
+            }
+        })
+        .collect()
+}
+
+fn text_rows(mut rows: Rows) -> Vec<String> {
+    let mut out = Vec::new();
+    while let Some(row) = rows.next_row() {
+        out.push(row.get::<String>(0).unwrap());
+    }
+    out
+}
+
+/// Seed 4 tiles of ascending keys via binary COPY, so `k > 24576`
+/// (the last tile boundary) is zone-skippable.
+fn seed_tiled(conn: &mut Conn, dir: &std::path::Path, tag: &str) {
+    let rows = TILE_ROWS * 4;
+    let file = dir.join(format!("tiled-{tag}.bin"));
+    let ks: Vec<i32> = (0..rows as i32).collect();
+    let vs: Vec<f64> = (0..rows).map(|i| i as f64 * 0.5).collect();
+    write_copy_binary(&file, &[Bat::from_ints(ks), Bat::from_dbls(vs)]).unwrap();
+    conn.execute("CREATE TABLE ev (k INT, v DOUBLE)").unwrap();
+    conn.execute(&format!(
+        "COPY ev FROM '{}' (FORMAT binary)",
+        file.display()
+    ))
+    .unwrap();
+}
+
+/// The acceptance criterion: EXPLAIN ANALYZE on a COPY-ingested,
+/// zone-skippable query shows per-MAL-instruction wall times, thread
+/// counts and tiles skipped — and the span structure is identical
+/// embedded vs over `tcp://` (values may differ, shape may not).
+#[test]
+fn explain_analyze_shape_identical_across_transports() {
+    let dir = fresh_dir("explain");
+    let cfg = SessionConfig {
+        threads: 4,
+        opt_level: 2,
+        ..SessionConfig::default()
+    };
+    const SQL: &str = "EXPLAIN ANALYZE SELECT SUM(v) FROM ev WHERE k > 24576";
+
+    let mut local = Sciql::connect_with_config("mem:", cfg).unwrap();
+    seed_tiled(&mut local, &dir, "local");
+
+    let engine = SharedEngine::new(Connection::with_config(cfg));
+    let handle = Server::bind(engine, "127.0.0.1:0")
+        .unwrap()
+        .serve()
+        .unwrap();
+    let mut remote = Sciql::connect(&format!("tcp://{}", handle.addr())).unwrap();
+    seed_tiled(&mut remote, &dir, "remote");
+
+    let local_lines = text_rows(local.query(SQL).unwrap());
+    let remote_lines = text_rows(remote.query(SQL).unwrap());
+
+    // Per-MAL-instruction spans with thread counts and zone-map skips
+    // are present (tiles 0..=2 hold k ≤ 24575, so 3 of 4 are skipped).
+    let text = local_lines.join("\n");
+    assert!(text.starts_with("trace: "), "{text}");
+    // (No `parse` span: EXPLAIN ANALYZE hands the already-parsed inner
+    // SELECT to the traced pipeline.)
+    for phase in ["bind", "optimize", "codegen", "mal", "result"] {
+        assert!(text.contains(phase), "missing phase {phase}:\n{text}");
+    }
+    assert!(
+        local_lines
+            .iter()
+            .any(|l| l.contains("[0") && l.contains('.')),
+        "per-instruction spans missing:\n{text}"
+    );
+    assert!(text.contains("threads="), "thread counts missing:\n{text}");
+    assert!(
+        text.contains("tiles_skipped=3"),
+        "zone-map skips missing:\n{text}"
+    );
+
+    // Identical shape across transports.
+    assert_eq!(
+        shape(&local_lines),
+        shape(&remote_lines),
+        "span structure diverged:\nlocal:\n{}\nremote:\n{}",
+        local_lines.join("\n"),
+        remote_lines.join("\n"),
+    );
+
+    remote.shutdown_server().unwrap();
+    handle.wait();
+}
+
+/// The other acceptance criterion: after a scripted workload against a
+/// durable server, `Conn::metrics()` over the wire reports the fsync
+/// count and latency histogram and the plan-cache hit ratio.
+#[test]
+fn metrics_over_the_wire_report_fsyncs_and_plan_cache() {
+    let dir = fresh_dir("metrics");
+    let engine = SharedEngine::new(Connection::open(dir.join("vault")).unwrap());
+    let handle = Server::bind(engine, "127.0.0.1:0")
+        .unwrap()
+        .serve()
+        .unwrap();
+    let mut conn = Sciql::connect(&format!("tcp://{}", handle.addr())).unwrap();
+
+    // Scripted workload: durable DML (WAL appends + fsyncs) and a
+    // prepared statement executed twice (plan-cache miss then hit).
+    conn.execute("CREATE TABLE kv (a INT, s VARCHAR)").unwrap();
+    for i in 0..4 {
+        conn.execute(&format!("INSERT INTO kv VALUES ({i}, 'row-{i}')"))
+            .unwrap();
+    }
+    let stmt = conn.prepare("SELECT s FROM kv WHERE a >= ?").unwrap();
+    for bound in [0i32, 2] {
+        let rows = conn
+            .query_bound(&stmt, &[sciql_repro::gdk::Value::Int(bound)])
+            .unwrap();
+        assert!(rows.row_count() > 0);
+    }
+
+    let snap = conn.metrics().unwrap();
+    let fsyncs = snap.counter("wal_fsyncs").unwrap();
+    assert!(fsyncs > 0, "durable workload must fsync");
+    assert!(snap.counter("wal_appends").unwrap() > 0);
+    let h = snap.histogram("wal_fsync_ns").unwrap();
+    assert!(h.count > 0, "fsync latency histogram is empty");
+    assert!(h.sum_ns > 0, "fsyncs take nonzero time");
+    assert_eq!(
+        h.counts.iter().sum::<u64>(),
+        h.count,
+        "bucket counts must sum to the total"
+    );
+
+    let ratio = snap
+        .plan_cache_hit_ratio()
+        .expect("plan cache was exercised");
+    assert!(ratio > 0.0 && ratio <= 1.0, "hit ratio {ratio}");
+    assert!(snap.counter("plan_cache_hits").unwrap() >= 1);
+
+    // The server side of this very connection shows up too.
+    assert!(snap.counter("sessions_opened").unwrap() >= 1);
+    assert!(snap.counter("bytes_in").unwrap() > 0);
+    assert!(snap.counter("bytes_out").unwrap() > 0);
+    assert!(snap.gauge("sessions_open").unwrap() >= 1);
+
+    // And the snapshot renders in both human and Prometheus form.
+    assert!(snap.render_table().contains("wal_fsyncs"));
+    let prom = snap.to_prometheus_text();
+    assert!(prom.contains("# TYPE sciql_wal_fsyncs_total counter"));
+    assert!(prom.contains("sciql_wal_fsync_seconds_bucket{le=\"+Inf\"}"));
+
+    conn.shutdown_server().unwrap();
+    handle.wait();
+}
