@@ -54,6 +54,16 @@ pub enum BExpr {
         /// Negated?
         negated: bool,
     },
+    /// `[NOT] LIKE` with a compile-time pattern (`%`/`_` wildcards).
+    Like {
+        /// String operand.
+        e: Box<BExpr>,
+        /// The pattern (always a literal — the binder rejects anything
+        /// else, so cached plans stay parameter-free here).
+        pattern: String,
+        /// Negated?
+        negated: bool,
+    },
     /// Searched CASE (simple CASE and BETWEEN/IN are desugared by the
     /// binder). WHENs evaluate in order; `else_` feeds non-matching rows.
     Case {
@@ -105,7 +115,7 @@ impl BExpr {
                 }
             }
             BExpr::Neg(e) => e.infer_type(input)?,
-            BExpr::Not(_) | BExpr::IsNull { .. } => ScalarType::Bit,
+            BExpr::Not(_) | BExpr::IsNull { .. } | BExpr::Like { .. } => ScalarType::Bit,
             BExpr::Case { whens, else_ } => {
                 let mut ty: Option<ScalarType> = None;
                 let mut merge = |t: ScalarType| -> Result<()> {
@@ -145,7 +155,7 @@ impl BExpr {
             BExpr::Col(_) | BExpr::Shift { .. } => false,
             BExpr::Bin { l, r, .. } => l.is_const() && r.is_const(),
             BExpr::Neg(e) | BExpr::Not(e) | BExpr::Abs(e) => e.is_const(),
-            BExpr::IsNull { e, .. } => e.is_const(),
+            BExpr::IsNull { e, .. } | BExpr::Like { e, .. } => e.is_const(),
             BExpr::Case { whens, else_ } => {
                 whens.iter().all(|(w, t)| w.is_const() && t.is_const()) && else_.is_const()
             }
@@ -163,7 +173,7 @@ impl BExpr {
                 r.collect_cols(out);
             }
             BExpr::Neg(e) | BExpr::Not(e) | BExpr::Abs(e) => e.collect_cols(out),
-            BExpr::IsNull { e, .. } => e.collect_cols(out),
+            BExpr::IsNull { e, .. } | BExpr::Like { e, .. } => e.collect_cols(out),
             BExpr::Case { whens, else_ } => {
                 for (w, t) in whens {
                     w.collect_cols(out);
@@ -182,7 +192,7 @@ impl BExpr {
             BExpr::Const(_) | BExpr::Col(_) | BExpr::Param { .. } => false,
             BExpr::Bin { l, r, .. } => l.contains_shift() || r.contains_shift(),
             BExpr::Neg(e) | BExpr::Not(e) | BExpr::Abs(e) => e.contains_shift(),
-            BExpr::IsNull { e, .. } => e.contains_shift(),
+            BExpr::IsNull { e, .. } | BExpr::Like { e, .. } => e.contains_shift(),
             BExpr::Case { whens, else_ } => {
                 whens
                     .iter()
@@ -212,6 +222,15 @@ impl BExpr {
             BExpr::Abs(e) => BExpr::Abs(Box::new(e.remap_cols(map))),
             BExpr::IsNull { e, negated } => BExpr::IsNull {
                 e: Box::new(e.remap_cols(map)),
+                negated: *negated,
+            },
+            BExpr::Like {
+                e,
+                pattern,
+                negated,
+            } => BExpr::Like {
+                e: Box::new(e.remap_cols(map)),
+                pattern: pattern.clone(),
                 negated: *negated,
             },
             BExpr::Case { whens, else_ } => BExpr::Case {

@@ -759,6 +759,20 @@ impl<'a> Binder<'a> {
                     both
                 })
             }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                let Expr::Literal(Literal::Str(pat)) = pattern.as_ref() else {
+                    return Err(AlgebraError::bind("LIKE pattern must be a string literal"));
+                };
+                Ok(BExpr::Like {
+                    e: Box::new(rec(expr)?),
+                    pattern: pat.clone(),
+                    negated: *negated,
+                })
+            }
             Expr::InList {
                 expr,
                 list,

@@ -995,6 +995,43 @@ fn emit_expr(prog: &mut Program, inp: &NodeOut, e: &BExpr) -> Result<Arg> {
                 }
             }
         }
+        BExpr::Like {
+            e,
+            pattern,
+            negated,
+        } => {
+            let a = emit_expr(prog, inp, e)?;
+            match a {
+                Arg::Const(Value::Str(s)) => {
+                    Arg::Const(Value::Bit(gdk::like::like_match(&s, pattern) != *negated))
+                }
+                Arg::Const(Value::Null) => Arg::Const(Value::Null),
+                Arg::Const(v) => {
+                    return Err(AlgebraError::type_error(format!(
+                        "LIKE requires a string operand, got {v}"
+                    )))
+                }
+                a @ (Arg::Var(_) | Arg::Param(_)) => {
+                    let v = force_bat(prog, inp, a)?;
+                    let m = prog.emit(
+                        "batcalc",
+                        "like",
+                        vec![Arg::Var(v), Arg::Const(Value::Str(pattern.clone()))],
+                        MalType::Bat(ScalarType::Bit),
+                    );
+                    if *negated {
+                        Arg::Var(prog.emit(
+                            "batcalc",
+                            "not",
+                            vec![Arg::Var(m)],
+                            MalType::Bat(ScalarType::Bit),
+                        ))
+                    } else {
+                        Arg::Var(m)
+                    }
+                }
+            }
+        }
         BExpr::Case { whens, else_ } => {
             let mut acc = emit_expr(prog, inp, else_)?;
             for (cond, then) in whens.iter().rev() {

@@ -50,6 +50,19 @@ fn bench_trace_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+/// Scan the `sys.metrics` system view through the full SQL pipeline —
+/// the cost of one introspection query (synthesize the view's BATs from
+/// the registry, then bind/optimize/execute like any table scan).
+fn bench_sysview_scan(c: &mut Criterion) {
+    const SQL: &str = "SELECT name, value FROM sys.metrics WHERE name LIKE 'wal%'";
+    let mut conn = session();
+    let mut g = c.benchmark_group("obs/sysview");
+    g.bench_function(BenchmarkId::from_parameter("metrics_like_scan"), |b| {
+        b.iter(|| black_box(conn.query(SQL).unwrap()))
+    });
+    g.finish();
+}
+
 /// Snapshot the global registry and render it both ways — the cost of
 /// one `\metrics` / Prometheus scrape.
 fn bench_metrics_snapshot(c: &mut Criterion) {
@@ -71,7 +84,7 @@ fn bench_metrics_snapshot(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = sciql_bench::criterion_config();
-    targets = bench_trace_overhead, bench_metrics_snapshot
+    targets = bench_trace_overhead, bench_sysview_scan, bench_metrics_snapshot
 }
 
 fn main() {

@@ -64,6 +64,7 @@ const TRACKED: &[(&str, &str)] = &[
     ("BENCH_ingest.json", "ingest/scan_512k/full_scan"),
     ("BENCH_obs.json", "obs/scan_sum_256k/on"),
     ("BENCH_obs.json", "obs/scan_sum_256k/off"),
+    ("BENCH_obs.json", "obs/sysview/metrics_like_scan"),
     ("BENCH_obs.json", "obs/metrics/snapshot_render"),
 ];
 

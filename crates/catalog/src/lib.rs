@@ -10,6 +10,7 @@
 
 pub mod schema;
 pub mod serde;
+pub mod sysview;
 
 pub use schema::{
     ArrayDef, Catalog, CatalogError, ColumnMeta, DimSpec, DimensionDef, SchemaObject, TableDef,

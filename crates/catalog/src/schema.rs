@@ -256,8 +256,15 @@ impl Catalog {
         name.to_ascii_lowercase()
     }
 
-    /// Register an object.
+    /// Register an object. Names in the reserved `sys.` schema are
+    /// rejected — they belong to the built-in system views.
     pub fn create(&mut self, obj: SchemaObject) -> Result<(), CatalogError> {
+        if crate::sysview::is_sys_name(obj.name()) {
+            return Err(CatalogError::Invalid(format!(
+                "{:?} is in the reserved sys schema",
+                obj.name()
+            )));
+        }
         let key = Self::key(obj.name());
         if self.objects.contains_key(&key) {
             return Err(CatalogError::AlreadyExists(obj.name().to_owned()));
@@ -284,11 +291,18 @@ impl Catalog {
         self.version
     }
 
-    /// Look up an object.
+    /// Look up an object. Names in the reserved `sys.` schema fall
+    /// back to the built-in system view definitions
+    /// ([`crate::sysview`]), so `SELECT … FROM sys.metrics` binds like
+    /// any table scan.
     pub fn get(&self, name: &str) -> Result<&SchemaObject, CatalogError> {
-        self.objects
-            .get(&Self::key(name))
-            .ok_or_else(|| CatalogError::NotFound(name.to_owned()))
+        if let Some(obj) = self.objects.get(&Self::key(name)) {
+            return Ok(obj);
+        }
+        if let Some(view) = crate::sysview::get(name) {
+            return Ok(view);
+        }
+        Err(CatalogError::NotFound(name.to_owned()))
     }
 
     /// Look up an array specifically.

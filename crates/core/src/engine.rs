@@ -25,6 +25,7 @@ use crate::exec::{self, Prepared, PreparedSet};
 use crate::result::ResultSet;
 use crate::session::{Connection, LastExec, QueryResult, SessionConfig};
 use crate::storage::{ArrayStore, TableStore};
+use crate::sysview::{SessionRow, SysData};
 use crate::Result;
 use gdk::Value;
 use mal::Registry;
@@ -48,6 +49,12 @@ pub struct EngineSnapshot {
     tables: HashMap<String, TableStore>,
     opt_config: mal::OptConfig,
     codegen: CodegenOptions,
+    /// Out-of-store state the `sys.*` views surface (vault stats, live
+    /// sessions) — captured with the snapshot so a system-view scan is
+    /// as consistent as any other read.
+    sys: SysData,
+    /// The connection's slow-query threshold at snapshot time.
+    slow_query_ns: u64,
 }
 
 impl EngineSnapshot {
@@ -58,6 +65,8 @@ impl EngineSnapshot {
             tables: conn.tables.clone(),
             opt_config: conn.opt_config,
             codegen: conn.codegen,
+            sys: conn.sys_data(),
+            slow_query_ns: conn.slow_query_ns(),
         }
     }
 
@@ -89,8 +98,10 @@ impl EngineSnapshot {
             registry,
             self.opt_config,
             &self.codegen,
+            &self.catalog,
             &self.arrays,
             &self.tables,
+            &self.sys,
             tracer,
         )
     }
@@ -122,6 +133,7 @@ impl EngineSnapshot {
             &self.catalog,
             &self.arrays,
             &self.tables,
+            &self.sys,
             tracer,
         )
     }
@@ -154,6 +166,36 @@ struct AtomicStats {
     rows_returned: AtomicU64,
 }
 
+/// Live-session registry entry: the row a session contributes to the
+/// `sys.sessions` view while it is open.
+#[derive(Debug)]
+struct SessionInfo {
+    id: u64,
+    peer: Mutex<String>,
+    queries: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    started: Instant,
+}
+
+/// A cloneable handle feeding one session's byte counters. The network
+/// server wraps each socket in a meter so `sys.sessions` reports
+/// per-session traffic; counts survive until the session closes.
+#[derive(Debug, Clone)]
+pub struct SessionMeter(Arc<SessionInfo>);
+
+impl SessionMeter {
+    /// Count `n` bytes received from the client.
+    pub fn add_in(&self, n: u64) {
+        self.0.bytes_in.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count `n` bytes sent to the client.
+    pub fn add_out(&self, n: u64) {
+        self.0.bytes_out.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
 /// A process-wide engine shared by N concurrent sessions: many readers
 /// over `Arc` column snapshots, writes serialized through the (optionally
 /// vault-backed) single [`Connection`].
@@ -164,6 +206,8 @@ pub struct SharedEngine {
     registry: Registry,
     stats: AtomicStats,
     next_session: AtomicU64,
+    /// Open sessions, in creation order (the `sys.sessions` view).
+    sessions: Mutex<Vec<Arc<SessionInfo>>>,
 }
 
 impl SharedEngine {
@@ -174,6 +218,7 @@ impl SharedEngine {
             registry: mal::prims::default_registry(),
             stats: AtomicStats::default(),
             next_session: AtomicU64::new(1),
+            sessions: Mutex::new(Vec::new()),
         })
     }
 
@@ -197,9 +242,20 @@ impl SharedEngine {
     pub fn session(self: &Arc<Self>) -> EngineSession {
         self.stats.sessions_opened.fetch_add(1, Ordering::Relaxed);
         sciql_obs::global().sessions_opened.inc();
+        let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+        let info = Arc::new(SessionInfo {
+            id,
+            peer: Mutex::new("embedded".to_owned()),
+            queries: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+            started: Instant::now(),
+        });
+        self.sessions_lock().push(Arc::clone(&info));
         EngineSession {
             engine: Arc::clone(self),
-            id: self.next_session.fetch_add(1, Ordering::Relaxed),
+            id,
+            info,
             last: LastExec::default(),
             prepared: PreparedSet::default(),
             statements: 0,
@@ -212,7 +268,28 @@ impl SharedEngine {
 
     /// Take a consistent point-in-time snapshot (brief lock).
     pub fn snapshot(&self) -> EngineSnapshot {
-        EngineSnapshot::of(&self.lock())
+        let mut snap = EngineSnapshot::of(&self.lock());
+        snap.sys.sessions = self.session_rows();
+        snap
+    }
+
+    fn sessions_lock(&self) -> MutexGuard<'_, Vec<Arc<SessionInfo>>> {
+        self.sessions.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// The `sys.sessions` rows of every currently open session.
+    fn session_rows(&self) -> Vec<SessionRow> {
+        self.sessions_lock()
+            .iter()
+            .map(|s| SessionRow {
+                id: s.id,
+                peer: s.peer.lock().unwrap_or_else(|p| p.into_inner()).clone(),
+                queries: s.queries.load(Ordering::Relaxed),
+                bytes_in: s.bytes_in.load(Ordering::Relaxed),
+                bytes_out: s.bytes_out.load(Ordering::Relaxed),
+                uptime_ns: u64::try_from(s.started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            })
+            .collect()
     }
 
     /// Exclusive access to the underlying connection (the single-writer
@@ -274,6 +351,7 @@ pub struct SessionStats {
 pub struct EngineSession {
     engine: Arc<SharedEngine>,
     id: u64,
+    info: Arc<SessionInfo>,
     last: LastExec,
     /// Named prepared statements. SELECTs carry a compiled-once plan
     /// cache with bind-parameter slots (see [`crate::Prepared`]); the
@@ -296,6 +374,18 @@ impl EngineSession {
     /// The engine this session runs over.
     pub fn engine(&self) -> &Arc<SharedEngine> {
         &self.engine
+    }
+
+    /// Label this session with its client address — the `peer` column of
+    /// the `sys.sessions` view (defaults to `"embedded"`).
+    pub fn set_peer(&self, peer: &str) {
+        *self.info.peer.lock().unwrap_or_else(|p| p.into_inner()) = peer.to_owned();
+    }
+
+    /// A byte-counting handle for this session's transport, feeding the
+    /// `bytes_in`/`bytes_out` columns of `sys.sessions`.
+    pub fn meter(&self) -> SessionMeter {
+        SessionMeter(Arc::clone(&self.info))
     }
 
     /// Statistics of this session's most recent statement.
@@ -363,6 +453,7 @@ impl EngineSession {
     pub fn execute_stmt(&mut self, stmt: &Stmt) -> Result<QueryResult> {
         self.statements += 1;
         self.engine.stats.statements.fetch_add(1, Ordering::Relaxed);
+        self.info.queries.fetch_add(1, Ordering::Relaxed);
         let result = match stmt {
             Stmt::Select(sel) => {
                 self.engine
@@ -370,22 +461,47 @@ impl EngineSession {
                     .snapshot_reads
                     .fetch_add(1, Ordering::Relaxed);
                 let snap = self.engine.snapshot();
-                let mut tracer = if self.trace_enabled {
+                let mut tracer = if self.trace_enabled || snap.slow_query_ns > 0 {
                     Tracer::on(stmt.to_string())
                 } else {
                     Tracer::off()
                 };
+                let started_us = sciql_obs::now_unix_us();
                 let t0 = Instant::now();
                 let ran = snap.run_select_traced(sel, &self.engine.registry, &mut tracer);
+                let wall = t0.elapsed();
                 let m = sciql_obs::global();
-                m.query_ns.observe(t0.elapsed());
+                m.query_ns.observe(wall);
                 match &ran {
                     Ok(_) => m.queries_select.inc(),
                     Err(_) => m.queries_failed.inc(),
                 }
+                let wall_ns = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX);
+                let slow = snap.slow_query_ns > 0 && wall_ns >= snap.slow_query_ns;
                 if let Some(trace) = tracer.finish() {
-                    self.last_trace = Some(trace);
+                    if self.trace_enabled || slow {
+                        self.last_trace = Some(trace);
+                    }
                 }
+                sciql_obs::query_log().record(sciql_obs::QueryRecord {
+                    id: 0,
+                    session: self.id,
+                    kind: "select",
+                    text: stmt.to_string(),
+                    started_us,
+                    wall_ns,
+                    rows: ran
+                        .as_ref()
+                        .map(|(rs, _)| rs.row_count() as u64)
+                        .unwrap_or(0),
+                    plan_cache_hit: false,
+                    tiles_skipped: ran
+                        .as_ref()
+                        .map(|(_, l)| l.exec.tiles_skipped as u64)
+                        .unwrap_or(0),
+                    slow,
+                    error: ran.as_ref().err().map(|e| e.to_string()),
+                });
                 ran.map(|(rs, last)| {
                     self.last = last;
                     QueryResult::Rows(rs)
@@ -393,11 +509,15 @@ impl EngineSession {
             }
             _ => {
                 // Serialized through the single-writer connection, which
-                // is also where the by-kind and latency metrics land.
+                // is also where the by-kind, latency and query-log taps
+                // land; the session id is pinned around the call so
+                // `sys.query_log` attributes the write to this session.
                 let mut conn = self.engine.lock();
                 let prev = conn.tracing();
                 conn.set_tracing(self.trace_enabled);
+                conn.session_id = self.id;
                 let r = conn.execute_stmt(stmt);
+                conn.session_id = 0;
                 self.last = conn.last_exec();
                 if self.trace_enabled {
                     self.last_trace = conn.last_trace().cloned();
@@ -462,27 +582,57 @@ impl EngineSession {
         if prep.is_select() {
             self.statements += 1;
             self.engine.stats.statements.fetch_add(1, Ordering::Relaxed);
+            self.info.queries.fetch_add(1, Ordering::Relaxed);
             self.engine
                 .stats
                 .snapshot_reads
                 .fetch_add(1, Ordering::Relaxed);
             let snap = self.engine.snapshot();
-            let mut tracer = if self.trace_enabled {
+            let mut tracer = if self.trace_enabled || snap.slow_query_ns > 0 {
                 Tracer::on(prep.sql().to_string())
             } else {
                 Tracer::off()
             };
+            let text = prep.sql().to_owned();
+            let started_us = sciql_obs::now_unix_us();
             let t0 = Instant::now();
             let ran = snap.run_prepared_traced(prep, params, &self.engine.registry, &mut tracer);
+            let wall = t0.elapsed();
             let m = sciql_obs::global();
-            m.query_ns.observe(t0.elapsed());
+            m.query_ns.observe(wall);
             match &ran {
                 Ok(_) => m.queries_select.inc(),
                 Err(_) => m.queries_failed.inc(),
             }
+            let wall_ns = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX);
+            let slow = snap.slow_query_ns > 0 && wall_ns >= snap.slow_query_ns;
             if let Some(trace) = tracer.finish() {
-                self.last_trace = Some(trace);
+                if self.trace_enabled || slow {
+                    self.last_trace = Some(trace);
+                }
             }
+            sciql_obs::query_log().record(sciql_obs::QueryRecord {
+                id: 0,
+                session: self.id,
+                kind: "select",
+                text,
+                started_us,
+                wall_ns,
+                rows: ran
+                    .as_ref()
+                    .map(|(rs, _)| rs.row_count() as u64)
+                    .unwrap_or(0),
+                plan_cache_hit: ran
+                    .as_ref()
+                    .map(|(_, l)| l.exec.plan_cache_hits > 0)
+                    .unwrap_or(false),
+                tiles_skipped: ran
+                    .as_ref()
+                    .map(|(_, l)| l.exec.tiles_skipped as u64)
+                    .unwrap_or(0),
+                slow,
+                error: ran.as_ref().err().map(|e| e.to_string()),
+            });
             let (rs, last) = ran?;
             self.last = last;
             return Ok(QueryResult::Rows(rs));
@@ -492,8 +642,11 @@ impl EngineSession {
         let stmt = exec::bind_params_into(prep.statement(), params)?;
         self.statements += 1;
         self.engine.stats.statements.fetch_add(1, Ordering::Relaxed);
+        self.info.queries.fetch_add(1, Ordering::Relaxed);
         let mut conn = self.engine.lock();
+        conn.session_id = self.id;
         let r = conn.execute_stmt(&stmt);
+        conn.session_id = 0;
         self.last = conn.last_exec();
         r
     }
@@ -506,6 +659,13 @@ impl EngineSession {
     /// Is a statement of this name prepared in this session?
     pub fn has_prepared(&self, name: &str) -> bool {
         self.prepared.contains(name)
+    }
+}
+
+impl Drop for EngineSession {
+    fn drop(&mut self) {
+        // Deregister from the live `sys.sessions` view.
+        self.engine.sessions_lock().retain(|s| s.id != self.id);
     }
 }
 

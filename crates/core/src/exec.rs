@@ -23,6 +23,7 @@
 use crate::result::ResultSet;
 use crate::session::LastExec;
 use crate::storage::{ArrayStore, TableStore};
+use crate::sysview::{self, SysData};
 use crate::{EngineError, Result};
 use gdk::{Bat, ScalarType, Value};
 use mal::{
@@ -76,6 +77,10 @@ struct CachedPlan {
     opt_report: PassStats,
     instrs_before: usize,
     instrs_after: usize,
+    /// `sys.*` views the plan scans — their contents are synthesized
+    /// fresh on every execution (the compiled program is reusable, the
+    /// introspection data is not).
+    sys_views: Vec<String>,
 }
 
 impl Prepared {
@@ -189,6 +194,11 @@ impl PreparedSet {
 // the Fig-2 pipeline tail, split for plan caching
 // ---------------------------------------------------------------------
 
+/// Everything `compile_select` produces: the optimized program, the
+/// result schema, the optimizer's per-pass stats, instruction counts
+/// before/after optimization, and the `sys.*` views the plan scans.
+type CompiledSelect = (Program, Vec<ColInfo>, PassStats, usize, usize, Vec<String>);
+
 /// Bind + rewrite + compile + optimise a SELECT into a MAL program.
 fn compile_select(
     sel: &SelectStmt,
@@ -197,7 +207,7 @@ fn compile_select(
     codegen: &CodegenOptions,
     catalog: &Catalog,
     tracer: &mut Tracer,
-) -> Result<(Program, Vec<ColInfo>, PassStats, usize, usize)> {
+) -> Result<CompiledSelect> {
     let binder = Binder::new(catalog);
     let sp = tracer.open(SpanId::ROOT, "bind");
     let bound = binder.bind_select(sel);
@@ -206,8 +216,9 @@ fn compile_select(
     let plan = rewrite(bound?);
     tracer.close(sp);
     let schema = plan.schema();
+    let sys_views = sysview::sys_scans(&plan);
     let (prog, report, before, after) = compile_plan(&plan, registry, opt_config, codegen, tracer)?;
-    Ok((prog, schema, report, before, after))
+    Ok((prog, schema, report, before, after, sys_views))
 }
 
 /// Compile + optimise a logical plan, with `codegen` and per-pass
@@ -308,17 +319,28 @@ fn run_program(
 /// also used by the DML executors). No `&mut` session state is required,
 /// which is what lets [`crate::SharedEngine`] run many concurrent
 /// readers over `Arc` column snapshots while writes serialize elsewhere.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn execute_plan(
     plan: &Plan,
     registry: &Registry,
     opt_config: OptConfig,
     codegen: &CodegenOptions,
+    catalog: &Catalog,
     arrays: &HashMap<String, ArrayStore>,
     tables: &HashMap<String, TableStore>,
+    sys: &SysData,
     tracer: &mut Tracer,
 ) -> Result<(ResultSet, LastExec)> {
     let (prog, report, before, after) = compile_plan(plan, registry, opt_config, codegen, tracer)?;
     let schema = plan.schema();
+    let sys_views = sysview::sys_scans(plan);
+    let augmented;
+    let tables = if sys_views.is_empty() {
+        tables
+    } else {
+        augmented = sysview::augment_tables(&sys_views, catalog, arrays, tables, sys)?;
+        &augmented
+    };
     let (rs, exec) = run_program(
         &prog,
         &schema,
@@ -353,6 +375,7 @@ pub(crate) fn execute_prepared_select(
     catalog: &Catalog,
     arrays: &HashMap<String, ArrayStore>,
     tables: &HashMap<String, TableStore>,
+    sys: &SysData,
     tracer: &mut Tracer,
 ) -> Result<(ResultSet, LastExec)> {
     let Stmt::Select(sel) = &prep.stmt else {
@@ -368,7 +391,7 @@ pub(crate) fn execute_prepared_select(
         m.plan_cache_misses.inc();
     }
     if !hit {
-        let (prog, schema, report, before, after) =
+        let (prog, schema, report, before, after, sys_views) =
             compile_select(sel, registry, opt_config, codegen, catalog, tracer)?;
         prep.cache = Some(CachedPlan {
             prog,
@@ -379,12 +402,20 @@ pub(crate) fn execute_prepared_select(
             opt_report: report,
             instrs_before: before,
             instrs_after: after,
+            sys_views,
         });
     }
     let cache = prep.cache.as_ref().expect("compiled above");
     if tracer.is_on() {
         tracer.note(SpanId::ROOT, "plan_cache_hit", u64::from(hit));
     }
+    let augmented;
+    let tables = if cache.sys_views.is_empty() {
+        tables
+    } else {
+        augmented = sysview::augment_tables(&cache.sys_views, catalog, arrays, tables, sys)?;
+        &augmented
+    };
     let (rs, mut exec) = run_program(
         &cache.prog,
         &cache.schema,

@@ -43,12 +43,15 @@ pub mod exec;
 pub mod result;
 pub mod session;
 pub mod storage;
+mod sysview;
 
 #[cfg(test)]
 mod tests;
 
 pub use copy::write_copy_binary;
-pub use engine::{EngineSession, EngineSnapshot, EngineStats, SessionStats, SharedEngine};
+pub use engine::{
+    EngineSession, EngineSnapshot, EngineStats, SessionMeter, SessionStats, SharedEngine,
+};
 pub use exec::Prepared;
 pub use result::{ArrayView, ColumnMeta, ResultSet};
 pub use session::{Connection, LastExec, QueryResult, SessionConfig};

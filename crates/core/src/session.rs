@@ -4,6 +4,7 @@
 use crate::exec::{self, PreparedSet};
 use crate::result::ResultSet;
 use crate::storage::{ArrayStore, TableStore};
+use crate::sysview::SysData;
 use crate::{EngineError, Result};
 use gdk::{Bat, Value};
 use mal::{ExecStats, OptConfig, PassStats, Registry};
@@ -76,6 +77,12 @@ pub struct SessionConfig {
     /// and theta selections. Results are identical either way; the
     /// differential tests pin that down by toggling this.
     pub zone_skip: bool,
+    /// Slow-query threshold, wall nanoseconds. Statements at least this
+    /// slow are flagged `slow` in `sys.query_log` and leave a full span
+    /// trace behind ([`Connection::last_trace`]) even when tracing is
+    /// otherwise off. `0` (the default) disables the slow-query log.
+    /// Changing this never invalidates cached plans.
+    pub slow_query_ns: u64,
 }
 
 impl Default for SessionConfig {
@@ -86,6 +93,7 @@ impl Default for SessionConfig {
             parallel_threshold: par.parallel_threshold,
             opt_level: 2,
             zone_skip: par.zone_skip,
+            slow_query_ns: 0,
         }
     }
 }
@@ -138,6 +146,12 @@ pub struct Connection {
     trace_enabled: bool,
     /// The span tree of the most recent traced statement.
     last_trace: Option<Trace>,
+    /// Slow-query threshold in wall nanoseconds (0 = off). Kept outside
+    /// [`CodegenOptions`] so toggling it never invalidates plan caches.
+    slow_query_ns: u64,
+    /// Session id stamped into query-log records (0 = embedded; the
+    /// shared engine sets the real id around serialized writes).
+    pub(crate) session_id: u64,
 }
 
 impl Default for Connection {
@@ -168,6 +182,8 @@ impl Connection {
             replaying: false,
             trace_enabled: false,
             last_trace: None,
+            slow_query_ns: 0,
+            session_id: 0,
         };
         conn.set_session_config(cfg);
         conn
@@ -366,6 +382,7 @@ impl Connection {
             self.opt_config = OptConfig::level(cfg.opt_level);
         }
         self.codegen.opt_level = cfg.opt_level;
+        self.slow_query_ns = cfg.slow_query_ns;
     }
 
     /// The session's current execution configuration.
@@ -375,6 +392,29 @@ impl Connection {
             parallel_threshold: self.codegen.parallel_threshold,
             opt_level: self.codegen.opt_level,
             zone_skip: self.codegen.zone_skip,
+            slow_query_ns: self.slow_query_ns,
+        }
+    }
+
+    /// Set the slow-query threshold (wall nanoseconds; 0 disables).
+    /// While armed, every statement is traced so a slow one leaves its
+    /// full span tree in [`Connection::last_trace`], and crossings are
+    /// flagged in `sys.query_log`.
+    pub fn set_slow_query_ns(&mut self, ns: u64) {
+        self.slow_query_ns = ns;
+    }
+
+    /// The current slow-query threshold (0 = off).
+    pub fn slow_query_ns(&self) -> u64 {
+        self.slow_query_ns
+    }
+
+    /// Out-of-snapshot state the `sys.*` synthesizers need (vault
+    /// counters; the shared engine adds its session registry).
+    pub(crate) fn sys_data(&self) -> SysData {
+        SysData {
+            vault: self.vault_stats(),
+            sessions: Vec::new(),
         }
     }
 
@@ -426,7 +466,10 @@ impl Connection {
     }
 
     fn new_tracer(&self, label: &str) -> Tracer {
-        if self.trace_enabled {
+        // An armed slow-query log traces every statement so a slow one
+        // can leave its full span tree behind; fast statements discard
+        // the trace in `execute_stmt_traced`.
+        if self.trace_enabled || self.slow_query_ns > 0 {
             Tracer::on(label)
         } else {
             Tracer::off()
@@ -457,14 +500,19 @@ impl Connection {
     /// ordinary (WAL-logged) dispatch path.
     pub fn execute_prepared(&mut self, name: &str, params: &[Value]) -> Result<QueryResult> {
         let trace_enabled = self.trace_enabled;
+        let slow_ns = self.slow_query_ns;
+        let session_id = self.session_id;
+        let sys = self.sys_data();
         let prep = self.prepared.get_mut(name)?;
         prep.check_params(params)?;
         if prep.is_select() {
-            let mut tracer = if trace_enabled {
+            let mut tracer = if trace_enabled || slow_ns > 0 {
                 Tracer::on(prep.sql())
             } else {
                 Tracer::off()
             };
+            let text = prep.sql().to_owned();
+            let started_us = sciql_obs::now_unix_us();
             let t0 = Instant::now();
             let ran = exec::execute_prepared_select(
                 prep,
@@ -475,17 +523,45 @@ impl Connection {
                 &self.catalog,
                 &self.arrays,
                 &self.tables,
+                &sys,
                 &mut tracer,
             );
+            let wall = t0.elapsed();
             let m = sciql_obs::global();
-            m.query_ns.observe(t0.elapsed());
+            m.query_ns.observe(wall);
             match &ran {
                 Ok(_) => m.queries_select.inc(),
                 Err(_) => m.queries_failed.inc(),
             }
+            let wall_ns = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX);
+            let slow = slow_ns > 0 && wall_ns >= slow_ns;
             if let Some(trace) = tracer.finish() {
-                self.last_trace = Some(trace);
+                if trace_enabled || slow {
+                    self.last_trace = Some(trace);
+                }
             }
+            sciql_obs::query_log().record(sciql_obs::QueryRecord {
+                id: 0,
+                session: session_id,
+                kind: "select",
+                text,
+                started_us,
+                wall_ns,
+                rows: ran
+                    .as_ref()
+                    .map(|(rs, _)| rs.row_count() as u64)
+                    .unwrap_or(0),
+                plan_cache_hit: ran
+                    .as_ref()
+                    .map(|(_, l)| l.exec.plan_cache_hits > 0)
+                    .unwrap_or(false),
+                tiles_skipped: ran
+                    .as_ref()
+                    .map(|(_, l)| l.exec.tiles_skipped as u64)
+                    .unwrap_or(0),
+                slow,
+                error: ran.as_ref().err().map(|e| e.to_string()),
+            });
             let (rs, last) = ran?;
             self.last = last;
             return Ok(QueryResult::Rows(rs));
@@ -524,29 +600,57 @@ impl Connection {
     /// actual in-memory state. The same fallback covers a WAL append that
     /// itself fails after a successful statement.
     pub fn execute_stmt(&mut self, stmt: &Stmt) -> Result<QueryResult> {
-        let tracer = if self.trace_enabled {
-            Tracer::on(stmt.to_string())
-        } else {
-            Tracer::off()
-        };
+        let tracer = self.new_tracer(&stmt.to_string());
         self.execute_stmt_traced(stmt, tracer)
     }
 
     /// [`Connection::execute_stmt`] with an already-opened tracer (the
-    /// `execute` path owns the `parse` span). Also the metrics tap:
-    /// every statement lands in the global query-latency histogram and
-    /// a by-kind counter.
+    /// `execute` path owns the `parse` span). Also the observability tap:
+    /// every statement lands in the global query-latency histogram, a
+    /// by-kind counter and the ring-buffered query log (`sys.query_log`);
+    /// statements at or over [`Connection::slow_query_ns`] are flagged
+    /// slow and keep their span trace even with tracing off.
     fn execute_stmt_traced(&mut self, stmt: &Stmt, mut tracer: Tracer) -> Result<QueryResult> {
+        let started_us = sciql_obs::now_unix_us();
         let t0 = Instant::now();
         let result = self.execute_stmt_inner(stmt, &mut tracer);
+        let wall = t0.elapsed();
         let m = sciql_obs::global();
-        m.query_ns.observe(t0.elapsed());
+        m.query_ns.observe(wall);
         match &result {
             Ok(_) => stmt_kind_counter(stmt).inc(),
             Err(_) => m.queries_failed.inc(),
         }
+        let wall_ns = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX);
+        let slow = self.slow_query_ns > 0 && wall_ns >= self.slow_query_ns;
         if let Some(trace) = tracer.finish() {
-            self.last_trace = Some(trace);
+            // A forced (slow-log) trace is only worth keeping when it
+            // actually caught a slow statement.
+            if self.trace_enabled || slow {
+                self.last_trace = Some(trace);
+            }
+        }
+        if !self.replaying {
+            let (rows, tiles_skipped) = match &result {
+                Ok(QueryResult::Rows(rs)) => {
+                    (rs.row_count() as u64, self.last.exec.tiles_skipped as u64)
+                }
+                Ok(QueryResult::Affected(n)) => (*n as u64, 0),
+                Err(_) => (0, 0),
+            };
+            sciql_obs::query_log().record(sciql_obs::QueryRecord {
+                id: 0,
+                session: self.session_id,
+                kind: stmt_kind_name(stmt),
+                text: stmt.to_string(),
+                started_us,
+                wall_ns,
+                rows,
+                plan_cache_hit: false,
+                tiles_skipped,
+                slow,
+                error: result.as_ref().err().map(|e| e.to_string()),
+            });
         }
         result
     }
@@ -745,13 +849,16 @@ impl Connection {
     }
 
     fn run_plan_traced(&mut self, plan: &Plan, tracer: &mut Tracer) -> Result<ResultSet> {
+        let sys = self.sys_data();
         let (rs, last) = exec::execute_plan(
             plan,
             &self.registry,
             self.opt_config,
             &self.codegen,
+            &self.catalog,
             &self.arrays,
             &self.tables,
+            &sys,
             tracer,
         )?;
         self.last = last;
@@ -842,6 +949,21 @@ fn stmt_kind_counter(stmt: &Stmt) -> &'static sciql_obs::Counter {
         | Stmt::CreateArray { .. }
         | Stmt::Drop { .. }
         | Stmt::AlterDimension { .. } => &m.queries_ddl,
+    }
+}
+
+/// The `sys.query_log` kind tag of a statement.
+fn stmt_kind_name(stmt: &Stmt) -> &'static str {
+    match stmt {
+        Stmt::Select(_) => "select",
+        Stmt::Explain { .. } => "explain",
+        Stmt::Insert { .. } | Stmt::Delete { .. } | Stmt::Update { .. } | Stmt::Copy { .. } => {
+            "dml"
+        }
+        Stmt::CreateTable { .. }
+        | Stmt::CreateArray { .. }
+        | Stmt::Drop { .. }
+        | Stmt::AlterDimension { .. } => "ddl",
     }
 }
 

@@ -27,6 +27,7 @@ pub mod codec;
 pub mod fused;
 pub mod group;
 pub mod join;
+pub mod like;
 pub mod par;
 pub mod project;
 pub mod select;

@@ -1,0 +1,149 @@
+//! SQL `LIKE` pattern matching over strings and string BATs.
+//!
+//! Patterns use the standard wildcards: `%` matches any (possibly
+//! empty) substring, `_` matches exactly one character. Matching is
+//! case-sensitive, as in MonetDB. A `\` escapes the next pattern
+//! character, so `\%` matches a literal percent sign.
+
+use crate::{Bat, GdkError, Result, ScalarType, Value};
+
+/// One element of a compiled LIKE pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    /// `%` — any run of characters, including the empty run.
+    Any,
+    /// `_` — exactly one character.
+    One,
+    /// A literal chunk (maximal run of non-wildcard characters).
+    Lit(String),
+}
+
+/// Compile a LIKE pattern into wildcard/literal tokens, resolving
+/// `\`-escapes and merging adjacent literals.
+fn compile(pattern: &str) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    let mut lit = String::new();
+    let mut chars = pattern.chars();
+    let flush = |lit: &mut String, toks: &mut Vec<Tok>| {
+        if !lit.is_empty() {
+            toks.push(Tok::Lit(std::mem::take(lit)));
+        }
+    };
+    while let Some(c) = chars.next() {
+        match c {
+            '%' => {
+                flush(&mut lit, &mut toks);
+                // Collapse runs of % — they are equivalent to one.
+                if toks.last() != Some(&Tok::Any) {
+                    toks.push(Tok::Any);
+                }
+            }
+            '_' => {
+                flush(&mut lit, &mut toks);
+                toks.push(Tok::One);
+            }
+            '\\' => lit.push(chars.next().unwrap_or('\\')),
+            c => lit.push(c),
+        }
+    }
+    flush(&mut lit, &mut toks);
+    toks
+}
+
+/// Match compiled tokens against `text` (greedy backtracking over `%`).
+fn match_toks(toks: &[Tok], text: &str) -> bool {
+    match toks.first() {
+        None => text.is_empty(),
+        Some(Tok::Lit(l)) => text
+            .strip_prefix(l.as_str())
+            .is_some_and(|rest| match_toks(&toks[1..], rest)),
+        Some(Tok::One) => {
+            let mut cs = text.chars();
+            cs.next().is_some() && match_toks(&toks[1..], cs.as_str())
+        }
+        Some(Tok::Any) => {
+            if toks.len() == 1 {
+                return true;
+            }
+            // Try every suffix (char boundaries only).
+            let mut rest = text;
+            loop {
+                if match_toks(&toks[1..], rest) {
+                    return true;
+                }
+                let mut cs = rest.chars();
+                if cs.next().is_none() {
+                    return false;
+                }
+                rest = cs.as_str();
+            }
+        }
+    }
+}
+
+/// Does `text` match the SQL LIKE `pattern`?
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    match_toks(&compile(pattern), text)
+}
+
+/// Element-wise LIKE over a string BAT: returns an aligned bit BAT
+/// (`nil` in, `nil` out — SQL three-valued logic).
+pub fn like(b: &Bat, pattern: &str) -> Result<Bat> {
+    if b.tail_type() != ScalarType::Str {
+        return Err(GdkError::type_mismatch(format!(
+            "LIKE requires a string column, got {}",
+            b.tail_type()
+        )));
+    }
+    let toks = compile(pattern);
+    let mut bits = Vec::with_capacity(b.len());
+    for v in b.iter_values() {
+        bits.push(match v {
+            Value::Str(s) => Some(match_toks(&toks, &s)),
+            _ => None,
+        });
+    }
+    Ok(Bat::from_bits(bits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wildcard_semantics() {
+        assert!(like_match("wal_appends", "wal%"));
+        assert!(like_match("wal", "wal%"));
+        assert!(like_match("walrus", "wal_us"));
+        assert!(!like_match("walruses", "wal_us"));
+        assert!(like_match("walrus", "wal_u_"));
+        assert!(like_match("abc", "%"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("abc", "%c"));
+        assert!(like_match("abc", "%b%"));
+        assert!(!like_match("abc", "%d%"));
+        assert!(like_match("a%c", "a\\%c"));
+        assert!(!like_match("abc", "a\\%c"));
+        assert!(like_match("exact", "exact"));
+        assert!(!like_match("exact", "exac"));
+    }
+
+    #[test]
+    fn percent_runs_collapse() {
+        assert_eq!(compile("%%a%%"), compile("%a%"));
+        assert!(like_match("xxaxx", "%%a%%"));
+    }
+
+    #[test]
+    fn bat_kernel_is_null_preserving() {
+        let b = Bat::from_strs(vec![Some("wal_fsyncs"), None, Some("queries")]);
+        let out = like(&b, "wal%").unwrap();
+        assert_eq!(
+            out.to_values(),
+            vec![Value::Bit(true), Value::Null, Value::Bit(false)]
+        );
+        let ints = Bat::from_ints(vec![1, 2]);
+        assert!(like(&ints, "x%").is_err());
+    }
+}

@@ -161,6 +161,24 @@ pub fn register(r: &mut Registry) {
         _ => Err(MalError::msg("abs takes one argument")),
     });
 
+    // batcalc.like(col:bat[str], pattern:str) — SQL LIKE mask
+    // (nil-preserving; `%`/`_` wildcards, `\` escapes).
+    r.register("batcalc", "like", |args, _ctx| {
+        if args.len() != 2 {
+            return Err(MalError::msg("like takes (column, pattern)"));
+        }
+        let b = args[0].as_bat()?;
+        let pat = match args[1].as_scalar()? {
+            Value::Str(s) => s.clone(),
+            other => {
+                return Err(MalError::msg(format!(
+                    "like pattern must be a string, got {other}"
+                )))
+            }
+        };
+        Ok(vec![MalValue::bat(gdk::like::like(b, &pat)?)])
+    });
+
     // batcalc.fill(template:bat, v) — constant column aligned with template.
     r.register("batcalc", "fill", |args, _ctx| {
         if args.len() != 2 {

@@ -36,9 +36,11 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod http;
 pub mod proto;
 pub mod server;
 
 pub use client::{Client, NetReply};
+pub use http::{MetricsEndpoint, MetricsHandle};
 pub use proto::{ExecReport, NetError, NetResult, PROTO_VERSION};
 pub use server::{Server, ServerConfig, ServerHandle};

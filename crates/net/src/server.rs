@@ -211,26 +211,32 @@ enum SessionEnd {
 }
 
 /// Byte-metering socket wrapper: every read and write a session makes
-/// feeds the global `bytes_in`/`bytes_out` counters.
-struct Metered<'a>(&'a mut TcpStream);
+/// feeds the global `bytes_in`/`bytes_out` counters and the session's
+/// own meter (the `bytes_in`/`bytes_out` columns of `sys.sessions`).
+struct Metered<'a> {
+    stream: &'a mut TcpStream,
+    meter: sciql::SessionMeter,
+}
 
 impl std::io::Read for Metered<'_> {
     fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        let n = std::io::Read::read(self.0, buf)?;
+        let n = std::io::Read::read(self.stream, buf)?;
         sciql_obs::global().bytes_in.add(n as u64);
+        self.meter.add_in(n as u64);
         Ok(n)
     }
 }
 
 impl std::io::Write for Metered<'_> {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        let n = self.0.write(buf)?;
+        let n = self.stream.write(buf)?;
         sciql_obs::global().bytes_out.add(n as u64);
+        self.meter.add_out(n as u64);
         Ok(n)
     }
 
     fn flush(&mut self) -> std::io::Result<()> {
-        self.0.flush()
+        self.stream.flush()
     }
 }
 
@@ -248,8 +254,16 @@ fn serve_session(shared: &Shared, mut stream: TcpStream) {
     stream.set_nodelay(true).ok();
     let gauge = &sciql_obs::global().sessions_open;
     gauge.inc();
+    let session_peer = stream.peer_addr();
     let mut session = shared.engine.session();
-    let mut wire = Metered(&mut stream);
+    if let Ok(peer) = session_peer {
+        session.set_peer(&peer.to_string());
+    }
+    let meter = session.meter();
+    let mut wire = Metered {
+        stream: &mut stream,
+        meter,
+    };
     let end = session_loop(shared, &mut wire, &mut session);
     // Best-effort farewell; the peer may already be gone.
     let farewell = match end {

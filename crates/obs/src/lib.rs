@@ -1,6 +1,6 @@
 //! Observability substrate for the SciQL engine.
 //!
-//! Two pillars, both pure `std`:
+//! Three pillars, all pure `std`:
 //!
 //! * **Per-query tracing** ([`span`]): a lightweight span tree recording
 //!   monotonic-clock wall times and counter annotations for every phase
@@ -18,17 +18,24 @@
 //!   renders either as a human table or in Prometheus text exposition
 //!   format.
 //!
+//! * **Query history** ([`qlog`]): a fixed-capacity ring of
+//!   [`QueryRecord`]s — one per executed statement, with wall time,
+//!   row count, plan-cache and tile-skip stats, and a slow flag. It
+//!   backs the `sys.query_log` system view and the repl's `\history`.
+//!
 //! [`report`] holds the one renderer for per-statement execution
 //! reports, shared by the repl's `\timing` and the driver so embedded
 //! and TCP sessions print identical text.
 
 pub mod metrics;
+pub mod qlog;
 pub mod report;
 pub mod span;
 
 pub use metrics::{
-    global, Counter, Gauge, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot,
-    LATENCY_BOUNDS_NS,
+    escape_help, escape_label, global, metric_help, Counter, Gauge, Histogram, HistogramSnapshot,
+    Metrics, MetricsSnapshot, LATENCY_BOUNDS_NS,
 };
+pub use qlog::{now_unix_us, query_log, QueryLog, QueryRecord, QUERY_LOG_CAPACITY};
 pub use report::{render_exec_summary, ExecSummary};
 pub use span::{Span, SpanId, Trace, Tracer};

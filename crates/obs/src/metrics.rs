@@ -155,20 +155,30 @@ pub struct HistogramSnapshot {
 
 impl HistogramSnapshot {
     /// Estimate the `q`-quantile (0..=1) as the upper bound of the
-    /// bucket containing it. Returns 0 for an empty histogram.
+    /// bucket containing it.
+    ///
+    /// Edge cases are pinned rather than interpolated: an empty
+    /// histogram reports 0, a single observation reports that exact
+    /// value (`sum_ns` holds it), and a rank landing in the overflow
+    /// (`+Inf`) bucket reports the bucket's *lower* bound — the only
+    /// honest figure available, since the bucket has no upper edge.
     pub fn quantile_ns(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
+        if self.count == 1 {
+            return self.sum_ns;
+        }
+        let top = LATENCY_BOUNDS_NS[LATENCY_BOUNDS_NS.len() - 1];
         let rank = (q * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return LATENCY_BOUNDS_NS.get(i).copied().unwrap_or(u64::MAX);
+                return LATENCY_BOUNDS_NS.get(i).copied().unwrap_or(top);
             }
         }
-        u64::MAX
+        top
     }
 
     /// Median estimate, nanoseconds.
@@ -194,17 +204,17 @@ impl HistogramSnapshot {
 
 macro_rules! metrics_struct {
     (
-        counters { $($(#[$cm:meta])* $counter:ident),* $(,)? }
-        gauges { $($(#[$gm:meta])* $gauge:ident),* $(,)? }
-        histograms { $($(#[$hm:meta])* $hist:ident),* $(,)? }
+        counters { $($counter:ident : $chelp:literal),* $(,)? }
+        gauges { $($gauge:ident : $ghelp:literal),* $(,)? }
+        histograms { $($hist:ident : $hhelp:literal),* $(,)? }
     ) => {
         /// The engine-wide registry. One static instance per process —
         /// obtain it with [`global()`].
         #[derive(Debug, Default)]
         pub struct Metrics {
-            $($(#[$cm])* pub $counter: Counter,)*
-            $($(#[$gm])* pub $gauge: Gauge,)*
-            $($(#[$hm])* pub $hist: Histogram,)*
+            $(#[doc = $chelp] pub $counter: Counter,)*
+            $(#[doc = $ghelp] pub $gauge: Gauge,)*
+            $(#[doc = $hhelp] pub $hist: Histogram,)*
         }
 
         impl Metrics {
@@ -227,53 +237,46 @@ macro_rules! metrics_struct {
                 }
             }
         }
+
+        /// The registry help text for a metric name (the `# HELP` line
+        /// of the Prometheus exposition, and the description column of
+        /// `sys.metrics`).
+        pub fn metric_help(name: &str) -> Option<&'static str> {
+            match name {
+                $(stringify!($counter) => Some($chelp),)*
+                $(stringify!($gauge) => Some($ghelp),)*
+                $(stringify!($hist) => Some($hhelp),)*
+                _ => None,
+            }
+        }
     };
 }
 
 metrics_struct! {
     counters {
-        /// Successfully executed SELECT statements.
-        queries_select,
-        /// Successfully executed DML statements (INSERT/UPDATE/DELETE/COPY).
-        queries_dml,
-        /// Successfully executed DDL statements.
-        queries_ddl,
-        /// Statements that failed with an error.
-        queries_failed,
-        /// Plan-cache hits on prepared-statement execution.
-        plan_cache_hits,
-        /// Plan-cache misses (compiles).
-        plan_cache_misses,
-        /// WAL records appended.
-        wal_appends,
-        /// WAL fsyncs issued.
-        wal_fsyncs,
-        /// Checkpoints completed.
-        checkpoints,
-        /// Tiles rewritten by checkpoints.
-        tiles_rewritten,
-        /// Clean tiles reused by checkpoints.
-        tiles_reused,
-        /// Tiles skipped by zone-map scans.
-        tiles_skipped,
-        /// Sessions opened since process start.
-        sessions_opened,
-        /// Bytes received from network clients.
-        bytes_in,
-        /// Bytes sent to network clients.
-        bytes_out,
+        queries_select: "Successfully executed SELECT statements.",
+        queries_dml: "Successfully executed DML statements (INSERT/UPDATE/DELETE/COPY).",
+        queries_ddl: "Successfully executed DDL statements.",
+        queries_failed: "Statements that failed with an error.",
+        plan_cache_hits: "Plan-cache hits on prepared-statement execution.",
+        plan_cache_misses: "Plan-cache misses (compiles).",
+        wal_appends: "WAL records appended.",
+        wal_fsyncs: "WAL fsyncs issued.",
+        checkpoints: "Checkpoints completed.",
+        tiles_rewritten: "Tiles rewritten by checkpoints.",
+        tiles_reused: "Clean tiles reused by checkpoints.",
+        tiles_skipped: "Tiles skipped by zone-map scans.",
+        sessions_opened: "Sessions opened since process start.",
+        bytes_in: "Bytes received from network clients.",
+        bytes_out: "Bytes sent to network clients.",
     }
     gauges {
-        /// Currently connected network sessions.
-        sessions_open,
+        sessions_open: "Currently connected network sessions.",
     }
     histograms {
-        /// End-to-end statement latency.
-        query_ns,
-        /// WAL fsync latency.
-        wal_fsync_ns,
-        /// Checkpoint duration.
-        checkpoint_ns,
+        query_ns: "End-to-end statement latency.",
+        wal_fsync_ns: "WAL fsync latency.",
+        checkpoint_ns: "Checkpoint duration.",
     }
 }
 
@@ -353,21 +356,30 @@ impl MetricsSnapshot {
         out
     }
 
-    /// Prometheus text exposition format (`sciql_` prefix; histograms
-    /// as cumulative `_bucket{le=…}` series in seconds).
+    /// Prometheus text exposition format (`sciql_` prefix; `# HELP` /
+    /// `# TYPE` per family; histograms as cumulative `_bucket{le=…}`
+    /// series in seconds with a `+Inf` bucket plus `_sum`/`_count`).
     pub fn to_prometheus_text(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
+        let help = |out: &mut String, family: &str, name: &str| {
+            if let Some(h) = metric_help(name) {
+                let _ = writeln!(out, "# HELP {family} {}", escape_help(h));
+            }
+        };
         for (n, v) in &self.counters {
+            help(&mut out, &format!("sciql_{n}_total"), n);
             let _ = writeln!(out, "# TYPE sciql_{n}_total counter");
             let _ = writeln!(out, "sciql_{n}_total {v}");
         }
         for (n, v) in &self.gauges {
+            help(&mut out, &format!("sciql_{n}"), n);
             let _ = writeln!(out, "# TYPE sciql_{n} gauge");
             let _ = writeln!(out, "sciql_{n} {v}");
         }
         for (n, h) in &self.histograms {
             let base = n.strip_suffix("_ns").unwrap_or(n);
+            help(&mut out, &format!("sciql_{base}_seconds"), n);
             let _ = writeln!(out, "# TYPE sciql_{base}_seconds histogram");
             let mut cum = 0u64;
             for (i, &c) in h.counts.iter().enumerate() {
@@ -389,5 +401,152 @@ impl MetricsSnapshot {
             let _ = writeln!(out, "sciql_{base}_seconds_count {}", h.count);
         }
         out
+    }
+}
+
+/// Escape text for a Prometheus `# HELP` line (`\` and newline).
+pub fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escape text for a Prometheus label value (`\`, `"` and newline).
+pub fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_empty_is_zero() {
+        let h = Histogram::new();
+        let s = h.snapshot();
+        assert_eq!(s.quantile_ns(0.5), 0);
+        assert_eq!(s.p99_ns(), 0);
+    }
+
+    #[test]
+    fn quantile_single_observation_is_exact() {
+        let h = Histogram::new();
+        h.observe_ns(12_345);
+        let s = h.snapshot();
+        // One observation: every quantile is that exact value, not the
+        // bucket's upper bound (16_000 here).
+        assert_eq!(s.quantile_ns(0.5), 12_345);
+        assert_eq!(s.quantile_ns(0.99), 12_345);
+    }
+
+    #[test]
+    fn quantile_overflow_bucket_reports_lower_bound() {
+        let h = Histogram::new();
+        // Two observations beyond the last finite bound land in +Inf.
+        h.observe_ns(10_000_000_000);
+        h.observe_ns(20_000_000_000);
+        let s = h.snapshot();
+        let top = LATENCY_BOUNDS_NS[LATENCY_BOUNDS_NS.len() - 1];
+        assert_eq!(s.quantile_ns(0.5), top);
+        assert_eq!(s.quantile_ns(0.99), top);
+        assert_ne!(s.quantile_ns(0.99), u64::MAX);
+    }
+
+    #[test]
+    fn quantile_regular_path_uses_bucket_upper_bound() {
+        let h = Histogram::new();
+        for _ in 0..10 {
+            h.observe_ns(500); // bucket 0, le=1_000
+        }
+        h.observe_ns(3_000_000_000); // near the top finite bucket
+        let s = h.snapshot();
+        assert_eq!(s.quantile_ns(0.5), 1_000);
+        assert_eq!(s.quantile_ns(1.0), 4_194_304_000);
+    }
+
+    #[test]
+    fn help_table_covers_every_metric() {
+        let snap = Metrics::new().snapshot();
+        for (n, _) in &snap.counters {
+            assert!(metric_help(n).is_some(), "no HELP for counter {n}");
+        }
+        for (n, _) in &snap.gauges {
+            assert!(metric_help(n).is_some(), "no HELP for gauge {n}");
+        }
+        for (n, _) in &snap.histograms {
+            assert!(metric_help(n).is_some(), "no HELP for histogram {n}");
+        }
+        assert_eq!(metric_help("no_such_metric"), None);
+    }
+
+    #[test]
+    fn escaping_rules() {
+        assert_eq!(escape_help("a\\b\nc"), "a\\\\b\\nc");
+        assert_eq!(escape_label("say \"hi\"\n"), "say \\\"hi\\\"\\n");
+    }
+
+    /// Parser-style conformance check: walk the exposition line by line
+    /// and verify the shape Prometheus' text format requires.
+    #[test]
+    fn prometheus_exposition_conforms() {
+        let m = Metrics::new();
+        m.queries_select.add(3);
+        m.sessions_open.inc();
+        m.query_ns.observe_ns(2_000);
+        m.query_ns.observe_ns(10_000_000_000);
+        let text = m.snapshot().to_prometheus_text();
+
+        let mut families: Vec<(String, String)> = Vec::new(); // (name, type)
+        let mut last_help: Option<String> = None;
+        for line in text.lines() {
+            assert!(!line.is_empty(), "exposition must not contain blank lines");
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let (name, help) = rest.split_once(' ').expect("HELP has name and text");
+                assert!(!help.is_empty());
+                last_help = Some(name.to_owned());
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let (name, ty) = rest.split_once(' ').expect("TYPE has name and kind");
+                // HELP must immediately precede TYPE for the family.
+                assert_eq!(last_help.as_deref(), Some(name), "HELP/TYPE pairing");
+                assert!(matches!(ty, "counter" | "gauge" | "histogram"));
+                families.push((name.to_owned(), ty.to_owned()));
+            } else {
+                // Sample line: name{labels} value
+                let (series, value) = line.rsplit_once(' ').expect("sample has value");
+                assert!(value.parse::<f64>().is_ok(), "unparsable value {value}");
+                let base = series.split('{').next().unwrap();
+                let (family, _) = families
+                    .iter()
+                    .rev()
+                    .find(|(f, _)| {
+                        base == f
+                            || base
+                                .strip_prefix(f.as_str())
+                                .is_some_and(|s| matches!(s, "_bucket" | "_sum" | "_count"))
+                    })
+                    .expect("sample outside any TYPE family");
+                assert!(series.starts_with(family.as_str()));
+            }
+        }
+
+        // Counters end in _total; histograms carry +Inf and cumulative
+        // buckets whose last count equals _count.
+        assert!(families
+            .iter()
+            .any(|(n, t)| n == "sciql_queries_select_total" && t == "counter"));
+        assert!(text.contains("sciql_queries_select_total 3"));
+        assert!(text.contains("sciql_sessions_open 1"));
+        assert!(text.contains("sciql_query_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("sciql_query_seconds_count 2"));
+        let bucket_lines: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("sciql_query_seconds_bucket"))
+            .map(|l| l.rsplit_once(' ').unwrap().1.parse().unwrap())
+            .collect();
+        assert!(
+            bucket_lines.windows(2).all(|w| w[0] <= w[1]),
+            "histogram buckets must be cumulative"
+        );
+        assert_eq!(*bucket_lines.last().unwrap(), 2);
     }
 }

@@ -1,0 +1,169 @@
+//! Query history: a fixed-capacity ring of executed statements.
+//!
+//! Every statement the engine runs — embedded or over the wire —
+//! pushes one [`QueryRecord`] into the process-global ring via
+//! [`query_log`]. The ring backs the `sys.query_log` system view and
+//! the repl's `\history`, and doubles as the slow-query log: records
+//! whose wall time crossed the session's `slow_query_ns` threshold
+//! carry `slow = true` (and the executor leaves a rendered span trace
+//! behind for them).
+//!
+//! The ring is a mutex around a `VecDeque`; pushes are O(1) and the
+//! lock is held only for the copy, so the hot path cost is one small
+//! clone per statement — invisible next to parse + execute.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// How many records the ring retains before evicting the oldest.
+pub const QUERY_LOG_CAPACITY: usize = 512;
+
+/// One executed statement in the history ring (`sys.query_log` row).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct QueryRecord {
+    /// Monotonic sequence number, assigned by the ring on insert
+    /// (0 until then). Survives eviction, so gaps reveal truncation.
+    pub id: u64,
+    /// Session the statement ran on (0 = embedded connection).
+    pub session: u64,
+    /// Statement kind: `select`, `dml`, `ddl`, `explain`.
+    pub kind: &'static str,
+    /// The statement text as received.
+    pub text: String,
+    /// Wall-clock start, microseconds since the Unix epoch.
+    pub started_us: i64,
+    /// End-to-end wall time, nanoseconds.
+    pub wall_ns: u64,
+    /// Rows returned (result sets) or affected (DML).
+    pub rows: u64,
+    /// Did prepared execution reuse a cached plan?
+    pub plan_cache_hit: bool,
+    /// Tiles the zone-map scan skipped.
+    pub tiles_skipped: u64,
+    /// Crossed the session's `slow_query_ns` threshold?
+    pub slow: bool,
+    /// Error message when the statement failed.
+    pub error: Option<String>,
+}
+
+/// Wall-clock "now" in microseconds since the Unix epoch (0 if the
+/// system clock predates it).
+pub fn now_unix_us() -> i64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros() as i64)
+        .unwrap_or(0)
+}
+
+/// A fixed-capacity ring of [`QueryRecord`]s.
+#[derive(Debug)]
+pub struct QueryLog {
+    ring: Mutex<(VecDeque<QueryRecord>, u64)>,
+    capacity: usize,
+}
+
+impl QueryLog {
+    /// An empty ring retaining at most `capacity` records.
+    pub const fn new(capacity: usize) -> QueryLog {
+        QueryLog {
+            ring: Mutex::new((VecDeque::new(), 0)),
+            capacity,
+        }
+    }
+
+    /// Append a record, assigning its sequence number; evicts the
+    /// oldest record when full.
+    pub fn record(&self, mut r: QueryRecord) {
+        let mut g = self.ring.lock().unwrap();
+        let (ring, next_id) = &mut *g;
+        *next_id += 1;
+        r.id = *next_id;
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(r);
+    }
+
+    /// Copy out every retained record, oldest first.
+    pub fn snapshot(&self) -> Vec<QueryRecord> {
+        self.ring.lock().unwrap().0.iter().cloned().collect()
+    }
+
+    /// Copy out the most recent `n` records, oldest of those first.
+    pub fn recent(&self, n: usize) -> Vec<QueryRecord> {
+        let g = self.ring.lock().unwrap();
+        let skip = g.0.len().saturating_sub(n);
+        g.0.iter().skip(skip).cloned().collect()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap().0.len()
+    }
+
+    /// Is the ring empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every retained record (tests and `\history` hygiene; the
+    /// sequence counter keeps running).
+    pub fn clear(&self) {
+        self.ring.lock().unwrap().0.clear();
+    }
+}
+
+static GLOBAL_LOG: QueryLog = QueryLog::new(QUERY_LOG_CAPACITY);
+
+/// The process-global query history every executor feeds.
+pub fn query_log() -> &'static QueryLog {
+    &GLOBAL_LOG
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(text: &str) -> QueryRecord {
+        QueryRecord {
+            text: text.into(),
+            kind: "select",
+            ..QueryRecord::default()
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_numbers_records() {
+        let log = QueryLog::new(3);
+        for i in 0..5 {
+            log.record(rec(&format!("q{i}")));
+        }
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(
+            snap.iter().map(|r| r.text.as_str()).collect::<Vec<_>>(),
+            vec!["q2", "q3", "q4"]
+        );
+        assert_eq!(snap.iter().map(|r| r.id).collect::<Vec<_>>(), vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn recent_takes_the_tail() {
+        let log = QueryLog::new(10);
+        for i in 0..4 {
+            log.record(rec(&format!("q{i}")));
+        }
+        let last2 = log.recent(2);
+        assert_eq!(
+            last2.iter().map(|r| r.text.as_str()).collect::<Vec<_>>(),
+            vec!["q2", "q3"]
+        );
+        assert_eq!(log.recent(100).len(), 4);
+        assert!(!log.is_empty());
+        log.clear();
+        assert!(log.is_empty());
+        log.record(rec("after"));
+        assert_eq!(log.snapshot()[0].id, 5);
+    }
+}

@@ -151,6 +151,17 @@ pub enum Expr {
         /// `NOT BETWEEN`?
         negated: bool,
     },
+    /// `expr [NOT] LIKE 'pattern'` (`%` any run, `_` one character,
+    /// `\` escapes).
+    Like {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Pattern operand (a string literal in well-formed queries;
+        /// the binder enforces this).
+        pattern: Box<Expr>,
+        /// `NOT LIKE`?
+        negated: bool,
+    },
     /// `expr [NOT] IN (v, …)`.
     InList {
         /// Tested expression.
@@ -222,6 +233,9 @@ impl Expr {
             Expr::Between { expr, lo, hi, .. } => {
                 expr.contains_aggregate() || lo.contains_aggregate() || hi.contains_aggregate()
             }
+            Expr::Like { expr, pattern, .. } => {
+                expr.contains_aggregate() || pattern.contains_aggregate()
+            }
             Expr::InList { expr, list, .. } => {
                 expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
             }
@@ -263,6 +277,10 @@ impl Expr {
                 expr.walk(f);
                 lo.walk(f);
                 hi.walk(f);
+            }
+            Expr::Like { expr, pattern, .. } => {
+                expr.walk(f);
+                pattern.walk(f);
             }
             Expr::InList { expr, list, .. } => {
                 expr.walk(f);
@@ -328,6 +346,15 @@ impl Expr {
                 expr: Box::new(rec(expr, f)),
                 lo: Box::new(rec(lo, f)),
                 hi: Box::new(rec(hi, f)),
+                negated: *negated,
+            },
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => Expr::Like {
+                expr: Box::new(rec(expr, f)),
+                pattern: Box::new(rec(pattern, f)),
                 negated: *negated,
             },
             Expr::InList {

@@ -606,7 +606,14 @@ impl Parser {
     }
 
     fn table_ref(&mut self) -> Result<TableRef, ParseError> {
-        let name = self.ident()?;
+        let mut name = self.ident()?;
+        // Schema-qualified name (`sys.metrics`): the dot joins into one
+        // catalog key, mirroring how the catalog stores system views.
+        if self.check(&TokenKind::Dot) && matches!(self.peek_ahead(1), TokenKind::Ident(_)) {
+            self.advance();
+            let rest = self.ident()?;
+            name = format!("{name}.{rest}");
+        }
         let mut slices = Vec::new();
         while self.check(&TokenKind::LBracket) {
             self.advance();
@@ -723,10 +730,11 @@ impl Parser {
                 negated,
             });
         }
-        // [NOT] BETWEEN / IN
+        // [NOT] BETWEEN / IN / LIKE
         let negated = if self.check_kw(Keyword::NOT)
             && (matches!(self.peek_ahead(1), TokenKind::Keyword(Keyword::BETWEEN))
-                || matches!(self.peek_ahead(1), TokenKind::Keyword(Keyword::IN)))
+                || matches!(self.peek_ahead(1), TokenKind::Keyword(Keyword::IN))
+                || matches!(self.peek_ahead(1), TokenKind::Keyword(Keyword::LIKE)))
         {
             self.advance();
             true
@@ -741,6 +749,14 @@ impl Parser {
                 expr: Box::new(lhs),
                 lo: Box::new(lo),
                 hi: Box::new(hi),
+                negated,
+            });
+        }
+        if self.eat_kw(Keyword::LIKE) {
+            let pattern = self.add_expr()?;
+            return Ok(Expr::Like {
+                expr: Box::new(lhs),
+                pattern: Box::new(pattern),
                 negated,
             });
         }
@@ -761,7 +777,7 @@ impl Parser {
             });
         }
         if negated {
-            return Err(self.unexpected("BETWEEN or IN after NOT"));
+            return Err(self.unexpected("BETWEEN, IN or LIKE after NOT"));
         }
         let op = match self.peek() {
             TokenKind::Eq => BinOp::Eq,

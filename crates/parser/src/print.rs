@@ -87,6 +87,15 @@ impl fmt::Display for Expr {
                 "(({expr}) {}BETWEEN ({lo}) AND ({hi}))",
                 if *negated { "NOT " } else { "" }
             ),
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => write!(
+                f,
+                "(({expr}) {}LIKE ({pattern}))",
+                if *negated { "NOT " } else { "" }
+            ),
             Expr::InList {
                 expr,
                 list,

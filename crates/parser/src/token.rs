@@ -132,7 +132,7 @@ keywords! {
     CREATE, TABLE, ARRAY, DIMENSION, DEFAULT, DROP, ALTER, SET, RANGE,
     INSERT, INTO, VALUES, DELETE, UPDATE,
     CASE, WHEN, THEN, ELSE, END,
-    AND, OR, NOT, NULL, IS, BETWEEN, IN, EXISTS, CAST,
+    AND, OR, NOT, NULL, IS, BETWEEN, IN, LIKE, EXISTS, CAST,
     TRUE, FALSE,
     JOIN, INNER, LEFT, OUTER, ON, CROSS,
     PRIMARY, KEY, CHECK,

@@ -71,6 +71,13 @@ fn expr() -> impl Strategy<Value = Expr> {
                     negated,
                 }
             ),
+            (inner.clone(), "[a-z%_]{0,8}", any::<bool>()).prop_map(|(e, pat, negated)| {
+                Expr::Like {
+                    expr: Box::new(e),
+                    pattern: Box::new(Expr::Literal(Literal::Str(pat))),
+                    negated,
+                }
+            }),
             (
                 inner.clone(),
                 proptest::collection::vec(inner.clone(), 1..3),
@@ -122,6 +129,7 @@ fn mentions_keyword(e: &Expr) -> bool {
         Expr::Between { expr, lo, hi, .. } => {
             mentions_keyword(expr) || mentions_keyword(lo) || mentions_keyword(hi)
         }
+        Expr::Like { expr, pattern, .. } => mentions_keyword(expr) || mentions_keyword(pattern),
         Expr::InList { expr, list, .. } => {
             mentions_keyword(expr) || list.iter().any(mentions_keyword)
         }

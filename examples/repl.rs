@@ -3,7 +3,8 @@
 //! queries") — built on the **unified driver API**: one
 //! `Sciql::connect(url)` call, whatever the backend.
 //!
-//! Run with: `cargo run --example repl [-- <URL> | --listen <addr> [--db <path>] [--metrics-text]]`
+//! Run with: `cargo run --example repl [-- <URL> | --listen <addr> [--db <path>]
+//! [--metrics-addr <addr>] [--metrics-text]]`
 //!
 //! URLs:
 //!   mem:                  fresh in-memory session (the default)
@@ -19,10 +20,13 @@
 //! With `--listen <addr>` (optionally plus `--db`) the process becomes a
 //! `sciql-net` server instead: N concurrent clients share the engine —
 //! reads on `Arc` column snapshots, writes serialized through the vault.
-//! It runs until a client sends `\shutdown`; with `--metrics-text` it
-//! dumps the engine-wide metrics registry in Prometheus text exposition
-//! format on shutdown (clients can fetch the same snapshot live with
-//! `\metrics`).
+//! It runs until a client sends `\shutdown`. With `--metrics-addr <addr>`
+//! the server also exposes a plain-HTTP scrape endpoint: `GET /metrics`
+//! serves the live Prometheus exposition, `GET /healthz` a health
+//! report. The legacy `--metrics-text` flag (dump the same exposition
+//! once, on shutdown) still works but is superseded by `--metrics-addr`;
+//! clients can always fetch the snapshot live with `\metrics` or query
+//! the `sys.metrics` view.
 //!
 //! Commands:
 //!   <SciQL statement>;          execute (multi-line until ';')
@@ -43,6 +47,11 @@
 //!                               tcp:// too — the server records, you fetch)
 //!   \metrics                    engine-wide metrics snapshot (the server's
 //!                               registry when remote)
+//!   \slow <ms>|off              flag statements at least this slow in
+//!                               sys.query_log and keep their span trace
+//!                               (embedded only; servers set it via config)
+//!   \history [n]                the last n (default 10) statements from the
+//!                               sys.query_log view — works on any transport
 //!   \ping                       round-trip probe
 //!   \shutdown                   stop the remote server (tcp:// only)
 //!   \q                          quit
@@ -51,7 +60,7 @@
 
 use sciql_repro::driver::{Conn, Outcome, Sciql, Statement};
 use sciql_repro::gdk::Value;
-use sciql_repro::net::Server;
+use sciql_repro::net::{MetricsEndpoint, Server};
 use sciql_repro::sciql::SharedEngine;
 use std::collections::HashMap;
 use std::io::{self, BufRead, Write};
@@ -62,8 +71,10 @@ fn main() {
     let mut listen: Option<String> = None;
     let mut connect: Option<String> = None;
     let mut url: Option<String> = None;
+    let mut metrics_addr: Option<String> = None;
     let mut metrics_text = false;
-    let usage = "usage: repl [<URL> | --listen <addr> [--db <path>] [--metrics-text]]  \
+    let usage = "usage: repl [<URL> | --listen <addr> [--db <path>] \
+                 [--metrics-addr <addr>] [--metrics-text]]  \
                  (URL = mem: | file:<path> | tcp://host:port)";
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -71,6 +82,7 @@ fn main() {
             "--db" => &mut db,
             "--listen" => &mut listen,
             "--connect" => &mut connect,
+            "--metrics-addr" => &mut metrics_addr,
             "--metrics-text" => {
                 metrics_text = true;
                 continue;
@@ -96,11 +108,11 @@ fn main() {
     }
 
     if let Some(addr) = listen {
-        serve(&addr, db.as_deref(), metrics_text);
+        serve(&addr, db.as_deref(), metrics_addr.as_deref(), metrics_text);
         return;
     }
-    if metrics_text {
-        eprintln!("--metrics-text only applies to --listen servers ({usage})");
+    if metrics_text || metrics_addr.is_some() {
+        eprintln!("--metrics-text/--metrics-addr only apply to --listen servers ({usage})");
         std::process::exit(2);
     }
 
@@ -138,7 +150,7 @@ fn main() {
 
 /// `--listen`: serve the (optionally durable) engine until a client asks
 /// for shutdown.
-fn serve(addr: &str, db: Option<&str>, metrics_text: bool) {
+fn serve(addr: &str, db: Option<&str>, metrics_addr: Option<&str>, metrics_text: bool) {
     let engine = match db {
         Some(path) => match SharedEngine::open(path) {
             Ok(e) => e,
@@ -149,6 +161,19 @@ fn serve(addr: &str, db: Option<&str>, metrics_text: bool) {
         },
         None => SharedEngine::in_memory(),
     };
+    let scrape = metrics_addr.map(|ma| {
+        let endpoint = MetricsEndpoint::bind(std::sync::Arc::clone(&engine), ma)
+            .and_then(|ep| ep.serve())
+            .unwrap_or_else(|e| {
+                eprintln!("cannot serve metrics on {ma}: {e}");
+                std::process::exit(1);
+            });
+        println!(
+            "metrics http on {} (GET /metrics, GET /healthz)",
+            endpoint.addr()
+        );
+        endpoint
+    });
     let server = match Server::bind(engine, addr) {
         Ok(s) => s,
         Err(e) => {
@@ -172,6 +197,9 @@ fn serve(addr: &str, db: Option<&str>, metrics_text: bool) {
         }
     );
     let engine = handle.wait();
+    if let Some(scrape) = scrape {
+        scrape.stop();
+    }
     let stats = engine.stats();
     if engine.is_persistent() {
         match engine.checkpoint() {
@@ -284,6 +312,75 @@ fn repl_loop(mut conn: Conn) {
                 }
                 "\\trace" => {
                     println!("usage: \\trace on|off");
+                    prompt();
+                    continue;
+                }
+                "\\slow" => {
+                    println!("usage: \\slow <ms>|off");
+                    prompt();
+                    continue;
+                }
+                _ if trimmed.starts_with("\\slow ") => {
+                    let arg = trimmed.trim_start_matches("\\slow ").trim();
+                    let ns = if arg.eq_ignore_ascii_case("off") {
+                        Some(0u64)
+                    } else {
+                        arg.parse::<u64>()
+                            .ok()
+                            .map(|ms| ms.saturating_mul(1_000_000))
+                    };
+                    match (ns, conn.embedded_connection()) {
+                        (None, _) => println!("usage: \\slow <ms>|off"),
+                        (Some(ns), Some(emb)) => {
+                            emb.set_slow_query_ns(ns);
+                            if ns == 0 {
+                                println!("slow-query log is off");
+                            } else {
+                                println!(
+                                    "statements >= {} ms are flagged slow in sys.query_log \
+                                     (traces kept)",
+                                    ns / 1_000_000
+                                );
+                            }
+                        }
+                        (Some(_), None) => println!(
+                            "\\slow is embedded-only; a server sets slow_query_ns in its \
+                             SessionConfig (query sys.query_log here to read the log)"
+                        ),
+                    }
+                    prompt();
+                    continue;
+                }
+                _ if trimmed == "\\history" || trimmed.starts_with("\\history ") => {
+                    let n = trimmed
+                        .trim_start_matches("\\history")
+                        .trim()
+                        .trim_end_matches(';');
+                    let n: u64 = if n.is_empty() {
+                        10
+                    } else {
+                        match n.parse() {
+                            Ok(v) => v,
+                            Err(_) => {
+                                println!("usage: \\history [n]");
+                                prompt();
+                                continue;
+                            }
+                        }
+                    };
+                    // Plain SQL over the sys.query_log view, so the same
+                    // command works embedded and over tcp://.
+                    let sql = format!(
+                        "SELECT id, session, kind, wall_ns, rows, slow, text \
+                         FROM sys.query_log ORDER BY id DESC LIMIT {n}"
+                    );
+                    match conn.query(&sql) {
+                        Ok(rows) => {
+                            println!("{}", rows.result_set().render());
+                            println!("{} row(s)", rows.row_count());
+                        }
+                        Err(e) => println!("error: {e}"),
+                    }
                     prompt();
                     continue;
                 }

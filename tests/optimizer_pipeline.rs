@@ -40,6 +40,7 @@ fn session(opt_level: u8, threads: usize) -> Connection {
         parallel_threshold: 1,
         opt_level,
         zone_skip: true,
+        slow_query_ns: 0,
     });
     c.execute("CREATE ARRAY m (x INT DIMENSION[0:1:16], y INT DIMENSION[0:1:16], v INT DEFAULT 0)")
         .unwrap();
