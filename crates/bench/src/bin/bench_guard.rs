@@ -116,6 +116,16 @@ const EXPECT_FASTER: &[(&str, &str, &str, f64)] = &[
         "ingest/scan_512k/full_scan",
         5.0,
     ),
+    // Group commit is the point of the high-concurrency server: 64
+    // writers sharing fsyncs through the commit queue must finish their
+    // mixed round at least 3x faster than the same 64 writers paying a
+    // per-statement fsync each (~solo WAL durability).
+    (
+        "BENCH_net.json",
+        "net/concurrency/mixed_64_grouped",
+        "net/concurrency/mixed_64_solo_fsync",
+        3.0,
+    ),
 ];
 
 /// Within the fresh run, `left` must take at most `max_ratio` × the time

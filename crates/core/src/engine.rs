@@ -21,6 +21,7 @@
 //! statement texts) lives in [`EngineSession`]; everything shared lives
 //! in the engine.
 
+use crate::commit::GroupCommitter;
 use crate::exec::{self, Prepared, PreparedSet};
 use crate::result::ResultSet;
 use crate::session::{Connection, LastExec, QueryResult, SessionConfig};
@@ -36,7 +37,7 @@ use sciql_parser::ast::{SelectStmt, Stmt};
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
 /// A consistent point-in-time image of the database: the catalog plus
@@ -208,6 +209,10 @@ pub struct SharedEngine {
     next_session: AtomicU64,
     /// Open sessions, in creation order (the `sys.sessions` view).
     sessions: Mutex<Vec<Arc<SessionInfo>>>,
+    /// Group-commit coordinator, spawned lazily by
+    /// [`SharedEngine::enable_group_commit`] (the network server turns
+    /// it on; embedded use keeps per-statement fsync).
+    group: OnceLock<Arc<GroupCommitter>>,
 }
 
 impl SharedEngine {
@@ -219,6 +224,7 @@ impl SharedEngine {
             stats: AtomicStats::default(),
             next_session: AtomicU64::new(1),
             sessions: Mutex::new(Vec::new()),
+            group: OnceLock::new(),
         })
     }
 
@@ -310,6 +316,33 @@ impl SharedEngine {
         self.lock().checkpoint()
     }
 
+    /// Switch the engine's write path to **group commit**: mutating
+    /// statements append their WAL record under the connection lock but
+    /// wait for durability *outside* it, on a dedicated commit thread
+    /// that batches concurrent writers into one fsync. The durability
+    /// contract is unchanged — a statement is still durable before it
+    /// is acknowledged — only the fsync is shared. `max_queued_writes`
+    /// bounds the commit queue; beyond it new writes are refused with
+    /// [`crate::EngineError::Busy`] (`0` = unbounded). Idempotent; the
+    /// first call's bound wins.
+    pub fn enable_group_commit(&self, max_queued_writes: usize) {
+        let gc = self
+            .group
+            .get_or_init(|| GroupCommitter::spawn(max_queued_writes));
+        self.lock().group_commit = Some(Arc::clone(gc));
+    }
+
+    /// Is group commit enabled on this engine?
+    pub fn group_commit_enabled(&self) -> bool {
+        self.group.get().is_some()
+    }
+
+    /// Writers currently parked in the group-commit queue (0 when group
+    /// commit is off).
+    pub fn write_queue_depth(&self) -> usize {
+        self.group.get().map_or(0, |g| g.queue_depth())
+    }
+
     /// Is the engine backed by a durable vault?
     pub fn is_persistent(&self) -> bool {
         self.lock().is_persistent()
@@ -322,6 +355,14 @@ impl SharedEngine {
             statements: self.stats.statements.load(Ordering::Relaxed),
             snapshot_reads: self.stats.snapshot_reads.load(Ordering::Relaxed),
             rows_returned: self.stats.rows_returned.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for SharedEngine {
+    fn drop(&mut self) {
+        if let Some(gc) = self.group.get() {
+            gc.stop();
         }
     }
 }
@@ -507,23 +548,39 @@ impl EngineSession {
                     QueryResult::Rows(rs)
                 })
             }
-            _ => {
+            _ => 'write: {
                 // Serialized through the single-writer connection, which
                 // is also where the by-kind, latency and query-log taps
                 // land; the session id is pinned around the call so
                 // `sys.query_log` attributes the write to this session.
-                let mut conn = self.engine.lock();
-                let prev = conn.tracing();
-                conn.set_tracing(self.trace_enabled);
-                conn.session_id = self.id;
-                let r = conn.execute_stmt(stmt);
-                conn.session_id = 0;
-                self.last = conn.last_exec();
-                if self.trace_enabled {
-                    self.last_trace = conn.last_trace().cloned();
+                // Under group commit, admission control runs *before*
+                // anything executes, and the durability wait happens
+                // *after* the lock is released so concurrent writers
+                // share one fsync.
+                if let Some(gc) = self.engine.group.get() {
+                    if let Err(e) = gc.admit() {
+                        break 'write Err(e);
+                    }
                 }
-                conn.set_tracing(prev);
-                r
+                let (r, ticket) = {
+                    let mut conn = self.engine.lock();
+                    let prev = conn.tracing();
+                    conn.set_tracing(self.trace_enabled);
+                    conn.session_id = self.id;
+                    let r = conn.execute_stmt(stmt);
+                    conn.session_id = 0;
+                    self.last = conn.last_exec();
+                    if self.trace_enabled {
+                        self.last_trace = conn.last_trace().cloned();
+                    }
+                    conn.set_tracing(prev);
+                    let ticket = conn.take_pending_commit();
+                    (r, ticket)
+                };
+                match (ticket, self.engine.group.get()) {
+                    (Some(t), Some(gc)) => gc.wait_durable(t).and(r),
+                    _ => r,
+                }
             }
         };
         match &result {
@@ -638,17 +695,28 @@ impl EngineSession {
             return Ok(QueryResult::Rows(rs));
         }
         // Mutating statement: inline the values and serialize through
-        // the single-writer connection.
+        // the single-writer connection (group-commit discipline as in
+        // [`EngineSession::execute_stmt`]).
         let stmt = exec::bind_params_into(prep.statement(), params)?;
         self.statements += 1;
         self.engine.stats.statements.fetch_add(1, Ordering::Relaxed);
         self.info.queries.fetch_add(1, Ordering::Relaxed);
-        let mut conn = self.engine.lock();
-        conn.session_id = self.id;
-        let r = conn.execute_stmt(&stmt);
-        conn.session_id = 0;
-        self.last = conn.last_exec();
-        r
+        if let Some(gc) = self.engine.group.get() {
+            gc.admit()?;
+        }
+        let (r, ticket) = {
+            let mut conn = self.engine.lock();
+            conn.session_id = self.id;
+            let r = conn.execute_stmt(&stmt);
+            conn.session_id = 0;
+            self.last = conn.last_exec();
+            let ticket = conn.take_pending_commit();
+            (r, ticket)
+        };
+        match (ticket, self.engine.group.get()) {
+            (Some(t), Some(gc)) => gc.wait_durable(t).and(r),
+            _ => r,
+        }
     }
 
     /// Drop a prepared statement; `true` if it existed.

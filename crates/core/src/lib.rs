@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod commit;
 pub mod copy;
 pub mod ddl;
 pub mod dml;
@@ -48,6 +49,7 @@ mod sysview;
 #[cfg(test)]
 mod tests;
 
+pub use commit::{CommitTicket, GroupCommitter};
 pub use copy::write_copy_binary;
 pub use engine::{
     EngineSession, EngineSnapshot, EngineStats, SessionMeter, SessionStats, SharedEngine,
@@ -93,6 +95,12 @@ pub enum ErrorCode {
     Version = 1103,
     /// Driver-level misuse: bad URL, closed connection (1104).
     Connection = 1104,
+    /// Admission control refused the request: the server is at its
+    /// session limit or the write queue is full — retry later (1105).
+    ServerBusy = 1105,
+    /// A per-session resource quota was exceeded, e.g. a result set
+    /// larger than `max_result_bytes_per_session` (1106).
+    QuotaExceeded = 1106,
     /// Anything that should not happen (1999).
     Internal = 1999,
 }
@@ -119,6 +127,8 @@ impl ErrorCode {
             1102 => ErrorCode::Protocol,
             1103 => ErrorCode::Version,
             1104 => ErrorCode::Connection,
+            1105 => ErrorCode::ServerBusy,
+            1106 => ErrorCode::QuotaExceeded,
             _ => ErrorCode::Internal,
         }
     }
@@ -138,6 +148,8 @@ impl ErrorCode {
             ErrorCode::Protocol => "protocol",
             ErrorCode::Version => "version",
             ErrorCode::Connection => "connection",
+            ErrorCode::ServerBusy => "server_busy",
+            ErrorCode::QuotaExceeded => "quota_exceeded",
             ErrorCode::Internal => "internal",
         }
     }
@@ -164,6 +176,11 @@ pub enum EngineError {
     Gdk(gdk::GdkError),
     /// Durable-store error (I/O or on-disk corruption).
     Store(sciql_store::StoreError),
+    /// Admission control refused the statement (write queue full);
+    /// nothing was executed — the client may retry.
+    Busy(String),
+    /// A per-session resource quota was exceeded.
+    Quota(String),
     /// Engine-level error.
     Msg(String),
 }
@@ -188,6 +205,8 @@ impl EngineError {
             EngineError::Mal(_) => ErrorCode::Exec,
             EngineError::Gdk(_) => ErrorCode::Kernel,
             EngineError::Store(_) => ErrorCode::Storage,
+            EngineError::Busy(_) => ErrorCode::ServerBusy,
+            EngineError::Quota(_) => ErrorCode::QuotaExceeded,
             EngineError::Msg(_) => ErrorCode::Statement,
         }
     }
@@ -202,6 +221,8 @@ impl fmt::Display for EngineError {
             EngineError::Mal(e) => write!(f, "execution error: {e}"),
             EngineError::Gdk(e) => write!(f, "kernel error: {e}"),
             EngineError::Store(e) => write!(f, "{e}"),
+            EngineError::Busy(m) => write!(f, "server busy: {m}"),
+            EngineError::Quota(m) => write!(f, "quota exceeded: {m}"),
             EngineError::Msg(m) => f.write_str(m),
         }
     }

@@ -1,6 +1,7 @@
 //! The session: parse → bind → algebra → MAL → optimizers → interpreter,
 //! the full pipeline of the paper's Fig 2.
 
+use crate::commit::{CommitTicket, GroupCommitter};
 use crate::exec::{self, PreparedSet};
 use crate::result::ResultSet;
 use crate::storage::{ArrayStore, TableStore};
@@ -152,6 +153,13 @@ pub struct Connection {
     /// Session id stamped into query-log records (0 = embedded; the
     /// shared engine sets the real id around serialized writes).
     pub(crate) session_id: u64,
+    /// Group-commit coordinator, when the owning [`crate::SharedEngine`]
+    /// enabled it. `None` (embedded default) keeps the classic
+    /// per-statement fsync.
+    pub(crate) group_commit: Option<Arc<GroupCommitter>>,
+    /// Ticket of the last group-appended statement, awaiting redemption
+    /// via [`Connection::take_pending_commit`] outside the engine lock.
+    pending_commit: Option<CommitTicket>,
 }
 
 impl Default for Connection {
@@ -184,6 +192,8 @@ impl Connection {
             last_trace: None,
             slow_query_ns: 0,
             session_id: 0,
+            group_commit: None,
+            pending_commit: None,
         };
         conn.set_session_config(cfg);
         conn
@@ -344,12 +354,20 @@ impl Connection {
             objects.push(CheckpointObject { def: obj, columns });
         }
         vault.checkpoint(&objects).map_err(EngineError::Store)?;
+        let new_gen = vault.generation();
         for s in self.arrays.values_mut() {
             s.mark_clean();
         }
         for s in self.tables.values_mut() {
             s.mark_clean();
         }
+        if let Some(gc) = &self.group_commit {
+            // The rotation is the epoch boundary: the snapshot made every
+            // previously appended record durable, so parked group-commit
+            // writers are released and the stale WAL handle dropped.
+            gc.advance_epoch(new_gen);
+        }
+        self.pending_commit = None;
         Ok(())
     }
 
@@ -668,11 +686,7 @@ impl Connection {
             Ok(result) => {
                 if logged {
                     let sp = tracer.open(SpanId::ROOT, "wal.append");
-                    let append = self
-                        .vault
-                        .as_mut()
-                        .expect("checked above")
-                        .append_statement(&stmt.to_string());
+                    let append = self.log_statement(stmt);
                     tracer.close(sp);
                     if append.is_err() {
                         // The WAL is unavailable; a checkpoint captures the
@@ -701,6 +715,33 @@ impl Connection {
                 Err(e)
             }
         }
+    }
+
+    /// Append an acknowledged statement to the WAL. Per-statement
+    /// durability fsyncs before returning; under group commit the record
+    /// is appended unsynced and a [`CommitTicket`] is stashed for the
+    /// engine to redeem — *outside* the connection lock — before the
+    /// statement is acknowledged to its client.
+    fn log_statement(&mut self, stmt: &Stmt) -> sciql_store::StoreResult<()> {
+        let grouped = self.group_commit.is_some();
+        let vault = self.vault.as_mut().expect("logged statements have a vault");
+        if !grouped {
+            return vault.append_statement(&stmt.to_string());
+        }
+        let pos = vault.append_statement_nosync(&stmt.to_string())?;
+        let handle = vault.wal_sync_handle()?;
+        let epoch = vault.generation();
+        self.pending_commit = Some(CommitTicket { epoch, pos, handle });
+        Ok(())
+    }
+
+    /// Take the [`CommitTicket`] of the statement just executed, if the
+    /// session runs under group commit. The caller must redeem it with
+    /// [`GroupCommitter::wait_durable`] before acknowledging the
+    /// statement, and must do so after releasing the connection lock so
+    /// concurrent writers share the fsync.
+    pub fn take_pending_commit(&mut self) -> Option<CommitTicket> {
+        self.pending_commit.take()
     }
 
     /// A fingerprint of everything a statement can mutate: the catalog's

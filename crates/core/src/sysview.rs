@@ -190,10 +190,7 @@ fn histogram_rows() -> Vec<Vec<Value>> {
         let mut cum = 0u64;
         for (i, &c) in h.counts.iter().enumerate() {
             cum += c;
-            let le = sciql_obs::LATENCY_BOUNDS_NS
-                .get(i)
-                .map(|&b| lng(b))
-                .unwrap_or(Value::Null);
+            let le = h.bounds().get(i).map(|&b| lng(b)).unwrap_or(Value::Null);
             rows.push(vec![s(n.clone()), le, lng(cum)]);
         }
     }

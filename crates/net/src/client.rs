@@ -149,6 +149,33 @@ impl Client {
         self.execute(sql)?.rows()
     }
 
+    /// Execute a batch of statements pipelined: every `Query` frame goes
+    /// out in one socket write, then all replies are read back in order
+    /// — the whole batch costs one round trip instead of one per
+    /// statement. Replies are positional: `result[i]` answers `sqls[i]`.
+    /// A statement the server refuses (parse error, quota, busy) lands
+    /// as the `Err` in its own slot and the batch keeps going — the
+    /// server answers every frame, so the reply stream stays aligned.
+    /// Only a transport failure aborts (and poisons the connection).
+    pub fn execute_pipelined(&mut self, sqls: &[&str]) -> NetResult<Vec<NetResult<NetReply>>> {
+        self.exchange(|c| {
+            let mut batch = Vec::new();
+            for sql in sqls {
+                proto::write_frame(&mut batch, &proto::query(sql))?;
+            }
+            std::io::Write::write_all(&mut c.stream, &batch)?;
+            let mut replies = Vec::with_capacity(sqls.len());
+            for _ in sqls {
+                match c.read_reply() {
+                    Err(e @ NetError::Server { .. }) => replies.push(Err(e)),
+                    Err(transport) => return Err(transport),
+                    Ok(r) => replies.push(Ok(r)),
+                }
+            }
+            Ok(replies)
+        })
+    }
+
     /// Prepare a named statement in the server-side session. The server
     /// parses it immediately (and compiles SELECTs once, on first
     /// execution); returns the number of `?`/`:name` bind slots.

@@ -54,8 +54,11 @@ use std::io::{self, Read, Write};
 /// the observability frames: `Metrics`/`MetricsReply` (engine-wide
 /// counter/gauge/histogram snapshot), `TraceEnable` (per-session query
 /// tracing) and `TraceFetch`/`TraceReply` (rendered span tree of the
-/// session's most recent traced statement).
-pub const PROTO_VERSION: u16 = 4;
+/// session's most recent traced statement). Version 5 added per-
+/// histogram bucket bounds to `MetricsReply` (the group-commit
+/// batch-size histogram is count-valued, not latency-valued) and the
+/// `ServerBusy`/`QuotaExceeded` admission-control error codes.
+pub const PROTO_VERSION: u16 = 5;
 
 /// Upper bound on a single frame (64 MiB): a defence against a corrupt
 /// or hostile length prefix allocating unbounded memory, not a result
@@ -304,6 +307,20 @@ impl FrameBuffer {
         self.buf.is_empty()
     }
 
+    /// Is at least one complete frame already buffered? The server uses
+    /// this to pipeline: replies are held back (coalesced into one
+    /// socket write) for as long as the client still has a decodable
+    /// request waiting. An oversized length prefix counts as "complete"
+    /// so the next [`FrameBuffer::poll_frame`] reports the error
+    /// immediately instead of stalling behind a held-back flush.
+    pub fn has_complete_frame(&self) -> bool {
+        if self.buf.len() < 4 {
+            return false;
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().unwrap());
+        len > MAX_FRAME || self.buf.len() >= 4 + len as usize
+    }
+
     /// Bytes of a partial frame received so far (the server treats a
     /// growing count as wire activity, so a slow upload is not reaped
     /// as idle mid-transfer).
@@ -486,6 +503,10 @@ pub fn metrics_reply(snap: &sciql_obs::MetricsSnapshot) -> Vec<u8> {
     gdk::codec::put_u32(&mut p, snap.histograms.len() as u32);
     for (n, h) in &snap.histograms {
         gdk::codec::put_str(&mut p, n);
+        gdk::codec::put_u32(&mut p, h.bounds.len() as u32);
+        for &b in &h.bounds {
+            gdk::codec::put_u64(&mut p, b);
+        }
         gdk::codec::put_u32(&mut p, h.counts.len() as u32);
         for &c in &h.counts {
             gdk::codec::put_u64(&mut p, c);
@@ -518,6 +539,14 @@ pub fn read_metrics_reply(body: &[u8]) -> NetResult<sciql_obs::MetricsSnapshot> 
     let mut histograms = Vec::with_capacity(nh);
     for _ in 0..nh {
         let n = r.str().map_err(bad)?;
+        let nbounds = r.u32().map_err(bad)? as usize;
+        if nbounds > sciql_obs::LATENCY_BOUNDS_NS.len() {
+            return Err(NetError::protocol("malformed MetricsReply: bound count"));
+        }
+        let mut bounds = Vec::with_capacity(nbounds);
+        for _ in 0..nbounds {
+            bounds.push(r.u64().map_err(bad)?);
+        }
         let nb = r.u32().map_err(bad)? as usize;
         if nb > sciql_obs::LATENCY_BOUNDS_NS.len() + 1 {
             return Err(NetError::protocol("malformed MetricsReply: bucket count"));
@@ -531,6 +560,7 @@ pub fn read_metrics_reply(body: &[u8]) -> NetResult<sciql_obs::MetricsSnapshot> 
         histograms.push((
             n,
             sciql_obs::HistogramSnapshot {
+                bounds,
                 counts,
                 count,
                 sum_ns,

@@ -36,6 +36,27 @@ pub struct ServerConfig {
     pub write_timeout: Option<Duration>,
     /// Server name announced in the handshake.
     pub name: String,
+    /// Admission control: connections beyond this many concurrent
+    /// sessions are refused with a [`ErrorCode::ServerBusy`] error frame
+    /// instead of being accepted (`0` = unlimited). A refusal is typed
+    /// and retryable — the listener queue never converts overload into
+    /// a thread-spawn panic.
+    pub max_sessions: usize,
+    /// Per-statement result quota: a result set whose encoded body
+    /// (header + pages) would exceed this many bytes is cut off with a
+    /// [`ErrorCode::QuotaExceeded`] error frame (`0` = unlimited). The
+    /// session survives — only the offending statement fails.
+    pub max_result_bytes_per_session: usize,
+    /// Admission bound on the group-commit queue: a write arriving while
+    /// this many writers already await the group fsync is refused with
+    /// [`ErrorCode::ServerBusy`] *before* executing (`0` = unlimited).
+    /// Only meaningful with [`ServerConfig::group_commit`].
+    pub max_queued_writes: usize,
+    /// Commit concurrent writers' WAL records with one shared fsync
+    /// (group commit) instead of one fsync per statement. Durability is
+    /// identical — a statement is acknowledged only once its WAL bytes
+    /// are on disk — but N concurrent writers cost ~1 fsync, not N.
+    pub group_commit: bool,
 }
 
 impl Default for ServerConfig {
@@ -46,6 +67,10 @@ impl Default for ServerConfig {
             idle_timeout: Some(Duration::from_secs(300)),
             write_timeout: Some(Duration::from_secs(30)),
             name: format!("sciql-net/{}", env!("CARGO_PKG_VERSION")),
+            max_sessions: 1024,
+            max_result_bytes_per_session: 0,
+            max_queued_writes: 4096,
+            group_commit: true,
         }
     }
 }
@@ -78,6 +103,11 @@ impl Server {
         config: ServerConfig,
     ) -> NetResult<Server> {
         let listener = TcpListener::bind(addr)?;
+        // Group commit only means something when there is a WAL to
+        // fsync; an in-memory engine skips the committer thread.
+        if config.group_commit && engine.is_persistent() {
+            engine.enable_group_commit(config.max_queued_writes);
+        }
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
@@ -111,18 +141,44 @@ impl Server {
                 while !shared.shutdown.load(Ordering::SeqCst) {
                     match listener.accept() {
                         Ok((stream, peer)) => {
-                            let shared = Arc::clone(&shared);
-                            let h = std::thread::Builder::new()
+                            // Admission: the session count is claimed
+                            // *here*, before the handler thread runs, so
+                            // a burst of connections cannot race past
+                            // the limit between accept and spawn.
+                            let limit = shared.config.max_sessions;
+                            if limit > 0
+                                && shared.active_sessions.load(Ordering::SeqCst) >= limit as u64
+                            {
+                                refuse(stream, &shared.config, "session limit reached");
+                                continue;
+                            }
+                            shared.active_sessions.fetch_add(1, Ordering::SeqCst);
+                            let refusal = stream.try_clone().ok();
+                            let session_shared = Arc::clone(&shared);
+                            let spawned = std::thread::Builder::new()
                                 .name(format!("sciql-net-{peer}"))
                                 .spawn(move || {
-                                    shared.active_sessions.fetch_add(1, Ordering::SeqCst);
-                                    serve_session(&shared, stream);
+                                    serve_session(&session_shared, stream);
+                                    session_shared
+                                        .active_sessions
+                                        .fetch_sub(1, Ordering::SeqCst);
+                                });
+                            match spawned {
+                                Ok(h) => {
+                                    let mut hs = accept_handlers.lock().unwrap();
+                                    hs.retain(|h| !h.is_finished());
+                                    hs.push(h);
+                                }
+                                // Thread exhaustion is overload, not a
+                                // reason to kill the accept loop: the
+                                // client gets a typed, retryable refusal.
+                                Err(_) => {
                                     shared.active_sessions.fetch_sub(1, Ordering::SeqCst);
-                                })
-                                .expect("spawn session thread");
-                            let mut hs = accept_handlers.lock().unwrap();
-                            hs.retain(|h| !h.is_finished());
-                            hs.push(h);
+                                    if let Some(s) = refusal {
+                                        refuse(s, &shared.config, "cannot spawn a session thread");
+                                    }
+                                }
+                            }
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(20));
@@ -210,6 +266,19 @@ enum SessionEnd {
     Broken,
 }
 
+/// Turn away a connection before its session starts: a best-effort
+/// typed `ServerBusy` error frame — so the peer's driver surfaces a
+/// retryable refusal instead of a dead socket — then hang up.
+fn refuse(mut stream: TcpStream, config: &ServerConfig, why: &str) {
+    stream.set_write_timeout(config.write_timeout).ok();
+    stream.set_nodelay(true).ok();
+    proto::write_frame(
+        &mut stream,
+        &proto::error(ErrorCode::ServerBusy, &format!("connection refused: {why}")),
+    )
+    .ok();
+}
+
 /// Byte-metering socket wrapper: every read and write a session makes
 /// feeds the global `bytes_in`/`bytes_out` counters and the session's
 /// own meter (the `bytes_in`/`bytes_out` columns of `sys.sessions`).
@@ -240,6 +309,54 @@ impl std::io::Write for Metered<'_> {
     }
 }
 
+/// Reply backlog bound: a pipelined session's held-back replies are
+/// pushed to the socket once they exceed this many bytes, so a large
+/// result set streams instead of buffering whole in memory.
+const WIRE_FLUSH_BYTES: usize = 256 * 1024;
+
+/// Reply coalescer for pipelined sessions. `proto::write_frame` flushes
+/// after every frame; here that flush is a no-op (below the backlog
+/// bound) and actual transmission happens in [`Wire::flush_wire`], which
+/// the session loop calls only once no complete request frame remains
+/// buffered — so a client that sent N statements back-to-back gets its
+/// N replies in one socket write.
+struct Wire<'a> {
+    inner: Metered<'a>,
+    out: Vec<u8>,
+}
+
+impl std::io::Read for Wire<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        std::io::Read::read(&mut self.inner, buf)
+    }
+}
+
+impl std::io::Write for Wire<'_> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.out.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        if self.out.len() >= WIRE_FLUSH_BYTES {
+            self.flush_wire()
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Wire<'_> {
+    /// Push every held-back reply byte onto the socket.
+    fn flush_wire(&mut self) -> std::io::Result<()> {
+        if !self.out.is_empty() {
+            self.inner.write_all(&self.out)?;
+            self.out.clear();
+        }
+        self.inner.flush()
+    }
+}
+
 /// One client from handshake to hangup.
 fn serve_session(shared: &Shared, mut stream: TcpStream) {
     // A short read timeout turns the blocking socket into a poll loop:
@@ -260,9 +377,12 @@ fn serve_session(shared: &Shared, mut stream: TcpStream) {
         session.set_peer(&peer.to_string());
     }
     let meter = session.meter();
-    let mut wire = Metered {
-        stream: &mut stream,
-        meter,
+    let mut wire = Wire {
+        inner: Metered {
+            stream: &mut stream,
+            meter,
+        },
+        out: Vec::new(),
     };
     let end = session_loop(shared, &mut wire, &mut session);
     // Best-effort farewell; the peer may already be gone.
@@ -274,21 +394,23 @@ fn serve_session(shared: &Shared, mut stream: TcpStream) {
     if let Some(msg) = farewell {
         proto::write_frame(&mut wire, &proto::error(ErrorCode::Connection, msg)).ok();
     }
-    wire.flush().ok();
+    wire.flush_wire().ok();
     gauge.dec();
 }
 
-fn session_loop(
-    shared: &Shared,
-    stream: &mut Metered<'_>,
-    session: &mut EngineSession,
-) -> SessionEnd {
+fn session_loop(shared: &Shared, stream: &mut Wire<'_>, session: &mut EngineSession) -> SessionEnd {
     let mut fb = FrameBuffer::new();
     let mut greeted = false;
     // Parameter values staged by Bind frames, per prepared-statement name.
     let mut bound: HashMap<String, Vec<gdk::Value>> = HashMap::new();
     let mut last_activity = Instant::now();
     loop {
+        // Pipelining: replies stay coalesced while the client still has
+        // a complete request frame buffered; the batch goes out in one
+        // socket write before this thread blocks on the next read.
+        if !fb.has_complete_frame() && stream.flush_wire().is_err() {
+            return SessionEnd::Broken;
+        }
         if shared.shutdown.load(Ordering::SeqCst) {
             return SessionEnd::Shutdown;
         }
@@ -507,24 +629,42 @@ fn session_loop(
 
 /// Stream one statement's outcome: `Affected`, an `Error`, or header +
 /// pages + done. Returns `false` when the socket died.
-fn answer(stream: &mut Metered<'_>, shared: &Shared, result: sciql::Result<QueryResult>) -> bool {
+fn answer(stream: &mut Wire<'_>, shared: &Shared, result: sciql::Result<QueryResult>) -> bool {
     match result {
         Err(e) => proto::write_frame(stream, &proto::error(e.code(), &e.to_string())).is_ok(),
         Ok(QueryResult::Affected(n)) => {
             proto::write_frame(stream, &proto::affected(n as u64)).is_ok()
         }
         Ok(QueryResult::Rows(rs)) => {
-            if proto::write_frame(stream, &proto::wrap(Op::ResultHeader, &rs.encode_header()))
-                .is_err()
-            {
+            let header = rs.encode_header();
+            let mut sent = header.len();
+            if proto::write_frame(stream, &proto::wrap(Op::ResultHeader, &header)).is_err() {
                 return false;
             }
             // Stream pages lazily — only the page in flight is ever
             // materialised, and each closes at page_rows rows *or*
             // page_bytes of body, whichever comes first, so no row mix
             // can push a frame past MAX_FRAME.
+            let limit = shared.config.max_result_bytes_per_session;
             let mut npages: u32 = 0;
             for page in rs.pages(shared.config.page_rows, shared.config.page_bytes) {
+                sent += page.len();
+                if limit > 0 && sent > limit {
+                    // Quota: cut the stream with a typed mid-stream
+                    // error (wire-legal inside a result stream). Only
+                    // the statement fails; the session stays aligned.
+                    return proto::write_frame(
+                        stream,
+                        &proto::error(
+                            ErrorCode::QuotaExceeded,
+                            &format!(
+                                "result set exceeds max_result_bytes_per_session \
+                                 ({limit} bytes)"
+                            ),
+                        ),
+                    )
+                    .is_ok();
+                }
                 if proto::write_frame(stream, &proto::wrap(Op::ResultPage, &page)).is_err() {
                     return false;
                 }

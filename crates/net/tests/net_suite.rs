@@ -547,3 +547,189 @@ fn bind_requires_prepared_statement_and_deallocate_frees_it() {
     c.shutdown_server().unwrap();
     handle.wait();
 }
+
+/// Admission control: connections beyond `max_sessions` are refused
+/// with a typed, retryable `ServerBusy` — never a thread-spawn panic —
+/// and a slot freed by a disconnect is admitted again.
+#[test]
+fn max_sessions_refuses_with_server_busy() {
+    let cfg = ServerConfig {
+        max_sessions: 2,
+        ..ServerConfig::default()
+    };
+    let handle = Server::bind_with_config(SharedEngine::in_memory(), "127.0.0.1:0", cfg)
+        .unwrap()
+        .serve()
+        .unwrap();
+    let addr = handle.addr();
+    let mut a = Client::connect(addr).unwrap();
+    let mut b = Client::connect(addr).unwrap();
+    a.ping().unwrap();
+    b.ping().unwrap();
+    // Third connection: refused during the handshake with ServerBusy.
+    match Client::connect(addr) {
+        Err(NetError::Server { code, message }) => {
+            assert_eq!(code, sciql::ErrorCode::ServerBusy);
+            assert!(message.contains("session limit"), "{message}");
+        }
+        other => panic!("expected a ServerBusy refusal, got {other:?}"),
+    }
+    // The admitted sessions were untouched by the refusal.
+    a.ping().unwrap();
+    b.ping().unwrap();
+    // Freeing a slot readmits: close one, and (after the server reaps
+    // the handler) a new client gets in.
+    b.close().unwrap();
+    let mut c = None;
+    for _ in 0..100 {
+        match Client::connect(addr) {
+            Ok(cl) => {
+                c = Some(cl);
+                break;
+            }
+            Err(NetError::Server { code, .. }) => {
+                assert_eq!(code, sciql::ErrorCode::ServerBusy);
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(other) => panic!("unexpected connect failure: {other:?}"),
+        }
+    }
+    let mut c = c.expect("a freed slot must be admitted again");
+    c.ping().unwrap();
+    c.shutdown_server().unwrap();
+    handle.wait();
+}
+
+/// The result quota cuts off an oversized result set with a typed
+/// mid-stream `QuotaExceeded` error — failing only the statement, not
+/// the session, and leaving the reply stream aligned.
+#[test]
+fn result_quota_fails_statement_not_session() {
+    let cfg = ServerConfig {
+        max_result_bytes_per_session: 2048,
+        ..ServerConfig::default()
+    };
+    let handle = Server::bind_with_config(SharedEngine::in_memory(), "127.0.0.1:0", cfg)
+        .unwrap()
+        .serve()
+        .unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    c.execute(
+        "CREATE ARRAY big (x INT DIMENSION[0:1:32], y INT DIMENSION[0:1:32], v INT DEFAULT 0)",
+    )
+    .unwrap();
+    c.execute("UPDATE big SET v = x * y").unwrap();
+    // 1024 rows × 3 INT columns blows the 2 KiB quota.
+    match c.query("SELECT x, y, v FROM big") {
+        Err(NetError::Server { code, message }) => {
+            assert_eq!(code, sciql::ErrorCode::QuotaExceeded);
+            assert!(
+                message.contains("max_result_bytes_per_session"),
+                "{message}"
+            );
+        }
+        other => panic!("expected QuotaExceeded, got {other:?}"),
+    }
+    // The session survives and small results still flow.
+    assert!(!c.is_broken());
+    let n = c.query("SELECT COUNT(*) FROM big").unwrap();
+    assert_eq!(n.scalar_i64(), Some(1024));
+    c.shutdown_server().unwrap();
+    handle.wait();
+}
+
+/// Group commit keeps the durability contract: every acknowledged write
+/// from concurrent clients survives a server stop + embedded crash
+/// recovery, while the writers shared fsyncs (group_commits advanced).
+#[test]
+fn group_commit_acked_writes_survive_recovery() {
+    let dir = tmp_dir("group-commit");
+    let engine = SharedEngine::open(&dir).unwrap();
+    {
+        let mut s = engine.session();
+        s.execute("CREATE TABLE acked (who INT, k INT)").unwrap();
+    }
+    let group_commits_before = sciql_obs::global()
+        .snapshot()
+        .counter("group_commits")
+        .unwrap_or(0);
+    let handle = Server::bind(engine, "127.0.0.1:0")
+        .unwrap()
+        .serve()
+        .unwrap();
+    let addr = handle.addr();
+    let writers = 8i64;
+    let rounds = 10i64;
+    let mut threads = Vec::new();
+    for w in 0..writers {
+        threads.push(std::thread::spawn(move || {
+            let mut c = Client::connect_named(addr, &format!("gc-writer-{w}")).unwrap();
+            for k in 0..rounds {
+                let n = c
+                    .execute(&format!("INSERT INTO acked VALUES ({w}, {k})"))
+                    .unwrap()
+                    .affected()
+                    .unwrap();
+                assert_eq!(n, 1);
+            }
+            c.close().unwrap();
+        }));
+    }
+    for t in threads {
+        t.join().unwrap();
+    }
+    let group_commits_after = sciql_obs::global()
+        .snapshot()
+        .counter("group_commits")
+        .unwrap_or(0);
+    assert!(
+        group_commits_after > group_commits_before,
+        "the group-commit thread must have fsynced at least once"
+    );
+    handle.shutdown();
+    drop(handle.wait()); // release the vault; nothing checkpointed since the writes
+                         // Embedded reopen = WAL-tail replay: every acknowledged row is there.
+    let mut embedded = Connection::open(&dir).unwrap();
+    let rs = embedded.query("SELECT COUNT(*) FROM acked").unwrap();
+    assert_eq!(rs.scalar_i64(), Some(writers * rounds));
+    drop(embedded);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Pipelined batches: N statements in one socket write, N replies in
+/// order, and a refused statement mid-batch occupies its own slot
+/// without desynchronizing the ones behind it.
+#[test]
+fn pipelined_batch_replies_stay_in_order() {
+    let handle = Server::bind(SharedEngine::in_memory(), "127.0.0.1:0")
+        .unwrap()
+        .serve()
+        .unwrap();
+    let mut c = Client::connect(handle.addr()).unwrap();
+    let replies = c
+        .execute_pipelined(&[
+            "CREATE TABLE t (a INT)",
+            "INSERT INTO t VALUES (1)",
+            "INSERT INTO t VALUES (2)",
+            "SELEC nonsense",
+            "SELECT COUNT(*) FROM t",
+        ])
+        .unwrap();
+    assert_eq!(replies.len(), 5);
+    assert!(matches!(replies[0], Ok(NetReply::Affected(0))));
+    assert!(matches!(replies[1], Ok(NetReply::Affected(1))));
+    assert!(matches!(replies[2], Ok(NetReply::Affected(1))));
+    match &replies[3] {
+        Err(NetError::Server { code, .. }) => assert_eq!(*code, sciql::ErrorCode::Parse),
+        other => panic!("slot 3 must hold the parse error, got {other:?}"),
+    }
+    match &replies[4] {
+        Ok(NetReply::Rows(rs)) => assert_eq!(rs.scalar_i64(), Some(2)),
+        other => panic!("slot 4 must hold the count, got {other:?}"),
+    }
+    // The mid-batch error never poisoned the connection.
+    assert!(!c.is_broken());
+    c.ping().unwrap();
+    c.shutdown_server().unwrap();
+    handle.wait();
+}

@@ -34,7 +34,7 @@ pub mod span;
 
 pub use metrics::{
     escape_help, escape_label, global, metric_help, Counter, Gauge, Histogram, HistogramSnapshot,
-    Metrics, MetricsSnapshot, LATENCY_BOUNDS_NS,
+    Metrics, MetricsSnapshot, BATCH_BOUNDS, LATENCY_BOUNDS_NS,
 };
 pub use qlog::{now_unix_us, query_log, QueryLog, QueryRecord, QUERY_LOG_CAPACITY};
 pub use report::{render_exec_summary, ExecSummary};

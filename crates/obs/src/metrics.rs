@@ -59,6 +59,11 @@ impl Gauge {
         self.0.fetch_sub(1, Ordering::Relaxed);
     }
 
+    /// Set to an absolute value (for gauges mirroring a queue length).
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
     /// Current value.
     pub fn get(&self) -> i64 {
         self.0.load(Ordering::Relaxed)
@@ -85,9 +90,18 @@ pub const LATENCY_BOUNDS_NS: [u64; 12] = [
 
 const BUCKETS: usize = LATENCY_BOUNDS_NS.len() + 1;
 
-/// A fixed-bucket latency histogram over [`LATENCY_BOUNDS_NS`].
+/// Upper bounds (inclusive) of the group-commit batch-size histogram
+/// buckets: powers of two up to 2048 writers per fsync. Unlike
+/// [`LATENCY_BOUNDS_NS`] these are plain counts, not nanoseconds.
+pub const BATCH_BOUNDS: [u64; 12] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048];
+
+/// A fixed-bucket histogram over 12 configurable upper bounds plus an
+/// implicit `+Inf` bucket. Latency histograms use
+/// [`LATENCY_BOUNDS_NS`]; count-valued ones (group-commit batch size)
+/// bring their own bounds via [`Histogram::with_bounds`].
 #[derive(Debug)]
 pub struct Histogram {
+    bounds: &'static [u64; 12],
     buckets: [AtomicU64; BUCKETS],
     count: AtomicU64,
     sum_ns: AtomicU64,
@@ -100,20 +114,28 @@ impl Default for Histogram {
 }
 
 impl Histogram {
-    /// An empty histogram.
+    /// An empty latency histogram over [`LATENCY_BOUNDS_NS`].
     pub const fn new() -> Histogram {
+        Histogram::with_bounds(&LATENCY_BOUNDS_NS)
+    }
+
+    /// An empty histogram over explicit bucket bounds.
+    pub const fn with_bounds(bounds: &'static [u64; 12]) -> Histogram {
         #[allow(clippy::declare_interior_mutable_const)]
         const ZERO: AtomicU64 = AtomicU64::new(0);
         Histogram {
+            bounds,
             buckets: [ZERO; BUCKETS],
             count: AtomicU64::new(0),
             sum_ns: AtomicU64::new(0),
         }
     }
 
-    /// Record one observation of `ns` nanoseconds.
+    /// Record one observation of `ns` nanoseconds (or, for a
+    /// count-valued histogram, of `ns` units).
     pub fn observe_ns(&self, ns: u64) {
-        let idx = LATENCY_BOUNDS_NS
+        let idx = self
+            .bounds
             .iter()
             .position(|&b| ns <= b)
             .unwrap_or(BUCKETS - 1);
@@ -130,6 +152,7 @@ impl Histogram {
     /// Read the histogram into plain data.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
+            bounds: self.bounds.to_vec(),
             counts: self
                 .buckets
                 .iter()
@@ -144,16 +167,29 @@ impl Histogram {
 /// Plain-data copy of a [`Histogram`]; this is what crosses the wire.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct HistogramSnapshot {
-    /// Per-bucket counts, aligned with [`LATENCY_BOUNDS_NS`] plus a
-    /// final `+Inf` bucket.
+    /// Upper bounds of the finite buckets. Empty in snapshots from
+    /// older peers — readers fall back to [`LATENCY_BOUNDS_NS`].
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts, aligned with `bounds` plus a final `+Inf`
+    /// bucket.
     pub counts: Vec<u64>,
     /// Total observations.
     pub count: u64,
-    /// Sum of all observed values, nanoseconds.
+    /// Sum of all observed values, nanoseconds (or units, for a
+    /// count-valued histogram).
     pub sum_ns: u64,
 }
 
 impl HistogramSnapshot {
+    /// The finite bucket bounds this snapshot was recorded over.
+    pub fn bounds(&self) -> &[u64] {
+        if self.bounds.is_empty() {
+            &LATENCY_BOUNDS_NS
+        } else {
+            &self.bounds
+        }
+    }
+
     /// Estimate the `q`-quantile (0..=1) as the upper bound of the
     /// bucket containing it.
     ///
@@ -169,13 +205,14 @@ impl HistogramSnapshot {
         if self.count == 1 {
             return self.sum_ns;
         }
-        let top = LATENCY_BOUNDS_NS[LATENCY_BOUNDS_NS.len() - 1];
+        let bounds = self.bounds();
+        let top = bounds[bounds.len() - 1];
         let rank = (q * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return LATENCY_BOUNDS_NS.get(i).copied().unwrap_or(top);
+                return bounds.get(i).copied().unwrap_or(top);
             }
         }
         top
@@ -202,11 +239,20 @@ impl HistogramSnapshot {
     }
 }
 
+macro_rules! hist_init {
+    () => {
+        Histogram::new()
+    };
+    ($bounds:expr) => {
+        Histogram::with_bounds(&$bounds)
+    };
+}
+
 macro_rules! metrics_struct {
     (
         counters { $($counter:ident : $chelp:literal),* $(,)? }
         gauges { $($gauge:ident : $ghelp:literal),* $(,)? }
-        histograms { $($hist:ident : $hhelp:literal),* $(,)? }
+        histograms { $($hist:ident $(($bounds:expr))? : $hhelp:literal),* $(,)? }
     ) => {
         /// The engine-wide registry. One static instance per process —
         /// obtain it with [`global()`].
@@ -224,7 +270,7 @@ macro_rules! metrics_struct {
                 Metrics {
                     $($counter: Counter::new(),)*
                     $($gauge: Gauge::new(),)*
-                    $($hist: Histogram::new(),)*
+                    $($hist: hist_init!($($bounds)?),)*
                 }
             }
 
@@ -262,6 +308,8 @@ metrics_struct! {
         plan_cache_misses: "Plan-cache misses (compiles).",
         wal_appends: "WAL records appended.",
         wal_fsyncs: "WAL fsyncs issued.",
+        wal_fsyncs_saved: "Commits that rode another writer's group fsync instead of paying their own.",
+        group_commits: "Group-commit fsyncs that retired at least one waiting writer.",
         checkpoints: "Checkpoints completed.",
         tiles_rewritten: "Tiles rewritten by checkpoints.",
         tiles_reused: "Clean tiles reused by checkpoints.",
@@ -272,11 +320,13 @@ metrics_struct! {
     }
     gauges {
         sessions_open: "Currently connected network sessions.",
+        write_queue_depth: "Writers currently parked in the group-commit queue.",
     }
     histograms {
         query_ns: "End-to-end statement latency.",
         wal_fsync_ns: "WAL fsync latency.",
         checkpoint_ns: "Checkpoint duration.",
+        group_commit_batch(BATCH_BOUNDS): "Writers retired per group-commit fsync (batch size).",
     }
 }
 
@@ -343,14 +393,21 @@ impl MetricsSnapshot {
             let _ = writeln!(out, "{:<24} {:.1}%", "plan_cache_hit_ratio", r * 100.0);
         }
         for (n, h) in &self.histograms {
+            // Histograms named `*_ns` hold latencies; others (batch
+            // sizes) hold plain counts and render undecorated.
+            let fmt: fn(u64) -> String = if n.ends_with("_ns") {
+                crate::span::fmt_ns
+            } else {
+                |v| v.to_string()
+            };
             let _ = writeln!(
                 out,
                 "{n:<24} count={} mean={} p50={} p95={} p99={}",
                 h.count,
-                crate::span::fmt_ns(h.mean_ns()),
-                crate::span::fmt_ns(h.p50_ns()),
-                crate::span::fmt_ns(h.p95_ns()),
-                crate::span::fmt_ns(h.p99_ns()),
+                fmt(h.mean_ns()),
+                fmt(h.p50_ns()),
+                fmt(h.p95_ns()),
+                fmt(h.p99_ns()),
             );
         }
         out
@@ -378,27 +435,38 @@ impl MetricsSnapshot {
             let _ = writeln!(out, "sciql_{n} {v}");
         }
         for (n, h) in &self.histograms {
-            let base = n.strip_suffix("_ns").unwrap_or(n);
-            help(&mut out, &format!("sciql_{base}_seconds"), n);
-            let _ = writeln!(out, "# TYPE sciql_{base}_seconds histogram");
+            // Latency histograms (`*_ns`) export in seconds per the
+            // Prometheus base-unit convention; count-valued ones (batch
+            // size) keep their name and raw bucket bounds.
+            let seconds = n.ends_with("_ns");
+            let family = if seconds {
+                format!("sciql_{}_seconds", n.strip_suffix("_ns").expect("checked"))
+            } else {
+                format!("sciql_{n}")
+            };
+            help(&mut out, &family, n);
+            let _ = writeln!(out, "# TYPE {family} histogram");
             let mut cum = 0u64;
             for (i, &c) in h.counts.iter().enumerate() {
                 cum += c;
-                match LATENCY_BOUNDS_NS.get(i) {
+                match h.bounds().get(i) {
+                    Some(&b) if seconds => {
+                        let _ = writeln!(out, "{family}_bucket{{le=\"{}\"}} {cum}", b as f64 / 1e9);
+                    }
                     Some(&b) => {
-                        let _ = writeln!(
-                            out,
-                            "sciql_{base}_seconds_bucket{{le=\"{}\"}} {cum}",
-                            b as f64 / 1e9
-                        );
+                        let _ = writeln!(out, "{family}_bucket{{le=\"{b}\"}} {cum}");
                     }
                     None => {
-                        let _ = writeln!(out, "sciql_{base}_seconds_bucket{{le=\"+Inf\"}} {cum}");
+                        let _ = writeln!(out, "{family}_bucket{{le=\"+Inf\"}} {cum}");
                     }
                 }
             }
-            let _ = writeln!(out, "sciql_{base}_seconds_sum {}", h.sum_ns as f64 / 1e9);
-            let _ = writeln!(out, "sciql_{base}_seconds_count {}", h.count);
+            if seconds {
+                let _ = writeln!(out, "{family}_sum {}", h.sum_ns as f64 / 1e9);
+            } else {
+                let _ = writeln!(out, "{family}_sum {}", h.sum_ns);
+            }
+            let _ = writeln!(out, "{family}_count {}", h.count);
         }
         out
     }

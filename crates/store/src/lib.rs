@@ -708,6 +708,29 @@ impl Vault {
         self.synced_to_disk()
     }
 
+    /// Append one statement to the WAL *without* forcing it to disk —
+    /// the group-commit half of [`Vault::append_statement`]. Returns the
+    /// log's byte position after the record: once any later fsync of
+    /// this generation's log covers that position (see
+    /// [`Vault::wal_sync_handle`]), the statement survives a crash. The
+    /// caller owns durability; nothing may be acknowledged before then.
+    pub fn append_statement_nosync(&mut self, sql: &str) -> StoreResult<u64> {
+        let mut payload = Vec::with_capacity(1 + sql.len());
+        payload.push(TAG_SQL);
+        payload.extend_from_slice(sql.as_bytes());
+        self.wal.append(&payload)?;
+        sciql_obs::global().wal_appends.inc();
+        Ok(self.wal.bytes())
+    }
+
+    /// A shareable fsync handle on the *current* generation's WAL, for a
+    /// group-commit thread. Invalidated (harmlessly) by the next
+    /// [`Vault::checkpoint`], which rotates the log after making every
+    /// appended record durable via the snapshot itself.
+    pub fn wal_sync_handle(&self) -> StoreResult<wal::WalSyncHandle> {
+        self.wal.sync_handle()
+    }
+
     /// Fsync the WAL, feeding the global fsync counter and latency
     /// histogram.
     fn synced_to_disk(&mut self) -> StoreResult<()> {

@@ -22,6 +22,7 @@ use gdk::codec::crc32;
 use std::fs::{File, OpenOptions};
 use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
 use std::path::Path;
+use std::sync::Arc;
 
 const WAL_MAGIC: [u8; 4] = *b"SWAL";
 const WAL_VERSION: u16 = 2;
@@ -103,6 +104,35 @@ impl WalWriter {
     /// Valid byte length of the log.
     pub fn bytes(&self) -> u64 {
         self.bytes
+    }
+
+    /// A shareable sync handle on this log's file, for a group-commit
+    /// thread to fsync *outside* whatever lock guards the writer. The
+    /// handle is a duplicated descriptor on the same open file, so
+    /// [`WalSyncHandle::sync`] makes every byte appended before the call
+    /// durable, exactly like [`WalWriter::sync`] would.
+    pub fn sync_handle(&self) -> StoreResult<WalSyncHandle> {
+        Ok(WalSyncHandle {
+            file: Arc::new(self.file.try_clone()?),
+        })
+    }
+}
+
+/// A clonable fsync-only handle on a WAL file (see
+/// [`WalWriter::sync_handle`]). Holding one keeps the underlying
+/// descriptor open even across WAL rotation; syncing a stale handle is
+/// harmless (the rotated file is already durable).
+#[derive(Debug, Clone)]
+pub struct WalSyncHandle {
+    file: Arc<File>,
+}
+
+impl WalSyncHandle {
+    /// Force everything appended to the log before this call to stable
+    /// storage — the group-commit sync point.
+    pub fn sync(&self) -> StoreResult<()> {
+        self.file.sync_data()?;
+        Ok(())
     }
 }
 

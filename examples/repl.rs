@@ -60,7 +60,7 @@
 
 use sciql_repro::driver::{Conn, Outcome, Sciql, Statement};
 use sciql_repro::gdk::Value;
-use sciql_repro::net::{MetricsEndpoint, Server};
+use sciql_repro::net::{MetricsEndpoint, Server, ServerConfig};
 use sciql_repro::sciql::SharedEngine;
 use std::collections::HashMap;
 use std::io::{self, BufRead, Write};
@@ -73,8 +73,14 @@ fn main() {
     let mut url: Option<String> = None;
     let mut metrics_addr: Option<String> = None;
     let mut metrics_text = false;
+    let mut max_sessions: Option<String> = None;
+    let mut max_result_bytes: Option<String> = None;
+    let mut max_queued_writes: Option<String> = None;
+    let mut no_group_commit = false;
     let usage = "usage: repl [<URL> | --listen <addr> [--db <path>] \
-                 [--metrics-addr <addr>] [--metrics-text]]  \
+                 [--metrics-addr <addr>] [--metrics-text] \
+                 [--max-sessions <n>] [--max-result-bytes <n>] \
+                 [--max-queued-writes <n>] [--no-group-commit]]  \
                  (URL = mem: | file:<path> | tcp://host:port)";
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -83,8 +89,15 @@ fn main() {
             "--listen" => &mut listen,
             "--connect" => &mut connect,
             "--metrics-addr" => &mut metrics_addr,
+            "--max-sessions" => &mut max_sessions,
+            "--max-result-bytes" => &mut max_result_bytes,
+            "--max-queued-writes" => &mut max_queued_writes,
             "--metrics-text" => {
                 metrics_text = true;
+                continue;
+            }
+            "--no-group-commit" => {
+                no_group_commit = true;
                 continue;
             }
             other if !other.starts_with('-') && url.is_none() => {
@@ -108,11 +121,42 @@ fn main() {
     }
 
     if let Some(addr) = listen {
-        serve(&addr, db.as_deref(), metrics_addr.as_deref(), metrics_text);
+        let parse_limit = |flag: &str, v: Option<String>| {
+            v.map(|s| {
+                s.parse::<usize>().unwrap_or_else(|_| {
+                    eprintln!("{flag} needs an unsigned integer, got {s:?} ({usage})");
+                    std::process::exit(2);
+                })
+            })
+        };
+        let mut config = ServerConfig::default();
+        if let Some(n) = parse_limit("--max-sessions", max_sessions) {
+            config.max_sessions = n;
+        }
+        if let Some(n) = parse_limit("--max-result-bytes", max_result_bytes) {
+            config.max_result_bytes_per_session = n;
+        }
+        if let Some(n) = parse_limit("--max-queued-writes", max_queued_writes) {
+            config.max_queued_writes = n;
+        }
+        config.group_commit = !no_group_commit;
+        serve(
+            &addr,
+            db.as_deref(),
+            metrics_addr.as_deref(),
+            metrics_text,
+            config,
+        );
         return;
     }
-    if metrics_text || metrics_addr.is_some() {
-        eprintln!("--metrics-text/--metrics-addr only apply to --listen servers ({usage})");
+    if metrics_text
+        || metrics_addr.is_some()
+        || max_sessions.is_some()
+        || max_result_bytes.is_some()
+        || max_queued_writes.is_some()
+        || no_group_commit
+    {
+        eprintln!("server flags only apply to --listen servers ({usage})");
         std::process::exit(2);
     }
 
@@ -150,7 +194,13 @@ fn main() {
 
 /// `--listen`: serve the (optionally durable) engine until a client asks
 /// for shutdown.
-fn serve(addr: &str, db: Option<&str>, metrics_addr: Option<&str>, metrics_text: bool) {
+fn serve(
+    addr: &str,
+    db: Option<&str>,
+    metrics_addr: Option<&str>,
+    metrics_text: bool,
+    config: ServerConfig,
+) {
     let engine = match db {
         Some(path) => match SharedEngine::open(path) {
             Ok(e) => e,
@@ -174,7 +224,7 @@ fn serve(addr: &str, db: Option<&str>, metrics_addr: Option<&str>, metrics_text:
         );
         endpoint
     });
-    let server = match Server::bind(engine, addr) {
+    let server = match Server::bind_with_config(engine, addr, config) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot bind {addr}: {e}");

@@ -90,6 +90,12 @@ pub enum SciqlError {
     /// Driver misuse: bad URL, wrong result shape, closed connection
     /// ([`ErrorCode::Connection`]).
     Connection(String),
+    /// Admission control refused the request — session limit or full
+    /// write queue; safe to retry ([`ErrorCode::ServerBusy`]).
+    ServerBusy(String),
+    /// A per-session resource quota was exceeded
+    /// ([`ErrorCode::QuotaExceeded`]).
+    QuotaExceeded(String),
     /// Anything that should not happen ([`ErrorCode::Internal`]).
     Internal(String),
 }
@@ -110,6 +116,8 @@ impl SciqlError {
             SciqlError::Protocol(_) => ErrorCode::Protocol,
             SciqlError::Version(_) => ErrorCode::Version,
             SciqlError::Connection(_) => ErrorCode::Connection,
+            SciqlError::ServerBusy(_) => ErrorCode::ServerBusy,
+            SciqlError::QuotaExceeded(_) => ErrorCode::QuotaExceeded,
             SciqlError::Internal(_) => ErrorCode::Internal,
         }
     }
@@ -129,6 +137,8 @@ impl SciqlError {
             | SciqlError::Protocol(m)
             | SciqlError::Version(m)
             | SciqlError::Connection(m)
+            | SciqlError::ServerBusy(m)
+            | SciqlError::QuotaExceeded(m)
             | SciqlError::Internal(m) => m,
         }
     }
@@ -150,6 +160,8 @@ impl SciqlError {
             ErrorCode::Protocol => SciqlError::Protocol(m),
             ErrorCode::Version => SciqlError::Version(m),
             ErrorCode::Connection => SciqlError::Connection(m),
+            ErrorCode::ServerBusy => SciqlError::ServerBusy(m),
+            ErrorCode::QuotaExceeded => SciqlError::QuotaExceeded(m),
             ErrorCode::Internal => SciqlError::Internal(m),
         }
     }
@@ -210,6 +222,14 @@ impl Outcome {
 pub trait Transport {
     /// Execute one statement.
     fn execute(&mut self, sql: &str) -> Result<Outcome>;
+    /// Execute a batch of statements; replies are positional
+    /// (`result[i]` answers `sqls[i]`) and a refused statement lands as
+    /// the `Err` in its own slot without aborting the batch. The
+    /// default runs statements one at a time; pipelining transports
+    /// (TCP) override it to ship the whole batch in one round trip.
+    fn execute_batch(&mut self, sqls: &[&str]) -> Result<Vec<Result<Outcome>>> {
+        Ok(sqls.iter().map(|sql| self.execute(sql)).collect())
+    }
     /// Prepare a named statement; returns its bind-slot count.
     fn prepare(&mut self, name: &str, sql: &str) -> Result<usize>;
     /// Execute a prepared statement with slot-ordered bound values.
@@ -468,7 +488,7 @@ impl Transport for Session {
     }
 }
 
-/// Network transport: a protocol-v4 [`Client`].
+/// Network transport: a protocol-v5 [`Client`].
 struct Tcp {
     client: Option<Client>,
 }
@@ -484,6 +504,13 @@ impl Tcp {
 impl Transport for Tcp {
     fn execute(&mut self, sql: &str) -> Result<Outcome> {
         Ok(Outcome::from_net_reply(self.client()?.execute(sql)?))
+    }
+    fn execute_batch(&mut self, sqls: &[&str]) -> Result<Vec<Result<Outcome>>> {
+        let replies = self.client()?.execute_pipelined(sqls)?;
+        Ok(replies
+            .into_iter()
+            .map(|r| r.map(Outcome::from_net_reply).map_err(SciqlError::from))
+            .collect())
     }
     fn prepare(&mut self, name: &str, sql: &str) -> Result<usize> {
         Ok(self.client()?.prepare(name, sql)? as usize)
@@ -638,6 +665,16 @@ impl Conn {
     /// Execute a statement and return either rows or an affected count.
     pub fn run(&mut self, sql: &str) -> Result<Outcome> {
         self.transport.execute(sql)
+    }
+
+    /// Execute a batch of statements — pipelined into one round trip on
+    /// the TCP transport, one at a time elsewhere. Replies are
+    /// positional: `result[i]` answers `sqls[i]`, and a statement the
+    /// backend refuses (parse error, [`SciqlError::ServerBusy`],
+    /// [`SciqlError::QuotaExceeded`]) fills its own slot without
+    /// aborting the rest of the batch.
+    pub fn run_batch(&mut self, sqls: &[&str]) -> Result<Vec<Result<Outcome>>> {
+        self.transport.execute_batch(sqls)
     }
 
     /// Execute DDL/DML; returns the affected cell/row count. Fails with
