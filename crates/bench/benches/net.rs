@@ -8,6 +8,8 @@
 use criterion::{criterion_group, BenchmarkGroup, BenchmarkId, Criterion, Throughput};
 use sciql::SharedEngine;
 use sciql_net::{Client, Server, ServerConfig, ServerHandle};
+use sciql_repl::Replica;
+use sciql_repro::driver::Sciql;
 use std::hint::black_box;
 use std::io::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -222,6 +224,110 @@ fn bench_concurrency_case(g: &mut BenchmarkGroup<'_>, n: usize, grouped: bool) {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// WAL-shipping replication: how fast a fresh replica replays a
+/// primary's WAL tail (catch-up, reported as a records/s JSON line the
+/// guard tracks as context), and the read win of fanning an all-read
+/// driver batch over 3 endpoints (primary + 2 replicas) instead of
+/// pipelining it to the single primary. The bench-guard's
+/// EXPECT_FASTER gate requires the 3-endpoint batch to finish ≥ 2×
+/// faster — the whole point of read replicas.
+fn bench_replication(c: &mut Criterion) {
+    let mut g = c.benchmark_group("net/replication");
+    let base = std::env::temp_dir().join(format!("sciql-bench-repl-{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+    let engine = SharedEngine::open(base.join("primary")).unwrap();
+    let handle = Server::bind(Arc::clone(&engine), "127.0.0.1:0")
+        .unwrap()
+        .serve()
+        .unwrap();
+    let addr = handle.addr();
+    let mut seed = Client::connect_named(addr, "repl-bench-seed").unwrap();
+    // A 32,400-cell array: enough work per read to measure, but below
+    // the 64k parallel threshold so each query runs serial — the
+    // fan-out win must come from the extra endpoints, not from
+    // intra-query threads.
+    for r in seed
+        .execute_pipelined(&[
+            "CREATE ARRAY big (x INT DIMENSION[0:1:180], y INT DIMENSION[0:1:180], \
+             v INT DEFAULT 0)",
+            "UPDATE big SET v = x * y",
+            "CREATE TABLE feed (k INT)",
+        ])
+        .unwrap()
+    {
+        r.unwrap();
+    }
+    // A WAL tail of single-row inserts for the fresh replica to replay.
+    const RECORDS: usize = 512;
+    for chunk in 0..RECORDS / 64 {
+        let ins: Vec<String> = (0..64)
+            .map(|i| format!("INSERT INTO feed VALUES ({})", chunk * 64 + i))
+            .collect();
+        let batch: Vec<&str> = ins.iter().map(String::as_str).collect();
+        for r in seed.execute_pipelined(&batch).unwrap() {
+            r.unwrap();
+        }
+    }
+
+    let wait_caught_up = |replica: &Replica| {
+        let deadline = Instant::now() + std::time::Duration::from_secs(120);
+        while replica.applied() != engine.durable_position() {
+            assert!(Instant::now() < deadline, "replica failed to catch up");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    };
+    let t = Instant::now();
+    let replica1 = Replica::connect(base.join("replica1"), &addr.to_string()).unwrap();
+    wait_caught_up(&replica1);
+    let secs = t.elapsed().as_secs_f64();
+    append_json_line(&format!(
+        "{{\"id\":\"net/replication/catch_up\",\"records\":{RECORDS},\"secs\":{secs:.6},\
+         \"records_per_s\":{:.0}}}",
+        RECORDS as f64 / secs
+    ));
+    let replica2 = Replica::connect(base.join("replica2"), &addr.to_string()).unwrap();
+    wait_caught_up(&replica2);
+    let h1 = Server::bind(Arc::clone(replica1.engine()), "127.0.0.1:0")
+        .unwrap()
+        .serve()
+        .unwrap();
+    let h2 = Server::bind(Arc::clone(replica2.engine()), "127.0.0.1:0")
+        .unwrap()
+        .serve()
+        .unwrap();
+
+    const BATCH: usize = 12;
+    let sqls = vec!["SELECT SUM(v) FROM big"; BATCH];
+    g.throughput(Throughput::Elements(BATCH as u64));
+    let mut solo = Sciql::connect(&format!("tcp://{addr}")).unwrap();
+    g.bench_function(BenchmarkId::from_parameter("read_batch_fanout_1"), |b| {
+        b.iter(|| {
+            for r in solo.run_batch(&sqls).unwrap() {
+                black_box(r.unwrap());
+            }
+        })
+    });
+    let mut fanned = Sciql::connect(&format!("tcp://{addr},{},{}", h1.addr(), h2.addr())).unwrap();
+    g.bench_function(BenchmarkId::from_parameter("read_batch_fanout_3"), |b| {
+        b.iter(|| {
+            for r in fanned.run_batch(&sqls).unwrap() {
+                black_box(r.unwrap());
+            }
+        })
+    });
+
+    solo.close().unwrap();
+    fanned.close().unwrap();
+    seed.close().ok();
+    replica1.stop();
+    replica2.stop();
+    h1.stop();
+    h2.stop();
+    handle.stop();
+    std::fs::remove_dir_all(&base).ok();
+    g.finish();
+}
+
 /// One run-wide line with the group committer's effectiveness: how many
 /// fsyncs the grouped cases saved and how many statements each shared
 /// fsync covered (the batch factor). `fsyncs_saved > 0` is an
@@ -264,9 +370,9 @@ fn append_json_line(line: &str) {
 criterion_group! {
     name = benches;
     config = sciql_bench::criterion_config();
-    targets = bench_roundtrip, bench_streaming, bench_writes, bench_concurrency
+    targets = bench_roundtrip, bench_streaming, bench_writes, bench_concurrency, bench_replication
 }
 fn main() {
-    sciql_bench::emit_meta("net", &[("rows_streamed", 4096), ("concurrency_stmts_per_client_round", 7)], "sciql-net loopback round-trip/streaming/write benchmarks plus the N-client group-commit concurrency gauntlet; embedded twin measures the no-wire path");
+    sciql_bench::emit_meta("net", &[("rows_streamed", 4096), ("concurrency_stmts_per_client_round", 7), ("replication_read_batch", 12)], "sciql-net loopback round-trip/streaming/write benchmarks plus the N-client group-commit concurrency gauntlet and the replication catch-up / read fan-out pair; embedded twin measures the no-wire path");
     benches();
 }

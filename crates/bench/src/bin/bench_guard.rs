@@ -126,6 +126,16 @@ const EXPECT_FASTER: &[(&str, &str, &str, f64)] = &[
         "net/concurrency/mixed_64_solo_fsync",
         3.0,
     ),
+    // Read scaling is the point of replication: an all-read driver
+    // batch fanned out over 3 endpoints (primary + 2 caught-up
+    // replicas) must finish at least 2x faster than the same batch
+    // pipelined to the single primary.
+    (
+        "BENCH_net.json",
+        "net/replication/read_batch_fanout_3",
+        "net/replication/read_batch_fanout_1",
+        2.0,
+    ),
 ];
 
 /// Within the fresh run, `left` must take at most `max_ratio` × the time

@@ -52,6 +52,7 @@ fn table(name: &str, cols: Vec<ColumnMeta>) -> SchemaObject {
 /// | `sys.columns` | column/dimension of a catalog object |
 /// | `sys.tiles` | storage tile with its zone-map entry |
 /// | `sys.wal` | the vault (position, appends, fsyncs, generation) |
+/// | `sys.replication` | live replication link (role, peer, positions, lag) |
 pub fn definitions() -> &'static [SchemaObject] {
     static DEFS: OnceLock<Vec<SchemaObject>> = OnceLock::new();
     DEFS.get_or_init(|| {
@@ -137,6 +138,18 @@ pub fn definitions() -> &'static [SchemaObject] {
                     col("appends", ScalarType::Lng),
                     col("fsyncs", ScalarType::Lng),
                     col("generation", ScalarType::Lng),
+                ],
+            ),
+            table(
+                "sys.replication",
+                vec![
+                    col("role", ScalarType::Str),
+                    col("peer", ScalarType::Str),
+                    col("generation", ScalarType::Lng),
+                    col("shipped", ScalarType::Lng),
+                    col("applied", ScalarType::Lng),
+                    col("durable", ScalarType::Lng),
+                    col("lag_bytes", ScalarType::Lng),
                 ],
             ),
         ]

@@ -163,6 +163,16 @@ impl GroupCommitter {
         }
     }
 
+    /// The committer's durability watermark: `(epoch, position)` of the
+    /// newest group fsync. Positions appended in older epochs are
+    /// durable via the checkpoint snapshot that rotated them away. The
+    /// replication shipper combines this with the vault's synchronous
+    /// watermark to bound what may be shipped.
+    pub fn durable(&self) -> (u64, u64) {
+        let st = self.lock();
+        (st.epoch, st.durable)
+    }
+
     /// A checkpoint rotated the WAL into generation `epoch`: everything
     /// appended before it is durable via the snapshot, so release every
     /// parked writer and drop the stale file handle.

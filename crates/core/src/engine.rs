@@ -35,7 +35,7 @@ use sciql_catalog::Catalog;
 use sciql_obs::{SpanId, Trace, Tracer};
 use sciql_parser::ast::{SelectStmt, Stmt};
 use std::collections::HashMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
@@ -145,6 +145,32 @@ impl EngineSnapshot {
     }
 }
 
+/// One shipped batch of acknowledged WAL records: everything after the
+/// requested position, capped at the primary's durable position.
+#[derive(Debug)]
+pub struct WalBatch {
+    /// Checkpoint generation the byte positions refer to.
+    pub generation: u64,
+    /// The primary's durable position at batch time (also shipped when
+    /// `records` is empty, so replicas can report zero lag).
+    pub durable: u64,
+    /// The records, each carrying its end byte position and payload.
+    pub records: Vec<sciql_store::WalRecord>,
+}
+
+/// A consistent copy of a vault's durable on-disk image — what a
+/// replication bootstrap transfers, file by file.
+#[derive(Debug)]
+pub struct VaultImage {
+    /// The image's checkpoint generation.
+    pub generation: u64,
+    /// WAL byte position the image's (capped) log ends at.
+    pub durable: u64,
+    /// `(dir-relative path, contents)` per file: MANIFEST, snapshot
+    /// catalog, capped WAL, referenced tile files.
+    pub files: Vec<(String, Vec<u8>)>,
+}
+
 /// Cumulative engine counters (monitoring, REPL `\stats`, the server's
 /// shutdown report).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -244,6 +270,126 @@ impl SharedEngine {
         Ok(Self::new(Connection::open_with_config(path, cfg)?))
     }
 
+    /// Open the vault at `path` as a read-only **replication replica**
+    /// (see [`Connection::open_replica`]): reads serve from snapshots as
+    /// usual, user writes are refused, and new state arrives only via
+    /// [`Connection::apply_replicated`] on the underlying connection.
+    pub fn open_replica(path: impl AsRef<Path>) -> Result<Arc<Self>> {
+        Ok(Self::new(Connection::open_replica(path)?))
+    }
+
+    /// Is this engine a read-only replication replica?
+    pub fn is_replica(&self) -> bool {
+        self.lock().is_read_only()
+    }
+
+    /// The vault directory backing this engine, if persistent.
+    pub fn data_dir(&self) -> Option<PathBuf> {
+        self.lock().vault.as_ref().map(|v| v.dir().to_path_buf())
+    }
+
+    /// The engine's durable WAL position — the monotonic-read token
+    /// `(generation, byte position)` stamped onto write acknowledgements
+    /// and the upper bound of what the replication shipper may send.
+    /// Combines the vault's synchronous watermark (recovered content,
+    /// fsyncing appends) with the group committer's, when one is active.
+    /// `(0, 0)` for in-memory engines.
+    pub fn durable_position(&self) -> (u64, u64) {
+        let (gen, floor) = {
+            let conn = self.lock();
+            match conn.vault.as_ref() {
+                Some(v) => (v.generation(), v.wal_durable()),
+                None => return (0, 0),
+            }
+        };
+        (gen, self.group_durable(gen, floor))
+    }
+
+    /// The group committer's contribution to the durable position for
+    /// generation `gen`, folded over the vault's synchronous `floor`.
+    fn group_durable(&self, gen: u64, floor: u64) -> u64 {
+        match self.group.get() {
+            Some(gc) => {
+                let (epoch, durable) = gc.durable();
+                if epoch == gen {
+                    floor.max(durable)
+                } else {
+                    floor
+                }
+            }
+            None => floor,
+        }
+    }
+
+    /// A replica's durably applied position `(generation, byte
+    /// position)` — its own WAL length, which by byte-parity equals the
+    /// primary's position of the last applied record.
+    pub fn applied_position(&self) -> (u64, u64) {
+        self.lock().wal_applied()
+    }
+
+    /// Read the acknowledged WAL records after byte position `from`, for
+    /// shipping to a replica. Records past the durable position are
+    /// withheld — an unacknowledged record must never reach a replica,
+    /// or a primary crash could leave the replica *ahead*. The read runs
+    /// under the connection lock, so the returned batch is a consistent
+    /// prefix of generation `generation`'s log.
+    pub fn wal_records_from(&self, from: u64) -> Result<WalBatch> {
+        let conn = self.lock();
+        let Some(v) = conn.vault.as_ref() else {
+            return Err(crate::EngineError::msg(
+                "replication requires a persistent engine",
+            ));
+        };
+        let generation = v.generation();
+        let path = sciql_store::wal_file_path(v.dir(), generation);
+        let durable = self.group_durable(generation, v.wal_durable());
+        let mut records =
+            sciql_store::read_wal_from(&path, from).map_err(crate::EngineError::Store)?;
+        records.retain(|r| r.end <= durable);
+        Ok(WalBatch {
+            generation,
+            durable,
+            records,
+        })
+    }
+
+    /// A consistent copy of the vault's current durable on-disk image,
+    /// for bootstrapping a replica that is on the wrong generation (the
+    /// primary checkpointed) or behind the GC horizon. The WAL file is
+    /// capped at the durable position so unacknowledged records do not
+    /// ship.
+    pub fn vault_image(&self) -> Result<VaultImage> {
+        let conn = self.lock();
+        let Some(v) = conn.vault.as_ref() else {
+            return Err(crate::EngineError::msg(
+                "replication requires a persistent engine",
+            ));
+        };
+        let generation = v.generation();
+        let durable = self.group_durable(generation, v.wal_durable());
+        let wal_name = format!("wal-{generation}.log");
+        let mut files = Vec::new();
+        for rel in v.snapshot_file_set() {
+            let path = v.dir().join(&rel);
+            let mut bytes = std::fs::read(&path).map_err(|e| {
+                crate::EngineError::msg(format!(
+                    "replication snapshot: read {}: {e}",
+                    path.display()
+                ))
+            })?;
+            if rel.as_os_str() == wal_name.as_str() {
+                bytes.truncate(durable as usize);
+            }
+            files.push((rel.to_string_lossy().into_owned(), bytes));
+        }
+        Ok(VaultImage {
+            generation,
+            durable,
+            files,
+        })
+    }
+
     /// Start a new session over this engine.
     pub fn session(self: &Arc<Self>) -> EngineSession {
         self.stats.sessions_opened.fetch_add(1, Ordering::Relaxed);
@@ -269,6 +415,7 @@ impl SharedEngine {
             errors: 0,
             trace_enabled: false,
             last_trace: None,
+            commit_token: None,
         }
     }
 
@@ -404,6 +551,9 @@ pub struct EngineSession {
     errors: u64,
     trace_enabled: bool,
     last_trace: Option<Trace>,
+    /// `(generation, WAL position)` of this session's newest
+    /// acknowledged write — the monotonic-read token its replies carry.
+    commit_token: Option<(u64, u64)>,
 }
 
 impl EngineSession {
@@ -574,6 +724,12 @@ impl EngineSession {
                         self.last_trace = conn.last_trace().cloned();
                     }
                     conn.set_tracing(prev);
+                    if r.is_ok() {
+                        let tok = conn.wal_applied();
+                        if tok != (0, 0) {
+                            self.commit_token = Some(tok);
+                        }
+                    }
                     let ticket = conn.take_pending_commit();
                     (r, ticket)
                 };
@@ -710,6 +866,12 @@ impl EngineSession {
             let r = conn.execute_stmt(&stmt);
             conn.session_id = 0;
             self.last = conn.last_exec();
+            if r.is_ok() {
+                let tok = conn.wal_applied();
+                if tok != (0, 0) {
+                    self.commit_token = Some(tok);
+                }
+            }
             let ticket = conn.take_pending_commit();
             (r, ticket)
         };
@@ -717,6 +879,15 @@ impl EngineSession {
             (Some(t), Some(gc)) => gc.wait_durable(t).and(r),
             _ => r,
         }
+    }
+
+    /// The monotonic-read token of this session's newest acknowledged
+    /// write: `(generation, WAL byte position)`, durable when handed
+    /// out. A reader presenting it to a replica is guaranteed to see
+    /// this write (or wait / fail `ReplicaLagging`). `None` until the
+    /// session writes on a persistent engine.
+    pub fn last_commit_token(&self) -> Option<(u64, u64)> {
+        self.commit_token
     }
 
     /// Drop a prepared statement; `true` if it existed.

@@ -53,6 +53,7 @@ pub use commit::{CommitTicket, GroupCommitter};
 pub use copy::write_copy_binary;
 pub use engine::{
     EngineSession, EngineSnapshot, EngineStats, SessionMeter, SessionStats, SharedEngine,
+    VaultImage, WalBatch,
 };
 pub use exec::Prepared;
 pub use result::{ArrayView, ColumnMeta, ResultSet};
@@ -101,6 +102,10 @@ pub enum ErrorCode {
     /// A per-session resource quota was exceeded, e.g. a result set
     /// larger than `max_result_bytes_per_session` (1106).
     QuotaExceeded = 1106,
+    /// A replica could not satisfy a monotonic-read token within the
+    /// bounded wait: it has not yet applied the writer's acknowledged
+    /// WAL position — retry, or read from the primary (1107).
+    ReplicaLagging = 1107,
     /// Anything that should not happen (1999).
     Internal = 1999,
 }
@@ -129,6 +134,7 @@ impl ErrorCode {
             1104 => ErrorCode::Connection,
             1105 => ErrorCode::ServerBusy,
             1106 => ErrorCode::QuotaExceeded,
+            1107 => ErrorCode::ReplicaLagging,
             _ => ErrorCode::Internal,
         }
     }
@@ -150,6 +156,7 @@ impl ErrorCode {
             ErrorCode::Connection => "connection",
             ErrorCode::ServerBusy => "server_busy",
             ErrorCode::QuotaExceeded => "quota_exceeded",
+            ErrorCode::ReplicaLagging => "replica_lagging",
             ErrorCode::Internal => "internal",
         }
     }

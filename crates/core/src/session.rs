@@ -143,6 +143,10 @@ pub struct Connection {
     /// True while WAL operations are replayed at open (suppresses
     /// re-logging them).
     pub(crate) replaying: bool,
+    /// Read-only replica mode: user-issued mutating statements are
+    /// refused; the only write path is [`Connection::apply_replicated`],
+    /// which replays records shipped off a primary's WAL.
+    pub(crate) read_only: bool,
     /// When set, every statement records a span trace ([`Connection::last_trace`]).
     trace_enabled: bool,
     /// The span tree of the most recent traced statement.
@@ -188,6 +192,7 @@ impl Connection {
             prepared: PreparedSet::default(),
             vault: None,
             replaying: false,
+            read_only: false,
             trace_enabled: false,
             last_trace: None,
             slow_query_ns: 0,
@@ -284,6 +289,82 @@ impl Connection {
         Ok(conn)
     }
 
+    /// Open the vault at `path` as a read-only **replication replica**.
+    ///
+    /// Recovery is identical to [`Connection::open`] — the replica's own
+    /// WAL holds a byte-identical prefix of the primary's, so replaying
+    /// it restores exactly the applied state, and its byte length *is*
+    /// the replica's durably applied position. Afterwards the session
+    /// refuses user-issued mutating statements; new records arrive only
+    /// through [`Connection::apply_replicated`].
+    pub fn open_replica(path: impl AsRef<Path>) -> Result<Self> {
+        Self::open_replica_with_config(path, SessionConfig::default())
+    }
+
+    /// [`Connection::open_replica`] with an explicit execution
+    /// configuration.
+    pub fn open_replica_with_config(path: impl AsRef<Path>, cfg: SessionConfig) -> Result<Self> {
+        let mut conn = Self::open_with_config(path, cfg)?;
+        conn.read_only = true;
+        Ok(conn)
+    }
+
+    /// Is this session a read-only replication replica?
+    pub fn is_read_only(&self) -> bool {
+        self.read_only
+    }
+
+    /// Append one WAL record shipped off a primary to this replica's own
+    /// log (fsynced — the record survives a crash before it is
+    /// acknowledged upstream), then apply it through the recovery path.
+    /// Returns the replica's applied WAL byte position, which equals the
+    /// primary's position of the same record because WAL framing is
+    /// deterministic.
+    ///
+    /// The append happens first: if the process dies between append and
+    /// apply, reopening the vault replays the record — exactly-once by
+    /// construction, with no sidecar position file.
+    pub fn apply_replicated(&mut self, payload: &[u8]) -> Result<u64> {
+        let (wal_path, record) = match self.vault.as_ref() {
+            Some(v) => (
+                sciql_store::wal_file_path(v.dir(), v.generation()),
+                v.stats().wal_records as usize,
+            ),
+            None => {
+                return Err(EngineError::msg(
+                    "replication apply requires a persistent connection",
+                ))
+            }
+        };
+        let vault = self.vault.as_mut().expect("checked above");
+        let pos = vault.append_raw(payload).map_err(EngineError::Store)?;
+        let op = sciql_store::decode_replay_op(payload, &wal_path, record)
+            .map_err(EngineError::Store)?;
+        let was = self.replaying;
+        self.replaying = true;
+        let applied = match &op {
+            ReplayOp::Sql(sql) => self.execute(sql).map(|_| ()),
+            ReplayOp::CopyBatch {
+                target,
+                start,
+                columns,
+            } => self.apply_copy_batch(target, *start, columns),
+        };
+        self.replaying = was;
+        applied?;
+        sciql_obs::global().repl_records_applied.inc();
+        Ok(pos)
+    }
+
+    /// `(generation, WAL byte position)` of the vault — on a replica,
+    /// the durably applied replication position. `(0, 0)` in memory.
+    pub fn wal_applied(&self) -> (u64, u64) {
+        self.vault
+            .as_ref()
+            .map(|v| (v.generation(), v.wal_position()))
+            .unwrap_or((0, 0))
+    }
+
     /// Is this session backed by a durable vault?
     pub fn is_persistent(&self) -> bool {
         self.vault.is_some()
@@ -310,6 +391,15 @@ impl Connection {
     /// rotated. After this returns, recovery no longer needs the old
     /// log.
     pub fn checkpoint(&mut self) -> Result<()> {
+        if self.read_only {
+            // A checkpoint rotates the WAL generation; a replica's
+            // generation must stay in byte-parity lockstep with its
+            // primary's, so replicas never checkpoint locally — they
+            // re-bootstrap when the primary rotates.
+            return Err(EngineError::msg(
+                "read-only replica: checkpoints happen on the primary",
+            ));
+        }
         let Some(vault) = self.vault.as_mut() else {
             return Err(EngineError::msg(
                 "checkpoint requires a persistent connection (Connection::open)",
@@ -674,6 +764,14 @@ impl Connection {
     }
 
     fn execute_stmt_inner(&mut self, stmt: &Stmt, tracer: &mut Tracer) -> Result<QueryResult> {
+        if self.read_only
+            && !self.replaying
+            && !matches!(stmt, Stmt::Select(_) | Stmt::Explain { .. })
+        {
+            return Err(EngineError::msg(
+                "read-only replica: route writes to the primary",
+            ));
+        }
         // COPY logs its own per-batch WAL records as it streams (see
         // `crate::copy`), so it is excluded from statement-level logging.
         let logged = !matches!(

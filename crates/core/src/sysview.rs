@@ -127,6 +127,7 @@ pub(crate) fn synthesize(
         "sys.columns" => column_rows(catalog),
         "sys.tiles" => tile_rows(arrays, tables),
         "sys.wal" => wal_rows(sys.vault.as_ref()),
+        "sys.replication" => replication_rows(),
         other => {
             return Err(EngineError::msg(format!(
                 "system view {other:?} has no synthesizer"
@@ -375,6 +376,27 @@ fn wal_rows(vault: Option<&VaultStats>) -> Vec<Vec<Value>> {
         lng(m.wal_fsyncs.get()),
         lng(v.generation),
     ]]
+}
+
+/// `sys.replication`: one row per live replication link from the global
+/// registry — on a primary, one per connected replica; on a replica,
+/// its upstream link. Empty when the process is not replicating.
+fn replication_rows() -> Vec<Vec<Value>> {
+    sciql_obs::replication()
+        .snapshot()
+        .into_iter()
+        .map(|l| {
+            vec![
+                s(l.role.name()),
+                s(l.peer.clone()),
+                lng(l.generation),
+                lng(l.shipped),
+                lng(l.applied),
+                lng(l.durable),
+                lng(l.lag_bytes()),
+            ]
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -47,6 +47,13 @@ pub struct Client {
     /// *next* request would silently return wrong results — so every
     /// further call fails instead. Statement errors do not poison.
     broken: bool,
+    /// Monotonic-read token sent with every `Query` (v6). `(0, 0)`
+    /// means unconstrained; a replica holds a constrained read until it
+    /// has applied at least this WAL position.
+    read_token: proto::WalToken,
+    /// The newest durable WAL position acknowledged by this session's
+    /// writes — what a write's `Affected` reply carried last.
+    last_token: proto::WalToken,
 }
 
 impl Client {
@@ -70,6 +77,8 @@ impl Client {
             session_id: 0,
             server: String::new(),
             broken: false,
+            read_token: (0, 0),
+            last_token: (0, 0),
         };
         proto::write_frame(&mut client.stream, &proto::hello(name))?;
         let frame = client.expect_frame()?;
@@ -111,6 +120,21 @@ impl Client {
         &self.server
     }
 
+    /// Require every subsequent `Query` on this connection to observe at
+    /// least this WAL position (monotonic reads against a replica).
+    /// `(0, 0)` clears the constraint.
+    pub fn set_read_token(&mut self, token: proto::WalToken) {
+        self.read_token = token;
+    }
+
+    /// The durable WAL position acknowledged by this session's most
+    /// recent write (`(0, 0)` before any write, or on an in-memory
+    /// server). Hand it to a replica client via
+    /// [`Client::set_read_token`] to read your own writes.
+    pub fn last_token(&self) -> proto::WalToken {
+        self.last_token
+    }
+
     /// Is this connection poisoned by an earlier I/O or framing failure?
     /// A broken client refuses further statements; reconnect instead.
     pub fn is_broken(&self) -> bool {
@@ -139,7 +163,8 @@ impl Client {
     /// Execute one statement.
     pub fn execute(&mut self, sql: &str) -> NetResult<NetReply> {
         self.exchange(|c| {
-            proto::write_frame(&mut c.stream, &proto::query(sql))?;
+            let token = c.read_token;
+            proto::write_frame(&mut c.stream, &proto::query(token, sql))?;
             c.read_reply()
         })
     }
@@ -161,7 +186,7 @@ impl Client {
         self.exchange(|c| {
             let mut batch = Vec::new();
             for sql in sqls {
-                proto::write_frame(&mut batch, &proto::query(sql))?;
+                proto::write_frame(&mut batch, &proto::query(c.read_token, sql))?;
             }
             std::io::Write::write_all(&mut c.stream, &batch)?;
             let mut replies = Vec::with_capacity(sqls.len());
@@ -375,9 +400,10 @@ impl Client {
             Op::Error => Err(proto::read_error(body)),
             Op::Ok => Ok(NetReply::Affected(0)),
             Op::Affected => {
-                let n = Reader::new(body)
-                    .u64()
-                    .map_err(|_| NetError::protocol("malformed Affected"))?;
+                let (n, token) = proto::read_affected(body)?;
+                if token != (0, 0) {
+                    self.last_token = token;
+                }
                 Ok(NetReply::Affected(n))
             }
             Op::ResultHeader => {

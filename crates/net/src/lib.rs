@@ -42,5 +42,5 @@ pub mod server;
 
 pub use client::{Client, NetReply};
 pub use http::{MetricsEndpoint, MetricsHandle};
-pub use proto::{ExecReport, NetError, NetResult, PROTO_VERSION};
+pub use proto::{ExecReport, NetError, NetResult, ReplSnapshotFrame, WalToken, PROTO_VERSION};
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -12,8 +12,8 @@
 //!
 //! client → server                      server → client
 //!   0x01 Hello   ver:u16 client:str      0x81 HelloOk  ver:u16 server:str sid:u64
-//!   0x02 Query   sql:str                 0x82 Error    code:u16 message:str
-//!   0x03 Prepare name:str sql:str        0x83 Affected n:u64
+//!   0x02 Query   epoch:u64 pos:u64 sql:str   0x82 Error    code:u16 message:str
+//!   0x03 Prepare name:str sql:str        0x83 Affected n:u64 epoch:u64 pos:u64
 //!   0x04 ExecPrepared name:str           0x84 ResultHeader  <ResultSet::encode_header>
 //!   0x05 Ping                            0x85 ResultPage    <ResultSet::encode_page>
 //!   0x06 Close                           0x86 ResultDone    rows:u64 pages:u32
@@ -23,9 +23,23 @@
 //!   0x0A ExecBound name:str              0x8A StmtOk   nparams:u16 (Prepare ack)
 //!   0x0B Deallocate name:str             0x8B MetricsReply  <MetricsSnapshot>
 //!   0x0C Metrics                         0x8C TraceReply    has:u8 text:str
-//!   0x0D TraceEnable on:u8
-//!   0x0E TraceFetch
+//!   0x0D TraceEnable on:u8               0x8D ReplRecord  gen:u64 durable:u64
+//!   0x0E TraceFetch                                        has:u8 [end:u64 payload]
+//!   0x0F ReplHello  gen:u64 pos:u64      0x8E ReplSnapshot kind:u8 body
+//!   0x10 ReplAck    gen:u64 pos:u64
 //! ```
+//!
+//! Since v6, `Query` carries a monotonic-read token ahead of the SQL
+//! (`epoch:u64 pos:u64 sql:str`; `(0,0)` = none) and `Affected` carries
+//! the write's durable WAL position (`n:u64 epoch:u64 pos:u64`) — the
+//! token a later replica read presents to guarantee read-your-writes.
+//! The replication frames stream a primary's acknowledged WAL to a
+//! replica: the replica opens with `ReplHello` (its applied position),
+//! the primary answers with `ReplRecord`s (payload-less ones are
+//! durable-position heartbeats) or a multi-frame `ReplSnapshot`
+//! bootstrap (Begin → per-file File/Chunk… → End) when the replica's
+//! generation no longer exists on the primary, and the replica
+//! acknowledges applied positions with `ReplAck`.
 //!
 //! A query answer is either one `Error`, one `Affected`, or a
 //! `ResultHeader`, zero or more `ResultPage`s and a closing `ResultDone`.
@@ -57,8 +71,12 @@ use std::io::{self, Read, Write};
 /// session's most recent traced statement). Version 5 added per-
 /// histogram bucket bounds to `MetricsReply` (the group-commit
 /// batch-size histogram is count-valued, not latency-valued) and the
-/// `ServerBusy`/`QuotaExceeded` admission-control error codes.
-pub const PROTO_VERSION: u16 = 5;
+/// `ServerBusy`/`QuotaExceeded` admission-control error codes. Version
+/// 6 added WAL-shipping replication — the
+/// `ReplHello`/`ReplRecord`/`ReplAck`/`ReplSnapshot` frames, a
+/// monotonic-read token in `Query`, the durable WAL position in
+/// `Affected`, and the `ReplicaLagging` error code.
+pub const PROTO_VERSION: u16 = 6;
 
 /// Upper bound on a single frame (64 MiB): a defence against a corrupt
 /// or hostile length prefix allocating unbounded memory, not a result
@@ -101,6 +119,11 @@ pub enum Op {
     TraceEnable = 0x0D,
     /// Fetch the rendered span tree of the last traced statement.
     TraceFetch = 0x0E,
+    /// Replica handshake: announce the applied WAL position and switch
+    /// the session into replication streaming.
+    ReplHello = 0x0F,
+    /// Replica acknowledgement of its durably applied WAL position.
+    ReplAck = 0x10,
     /// Server handshake answer.
     HelloOk = 0x81,
     /// Statement (or protocol) failure; the session survives.
@@ -125,6 +148,11 @@ pub enum Op {
     MetricsReply = 0x8B,
     /// Rendered span tree (or "none recorded") answer to `TraceFetch`.
     TraceReply = 0x8C,
+    /// One shipped WAL record (or a payload-less durable-position
+    /// heartbeat) from primary to replica.
+    ReplRecord = 0x8D,
+    /// One frame of a multi-frame replica bootstrap file transfer.
+    ReplSnapshot = 0x8E,
 }
 
 impl Op {
@@ -145,6 +173,8 @@ impl Op {
             0x0C => Op::Metrics,
             0x0D => Op::TraceEnable,
             0x0E => Op::TraceFetch,
+            0x0F => Op::ReplHello,
+            0x10 => Op::ReplAck,
             0x81 => Op::HelloOk,
             0x82 => Op::Error,
             0x83 => Op::Affected,
@@ -157,6 +187,8 @@ impl Op {
             0x8A => Op::StmtOk,
             0x8B => Op::MetricsReply,
             0x8C => Op::TraceReply,
+            0x8D => Op::ReplRecord,
+            0x8E => Op::ReplSnapshot,
             _ => return None,
         })
     }
@@ -369,11 +401,36 @@ pub fn hello_ok(server: &str, session_id: u64) -> Vec<u8> {
     p
 }
 
-/// `Query` payload.
-pub fn query(sql: &str) -> Vec<u8> {
+/// A monotonic-read token: `(WAL generation, byte position)`. A write
+/// acknowledgement carries the position its durability reached; a
+/// replica read presenting the token is served only once the replica
+/// has applied at least that much. `(0, 0)` means "no constraint".
+pub type WalToken = (u64, u64);
+
+/// Does an applied position satisfy a required token? A newer
+/// generation satisfies any older-generation token: the checkpoint that
+/// rotated the WAL captured everything the token named.
+pub fn token_satisfied(applied: WalToken, required: WalToken) -> bool {
+    applied.0 > required.0 || (applied.0 == required.0 && applied.1 >= required.1)
+}
+
+/// `Query` payload: monotonic-read token (`(0, 0)` = none), then SQL.
+pub fn query(token: WalToken, sql: &str) -> Vec<u8> {
     let mut p = vec![Op::Query as u8];
+    gdk::codec::put_u64(&mut p, token.0);
+    gdk::codec::put_u64(&mut p, token.1);
     gdk::codec::put_str(&mut p, sql);
     p
+}
+
+/// Decode a `Query` body into its token and SQL text.
+pub fn read_query(body: &[u8]) -> NetResult<(WalToken, String)> {
+    let mut r = gdk::codec::Reader::new(body);
+    let bad = |_| NetError::protocol("malformed Query");
+    let epoch = r.u64().map_err(bad)?;
+    let pos = r.u64().map_err(bad)?;
+    let sql = r.str().map_err(bad)?;
+    Ok(((epoch, pos), sql))
 }
 
 /// `Prepare` payload.
@@ -602,11 +659,155 @@ pub fn read_error(body: &[u8]) -> NetError {
     }
 }
 
-/// `Affected` payload.
-pub fn affected(n: u64) -> Vec<u8> {
+/// `Affected` payload: the count plus the session's newest durable WAL
+/// position — the monotonic-read token the client hands to replica
+/// reads (`(0, 0)` on in-memory engines).
+pub fn affected(n: u64, token: WalToken) -> Vec<u8> {
     let mut p = vec![Op::Affected as u8];
     gdk::codec::put_u64(&mut p, n);
+    gdk::codec::put_u64(&mut p, token.0);
+    gdk::codec::put_u64(&mut p, token.1);
     p
+}
+
+/// Decode an `Affected` body into the count and its token.
+pub fn read_affected(body: &[u8]) -> NetResult<(u64, WalToken)> {
+    let mut r = gdk::codec::Reader::new(body);
+    let bad = |_| NetError::protocol("malformed Affected");
+    let n = r.u64().map_err(bad)?;
+    let epoch = r.u64().map_err(bad)?;
+    let pos = r.u64().map_err(bad)?;
+    Ok((n, (epoch, pos)))
+}
+
+/// `ReplHello` / `ReplAck` payload: the replica's applied position.
+pub fn repl_position(op: Op, pos: WalToken) -> Vec<u8> {
+    debug_assert!(matches!(op, Op::ReplHello | Op::ReplAck));
+    let mut p = vec![op as u8];
+    gdk::codec::put_u64(&mut p, pos.0);
+    gdk::codec::put_u64(&mut p, pos.1);
+    p
+}
+
+/// Decode a `ReplHello`/`ReplAck` body.
+pub fn read_repl_position(body: &[u8]) -> NetResult<WalToken> {
+    let mut r = gdk::codec::Reader::new(body);
+    let bad = |_| NetError::protocol("malformed replication position");
+    let generation = r.u64().map_err(bad)?;
+    let pos = r.u64().map_err(bad)?;
+    Ok((generation, pos))
+}
+
+/// `ReplRecord` payload: generation, the primary's durable position,
+/// and (unless this is a heartbeat) one WAL record — its end byte
+/// position and raw payload, appended verbatim by the replica.
+pub fn repl_record(generation: u64, durable: u64, record: Option<(u64, &[u8])>) -> Vec<u8> {
+    let mut p = vec![Op::ReplRecord as u8];
+    gdk::codec::put_u64(&mut p, generation);
+    gdk::codec::put_u64(&mut p, durable);
+    match record {
+        None => gdk::codec::put_u8(&mut p, 0),
+        Some((end, payload)) => {
+            gdk::codec::put_u8(&mut p, 1);
+            gdk::codec::put_u64(&mut p, end);
+            p.extend_from_slice(payload);
+        }
+    }
+    p
+}
+
+/// Decode a `ReplRecord` body into `(generation, durable, record)`.
+#[allow(clippy::type_complexity)]
+pub fn read_repl_record(body: &[u8]) -> NetResult<(u64, u64, Option<(u64, Vec<u8>)>)> {
+    let mut r = gdk::codec::Reader::new(body);
+    let bad = |_| NetError::protocol("malformed ReplRecord");
+    let generation = r.u64().map_err(bad)?;
+    let durable = r.u64().map_err(bad)?;
+    let record = match r.u8().map_err(bad)? {
+        0 => None,
+        1 => {
+            let end = r.u64().map_err(bad)?;
+            let rest = r.take(r.remaining()).map_err(bad)?.to_vec();
+            Some((end, rest))
+        }
+        _ => return Err(NetError::protocol("malformed ReplRecord")),
+    };
+    Ok((generation, durable, record))
+}
+
+/// One frame of a multi-frame `ReplSnapshot` bootstrap transfer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplSnapshotFrame {
+    /// Transfer opens: target generation, the capped WAL's durable
+    /// position, and how many files follow.
+    Begin {
+        /// The image's checkpoint generation.
+        generation: u64,
+        /// WAL byte position the image ends at.
+        durable: u64,
+        /// Number of `File` announcements that follow.
+        files: u32,
+    },
+    /// Next file: its vault-dir-relative path and total byte size
+    /// (delivered as zero or more `Chunk`s).
+    File {
+        /// Dir-relative path (e.g. `cols/c3.col`).
+        name: String,
+        /// Total file size in bytes.
+        size: u64,
+    },
+    /// A run of bytes of the current file, in order.
+    Chunk(Vec<u8>),
+    /// Transfer complete; streaming resumes with `ReplRecord`s.
+    End,
+}
+
+/// `ReplSnapshot` payload.
+pub fn repl_snapshot(frame: &ReplSnapshotFrame) -> Vec<u8> {
+    let mut p = vec![Op::ReplSnapshot as u8];
+    match frame {
+        ReplSnapshotFrame::Begin {
+            generation,
+            durable,
+            files,
+        } => {
+            gdk::codec::put_u8(&mut p, 0);
+            gdk::codec::put_u64(&mut p, *generation);
+            gdk::codec::put_u64(&mut p, *durable);
+            gdk::codec::put_u32(&mut p, *files);
+        }
+        ReplSnapshotFrame::File { name, size } => {
+            gdk::codec::put_u8(&mut p, 1);
+            gdk::codec::put_str(&mut p, name);
+            gdk::codec::put_u64(&mut p, *size);
+        }
+        ReplSnapshotFrame::Chunk(bytes) => {
+            gdk::codec::put_u8(&mut p, 2);
+            p.extend_from_slice(bytes);
+        }
+        ReplSnapshotFrame::End => gdk::codec::put_u8(&mut p, 3),
+    }
+    p
+}
+
+/// Decode a `ReplSnapshot` body.
+pub fn read_repl_snapshot(body: &[u8]) -> NetResult<ReplSnapshotFrame> {
+    let mut r = gdk::codec::Reader::new(body);
+    let bad = |_| NetError::protocol("malformed ReplSnapshot");
+    Ok(match r.u8().map_err(bad)? {
+        0 => ReplSnapshotFrame::Begin {
+            generation: r.u64().map_err(bad)?,
+            durable: r.u64().map_err(bad)?,
+            files: r.u32().map_err(bad)?,
+        },
+        1 => ReplSnapshotFrame::File {
+            name: r.str().map_err(bad)?,
+            size: r.u64().map_err(bad)?,
+        },
+        2 => ReplSnapshotFrame::Chunk(r.take(r.remaining()).map_err(bad)?.to_vec()),
+        3 => ReplSnapshotFrame::End,
+        _ => return Err(NetError::protocol("malformed ReplSnapshot")),
+    })
 }
 
 /// Execution report for a session's most recent statement, as carried by
@@ -788,13 +989,13 @@ mod tests {
     #[test]
     fn frame_roundtrip() {
         let mut wire = Vec::new();
-        write_frame(&mut wire, &query("SELECT 1")).unwrap();
+        write_frame(&mut wire, &query((0, 0), "SELECT 1")).unwrap();
         write_frame(&mut wire, &bare(Op::Ping)).unwrap();
         let mut r = &wire[..];
         let f1 = read_frame(&mut r).unwrap().unwrap();
         let (op, body) = split(&f1).unwrap();
         assert_eq!(op, Op::Query);
-        assert_eq!(gdk::codec::Reader::new(body).str().unwrap(), "SELECT 1");
+        assert_eq!(read_query(body).unwrap(), ((0, 0), "SELECT 1".into()));
         let f2 = read_frame(&mut r).unwrap().unwrap();
         assert_eq!(split(&f2).unwrap().0, Op::Ping);
         assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
@@ -818,7 +1019,7 @@ mod tests {
     #[test]
     fn frame_buffer_reassembles_split_frames() {
         let mut wire = Vec::new();
-        write_frame(&mut wire, &query("SELECT 42")).unwrap();
+        write_frame(&mut wire, &query((0, 0), "SELECT 42")).unwrap();
         let mut fb = FrameBuffer::new();
         // Feed one byte at a time: no frame until the last byte arrives.
         let mut got = None;
@@ -836,9 +1037,60 @@ mod tests {
     }
 
     #[test]
+    fn replication_frames_roundtrip() {
+        let f = query((3, 512), "SELECT 1");
+        let (op, body) = split(&f).unwrap();
+        assert_eq!(op, Op::Query);
+        assert_eq!(read_query(body).unwrap(), ((3, 512), "SELECT 1".into()));
+
+        let f = affected(7, (2, 99));
+        let (_, body) = split(&f).unwrap();
+        assert_eq!(read_affected(body).unwrap(), (7, (2, 99)));
+
+        let f = repl_position(Op::ReplHello, (1, 64));
+        let (op, body) = split(&f).unwrap();
+        assert_eq!(op, Op::ReplHello);
+        assert_eq!(read_repl_position(body).unwrap(), (1, 64));
+
+        let f = repl_record(4, 200, Some((180, b"payload")));
+        let (op, body) = split(&f).unwrap();
+        assert_eq!(op, Op::ReplRecord);
+        assert_eq!(
+            read_repl_record(body).unwrap(),
+            (4, 200, Some((180, b"payload".to_vec())))
+        );
+        let f = repl_record(4, 200, None);
+        let (_, body) = split(&f).unwrap();
+        assert_eq!(read_repl_record(body).unwrap(), (4, 200, None));
+
+        for frame in [
+            ReplSnapshotFrame::Begin {
+                generation: 2,
+                durable: 4096,
+                files: 3,
+            },
+            ReplSnapshotFrame::File {
+                name: "cols/c7.col".into(),
+                size: 12,
+            },
+            ReplSnapshotFrame::Chunk(vec![1, 2, 3]),
+            ReplSnapshotFrame::End,
+        ] {
+            let f = repl_snapshot(&frame);
+            let (op, body) = split(&f).unwrap();
+            assert_eq!(op, Op::ReplSnapshot);
+            assert_eq!(read_repl_snapshot(body).unwrap(), frame);
+        }
+
+        assert!(token_satisfied((1, 10), (1, 10)));
+        assert!(token_satisfied((2, 0), (1, 999)), "newer generation wins");
+        assert!(!token_satisfied((1, 9), (1, 10)));
+    }
+
+    #[test]
     fn mid_frame_hangup_is_detected() {
         let mut wire = Vec::new();
-        write_frame(&mut wire, &query("SELECT 1")).unwrap();
+        write_frame(&mut wire, &query((0, 0), "SELECT 1")).unwrap();
         wire.truncate(wire.len() - 2);
         let mut fb = FrameBuffer::new();
         let mut r = &wire[..];

@@ -506,8 +506,16 @@ fn session_loop(shared: &Shared, stream: &mut Wire<'_>, session: &mut EngineSess
                 proto::write_frame(stream, &proto::bare(Op::Ok)).ok();
                 return SessionEnd::Shutdown;
             }
-            Op::Query => match Reader::new(body).str() {
-                Ok(sql) => answer(stream, shared, session.execute(&sql)),
+            Op::Query => match proto::read_query(body) {
+                Ok((token, sql)) => {
+                    if !wait_for_token(shared, token) {
+                        lagging_reply(stream, shared, token)
+                    } else {
+                        let result = session.execute(&sql);
+                        let reply_token = session.last_commit_token().unwrap_or((0, 0));
+                        answer(stream, shared, result, reply_token)
+                    }
+                }
                 Err(_) => {
                     proto::write_frame(
                         stream,
@@ -541,7 +549,11 @@ fn session_loop(shared: &Shared, stream: &mut Wire<'_>, session: &mut EngineSess
                 }
             }
             Op::ExecPrepared => match Reader::new(body).str() {
-                Ok(name) => answer(stream, shared, session.execute_prepared(&name, &[])),
+                Ok(name) => {
+                    let result = session.execute_prepared(&name, &[]);
+                    let reply_token = session.last_commit_token().unwrap_or((0, 0));
+                    answer(stream, shared, result, reply_token)
+                }
                 Err(_) => {
                     proto::write_frame(
                         stream,
@@ -581,7 +593,9 @@ fn session_loop(shared: &Shared, stream: &mut Wire<'_>, session: &mut EngineSess
                 Ok(name) => {
                     bound.remove(&name.to_ascii_lowercase());
                     let existed = session.deallocate(&name);
-                    proto::write_frame(stream, &proto::affected(existed as u64)).is_ok()
+                    let reply_token = session.last_commit_token().unwrap_or((0, 0));
+                    proto::write_frame(stream, &proto::affected(existed as u64, reply_token))
+                        .is_ok()
                 }
                 Err(_) => {
                     proto::write_frame(
@@ -598,7 +612,9 @@ fn session_loop(shared: &Shared, stream: &mut Wire<'_>, session: &mut EngineSess
                         .get(&name.to_ascii_lowercase())
                         .cloned()
                         .unwrap_or_default();
-                    answer(stream, shared, session.execute_prepared(&name, &params))
+                    let result = session.execute_prepared(&name, &params);
+                    let reply_token = session.last_commit_token().unwrap_or((0, 0));
+                    answer(stream, shared, result, reply_token)
                 }
                 Err(_) => {
                     proto::write_frame(
@@ -609,6 +625,22 @@ fn session_loop(shared: &Shared, stream: &mut Wire<'_>, session: &mut EngineSess
                     false
                 }
             },
+            Op::ReplHello => {
+                // The session turns into a replication link: from here
+                // on this socket speaks only ReplRecord/ReplSnapshot
+                // (outbound) and ReplAck (inbound), until hangup.
+                return match proto::read_repl_position(body) {
+                    Ok(pos) => serve_replication(shared, stream, &mut fb, pos),
+                    Err(e) => {
+                        proto::write_frame(
+                            stream,
+                            &proto::error(ErrorCode::Protocol, &e.to_string()),
+                        )
+                        .ok();
+                        SessionEnd::Broken
+                    }
+                };
+            }
             other => {
                 proto::write_frame(
                     stream,
@@ -627,13 +659,226 @@ fn session_loop(shared: &Shared, stream: &mut Wire<'_>, session: &mut EngineSess
     }
 }
 
+/// Bounded wait for a monotonic-read token. Returns `false` when the
+/// engine has not applied the requested WAL position within ~2 s — the
+/// statement then fails typed ([`ErrorCode::ReplicaLagging`]) instead
+/// of returning stale rows.
+fn wait_for_token(shared: &Shared, token: proto::WalToken) -> bool {
+    if token == (0, 0) {
+        return true;
+    }
+    let deadline = Instant::now() + Duration::from_secs(2);
+    loop {
+        if proto::token_satisfied(shared.engine.applied_position(), token) {
+            return true;
+        }
+        if Instant::now() >= deadline || shared.shutdown.load(Ordering::SeqCst) {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Answer a token-constrained read the replica cannot serve yet.
+fn lagging_reply(stream: &mut Wire<'_>, shared: &Shared, token: proto::WalToken) -> bool {
+    let (agen, apos) = shared.engine.applied_position();
+    proto::write_frame(
+        stream,
+        &proto::error(
+            ErrorCode::ReplicaLagging,
+            &format!(
+                "replica lagging: applied WAL position ({agen}, {apos}) has not reached \
+                 the requested read token ({}, {}) — retry, or read from the primary",
+                token.0, token.1
+            ),
+        ),
+    )
+    .is_ok()
+}
+
+/// A snapshot transfer's two failure modes.
+enum ShipError {
+    /// The engine could not produce the image (reported to the peer).
+    Engine(sciql::EngineError),
+    /// The socket died mid-transfer (nothing more can be said).
+    Io,
+}
+
+/// Send the primary's full vault image as a chunked `ReplSnapshot`
+/// transfer (Begin, then per file a `File` announcement and its
+/// `Chunk`s, then `End`). Returns the image's `(generation, durable)`.
+fn ship_snapshot(shared: &Shared, stream: &mut Wire<'_>) -> Result<(u64, u64), ShipError> {
+    // Chunks stay well under MAX_FRAME so a big column file cannot
+    // produce an oversized frame.
+    const CHUNK: usize = 4 << 20;
+    let image = shared.engine.vault_image().map_err(ShipError::Engine)?;
+    let send = |stream: &mut Wire<'_>, f: &proto::ReplSnapshotFrame| {
+        proto::write_frame(stream, &proto::repl_snapshot(f)).map_err(|_| ShipError::Io)
+    };
+    send(
+        stream,
+        &proto::ReplSnapshotFrame::Begin {
+            generation: image.generation,
+            durable: image.durable,
+            files: image.files.len() as u32,
+        },
+    )?;
+    for (name, bytes) in &image.files {
+        send(
+            stream,
+            &proto::ReplSnapshotFrame::File {
+                name: name.clone(),
+                size: bytes.len() as u64,
+            },
+        )?;
+        for chunk in bytes.chunks(CHUNK) {
+            send(stream, &proto::ReplSnapshotFrame::Chunk(chunk.to_vec()))?;
+        }
+    }
+    send(stream, &proto::ReplSnapshotFrame::End)?;
+    stream.flush_wire().map_err(|_| ShipError::Io)?;
+    Ok((image.generation, image.durable))
+}
+
+/// Stream acknowledged WAL records to a connected replica until it
+/// hangs up or the server shuts down. Entered when a session's first
+/// post-handshake frame is `ReplHello` (carrying the replica's applied
+/// position). A replica on another generation — the primary
+/// checkpointed — or ahead of the durable WAL is re-bootstrapped with
+/// a full snapshot; otherwise only records at or below the group
+/// commit's durable watermark are shipped, so a primary crash can
+/// never leave a replica *ahead* of what the primary recovers.
+fn serve_replication(
+    shared: &Shared,
+    stream: &mut Wire<'_>,
+    fb: &mut FrameBuffer,
+    hello: proto::WalToken,
+) -> SessionEnd {
+    if !shared.engine.is_persistent() {
+        proto::write_frame(
+            stream,
+            &proto::error(
+                ErrorCode::Statement,
+                "replication requires a persistent (vault-backed) primary",
+            ),
+        )
+        .ok();
+        stream.flush_wire().ok();
+        return SessionEnd::Closed;
+    }
+    let peer = stream
+        .inner
+        .stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "?".into());
+    let (mut repl_gen, mut sent) = hello;
+    let mut acked = hello;
+    let mut last_send = Instant::now();
+    let end = loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break SessionEnd::Shutdown;
+        }
+        let (gen, durable) = shared.engine.durable_position();
+        if gen != repl_gen || sent > durable {
+            match ship_snapshot(shared, stream) {
+                Ok((g, d)) => {
+                    repl_gen = g;
+                    sent = d;
+                    acked = (g, d);
+                    last_send = Instant::now();
+                }
+                Err(ShipError::Engine(e)) => {
+                    proto::write_frame(stream, &proto::error(e.code(), &e.to_string())).ok();
+                    stream.flush_wire().ok();
+                    break SessionEnd::Broken;
+                }
+                Err(ShipError::Io) => break SessionEnd::Broken,
+            }
+        } else if durable > sent {
+            let batch = match shared.engine.wal_records_from(sent) {
+                Ok(b) => b,
+                Err(e) => {
+                    proto::write_frame(stream, &proto::error(e.code(), &e.to_string())).ok();
+                    stream.flush_wire().ok();
+                    break SessionEnd::Broken;
+                }
+            };
+            // A generation mismatch here means a checkpoint slipped in
+            // between the position read and the file read; the next
+            // iteration sees the new generation and snapshots.
+            if batch.generation == repl_gen {
+                let mut dead = false;
+                for r in &batch.records {
+                    let frame = proto::repl_record(
+                        batch.generation,
+                        batch.durable,
+                        Some((r.end, &r.payload)),
+                    );
+                    if proto::write_frame(stream, &frame).is_err() {
+                        dead = true;
+                        break;
+                    }
+                    sent = r.end;
+                    sciql_obs::global().repl_records_shipped.inc();
+                }
+                last_send = Instant::now();
+                if dead || stream.flush_wire().is_err() {
+                    break SessionEnd::Broken;
+                }
+            }
+        } else if last_send.elapsed() > Duration::from_millis(500) {
+            // Heartbeat: keeps the replica's durable/lag view fresh and
+            // detects a dead peer even when the primary is idle.
+            let hb = proto::repl_record(gen, durable, None);
+            if proto::write_frame(stream, &hb).is_err() || stream.flush_wire().is_err() {
+                break SessionEnd::Broken;
+            }
+            last_send = Instant::now();
+        }
+        sciql_obs::replication().upsert(sciql_obs::ReplLink {
+            role: sciql_obs::ReplRole::Primary,
+            peer: peer.clone(),
+            generation: repl_gen,
+            shipped: sent,
+            applied: if acked.0 == repl_gen { acked.1 } else { 0 },
+            durable,
+        });
+        // Drain replica acknowledgements; the 50 ms socket read timeout
+        // paces the loop when the link is idle.
+        match fb.poll_frame(stream) {
+            Ok(Some(frame)) => match proto::split(&frame) {
+                Ok((Op::ReplAck, body)) => {
+                    if let Ok(pos) = proto::read_repl_position(body) {
+                        acked = pos;
+                    }
+                }
+                Ok((Op::Close, _)) => break SessionEnd::Closed,
+                _ => break SessionEnd::Broken,
+            },
+            Ok(None) => {}
+            Err(NetError::Io(e)) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                break SessionEnd::Closed;
+            }
+            Err(_) => break SessionEnd::Broken,
+        }
+    };
+    sciql_obs::replication().remove(sciql_obs::ReplRole::Primary, &peer);
+    end
+}
+
 /// Stream one statement's outcome: `Affected`, an `Error`, or header +
 /// pages + done. Returns `false` when the socket died.
-fn answer(stream: &mut Wire<'_>, shared: &Shared, result: sciql::Result<QueryResult>) -> bool {
+fn answer(
+    stream: &mut Wire<'_>,
+    shared: &Shared,
+    result: sciql::Result<QueryResult>,
+    token: proto::WalToken,
+) -> bool {
     match result {
         Err(e) => proto::write_frame(stream, &proto::error(e.code(), &e.to_string())).is_ok(),
         Ok(QueryResult::Affected(n)) => {
-            proto::write_frame(stream, &proto::affected(n as u64)).is_ok()
+            proto::write_frame(stream, &proto::affected(n as u64, token)).is_ok()
         }
         Ok(QueryResult::Rows(rs)) => {
             let header = rs.encode_header();

@@ -348,7 +348,7 @@ fn handshake_is_mandatory_and_versioned() {
         .unwrap();
     // Skipping Hello gets an Error and a hangup.
     let mut raw = std::net::TcpStream::connect(handle.addr()).unwrap();
-    proto::write_frame(&mut raw, &proto::query("SELECT 1")).unwrap();
+    proto::write_frame(&mut raw, &proto::query((0, 0), "SELECT 1")).unwrap();
     let reply = proto::read_frame(&mut raw).unwrap().unwrap();
     let (op, _) = proto::split(&reply).unwrap();
     assert_eq!(op, Op::Error);

@@ -29,6 +29,7 @@
 
 pub mod metrics;
 pub mod qlog;
+pub mod repl;
 pub mod report;
 pub mod span;
 
@@ -37,5 +38,6 @@ pub use metrics::{
     Metrics, MetricsSnapshot, BATCH_BOUNDS, LATENCY_BOUNDS_NS,
 };
 pub use qlog::{now_unix_us, query_log, QueryLog, QueryRecord, QUERY_LOG_CAPACITY};
+pub use repl::{replication, ReplLink, ReplRegistry, ReplRole};
 pub use report::{render_exec_summary, ExecSummary};
 pub use span::{Span, SpanId, Trace, Tracer};

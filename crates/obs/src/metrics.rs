@@ -317,10 +317,13 @@ metrics_struct! {
         sessions_opened: "Sessions opened since process start.",
         bytes_in: "Bytes received from network clients.",
         bytes_out: "Bytes sent to network clients.",
+        repl_records_shipped: "WAL records shipped to replicas by this primary.",
+        repl_records_applied: "Replicated WAL records applied by this replica.",
     }
     gauges {
         sessions_open: "Currently connected network sessions.",
         write_queue_depth: "Writers currently parked in the group-commit queue.",
+        replication_lag_bytes: "Durable WAL bytes the slowest replication link has not yet applied.",
     }
     histograms {
         query_ns: "End-to-end statement latency.",

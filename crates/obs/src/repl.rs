@@ -1,0 +1,143 @@
+//! Replication status registry.
+//!
+//! The WAL-shipping subsystem spans three crates — the net server ships
+//! records, the repl crate applies them, core synthesizes the
+//! `sys.replication` view — so the live link state lives here, in the
+//! observability leaf crate every layer already depends on. One
+//! [`ReplLink`] exists per active replication connection: on a primary,
+//! one per connected replica; on a replica, the single upstream link.
+//!
+//! Updates also drive the `replication_lag_bytes` gauge (the worst lag
+//! across links), so `/metrics` and `sys.metrics` track replica health
+//! without a second bookkeeping path.
+
+use std::sync::Mutex;
+
+/// This process's side of a replication link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplRole {
+    /// Ships acknowledged WAL records to a replica.
+    Primary,
+    /// Applies records shipped off a primary's WAL.
+    Replica,
+}
+
+impl ReplRole {
+    /// Stable lowercase name (the `sys.replication.role` column).
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplRole::Primary => "primary",
+            ReplRole::Replica => "replica",
+        }
+    }
+}
+
+/// Live positions of one replication link. All positions are byte
+/// offsets in the primary's WAL for `generation` (a replica's applied
+/// offsets are byte-identical by construction — deterministic framing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplLink {
+    /// This side's role.
+    pub role: ReplRole,
+    /// The peer's address (replica address on a primary, primary
+    /// address on a replica).
+    pub peer: String,
+    /// Checkpoint generation the positions refer to.
+    pub generation: u64,
+    /// Last position shipped over the link (primary) / received from it
+    /// (replica).
+    pub shipped: u64,
+    /// Last position the replica reported durably applied.
+    pub applied: u64,
+    /// The primary's group-commit durable position.
+    pub durable: u64,
+}
+
+impl ReplLink {
+    /// Durable bytes the replica has not applied yet.
+    pub fn lag_bytes(&self) -> u64 {
+        self.durable.saturating_sub(self.applied)
+    }
+}
+
+/// The process-wide replication link registry.
+#[derive(Debug, Default)]
+pub struct ReplRegistry {
+    links: Mutex<Vec<ReplLink>>,
+}
+
+static REGISTRY: ReplRegistry = ReplRegistry {
+    links: Mutex::new(Vec::new()),
+};
+
+/// The process-global replication registry (empty unless this process
+/// is a replication primary or replica).
+pub fn replication() -> &'static ReplRegistry {
+    &REGISTRY
+}
+
+impl ReplRegistry {
+    /// Insert or update the link identified by `(role, peer)`, and
+    /// refresh the `replication_lag_bytes` gauge with the worst lag
+    /// across all links.
+    pub fn upsert(&self, link: ReplLink) {
+        let mut links = self.links.lock().unwrap();
+        match links
+            .iter_mut()
+            .find(|l| l.role == link.role && l.peer == link.peer)
+        {
+            Some(slot) => *slot = link,
+            None => links.push(link),
+        }
+        Self::refresh_gauge(&links);
+    }
+
+    /// Drop the link identified by `(role, peer)` — a replica
+    /// disconnected, or this replica's upstream loop stopped.
+    pub fn remove(&self, role: ReplRole, peer: &str) {
+        let mut links = self.links.lock().unwrap();
+        links.retain(|l| !(l.role == role && l.peer == peer));
+        Self::refresh_gauge(&links);
+    }
+
+    /// Every live link, in registration order.
+    pub fn snapshot(&self) -> Vec<ReplLink> {
+        self.links.lock().unwrap().clone()
+    }
+
+    fn refresh_gauge(links: &[ReplLink]) {
+        let worst = links.iter().map(ReplLink::lag_bytes).max().unwrap_or(0);
+        crate::global()
+            .replication_lag_bytes
+            .set(worst.min(i64::MAX as u64) as i64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upsert_replaces_and_gauge_tracks_worst_lag() {
+        let link = |peer: &str, applied: u64, durable: u64| ReplLink {
+            role: ReplRole::Primary,
+            peer: peer.into(),
+            generation: 0,
+            shipped: durable,
+            applied,
+            durable,
+        };
+        let reg = ReplRegistry::default();
+        reg.upsert(link("r1", 10, 100));
+        reg.upsert(link("r2", 90, 100));
+        assert_eq!(reg.snapshot().len(), 2);
+        assert_eq!(crate::global().replication_lag_bytes.get(), 90);
+        reg.upsert(link("r1", 100, 100));
+        assert_eq!(reg.snapshot().len(), 2, "upsert must replace, not add");
+        assert_eq!(crate::global().replication_lag_bytes.get(), 10);
+        reg.remove(ReplRole::Primary, "r1");
+        reg.remove(ReplRole::Primary, "r2");
+        assert!(reg.snapshot().is_empty());
+        assert_eq!(crate::global().replication_lag_bytes.get(), 0);
+    }
+}

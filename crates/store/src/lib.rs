@@ -40,6 +40,7 @@ pub mod snapshot;
 pub mod wal;
 
 pub use snapshot::{SnapshotColumn, SnapshotData, SnapshotObject, SnapshotTile};
+pub use wal::{read_wal_from, WalRecord};
 
 use gdk::codec::{decode_bat, encode_bat, put_str, put_u32, put_u64, put_u8, CodecError, Reader};
 use gdk::zonemap::{ZoneEntry, ZoneMap, TILE_ROWS};
@@ -51,7 +52,7 @@ use std::fmt;
 use std::fs::{self, File};
 use std::io::{Read as _, Write as _};
 use std::path::{Path, PathBuf};
-use wal::{scan_wal, WalWriter};
+use wal::{scan_wal_for, WalWriter};
 
 /// Errors raised by the vault.
 #[derive(Debug)]
@@ -321,7 +322,11 @@ fn encode_copy_batch(target: &str, start: u64, columns: &[(String, &Bat)]) -> Ve
     out
 }
 
-fn decode_replay_op(payload: &[u8], wal: &Path, record: usize) -> StoreResult<ReplayOp> {
+/// Decode one WAL record payload into its logical operation. Public so a
+/// replication replica can interpret records shipped off another vault's
+/// log; `wal` and `record` only label errors (a replica passes *its own*
+/// log's path, so corruption reports name the replica's data dir).
+pub fn decode_replay_op(payload: &[u8], wal: &Path, record: usize) -> StoreResult<ReplayOp> {
     let bad =
         |what: &str| StoreError::corrupt(format!("WAL {} record {record}: {what}", wal.display()));
     let Some((&tag, rest)) = payload.split_first() else {
@@ -354,6 +359,12 @@ fn decode_replay_op(payload: &[u8], wal: &Path, record: usize) -> StoreResult<Re
         }
         other => Err(bad(&format!("unknown record tag 0x{other:02x}"))),
     }
+}
+
+/// Path of generation `gen`'s WAL file inside a vault directory — the
+/// file a replication shipper tails with [`read_wal_from`].
+pub fn wal_file_path(dir: &Path, gen: u64) -> PathBuf {
+    dir.join(format!("wal-{gen}.log"))
 }
 
 // ---------------------------------------------------------------------------
@@ -444,6 +455,12 @@ pub struct Vault {
     /// been written (before the MANIFEST switch), simulating a crash
     /// mid-checkpoint. One-shot.
     fault_after_tiles: Option<u64>,
+    /// WAL byte position known durable via a *synchronous* path:
+    /// everything recovered at open plus every fsyncing append. Group
+    /// commit appends past this; its coordinator owns those positions'
+    /// durability (see `sciql-core`'s committer), so the replication
+    /// shipper combines both watermarks.
+    wal_durable: u64,
     /// Held for the vault's lifetime; releases `LOCK` on drop.
     _lock: LockGuard,
 }
@@ -484,7 +501,7 @@ impl Vault {
         dir.join(format!("snapshot-{gen}.cat"))
     }
     fn wal_path(dir: &Path, gen: u64) -> PathBuf {
-        dir.join(format!("wal-{gen}.log"))
+        wal_file_path(dir, gen)
     }
     fn col_path(dir: &Path, id: u64) -> PathBuf {
         dir.join("cols").join(format!("c{id}.col"))
@@ -509,6 +526,7 @@ impl Vault {
             write_snapshot(&Self::snapshot_path(&dir, 0), &SnapshotData::default())?;
             let wal = WalWriter::create(&Self::wal_path(&dir, 0))?;
             write_file_durably(&manifest, b"sciql-store v1\ngen 0\n")?;
+            let wal_durable = wal.bytes();
             let vault = Vault {
                 dir,
                 gen: 0,
@@ -518,6 +536,7 @@ impl Vault {
                 tiles_rewritten: 0,
                 tiles_reused: 0,
                 fault_after_tiles: None,
+                wal_durable,
                 _lock: lock,
             };
             return Ok((
@@ -561,7 +580,10 @@ impl Vault {
         }
         let wal_path = Self::wal_path(&dir, gen);
         let (ops, wal) = if wal_path.exists() {
-            let scan = scan_wal(&wal_path)?;
+            // Errors name this vault's own data dir: a replica replaying
+            // records shipped off a primary must report *its* directory,
+            // not the one the records were born in.
+            let scan = scan_wal_for(&wal_path, Some(&dir))?;
             let ops = scan
                 .records
                 .iter()
@@ -575,6 +597,7 @@ impl Vault {
             // (the WAL is created first), but tolerate a missing log.
             (Vec::new(), WalWriter::create(&wal_path)?)
         };
+        let wal_durable = wal.bytes();
         let vault = Vault {
             dir,
             gen,
@@ -584,6 +607,7 @@ impl Vault {
             tiles_rewritten: 0,
             tiles_reused: 0,
             fault_after_tiles: None,
+            wal_durable,
             _lock: lock,
         };
         // A crash between the MANIFEST switch and a checkpoint's cleanup
@@ -705,7 +729,9 @@ impl Vault {
         payload.extend_from_slice(sql.as_bytes());
         self.wal.append(&payload)?;
         sciql_obs::global().wal_appends.inc();
-        self.synced_to_disk()
+        self.synced_to_disk()?;
+        self.wal_durable = self.wal.bytes();
+        Ok(())
     }
 
     /// Append one statement to the WAL *without* forcing it to disk —
@@ -742,6 +768,65 @@ impl Vault {
         r
     }
 
+    /// Append one already-encoded WAL record payload verbatim and force
+    /// it to disk — the replication replica's apply path. Because WAL
+    /// framing is deterministic, appending the primary's payload
+    /// sequence reproduces the primary's byte offsets exactly, so the
+    /// returned position (the log's byte length after the record) *is*
+    /// the replica's durably applied position. Errors name this vault's
+    /// data dir — the replica's, not the shipping primary's.
+    pub fn append_raw(&mut self, payload: &[u8]) -> StoreResult<u64> {
+        self.wal.append(payload).map_err(|e| {
+            StoreError::corrupt(format!(
+                "replicated record append failed (data dir {}): {e}",
+                self.dir.display()
+            ))
+        })?;
+        sciql_obs::global().wal_appends.inc();
+        self.synced_to_disk()?;
+        self.wal_durable = self.wal.bytes();
+        Ok(self.wal.bytes())
+    }
+
+    /// Byte length of the current generation's WAL — the position a
+    /// write is durable at once an fsync covers it.
+    pub fn wal_position(&self) -> u64 {
+        self.wal.bytes()
+    }
+
+    /// WAL byte position durable via synchronous appends (recovered
+    /// content plus fsyncing appends). Under group commit the true
+    /// durable position may be higher — the coordinator's fsyncs are
+    /// not visible here.
+    pub fn wal_durable(&self) -> u64 {
+        self.wal_durable
+    }
+
+    /// The files that constitute this vault's current durable image, as
+    /// dir-relative paths: MANIFEST, the generation's snapshot catalog
+    /// and WAL, and every tile file the snapshot references. A
+    /// replication bootstrap copies exactly these (capping the WAL at
+    /// the durable position so unacknowledged records do not ship).
+    pub fn snapshot_file_set(&self) -> Vec<PathBuf> {
+        let mut files = vec![
+            PathBuf::from("MANIFEST"),
+            PathBuf::from(format!("snapshot-{}.cat", self.gen)),
+            PathBuf::from(format!("wal-{}.log", self.gen)),
+        ];
+        let mut ids: Vec<u64> = self
+            .refs
+            .values()
+            .flat_map(|c| c.tiles.iter().map(|&(id, _)| id))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        files.extend(
+            ids.into_iter()
+                .map(|id| PathBuf::from("cols").join(format!("c{id}.col"))),
+        );
+        files
+    }
+
     /// Append one COPY ingest batch to the WAL and force it to disk:
     /// `columns` are the batch's rows (one fragment per column in storage
     /// order) appended to `target` at row offset `start`.
@@ -754,7 +839,9 @@ impl Vault {
         self.wal
             .append(&encode_copy_batch(target, start, columns))?;
         sciql_obs::global().wal_appends.inc();
-        self.synced_to_disk()
+        self.synced_to_disk()?;
+        self.wal_durable = self.wal.bytes();
+        Ok(())
     }
 
     /// Write a new checkpoint generation: dirty (or never-persisted)
@@ -861,6 +948,7 @@ impl Vault {
         // garbage now.
         self.gen = new_gen;
         self.wal = new_wal;
+        self.wal_durable = self.wal.bytes();
         self.refs = new_refs;
         self.tiles_rewritten = written;
         self.tiles_reused = reused;

@@ -146,31 +146,73 @@ pub struct WalScan {
     pub valid_len: u64,
 }
 
+/// One framed WAL record with the byte offset its frame *ends* at — the
+/// log position a replica reports once it has durably applied the
+/// record. Because framing is deterministic (`[len][crc][payload]` after
+/// a fixed header), a replica appending the same payload sequence to its
+/// own log reaches the same end offsets as the primary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Byte offset just past this record's frame.
+    pub end: u64,
+    /// The record payload.
+    pub payload: Vec<u8>,
+}
+
 /// Read a WAL file, stopping at the first torn or corrupt frame.
 pub fn scan_wal(path: &Path) -> StoreResult<WalScan> {
+    scan_wal_for(path, None)
+}
+
+/// [`scan_wal`] with the owning data directory named in every error, so
+/// recovery of a *replica's* log reports the replica's own data dir —
+/// not the primary the records originally came from.
+pub fn scan_wal_for(path: &Path, data_dir: Option<&Path>) -> StoreResult<WalScan> {
+    let (records, valid_len) = scan_frames(path, data_dir)?;
+    Ok(WalScan {
+        records: records.into_iter().map(|r| r.payload).collect(),
+        valid_len,
+    })
+}
+
+/// Read every intact record whose frame ends *after* byte offset `from`,
+/// with end offsets — the primary's WAL-shipping cursor. A torn tail is
+/// not an error here: the file is read while a writer may be mid-append,
+/// and the caller caps shipping at the group-commit durable position
+/// anyway.
+pub fn read_wal_from(path: &Path, from: u64) -> StoreResult<Vec<WalRecord>> {
+    let (mut records, _) = scan_frames(path, None)?;
+    records.retain(|r| r.end > from);
+    Ok(records)
+}
+
+fn scan_frames(path: &Path, data_dir: Option<&Path>) -> StoreResult<(Vec<WalRecord>, u64)> {
+    let in_dir = || match data_dir {
+        Some(d) => format!(" (data dir {})", d.display()),
+        None => String::new(),
+    };
     let mut buf = Vec::new();
     File::open(path)?.read_to_end(&mut buf)?;
     if buf.len() < HEADER_LEN as usize {
         // Crash during header write: treat as an empty log.
-        return Ok(WalScan {
-            records: Vec::new(),
-            valid_len: 0,
-        });
+        return Ok((Vec::new(), 0));
     }
     if buf[..4] != WAL_MAGIC {
         return Err(StoreError::corrupt(format!(
-            "WAL {} has bad magic",
-            path.display()
+            "WAL {} has bad magic{}",
+            path.display(),
+            in_dir()
         )));
     }
     let version = u16::from_le_bytes([buf[4], buf[5]]);
     if version != WAL_VERSION {
         return Err(StoreError::corrupt(format!(
-            "WAL {} has unsupported version {version}",
-            path.display()
+            "WAL {} has unsupported version {version}{}",
+            path.display(),
+            in_dir()
         )));
     }
-    let mut records = Vec::new();
+    let mut records: Vec<WalRecord> = Vec::new();
     let mut pos = HEADER_LEN as usize;
     loop {
         if buf.len() - pos < 8 {
@@ -193,21 +235,22 @@ pub fn scan_wal(path: &Path) -> StoreResult<WalScan> {
             if frame_end < buf.len() {
                 return Err(StoreError::corrupt(format!(
                     "WAL {} record {} at byte offset {pos} failed its checksum with {} \
-                     intact bytes after it — mid-log corruption, not a torn tail",
+                     intact bytes after it — mid-log corruption, not a torn tail{}",
                     path.display(),
                     records.len(),
-                    buf.len() - frame_end
+                    buf.len() - frame_end,
+                    in_dir()
                 )));
             }
             break; // torn tail: stop replay at the last sync point
         }
-        records.push(payload.to_vec());
         pos += 8 + len;
+        records.push(WalRecord {
+            end: pos as u64,
+            payload: payload.to_vec(),
+        });
     }
-    Ok(WalScan {
-        records,
-        valid_len: pos as u64,
-    })
+    Ok((records, pos as u64))
 }
 
 #[cfg(test)]

@@ -20,7 +20,18 @@
 //! With `--listen <addr>` (optionally plus `--db`) the process becomes a
 //! `sciql-net` server instead: N concurrent clients share the engine —
 //! reads on `Arc` column snapshots, writes serialized through the vault.
-//! It runs until a client sends `\shutdown`. With `--metrics-addr <addr>`
+//! It runs until a client sends `\shutdown`.
+//!
+//! With `--replica-of <addr>` (plus `--db <path>` for the replica's own
+//! vault) the process becomes a **read replica** of the server at
+//! `<addr>`: it tails the primary's WAL over the wire and replays it
+//! into a byte-identical local vault. Add `--listen <addr>` to also
+//! serve the replica read-only to clients (writes are refused; reads
+//! carrying a newer write token than the replica has applied wait
+//! bounded, then fail with `replica lagging`). Without `--listen` it
+//! just tails, printing its applied position until killed.
+//!
+//! With `--metrics-addr <addr>`
 //! the server also exposes a plain-HTTP scrape endpoint: `GET /metrics`
 //! serves the live Prometheus exposition, `GET /healthz` a health
 //! report. The legacy `--metrics-text` flag (dump the same exposition
@@ -61,6 +72,7 @@
 use sciql_repro::driver::{Conn, Outcome, Sciql, Statement};
 use sciql_repro::gdk::Value;
 use sciql_repro::net::{MetricsEndpoint, Server, ServerConfig};
+use sciql_repro::repl::Replica;
 use sciql_repro::sciql::SharedEngine;
 use std::collections::HashMap;
 use std::io::{self, BufRead, Write};
@@ -77,17 +89,21 @@ fn main() {
     let mut max_result_bytes: Option<String> = None;
     let mut max_queued_writes: Option<String> = None;
     let mut no_group_commit = false;
+    let mut replica_of: Option<String> = None;
     let usage = "usage: repl [<URL> | --listen <addr> [--db <path>] \
                  [--metrics-addr <addr>] [--metrics-text] \
                  [--max-sessions <n>] [--max-result-bytes <n>] \
-                 [--max-queued-writes <n>] [--no-group-commit]]  \
-                 (URL = mem: | file:<path> | tcp://host:port)";
+                 [--max-queued-writes <n>] [--no-group-commit] \
+                 | --replica-of <addr> --db <path> [--listen <addr>]]  \
+                 (URL = mem: | file:<path> | tcp://host:port \
+                 | tcp://primary,replica1,…)";
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let target = match a.as_str() {
             "--db" => &mut db,
             "--listen" => &mut listen,
             "--connect" => &mut connect,
+            "--replica-of" => &mut replica_of,
             "--metrics-addr" => &mut metrics_addr,
             "--max-sessions" => &mut max_sessions,
             "--max-result-bytes" => &mut max_result_bytes,
@@ -115,12 +131,12 @@ fn main() {
             std::process::exit(2);
         }
     }
-    if listen.is_some() && (connect.is_some() || url.is_some()) {
-        eprintln!("--listen starts a server; it takes no client URL ({usage})");
+    if (listen.is_some() || replica_of.is_some()) && (connect.is_some() || url.is_some()) {
+        eprintln!("--listen/--replica-of start a server; they take no client URL ({usage})");
         std::process::exit(2);
     }
 
-    if let Some(addr) = listen {
+    if listen.is_some() || replica_of.is_some() {
         let parse_limit = |flag: &str, v: Option<String>| {
             v.map(|s| {
                 s.parse::<usize>().unwrap_or_else(|_| {
@@ -140,13 +156,28 @@ fn main() {
             config.max_queued_writes = n;
         }
         config.group_commit = !no_group_commit;
-        serve(
-            &addr,
-            db.as_deref(),
-            metrics_addr.as_deref(),
-            metrics_text,
-            config,
-        );
+        if let Some(primary) = replica_of {
+            let Some(dir) = db else {
+                eprintln!("--replica-of needs --db <path> for the replica's own vault ({usage})");
+                std::process::exit(2);
+            };
+            serve_replica(
+                &primary,
+                &dir,
+                listen.as_deref(),
+                metrics_addr.as_deref(),
+                metrics_text,
+                config,
+            );
+        } else {
+            serve(
+                listen.as_deref().unwrap(),
+                db.as_deref(),
+                metrics_addr.as_deref(),
+                metrics_text,
+                config,
+            );
+        }
         return;
     }
     if metrics_text
@@ -261,6 +292,85 @@ fn serve(
         "server stopped: {} session(s), {} statement(s), {} snapshot read(s), {} row(s) served",
         stats.sessions_opened, stats.statements, stats.snapshot_reads, stats.rows_returned
     );
+    if metrics_text {
+        print!(
+            "{}",
+            sciql_repro::obs::global().snapshot().to_prometheus_text()
+        );
+    }
+}
+
+/// `--replica-of`: tail the primary into the vault at `dir`, optionally
+/// serving it read-only on `listen`.
+fn serve_replica(
+    primary: &str,
+    dir: &str,
+    listen: Option<&str>,
+    metrics_addr: Option<&str>,
+    metrics_text: bool,
+    config: ServerConfig,
+) {
+    let replica = match Replica::connect(dir, primary) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot start replica of {primary}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let (generation, pos) = replica.applied();
+    println!(
+        "replica of {primary} over vault {dir:?} (resuming at generation {generation}, \
+         {pos} WAL bytes)"
+    );
+    let scrape = metrics_addr.map(|ma| {
+        let endpoint = MetricsEndpoint::bind(std::sync::Arc::clone(replica.engine()), ma)
+            .and_then(|ep| ep.serve())
+            .unwrap_or_else(|e| {
+                eprintln!("cannot serve metrics on {ma}: {e}");
+                std::process::exit(1);
+            });
+        println!(
+            "metrics http on {} (GET /metrics, GET /healthz)",
+            endpoint.addr()
+        );
+        endpoint
+    });
+    if let Some(addr) = listen {
+        let engine = std::sync::Arc::clone(replica.engine());
+        let server = match Server::bind_with_config(engine, addr, config) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot bind {addr}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let handle = match server.serve() {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("cannot serve: {e}");
+                std::process::exit(1);
+            }
+        };
+        println!(
+            "serving replica reads on {} (writes are refused); stop with \\shutdown from a client",
+            handle.addr()
+        );
+        handle.wait();
+    } else {
+        // No listener: just keep the vault in sync, reporting progress,
+        // until the process is killed.
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(2));
+            let (generation, pos) = replica.applied();
+            println!("replica applied: generation {generation}, {pos} WAL bytes");
+        }
+    }
+    if let Some(scrape) = scrape {
+        scrape.stop();
+    }
+    // Clean stop: detach the vault so the data dir's LOCK is released.
+    replica.stop();
+    println!("replica stopped");
     if metrics_text {
         print!(
             "{}",

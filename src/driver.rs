@@ -8,7 +8,8 @@
 //! |-----|---------|
 //! | `mem:` | embedded in-memory [`sciql::Connection`] |
 //! | `file:<path>` | embedded durable connection over the vault at `<path>` (WAL + checkpoints + crash recovery) |
-//! | `tcp://host:port` | remote [`sciql_net::Client`] speaking protocol v4 |
+//! | `tcp://host:port` | remote [`sciql_net::Client`] speaking protocol v6 |
+//! | `tcp://primary,replica1,…` | routed: writes to the primary, SELECTs round-robin over the replicas with monotonic-read tokens |
 //!
 //! A fourth backend, [`Sciql::attach`], opens a session on an in-process
 //! [`sciql::SharedEngine`] (many concurrent driver connections over one
@@ -96,6 +97,10 @@ pub enum SciqlError {
     /// A per-session resource quota was exceeded
     /// ([`ErrorCode::QuotaExceeded`]).
     QuotaExceeded(String),
+    /// A replica could not satisfy a monotonic-read token within its
+    /// bounded wait — retry, or read from the primary
+    /// ([`ErrorCode::ReplicaLagging`]).
+    ReplicaLagging(String),
     /// Anything that should not happen ([`ErrorCode::Internal`]).
     Internal(String),
 }
@@ -118,6 +123,7 @@ impl SciqlError {
             SciqlError::Connection(_) => ErrorCode::Connection,
             SciqlError::ServerBusy(_) => ErrorCode::ServerBusy,
             SciqlError::QuotaExceeded(_) => ErrorCode::QuotaExceeded,
+            SciqlError::ReplicaLagging(_) => ErrorCode::ReplicaLagging,
             SciqlError::Internal(_) => ErrorCode::Internal,
         }
     }
@@ -139,6 +145,7 @@ impl SciqlError {
             | SciqlError::Connection(m)
             | SciqlError::ServerBusy(m)
             | SciqlError::QuotaExceeded(m)
+            | SciqlError::ReplicaLagging(m)
             | SciqlError::Internal(m) => m,
         }
     }
@@ -162,6 +169,7 @@ impl SciqlError {
             ErrorCode::Connection => SciqlError::Connection(m),
             ErrorCode::ServerBusy => SciqlError::ServerBusy(m),
             ErrorCode::QuotaExceeded => SciqlError::QuotaExceeded(m),
+            ErrorCode::ReplicaLagging => SciqlError::ReplicaLagging(m),
             ErrorCode::Internal => SciqlError::Internal(m),
         }
     }
@@ -559,6 +567,163 @@ impl Transport for Tcp {
     }
 }
 
+/// Should this statement run on a replica? Reads are `SELECT`s and
+/// `EXPLAIN`s; everything else (DDL, DML, COPY) must see the primary.
+fn is_read_sql(sql: &str) -> bool {
+    let head: String = sql
+        .trim_start()
+        .chars()
+        .take(8)
+        .collect::<String>()
+        .to_ascii_uppercase();
+    head.starts_with("SELECT") || head.starts_with("EXPLAIN")
+}
+
+/// Multi-endpoint network transport (`tcp://primary,replica1,...`):
+/// writes, prepared statements and diagnostics go to the primary;
+/// SELECTs round-robin across the replica endpoints, each carrying the
+/// monotonic-read token from the primary's most recent write
+/// acknowledgement — so a read that follows a write never observes a
+/// replica state older than that write. All-read batches fan out across
+/// every replica concurrently.
+struct Routed {
+    primary: Tcp,
+    replicas: Vec<Tcp>,
+    next: usize,
+}
+
+impl Routed {
+    /// Pick the next read endpoint (round-robin) with the write token
+    /// staged on it.
+    fn read_client(&mut self) -> Result<&mut Client> {
+        let token = self.primary.client()?.last_token();
+        let idx = self.next % self.replicas.len();
+        self.next = self.next.wrapping_add(1);
+        let c = self.replicas[idx].client()?;
+        c.set_read_token(token);
+        Ok(c)
+    }
+}
+
+impl Transport for Routed {
+    fn execute(&mut self, sql: &str) -> Result<Outcome> {
+        if is_read_sql(sql) && !self.replicas.is_empty() {
+            Ok(Outcome::from_net_reply(self.read_client()?.execute(sql)?))
+        } else {
+            self.primary.execute(sql)
+        }
+    }
+    fn execute_batch(&mut self, sqls: &[&str]) -> Result<Vec<Result<Outcome>>> {
+        // Mixed batches keep their statement order observable only on
+        // one session — route them whole to the primary.
+        if self.replicas.is_empty() || !sqls.iter().all(|s| is_read_sql(s)) {
+            return self.primary.execute_batch(sqls);
+        }
+        let token = self.primary.client()?.last_token();
+        // Stride the batch across every endpoint — the primary serves
+        // reads too (it trivially satisfies any token it issued): each
+        // slice pipelines on its own connection, so the batch costs the
+        // slowest slice, not the sum of all round trips.
+        let mut targets: Vec<&mut Tcp> = std::iter::once(&mut self.primary)
+            .chain(self.replicas.iter_mut())
+            .collect();
+        let n = targets.len();
+        let mut assigned: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for i in 0..sqls.len() {
+            assigned[i % n].push(i);
+        }
+        let mut slots: Vec<Option<Result<Outcome>>> = sqls.iter().map(|_| None).collect();
+        let mut fanout_err = None;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> =
+                targets
+                    .iter_mut()
+                    .zip(&assigned)
+                    .filter(|(_, idxs)| !idxs.is_empty())
+                    .map(|(t, idxs)| {
+                        scope.spawn(move || -> Result<Vec<(usize, Result<Outcome>)>> {
+                            let c = t.client()?;
+                            c.set_read_token(token);
+                            let subset: Vec<&str> = idxs.iter().map(|&i| sqls[i]).collect();
+                            let replies = c.execute_pipelined(&subset)?;
+                            Ok(idxs
+                                .iter()
+                                .copied()
+                                .zip(replies.into_iter().map(|r| {
+                                    r.map(Outcome::from_net_reply).map_err(SciqlError::from)
+                                }))
+                                .collect())
+                        })
+                    })
+                    .collect();
+            for h in handles {
+                match h.join() {
+                    Ok(Ok(pairs)) => {
+                        for (i, r) in pairs {
+                            slots[i] = Some(r);
+                        }
+                    }
+                    Ok(Err(e)) => fanout_err = Some(e),
+                    Err(_) => {
+                        fanout_err =
+                            Some(SciqlError::Internal("read fan-out thread panicked".into()))
+                    }
+                }
+            }
+        });
+        if let Some(e) = fanout_err {
+            return Err(e);
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("every read slice reported back"))
+            .collect())
+    }
+    fn prepare(&mut self, name: &str, sql: &str) -> Result<usize> {
+        self.primary.prepare(name, sql)
+    }
+    fn execute_prepared(&mut self, name: &str, params: &[Value]) -> Result<Outcome> {
+        self.primary.execute_prepared(name, params)
+    }
+    fn deallocate(&mut self, name: &str) -> Result<bool> {
+        self.primary.deallocate(name)
+    }
+    fn last_plan_cache_hits(&mut self) -> Result<u64> {
+        self.primary.last_plan_cache_hits()
+    }
+    fn kind(&self) -> &'static str {
+        "tcp-routed"
+    }
+    fn close(&mut self) -> Result<()> {
+        for r in &mut self.replicas {
+            r.close().ok();
+        }
+        self.primary.close()
+    }
+    fn ping(&mut self) -> Result<()> {
+        self.primary.ping()?;
+        for r in &mut self.replicas {
+            r.ping()?;
+        }
+        Ok(())
+    }
+    fn last_report(&mut self) -> Result<sciql_net::ExecReport> {
+        self.primary.last_report()
+    }
+    fn shutdown_server(&mut self) -> Result<()> {
+        self.primary.shutdown_server()
+    }
+    fn metrics(&mut self) -> Result<sciql_obs::MetricsSnapshot> {
+        self.primary.metrics()
+    }
+    fn set_tracing(&mut self, on: bool) -> Result<()> {
+        self.primary.set_tracing(on)
+    }
+    fn last_trace_text(&mut self) -> Result<Option<String>> {
+        self.primary.last_trace_text()
+    }
+}
+
 // ---------------------------------------------------------------------
 // connect
 // ---------------------------------------------------------------------
@@ -594,14 +759,41 @@ impl Sciql {
                 kind: "file",
             })
         } else if let Some(addr) = url.strip_prefix("tcp://") {
-            if addr.is_empty() {
-                return Err(SciqlError::Connection(
-                    "tcp:// URL needs host:port, e.g. tcp://127.0.0.1:5000".into(),
-                ));
+            let endpoints: Vec<&str> = addr
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect();
+            match endpoints.split_first() {
+                None => {
+                    return Err(SciqlError::Connection(
+                        "tcp:// URL needs host:port, e.g. tcp://127.0.0.1:5000 \
+                         (add replicas comma-separated: tcp://primary,replica1,replica2)"
+                            .into(),
+                    ));
+                }
+                Some((primary, [])) => Box::new(Tcp {
+                    client: Some(Client::connect_named(primary, "sciql-driver")?),
+                }),
+                Some((primary, replicas)) => {
+                    let primary = Tcp {
+                        client: Some(Client::connect_named(primary, "sciql-driver")?),
+                    };
+                    let replicas = replicas
+                        .iter()
+                        .map(|a| {
+                            Ok(Tcp {
+                                client: Some(Client::connect_named(a, "sciql-driver-read")?),
+                            })
+                        })
+                        .collect::<Result<Vec<Tcp>>>()?;
+                    Box::new(Routed {
+                        primary,
+                        replicas,
+                        next: 0,
+                    })
+                }
             }
-            Box::new(Tcp {
-                client: Some(Client::connect_named(addr, "sciql-driver")?),
-            })
         } else {
             return Err(SciqlError::Connection(format!(
                 "unsupported URL {url:?}: expected mem:, file:<path> or tcp://host:port"

@@ -17,4 +17,5 @@ pub use sciql_life as life;
 pub use sciql_net as net;
 pub use sciql_obs as obs;
 pub use sciql_parser as parser;
+pub use sciql_repl as repl;
 pub use sciql_store as store;

@@ -1,0 +1,448 @@
+//! Replication acceptance suite: WAL-shipping primary → replica with
+//! monotonic reads.
+//!
+//! The headline differential test pins the **byte-identical twin**
+//! contract: after concurrent writers hammer a served primary and the
+//! replica catches up, the two vault directories hold the same files
+//! with the same bytes (LOCK excluded), across opt levels × thread
+//! counts. A second differential interrupts the replica mid-stream,
+//! restarts it over the same directory, and requires it to converge to
+//! the same bytes as an uninterrupted twin. Bootstrap (primary
+//! checkpointed past the replica's generation → chunked snapshot
+//! transfer), monotonic-read tokens and the `ReplicaLagging` refusal
+//! round out the contract.
+
+use sciql_repro::driver::{Sciql, SciqlError};
+use sciql_repro::gdk::Value;
+use sciql_repro::net::Server;
+use sciql_repro::repl::Replica;
+use sciql_repro::sciql::{ErrorCode, SessionConfig, SharedEngine};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("sciql-repl-suite-{}-{}", tag, std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+/// Every file under `dir` (relative path → bytes), excluding the
+/// process-scoped `LOCK` and any bootstrap staging leftovers.
+fn dir_bytes(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    fn walk(root: &Path, dir: &Path, out: &mut BTreeMap<String, Vec<u8>>) {
+        for entry in std::fs::read_dir(dir).unwrap() {
+            let entry = entry.unwrap();
+            let name = entry.file_name();
+            if name == "LOCK" || name == ".repl-incoming" {
+                continue;
+            }
+            let p = entry.path();
+            if p.is_dir() {
+                walk(root, &p, out);
+            } else {
+                let rel = p.strip_prefix(root).unwrap().to_string_lossy().into_owned();
+                out.insert(rel, std::fs::read(&p).unwrap());
+            }
+        }
+    }
+    let mut out = BTreeMap::new();
+    walk(dir, dir, &mut out);
+    out
+}
+
+/// Assert two vault directories are byte-identical twins, with a
+/// file-level diff in the failure message instead of a byte dump.
+fn assert_twin_vaults(a: &Path, b: &Path, context: &str) {
+    let (fa, fb) = (dir_bytes(a), dir_bytes(b));
+    let names_a: Vec<&String> = fa.keys().collect();
+    let names_b: Vec<&String> = fb.keys().collect();
+    assert_eq!(names_a, names_b, "{context}: file sets differ");
+    for (name, bytes) in &fa {
+        let other = &fb[name];
+        assert!(
+            bytes == other,
+            "{context}: {name} differs ({} vs {} bytes)",
+            bytes.len(),
+            other.len()
+        );
+    }
+}
+
+/// Poll until the replica's applied position reaches the primary's
+/// durable one (or fail loudly after a generous deadline).
+fn wait_caught_up(primary: &Arc<SharedEngine>, replica: &Replica, context: &str) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let durable = primary.durable_position();
+        if replica.applied() == durable {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{context}: replica stuck at {:?}, primary durable {:?}",
+            replica.applied(),
+            durable
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Full result encoding of a SELECT on an engine — the byte-level
+/// yardstick for read equivalence.
+fn select_bytes(engine: &Arc<SharedEngine>, sql: &str) -> Vec<u8> {
+    let rs = engine.session().query(sql).unwrap();
+    let mut bytes = rs.encode_header();
+    for page in rs.encode_pages(64) {
+        bytes.extend_from_slice(&page);
+    }
+    bytes
+}
+
+/// The headline differential: N concurrent writers over tcp against a
+/// durable primary, a replica tailing the WAL live. Once caught up, the
+/// replica answers reads byte-identically — and once both sides are
+/// shut down, the two data directories are byte-identical twins. Runs
+/// over opt levels × thread counts like the other acceptance suites.
+#[test]
+fn replica_vault_byte_identical_under_concurrent_writes() {
+    for opt_level in [0u8, 2] {
+        for threads in [1usize, 8] {
+            let tag = format!("diff-o{opt_level}-t{threads}");
+            let primary_dir = fresh_dir(&format!("{tag}-primary"));
+            let replica_dir = fresh_dir(&format!("{tag}-replica"));
+            let cfg = SessionConfig {
+                threads,
+                opt_level,
+                ..SessionConfig::default()
+            };
+            let engine = SharedEngine::open_with_config(&primary_dir, cfg).unwrap();
+            let handle = Server::bind(Arc::clone(&engine), "127.0.0.1:0")
+                .unwrap()
+                .serve()
+                .unwrap();
+            let url = format!("tcp://{}", handle.addr());
+            let mut admin = Sciql::connect(&url).unwrap();
+            admin
+                .execute("CREATE TABLE log (writer INT, seq INT, note VARCHAR)")
+                .unwrap();
+            let replica = Replica::connect(&replica_dir, &handle.addr().to_string()).unwrap();
+
+            // 4 writers × 24 acked inserts each, racing the shipper.
+            std::thread::scope(|scope| {
+                for w in 0..4 {
+                    let url = url.clone();
+                    scope.spawn(move || {
+                        let mut conn = Sciql::connect(&url).unwrap();
+                        for seq in 0..24 {
+                            conn.execute(&format!(
+                                "INSERT INTO log VALUES ({w}, {seq}, 'w{w}s{seq}')"
+                            ))
+                            .unwrap();
+                        }
+                        conn.close().unwrap();
+                    });
+                }
+            });
+            wait_caught_up(&engine, &replica, &tag);
+
+            // Read equivalence while both are live.
+            for sql in [
+                "SELECT COUNT(*) FROM log",
+                "SELECT writer, seq, note FROM log ORDER BY writer, seq",
+                "SELECT writer, SUM(seq) FROM log GROUP BY writer ORDER BY writer",
+            ] {
+                assert_eq!(
+                    select_bytes(&engine, sql),
+                    select_bytes(replica.engine(), sql),
+                    "{tag}: {sql}"
+                );
+            }
+            // Gap-free: every acked (writer, seq) pair is present once.
+            let rs = replica
+                .engine()
+                .session()
+                .query("SELECT COUNT(*) FROM log")
+                .unwrap();
+            assert_eq!(rs.row(0), vec![Value::Lng(4 * 24)], "{tag}");
+
+            replica.stop();
+            admin.shutdown_server().unwrap();
+            drop(admin);
+            let engine = {
+                drop(engine);
+                handle.wait()
+            };
+            drop(engine);
+            assert_twin_vaults(&primary_dir, &replica_dir, &tag);
+            std::fs::remove_dir_all(&primary_dir).ok();
+            std::fs::remove_dir_all(&replica_dir).ok();
+        }
+    }
+}
+
+/// Crash-resume: a replica interrupted mid-stream restarts over the
+/// same directory, resumes from whatever its disk durably applied, and
+/// converges to the same bytes as a twin that was never interrupted.
+#[test]
+fn interrupted_replica_matches_uninterrupted_twin() {
+    let primary_dir = fresh_dir("crash-primary");
+    let twin_dir = fresh_dir("crash-twin");
+    let victim_dir = fresh_dir("crash-victim");
+    let engine = SharedEngine::open(&primary_dir).unwrap();
+    let handle = Server::bind(Arc::clone(&engine), "127.0.0.1:0")
+        .unwrap()
+        .serve()
+        .unwrap();
+    let addr = handle.addr().to_string();
+    let mut conn = Sciql::connect(&format!("tcp://{addr}")).unwrap();
+    conn.execute("CREATE TABLE t (k INT, v VARCHAR)").unwrap();
+
+    let twin = Replica::connect(&twin_dir, &addr).unwrap();
+    let victim = Replica::connect(&victim_dir, &addr).unwrap();
+    for k in 0..40 {
+        conn.execute(&format!("INSERT INTO t VALUES ({k}, 'pre-{k}')"))
+            .unwrap();
+    }
+    wait_caught_up(&engine, &victim, "victim pre-interrupt");
+    // Interrupt the victim mid-deployment; keep writing while it's down.
+    victim.stop();
+    for k in 40..80 {
+        conn.execute(&format!("INSERT INTO t VALUES ({k}, 'mid-{k}')"))
+            .unwrap();
+    }
+    // Restart over the same directory: it recovers its own WAL, hellos
+    // with the recovered position, and catches up record-by-record.
+    let victim = Replica::connect(&victim_dir, &addr).unwrap();
+    for k in 80..100 {
+        conn.execute(&format!("INSERT INTO t VALUES ({k}, 'post-{k}')"))
+            .unwrap();
+    }
+    wait_caught_up(&engine, &victim, "victim post-restart");
+    wait_caught_up(&engine, &twin, "twin");
+
+    let rs = victim
+        .engine()
+        .session()
+        .query("SELECT COUNT(*) FROM t")
+        .unwrap();
+    assert_eq!(rs.row(0), vec![Value::Lng(100)]);
+
+    victim.stop();
+    twin.stop();
+    conn.shutdown_server().unwrap();
+    drop(conn);
+    drop(engine);
+    drop(handle.wait());
+    assert_twin_vaults(&victim_dir, &twin_dir, "victim vs twin");
+    assert_twin_vaults(&primary_dir, &victim_dir, "primary vs victim");
+    for d in [&primary_dir, &twin_dir, &victim_dir] {
+        std::fs::remove_dir_all(d).ok();
+    }
+}
+
+/// Bootstrap: a replica that disconnects, misses a primary checkpoint
+/// (which rotates the WAL generation and garbage-collects the one the
+/// replica was tailing), and reconnects is re-seeded with a chunked
+/// snapshot transfer — and ends byte-identical anyway.
+#[test]
+fn replica_bootstraps_across_primary_checkpoint() {
+    let primary_dir = fresh_dir("boot-primary");
+    let replica_dir = fresh_dir("boot-replica");
+    let engine = SharedEngine::open(&primary_dir).unwrap();
+    let handle = Server::bind(Arc::clone(&engine), "127.0.0.1:0")
+        .unwrap()
+        .serve()
+        .unwrap();
+    let addr = handle.addr().to_string();
+    let mut conn = Sciql::connect(&format!("tcp://{addr}")).unwrap();
+    conn.execute("CREATE ARRAY grid (x INT DIMENSION[0:1:8], v INT DEFAULT 0)")
+        .unwrap();
+    conn.execute("UPDATE grid SET v = x * x").unwrap();
+
+    let replica = Replica::connect(&replica_dir, &addr).unwrap();
+    wait_caught_up(&engine, &replica, "pre-checkpoint");
+    replica.stop();
+
+    // The replica's generation disappears while it is away.
+    conn.execute("UPDATE grid SET v = v + 1").unwrap();
+    engine.checkpoint().unwrap();
+    conn.execute("CREATE TABLE after (n INT)").unwrap();
+    conn.execute("INSERT INTO after VALUES (42)").unwrap();
+
+    let replica = Replica::connect(&replica_dir, &addr).unwrap();
+    wait_caught_up(&engine, &replica, "post-bootstrap");
+    assert_eq!(
+        select_bytes(&engine, "SELECT x, v FROM grid"),
+        select_bytes(replica.engine(), "SELECT x, v FROM grid"),
+    );
+    let rs = replica
+        .engine()
+        .session()
+        .query("SELECT n FROM after")
+        .unwrap();
+    assert_eq!(rs.row(0), vec![Value::Int(42)]);
+
+    replica.stop();
+    conn.shutdown_server().unwrap();
+    drop(conn);
+    drop(engine);
+    drop(handle.wait());
+    assert_twin_vaults(&primary_dir, &replica_dir, "post-bootstrap twin");
+    std::fs::remove_dir_all(&primary_dir).ok();
+    std::fs::remove_dir_all(&replica_dir).ok();
+}
+
+/// Monotonic reads through the routed driver: every read that follows a
+/// write on the same connection observes that write, even though the
+/// read is served by a replica racing the WAL stream. Also pins the
+/// `sys.replication` view having live rows for both link ends.
+#[test]
+fn routed_driver_reads_own_writes_via_replica() {
+    let primary_dir = fresh_dir("mono-primary");
+    let replica_dir = fresh_dir("mono-replica");
+    let engine = SharedEngine::open(&primary_dir).unwrap();
+    let phandle = Server::bind(Arc::clone(&engine), "127.0.0.1:0")
+        .unwrap()
+        .serve()
+        .unwrap();
+    let paddr = phandle.addr().to_string();
+    let replica = Replica::connect(&replica_dir, &paddr).unwrap();
+    let rhandle = Server::bind(Arc::clone(replica.engine()), "127.0.0.1:0")
+        .unwrap()
+        .serve()
+        .unwrap();
+    let mut conn = Sciql::connect(&format!("tcp://{paddr},{}", rhandle.addr())).unwrap();
+    assert_eq!(conn.transport_kind(), "tcp-routed");
+    conn.execute("CREATE TABLE counter (n INT)").unwrap();
+    for i in 0..25i64 {
+        conn.execute(&format!("INSERT INTO counter VALUES ({i})"))
+            .unwrap();
+        // Served by the replica; the write token forces it fresh.
+        let mut rows = conn.query("SELECT COUNT(*) FROM counter").unwrap();
+        assert_eq!(
+            rows.next_row().unwrap().get::<i64>(0).unwrap(),
+            i + 1,
+            "read after write {i} observed a stale count"
+        );
+    }
+    // An all-read batch fans out over every endpoint and keeps slots.
+    let sqls = vec!["SELECT COUNT(*) FROM counter"; 6];
+    for outcome in conn.run_batch(&sqls).unwrap() {
+        let sciql_repro::driver::Outcome::Rows(rs) = outcome.unwrap() else {
+            panic!("expected rows");
+        };
+        assert_eq!(rs.row(0), vec![Value::Lng(25)]);
+    }
+    // Both link ends publish into sys.replication (one registry in
+    // this process, so both rows are visible from either engine).
+    let rs = replica
+        .engine()
+        .session()
+        .query("SELECT role, peer, lag_bytes FROM sys.replication ORDER BY role")
+        .unwrap();
+    let roles: Vec<Value> = (0..rs.row_count()).map(|i| rs.row(i)[0].clone()).collect();
+    assert!(roles.contains(&Value::Str("primary".into())), "{roles:?}");
+    assert!(roles.contains(&Value::Str("replica".into())), "{roles:?}");
+    // The shipping counters moved.
+    let text = sciql_repro::obs::global().snapshot().to_prometheus_text();
+    assert!(text.contains("repl_records_shipped"), "{text}");
+    assert!(text.contains("repl_records_applied"), "{text}");
+
+    conn.close().unwrap();
+    replica.stop();
+    for addr in [paddr, rhandle.addr().to_string()] {
+        let mut admin = Sciql::connect(&format!("tcp://{addr}")).unwrap();
+        admin.shutdown_server().unwrap();
+        drop(admin);
+    }
+    drop(phandle.wait());
+    drop(rhandle.wait());
+    std::fs::remove_dir_all(&primary_dir).ok();
+    std::fs::remove_dir_all(&replica_dir).ok();
+}
+
+/// A replica that cannot catch up answers token-carrying reads with the
+/// typed `ReplicaLagging` (1107) refusal instead of stale data.
+#[test]
+fn stalled_replica_refuses_with_replica_lagging() {
+    let primary_dir = fresh_dir("lag-primary");
+    let stalled_dir = fresh_dir("lag-stalled");
+    let engine = SharedEngine::open(&primary_dir).unwrap();
+    let phandle = Server::bind(Arc::clone(&engine), "127.0.0.1:0")
+        .unwrap()
+        .serve()
+        .unwrap();
+    // A replica engine with no tailer: it will never apply anything.
+    let stalled = SharedEngine::open_replica(&stalled_dir).unwrap();
+    let shandle = Server::bind(Arc::clone(&stalled), "127.0.0.1:0")
+        .unwrap()
+        .serve()
+        .unwrap();
+    let mut conn = Sciql::connect(&format!("tcp://{},{}", phandle.addr(), shandle.addr())).unwrap();
+    conn.execute("CREATE TABLE t (x INT)").unwrap();
+    conn.execute("INSERT INTO t VALUES (1)").unwrap();
+    match conn.query("SELECT COUNT(*) FROM t") {
+        Err(e @ SciqlError::ReplicaLagging(_)) => {
+            assert_eq!(e.code(), ErrorCode::ReplicaLagging);
+        }
+        other => panic!("expected ReplicaLagging, got {other:?}"),
+    }
+    conn.close().ok();
+    let mut admin = Sciql::connect(&format!("tcp://{}", phandle.addr())).unwrap();
+    admin.shutdown_server().unwrap();
+    drop(admin);
+    let mut admin = Sciql::connect(&format!("tcp://{}", shandle.addr())).unwrap();
+    admin.shutdown_server().unwrap();
+    drop(admin);
+    drop(phandle.wait());
+    drop(shandle.wait());
+    drop(engine);
+    drop(stalled);
+    std::fs::remove_dir_all(&primary_dir).ok();
+    std::fs::remove_dir_all(&stalled_dir).ok();
+}
+
+/// Clean shutdown releases the replica vault's `LOCK` even while other
+/// `Arc` handles to its engine are still alive, so the directory can be
+/// reopened immediately — by this process or the next.
+#[test]
+fn replica_stop_releases_vault_lock() {
+    let primary_dir = fresh_dir("lock-primary");
+    let replica_dir = fresh_dir("lock-replica");
+    let engine = SharedEngine::open(&primary_dir).unwrap();
+    let handle = Server::bind(Arc::clone(&engine), "127.0.0.1:0")
+        .unwrap()
+        .serve()
+        .unwrap();
+    let addr = handle.addr().to_string();
+    let mut conn = Sciql::connect(&format!("tcp://{addr}")).unwrap();
+    conn.execute("CREATE TABLE t (x INT)").unwrap();
+    conn.execute("INSERT INTO t VALUES (7)").unwrap();
+
+    let replica = Replica::connect(&replica_dir, &addr).unwrap();
+    wait_caught_up(&engine, &replica, "lock test");
+    // A lingering engine handle (a dashboard, a metrics endpoint…)
+    // must not pin the LOCK past stop().
+    let lingering = Arc::clone(replica.engine());
+    assert!(replica_dir.join("LOCK").exists());
+    replica.stop();
+    assert!(
+        !replica_dir.join("LOCK").exists(),
+        "stop() must release the vault LOCK"
+    );
+    drop(lingering);
+    // The directory reopens at its durable position, no primary needed.
+    let reopened = SharedEngine::open_replica(&replica_dir).unwrap();
+    let rs = reopened.session().query("SELECT x FROM t").unwrap();
+    assert_eq!(rs.row(0), vec![Value::Int(7)]);
+    drop(reopened);
+
+    conn.shutdown_server().unwrap();
+    drop(conn);
+    drop(engine);
+    drop(handle.wait());
+    std::fs::remove_dir_all(&primary_dir).ok();
+    std::fs::remove_dir_all(&replica_dir).ok();
+}
